@@ -1,0 +1,126 @@
+//! Ablation benches for the design choices `DESIGN.md` calls out:
+//! shared-memory reduction scheme (Figs 8–9), classified vs monolithic
+//! contact initialization (§III-A), branch-restructured vs naive
+//! interpenetration checking (§III-D), and HSBCSR slice padding.
+//!
+//! Each bench reports host wall time; the corresponding *modeled* device
+//! effects are asserted by the test suite and reported by the harness
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_bench::SMALL_BLOCKS;
+use dda_core::contact::init::{init_contacts_classified, init_contacts_monolithic};
+use dda_core::contact::{broad_phase_serial, narrow_phase_serial, GeomSoa};
+use dda_core::interpenetration::{check_gpu, BranchScheme};
+use dda_simt::serial::CpuCounter;
+use dda_simt::{Device, DeviceProfile};
+use dda_sparse::spmv::{spmv_hsbcsr, Stage1Smem};
+use dda_sparse::{Hsbcsr, SymBlockMatrix};
+use dda_workloads::{slope_case, SlopeConfig};
+use std::hint::black_box;
+
+fn dev() -> Device {
+    Device::new(DeviceProfile::tesla_k40())
+}
+
+fn bench_smem_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_smem_scheme");
+    g.sample_size(15);
+    let m = SymBlockMatrix::random_spd(800, 4.3, 3);
+    let h = Hsbcsr::from_sym(&m);
+    let x = vec![1.0; m.dim()];
+    g.bench_function("proposed_fig8", |b| {
+        let d = dev();
+        b.iter(|| spmv_hsbcsr(&d, black_box(&h), &x, Stage1Smem::Proposed))
+    });
+    g.bench_function("naive_row_major", |b| {
+        let d = dev();
+        b.iter(|| spmv_hsbcsr(&d, black_box(&h), &x, Stage1Smem::NaiveRowMajor))
+    });
+    g.finish();
+}
+
+#[allow(clippy::type_complexity)]
+fn slope_contacts() -> (
+    dda_core::BlockSystem,
+    dda_core::DdaParams,
+    Vec<dda_core::contact::Contact>,
+    GeomSoa,
+) {
+    let (sys, params) = slope_case(&SlopeConfig::default().with_target_blocks(SMALL_BLOCKS));
+    let mut cnt = CpuCounter::new();
+    let pairs = broad_phase_serial(&sys, params.contact_range, &mut cnt);
+    let contacts = narrow_phase_serial(&sys, &pairs, params.contact_range, &mut cnt);
+    let soa = GeomSoa::build(&sys);
+    (sys, params, contacts, soa)
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_init_classification");
+    g.sample_size(15);
+    let (_sys, params, contacts, soa) = slope_contacts();
+    let touch = params.touch_tol * params.max_displacement;
+    g.bench_function("monolithic", |b| {
+        let d = dev();
+        b.iter_batched(
+            || contacts.clone(),
+            |mut cs| init_contacts_monolithic(&d, &soa, &mut cs, touch),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("classified", |b| {
+        let d = dev();
+        b.iter_batched(
+            || contacts.clone(),
+            |mut cs| init_contacts_classified(&d, &soa, &mut cs, touch),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_branch_restructuring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_branch_restructuring");
+    g.sample_size(15);
+    let (sys, params, contacts, soa) = slope_contacts();
+    let d0 = vec![0.0; sys.len() * 6];
+    g.bench_function("naive_branches", |b| {
+        let d = dev();
+        b.iter(|| {
+            check_gpu(
+                &d,
+                &soa,
+                black_box(&sys),
+                &contacts,
+                &d0,
+                params.penalty,
+                params.shear_ratio,
+                BranchScheme::Naive,
+            )
+        })
+    });
+    g.bench_function("restructured", |b| {
+        let d = dev();
+        b.iter(|| {
+            check_gpu(
+                &d,
+                &soa,
+                black_box(&sys),
+                &contacts,
+                &d0,
+                params.penalty,
+                params.shear_ratio,
+                BranchScheme::Restructured,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_smem_schemes,
+    bench_classification,
+    bench_branch_restructuring
+);
+criterion_main!(benches);

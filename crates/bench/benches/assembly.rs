@@ -1,0 +1,101 @@
+//! Criterion benches for global stiffness assembly (Fig 4's sort/scan
+//! scheme vs the serial hash-map reference) and the solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_bench::SMALL_BLOCKS;
+use dda_core::assembly::{assemble_gpu, assemble_serial};
+use dda_core::contact::init::init_contacts_serial;
+use dda_core::contact::{broad_phase_serial, narrow_phase_serial, GeomSoa};
+use dda_core::stiffness::perblock::BlockSoa;
+use dda_simt::serial::CpuCounter;
+use dda_simt::{Device, DeviceProfile};
+use dda_solver::precond::BlockJacobi;
+use dda_solver::traits::HsbcsrMat;
+use dda_solver::{pcg, PcgOptions};
+use dda_sparse::Hsbcsr;
+use dda_workloads::{slope_case, SlopeConfig};
+use std::hint::black_box;
+
+fn bench_assembly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("assembly");
+    g.sample_size(12);
+    let (sys, params) = slope_case(&SlopeConfig::default().with_target_blocks(SMALL_BLOCKS));
+    let mut cnt = CpuCounter::new();
+    let pairs = broad_phase_serial(&sys, params.contact_range, &mut cnt);
+    let mut contacts = narrow_phase_serial(&sys, &pairs, params.contact_range, &mut cnt);
+    init_contacts_serial(
+        &sys,
+        &mut contacts,
+        params.touch_tol * params.max_displacement,
+        &mut cnt,
+    );
+    let gsoa = GeomSoa::build(&sys);
+    let bsoa = BlockSoa::build(&sys);
+
+    g.bench_function("serial_hashmap", |b| {
+        b.iter(|| {
+            let mut cnt = CpuCounter::new();
+            assemble_serial(black_box(&sys), &contacts, &params, &mut cnt)
+        })
+    });
+    g.bench_function("gpu_sort_scan", |b| {
+        let d = Device::new(DeviceProfile::tesla_k40());
+        b.iter(|| assemble_gpu(&d, black_box(&sys), &gsoa, &bsoa, &contacts, &params))
+    });
+    g.finish();
+}
+
+fn bench_pcg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pcg_solve");
+    g.sample_size(12);
+    let (sys, params) = slope_case(&SlopeConfig::default().with_target_blocks(SMALL_BLOCKS));
+    let mut cnt = CpuCounter::new();
+    let pairs = broad_phase_serial(&sys, params.contact_range, &mut cnt);
+    let mut contacts = narrow_phase_serial(&sys, &pairs, params.contact_range, &mut cnt);
+    init_contacts_serial(
+        &sys,
+        &mut contacts,
+        params.touch_tol * params.max_displacement,
+        &mut cnt,
+    );
+    let asm = assemble_serial(&sys, &contacts, &params, &mut cnt);
+    let h = Hsbcsr::from_sym(&asm.matrix);
+    let x0 = vec![0.0; asm.matrix.dim()];
+
+    g.bench_function("device_pcg_bj", |b| {
+        let d = Device::new(DeviceProfile::tesla_k40());
+        b.iter(|| {
+            let bj = BlockJacobi::new(&d, &h);
+            pcg(
+                &d,
+                &HsbcsrMat { m: &h },
+                black_box(&asm.rhs),
+                &x0,
+                &bj,
+                PcgOptions {
+                    tol: 1e-8,
+                    max_iters: 400,
+                },
+            )
+        })
+    });
+    g.bench_function("serial_pcg_bj", |b| {
+        b.iter(|| {
+            let mut cnt = CpuCounter::new();
+            dda_solver::serial::pcg_serial_bj(
+                black_box(&asm.matrix),
+                &asm.rhs,
+                &x0,
+                PcgOptions {
+                    tol: 1e-8,
+                    max_iters: 400,
+                },
+                &mut cnt,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_assembly, bench_pcg);
+criterion_main!(benches);

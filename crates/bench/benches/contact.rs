@@ -1,0 +1,64 @@
+//! Criterion benches for contact detection: broad and narrow phase,
+//! serial vs simulated-GPU paths, plus transfer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dda_bench::SMALL_BLOCKS;
+use dda_core::contact::{
+    broad_phase_gpu, broad_phase_serial, narrow_phase_gpu, narrow_phase_serial,
+    transfer_contacts_serial, GeomSoa,
+};
+use dda_simt::serial::CpuCounter;
+use dda_simt::{Device, DeviceProfile};
+use dda_workloads::{slope_case, SlopeConfig};
+use std::hint::black_box;
+
+fn bench_broad(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broad_phase");
+    g.sample_size(15);
+    for n in [SMALL_BLOCKS, 600] {
+        let (sys, params) = slope_case(&SlopeConfig::default().with_target_blocks(n));
+        let soa = GeomSoa::build(&sys);
+        g.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| {
+                let mut cnt = CpuCounter::new();
+                broad_phase_serial(black_box(&sys), params.contact_range, &mut cnt)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gpu", n), &n, |b, _| {
+            let d = Device::new(DeviceProfile::tesla_k40());
+            b.iter(|| broad_phase_gpu(&d, black_box(&soa), params.contact_range))
+        });
+    }
+    g.finish();
+}
+
+fn bench_narrow_and_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("narrow_phase");
+    g.sample_size(15);
+    let (sys, params) = slope_case(&SlopeConfig::default().with_target_blocks(SMALL_BLOCKS));
+    let soa = GeomSoa::build(&sys);
+    let mut cnt = CpuCounter::new();
+    let pairs = broad_phase_serial(&sys, params.contact_range, &mut cnt);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut cnt = CpuCounter::new();
+            narrow_phase_serial(black_box(&sys), &pairs, params.contact_range, &mut cnt)
+        })
+    });
+    g.bench_function("gpu", |b| {
+        let d = Device::new(DeviceProfile::tesla_k40());
+        b.iter(|| narrow_phase_gpu(&d, black_box(&soa), &pairs, params.contact_range))
+    });
+    let contacts = narrow_phase_serial(&sys, &pairs, params.contact_range, &mut cnt);
+    g.bench_function("transfer_serial", |b| {
+        b.iter(|| {
+            let mut cur = contacts.clone();
+            let mut cnt = CpuCounter::new();
+            transfer_contacts_serial(black_box(&contacts), &mut cur, &mut cnt)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_broad, bench_narrow_and_transfer);
+criterion_main!(benches);

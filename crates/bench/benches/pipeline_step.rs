@@ -1,0 +1,68 @@
+//! Criterion benches for a full pipeline time step (host cost of the CPU
+//! reference vs the simulated-GPU pipeline, at two workload scales and for
+//! both evaluation cases).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dda_bench::SMALL_BLOCKS;
+use dda_core::pipeline::{CpuPipeline, GpuPipeline};
+use dda_simt::{Device, DeviceProfile};
+use dda_workloads::{rockfall_case, slope_case, RockfallConfig, SlopeConfig};
+
+fn bench_case1_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("case1_step");
+    g.sample_size(10);
+    for n in [SMALL_BLOCKS, 400] {
+        let (sys, params) = slope_case(&SlopeConfig::default().with_target_blocks(n));
+        g.bench_with_input(BenchmarkId::new("cpu", n), &n, |b, _| {
+            b.iter_batched(
+                || CpuPipeline::new(sys.clone(), params.clone()),
+                |mut pipe| pipe.step(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("gpu_sim", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    GpuPipeline::new(
+                        sys.clone(),
+                        params.clone(),
+                        Device::new(DeviceProfile::tesla_k40()),
+                    )
+                },
+                |mut pipe| pipe.step(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_case2_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("case2_step");
+    g.sample_size(10);
+    let (sys, params) = rockfall_case(&RockfallConfig::default().with_rocks(60));
+    g.bench_function("cpu", |b| {
+        b.iter_batched(
+            || CpuPipeline::new(sys.clone(), params.clone()),
+            |mut pipe| pipe.step(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("gpu_sim", |b| {
+        b.iter_batched(
+            || {
+                GpuPipeline::new(
+                    sys.clone(),
+                    params.clone(),
+                    Device::new(DeviceProfile::tesla_k40()),
+                )
+            },
+            |mut pipe| pipe.step(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_case1_step, bench_case2_step);
+criterion_main!(benches);

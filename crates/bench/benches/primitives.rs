@@ -1,0 +1,82 @@
+//! Criterion benches for the SIMT device-wide primitives.
+//!
+//! Host wall time of the simulated scan / radix sort / segmented reduce /
+//! sorted search across sizes — the classification machinery the whole
+//! pipeline leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dda_simt::primitives::{
+    compact_indices, lower_bound_u64, scan_exclusive_u32, segment_starts, segmented_sum_f64,
+    sort::sort_pairs_u64,
+};
+use dda_simt::{Device, DeviceProfile};
+use std::hint::black_box;
+
+fn dev() -> Device {
+    Device::new(DeviceProfile::tesla_k40())
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_exclusive_u32");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        let input: Vec<u32> = (0..n as u32).map(|i| i % 7).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            let d = dev();
+            b.iter(|| scan_exclusive_u32(&d, black_box(input)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radix_sort_pairs_u64");
+    g.sample_size(15);
+    for n in [1_000usize, 10_000, 50_000] {
+        let keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 24).collect();
+        let vals: Vec<u32> = (0..n as u32).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let d = dev();
+            b.iter(|| sort_pairs_u64(&d, black_box(&keys), black_box(&vals)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_segments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segmented_reduce");
+    g.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let keys: Vec<u64> = (0..n).map(|i| (i / 23) as u64).collect();
+        let vals: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let d = dev();
+            b.iter(|| {
+                let (_, starts) = segment_starts(&d, black_box(&keys));
+                segmented_sum_f64(&d, black_box(&vals), &starts)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_search_and_compact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search_compact");
+    g.sample_size(20);
+    let n = 50_000usize;
+    let sorted: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
+    let queries: Vec<u64> = (0..10_000u64).map(|i| i * 7 + 1).collect();
+    g.bench_function("lower_bound_10k_in_50k", |b| {
+        let d = dev();
+        b.iter(|| lower_bound_u64(&d, black_box(&sorted), black_box(&queries)))
+    });
+    let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 3 == 0)).collect();
+    g.bench_function("compact_50k", |b| {
+        let d = dev();
+        b.iter(|| compact_indices(&d, black_box(&flags)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_sort, bench_segments, bench_search_and_compact);
+criterion_main!(benches);

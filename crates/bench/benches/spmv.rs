@@ -1,0 +1,72 @@
+//! Criterion benches for the five SpMV kernels (host wall time of the
+//! simulated launches). The modeled Fig-10 comparison lives in the
+//! `fig10` harness binary; this group tracks the library's own cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dda_bench::{LARGE_BLOCKS, SMALL_BLOCKS};
+use dda_simt::{Device, DeviceProfile};
+use dda_sparse::ell::spmv_ell;
+use dda_sparse::spmv::{spmv_bcsr, spmv_csr_scalar, spmv_csr_vector, spmv_hsbcsr, Stage1Smem};
+use dda_sparse::{BlockCsr, Csr, Ell, Hsbcsr, SymBlockMatrix};
+use std::hint::black_box;
+
+fn dev() -> Device {
+    Device::new(DeviceProfile::tesla_k40())
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv");
+    g.sample_size(15);
+    for n in [SMALL_BLOCKS, LARGE_BLOCKS] {
+        let m = SymBlockMatrix::random_spd(n, 4.3, 7);
+        let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.17).sin()).collect();
+        let h = Hsbcsr::from_sym(&m);
+        let csr = Csr::from_sym_full(&m);
+        let bcsr = BlockCsr::from_sym_full(&m);
+        let ell = Ell::from_csr(&csr);
+
+        g.bench_with_input(BenchmarkId::new("hsbcsr", n), &n, |b, _| {
+            let d = dev();
+            b.iter(|| spmv_hsbcsr(&d, black_box(&h), black_box(&x), Stage1Smem::Proposed))
+        });
+        g.bench_with_input(BenchmarkId::new("csr_vector", n), &n, |b, _| {
+            let d = dev();
+            b.iter(|| spmv_csr_vector(&d, black_box(&csr), black_box(&x)))
+        });
+        g.bench_with_input(BenchmarkId::new("csr_scalar", n), &n, |b, _| {
+            let d = dev();
+            b.iter(|| spmv_csr_scalar(&d, black_box(&csr), black_box(&x)))
+        });
+        g.bench_with_input(BenchmarkId::new("bcsr", n), &n, |b, _| {
+            let d = dev();
+            b.iter(|| spmv_bcsr(&d, black_box(&bcsr), black_box(&x)))
+        });
+        g.bench_with_input(BenchmarkId::new("ellpack_r", n), &n, |b, _| {
+            let d = dev();
+            b.iter(|| spmv_ell(&d, black_box(&ell), black_box(&x)))
+        });
+        g.bench_with_input(BenchmarkId::new("serial_reference", n), &n, |b, _| {
+            b.iter(|| black_box(&m).mul_vec(black_box(&x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_format_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("format_build");
+    g.sample_size(20);
+    let m = SymBlockMatrix::random_spd(LARGE_BLOCKS, 4.3, 7);
+    g.bench_function("hsbcsr_from_sym", |b| {
+        b.iter(|| Hsbcsr::from_sym(black_box(&m)))
+    });
+    g.bench_function("csr_from_sym_full", |b| {
+        b.iter(|| Csr::from_sym_full(black_box(&m)))
+    });
+    g.bench_function("bcsr_from_sym_full", |b| {
+        b.iter(|| BlockCsr::from_sym_full(black_box(&m)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_format_build);
+criterion_main!(benches);

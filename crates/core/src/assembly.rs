@@ -1,0 +1,506 @@
+//! Global stiffness assembly — serial reference and the paper's
+//! write-conflict-free GPU scheme (Fig 4).
+//!
+//! Blocks `i` and `j` "usually include several contact data" (§III-C), so
+//! naively accumulating `k_ii`, `k_ij`, `k_jj` from concurrent threads
+//! races. The GPU scheme instead:
+//!
+//! 1. each contact computes its sub-matrices in parallel into array `D`
+//!    with a sub-matrix key (block-pair number);
+//! 2. `D`'s keys are radix-sorted;
+//! 3. segment boundaries are found (`di[i] = (SD[i]−SD[i−1]==0)?1:0`) and
+//!    scanned;
+//! 4. each distinct sub-matrix is the segmented sum of its run.
+//!
+//! "All the sort and scan steps act on the block number and index; the
+//! data of a sub-matrix are moved only for assembly in the final step" —
+//! implemented the same way here: the argsort permutes indices, and the
+//! 36-value payloads are gathered once by the reduction kernel. The whole
+//! path runs with the simulator's write-conflict detector armed in tests.
+
+use crate::contact::types::Contact;
+use crate::contact::GeomSoa;
+use crate::params::DdaParams;
+use crate::stiffness::perblock::{build_diag_gpu, build_diag_serial, BlockSoa};
+use crate::stiffness::springs::contact_spring_terms;
+use crate::system::BlockSystem;
+use dda_geom::Vec2;
+use dda_simt::primitives::{segment_starts, sort::argsort_u64};
+use dda_simt::serial::CpuCounter;
+use dda_simt::Device;
+use dda_sparse::{Block6, SymBlockMatrix};
+use std::collections::HashMap;
+
+/// An assembled linear system `K d = F`.
+#[derive(Debug, Clone)]
+pub struct AssembledSystem {
+    /// Symmetric half-stored stiffness matrix.
+    pub matrix: SymBlockMatrix,
+    /// Right-hand side (6 entries per block).
+    pub rhs: Vec<f64>,
+}
+
+/// Per-contact joint parameters flattened for the kernels.
+fn joint_params(sys: &BlockSystem, contacts: &[Contact]) -> Vec<f64> {
+    contacts
+        .iter()
+        .flat_map(|c| {
+            let jm = sys.joint_of(c.i as usize, c.j as usize);
+            [jm.tan_phi(), jm.cohesion]
+        })
+        .collect()
+}
+
+/// Serial assembly: diagonal terms plus contact springs accumulated into a
+/// hash map.
+pub fn assemble_serial(
+    sys: &BlockSystem,
+    contacts: &[Contact],
+    params: &DdaParams,
+    counter: &mut CpuCounter,
+) -> AssembledSystem {
+    let (diag, rhs) = build_diag_serial(sys, params, counter);
+    assemble_contacts_serial(sys, contacts, params, diag, rhs, counter)
+}
+
+/// Non-diagonal building only: adds the contact-spring terms to
+/// precomputed diagonal terms (the pipeline times the two modules
+/// separately, as Tables II–III report them separately).
+pub fn assemble_contacts_serial(
+    sys: &BlockSystem,
+    contacts: &[Contact],
+    params: &DdaParams,
+    mut diag: Vec<Block6>,
+    mut rhs: Vec<f64>,
+    counter: &mut CpuCounter,
+) -> AssembledSystem {
+    let mut upper: HashMap<(u32, u32), Block6> = HashMap::new();
+
+    for c in contacts {
+        let bi = &sys.blocks[c.i as usize];
+        let bj = &sys.blocks[c.j as usize];
+        let p1 = bi.poly.vertex(c.vertex as usize);
+        let seg = bj.poly.edge(c.edge as usize);
+        let jm = sys.joint_of(c.i as usize, c.j as usize);
+        counter.flop(600);
+        counter.bytes(200);
+        let Some(t) = contact_spring_terms(
+            c,
+            bi.centroid(),
+            bj.centroid(),
+            p1,
+            seg.a,
+            seg.b,
+            params.penalty,
+            params.shear_ratio,
+            jm.tan_phi(),
+            jm.cohesion,
+        ) else {
+            continue;
+        };
+        diag[c.i as usize] += t.kii;
+        diag[c.j as usize] += t.kjj;
+        let (r, col, block) = if c.i < c.j {
+            (c.i, c.j, t.kij)
+        } else {
+            (c.j, c.i, t.kji())
+        };
+        *upper.entry((r, col)).or_insert(Block6::ZERO) += block;
+        for k in 0..6 {
+            rhs[6 * c.i as usize + k] += t.fi[k];
+            rhs[6 * c.j as usize + k] += t.fj[k];
+        }
+        counter.flop(36 * 3 + 12);
+        counter.bytes(36 * 3 * 8);
+    }
+
+    let upper_vec: Vec<(u32, u32, Block6)> = upper.into_iter().map(|((r, c), b)| (r, c, b)).collect();
+    AssembledSystem {
+        matrix: SymBlockMatrix::new(diag, upper_vec),
+        rhs,
+    }
+}
+
+/// GPU assembly following Fig 4.
+pub fn assemble_gpu(
+    dev: &Device,
+    sys: &BlockSystem,
+    gsoa: &GeomSoa,
+    bsoa: &BlockSoa,
+    contacts: &[Contact],
+    params: &DdaParams,
+) -> AssembledSystem {
+    let (diag, rhs) = build_diag_gpu(dev, sys, bsoa, params);
+    assemble_contacts_gpu(dev, sys, gsoa, contacts, params, diag, rhs)
+}
+
+/// GPU non-diagonal building only (Fig 4), over precomputed diagonal
+/// terms.
+pub fn assemble_contacts_gpu(
+    dev: &Device,
+    sys: &BlockSystem,
+    gsoa: &GeomSoa,
+    contacts: &[Contact],
+    params: &DdaParams,
+    mut diag: Vec<Block6>,
+    mut rhs: Vec<f64>,
+) -> AssembledSystem {
+    let nc = contacts.len();
+    if nc == 0 {
+        return AssembledSystem {
+            matrix: SymBlockMatrix::new(diag, Vec::new()),
+            rhs,
+        };
+    }
+    let n = sys.len() as u64;
+    let jparams = joint_params(sys, contacts);
+
+    // --- Step 1: per-contact sub-matrix computation into array D ------------
+    // Three keyed 36-f64 payloads per contact (k_ii, k_jj, upper(i,j)) and
+    // two keyed 6-f64 force payloads.
+    let mut d_vals = vec![0.0f64; nc * 3 * 36];
+    let mut d_keys = vec![u64::MAX; nc * 3];
+    let mut f_vals = vec![0.0f64; nc * 2 * 6];
+    let mut f_keys = vec![u64::MAX; nc * 2];
+    {
+        let b_c = dev.bind_ro(contacts);
+        let b_vx = dev.bind_ro(&gsoa.vx);
+        let b_vy = dev.bind_ro(&gsoa.vy);
+        let b_vp = dev.bind_ro(&gsoa.vptr);
+        let b_cx = dev.bind_ro(&gsoa.cx);
+        let b_cy = dev.bind_ro(&gsoa.cy);
+        let b_jp = dev.bind_ro(&jparams);
+        let b_dv = dev.bind(&mut d_vals);
+        let b_dk = dev.bind(&mut d_keys);
+        let b_fv = dev.bind(&mut f_vals);
+        let b_fk = dev.bind(&mut f_keys);
+        let penalty = params.penalty;
+        let shear_ratio = params.shear_ratio;
+        dev.launch("nondiag.compute", nc, |lane| {
+            let t_idx = lane.gid;
+            let c = lane.ld(&b_c, t_idx);
+            // Open/unchanged contacts are abandoned by the classification;
+            // their slots keep the MAX key and sort to the tail.
+            if !lane.branch(0, c.state.closed()) {
+                return;
+            }
+            let i0 = lane.ld_tex(&b_vp, c.i as usize) as usize;
+            let j0 = lane.ld_tex(&b_vp, c.j as usize) as usize;
+            let nj = lane.ld_tex(&b_vp, c.j as usize + 1) as usize - j0;
+            let p1 = Vec2::new(
+                lane.ld_tex(&b_vx, i0 + c.vertex as usize),
+                lane.ld_tex(&b_vy, i0 + c.vertex as usize),
+            );
+            let e = c.edge as usize;
+            let p2 = Vec2::new(lane.ld_tex(&b_vx, j0 + e), lane.ld_tex(&b_vy, j0 + e));
+            let e1 = (e + 1) % nj;
+            let p3 = Vec2::new(lane.ld_tex(&b_vx, j0 + e1), lane.ld_tex(&b_vy, j0 + e1));
+            let ci = Vec2::new(lane.ld_tex(&b_cx, c.i as usize), lane.ld_tex(&b_cy, c.i as usize));
+            let cj = Vec2::new(lane.ld_tex(&b_cx, c.j as usize), lane.ld_tex(&b_cy, c.j as usize));
+            let tan_phi = lane.ld(&b_jp, 2 * t_idx);
+            let cohesion = lane.ld(&b_jp, 2 * t_idx + 1);
+            lane.flop(600);
+            let Some(t) = contact_spring_terms(
+                &c, ci, cj, p1, p2, p3, penalty, shear_ratio, tan_phi, cohesion,
+            ) else {
+                return;
+            };
+
+            let store_block = |lane: &mut dda_simt::Lane, slot: usize, key: u64, b: &Block6| {
+                lane.st(&b_dk, slot, key);
+                for r in 0..6 {
+                    for cc in 0..6 {
+                        lane.st(&b_dv, slot * 36 + r * 6 + cc, b.0[r][cc]);
+                    }
+                }
+            };
+            let (i, j) = (c.i as u64, c.j as u64);
+            store_block(lane, 3 * t_idx, i * n + i, &t.kii);
+            store_block(lane, 3 * t_idx + 1, j * n + j, &t.kjj);
+            let (r, col, off) = if i < j {
+                (i, j, t.kij)
+            } else {
+                (j, i, t.kji())
+            };
+            store_block(lane, 3 * t_idx + 2, r * n + col, &off);
+
+            lane.st(&b_fk, 2 * t_idx, i);
+            lane.st(&b_fk, 2 * t_idx + 1, j);
+            for k in 0..6 {
+                lane.st(&b_fv, 2 * t_idx * 6 + k, t.fi[k]);
+                lane.st(&b_fv, (2 * t_idx + 1) * 6 + k, t.fj[k]);
+            }
+        });
+    }
+
+    // --- Steps 2–5: sort, boundaries, segmented reduction --------------------
+    let (diag_add, upper) = reduce_keyed_blocks(dev, &d_keys, &d_vals, n);
+    for (b, blk) in &diag_add {
+        diag[*b as usize] += *blk;
+    }
+    let f_add = reduce_keyed_vec6(dev, &f_keys, &f_vals);
+    for (b, f) in &f_add {
+        for k in 0..6 {
+            rhs[6 * *b as usize + k] += f[k];
+        }
+    }
+
+    AssembledSystem {
+        matrix: SymBlockMatrix::new(diag, upper),
+        rhs,
+    }
+}
+
+/// Sort + segment + reduce for 36-f64 payloads. Returns the diagonal
+/// additions and the sorted upper entries. Keys of `u64::MAX` (abandoned
+/// slots) are dropped.
+#[allow(clippy::type_complexity)]
+fn reduce_keyed_blocks(
+    dev: &Device,
+    keys: &[u64],
+    vals: &[f64],
+    n: u64,
+) -> (Vec<(u32, Block6)>, Vec<(u32, u32, Block6)>) {
+    let (sorted_keys, perm) = argsort_u64(dev, keys);
+    let valid = sorted_keys.partition_point(|&k| k != u64::MAX);
+    let sorted_keys = &sorted_keys[..valid];
+    let perm = &perm[..valid];
+    if sorted_keys.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let (_, starts) = segment_starts(dev, sorted_keys);
+    let n_seg = starts.len() - 1;
+
+    let mut out = vec![0.0f64; n_seg * 36];
+    {
+        let b_starts = dev.bind_ro(&starts);
+        let b_perm = dev.bind_ro(perm);
+        let b_vals = dev.bind_ro(vals);
+        let b_out = dev.bind(&mut out);
+        dev.launch("assembly.reduce_blocks", n_seg, |lane| {
+            let s = lane.gid;
+            let lo = lane.ld(&b_starts, s) as usize;
+            let hi = lane.ld(&b_starts, s + 1) as usize;
+            let mut acc = [0.0f64; 36];
+            for m in lo..hi {
+                let src = lane.ld(&b_perm, m) as usize;
+                for k in 0..36 {
+                    acc[k] += lane.ld_tex(&b_vals, src * 36 + k);
+                }
+                lane.flop(36);
+            }
+            for (k, v) in acc.iter().enumerate() {
+                lane.st(&b_out, s * 36 + k, *v);
+            }
+        });
+    }
+
+    let mut diag_add = Vec::new();
+    let mut upper = Vec::new();
+    for s in 0..n_seg {
+        let key = sorted_keys[starts[s] as usize];
+        let r = (key / n) as u32;
+        let c = (key % n) as u32;
+        let mut b = Block6::ZERO;
+        for rr in 0..6 {
+            for cc in 0..6 {
+                b.0[rr][cc] = out[s * 36 + rr * 6 + cc];
+            }
+        }
+        if r == c {
+            diag_add.push((r, b));
+        } else {
+            upper.push((r, c, b));
+        }
+    }
+    (diag_add, upper)
+}
+
+/// Sort + segment + reduce for 6-f64 payloads (forces).
+fn reduce_keyed_vec6(dev: &Device, keys: &[u64], vals: &[f64]) -> Vec<(u32, [f64; 6])> {
+    let (sorted_keys, perm) = argsort_u64(dev, keys);
+    let valid = sorted_keys.partition_point(|&k| k != u64::MAX);
+    let sorted_keys = &sorted_keys[..valid];
+    let perm = &perm[..valid];
+    if sorted_keys.is_empty() {
+        return Vec::new();
+    }
+    let (_, starts) = segment_starts(dev, sorted_keys);
+    let n_seg = starts.len() - 1;
+    let mut out = vec![0.0f64; n_seg * 6];
+    {
+        let b_starts = dev.bind_ro(&starts);
+        let b_perm = dev.bind_ro(perm);
+        let b_vals = dev.bind_ro(vals);
+        let b_out = dev.bind(&mut out);
+        dev.launch("assembly.reduce_forces", n_seg, |lane| {
+            let s = lane.gid;
+            let lo = lane.ld(&b_starts, s) as usize;
+            let hi = lane.ld(&b_starts, s + 1) as usize;
+            let mut acc = [0.0f64; 6];
+            for m in lo..hi {
+                let src = lane.ld(&b_perm, m) as usize;
+                for k in 0..6 {
+                    acc[k] += lane.ld_tex(&b_vals, src * 6 + k);
+                }
+                lane.flop(6);
+            }
+            for (k, v) in acc.iter().enumerate() {
+                lane.st(&b_out, s * 6 + k, *v);
+            }
+        });
+    }
+    (0..n_seg)
+        .map(|s| {
+            let b = sorted_keys[starts[s] as usize] as u32;
+            let mut f = [0.0f64; 6];
+            f.copy_from_slice(&out[s * 6..s * 6 + 6]);
+            (b, f)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::contact::narrow::narrow_phase_serial;
+    use crate::contact::types::ContactState;
+    use crate::material::{BlockMaterial, JointMaterial};
+    use dda_geom::Polygon;
+    use dda_simt::DeviceProfile;
+
+    fn stack() -> (BlockSystem, Vec<Contact>, DdaParams) {
+        let sys = BlockSystem::new(
+            vec![
+                Block::new(Polygon::rect(-5.0, -1.0, 5.0, 0.0), 0).fixed(),
+                Block::new(Polygon::rect(0.0, 0.0, 1.0, 1.0), 0),
+                Block::new(Polygon::rect(1.0, 0.0, 2.0, 1.0), 0),
+            ],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(30.0),
+        );
+        let params = DdaParams::for_model(1.0, 5e9);
+        let mut cnt = CpuCounter::new();
+        let mut contacts =
+            narrow_phase_serial(&sys, &[(0, 1), (0, 2), (1, 2)], params.contact_range, &mut cnt);
+        crate::contact::init::init_contacts_serial(
+            &sys,
+            &mut contacts,
+            params.touch_tol * params.max_displacement,
+            &mut cnt,
+        );
+        assert!(contacts.iter().any(|c| c.state == ContactState::Lock));
+        (sys, contacts, params)
+    }
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true)
+    }
+
+    #[test]
+    fn serial_assembly_produces_solvable_system() {
+        let (sys, contacts, params) = stack();
+        let mut cnt = CpuCounter::new();
+        let asm = assemble_serial(&sys, &contacts, &params, &mut cnt);
+        assert_eq!(asm.matrix.n_blocks(), 3);
+        assert!(asm.matrix.n_upper() >= 2, "stacked blocks must couple");
+        // The matrix must be SPD enough for PCG: solve and check residual.
+        let mut c2 = CpuCounter::new();
+        let res = dda_solver::serial::pcg_serial_bj(
+            &asm.matrix,
+            &asm.rhs,
+            &vec![0.0; asm.matrix.dim()],
+            params.pcg,
+            &mut c2,
+        );
+        assert!(res.converged, "PCG failed: {} iters", res.iterations);
+    }
+
+    #[test]
+    fn gpu_assembly_matches_serial() {
+        let (sys, contacts, params) = stack();
+        let mut cnt = CpuCounter::new();
+        let a_serial = assemble_serial(&sys, &contacts, &params, &mut cnt);
+        let d = dev();
+        let gsoa = GeomSoa::build(&sys);
+        let bsoa = BlockSoa::build(&sys);
+        let a_gpu = assemble_gpu(&d, &sys, &gsoa, &bsoa, &contacts, &params);
+
+        assert_eq!(a_serial.matrix.n_upper(), a_gpu.matrix.n_upper());
+        for (s, g) in a_serial.matrix.upper.iter().zip(&a_gpu.matrix.upper) {
+            assert_eq!((s.0, s.1), (g.0, g.1));
+            let scale = s.2.max_abs().max(1.0);
+            for r in 0..6 {
+                for c in 0..6 {
+                    assert!(
+                        (s.2 .0[r][c] - g.2 .0[r][c]).abs() < 1e-9 * scale,
+                        "upper ({},{}) entry ({r},{c})",
+                        s.0,
+                        s.1
+                    );
+                }
+            }
+        }
+        for i in 0..sys.len() {
+            let scale = a_serial.matrix.diag[i].max_abs();
+            for r in 0..6 {
+                for c in 0..6 {
+                    assert!(
+                        (a_serial.matrix.diag[i].0[r][c] - a_gpu.matrix.diag[i].0[r][c]).abs()
+                            < 1e-9 * scale,
+                        "diag {i} ({r},{c})"
+                    );
+                }
+            }
+        }
+        for k in 0..a_serial.rhs.len() {
+            assert!(
+                (a_serial.rhs[k] - a_gpu.rhs[k]).abs() < 1e-6 * a_serial.rhs[k].abs().max(1.0),
+                "rhs[{k}]"
+            );
+        }
+    }
+
+    #[test]
+    fn open_contacts_contribute_nothing() {
+        let (sys, mut contacts, params) = stack();
+        for c in contacts.iter_mut() {
+            c.state = ContactState::Open;
+        }
+        let mut cnt = CpuCounter::new();
+        let asm = assemble_serial(&sys, &contacts, &params, &mut cnt);
+        assert_eq!(asm.matrix.n_upper(), 0);
+        let d = dev();
+        let gsoa = GeomSoa::build(&sys);
+        let bsoa = BlockSoa::build(&sys);
+        let a_gpu = assemble_gpu(&d, &sys, &gsoa, &bsoa, &contacts, &params);
+        assert_eq!(a_gpu.matrix.n_upper(), 0);
+    }
+
+    #[test]
+    fn no_contacts_diag_only() {
+        let (sys, _, params) = stack();
+        let d = dev();
+        let gsoa = GeomSoa::build(&sys);
+        let bsoa = BlockSoa::build(&sys);
+        let asm = assemble_gpu(&d, &sys, &gsoa, &bsoa, &[], &params);
+        assert_eq!(asm.matrix.n_upper(), 0);
+        assert_eq!(asm.matrix.n_blocks(), 3);
+    }
+
+    #[test]
+    fn assembly_kernels_traced() {
+        let (sys, contacts, params) = stack();
+        let d = dev();
+        let gsoa = GeomSoa::build(&sys);
+        let bsoa = BlockSoa::build(&sys);
+        let _ = assemble_gpu(&d, &sys, &gsoa, &bsoa, &contacts, &params);
+        let by = d.trace().by_kernel();
+        assert!(by.contains_key("diag.build"));
+        assert!(by.contains_key("nondiag.compute"));
+        assert!(by.contains_key("radix.histogram"));
+        assert!(by.contains_key("assembly.reduce_blocks"));
+        assert!(by.contains_key("assembly.reduce_forces"));
+    }
+}

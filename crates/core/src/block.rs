@@ -1,0 +1,263 @@
+//! The DDA block: geometry plus kinematic state and the displacement
+//! function `T(x, y)`.
+//!
+//! First-order DDA approximates the displacement of any point of a block by
+//! six generalised unknowns `d = (u0, v0, r0, εx, εy, γxy)` measured at the
+//! block centroid `(x0, y0)`:
+//!
+//! ```text
+//! u(x,y) = u0 − (y−y0)·r0 + (x−x0)·εx            + (y−y0)/2·γxy
+//! v(x,y) = v0 + (x−x0)·r0            + (y−y0)·εy + (x−x0)/2·γxy
+//! ```
+//!
+//! i.e. `(u, v)ᵀ = T(x, y) · d` with `T` a 2×6 matrix. Every stiffness term
+//! in the method is assembled from rows of `T` evaluated at block vertices,
+//! contact points, load points, or integrated over the block area.
+
+use dda_geom::{Aabb, Polygon, Vec2};
+use dda_sparse::Vec6;
+use serde::{Deserialize, Serialize};
+
+/// One polygonal block with its kinematic and stress state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Block {
+    /// Current geometry (convex, CCW).
+    pub poly: Polygon,
+    /// Index into the system's block-material table.
+    pub material: u32,
+    /// Generalised velocity `ḋ` carried between steps (dynamics).
+    pub velocity: Vec6,
+    /// Current stress `(σx, σy, τxy)` (accumulated from strain increments).
+    pub stress: [f64; 3],
+    /// Fixed blocks are anchored by penalty springs at their vertices.
+    pub fixed: bool,
+    // Cached geometry (recomputed on update).
+    centroid: Vec2,
+    area: f64,
+    moments: dda_geom::polygon::SecondMoments,
+}
+
+impl Block {
+    /// Creates a block at rest.
+    pub fn new(poly: Polygon, material: u32) -> Block {
+        let centroid = poly.centroid();
+        let area = poly.area();
+        let moments = poly.second_moments();
+        Block {
+            poly,
+            material,
+            velocity: [0.0; 6],
+            stress: [0.0; 3],
+            fixed: false,
+            centroid,
+            area,
+            moments,
+        }
+    }
+
+    /// Marks the block as fixed (anchored by penalty springs).
+    pub fn fixed(mut self) -> Block {
+        self.fixed = true;
+        self
+    }
+
+    /// Block centroid (cached).
+    #[inline]
+    pub fn centroid(&self) -> Vec2 {
+        self.centroid
+    }
+
+    /// Block area (cached).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Second moments about the centroid (cached).
+    #[inline]
+    pub fn moments(&self) -> dda_geom::polygon::SecondMoments {
+        self.moments
+    }
+
+    /// Bounding box of the current geometry.
+    pub fn aabb(&self) -> Aabb {
+        self.poly.aabb()
+    }
+
+    /// Rows of the displacement function at point `p`: returns `(tx, ty)`
+    /// with `u = tx·d`, `v = ty·d`.
+    pub fn t_rows(&self, p: Vec2) -> (Vec6, Vec6) {
+        t_rows_at(self.centroid, p)
+    }
+
+    /// Displacement of point `p` under generalised displacement `d`.
+    pub fn displacement_at(&self, p: Vec2, d: &Vec6) -> Vec2 {
+        let (tx, ty) = self.t_rows(p);
+        Vec2::new(
+            dda_sparse::block6::vec6_dot(&tx, d),
+            dda_sparse::block6::vec6_dot(&ty, d),
+        )
+    }
+
+    /// Applies a generalised displacement increment to the geometry.
+    ///
+    /// The rigid-rotation part uses the exact rotation (sin/cos) rather than
+    /// the first-order `r0` mapping, the standard DDA post-correction that
+    /// prevents blocks from inflating under sustained rotation.
+    pub fn apply_displacement(&mut self, d: &Vec6) {
+        let c = self.centroid;
+        let (u0, v0, r0) = (d[0], d[1], d[2]);
+        let (ex, ey, gxy) = (d[3], d[4], d[5]);
+        let (s, co) = r0.sin_cos();
+        let verts: Vec<Vec2> = self
+            .poly
+            .vertices()
+            .iter()
+            .map(|&p| {
+                let rel = p - c;
+                // Exact rigid rotation.
+                let rot = Vec2::new(co * rel.x - s * rel.y, s * rel.x + co * rel.y);
+                // First-order strain displacement.
+                let strain = Vec2::new(ex * rel.x + 0.5 * gxy * rel.y, ey * rel.y + 0.5 * gxy * rel.x);
+                c + rot + strain + Vec2::new(u0, v0)
+            })
+            .collect();
+        self.poly = Polygon::new(verts);
+        self.refresh_geometry();
+    }
+
+    /// Recomputes the cached centroid/area/moments after a geometry change.
+    pub fn refresh_geometry(&mut self) {
+        self.centroid = self.poly.centroid();
+        self.area = self.poly.area();
+        self.moments = self.poly.second_moments();
+    }
+
+    /// Largest vertex displacement magnitude under `d` — the quantity the
+    /// maximum-displacement loop (loop 2) bounds.
+    pub fn max_vertex_displacement(&self, d: &Vec6) -> f64 {
+        self.poly
+            .vertices()
+            .iter()
+            .map(|&p| self.displacement_at(p, d).norm())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// `T(x, y)` rows for a block with centroid `c` — free function so contact
+/// kernels can evaluate it without holding a `Block`.
+#[inline]
+pub fn t_rows_at(c: Vec2, p: Vec2) -> (Vec6, Vec6) {
+    let dx = p.x - c.x;
+    let dy = p.y - c.y;
+    (
+        [1.0, 0.0, -dy, dx, 0.0, dy * 0.5],
+        [0.0, 1.0, dx, 0.0, dy, dx * 0.5],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_block() -> Block {
+        Block::new(Polygon::rect(0.0, 0.0, 2.0, 2.0), 0)
+    }
+
+    #[test]
+    fn cached_geometry() {
+        let b = unit_block();
+        assert!((b.area() - 4.0).abs() < 1e-12);
+        assert!(b.centroid().dist(Vec2::new(1.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn translation_moves_every_point_equally() {
+        let b = unit_block();
+        let d = [0.5, -0.25, 0.0, 0.0, 0.0, 0.0];
+        for &p in b.poly.vertices() {
+            let u = b.displacement_at(p, &d);
+            assert!((u.x - 0.5).abs() < 1e-15);
+            assert!((u.y + 0.25).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rotation_displacement_is_first_order_tangential() {
+        let b = unit_block();
+        let d = [0.0, 0.0, 0.01, 0.0, 0.0, 0.0];
+        // Point right of centroid moves up.
+        let u = b.displacement_at(Vec2::new(2.0, 1.0), &d);
+        assert!(u.x.abs() < 1e-15);
+        assert!((u.y - 0.01).abs() < 1e-15);
+        // Point above centroid moves left.
+        let u2 = b.displacement_at(Vec2::new(1.0, 2.0), &d);
+        assert!((u2.x + 0.01).abs() < 1e-15);
+        assert!(u2.y.abs() < 1e-15);
+    }
+
+    #[test]
+    fn strain_displacement() {
+        let b = unit_block();
+        // Pure εx = 0.1: point at dx=1 moves 0.1 in x.
+        let d = [0.0, 0.0, 0.0, 0.1, 0.0, 0.0];
+        let u = b.displacement_at(Vec2::new(2.0, 1.0), &d);
+        assert!((u.x - 0.1).abs() < 1e-15 && u.y.abs() < 1e-15);
+        // Pure shear γxy = 0.2: point at dy=1 gets u = 0.1.
+        let d2 = [0.0, 0.0, 0.0, 0.0, 0.0, 0.2];
+        let u2 = b.displacement_at(Vec2::new(1.0, 2.0), &d2);
+        assert!((u2.x - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn centroid_displacement_is_translation_only() {
+        let b = unit_block();
+        let d = [0.3, 0.4, 0.2, 0.1, -0.1, 0.05];
+        let u = b.displacement_at(b.centroid(), &d);
+        assert!((u.x - 0.3).abs() < 1e-15 && (u.y - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn apply_translation_moves_polygon() {
+        let mut b = unit_block();
+        b.apply_displacement(&[1.0, 2.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(b.centroid().dist(Vec2::new(2.0, 3.0)) < 1e-12);
+        assert!((b.area() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_rotation_preserves_area() {
+        let mut b = unit_block();
+        // Many large rotation increments must not inflate the block.
+        for _ in 0..100 {
+            b.apply_displacement(&[0.0, 0.0, 0.1, 0.0, 0.0, 0.0]);
+        }
+        assert!((b.area() - 4.0).abs() < 1e-9, "area drifted to {}", b.area());
+        assert!(b.centroid().dist(Vec2::new(1.0, 1.0)) < 1e-9);
+    }
+
+    #[test]
+    fn strain_changes_area_consistently() {
+        let mut b = unit_block();
+        b.apply_displacement(&[0.0, 0.0, 0.0, 0.1, 0.1, 0.0]);
+        // Area scales by (1+εx)(1+εy) = 1.21.
+        assert!((b.area() - 4.0 * 1.21).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_vertex_displacement_bounds() {
+        let b = unit_block();
+        let d = [0.0, 0.0, 0.01, 0.0, 0.0, 0.0];
+        // Farthest vertex is √2 from centroid → |u| ≈ 0.01·√2.
+        let m = b.max_vertex_displacement(&d);
+        assert!((m - 0.01 * 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_rows_match_definition() {
+        let (tx, ty) = t_rows_at(Vec2::new(1.0, 1.0), Vec2::new(3.0, 0.0));
+        // dx = 2, dy = -1.
+        assert_eq!(tx, [1.0, 0.0, 1.0, 2.0, 0.0, -0.5]);
+        assert_eq!(ty, [0.0, 1.0, 2.0, 0.0, -1.0, 1.0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Structure-of-arrays geometry mirror for device kernels.
+//!
+//! Simulated kernels read geometry through device buffers so their memory
+//! traffic is modeled; polygons (variable-length, pointer-rich) therefore
+//! get flattened once per step into plain arrays: vertex coordinates in
+//! CSR-style layout plus per-block centroids and bounding boxes. Rebuilding
+//! this mirror is part of the data-updating module's cost.
+
+use crate::system::BlockSystem;
+
+/// Flat geometry arrays for one configuration of the block system.
+#[derive(Debug, Clone)]
+pub struct GeomSoa {
+    /// Vertex x coordinates, all blocks concatenated.
+    pub vx: Vec<f64>,
+    /// Vertex y coordinates.
+    pub vy: Vec<f64>,
+    /// CSR pointer: vertices of block `b` are `vptr[b]..vptr[b+1]`.
+    pub vptr: Vec<u32>,
+    /// Block centroid x.
+    pub cx: Vec<f64>,
+    /// Block centroid y.
+    pub cy: Vec<f64>,
+    /// Bounding boxes, one `(min_x, min_y, max_x, max_y)` quadruple per
+    /// block, flattened for coalesced loads.
+    pub aabb: Vec<f64>,
+}
+
+impl GeomSoa {
+    /// Flattens the current geometry of `sys`.
+    pub fn build(sys: &BlockSystem) -> GeomSoa {
+        let n = sys.len();
+        let total: usize = sys.blocks.iter().map(|b| b.poly.len()).sum();
+        let mut vx = Vec::with_capacity(total);
+        let mut vy = Vec::with_capacity(total);
+        let mut vptr = Vec::with_capacity(n + 1);
+        let mut cx = Vec::with_capacity(n);
+        let mut cy = Vec::with_capacity(n);
+        let mut aabb = Vec::with_capacity(4 * n);
+        vptr.push(0u32);
+        for b in &sys.blocks {
+            for v in b.poly.vertices() {
+                vx.push(v.x);
+                vy.push(v.y);
+            }
+            vptr.push(vx.len() as u32);
+            let c = b.centroid();
+            cx.push(c.x);
+            cy.push(c.y);
+            let bb = b.aabb();
+            aabb.extend_from_slice(&[bb.min.x, bb.min.y, bb.max.x, bb.max.y]);
+        }
+        GeomSoa {
+            vx,
+            vy,
+            vptr,
+            cx,
+            cy,
+            aabb,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.cx.len()
+    }
+
+    /// Vertex count of block `b`.
+    pub fn n_verts(&self, b: usize) -> usize {
+        (self.vptr[b + 1] - self.vptr[b]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::material::{BlockMaterial, JointMaterial};
+    use dda_geom::Polygon;
+
+    #[test]
+    fn flattening_roundtrip() {
+        let sys = BlockSystem::new(
+            vec![
+                Block::new(Polygon::rect(0.0, 0.0, 1.0, 1.0), 0),
+                Block::new(Polygon::regular(dda_geom::Vec2::new(5.0, 5.0), 1.0, 5), 0),
+            ],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(30.0),
+        );
+        let soa = GeomSoa::build(&sys);
+        assert_eq!(soa.n_blocks(), 2);
+        assert_eq!(soa.n_verts(0), 4);
+        assert_eq!(soa.n_verts(1), 5);
+        assert_eq!(soa.vx.len(), 9);
+        // First vertex of block 1 matches the polygon.
+        let p0 = sys.blocks[1].poly.vertex(0);
+        let off = soa.vptr[1] as usize;
+        assert_eq!(soa.vx[off], p0.x);
+        assert_eq!(soa.vy[off], p0.y);
+        // AABB quadruple of block 0.
+        assert_eq!(&soa.aabb[0..4], &[0.0, 0.0, 1.0, 1.0]);
+        // Centroids.
+        assert!((soa.cx[0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,246 @@
+//! Contact records and their classification taxonomy.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric class of a contact (the paper's first two classifications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ContactKind {
+    /// Vertex against edge interior.
+    Ve = 0,
+    /// Vertex against vertex with parallel facing edges (behaves like an
+    /// edge–edge contact; expands to two springs).
+    Vv1 = 1,
+    /// Vertex against vertex with non-parallel edges (one spring on the
+    /// shortest-exit edge).
+    Vv2 = 2,
+}
+
+/// Mechanical state of a contact — "there are three contact models, namely,
+/// open, slide, and lock" (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ContactState {
+    /// No springs (separated).
+    Open = 0,
+    /// Normal spring plus friction force (shear limit exceeded).
+    Slide = 1,
+    /// Normal and shear springs (sticking).
+    Lock = 2,
+}
+
+impl ContactState {
+    /// True when a normal spring is present.
+    #[inline]
+    pub fn closed(self) -> bool {
+        self != ContactState::Open
+    }
+}
+
+/// One contact: vertex `vertex` of block `i` against edge `edge` of block
+/// `j` (for VV kinds, `edge` is the resolved target edge and `vertex2` the
+/// contacted vertex).
+///
+/// `Copy` + flat fields so contact arrays can live in simulated device
+/// buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Contact {
+    /// Block owning the contact vertex.
+    pub i: u32,
+    /// Block owning the contacted edge/vertex.
+    pub j: u32,
+    /// Vertex index on block `i`.
+    pub vertex: u32,
+    /// Edge index on block `j` receiving the spring.
+    pub edge: u32,
+    /// Contacted vertex index on block `j` (VV kinds; `u32::MAX` for VE).
+    pub vertex2: u32,
+    /// Geometric class.
+    pub kind: ContactKind,
+    /// Current mechanical state.
+    pub state: ContactState,
+    /// State at the end of the previous *time step* (drives `p1`).
+    pub prev_step_state: ContactState,
+    /// State at the previous *open–close iteration* (drives `p2`).
+    pub prev_iter_state: ContactState,
+    /// Accumulated normal penetration carried across steps (transfer).
+    pub normal_disp: f64,
+    /// Accumulated shear displacement along the edge (transfer).
+    pub shear_disp: f64,
+    /// Contact edge ratio: the parameter along the contacted edge
+    /// (transferred between steps, §III-B).
+    pub edge_ratio: f64,
+    /// Sliding direction (±1) remembered while the contact slides, so the
+    /// friction force does not flicker with the sign of a near-zero shear
+    /// offset. 0 until the contact first slides.
+    pub slide_dir: f64,
+    /// State flips within the current open–close loop. A contact that keeps
+    /// alternating lock↔slide sits exactly at the Mohr–Coulomb limit; after
+    /// a few flips it is frozen as sliding so the iteration can terminate
+    /// (Shi's code bounds the same oscillation through its iteration cap).
+    pub flips: u32,
+}
+
+impl Contact {
+    /// A fresh contact in the open state.
+    pub fn new(i: u32, j: u32, vertex: u32, edge: u32, vertex2: u32, kind: ContactKind) -> Contact {
+        Contact {
+            i,
+            j,
+            vertex,
+            edge,
+            vertex2,
+            kind,
+            state: ContactState::Open,
+            prev_step_state: ContactState::Open,
+            prev_iter_state: ContactState::Open,
+            normal_disp: 0.0,
+            shear_disp: 0.0,
+            edge_ratio: 0.0,
+            slide_dir: 0.0,
+            flips: 0,
+        }
+    }
+
+    /// Identity key for contact transfer: the same geometric pairing in two
+    /// successive steps produces the same key. Sorted by *minor block
+    /// number first*, as the paper's sorted search requires.
+    pub fn key(&self) -> u64 {
+        let minor = self.i.min(self.j) as u64;
+        let major = self.i.max(self.j) as u64;
+        let swapped = u64::from(self.j < self.i);
+        (minor << 44)
+            | (major << 24)
+            | ((self.vertex as u64 & 0x3FF) << 14)
+            | ((self.edge as u64 & 0x3FF) << 4)
+            | (swapped << 3)
+            | self.kind as u64
+    }
+
+    /// Normal-spring switch indicator `p1` ∈ {−1, 0, 1}: +1 when the normal
+    /// spring appears relative to the previous time step, −1 when it
+    /// disappears.
+    pub fn p1(&self) -> i32 {
+        i32::from(self.state.closed()) - i32::from(self.prev_step_state.closed())
+    }
+
+    /// Shear-spring switch indicator `p2` ∈ {−1, 0, 1} relative to the
+    /// previous open–close iteration: +1 when the shear spring appears
+    /// (slide→lock), −1 when it disappears (lock→slide).
+    pub fn p2(&self) -> i32 {
+        i32::from(self.state == ContactState::Lock) - i32::from(self.prev_iter_state == ContactState::Lock)
+    }
+
+    /// The paper's third classification (§III-A): categories C1–C5 select
+    /// the non-diagonal building pipeline; `None` means the contact
+    /// contributes nothing (open and unchanged — abandoned).
+    pub fn category(&self) -> Option<u8> {
+        let p1 = self.p1() != 0;
+        let p2 = self.p2() != 0;
+        match self.kind {
+            ContactKind::Ve | ContactKind::Vv1 => {
+                if p1 {
+                    Some(1)
+                } else if p2 {
+                    Some(2)
+                } else if self.state.closed() {
+                    Some(3)
+                } else {
+                    None
+                }
+            }
+            ContactKind::Vv2 => {
+                if p1 {
+                    Some(4)
+                } else if p2 || self.state.closed() {
+                    Some(5)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(!ContactState::Open.closed());
+        assert!(ContactState::Slide.closed());
+        assert!(ContactState::Lock.closed());
+    }
+
+    #[test]
+    fn key_is_stable_and_discriminating() {
+        let a = Contact::new(3, 7, 2, 1, u32::MAX, ContactKind::Ve);
+        let b = Contact::new(3, 7, 2, 1, u32::MAX, ContactKind::Ve);
+        assert_eq!(a.key(), b.key());
+        let c = Contact::new(3, 7, 2, 2, u32::MAX, ContactKind::Ve);
+        assert_ne!(a.key(), c.key());
+        let d = Contact::new(3, 8, 2, 1, u32::MAX, ContactKind::Ve);
+        assert_ne!(a.key(), d.key());
+    }
+
+    #[test]
+    fn key_sorts_by_minor_block_first() {
+        let a = Contact::new(5, 100, 0, 0, u32::MAX, ContactKind::Ve);
+        let b = Contact::new(200, 6, 0, 0, u32::MAX, ContactKind::Ve);
+        // minor(a) = 5 < minor(b) = 6 → a.key < b.key regardless of i.
+        assert!(a.key() < b.key());
+    }
+
+    #[test]
+    fn p1_p2_indicators() {
+        let mut c = Contact::new(0, 1, 0, 0, u32::MAX, ContactKind::Ve);
+        c.prev_step_state = ContactState::Open;
+        c.state = ContactState::Lock;
+        assert_eq!(c.p1(), 1);
+        c.prev_step_state = ContactState::Lock;
+        c.state = ContactState::Open;
+        assert_eq!(c.p1(), -1);
+        c.state = ContactState::Slide;
+        assert_eq!(c.p1(), 0); // both closed
+
+        c.prev_iter_state = ContactState::Lock;
+        c.state = ContactState::Slide;
+        assert_eq!(c.p2(), -1);
+        c.prev_iter_state = ContactState::Slide;
+        c.state = ContactState::Lock;
+        assert_eq!(c.p2(), 1);
+    }
+
+    #[test]
+    fn categories_follow_paper_rules() {
+        let mut c = Contact::new(0, 1, 0, 0, u32::MAX, ContactKind::Ve);
+        // p1 ≠ 0 → C1.
+        c.prev_step_state = ContactState::Open;
+        c.prev_iter_state = ContactState::Open;
+        c.state = ContactState::Lock;
+        assert_eq!(c.category(), Some(1));
+        // p1 = 0, p2 ≠ 0 → C2.
+        c.prev_step_state = ContactState::Slide;
+        c.prev_iter_state = ContactState::Slide;
+        c.state = ContactState::Lock;
+        assert_eq!(c.category(), Some(2));
+        // unchanged closed → C3.
+        c.prev_step_state = ContactState::Lock;
+        c.prev_iter_state = ContactState::Lock;
+        assert_eq!(c.category(), Some(3));
+        // unchanged open → abandoned.
+        c.state = ContactState::Open;
+        c.prev_step_state = ContactState::Open;
+        c.prev_iter_state = ContactState::Open;
+        assert_eq!(c.category(), None);
+        // VV2 versions.
+        c.kind = ContactKind::Vv2;
+        c.state = ContactState::Lock;
+        c.prev_step_state = ContactState::Open;
+        assert_eq!(c.category(), Some(4));
+        c.prev_step_state = ContactState::Lock;
+        c.prev_iter_state = ContactState::Lock;
+        assert_eq!(c.category(), Some(5));
+    }
+}

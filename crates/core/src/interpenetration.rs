@@ -1,0 +1,406 @@
+//! Interpenetration checking (§III-D).
+//!
+//! After each solve, every contact's first-order normal and shear measures
+//! are evaluated under the tentative displacements, together with its
+//! Mohr–Coulomb limit. These feed the open–close iteration, which demands
+//! "no interpenetrations between the contacted blocks and no tension
+//! between the separate blocks".
+//!
+//! "The bottleneck of interpenetration checking on the GPU is branch
+//! divergence." The paper's §III-D listing shows the cure: hoist the
+//! common sub-expressions (`tan`, `fabs`) out of the state branches and
+//! reduce the branches to predicated register writes. Both variants are
+//! implemented here — [`BranchScheme::Naive`] keeps the nested
+//! per-state branching, [`BranchScheme::Restructured`] computes the unified
+//! form — and the harness compares their divergence counters.
+
+use crate::contact::types::{Contact, ContactState};
+use crate::contact::GeomSoa;
+use crate::stiffness::springs::contact_gap_under;
+use crate::system::BlockSystem;
+use dda_geom::Vec2;
+use dda_simt::serial::CpuCounter;
+use dda_simt::Device;
+use dda_sparse::Vec6;
+
+/// Kernel structure of the checking module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchScheme {
+    /// Per-state nested branching (the direct CPU port — divergent).
+    Naive,
+    /// Branch-restructured unified computation (§III-D listing).
+    Restructured,
+}
+
+/// Per-contact evaluation results.
+#[derive(Debug, Clone, Default)]
+pub struct GapArrays {
+    /// Normal measure (positive = penetrating).
+    pub dn: Vec<f64>,
+    /// Shear measure along the edge.
+    pub ds: Vec<f64>,
+    /// Friction margin `|N|·tanφ + c·ℓ − |T|` (negative ⇒ sliding); its
+    /// computation is the branchy §III-D code.
+    pub margin: Vec<f64>,
+    /// Mohr–Coulomb limit `|N|·tanφ + c·ℓ` (for the open–close hysteresis
+    /// band).
+    pub limit: Vec<f64>,
+    /// Contacted edge length (the slip-reference update needs it).
+    pub len: Vec<f64>,
+}
+
+impl GapArrays {
+    /// Largest penetration across all *open* contacts — the quantity the
+    /// checker must drive to ~0 (open contacts must not interpenetrate).
+    pub fn max_open_penetration(&self, contacts: &[Contact]) -> f64 {
+        self.dn
+            .iter()
+            .zip(contacts)
+            .filter(|(_, c)| !c.state.closed())
+            .map(|(&dn, _)| dn.max(0.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The §III-D friction-margin computation, naive branching form. `state`
+/// switches the formula exactly like the paper's `a == 0 / a == 2`
+/// example; `tension` is the nested branch.
+fn margin_naive(
+    state: ContactState,
+    n_force: f64,
+    t_force: f64,
+    tan_phi: f64,
+    coh_l: f64,
+) -> (f64, f64) {
+    let limit = match state {
+        ContactState::Slide => n_force.abs() * tan_phi + coh_l,
+        ContactState::Lock => {
+            let mut b = tan_phi;
+            if n_force < 0.0 {
+                b = 0.0; // tension: no frictional resistance
+            }
+            n_force.abs() * b + coh_l
+        }
+        ContactState::Open => coh_l,
+    };
+    (limit - t_force.abs(), limit)
+}
+
+/// The restructured form: unified arithmetic, branches reduced to
+/// predicated coefficient selection (all paths execute the same ops).
+fn margin_restructured(
+    state: ContactState,
+    n_force: f64,
+    t_force: f64,
+    tan_phi: f64,
+    coh_l: f64,
+) -> (f64, f64) {
+    let closed = f64::from(u8::from(state.closed()));
+    let compressed = f64::from(u8::from(n_force >= 0.0 || state == ContactState::Slide));
+    let b = tan_phi * closed * compressed;
+    let limit = n_force.abs() * b + coh_l;
+    (limit - t_force.abs(), limit)
+}
+
+/// Serial checking: returns the gap arrays.
+pub fn check_serial(
+    sys: &BlockSystem,
+    contacts: &[Contact],
+    d: &[f64],
+    penalty: f64,
+    shear_ratio: f64,
+    counter: &mut CpuCounter,
+) -> GapArrays {
+    let mut out = GapArrays {
+        dn: Vec::with_capacity(contacts.len()),
+        ds: Vec::with_capacity(contacts.len()),
+        margin: Vec::with_capacity(contacts.len()),
+        limit: Vec::with_capacity(contacts.len()),
+        len: Vec::with_capacity(contacts.len()),
+    };
+    for c in contacts {
+        let bi = &sys.blocks[c.i as usize];
+        let bj = &sys.blocks[c.j as usize];
+        let p1 = bi.poly.vertex(c.vertex as usize);
+        let seg = bj.poly.edge(c.edge as usize);
+        let di: &Vec6 = d[6 * c.i as usize..6 * c.i as usize + 6].try_into().unwrap();
+        let dj: &Vec6 = d[6 * c.j as usize..6 * c.j as usize + 6].try_into().unwrap();
+        let (dn, ds) = contact_gap_under(c, bi.centroid(), bj.centroid(), p1, seg.a, seg.b, di, dj);
+        let jm = sys.joint_of(c.i as usize, c.j as usize);
+        let l = seg.length();
+        let n_force = penalty * dn;
+        let t_force = penalty * shear_ratio * ds;
+        out.dn.push(dn);
+        out.ds.push(ds);
+        let (m, lim) = margin_naive(c.state, n_force, t_force, jm.tan_phi(), jm.cohesion * l);
+        out.margin.push(m);
+        out.limit.push(lim);
+        out.len.push(l);
+        counter.flop(150);
+        counter.special(1);
+        counter.bytes(30 * 8);
+    }
+    out
+}
+
+/// GPU checking kernel with the selected branch scheme.
+#[allow(clippy::too_many_arguments)]
+pub fn check_gpu(
+    dev: &Device,
+    soa: &GeomSoa,
+    sys: &BlockSystem,
+    contacts: &[Contact],
+    d: &[f64],
+    penalty: f64,
+    shear_ratio: f64,
+    scheme: BranchScheme,
+) -> GapArrays {
+    let nc = contacts.len();
+    let mut dn = vec![0.0f64; nc];
+    let mut ds = vec![0.0f64; nc];
+    let mut margin = vec![0.0f64; nc];
+    let mut limit = vec![0.0f64; nc];
+    let mut len = vec![0.0f64; nc];
+    if nc == 0 {
+        return GapArrays {
+            dn,
+            ds,
+            margin,
+            limit,
+            len,
+        };
+    }
+    // Per-contact joint params (tanφ, cohesion·ℓ precomputed without ℓ —
+    // the kernel has ℓ).
+    let jp: Vec<f64> = contacts
+        .iter()
+        .flat_map(|c| {
+            let jm = sys.joint_of(c.i as usize, c.j as usize);
+            [jm.tan_phi(), jm.cohesion]
+        })
+        .collect();
+    {
+        let b_c = dev.bind_ro(contacts);
+        let b_vx = dev.bind_ro(&soa.vx);
+        let b_vy = dev.bind_ro(&soa.vy);
+        let b_vp = dev.bind_ro(&soa.vptr);
+        let b_cx = dev.bind_ro(&soa.cx);
+        let b_cy = dev.bind_ro(&soa.cy);
+        let b_d = dev.bind_ro(d);
+        let b_jp = dev.bind_ro(&jp);
+        let b_dn = dev.bind(&mut dn);
+        let b_ds = dev.bind(&mut ds);
+        let b_m = dev.bind(&mut margin);
+        let b_lim = dev.bind(&mut limit);
+        let b_len = dev.bind(&mut len);
+        let name = match scheme {
+            BranchScheme::Naive => "interp.check_naive",
+            BranchScheme::Restructured => "interp.check_restructured",
+        };
+        dev.launch(name, nc, |lane| {
+            let t = lane.gid;
+            let c = lane.ld(&b_c, t);
+            let i0 = lane.ld_tex(&b_vp, c.i as usize) as usize;
+            let j0 = lane.ld_tex(&b_vp, c.j as usize) as usize;
+            let nj = lane.ld_tex(&b_vp, c.j as usize + 1) as usize - j0;
+            let p1 = Vec2::new(
+                lane.ld_tex(&b_vx, i0 + c.vertex as usize),
+                lane.ld_tex(&b_vy, i0 + c.vertex as usize),
+            );
+            let e = c.edge as usize;
+            let p2 = Vec2::new(lane.ld_tex(&b_vx, j0 + e), lane.ld_tex(&b_vy, j0 + e));
+            let e1 = (e + 1) % nj;
+            let p3 = Vec2::new(lane.ld_tex(&b_vx, j0 + e1), lane.ld_tex(&b_vy, j0 + e1));
+            let ci = Vec2::new(lane.ld_tex(&b_cx, c.i as usize), lane.ld_tex(&b_cy, c.i as usize));
+            let cj = Vec2::new(lane.ld_tex(&b_cx, c.j as usize), lane.ld_tex(&b_cy, c.j as usize));
+            let mut di = [0.0f64; 6];
+            let mut dj = [0.0f64; 6];
+            for r in 0..6 {
+                di[r] = lane.ld_tex(&b_d, 6 * c.i as usize + r);
+                dj[r] = lane.ld_tex(&b_d, 6 * c.j as usize + r);
+            }
+            let tan_phi = lane.ld(&b_jp, 2 * t);
+            let coh = lane.ld(&b_jp, 2 * t + 1);
+            lane.flop(150);
+            let (dnv, dsv) = contact_gap_under(&c, ci, cj, p1, p2, p3, &di, &dj);
+            let l = p2.dist(p3);
+            let n_force = penalty * dnv;
+            let t_force = penalty * shear_ratio * dsv;
+            let (m, lim) = match scheme {
+                BranchScheme::Naive => {
+                    // Divergent per-state branching, as on the CPU.
+                    let slide = lane.branch(0, c.state == ContactState::Slide);
+                    let lock = lane.branch(1, c.state == ContactState::Lock);
+                    if slide || lock {
+                        lane.special(1); // tan inside each branch
+                        if lock {
+                            lane.branch(2, n_force < 0.0);
+                        }
+                    }
+                    margin_naive(c.state, n_force, t_force, tan_phi, coh * l)
+                }
+                BranchScheme::Restructured => {
+                    // Unified arithmetic; only predicated writes remain.
+                    lane.special(1);
+                    lane.flop(6);
+                    margin_restructured(c.state, n_force, t_force, tan_phi, coh * l)
+                }
+            };
+            lane.st(&b_dn, t, dnv);
+            lane.st(&b_ds, t, dsv);
+            lane.st(&b_m, t, m);
+            lane.st(&b_lim, t, lim);
+            lane.st(&b_len, t, l);
+        });
+    }
+    GapArrays {
+        dn,
+        ds,
+        margin,
+        limit,
+        len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::contact::narrow::narrow_phase_serial;
+    use crate::contact::types::ContactKind;
+    use crate::material::{BlockMaterial, JointMaterial};
+    use dda_geom::Polygon;
+    use dda_simt::DeviceProfile;
+
+    fn stack() -> (BlockSystem, Vec<Contact>) {
+        let sys = BlockSystem::new(
+            vec![
+                Block::new(Polygon::rect(-5.0, -1.0, 5.0, 0.0), 0).fixed(),
+                Block::new(Polygon::rect(0.0, 0.0, 1.0, 1.0), 0),
+            ],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(30.0),
+        );
+        let mut cnt = CpuCounter::new();
+        let mut contacts = narrow_phase_serial(&sys, &[(0, 1)], 0.05, &mut cnt);
+        for c in contacts.iter_mut() {
+            c.state = ContactState::Lock;
+            c.prev_iter_state = ContactState::Lock;
+        }
+        (sys, contacts)
+    }
+
+    #[test]
+    fn zero_displacement_zero_gaps_on_resting_stack() {
+        let (sys, contacts) = stack();
+        let d = vec![0.0; 12];
+        let mut cnt = CpuCounter::new();
+        let gaps = check_serial(&sys, &contacts, &d, 1e9, 1.0, &mut cnt);
+        for (k, &dn) in gaps.dn.iter().enumerate() {
+            assert!(dn.abs() < 1e-9, "contact {k}: dn = {dn}");
+        }
+    }
+
+    #[test]
+    fn downward_motion_penetrates() {
+        let (sys, contacts) = stack();
+        let mut d = vec![0.0; 12];
+        d[7] = -0.001; // block 1 moves down
+        let mut cnt = CpuCounter::new();
+        let gaps = check_serial(&sys, &contacts, &d, 1e9, 1.0, &mut cnt);
+        for &dn in &gaps.dn {
+            assert!(dn > 0.0009, "must penetrate: {dn}");
+        }
+    }
+
+    #[test]
+    fn margin_schemes_agree() {
+        for state in [ContactState::Open, ContactState::Slide, ContactState::Lock] {
+            for n in [-5.0, 0.0, 3.0] {
+                for t in [-2.0, 0.0, 4.0] {
+                    let (a, la) = margin_naive(state, n, t, 0.5, 1.0);
+                    let (b, lb) = margin_restructured(state, n, t, 0.5, 1.0);
+                    assert!(
+                        (a - b).abs() < 1e-12 && (la - lb).abs() < 1e-12,
+                        "{state:?} n={n} t={t}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_matches_serial_both_schemes() {
+        let (sys, contacts) = stack();
+        let mut d = vec![0.0; 12];
+        d[6] = 0.0004;
+        d[7] = -0.0007;
+        d[8] = 0.0001;
+        let mut cnt = CpuCounter::new();
+        let serial = check_serial(&sys, &contacts, &d, 1e9, 1.0, &mut cnt);
+        let soa = GeomSoa::build(&sys);
+        for scheme in [BranchScheme::Naive, BranchScheme::Restructured] {
+            let dev = Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true);
+            let gpu = check_gpu(&dev, &soa, &sys, &contacts, &d, 1e9, 1.0, scheme);
+            for k in 0..contacts.len() {
+                assert!((serial.dn[k] - gpu.dn[k]).abs() < 1e-12);
+                assert!((serial.ds[k] - gpu.ds[k]).abs() < 1e-12);
+                assert!(
+                    (serial.margin[k] - gpu.margin[k]).abs()
+                        < 1e-9 * serial.margin[k].abs().max(1.0),
+                    "scheme {scheme:?} contact {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restructuring_reduces_divergence() {
+        // Mixed states force the naive kernel's branches to diverge.
+        let (sys, mut contacts) = stack();
+        // Need enough contacts to fill warps meaningfully: duplicate the
+        // contact population with alternating states.
+        let base = contacts.clone();
+        for k in 0..200 {
+            let mut c = base[k % base.len()];
+            c.state = match k % 3 {
+                0 => ContactState::Open,
+                1 => ContactState::Slide,
+                _ => ContactState::Lock,
+            };
+            contacts.push(c);
+        }
+        let d = vec![0.0; 12];
+        let soa = GeomSoa::build(&sys);
+
+        let d1 = Device::new(DeviceProfile::tesla_k40());
+        let _ = check_gpu(&d1, &soa, &sys, &contacts, &d, 1e9, 1.0, BranchScheme::Naive);
+        let naive = d1.trace().total_stats();
+
+        let d2 = Device::new(DeviceProfile::tesla_k40());
+        let _ = check_gpu(&d2, &soa, &sys, &contacts, &d, 1e9, 1.0, BranchScheme::Restructured);
+        let restructured = d2.trace().total_stats();
+
+        assert!(naive.divergent_branch_groups > 0);
+        assert_eq!(restructured.divergent_branch_groups, 0);
+        assert!(naive.divergence_fraction() > restructured.divergence_fraction());
+    }
+
+    #[test]
+    fn max_open_penetration_only_counts_open() {
+        let mut contacts = vec![
+            Contact::new(0, 1, 0, 0, u32::MAX, ContactKind::Ve),
+            Contact::new(0, 1, 1, 0, u32::MAX, ContactKind::Ve),
+        ];
+        contacts[1].state = ContactState::Lock;
+        let gaps = GapArrays {
+            dn: vec![0.5, 2.0],
+            ds: vec![0.0, 0.0],
+            margin: vec![0.0, 0.0],
+            limit: vec![1.0, 1.0],
+            len: vec![1.0, 1.0],
+        };
+        // Only the open contact's dn counts.
+        assert_eq!(gaps.max_open_penetration(&contacts), 0.5);
+    }
+}

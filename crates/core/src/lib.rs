@@ -1,0 +1,58 @@
+//! # dda-core — Discontinuous Deformation Analysis
+//!
+//! The paper's subject system: Shi's 2-D DDA method, restructured as the
+//! GPU pipeline of Fig 2. A DDA model is a set of deformable polygonal
+//! blocks, each carrying six unknowns per time step
+//! (`u0, v0, r0, εx, εy, γxy` — rigid translation, rotation, strains).
+//! Every step minimises total potential energy: elastic strain energy,
+//! inertia (which also gives the real dynamics), loads, fixed-point
+//! penalties, and contact-spring penalties between touching blocks. The
+//! resulting 6n×6n symmetric system is solved by PCG inside the
+//! **three-level nested loop** of Fig 1:
+//!
+//! 1. **time steps** (results of one step feed the next),
+//! 2. **maximum-displacement control** (a step whose displacements exceed
+//!    twice the allowed maximum is redone with a smaller `Δt`),
+//! 3. **open–close iteration** (contact states `open`/`slide`/`lock` are
+//!    adjusted until no interpenetration and no tension remain).
+//!
+//! ## Module map (paper section in parentheses)
+//!
+//! * [`block`], [`material`], [`system`] — the block model and its
+//!   displacement function `T(x, y)`;
+//! * [`stiffness`] — per-block terms (elastic, inertia, loads, fixity) and
+//!   contact-spring sub-matrices (§III-C);
+//! * [`contact`] — broad phase, narrow phase with VE/VV1/VV2
+//!   classification, contact transfer, contact initialization (§III-B);
+//! * [`assembly`] — write-conflict-free global matrix assembly via
+//!   sort + scan + segmented reduction (Fig 4);
+//! * [`openclose`] — contact-state iteration with the C1…C5 categories
+//!   (§III-A's third classification);
+//! * [`interpenetration`] — the checking module, with the naive-branching
+//!   and branch-restructured kernels of §III-D;
+//! * [`update`] — data updating (geometry, velocities, stresses);
+//! * [`pipeline`] — the two drivers: [`pipeline::CpuPipeline`] (serial
+//!   reference, Fig 1) and [`pipeline::GpuPipeline`] (the paper's
+//!   contribution, Fig 2), both reporting per-module times.
+
+#![deny(missing_docs)]
+// Index-based loops over fixed 6-DOF arrays mirror the paper's kernel
+// notation (row r, column c); iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod assembly;
+pub mod block;
+pub mod contact;
+pub mod interpenetration;
+pub mod material;
+pub mod openclose;
+pub mod params;
+pub mod pipeline;
+pub mod stiffness;
+pub mod system;
+pub mod update;
+
+pub use block::Block;
+pub use material::{BlockMaterial, JointMaterial};
+pub use params::DdaParams;
+pub use system::BlockSystem;

@@ -1,0 +1,122 @@
+//! Block and joint materials.
+//!
+//! Case 1 of the paper uses "5 different block materials and 38 types of
+//! joint materials": block materials give elastic constants and density,
+//! joint materials give the Mohr–Coulomb strength of the interfaces that
+//! contacts obey.
+
+use serde::{Deserialize, Serialize};
+
+/// Elastic/inertial properties of a rock block (plane-stress continuum).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockMaterial {
+    /// Mass density ρ (kg/m³ per unit thickness).
+    pub density: f64,
+    /// Young's modulus E (Pa).
+    pub young: f64,
+    /// Poisson's ratio ν.
+    pub poisson: f64,
+    /// Body force per unit volume (N/m³), typically `(0, -ρ·g)`.
+    pub body_force: [f64; 2],
+}
+
+impl BlockMaterial {
+    /// A generic hard-rock material: ρ = 2600 kg/m³, E = 5 GPa, ν = 0.25,
+    /// gravity loading.
+    pub fn rock() -> Self {
+        let density = 2600.0;
+        BlockMaterial {
+            density,
+            young: 5e9,
+            poisson: 0.25,
+            body_force: [0.0, -density * 9.81],
+        }
+    }
+
+    /// Scales the stiffness (softer/ harder variants — the paper's five
+    /// block materials differ mostly in modulus and density).
+    pub fn with_young(mut self, young: f64) -> Self {
+        self.young = young;
+        self
+    }
+
+    /// Sets the density and updates gravity loading consistently.
+    pub fn with_density(mut self, density: f64) -> Self {
+        self.density = density;
+        self.body_force = [0.0, -density * 9.81];
+        self
+    }
+
+    /// The plane-stress elasticity matrix rows `[E/(1-ν²)]·[[1,ν,0],[ν,1,0],[0,0,(1-ν)/2]]`.
+    pub fn elasticity(&self) -> [[f64; 3]; 3] {
+        let f = self.young / (1.0 - self.poisson * self.poisson);
+        [
+            [f, f * self.poisson, 0.0],
+            [f * self.poisson, f, 0.0],
+            [0.0, 0.0, f * (1.0 - self.poisson) / 2.0],
+        ]
+    }
+}
+
+/// Mohr–Coulomb strength of a joint (contact interface).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JointMaterial {
+    /// Friction angle φ in **degrees** (DDA input convention).
+    pub friction_angle_deg: f64,
+    /// Cohesion c (Pa·m along the contact length).
+    pub cohesion: f64,
+    /// Tensile strength (Pa·m); contacts carrying more tension open.
+    pub tensile_strength: f64,
+}
+
+impl JointMaterial {
+    /// A frictional joint with no cohesion (the common DDA default).
+    pub fn frictional(friction_angle_deg: f64) -> Self {
+        JointMaterial {
+            friction_angle_deg,
+            cohesion: 0.0,
+            tensile_strength: 0.0,
+        }
+    }
+
+    /// `tan φ`.
+    pub fn tan_phi(&self) -> f64 {
+        self.friction_angle_deg.to_radians().tan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rock_defaults_consistent() {
+        let r = BlockMaterial::rock();
+        assert!((r.body_force[1] + r.density * 9.81).abs() < 1e-9);
+        assert_eq!(r.body_force[0], 0.0);
+    }
+
+    #[test]
+    fn with_density_updates_gravity() {
+        let r = BlockMaterial::rock().with_density(2000.0);
+        assert!((r.body_force[1] + 2000.0 * 9.81).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elasticity_matrix_symmetric_positive() {
+        let r = BlockMaterial::rock();
+        let e = r.elasticity();
+        assert_eq!(e[0][1], e[1][0]);
+        assert!(e[0][0] > 0.0 && e[1][1] > 0.0 && e[2][2] > 0.0);
+        // Shear modulus relation: e22 = E/(2(1+ν)).
+        let g = r.young / (2.0 * (1.0 + r.poisson));
+        assert!((e[2][2] - g).abs() / g < 1e-12);
+    }
+
+    #[test]
+    fn joint_tan_phi() {
+        let j = JointMaterial::frictional(45.0);
+        assert!((j.tan_phi() - 1.0).abs() < 1e-12);
+        assert_eq!(j.cohesion, 0.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! The open–close iteration (loop 3 of Fig 1).
+//!
+//! Given the checking module's per-contact measures, each contact's state
+//! is re-decided:
+//!
+//! * separation (negative normal measure beyond the tensile allowance) →
+//!   **open**;
+//! * compression with the shear force inside the Mohr–Coulomb margin →
+//!   **lock**;
+//! * compression with the margin exceeded → **slide**.
+//!
+//! The step's equations are re-assembled and re-solved until no state
+//! changes ("no interpenetrations between the contacted blocks and no
+//! tension between the separate blocks"). The state-change indicators
+//! `p1`/`p2` computed here drive the C1…C5 categories of the non-diagonal
+//! building classification.
+
+use crate::contact::types::{Contact, ContactState};
+use crate::interpenetration::GapArrays;
+use dda_simt::serial::CpuCounter;
+use dda_simt::Device;
+
+/// Relative hysteresis band on the friction limit: a locked contact slides
+/// only when the shear force exceeds the limit, and a sliding contact
+/// re-locks only when the shear force falls below `(1 − band)` of it.
+/// Without the band, marginal contacts flip lock↔slide every iteration and
+/// the open–close loop cannot settle (the classical DDA remedy).
+const FRICTION_HYSTERESIS: f64 = 0.1;
+
+/// After this many state flips within one open–close loop a closed contact
+/// is frozen in the slide state: it sits at the friction limit, where the
+/// lock and slide models bracket the same physical answer.
+pub const FREEZE_FLIPS: u32 = 2;
+
+/// Pure state-decision rule shared by the serial and GPU paths.
+///
+/// `dn` — normal measure (positive = penetrating); `ds` — incremental slip
+/// this iteration (the shear reference follows the slide, so `ds` measures
+/// *new* slip); `margin` — Mohr–Coulomb margin (negative = shear limit
+/// exceeded); `limit` — the Mohr–Coulomb limit itself; `slide_dir` — the
+/// remembered sliding direction; `open_tol` — separation tolerance.
+///
+/// A sliding contact keeps sliding while the slip continues in its
+/// direction; it re-locks only when the slip stalls or reverses *and* the
+/// shear force clears the hysteresis band. Without this, a steadily
+/// sliding contact would flip lock↔slide every iteration (its relaxed
+/// shear spring always measures a force inside the limit) and the
+/// open–close loop could never settle.
+fn decide(
+    state: ContactState,
+    dn: f64,
+    ds: f64,
+    margin: f64,
+    limit: f64,
+    slide_dir: f64,
+    open_tol: f64,
+) -> ContactState {
+    if dn < -open_tol {
+        ContactState::Open
+    } else if !state.closed() && dn <= 0.0 {
+        // Not separated beyond tolerance but not penetrating either: an
+        // open contact only closes once it actually penetrates.
+        ContactState::Open
+    } else if state == ContactState::Slide {
+        let still_slipping = ds * slide_dir > 0.0;
+        if !still_slipping && margin > FRICTION_HYSTERESIS * limit.abs() {
+            ContactState::Lock
+        } else {
+            ContactState::Slide
+        }
+    } else if margin < 0.0 {
+        ContactState::Slide
+    } else {
+        ContactState::Lock
+    }
+}
+
+/// Post-decision bookkeeping shared by both paths: sliding contacts
+/// remember their direction and let the shear reference point slip along
+/// the edge, so a later re-lock attaches the shear spring at the slid
+/// position instead of yanking the block back.
+fn apply_slip(c: &mut Contact, ds: f64, len: f64) {
+    if c.state == ContactState::Slide {
+        if ds.abs() > 1e-14 {
+            c.slide_dir = ds.signum();
+        }
+        if len > 1e-12 {
+            c.edge_ratio = (c.edge_ratio + ds / len).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Serial open–close update: applies the decision to every contact and
+/// returns the number of state changes.
+pub fn open_close_serial(
+    contacts: &mut [Contact],
+    gaps: &GapArrays,
+    open_tol: f64,
+    freeze: bool,
+    counter: &mut CpuCounter,
+) -> usize {
+    let mut changes = 0;
+    for (k, c) in contacts.iter_mut().enumerate() {
+        let mut new_state = decide(
+            c.state,
+            gaps.dn[k],
+            gaps.ds[k],
+            gaps.margin[k],
+            gaps.limit[k],
+            c.slide_dir,
+            open_tol,
+        );
+        if (freeze || c.flips >= FREEZE_FLIPS)
+            && c.state.closed()
+            && new_state.closed()
+            && new_state != c.state
+        {
+            // Terminal phase: a closed contact still flipping sits at the
+            // friction limit — settle it as sliding without restarting the
+            // iteration.
+            new_state = ContactState::Slide;
+            c.state = ContactState::Slide;
+        }
+        c.prev_iter_state = c.state;
+        if new_state != c.state {
+            c.state = new_state;
+            c.flips += 1;
+            changes += 1;
+        }
+        apply_slip(c, gaps.ds[k], gaps.len[k]);
+        counter.flop(8);
+        counter.bytes(80);
+    }
+    changes
+}
+
+/// GPU open–close update: one thread per contact; the change count comes
+/// back through a device flag array reduced by scan.
+pub fn open_close_gpu(
+    dev: &Device,
+    contacts: &mut [Contact],
+    gaps: &GapArrays,
+    open_tol: f64,
+    freeze: bool,
+) -> usize {
+    let nc = contacts.len();
+    if nc == 0 {
+        return 0;
+    }
+    let mut flags = vec![0u32; nc];
+    {
+        let b_dn = dev.bind_ro(&gaps.dn);
+        let b_ds = dev.bind_ro(&gaps.ds);
+        let b_m = dev.bind_ro(&gaps.margin);
+        let b_lim = dev.bind_ro(&gaps.limit);
+        let b_len = dev.bind_ro(&gaps.len);
+        let b_c = dev.bind(contacts);
+        let b_f = dev.bind(&mut flags);
+        dev.launch("openclose.update", nc, |lane| {
+            let k = lane.gid;
+            let mut c = lane.ld(&b_c, k);
+            let dn = lane.ld(&b_dn, k);
+            let ds = lane.ld(&b_ds, k);
+            let m = lane.ld(&b_m, k);
+            let lim = lane.ld(&b_lim, k);
+            let l = lane.ld(&b_len, k);
+            lane.flop(8);
+            let mut new_state = decide(c.state, dn, ds, m, lim, c.slide_dir, open_tol);
+            if (freeze || c.flips >= FREEZE_FLIPS)
+                && c.state.closed()
+                && new_state.closed()
+                && new_state != c.state
+            {
+                new_state = ContactState::Slide;
+                c.state = ContactState::Slide;
+            }
+            let changed = new_state != c.state;
+            lane.branch(0, changed);
+            c.prev_iter_state = c.state;
+            c.state = new_state;
+            if changed {
+                c.flips += 1;
+            }
+            apply_slip(&mut c, ds, l);
+            lane.st(&b_c, k, c);
+            lane.st(&b_f, k, u32::from(changed));
+        });
+    }
+    let (_, total) = dda_simt::primitives::scan_exclusive_u32(dev, &flags);
+    total as usize
+}
+
+/// Device-side third classification (§III-A): tags every contact with its
+/// non-diagonal-building category (1–5, or 0 for abandoned) and returns
+/// the histogram. The categories select which per-class pipeline a contact
+/// takes through non-diagonal building; the pipeline reports them per
+/// step.
+pub fn categorize_gpu(dev: &Device, contacts: &[Contact]) -> [usize; 6] {
+    let nc = contacts.len();
+    let mut codes = vec![0u32; nc.max(1)];
+    if nc > 0 {
+        let b_c = dev.bind_ro(contacts);
+        let b_k = dev.bind(&mut codes);
+        dev.launch("openclose.categorize", nc, |lane| {
+            let c = lane.ld(&b_c, lane.gid);
+            lane.flop(4);
+            let code = c.category().unwrap_or(0);
+            lane.st(&b_k, lane.gid, u32::from(code));
+        });
+    }
+    let mut hist = [0usize; 6];
+    for &k in codes.iter().take(nc) {
+        hist[k as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::types::ContactKind;
+    use dda_simt::DeviceProfile;
+
+    fn contact(state: ContactState) -> Contact {
+        let mut c = Contact::new(0, 1, 0, 0, u32::MAX, ContactKind::Ve);
+        c.state = state;
+        c.prev_iter_state = state;
+        c
+    }
+
+    #[test]
+    fn decision_rules() {
+        let tol = 1e-6;
+        // Separated beyond tolerance → open, whatever the previous state.
+        assert_eq!(decide(ContactState::Lock, -1e-3, 0.0, 5.0, 6.0, 0.0, tol), ContactState::Open);
+        assert_eq!(decide(ContactState::Open, -1e-3, 0.0, 5.0, 6.0, 0.0, tol), ContactState::Open);
+        // Open and merely touching (dn ≤ 0) stays open.
+        assert_eq!(decide(ContactState::Open, -1e-9, 0.0, 5.0, 6.0, 0.0, tol), ContactState::Open);
+        // Penetrating with margin → lock.
+        assert_eq!(decide(ContactState::Open, 1e-4, 0.0, 5.0, 6.0, 0.0, tol), ContactState::Lock);
+        // A stalled slider with clear margin re-locks.
+        assert_eq!(decide(ContactState::Slide, 1e-4, 0.0, 5.0, 6.0, 1.0, tol), ContactState::Lock);
+        // Penetrating beyond the friction margin → slide.
+        assert_eq!(decide(ContactState::Lock, 1e-4, 0.0, -1.0, 6.0, 0.0, tol), ContactState::Slide);
+        // A closed contact within tolerance keeps its spring.
+        assert_eq!(decide(ContactState::Lock, -1e-9, 0.0, 5.0, 6.0, 0.0, tol), ContactState::Lock);
+    }
+
+    #[test]
+    fn friction_hysteresis_band() {
+        let tol = 1e-6;
+        // A stalled slider just inside the limit stays sliding…
+        assert_eq!(
+            decide(ContactState::Slide, 1e-4, 0.0, 0.05, 1.0, 1.0, tol),
+            ContactState::Slide
+        );
+        // …but a locked one with the same margin stays locked.
+        assert_eq!(
+            decide(ContactState::Lock, 1e-4, 0.0, 0.05, 1.0, 0.0, tol),
+            ContactState::Lock
+        );
+        // Clearing the band re-locks a stalled slider.
+        assert_eq!(
+            decide(ContactState::Slide, 1e-4, 0.0, 0.2, 1.0, 1.0, tol),
+            ContactState::Lock
+        );
+        // A slider still slipping forward keeps sliding regardless of
+        // margin.
+        assert_eq!(
+            decide(ContactState::Slide, 1e-4, 0.01, 5.0, 1.0, 1.0, tol),
+            ContactState::Slide
+        );
+        // Reversed slip with margin re-locks.
+        assert_eq!(
+            decide(ContactState::Slide, 1e-4, -0.01, 5.0, 1.0, 1.0, tol),
+            ContactState::Lock
+        );
+    }
+
+    #[test]
+    fn slip_reference_follows_sliding() {
+        let mut c = contact(ContactState::Slide);
+        c.edge_ratio = 0.5;
+        apply_slip(&mut c, 0.1, 2.0); // slid 0.1 m along a 2 m edge
+        assert!((c.edge_ratio - 0.55).abs() < 1e-12);
+        assert_eq!(c.slide_dir, 1.0);
+        // Locked contacts keep their reference.
+        let mut cl = contact(ContactState::Lock);
+        cl.edge_ratio = 0.5;
+        apply_slip(&mut cl, 0.1, 2.0);
+        assert_eq!(cl.edge_ratio, 0.5);
+    }
+
+    #[test]
+    fn serial_counts_changes_and_records_prev() {
+        let mut contacts = vec![
+            contact(ContactState::Lock),  // will open
+            contact(ContactState::Lock),  // stays locked
+            contact(ContactState::Lock),  // will slide
+            contact(ContactState::Open),  // will lock
+        ];
+        let gaps = GapArrays {
+            dn: vec![-0.1, 0.001, 0.001, 0.001],
+            ds: vec![0.0; 4],
+            margin: vec![1.0, 1.0, -1.0, 1.0],
+            limit: vec![1.0; 4],
+            len: vec![1.0; 4],
+        };
+        let mut cnt = CpuCounter::new();
+        let changes = open_close_serial(&mut contacts, &gaps, 1e-6, false, &mut cnt);
+        assert_eq!(changes, 3);
+        assert_eq!(contacts[0].state, ContactState::Open);
+        assert_eq!(contacts[1].state, ContactState::Lock);
+        assert_eq!(contacts[2].state, ContactState::Slide);
+        assert_eq!(contacts[3].state, ContactState::Lock);
+        // prev_iter_state holds the pre-update state → p2 is defined.
+        assert_eq!(contacts[2].prev_iter_state, ContactState::Lock);
+        assert_eq!(contacts[2].p2(), -1);
+    }
+
+    #[test]
+    fn gpu_matches_serial() {
+        let states = [
+            ContactState::Lock,
+            ContactState::Open,
+            ContactState::Slide,
+            ContactState::Lock,
+            ContactState::Open,
+        ];
+        let mut serial: Vec<Contact> = states.iter().map(|&s| contact(s)).collect();
+        let mut gpu = serial.clone();
+        let gaps = GapArrays {
+            dn: vec![0.001, 0.002, -0.5, -0.5, -1e-9],
+            ds: vec![0.01, 0.0, 0.0, 0.0, 0.0],
+            margin: vec![-1.0, 3.0, 1.0, 1.0, 1.0],
+            limit: vec![1.0; 5],
+            len: vec![2.0; 5],
+        };
+        let mut cnt = CpuCounter::new();
+        let n1 = open_close_serial(&mut serial, &gaps, 1e-6, false, &mut cnt);
+        let dev = Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true);
+        let n2 = open_close_gpu(&dev, &mut gpu, &gaps, 1e-6, false);
+        assert_eq!(n1, n2);
+        assert_eq!(serial, gpu);
+    }
+
+    #[test]
+    fn categorize_histogram_matches_reference() {
+        use crate::contact::types::ContactKind;
+        let mut contacts = Vec::new();
+        // One of each category plus an abandoned contact.
+        let mk = |kind: ContactKind, prev: ContactState, prev_it: ContactState, cur: ContactState| {
+            let mut c = Contact::new(0, 1, 0, 0, u32::MAX, kind);
+            c.prev_step_state = prev;
+            c.prev_iter_state = prev_it;
+            c.state = cur;
+            c
+        };
+        contacts.push(mk(ContactKind::Ve, ContactState::Open, ContactState::Open, ContactState::Lock)); // C1
+        contacts.push(mk(ContactKind::Ve, ContactState::Slide, ContactState::Slide, ContactState::Lock)); // C2
+        contacts.push(mk(ContactKind::Vv1, ContactState::Lock, ContactState::Lock, ContactState::Lock)); // C3
+        contacts.push(mk(ContactKind::Vv2, ContactState::Open, ContactState::Open, ContactState::Lock)); // C4
+        contacts.push(mk(ContactKind::Vv2, ContactState::Slide, ContactState::Slide, ContactState::Slide)); // C5
+        contacts.push(mk(ContactKind::Ve, ContactState::Open, ContactState::Open, ContactState::Open)); // abandoned
+        let dev = Device::new(DeviceProfile::tesla_k40());
+        let hist = categorize_gpu(&dev, &contacts);
+        assert_eq!(hist, [1, 1, 1, 1, 1, 1]);
+        // Empty input.
+        assert_eq!(categorize_gpu(&dev, &[]), [0; 6]);
+    }
+
+    #[test]
+    fn converged_population_reports_zero_changes() {
+        let mut contacts = vec![contact(ContactState::Lock); 10];
+        let gaps = GapArrays {
+            dn: vec![1e-5; 10],
+            ds: vec![0.0; 10],
+            margin: vec![1.0; 10],
+            limit: vec![1.0; 10],
+            len: vec![1.0; 10],
+        };
+        let mut cnt = CpuCounter::new();
+        assert_eq!(open_close_serial(&mut contacts, &gaps, 1e-6, false, &mut cnt), 0);
+    }
+}

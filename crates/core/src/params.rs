@@ -1,0 +1,137 @@
+//! Analysis control parameters.
+//!
+//! These correspond to Shi's classical DDA input controls: the time-step
+//! size and its adaptive bounds, the maximum-allowed-displacement ratio
+//! (loop 2's control parameter), the contact penalty stiffness, and the
+//! open–close iteration budget.
+
+use dda_solver::PcgOptions;
+use serde::{Deserialize, Serialize};
+
+/// DDA analysis parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DdaParams {
+    /// Current physical time-step size Δt (s). Adapted downward when the
+    /// open–close iteration or displacement control fails, and allowed to
+    /// recover toward [`DdaParams::dt_max`].
+    pub dt: f64,
+    /// Upper bound for Δt.
+    pub dt_max: f64,
+    /// Lower bound for Δt (a step that still fails here is accepted with a
+    /// warning, as Shi's code does).
+    pub dt_min: f64,
+    /// Maximum allowed displacement per step, in absolute length units
+    /// (Shi's `g2·w0`). Loop 2 redoes a step whose largest vertex
+    /// displacement exceeds **twice** this value.
+    pub max_displacement: f64,
+    /// Contact penalty spring stiffness `p` (N/m). Shi recommends
+    /// 10–100 × E × thickness; the workloads compute it from the stiffest
+    /// block material.
+    pub penalty: f64,
+    /// Shear spring stiffness as a fraction of the normal penalty.
+    pub shear_ratio: f64,
+    /// Open–close iterations allowed per step before Δt is cut.
+    pub oc_max_iters: usize,
+    /// Contact search radius `d0` for the narrow phase (inflates bounding
+    /// boxes in the broad phase too). Typically `2.5 × max_displacement`.
+    pub contact_range: f64,
+    /// Tolerance below which a contact is considered just touching
+    /// (fraction of `max_displacement`).
+    pub touch_tol: f64,
+    /// Linear solver controls (the paper caps PCG at 200 iterations).
+    pub pcg: PcgOptions,
+    /// Dynamics factor in `[0, 1]`: 1 carries full velocity between steps
+    /// (dynamic analysis, case 2), 0 restarts each step from rest (static
+    /// relaxation, case 1).
+    pub dynamics: f64,
+    /// Penalty used to anchor fixed-block vertices, as a multiple of the
+    /// contact penalty.
+    pub fixity_factor: f64,
+}
+
+impl DdaParams {
+    /// Sensible defaults for a model with characteristic block size
+    /// `block_size` (m) and stiffest Young's modulus `young` (Pa).
+    pub fn for_model(block_size: f64, young: f64) -> DdaParams {
+        let max_displacement = 0.01 * block_size;
+        // Step size from the elastic time scale of one block
+        // (≈ wave transit time): keeps the inertia term comparable to the
+        // penalty stiffness, which is what conditions the system well
+        // enough for PCG — the paper notes the physical time per step "is
+        // usually less than 0.0001 s" (§IV-A).
+        let dt = (0.5 * block_size * (2500.0 / young).sqrt()).clamp(1e-5, 0.01);
+        DdaParams {
+            dt,
+            dt_max: dt,
+            dt_min: 1e-7,
+            max_displacement,
+            penalty: 10.0 * young,
+            shear_ratio: 1.0,
+            oc_max_iters: 6,
+            contact_range: 2.5 * max_displacement,
+            touch_tol: 0.2,
+            pcg: PcgOptions {
+                tol: 1e-8,
+                max_iters: 300,
+            },
+            dynamics: 1.0,
+            fixity_factor: 10.0,
+        }
+    }
+
+    /// Static-analysis variant (velocities zeroed each step — the paper's
+    /// case 1 "stable analysis of a slope").
+    pub fn static_analysis(mut self) -> DdaParams {
+        self.dynamics = 0.0;
+        self
+    }
+
+    /// Cuts the time step after a failed step; returns false when already
+    /// at the floor.
+    pub fn reduce_dt(&mut self) -> bool {
+        if self.dt <= self.dt_min {
+            return false;
+        }
+        self.dt = (self.dt * 0.3).max(self.dt_min);
+        true
+    }
+
+    /// Gently recovers the time step after successful steps.
+    pub fn recover_dt(&mut self) {
+        self.dt = (self.dt * 1.3).min(self.dt_max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_scale_with_model() {
+        let p = DdaParams::for_model(2.0, 5e9);
+        assert!((p.max_displacement - 0.02).abs() < 1e-12);
+        assert!((p.contact_range - 0.05).abs() < 1e-12);
+        assert_eq!(p.penalty, 50e9);
+        assert_eq!(p.pcg.max_iters, 300);
+    }
+
+    #[test]
+    fn dt_reduction_and_recovery() {
+        let mut p = DdaParams::for_model(1.0, 1e9);
+        let dt0 = p.dt;
+        assert!(p.reduce_dt());
+        assert!(p.dt < dt0);
+        for _ in 0..100 {
+            p.recover_dt();
+        }
+        assert_eq!(p.dt, p.dt_max);
+        p.dt = p.dt_min;
+        assert!(!p.reduce_dt(), "at the floor reduction must fail");
+    }
+
+    #[test]
+    fn static_mode() {
+        let p = DdaParams::for_model(1.0, 1e9).static_analysis();
+        assert_eq!(p.dynamics, 0.0);
+    }
+}

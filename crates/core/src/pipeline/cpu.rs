@@ -1,0 +1,282 @@
+//! The serial reference pipeline (Fig 1), timed under the E5620 model.
+
+use super::{ModuleTimes, StepReport};
+use crate::assembly::{assemble_contacts_serial, AssembledSystem};
+use crate::contact::{
+    broad_phase_serial, init::init_contacts_serial, narrow_phase_serial,
+    transfer_contacts_serial, Contact,
+};
+use crate::interpenetration::{check_serial, GapArrays};
+use crate::openclose::open_close_serial;
+use crate::params::DdaParams;
+use crate::stiffness::perblock::build_diag_serial;
+use crate::system::BlockSystem;
+use crate::update::{max_displacement, update_system};
+use dda_simt::profile::DeviceProfile;
+use dda_simt::serial::CpuCounter;
+use dda_simt::TimingModel;
+use dda_solver::serial::pcg_serial_bj;
+
+/// Maximum times a step is redone with a reduced Δt before being accepted
+/// as-is (Shi's code behaves the same once the Δt floor is hit).
+const MAX_RETRIES: usize = 4;
+
+/// The serial DDA driver.
+pub struct CpuPipeline {
+    /// The evolving block system.
+    pub sys: BlockSystem,
+    /// Analysis controls (Δt adapts during the run).
+    pub params: DdaParams,
+    /// Accumulated modeled E5620 seconds per module.
+    pub times: ModuleTimes,
+    contacts: Vec<Contact>,
+    x_prev: Vec<f64>,
+    model: TimingModel,
+    profile: DeviceProfile,
+}
+
+impl CpuPipeline {
+    /// Creates a pipeline over a system.
+    pub fn new(sys: BlockSystem, params: DdaParams) -> CpuPipeline {
+        let n = sys.len();
+        CpuPipeline {
+            sys,
+            params,
+            times: ModuleTimes::default(),
+            contacts: Vec::new(),
+            x_prev: vec![0.0; 6 * n],
+            model: TimingModel::default(),
+            profile: DeviceProfile::xeon_e5620_serial(),
+        }
+    }
+
+    /// Current contact set (after the last step).
+    pub fn contacts(&self) -> &[Contact] {
+        &self.contacts
+    }
+
+    fn charge(&self, c: CpuCounter) -> f64 {
+        c.seconds(&self.model, &self.profile)
+    }
+
+    /// Advances one time step.
+    pub fn step(&mut self) -> StepReport {
+        let mut report = StepReport::default();
+        let touch = self.params.touch_tol * self.params.max_displacement;
+        let open_tol = 1e-6 * self.params.max_displacement;
+
+        // ---- Contact detection ---------------------------------------------
+        let mut cd = CpuCounter::new();
+        let pairs = broad_phase_serial(&self.sys, self.params.contact_range, &mut cd);
+        let mut contacts =
+            narrow_phase_serial(&self.sys, &pairs, self.params.contact_range, &mut cd);
+        transfer_contacts_serial(&self.contacts, &mut contacts, &mut cd);
+        init_contacts_serial(&self.sys, &mut contacts, touch, &mut cd);
+        self.contacts = contacts;
+        self.times.contact_detection += self.charge(cd);
+        report.n_contacts = self.contacts.len();
+        for c in self.contacts.iter_mut() {
+            c.flips = 0;
+        }
+
+        // ---- Loop 2: displacement-controlled attempts -----------------------
+        let mut accepted: Option<(Vec<f64>, GapArrays)> = None;
+        for attempt in 0..=MAX_RETRIES {
+            // Diagonal building (depends on Δt).
+            let mut dc = CpuCounter::new();
+            let (diag, rhs0) = build_diag_serial(&self.sys, &self.params, &mut dc);
+            self.times.diag_building += self.charge(dc);
+
+            // ---- Loop 3: open–close iteration --------------------------------
+            let mut d = self.x_prev.clone();
+            let mut gaps = GapArrays::default();
+            let mut oc_converged = false;
+            report.oc_iterations = 0;
+            for oc_iter in 0..self.params.oc_max_iters {
+                report.oc_iterations += 1;
+                let freeze = oc_iter + 3 >= self.params.oc_max_iters;
+                let mut nd = CpuCounter::new();
+                let asm: AssembledSystem = assemble_contacts_serial(
+                    &self.sys,
+                    &self.contacts,
+                    &self.params,
+                    diag.clone(),
+                    rhs0.clone(),
+                    &mut nd,
+                );
+                report.n_upper = asm.matrix.n_upper();
+                self.times.nondiag_building += self.charge(nd);
+
+                let mut sc = CpuCounter::new();
+                let res = pcg_serial_bj(&asm.matrix, &asm.rhs, &self.x_prev, self.params.pcg, &mut sc);
+                self.times.solving += self.charge(sc);
+                report.pcg_iterations += res.iterations;
+                report.last_solve_iterations = res.iterations;
+                d = res.x;
+
+                let mut ic = CpuCounter::new();
+                gaps = check_serial(
+                    &self.sys,
+                    &self.contacts,
+                    &d,
+                    self.params.penalty,
+                    self.params.shear_ratio,
+                    &mut ic,
+                );
+                let changes = open_close_serial(&mut self.contacts, &gaps, open_tol, freeze, &mut ic);
+                self.times.interpenetration += self.charge(ic);
+                if changes == 0 && res.converged {
+                    oc_converged = true;
+                    break;
+                }
+            }
+            report.oc_converged = oc_converged;
+
+            // Displacement control.
+            let maxd = max_displacement(&self.sys, &d);
+            report.max_displacement = maxd;
+            let too_big = maxd > 2.0 * self.params.max_displacement;
+            if (too_big || !oc_converged) && attempt < MAX_RETRIES && self.params.reduce_dt() {
+                report.retries += 1;
+                continue;
+            }
+            accepted = Some((d, gaps));
+            break;
+        }
+
+        // ---- Data updating ----------------------------------------------------
+        let (d, gaps) = accepted.expect("an attempt is always accepted");
+        report.max_open_penetration = gaps.max_open_penetration(&self.contacts);
+        let mut uc = CpuCounter::new();
+        update_system(&mut self.sys, &d, &mut self.contacts, &gaps, &self.params, &mut uc);
+        self.times.updating += self.charge(uc);
+        self.x_prev = d;
+        report.dt = self.params.dt;
+        if report.retries == 0 {
+            self.params.recover_dt();
+        }
+        report
+    }
+
+    /// Runs `n` steps, collecting reports.
+    pub fn run(&mut self, n: usize) -> Vec<StepReport> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::material::{BlockMaterial, JointMaterial};
+    use dda_geom::Polygon;
+
+    fn resting_stack() -> (BlockSystem, DdaParams) {
+        let sys = BlockSystem::new(
+            vec![
+                Block::new(Polygon::rect(-5.0, -1.0, 5.0, 0.0), 0).fixed(),
+                Block::new(Polygon::rect(-0.5, 0.0, 0.5, 1.0), 0),
+            ],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(35.0),
+        );
+        let params = DdaParams::for_model(1.0, 5e9).static_analysis();
+        (sys, params)
+    }
+
+    #[test]
+    fn block_on_floor_stays_put() {
+        let (sys, params) = resting_stack();
+        let y0 = sys.blocks[1].centroid().y;
+        let mut pipe = CpuPipeline::new(sys, params);
+        for _ in 0..5 {
+            let r = pipe.step();
+            assert!(r.n_contacts >= 2, "contacts: {}", r.n_contacts);
+        }
+        let y1 = pipe.sys.blocks[1].centroid().y;
+        // Penalty compliance allows a microscopic settlement only.
+        assert!(
+            (y0 - y1).abs() < 5e-4,
+            "block sank by {} m",
+            y0 - y1
+        );
+        // No interpenetration beyond the penalty compliance scale.
+        assert!(pipe.sys.total_interpenetration() < 1e-4);
+    }
+
+    #[test]
+    fn unsupported_block_falls() {
+        let sys = BlockSystem::new(
+            vec![Block::new(Polygon::rect(0.0, 10.0, 1.0, 11.0), 0)],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(30.0),
+        );
+        let mut params = DdaParams::for_model(1.0, 5e9); // dynamic
+        params.dt = 0.01; // free flight: no stiffness constraint on Δt
+        params.dt_max = 0.01;
+        let mut pipe = CpuPipeline::new(sys, params);
+        let y0 = pipe.sys.blocks[0].centroid().y;
+        for _ in 0..10 {
+            pipe.step();
+        }
+        let y1 = pipe.sys.blocks[0].centroid().y;
+        assert!(y1 < y0 - 1e-4, "free block must fall: {y0} → {y1}");
+        // And accelerate: velocity is downward.
+        assert!(pipe.sys.blocks[0].velocity[1] < 0.0);
+    }
+
+    #[test]
+    fn falling_block_lands_on_floor() {
+        let sys = BlockSystem::new(
+            vec![
+                Block::new(Polygon::rect(-5.0, -1.0, 5.0, 0.0), 0).fixed(),
+                Block::new(Polygon::rect(-0.5, 0.005, 0.5, 1.005), 0), // 5 mm above
+            ],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(35.0),
+        );
+        let mut params = DdaParams::for_model(1.0, 5e9);
+        params.dt = 0.002;
+        params.dt_max = 0.002;
+        let mut pipe = CpuPipeline::new(sys, params);
+        for _ in 0..40 {
+            pipe.step();
+        }
+        let b = &pipe.sys.blocks[1];
+        let min_y = b.poly.vertices().iter().map(|v| v.y).fold(f64::INFINITY, f64::min);
+        assert!(
+            min_y > -2e-3 && min_y < 2e-3,
+            "block should rest on the floor, bottom at {min_y}"
+        );
+        assert!(pipe.sys.total_interpenetration() < 1e-3);
+    }
+
+    #[test]
+    fn module_times_accumulate() {
+        let (sys, params) = resting_stack();
+        let mut pipe = CpuPipeline::new(sys, params);
+        pipe.step();
+        let t = pipe.times;
+        assert!(t.contact_detection > 0.0);
+        assert!(t.diag_building > 0.0);
+        assert!(t.nondiag_building > 0.0);
+        assert!(t.solving > 0.0);
+        assert!(t.interpenetration > 0.0);
+        assert!(t.updating > 0.0);
+        // Equation solving dominates the serial pipeline (§IV) for
+        // contact-rich systems... at this tiny scale just require it to be
+        // a major component.
+        assert!(t.solving > 0.2 * t.total());
+    }
+
+    #[test]
+    fn report_fields_populated() {
+        let (sys, params) = resting_stack();
+        let mut pipe = CpuPipeline::new(sys, params);
+        let r = pipe.step();
+        assert!(r.oc_iterations >= 1);
+        assert!(r.pcg_iterations >= 1);
+        assert!(r.dt > 0.0);
+        assert!(r.oc_converged, "resting stack must converge: {r:?}");
+    }
+}

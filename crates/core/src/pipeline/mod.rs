@@ -1,0 +1,139 @@
+//! The two end-to-end drivers and their per-module accounting.
+//!
+//! [`CpuPipeline`] is Fig 1: the serial reference implementation, timed
+//! under the Xeon E5620 model. [`GpuPipeline`] is Fig 2: every module runs
+//! as simulated kernels on a Tesla profile. Both expose the per-module
+//! times Tables II–III report: contact detection, diagonal building,
+//! non-diagonal building, equation solving, interpenetration checking,
+//! data updating.
+
+pub mod cpu;
+pub mod gpu;
+
+pub use cpu::CpuPipeline;
+pub use gpu::{GpuPipeline, PrecondKind};
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated modeled seconds per pipeline module (the rows of
+/// Tables II–III).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModuleTimes {
+    /// Broad + narrow phase, transfer, initialization.
+    pub contact_detection: f64,
+    /// Per-block diagonal terms.
+    pub diag_building: f64,
+    /// Contact-spring terms + global assembly.
+    pub nondiag_building: f64,
+    /// Preconditioner construction/application + PCG.
+    pub solving: f64,
+    /// Gap evaluation + open–close updates.
+    pub interpenetration: f64,
+    /// Geometry/velocity/stress commit.
+    pub updating: f64,
+}
+
+impl ModuleTimes {
+    /// Total across modules.
+    pub fn total(&self) -> f64 {
+        self.contact_detection
+            + self.diag_building
+            + self.nondiag_building
+            + self.solving
+            + self.interpenetration
+            + self.updating
+    }
+
+    /// Per-module speed-up of `self` (baseline) over `other` (accelerated):
+    /// the Tables II–III columns.
+    pub fn speedup_over(&self, other: &ModuleTimes) -> ModuleTimes {
+        let r = |a: f64, b: f64| if b > 0.0 { a / b } else { 0.0 };
+        ModuleTimes {
+            contact_detection: r(self.contact_detection, other.contact_detection),
+            diag_building: r(self.diag_building, other.diag_building),
+            nondiag_building: r(self.nondiag_building, other.nondiag_building),
+            solving: r(self.solving, other.solving),
+            interpenetration: r(self.interpenetration, other.interpenetration),
+            updating: r(self.updating, other.updating),
+        }
+    }
+
+    /// Named rows in table order.
+    pub fn rows(&self) -> [(&'static str, f64); 6] {
+        [
+            ("Contact Detection", self.contact_detection),
+            ("Diagonal Matrix Building", self.diag_building),
+            ("Non-diagonal Matrix Building", self.nondiag_building),
+            ("Equation Solving", self.solving),
+            ("Interpenetration Checking", self.interpenetration),
+            ("Data Updating", self.updating),
+        ]
+    }
+}
+
+/// Outcome of one time step.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Open–close iterations executed (final attempt).
+    pub oc_iterations: usize,
+    /// Total PCG iterations across the step's solves.
+    pub pcg_iterations: usize,
+    /// PCG iterations of the final solve (Fig 5 samples this).
+    pub last_solve_iterations: usize,
+    /// Contacts in the step.
+    pub n_contacts: usize,
+    /// Non-diagonal (upper) sub-matrices in the final system.
+    pub n_upper: usize,
+    /// Physical time-step size used.
+    pub dt: f64,
+    /// Times the step was redone with a reduced Δt.
+    pub retries: usize,
+    /// Largest vertex displacement of the accepted solution.
+    pub max_displacement: f64,
+    /// Whether the open–close iteration converged.
+    pub oc_converged: bool,
+    /// Final contact-category histogram (index 0 = abandoned, 1–5 = the
+    /// paper's C1…C5 classification; populated by the GPU pipeline).
+    pub categories: [usize; 6],
+    /// Largest first-order penetration among *open* contacts after the
+    /// accepted solve — the checker's "no interpenetrations" criterion
+    /// (should sit at the numerical-noise scale once loop 3 converges).
+    pub max_open_penetration: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_speedups() {
+        let cpu = ModuleTimes {
+            contact_detection: 100.0,
+            diag_building: 10.0,
+            nondiag_building: 20.0,
+            solving: 400.0,
+            interpenetration: 30.0,
+            updating: 5.0,
+        };
+        let gpu = ModuleTimes {
+            contact_detection: 1.0,
+            diag_building: 0.1,
+            nondiag_building: 5.0,
+            solving: 8.0,
+            interpenetration: 1.0,
+            updating: 0.1,
+        };
+        assert!((cpu.total() - 565.0).abs() < 1e-12);
+        let s = cpu.speedup_over(&gpu);
+        assert!((s.contact_detection - 100.0).abs() < 1e-12);
+        assert!((s.solving - 50.0).abs() < 1e-12);
+        assert_eq!(cpu.rows()[3].0, "Equation Solving");
+    }
+
+    #[test]
+    fn zero_baseline_guarded() {
+        let a = ModuleTimes::default();
+        let s = a.speedup_over(&a);
+        assert_eq!(s.total(), 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Stiffness and force terms of the DDA energy minimisation.
+//!
+//! The global system `K d = F` collects, per time step and open–close
+//! iteration:
+//!
+//! * **per-block (diagonal) terms** ([`perblock`]): elastic strain energy,
+//!   inertia `(2/Δt²)·M` (plus its velocity force `(2/Δt)·M·v`), body and
+//!   point loads, initial stress, and fixity penalty springs — the paper's
+//!   *global stiffness matrix diagonal building module*;
+//! * **contact-spring terms** ([`springs`]): normal and shear penalty
+//!   springs and friction forces for every non-open contact, contributing
+//!   `k_ii`, `k_ij`, `k_ji`, `k_jj` sub-matrices — the inputs of the
+//!   *non-diagonal building module* and its sort/scan assembly (Fig 4).
+
+pub mod perblock;
+pub mod springs;
+
+pub use perblock::{build_diag_gpu, build_diag_serial, BlockSoa};
+pub use springs::{contact_spring_terms, SpringTerms};

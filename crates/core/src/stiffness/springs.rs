@@ -1,0 +1,346 @@
+//! Contact penalty-spring sub-matrices and forces (Shi's formulation).
+//!
+//! For a contact vertex `P1` (block `i`) against edge `P2→P3` (block `j`,
+//! CCW so material lies left of the edge), with `ℓ = |P3−P2|` and
+//! `S0 = orient2d(P2, P3, P1)` (twice the signed triangle area, positive
+//! when `P1` penetrates):
+//!
+//! * the first-order normal gap is `dn = (S0 + e·dᵢ + g·dⱼ)/ℓ` with
+//!   `e = Tᵢ(P1)ᵀ(y2−y3, x3−x2)` and
+//!   `g = Tⱼ(P2)ᵀ(y3−y1, x1−x3) + Tⱼ(P3)ᵀ(y1−y2, x2−x1)`;
+//! * the normal spring `Π = p/2·dn²` contributes `p/ℓ²·e eᵀ` to `K_ii`,
+//!   `p/ℓ²·e gᵀ` to `K_ij`, `p/ℓ²·g gᵀ` to `K_jj`, and `−p·S0/ℓ²·(e|g)` to
+//!   the forces;
+//! * the shear spring (lock state) does the same along the edge direction
+//!   with the contact point `P0 = P2 + ratio·(P3−P2)` as reference;
+//! * sliding contacts replace the shear spring by a friction force
+//!   `±(N·tanφ + c·ℓ)` along the edge (Mohr–Coulomb).
+
+use super::super::contact::types::{Contact, ContactState};
+use crate::block::t_rows_at;
+use dda_geom::predicates::orient2d;
+use dda_geom::Vec2;
+use dda_sparse::{Block6, Vec6};
+
+/// The four stiffness sub-matrices and two force vectors one contact
+/// contributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpringTerms {
+    /// Contribution to `K[i][i]`.
+    pub kii: Block6,
+    /// Contribution to `K[i][j]`.
+    pub kij: Block6,
+    /// Contribution to `K[j][j]`.
+    pub kjj: Block6,
+    /// Force on block `i`.
+    pub fi: Vec6,
+    /// Force on block `j`.
+    pub fj: Vec6,
+}
+
+impl SpringTerms {
+    fn zero() -> SpringTerms {
+        SpringTerms {
+            kii: Block6::ZERO,
+            kij: Block6::ZERO,
+            kjj: Block6::ZERO,
+            fi: [0.0; 6],
+            fj: [0.0; 6],
+        }
+    }
+
+    /// `K[j][i]` is always `K[i][j]ᵀ` (the springs are energy-derived).
+    pub fn kji(&self) -> Block6 {
+        self.kij.transpose()
+    }
+}
+
+/// Computes the spring terms of one contact, or `None` for open contacts.
+///
+/// `ci`/`cj` are the block centroids, `p1` the contact vertex, `p2`/`p3`
+/// the contacted edge endpoints — all in the *current* configuration.
+#[allow(clippy::too_many_arguments)]
+pub fn contact_spring_terms(
+    c: &Contact,
+    ci: Vec2,
+    cj: Vec2,
+    p1: Vec2,
+    p2: Vec2,
+    p3: Vec2,
+    penalty: f64,
+    shear_ratio: f64,
+    tan_phi: f64,
+    cohesion: f64,
+) -> Option<SpringTerms> {
+    if !c.state.closed() {
+        return None;
+    }
+    let l = p2.dist(p3);
+    if l < 1e-12 {
+        return None;
+    }
+    let mut out = SpringTerms::zero();
+    let inv_l2 = 1.0 / (l * l);
+
+    // ---- Normal spring ------------------------------------------------------
+    let s0 = orient2d(p2, p3, p1);
+    let (tx1, ty1) = t_rows_at(ci, p1);
+    let (tx2, ty2) = t_rows_at(cj, p2);
+    let (tx3, ty3) = t_rows_at(cj, p3);
+
+    let mut e = [0.0f64; 6];
+    let mut g = [0.0f64; 6];
+    for r in 0..6 {
+        e[r] = tx1[r] * (p2.y - p3.y) + ty1[r] * (p3.x - p2.x);
+        g[r] = tx2[r] * (p3.y - p1.y)
+            + ty2[r] * (p1.x - p3.x)
+            + tx3[r] * (p1.y - p2.y)
+            + ty3[r] * (p2.x - p1.x);
+    }
+    let pn = penalty * inv_l2;
+    out.kii += Block6::outer(&e, &e).scale(pn);
+    out.kij += Block6::outer(&e, &g).scale(pn);
+    out.kjj += Block6::outer(&g, &g).scale(pn);
+    let fn_scale = -penalty * s0 * inv_l2;
+    for r in 0..6 {
+        out.fi[r] += fn_scale * e[r];
+        out.fj[r] += fn_scale * g[r];
+    }
+
+    // ---- Shear: spring (lock) or friction (slide) ---------------------------
+    let p0 = p2.lerp(p3, c.edge_ratio.clamp(0.0, 1.0));
+    let (tx0, ty0) = t_rows_at(cj, p0);
+    let ex = p3.x - p2.x;
+    let ey = p3.y - p2.y;
+    let mut es = [0.0f64; 6];
+    let mut gs = [0.0f64; 6];
+    for r in 0..6 {
+        es[r] = tx1[r] * ex + ty1[r] * ey;
+        gs[r] = -(tx0[r] * ex + ty0[r] * ey);
+    }
+    let s0s = (p1 - p0).dot(Vec2::new(ex, ey));
+
+    match c.state {
+        ContactState::Lock => {
+            let ps = penalty * shear_ratio * inv_l2;
+            out.kii += Block6::outer(&es, &es).scale(ps);
+            out.kij += Block6::outer(&es, &gs).scale(ps);
+            out.kjj += Block6::outer(&gs, &gs).scale(ps);
+            let fs_scale = -penalty * shear_ratio * s0s * inv_l2;
+            for r in 0..6 {
+                out.fi[r] += fs_scale * es[r];
+                out.fj[r] += fs_scale * gs[r];
+            }
+        }
+        ContactState::Slide => {
+            // Normal force magnitude from the current penetration.
+            let penetration = s0 / l; // > 0 when penetrating
+            let n_force = (penalty * penetration).max(0.0);
+            let f_mag = n_force * tan_phi + cohesion * l;
+            // Friction opposes the sliding direction; the remembered
+            // direction keeps the force from flickering when the
+            // instantaneous offset is near zero.
+            let sigma = if c.slide_dir != 0.0 {
+                c.slide_dir
+            } else if s0s >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
+            let scale = -sigma * f_mag / l;
+            for r in 0..6 {
+                out.fi[r] += scale * es[r];
+                out.fj[r] += scale * gs[r];
+            }
+        }
+        ContactState::Open => unreachable!("filtered above"),
+    }
+
+    Some(out)
+}
+
+/// First-order normal and shear measures of a contact under tentative
+/// generalised displacements `di`, `dj` (the post-solve evaluation used by
+/// interpenetration checking and the open–close iteration):
+/// `dn = (S0 + e·di + g·dj)/ℓ` (positive = penetrating) and
+/// `ds = (S0s + es·di + gs·dj)/ℓ` (positive = vertex ahead of the
+/// reference point along the edge).
+#[allow(clippy::too_many_arguments)]
+pub fn contact_gap_under(
+    c: &Contact,
+    ci: Vec2,
+    cj: Vec2,
+    p1: Vec2,
+    p2: Vec2,
+    p3: Vec2,
+    di: &Vec6,
+    dj: &Vec6,
+) -> (f64, f64) {
+    let l = p2.dist(p3).max(1e-12);
+    let (tx1, ty1) = t_rows_at(ci, p1);
+    let (tx2, ty2) = t_rows_at(cj, p2);
+    let (tx3, ty3) = t_rows_at(cj, p3);
+    let s0 = orient2d(p2, p3, p1);
+    let mut dn = s0;
+    for r in 0..6 {
+        let e = tx1[r] * (p2.y - p3.y) + ty1[r] * (p3.x - p2.x);
+        let g = tx2[r] * (p3.y - p1.y)
+            + ty2[r] * (p1.x - p3.x)
+            + tx3[r] * (p1.y - p2.y)
+            + ty3[r] * (p2.x - p1.x);
+        dn += e * di[r] + g * dj[r];
+    }
+    dn /= l;
+
+    let p0 = p2.lerp(p3, c.edge_ratio.clamp(0.0, 1.0));
+    let (tx0, ty0) = t_rows_at(cj, p0);
+    let ex = p3.x - p2.x;
+    let ey = p3.y - p2.y;
+    let mut ds = (p1 - p0).dot(Vec2::new(ex, ey));
+    for r in 0..6 {
+        let es = tx1[r] * ex + ty1[r] * ey;
+        let gs = -(tx0[r] * ex + ty0[r] * ey);
+        ds += es * di[r] + gs * dj[r];
+    }
+    ds /= l;
+    (dn, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::types::ContactKind;
+
+    /// A unit setup: vertex at origin pressing the edge of a "floor" block
+    /// whose top edge runs from (−1, −0.01) to (1, −0.01) (CCW floor:
+    /// material below, left of the direction +x → the penetration of the
+    /// origin vertex is +0.01... orient2d((−1,−.01),(1,−.01),(0,0)) =
+    /// 2·0.01 > 0? Let's verify in the test).
+    fn setup(state: ContactState) -> (Contact, Vec2, Vec2, Vec2, Vec2, Vec2) {
+        let mut c = Contact::new(0, 1, 0, 0, u32::MAX, ContactKind::Ve);
+        c.state = state;
+        c.prev_iter_state = state;
+        c.edge_ratio = 0.5;
+        let ci = Vec2::new(0.0, 0.5); // upper block centroid
+        let cj = Vec2::new(0.0, -0.5); // floor centroid
+        let p1 = Vec2::new(0.0, 0.0);
+        let p2 = Vec2::new(-1.0, -0.01);
+        let p3 = Vec2::new(1.0, -0.01);
+        (c, ci, cj, p1, p2, p3)
+    }
+
+    #[test]
+    fn open_contact_contributes_nothing() {
+        let (c, ci, cj, p1, p2, p3) = setup(ContactState::Open);
+        assert!(contact_spring_terms(&c, ci, cj, p1, p2, p3, 1e9, 1.0, 0.5, 0.0).is_none());
+    }
+
+    #[test]
+    fn normal_spring_pushes_blocks_apart() {
+        let (c, ci, cj, p1, p2, p3) = setup(ContactState::Slide);
+        // With zero friction the slide state has only the normal spring.
+        let t = contact_spring_terms(&c, ci, cj, p1, p2, p3, 1e6, 1.0, 0.0, 0.0).unwrap();
+        // P1 is 0.01 above the edge → penetrating (floor material is below
+        // the edge, i.e. the CCW edge of the floor runs −x…+x with material
+        // left = below? For this test the sign that matters: the force on
+        // block i must push +y (out of the floor) when S0 > 0.
+        let s0 = orient2d(p2, p3, p1);
+        assert!(s0 > 0.0, "vertex should be on the material side: {s0}");
+        assert!(t.fi[1] != 0.0); // force exists
+        // Energy symmetry: K_jj, K_ii symmetric, K_ij arbitrary.
+        assert!(t.kii.is_symmetric(1e-9 * t.kii.max_abs()));
+        assert!(t.kjj.is_symmetric(1e-9 * t.kjj.max_abs()));
+        // The normal force on i is along −S0 gradient: direction of e.
+        // e = T1ᵀ(y2−y3, x3−x2) = T1ᵀ(0, 2) → fi ∝ −S0·(0,2)·p/l² < 0 in y?
+        // S0 = 2·0.01 → fi[1] = −p·S0/l²·e[1] with e[1] = 2 → negative.
+        assert!(t.fi[1] < 0.0);
+        // Newton's third law at the translational DOFs.
+        assert!((t.fi[1] + t.fj[1]).abs() < 1e-9 * t.fi[1].abs());
+        assert!((t.fi[0] + t.fj[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_when_vertex_on_edge() {
+        let (mut c, ci, cj, _, p2, p3) = setup(ContactState::Lock);
+        c.edge_ratio = 0.5;
+        // Vertex exactly on the edge at the reference point: no forces.
+        let p1 = Vec2::new(0.0, -0.01);
+        let t = contact_spring_terms(&c, ci, cj, p1, p2, p3, 1e6, 1.0, 0.5, 0.0).unwrap();
+        for r in 0..6 {
+            assert!(t.fi[r].abs() < 1e-9, "fi[{r}] = {}", t.fi[r]);
+            assert!(t.fj[r].abs() < 1e-9);
+        }
+        // Stiffness is still present (springs are attached).
+        assert!(t.kii.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn lock_state_has_shear_stiffness_slide_does_not() {
+        let (cl, ci, cj, p1, p2, p3) = setup(ContactState::Lock);
+        let tl = contact_spring_terms(&cl, ci, cj, p1, p2, p3, 1e6, 1.0, 0.5, 0.0).unwrap();
+        let (cs, ..) = setup(ContactState::Slide);
+        let ts = contact_spring_terms(&cs, ci, cj, p1, p2, p3, 1e6, 1.0, 0.5, 0.0).unwrap();
+        // The x-direction (edge-aligned) stiffness only exists with the
+        // shear spring.
+        assert!(tl.kii.0[0][0] > 0.0);
+        assert!(ts.kii.0[0][0] < 1e-9 * tl.kii.0[0][0]);
+    }
+
+    #[test]
+    fn friction_opposes_shear_offset() {
+        let (mut c, ci, cj, _, p2, p3) = setup(ContactState::Slide);
+        c.edge_ratio = 0.5; // reference point at x = 0
+        // Vertex penetrating (on the material side, S0 > 0) and shifted +x
+        // from the reference point.
+        let p1 = Vec2::new(0.3, 0.0);
+        let t = contact_spring_terms(&c, ci, cj, p1, p2, p3, 1e6, 1.0, 0.5, 0.0).unwrap();
+        // Friction force on block i must act in −x.
+        assert!(t.fi[0] < 0.0, "friction must oppose +x offset: {}", t.fi[0]);
+        // And the mirrored force on j in +x (through gs).
+        assert!(t.fj[0] > 0.0);
+        // No friction without penetration (vertex on the open side).
+        let p1_sep = Vec2::new(0.3, -0.5);
+        let t2 = contact_spring_terms(&c, ci, cj, p1_sep, p2, p3, 1e6, 1.0, 0.5, 0.0).unwrap();
+        assert_eq!(t2.fi[0], 0.0);
+    }
+
+    #[test]
+    fn kji_is_transpose_of_kij() {
+        let (c, ci, cj, p1, p2, p3) = setup(ContactState::Lock);
+        let t = contact_spring_terms(&c, ci, cj, p1, p2, p3, 1e6, 1.0, 0.5, 0.0).unwrap();
+        assert_eq!(t.kji(), t.kij.transpose());
+    }
+
+    #[test]
+    fn degenerate_edge_rejected() {
+        let (c, ci, cj, p1, p2, _) = setup(ContactState::Lock);
+        assert!(contact_spring_terms(&c, ci, cj, p1, p2, p2, 1e6, 1.0, 0.5, 0.0).is_none());
+    }
+
+    #[test]
+    fn gap_under_zero_displacement_is_geometric() {
+        let (c, ci, cj, p1, p2, p3) = setup(ContactState::Lock);
+        let z = [0.0; 6];
+        let (dn, ds) = contact_gap_under(&c, ci, cj, p1, p2, p3, &z, &z);
+        // Geometric penetration: S0/ℓ = 2·area/ℓ. The vertex sits 0.01
+        // above the edge, edge length 2 → dn = 0.01.
+        assert!((dn - 0.01).abs() < 1e-12, "dn = {dn}");
+        // Vertex x = 0, reference point x = 0 → no shear offset.
+        assert!(ds.abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_under_translation_is_first_order_exact() {
+        let (c, ci, cj, p1, p2, p3) = setup(ContactState::Lock);
+        // Move block i down by 0.005 and right by 0.2.
+        let di = [0.2, -0.005, 0.0, 0.0, 0.0, 0.0];
+        let dj = [0.0; 6];
+        let (dn, ds) = contact_gap_under(&c, ci, cj, p1, p2, p3, &di, &dj);
+        assert!((dn - 0.005).abs() < 1e-12, "dn = {dn}");
+        assert!((ds - 0.2).abs() < 1e-12, "ds = {ds}");
+        // Moving block j the same way cancels both measures.
+        let (dn2, ds2) = contact_gap_under(&c, ci, cj, p1, p2, p3, &di, &di);
+        assert!((dn2 - 0.01).abs() < 1e-12);
+        assert!(ds2.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! The block system: blocks, material tables, and loading.
+
+use crate::block::Block;
+use crate::material::{BlockMaterial, JointMaterial};
+use dda_geom::{Aabb, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// A concentrated load applied at a fixed point of one block.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PointLoad {
+    /// Index of the loaded block.
+    pub block: u32,
+    /// Application point (moves with the block).
+    pub point: Vec2,
+    /// Force vector (N).
+    pub force: Vec2,
+}
+
+/// A complete DDA model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockSystem {
+    /// The blocks.
+    pub blocks: Vec<Block>,
+    /// Block material table (indexed by [`Block::material`]).
+    pub block_materials: Vec<BlockMaterial>,
+    /// Joint material table. Contacts pick the joint material by the
+    /// *minimum* of the two blocks' material indices (a common DDA
+    /// convention; workloads may override per-pair).
+    pub joint_materials: Vec<JointMaterial>,
+    /// Concentrated loads.
+    pub point_loads: Vec<PointLoad>,
+}
+
+impl BlockSystem {
+    /// Creates a system with a single material pair.
+    pub fn new(blocks: Vec<Block>, bm: BlockMaterial, jm: JointMaterial) -> BlockSystem {
+        BlockSystem {
+            blocks,
+            block_materials: vec![bm],
+            joint_materials: vec![jm],
+            point_loads: Vec::new(),
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the system has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Material of block `i`.
+    pub fn material_of(&self, i: usize) -> &BlockMaterial {
+        &self.block_materials[self.blocks[i].material as usize]
+    }
+
+    /// Joint material governing the contact between blocks `i` and `j`.
+    pub fn joint_of(&self, i: usize, j: usize) -> &JointMaterial {
+        let mi = self.blocks[i].material as usize;
+        let mj = self.blocks[j].material as usize;
+        let idx = mi.min(mj).min(self.joint_materials.len() - 1);
+        &self.joint_materials[idx]
+    }
+
+    /// Bounding box of the whole model.
+    pub fn domain(&self) -> Aabb {
+        self.blocks
+            .iter()
+            .fold(Aabb::EMPTY, |acc, b| acc.union(b.aabb()))
+    }
+
+    /// Characteristic block size: the mean circumradius ×2.
+    pub fn mean_block_size(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.blocks.iter().map(|b| b.poly.circumradius() * 2.0).sum();
+        sum / self.blocks.len() as f64
+    }
+
+    /// Total kinetic-energy proxy `Σ ρ·S·|v(centroid)|²/2` — the quantity
+    /// that must decay to zero in a static stability analysis (case 1's
+    /// "until all the blocks stayed in the static state").
+    pub fn kinetic_energy(&self) -> f64 {
+        self.blocks
+            .iter()
+            .map(|b| {
+                let rho = self.block_materials[b.material as usize].density;
+                let v2 = b.velocity[0] * b.velocity[0] + b.velocity[1] * b.velocity[1];
+                0.5 * rho * b.area() * v2
+            })
+            .sum()
+    }
+
+    /// Gravitational potential energy `Σ m·g·y_c` relative to `y = 0`,
+    /// using each material's body force (so non-gravity loadings are
+    /// handled consistently). Together with [`BlockSystem::kinetic_energy`]
+    /// this gives the conservation audit used by the physics tests.
+    pub fn gravitational_potential(&self) -> f64 {
+        self.blocks
+            .iter()
+            .map(|b| {
+                let bm = &self.block_materials[b.material as usize];
+                let c = b.centroid();
+                // Potential of a uniform body force f over the block:
+                // −f·c·S (per unit thickness).
+                -(bm.body_force[0] * c.x + bm.body_force[1] * c.y) * b.area()
+            })
+            .sum()
+    }
+
+    /// Total overlap area between all block pairs (validation metric; the
+    /// penalty method keeps this near zero).
+    pub fn total_interpenetration(&self) -> f64 {
+        let polys: Vec<_> = self.blocks.iter().map(|b| b.poly.clone()).collect();
+        dda_geom::intersect::total_overlap_area(&polys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_geom::Polygon;
+
+    fn two_block_system() -> BlockSystem {
+        let b0 = Block::new(Polygon::rect(0.0, 0.0, 1.0, 1.0), 0).fixed();
+        let b1 = Block::new(Polygon::rect(0.0, 1.0, 1.0, 2.0), 0);
+        BlockSystem::new(
+            vec![b0, b1],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(30.0),
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = two_block_system();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.material_of(1).density, 2600.0);
+        assert!((s.joint_of(0, 1).friction_angle_deg - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domain_covers_all_blocks() {
+        let s = two_block_system();
+        let d = s.domain();
+        assert!(d.contains(Vec2::new(0.5, 1.9)));
+        assert!((d.extent().y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kinetic_energy_zero_at_rest_positive_in_motion() {
+        let mut s = two_block_system();
+        assert_eq!(s.kinetic_energy(), 0.0);
+        s.blocks[1].velocity[1] = -1.0;
+        let ke = s.kinetic_energy();
+        assert!((ke - 0.5 * 2600.0 * 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpenetration_of_stacked_blocks_is_zero() {
+        let s = two_block_system();
+        assert!(s.total_interpenetration() < 1e-12);
+    }
+
+    #[test]
+    fn mean_block_size_reasonable() {
+        let s = two_block_system();
+        // Unit squares: circumradius √2/2 → size √2.
+        assert!((s.mean_block_size() - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Data updating (the last module of Figs 1–2).
+//!
+//! Once a step's displacements are accepted, every block's geometry,
+//! velocity and stress advance:
+//!
+//! * vertices move by the block displacement function (exact rotation for
+//!   the `r0` part — see [`crate::block::Block::apply_displacement`]);
+//! * velocities follow Shi's implicit update `v⁺ = (2/Δt)·d − v⁻` (scaled
+//!   by the dynamics factor for static relaxation);
+//! * stresses accumulate the elastic increment `Δσ = E·(Δεx, Δεy, Δγxy)`;
+//! * contacts bank their accumulated normal/shear history and promote the
+//!   current state to `prev_step_state` for the next step's transfer.
+
+use crate::contact::types::Contact;
+use crate::params::DdaParams;
+use crate::system::BlockSystem;
+use dda_simt::serial::CpuCounter;
+use dda_sparse::Vec6;
+
+/// Applies an accepted step displacement to the whole system (serial; the
+/// GPU pipeline reuses this host-side commit after computing on-device —
+/// the arrays it would write back are exactly these).
+pub fn update_system(
+    sys: &mut BlockSystem,
+    d: &[f64],
+    contacts: &mut [Contact],
+    gaps: &crate::interpenetration::GapArrays,
+    params: &DdaParams,
+    counter: &mut CpuCounter,
+) {
+    let dt = params.dt;
+    for (i, b) in sys.blocks.iter_mut().enumerate() {
+        let di: &Vec6 = d[6 * i..6 * i + 6].try_into().unwrap();
+        // Velocity update (before geometry, which consumes d).
+        for r in 0..6 {
+            b.velocity[r] = params.dynamics * (2.0 / dt * di[r] - b.velocity[r]);
+        }
+        // Stress increment from the strain DOFs.
+        let bm = &sys.block_materials[b.material as usize];
+        let e = bm.elasticity();
+        let de = [di[3], di[4], di[5]];
+        for r in 0..3 {
+            b.stress[r] += e[r][0] * de[0] + e[r][1] * de[1] + e[r][2] * de[2];
+        }
+        b.apply_displacement(di);
+        counter.flop(100 + 20 * b.poly.len() as u64);
+        counter.bytes((16 * b.poly.len() + 80) as u64 * 8);
+    }
+    // Contact history banking.
+    for (k, c) in contacts.iter_mut().enumerate() {
+        c.normal_disp = gaps.dn.get(k).copied().unwrap_or(c.normal_disp);
+        c.shear_disp += gaps.ds.get(k).copied().unwrap_or(0.0);
+        c.prev_step_state = c.state;
+        counter.flop(4);
+        counter.bytes(48);
+    }
+}
+
+/// Largest vertex displacement across all blocks — loop 2's control value.
+pub fn max_displacement(sys: &BlockSystem, d: &[f64]) -> f64 {
+    sys.blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let di: &Vec6 = d[6 * i..6 * i + 6].try_into().unwrap();
+            b.max_vertex_displacement(di)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::interpenetration::GapArrays;
+    use crate::material::{BlockMaterial, JointMaterial};
+    use dda_geom::{Polygon, Vec2};
+
+    fn sys() -> BlockSystem {
+        BlockSystem::new(
+            vec![Block::new(Polygon::rect(0.0, 0.0, 1.0, 1.0), 0)],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(30.0),
+        )
+    }
+
+    fn no_gaps() -> GapArrays {
+        GapArrays::default()
+    }
+
+    #[test]
+    fn geometry_moves_and_velocity_updates() {
+        let mut s = sys();
+        let p = DdaParams::for_model(1.0, 5e9);
+        let d = vec![0.001, -0.002, 0.0, 0.0, 0.0, 0.0];
+        let mut cnt = CpuCounter::new();
+        update_system(&mut s, &d, &mut [], &no_gaps(), &p, &mut cnt);
+        assert!(s.blocks[0].centroid().dist(Vec2::new(0.501, 0.498)) < 1e-12);
+        // v = 2d/dt − v0 with v0 = 0.
+        assert!((s.blocks[0].velocity[0] - 2.0 * 0.001 / p.dt).abs() < 1e-12);
+        assert!((s.blocks[0].velocity[1] + 2.0 * 0.002 / p.dt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_mode_kills_velocity() {
+        let mut s = sys();
+        s.blocks[0].velocity = [1.0; 6];
+        let p = DdaParams::for_model(1.0, 5e9).static_analysis();
+        let d = vec![0.001; 6];
+        let mut cnt = CpuCounter::new();
+        update_system(&mut s, &d, &mut [], &no_gaps(), &p, &mut cnt);
+        assert!(s.blocks[0].velocity.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn stress_accumulates_elastically() {
+        let mut s = sys();
+        let p = DdaParams::for_model(1.0, 5e9);
+        let eps = 1e-5;
+        let d = vec![0.0, 0.0, 0.0, eps, 0.0, 0.0];
+        let mut cnt = CpuCounter::new();
+        update_system(&mut s, &d, &mut [], &no_gaps(), &p, &mut cnt);
+        let bm = BlockMaterial::rock();
+        let e0 = bm.young / (1.0 - bm.poisson * bm.poisson);
+        assert!((s.blocks[0].stress[0] - e0 * eps).abs() < 1e-3);
+        assert!((s.blocks[0].stress[1] - e0 * bm.poisson * eps).abs() < 1e-3);
+        assert_eq!(s.blocks[0].stress[2], 0.0);
+    }
+
+    #[test]
+    fn contact_history_banked() {
+        use crate::contact::types::{Contact, ContactKind, ContactState};
+        let mut s = sys();
+        let p = DdaParams::for_model(1.0, 5e9);
+        let mut contacts = vec![Contact::new(0, 0, 0, 0, u32::MAX, ContactKind::Ve)];
+        contacts[0].state = ContactState::Slide;
+        contacts[0].shear_disp = 0.1;
+        let gaps = GapArrays {
+            dn: vec![0.002],
+            ds: vec![0.03],
+            margin: vec![0.0],
+            limit: vec![1.0],
+            len: vec![1.0],
+        };
+        let mut cnt = CpuCounter::new();
+        update_system(&mut s, &[0.0; 6], &mut contacts, &gaps, &p, &mut cnt);
+        assert_eq!(contacts[0].normal_disp, 0.002);
+        assert!((contacts[0].shear_disp - 0.13).abs() < 1e-12);
+        assert_eq!(contacts[0].prev_step_state, ContactState::Slide);
+    }
+
+    #[test]
+    fn max_displacement_across_blocks() {
+        let s = sys();
+        let mut d = vec![0.0; 6];
+        d[0] = 0.25;
+        assert!((max_displacement(&s, &d) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Axis-aligned bounding boxes for broad-phase contact detection.
+//!
+//! The broad phase in the paper tests every block pair's bounding boxes,
+//! inflated by the contact search radius `d0` (twice the maximum allowed
+//! per-step displacement), in a tiled O(n²/2) kernel. [`Aabb`] is the data
+//! each lane of that kernel loads.
+
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec2,
+    /// Maximum corner.
+    pub max: Vec2,
+}
+
+impl Aabb {
+    /// An empty box (inverted bounds) that unions correctly with anything.
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec2 {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        max: Vec2 {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
+    };
+
+    /// Creates a box from min/max corners.
+    #[inline]
+    pub const fn new(min: Vec2, max: Vec2) -> Self {
+        Aabb { min, max }
+    }
+
+    /// Smallest box containing all `points`. Returns [`Aabb::EMPTY`] for an
+    /// empty slice.
+    pub fn from_points(points: &[Vec2]) -> Aabb {
+        points.iter().fold(Aabb::EMPTY, |acc, &p| acc.include(p))
+    }
+
+    /// Box grown to contain `p`.
+    #[inline]
+    pub fn include(self, p: Vec2) -> Aabb {
+        Aabb::new(self.min.min(p), self.max.max(p))
+    }
+
+    /// Union of two boxes.
+    #[inline]
+    pub fn union(self, other: Aabb) -> Aabb {
+        Aabb::new(self.min.min(other.min), self.max.max(other.max))
+    }
+
+    /// Box inflated by `r` on every side.
+    ///
+    /// Broad phase inflates block boxes by the contact search radius so
+    /// blocks *about to* touch within the step are still detected.
+    #[inline]
+    pub fn inflate(self, r: f64) -> Aabb {
+        Aabb::new(self.min - Vec2::new(r, r), self.max + Vec2::new(r, r))
+    }
+
+    /// True when the two boxes overlap (touching counts).
+    #[inline]
+    pub fn overlaps(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// True when `p` lies inside or on the box.
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Box centre.
+    #[inline]
+    pub fn center(&self) -> Vec2 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Width and height as a vector.
+    #[inline]
+    pub fn extent(&self) -> Vec2 {
+        self.max - self.min
+    }
+
+    /// True for a box with no points (inverted bounds).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_and_contains() {
+        let b = Aabb::from_points(&[
+            Vec2::new(1.0, 2.0),
+            Vec2::new(-1.0, 5.0),
+            Vec2::new(3.0, 0.0),
+        ]);
+        assert_eq!(b.min, Vec2::new(-1.0, 0.0));
+        assert_eq!(b.max, Vec2::new(3.0, 5.0));
+        assert!(b.contains(Vec2::new(0.0, 3.0)));
+        assert!(!b.contains(Vec2::new(4.0, 3.0)));
+    }
+
+    #[test]
+    fn empty_box() {
+        let e = Aabb::from_points(&[]);
+        assert!(e.is_empty());
+        let b = e.include(Vec2::new(1.0, 1.0));
+        assert!(!b.is_empty());
+        assert_eq!(b.min, b.max);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0));
+        let b = Aabb::new(Vec2::new(2.0, -1.0), Vec2::new(3.0, 0.5));
+        let u = a.union(b);
+        assert_eq!(u.min, Vec2::new(0.0, -1.0));
+        assert_eq!(u.max, Vec2::new(3.0, 1.0));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(2.0, 2.0));
+        let b = Aabb::new(Vec2::new(1.0, 1.0), Vec2::new(3.0, 3.0));
+        let c = Aabb::new(Vec2::new(5.0, 5.0), Vec2::new(6.0, 6.0));
+        let d = Aabb::new(Vec2::new(2.0, 0.0), Vec2::new(3.0, 1.0)); // touching edge
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(a.overlaps(&d));
+    }
+
+    #[test]
+    fn inflate_enables_proximity_detection() {
+        let a = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0));
+        let b = Aabb::new(Vec2::new(1.5, 0.0), Vec2::new(2.5, 1.0));
+        assert!(!a.overlaps(&b));
+        assert!(a.inflate(0.3).overlaps(&b.inflate(0.3)));
+    }
+
+    #[test]
+    fn center_and_extent() {
+        let a = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(4.0, 2.0));
+        assert_eq!(a.center(), Vec2::new(2.0, 1.0));
+        assert_eq!(a.extent(), Vec2::new(4.0, 2.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Contact-angle judgment helpers.
+//!
+//! DDA's narrow phase does not accept every close vertex/edge pair as a
+//! contact: the *angle judgment* (the paper's second classification step)
+//! checks that the vertex wedges actually face each other, so blocks sliding
+//! past one another are not glued together by phantom springs.
+//!
+//! For a vertex `v` with adjacent vertices `(prev, next)` on a CCW block,
+//! the material of the block occupies the angular sector from `v → next`
+//! CCW around to `v → prev`. A vertex–edge contact is admissible when the
+//! edge's inward normal lies inside (or near) the *complement* of the wedge,
+//! and a vertex–vertex contact when the two wedges can be separated.
+
+use crate::vec2::Vec2;
+
+/// Normalises an angle to `[0, 2π)`.
+#[inline]
+pub fn wrap_angle(a: f64) -> f64 {
+    let tau = std::f64::consts::TAU;
+    let mut r = a % tau;
+    if r < 0.0 {
+        r += tau;
+    }
+    r
+}
+
+/// CCW angular span from direction `from` to direction `to`, in `[0, 2π)`.
+#[inline]
+pub fn ccw_span(from: Vec2, to: Vec2) -> f64 {
+    wrap_angle(to.angle() - from.angle())
+}
+
+/// The material wedge of a block vertex: the CCW angular sector occupied by
+/// block material around the vertex.
+#[derive(Debug, Clone, Copy)]
+pub struct Wedge {
+    /// Direction from the vertex toward the next vertex (CCW start of the
+    /// material sector).
+    pub start: Vec2,
+    /// Direction from the vertex toward the previous vertex (CCW end of the
+    /// material sector).
+    pub end: Vec2,
+}
+
+impl Wedge {
+    /// Builds the wedge of vertex `v` with CCW neighbours `prev` and `next`.
+    pub fn new(prev: Vec2, v: Vec2, next: Vec2) -> Self {
+        Wedge {
+            start: (next - v).normalized(),
+            end: (prev - v).normalized(),
+        }
+    }
+
+    /// Interior angle of the wedge in radians (`< π` for convex vertices).
+    pub fn interior_angle(&self) -> f64 {
+        ccw_span(self.start, self.end)
+    }
+
+    /// True when direction `d` (from the vertex outward) points into block
+    /// material, within angular slack `tol` radians.
+    pub fn contains_dir(&self, d: Vec2, tol: f64) -> bool {
+        let span = self.interior_angle();
+        let a = ccw_span(self.start, d);
+        a <= span + tol || a >= std::f64::consts::TAU - tol
+    }
+}
+
+/// Vertex–edge angle admissibility: can vertex `v` (wedge `w`) press against
+/// an edge whose **outward** unit normal (pointing away from the contacted
+/// block) is `edge_outward_normal`?
+///
+/// The contact pushes the vertex in the `edge_outward_normal` direction, so
+/// the vertex's material must *not* already occupy the half space behind it:
+/// the direction `-edge_outward_normal` (from the vertex toward the edge)
+/// must not be interior to the wedge by more than the slack.
+pub fn ve_admissible(w: &Wedge, edge_outward_normal: Vec2, tol: f64) -> bool {
+    // Direction from the vertex toward the contacted edge.
+    let toward = -edge_outward_normal;
+    // Admissible when material does not fully surround the approach
+    // direction; allow grazing contact within `tol`.
+    !w.contains_dir(toward, -tol)
+}
+
+/// Vertex–vertex angle admissibility: two wedges may form a contact when the
+/// sum of their interior angles leaves room for a separating line
+/// (`< 2π` with slack). Overlapping material (`sum ≥ 2π`) means the
+/// configuration is already interpenetrating beyond vertex contact.
+pub fn vv_admissible(a: &Wedge, b: &Wedge, tol: f64) -> bool {
+    a.interior_angle() + b.interior_angle() < std::f64::consts::TAU + tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn wrap_angle_range() {
+        assert!((wrap_angle(-0.1) - (std::f64::consts::TAU - 0.1)).abs() < 1e-12);
+        assert_eq!(wrap_angle(0.0), 0.0);
+        assert!((wrap_angle(7.0) - (7.0 - std::f64::consts::TAU)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccw_span_quarters() {
+        let e1 = Vec2::new(1.0, 0.0);
+        let e2 = Vec2::new(0.0, 1.0);
+        assert!((ccw_span(e1, e2) - FRAC_PI_2).abs() < 1e-12);
+        assert!((ccw_span(e2, e1) - 3.0 * FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_corner_wedge() {
+        // Bottom-left corner of a CCW unit square: prev=(0,1), v=(0,0), next=(1,0).
+        let w = Wedge::new(Vec2::new(0.0, 1.0), Vec2::ZERO, Vec2::new(1.0, 0.0));
+        assert!((w.interior_angle() - FRAC_PI_2).abs() < 1e-12);
+        // The material sector is the first quadrant.
+        assert!(w.contains_dir(Vec2::new(1.0, 1.0).normalized(), 1e-9));
+        assert!(!w.contains_dir(Vec2::new(-1.0, -1.0).normalized(), 1e-9));
+    }
+
+    #[test]
+    fn ve_admissibility_square_on_floor() {
+        // Square corner resting on a floor whose outward normal is +y.
+        let w = Wedge::new(Vec2::new(0.0, 1.0), Vec2::ZERO, Vec2::new(1.0, 0.0));
+        let floor_normal = Vec2::new(0.0, 1.0);
+        // Approach direction is -y which is NOT in the first-quadrant wedge:
+        // admissible.
+        assert!(ve_admissible(&w, floor_normal, 0.01));
+        // A wall pushing from +x: approach -x not in wedge: admissible.
+        assert!(ve_admissible(&w, Vec2::new(1.0, 0.0), 0.01));
+        // A ceiling pushing from below (-y outward normal): the approach
+        // direction +y is wedge-interior-adjacent (boundary), still
+        // admissible only within slack — boundary case:
+        let ceiling = Vec2::new(0.0, -1.0);
+        // Approach +y is on the wedge boundary; with negative slack inside
+        // contains_dir it is rejected as interior.
+        assert!(ve_admissible(&w, ceiling, 0.01));
+    }
+
+    #[test]
+    fn ve_inadmissible_when_material_behind() {
+        // A very obtuse vertex (interior angle near 2π would be non-convex);
+        // use a half-plane vertex: prev=(-1,0), v=(0,0), next=(1,0) →
+        // interior angle π (flat). Material fills y>0 side.
+        let w = Wedge::new(Vec2::new(-1.0, 0.0), Vec2::ZERO, Vec2::new(1.0, 0.0));
+        // Edge below pushing up: approach direction -y, not in material: ok.
+        assert!(ve_admissible(&w, Vec2::new(0.0, 1.0), 0.01));
+        // Edge above pushing down: approach +y is strictly inside material:
+        // inadmissible.
+        assert!(!ve_admissible(&w, Vec2::new(0.0, -1.0), 0.01));
+    }
+
+    #[test]
+    fn vv_admissibility() {
+        let quarter = Wedge::new(Vec2::new(0.0, 1.0), Vec2::ZERO, Vec2::new(1.0, 0.0));
+        assert!((quarter.interior_angle() - FRAC_PI_2).abs() < 1e-12);
+        // Two square corners: π/2 + π/2 < 2π → admissible.
+        assert!(vv_admissible(&quarter, &quarter, 1e-9));
+        // Two nearly-flat wedges of angle ~π each still admissible
+        // (π + π = 2π boundary, needs slack).
+        let flat = Wedge::new(Vec2::new(-1.0, 0.0), Vec2::ZERO, Vec2::new(1.0, 0.0));
+        assert!((flat.interior_angle() - PI).abs() < 1e-12);
+        assert!(vv_admissible(&flat, &flat, 0.01));
+    }
+}

@@ -1,0 +1,142 @@
+//! Polygon overlap measurement for interpenetration checking.
+//!
+//! The open–close loop must verify that "there are no interpenetrations
+//! between the contacted blocks" (paper, §I). The penalty formulation keeps
+//! penetration small but nonzero; these helpers measure it so the checker
+//! can decide whether another open–close iteration is needed and so tests
+//! can assert the physical invariant (overlap area bounded by the penalty
+//! compliance).
+
+use crate::polygon::Polygon;
+use crate::vec2::Vec2;
+
+/// Area of the intersection of two **convex** polygons.
+pub fn convex_overlap_area(a: &Polygon, b: &Polygon) -> f64 {
+    if !a.aabb().overlaps(&b.aabb()) {
+        return 0.0;
+    }
+    a.clip_convex(b).map_or(0.0, |p| p.area())
+}
+
+/// Maximum depth by which any vertex of `a` penetrates convex polygon `b`
+/// (0 when no vertex is inside).
+///
+/// Depth of an interior vertex is its distance to the nearest edge of `b` —
+/// the translation needed to expel it.
+pub fn max_vertex_penetration(a: &Polygon, b: &Polygon) -> f64 {
+    let mut depth: f64 = 0.0;
+    for &v in a.vertices() {
+        if b.contains(v) {
+            let d = b
+                .edges()
+                .map(|e| e.dist_to_point(v))
+                .fold(f64::INFINITY, f64::min);
+            depth = depth.max(d);
+        }
+    }
+    depth
+}
+
+/// Symmetric penetration measure between two convex polygons: the larger of
+/// the two directed vertex penetrations.
+pub fn penetration_depth(a: &Polygon, b: &Polygon) -> f64 {
+    max_vertex_penetration(a, b).max(max_vertex_penetration(b, a))
+}
+
+/// True when two convex polygons overlap with more than `tol` area.
+pub fn overlaps(a: &Polygon, b: &Polygon, tol: f64) -> bool {
+    convex_overlap_area(a, b) > tol
+}
+
+/// Total overlap area over all pairs in a block system — the global
+/// interpenetration metric reported by the pipeline's diagnostics.
+///
+/// Quadratic in the number of polygons; intended for tests and validation,
+/// not for the hot loop (the pipeline's checker works per-contact).
+pub fn total_overlap_area(polys: &[Polygon]) -> f64 {
+    let mut total = 0.0;
+    for i in 0..polys.len() {
+        for j in (i + 1)..polys.len() {
+            total += convex_overlap_area(&polys[i], &polys[j]);
+        }
+    }
+    total
+}
+
+/// Signed gap between a vertex and an edge along the edge's outward normal:
+/// negative values indicate penetration. `p2 → p3` must be a CCW edge of the
+/// contacted block so that material lies to its left.
+#[inline]
+pub fn vertex_edge_gap(p1: Vec2, p2: Vec2, p3: Vec2) -> f64 {
+    let l = p2.dist(p3);
+    if l < crate::GEOM_EPS {
+        return p1.dist(p2);
+    }
+    // orient2d(p2, p3, p1) > 0 ⇔ p1 left of the edge ⇔ inside material ⇔
+    // penetrating, so the signed *gap* is the negative of the signed area
+    // ratio.
+    -crate::predicates::orient2d(p2, p3, p1) / l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_area_of_offset_squares() {
+        let a = Polygon::rect(0.0, 0.0, 2.0, 2.0);
+        let b = Polygon::rect(1.0, 1.0, 3.0, 3.0);
+        assert!((convex_overlap_area(&a, &b) - 1.0).abs() < 1e-12);
+        assert!(overlaps(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn disjoint_squares_no_overlap() {
+        let a = Polygon::rect(0.0, 0.0, 1.0, 1.0);
+        let b = Polygon::rect(5.0, 5.0, 6.0, 6.0);
+        assert_eq!(convex_overlap_area(&a, &b), 0.0);
+        assert_eq!(penetration_depth(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn touching_squares_zero_area() {
+        let a = Polygon::rect(0.0, 0.0, 1.0, 1.0);
+        let b = Polygon::rect(1.0, 0.0, 2.0, 1.0);
+        assert!(convex_overlap_area(&a, &b) < 1e-9);
+        assert!(!overlaps(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn vertex_penetration_depth() {
+        let a = Polygon::rect(0.0, 0.0, 2.0, 2.0);
+        // b's lower-left corner is 0.25 deep inside a (distance to nearest
+        // edge of a is min(2-1.75, 2-1.75)=0.25).
+        let b = Polygon::rect(1.75, 1.75, 3.0, 3.0);
+        let d = max_vertex_penetration(&b, &a);
+        assert!((d - 0.25).abs() < 1e-12);
+        assert!((penetration_depth(&a, &b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertex_edge_gap_signs() {
+        // CCW bottom edge of a block occupying y>0: p2=(0,0) → p3=(1,0).
+        let p2 = Vec2::new(0.0, 0.0);
+        let p3 = Vec2::new(1.0, 0.0);
+        // Vertex below the edge (outside the material): positive gap.
+        assert!((vertex_edge_gap(Vec2::new(0.5, -0.3), p2, p3) - 0.3).abs() < 1e-12);
+        // Vertex above the edge (inside the material): negative = penetration.
+        assert!((vertex_edge_gap(Vec2::new(0.5, 0.2), p2, p3) + 0.2).abs() < 1e-12);
+        // On the edge: zero.
+        assert!(vertex_edge_gap(Vec2::new(0.5, 0.0), p2, p3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_overlap_accumulates_pairs() {
+        let polys = vec![
+            Polygon::rect(0.0, 0.0, 2.0, 2.0),
+            Polygon::rect(1.0, 0.0, 3.0, 2.0), // overlaps #0 by 2
+            Polygon::rect(10.0, 0.0, 11.0, 1.0),
+        ];
+        assert!((total_overlap_area(&polys) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! # dda-geom — 2-D computational geometry substrate for DDA
+//!
+//! Discontinuous Deformation Analysis operates on systems of convex
+//! polygonal blocks. Every stage of the pipeline leans on a small set of
+//! geometric primitives:
+//!
+//! * **broad-phase contact detection** needs axis-aligned bounding boxes
+//!   ([`Aabb`]) and fast overlap tests;
+//! * **narrow-phase contact detection** needs point–segment distances,
+//!   vertex–vertex distances, and the *contact angle* test between vertex
+//!   wedges ([`angle`]);
+//! * **stiffness assembly** needs block areas, centroids and second moments
+//!   ([`Polygon::second_moments`]) for the elastic and inertia terms;
+//! * **interpenetration checking** needs signed areas of vertex/edge
+//!   triples and polygon overlap areas ([`intersect`]).
+//!
+//! All computations are in `f64`; DDA requires double precision (the paper
+//! evaluates exclusively in double precision and so do we).
+//!
+//! The crate is dependency-light and fully deterministic, so it can be used
+//! both from the serial reference pipeline and from inside simulated GPU
+//! kernels (the SIMT simulator executes plain Rust closures).
+
+#![deny(missing_docs)]
+// Index-based loops over fixed 6-DOF arrays mirror the paper's kernel
+// notation (row r, column c); iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod aabb;
+pub mod angle;
+pub mod intersect;
+pub mod polygon;
+pub mod predicates;
+pub mod segment;
+pub mod vec2;
+
+pub use aabb::Aabb;
+pub use polygon::Polygon;
+pub use segment::Segment;
+pub use vec2::Vec2;
+
+/// Geometric tolerance used across the DDA pipeline for degeneracy tests
+/// (parallel edges, zero-length segments, coincident vertices).
+///
+/// Shi's reference implementation uses a relative tolerance of `1e-12`
+/// scaled by the problem size; the workloads in this repository are sized in
+/// metres with coordinates up to ~1e3, so an absolute `1e-9` keeps roughly
+/// the same relative resolution.
+pub const GEOM_EPS: f64 = 1e-9;

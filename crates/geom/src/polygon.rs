@@ -1,0 +1,509 @@
+//! Convex polygons: the geometric representation of a DDA block.
+//!
+//! Beyond the obvious queries (area, centroid, point containment) this
+//! module provides the two integrals the DDA stiffness terms need —
+//! [`Polygon::second_moments`] feeds the inertia matrix `∫ Tᵀ T dA` — and
+//! the constructive operations the workload generators need (half-plane
+//! split, convex clipping) to cut a slope region into a jointed block
+//! system.
+
+use crate::aabb::Aabb;
+use crate::predicates::orient2d;
+use crate::segment::Segment;
+use crate::vec2::Vec2;
+use crate::GEOM_EPS;
+use serde::{Deserialize, Serialize};
+
+/// Area-weighted second moments of a polygon about its own centroid.
+///
+/// With `(xc, yc)` the centroid, the fields are
+/// `sxx = ∫ (x - xc)² dA`, `syy = ∫ (y - yc)² dA`,
+/// `sxy = ∫ (x - xc)(y - yc) dA`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SecondMoments {
+    /// `∫ (x - xc)² dA`
+    pub sxx: f64,
+    /// `∫ (y - yc)² dA`
+    pub syy: f64,
+    /// `∫ (x - xc)(y - yc) dA`
+    pub sxy: f64,
+}
+
+/// A simple polygon stored as CCW-ordered vertices.
+///
+/// The constructors normalise orientation to counter-clockwise, which the
+/// contact kernels rely on ([`Segment::outward_normal`] assumes CCW
+/// traversal).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Vec2>,
+}
+
+impl Polygon {
+    /// Builds a polygon from vertices, normalising the winding to CCW.
+    ///
+    /// # Panics
+    /// Panics when fewer than 3 vertices are supplied.
+    pub fn new(mut vertices: Vec<Vec2>) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        if signed_area(&vertices) < 0.0 {
+            vertices.reverse();
+        }
+        Polygon { vertices }
+    }
+
+    /// Axis-aligned rectangle `[x0, x1] × [y0, y1]`.
+    pub fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Polygon::new(vec![
+            Vec2::new(x0, y0),
+            Vec2::new(x1, y0),
+            Vec2::new(x1, y1),
+            Vec2::new(x0, y1),
+        ])
+    }
+
+    /// Regular `n`-gon centred at `c` with circumradius `r`.
+    pub fn regular(c: Vec2, r: f64, n: usize) -> Self {
+        assert!(n >= 3);
+        let verts = (0..n)
+            .map(|i| {
+                let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                c + Vec2::new(a.cos(), a.sin()) * r
+            })
+            .collect();
+        Polygon::new(verts)
+    }
+
+    /// The CCW-ordered vertices.
+    #[inline]
+    pub fn vertices(&self) -> &[Vec2] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always false (polygons have ≥ 3 vertices); present for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Vertex `i` (no wrapping).
+    #[inline]
+    pub fn vertex(&self, i: usize) -> Vec2 {
+        self.vertices[i]
+    }
+
+    /// Edge from vertex `i` to vertex `i + 1` (wrapping).
+    #[inline]
+    pub fn edge(&self, i: usize) -> Segment {
+        let n = self.vertices.len();
+        Segment::new(self.vertices[i], self.vertices[(i + 1) % n])
+    }
+
+    /// Iterator over all edges in CCW order.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        (0..self.vertices.len()).map(move |i| self.edge(i))
+    }
+
+    /// The vertices before and after vertex `i` — the "wedge" used by the
+    /// narrow phase's contact-angle judgment.
+    pub fn wedge(&self, i: usize) -> (Vec2, Vec2, Vec2) {
+        let n = self.vertices.len();
+        (
+            self.vertices[(i + n - 1) % n],
+            self.vertices[i],
+            self.vertices[(i + 1) % n],
+        )
+    }
+
+    /// Polygon area (positive — vertices are CCW).
+    pub fn area(&self) -> f64 {
+        signed_area(&self.vertices)
+    }
+
+    /// Area centroid.
+    pub fn centroid(&self) -> Vec2 {
+        let a = self.area();
+        if a.abs() < GEOM_EPS * GEOM_EPS {
+            // Degenerate: fall back to vertex average.
+            let sum = self.vertices.iter().fold(Vec2::ZERO, |s, &v| s + v);
+            return sum / self.vertices.len() as f64;
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.cross(q);
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Vec2::new(cx, cy) / (6.0 * a)
+    }
+
+    /// Second moments about the centroid (see [`SecondMoments`]).
+    ///
+    /// These are exactly the integrals appearing in the DDA inertia
+    /// sub-matrix `ρ ∫ Tᵀ(x, y) T(x, y) dA`: after the first moments about
+    /// the centroid vanish, only area and these three second moments remain.
+    pub fn second_moments(&self) -> SecondMoments {
+        let n = self.vertices.len();
+        let c = self.centroid();
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        let mut sxy = 0.0;
+        for i in 0..n {
+            // Work in centroid-relative coordinates for numerical stability
+            // (coordinates up to 1e3 would otherwise lose digits in the
+            // x²·cross products).
+            let p = self.vertices[i] - c;
+            let q = self.vertices[(i + 1) % n] - c;
+            let w = p.cross(q);
+            sxx += (p.x * p.x + p.x * q.x + q.x * q.x) * w;
+            syy += (p.y * p.y + p.y * q.y + q.y * q.y) * w;
+            sxy += (2.0 * p.x * p.y + p.x * q.y + q.x * p.y + 2.0 * q.x * q.y) * w;
+        }
+        SecondMoments {
+            sxx: sxx / 12.0,
+            syy: syy / 12.0,
+            sxy: sxy / 24.0,
+        }
+    }
+
+    /// Bounding box of the polygon.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points(&self.vertices)
+    }
+
+    /// True when the polygon is convex (CCW with no right turns).
+    pub fn is_convex(&self) -> bool {
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let c = self.vertices[(i + 2) % n];
+            if orient2d(a, b, c) < -GEOM_EPS {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Point-in-convex-polygon test (boundary counts as inside).
+    ///
+    /// Only valid for convex polygons; DDA blocks in this repository are
+    /// convex by construction.
+    pub fn contains(&self, p: Vec2) -> bool {
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if orient2d(a, b, p) < -GEOM_EPS * (b - a).norm().max(1.0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Translates every vertex by `d`.
+    pub fn translated(&self, d: Vec2) -> Polygon {
+        Polygon {
+            vertices: self.vertices.iter().map(|&v| v + d).collect(),
+        }
+    }
+
+    /// Splits a **convex** polygon by the infinite line through `p` with
+    /// direction `dir`. Returns `(left, right)` pieces, either of which may
+    /// be `None` when the line misses the polygon.
+    ///
+    /// This is the workhorse of the joint-set block cutter: each joint line
+    /// splits every block it crosses.
+    pub fn split_by_line(&self, p: Vec2, dir: Vec2) -> (Option<Polygon>, Option<Polygon>) {
+        let n = self.vertices.len();
+        let side = |v: Vec2| dir.cross(v - p);
+        let mut left: Vec<Vec2> = Vec::with_capacity(n + 2);
+        let mut right: Vec<Vec2> = Vec::with_capacity(n + 2);
+        let scale = dir.norm().max(GEOM_EPS);
+        let eps = GEOM_EPS * scale;
+
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let nxt = self.vertices[(i + 1) % n];
+            let sc = side(cur);
+            let sn = side(nxt);
+            if sc >= -eps {
+                left.push(cur);
+            }
+            if sc <= eps {
+                right.push(cur);
+            }
+            // Edge crosses the line strictly: insert the intersection point
+            // into both pieces.
+            if (sc > eps && sn < -eps) || (sc < -eps && sn > eps) {
+                let t = sc / (sc - sn);
+                let x = cur.lerp(nxt, t);
+                left.push(x);
+                right.push(x);
+            }
+        }
+
+        let finish = |mut vs: Vec<Vec2>| -> Option<Polygon> {
+            dedup_ring(&mut vs);
+            if vs.len() >= 3 && signed_area(&vs).abs() > GEOM_EPS {
+                Some(Polygon::new(vs))
+            } else {
+                None
+            }
+        };
+        (finish(left), finish(right))
+    }
+
+    /// Clips this polygon against a **convex** clip polygon
+    /// (Sutherland–Hodgman). Returns `None` when the intersection is empty
+    /// or degenerate.
+    pub fn clip_convex(&self, clip: &Polygon) -> Option<Polygon> {
+        let mut subject: Vec<Vec2> = self.vertices.clone();
+        for ce in clip.edges() {
+            if subject.is_empty() {
+                return None;
+            }
+            let mut out: Vec<Vec2> = Vec::with_capacity(subject.len() + 1);
+            let inside =
+                |v: Vec2| orient2d(ce.a, ce.b, v) >= -GEOM_EPS * (ce.b - ce.a).norm().max(1.0);
+            let m = subject.len();
+            for i in 0..m {
+                let cur = subject[i];
+                let nxt = subject[(i + 1) % m];
+                let ci = inside(cur);
+                let ni = inside(nxt);
+                if ci {
+                    out.push(cur);
+                }
+                if ci != ni {
+                    if let Some(x) = Segment::new(cur, nxt).line_intersection(&ce) {
+                        out.push(x);
+                    }
+                }
+            }
+            subject = out;
+        }
+        dedup_ring(&mut subject);
+        if subject.len() >= 3 && signed_area(&subject).abs() > GEOM_EPS {
+            Some(Polygon::new(subject))
+        } else {
+            None
+        }
+    }
+
+    /// Maximum distance from the centroid to a vertex (circumradius).
+    pub fn circumradius(&self) -> f64 {
+        let c = self.centroid();
+        self.vertices
+            .iter()
+            .map(|v| v.dist(c))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Shoelace signed area of a vertex ring (positive for CCW).
+fn signed_area(vertices: &[Vec2]) -> f64 {
+    let n = vertices.len();
+    let mut a = 0.0;
+    for i in 0..n {
+        a += vertices[i].cross(vertices[(i + 1) % n]);
+    }
+    0.5 * a
+}
+
+/// Removes consecutive (near-)duplicate vertices from a ring in place.
+fn dedup_ring(vs: &mut Vec<Vec2>) {
+    if vs.is_empty() {
+        return;
+    }
+    let mut out: Vec<Vec2> = Vec::with_capacity(vs.len());
+    for &v in vs.iter() {
+        if out.last().is_none_or(|&l| l.dist_sq(v) > GEOM_EPS * GEOM_EPS) {
+            out.push(v);
+        }
+    }
+    while out.len() > 1
+        && out
+            .first()
+            .zip(out.last())
+            .is_some_and(|(&f, &l)| f.dist_sq(l) <= GEOM_EPS * GEOM_EPS)
+    {
+        out.pop();
+    }
+    *vs = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rect(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn winding_is_normalised_to_ccw() {
+        // Clockwise input.
+        let p = Polygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(1.0, 0.0),
+        ]);
+        assert!(p.area() > 0.0);
+    }
+
+    #[test]
+    fn rect_area_centroid() {
+        let p = Polygon::rect(1.0, 2.0, 4.0, 6.0);
+        assert!((p.area() - 12.0).abs() < 1e-12);
+        assert!(p.centroid().dist(Vec2::new(2.5, 4.0)) < 1e-12);
+    }
+
+    #[test]
+    fn second_moments_of_rectangle() {
+        // For a w×h rectangle about its centroid:
+        //   sxx = h w³ / 12, syy = w h³ / 12, sxy = 0.
+        let (w, h) = (3.0, 2.0);
+        let p = Polygon::rect(10.0, -5.0, 10.0 + w, -5.0 + h);
+        let m = p.second_moments();
+        assert!((m.sxx - h * w.powi(3) / 12.0).abs() < 1e-9);
+        assert!((m.syy - w * h.powi(3) / 12.0).abs() < 1e-9);
+        assert!(m.sxy.abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_moments_translation_invariant() {
+        let p = Polygon::regular(Vec2::ZERO, 2.0, 7);
+        let q = p.translated(Vec2::new(123.0, -456.0));
+        let mp = p.second_moments();
+        let mq = q.second_moments();
+        assert!((mp.sxx - mq.sxx).abs() < 1e-7);
+        assert!((mp.syy - mq.syy).abs() < 1e-7);
+        assert!((mp.sxy - mq.sxy).abs() < 1e-7);
+    }
+
+    #[test]
+    fn regular_polygon_is_convex() {
+        for n in 3..12 {
+            assert!(Polygon::regular(Vec2::new(1.0, 1.0), 2.0, n).is_convex());
+        }
+    }
+
+    #[test]
+    fn nonconvex_detected() {
+        let p = Polygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(1.0, 0.5), // reflex
+            Vec2::new(0.0, 2.0),
+        ]);
+        assert!(!p.is_convex());
+    }
+
+    #[test]
+    fn containment() {
+        let p = unit_square();
+        assert!(p.contains(Vec2::new(0.5, 0.5)));
+        assert!(p.contains(Vec2::new(0.0, 0.5))); // boundary
+        assert!(p.contains(Vec2::new(1.0, 1.0))); // corner
+        assert!(!p.contains(Vec2::new(1.5, 0.5)));
+    }
+
+    #[test]
+    fn edges_and_wedge() {
+        let p = unit_square();
+        assert_eq!(p.edges().count(), 4);
+        let (prev, v, next) = p.wedge(0);
+        assert_eq!(v, Vec2::new(0.0, 0.0));
+        assert_eq!(prev, Vec2::new(0.0, 1.0));
+        assert_eq!(next, Vec2::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn split_square_in_half() {
+        let p = unit_square();
+        let (l, r) = p.split_by_line(Vec2::new(0.5, 0.0), Vec2::new(0.0, 1.0));
+        let l = l.unwrap();
+        let r = r.unwrap();
+        assert!((l.area() - 0.5).abs() < 1e-12);
+        assert!((r.area() - 0.5).abs() < 1e-12);
+        assert!((l.area() + r.area() - p.area()).abs() < 1e-12);
+        // Left piece lies left of the vertical line x = 0.5.
+        assert!(l.centroid().x < 0.5);
+        assert!(r.centroid().x > 0.5);
+    }
+
+    #[test]
+    fn split_line_missing_polygon() {
+        let p = unit_square();
+        let (l, r) = p.split_by_line(Vec2::new(5.0, 0.0), Vec2::new(0.0, 1.0));
+        // The whole square is on the left of the upward line at x=5.
+        assert!(l.is_some() != r.is_some());
+        let piece = l.or(r).unwrap();
+        assert!((piece.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_through_vertex() {
+        // Diagonal of the unit square passes through two vertices.
+        let p = unit_square();
+        let (l, r) = p.split_by_line(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0));
+        let l = l.unwrap();
+        let r = r.unwrap();
+        assert!((l.area() - 0.5).abs() < 1e-12);
+        assert!((r.area() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_preserves_area_fuzz() {
+        let p = Polygon::regular(Vec2::new(0.3, -0.2), 1.7, 9);
+        let total = p.area();
+        for k in 0..24 {
+            let ang = k as f64 * 0.261;
+            let (l, r) = p.split_by_line(Vec2::new(0.2, 0.1), Vec2::new(ang.cos(), ang.sin()));
+            let sum = l.map_or(0.0, |q| q.area()) + r.map_or(0.0, |q| q.area());
+            assert!((sum - total).abs() < 1e-9, "k={k}: {sum} vs {total}");
+        }
+    }
+
+    #[test]
+    fn clip_overlapping_squares() {
+        let a = unit_square();
+        let b = Polygon::rect(0.5, 0.5, 1.5, 1.5);
+        let c = a.clip_convex(&b).unwrap();
+        assert!((c.area() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_disjoint_is_none() {
+        let a = unit_square();
+        let b = Polygon::rect(2.0, 2.0, 3.0, 3.0);
+        assert!(a.clip_convex(&b).is_none());
+    }
+
+    #[test]
+    fn clip_contained_returns_inner() {
+        let outer = Polygon::rect(-5.0, -5.0, 5.0, 5.0);
+        let inner = unit_square();
+        let c = inner.clip_convex(&outer).unwrap();
+        assert!((c.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumradius_of_regular_polygon() {
+        let p = Polygon::regular(Vec2::new(2.0, 3.0), 1.5, 16);
+        assert!((p.circumradius() - 1.5).abs() < 1e-9);
+    }
+}

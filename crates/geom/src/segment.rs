@@ -1,0 +1,267 @@
+//! Line segments and point–segment / segment–segment queries.
+//!
+//! The DDA narrow phase is built almost entirely on these queries: a
+//! vertex–edge (VE) candidate is a block vertex within the contact search
+//! radius of another block's edge, and the *contact edge ratio* the paper
+//! transfers between steps is exactly the [`Segment::closest_param`] value.
+
+use crate::vec2::Vec2;
+use crate::GEOM_EPS;
+use serde::{Deserialize, Serialize};
+
+/// A directed line segment from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point.
+    pub a: Vec2,
+    /// End point.
+    pub b: Vec2,
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    #[inline]
+    pub const fn new(a: Vec2, b: Vec2) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// Direction vector `b - a` (not normalized).
+    #[inline]
+    pub fn dir(&self) -> Vec2 {
+        self.b - self.a
+    }
+
+    /// Unit direction vector; zero for degenerate segments.
+    #[inline]
+    pub fn unit_dir(&self) -> Vec2 {
+        self.dir().normalized()
+    }
+
+    /// Outward unit normal assuming the segment is traversed CCW around a
+    /// block: the normal points away from the block interior (to the right
+    /// of the direction of travel).
+    #[inline]
+    pub fn outward_normal(&self) -> Vec2 {
+        -self.unit_dir().perp()
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Vec2 {
+        self.a.lerp(self.b, 0.5)
+    }
+
+    /// Point at parameter `t` (`a` at 0, `b` at 1).
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Vec2 {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Parameter in `[0, 1]` of the point on the segment closest to `p`.
+    ///
+    /// This is the DDA *contact edge ratio*: where along the contacted edge
+    /// the contact vertex projects.
+    pub fn closest_param(&self, p: Vec2) -> f64 {
+        let d = self.dir();
+        let len_sq = d.norm_sq();
+        if len_sq < GEOM_EPS * GEOM_EPS {
+            return 0.0;
+        }
+        ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0)
+    }
+
+    /// Closest point on the segment to `p`.
+    #[inline]
+    pub fn closest_point(&self, p: Vec2) -> Vec2 {
+        self.point_at(self.closest_param(p))
+    }
+
+    /// Euclidean distance from `p` to the segment.
+    #[inline]
+    pub fn dist_to_point(&self, p: Vec2) -> f64 {
+        self.closest_point(p).dist(p)
+    }
+
+    /// Signed perpendicular distance from `p` to the *infinite line*
+    /// through the segment. Positive when `p` lies to the left of `a → b`.
+    pub fn signed_line_dist(&self, p: Vec2) -> f64 {
+        let d = self.dir();
+        let len = d.norm();
+        if len < GEOM_EPS {
+            return self.a.dist(p);
+        }
+        d.cross(p - self.a) / len
+    }
+
+    /// Minimum distance between two segments.
+    pub fn dist_to_segment(&self, other: &Segment) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        self.dist_to_point(other.a)
+            .min(self.dist_to_point(other.b))
+            .min(other.dist_to_point(self.a))
+            .min(other.dist_to_point(self.b))
+    }
+
+    /// True when the two segments properly intersect or touch.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let d1 = crate::predicates::orient2d(other.a, other.b, self.a);
+        let d2 = crate::predicates::orient2d(other.a, other.b, self.b);
+        let d3 = crate::predicates::orient2d(self.a, self.b, other.a);
+        let d4 = crate::predicates::orient2d(self.a, self.b, other.b);
+
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        let on = |p: Vec2, s: &Segment, d: f64| d.abs() < GEOM_EPS && s.bbox_contains(p);
+        on(self.a, other, d1) || on(self.b, other, d2) || on(other.a, self, d3) || on(other.b, self, d4)
+    }
+
+    /// True when `p` is within the axis-aligned bounding box of the segment
+    /// (a helper for collinear on-segment tests).
+    fn bbox_contains(&self, p: Vec2) -> bool {
+        p.x >= self.a.x.min(self.b.x) - GEOM_EPS
+            && p.x <= self.a.x.max(self.b.x) + GEOM_EPS
+            && p.y >= self.a.y.min(self.b.y) - GEOM_EPS
+            && p.y <= self.a.y.max(self.b.y) + GEOM_EPS
+    }
+
+    /// Intersection point of the *lines* through two segments, if the lines
+    /// are not parallel.
+    pub fn line_intersection(&self, other: &Segment) -> Option<Vec2> {
+        let d1 = self.dir();
+        let d2 = other.dir();
+        let denom = d1.cross(d2);
+        if denom.abs() < GEOM_EPS {
+            return None;
+        }
+        let t = (other.a - self.a).cross(d2) / denom;
+        Some(self.point_at(t))
+    }
+
+    /// True when this segment is parallel to `other` within `tol` radians.
+    ///
+    /// Used by the narrow phase's angle judgment to split vertex–vertex
+    /// contacts into VV1 (parallel edges) and VV2 (non-parallel).
+    pub fn is_parallel_to(&self, other: &Segment, tol: f64) -> bool {
+        let u = self.unit_dir();
+        let v = other.unit_dir();
+        u.cross(v).abs() < tol.sin().abs().max(GEOM_EPS)
+    }
+
+    /// Segment with endpoints swapped.
+    #[inline]
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Vec2::new(ax, ay), Vec2::new(bx, by))
+    }
+
+    #[test]
+    fn length_and_direction() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.dir(), Vec2::new(3.0, 4.0));
+        assert!((s.unit_dir().norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn closest_param_interior_and_clamped() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.closest_param(Vec2::new(3.0, 5.0)), 0.3);
+        assert_eq!(s.closest_param(Vec2::new(-4.0, 1.0)), 0.0);
+        assert_eq!(s.closest_param(Vec2::new(14.0, 1.0)), 1.0);
+    }
+
+    #[test]
+    fn degenerate_segment_closest() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(s.closest_param(Vec2::new(5.0, 5.0)), 0.0);
+        assert_eq!(s.closest_point(Vec2::new(5.0, 5.0)), Vec2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn point_distance() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.dist_to_point(Vec2::new(5.0, 3.0)), 3.0);
+        assert_eq!(s.dist_to_point(Vec2::new(-3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn signed_line_distance_sides() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        assert!(s.signed_line_dist(Vec2::new(0.5, 1.0)) > 0.0);
+        assert!(s.signed_line_dist(Vec2::new(0.5, -1.0)) < 0.0);
+        assert!((s.signed_line_dist(Vec2::new(0.5, 2.5)) - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn outward_normal_for_ccw_block() {
+        // Bottom edge of a CCW square goes left-to-right; outward is -y.
+        let bottom = seg(0.0, 0.0, 1.0, 0.0);
+        let n = bottom.outward_normal();
+        assert!((n.x).abs() < 1e-15 && (n.y + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn proper_intersection() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(0.0, 2.0, 2.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert_eq!(s1.dist_to_segment(&s2), 0.0);
+    }
+
+    #[test]
+    fn touching_at_endpoint_counts_as_intersection() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(1.0, 0.0, 2.0, 5.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn disjoint_segments_distance() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 2.0, 1.0, 2.0);
+        assert!(!s1.intersects(&s2));
+        assert!((s1.dist_to_segment(&s2) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn line_intersection_point() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.5, -1.0, 0.5, 1.0);
+        let p = s1.line_intersection(&s2).unwrap();
+        assert!((p.x - 0.5).abs() < 1e-15 && p.y.abs() < 1e-15);
+        // Parallel lines have no intersection.
+        let s3 = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(s1.line_intersection(&s3).is_none());
+    }
+
+    #[test]
+    fn parallel_test() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(5.0, 3.0, 9.0, 3.0);
+        let s3 = seg(0.0, 0.0, 1.0, 0.2);
+        assert!(s1.is_parallel_to(&s2, 0.01));
+        assert!(!s1.is_parallel_to(&s3, 0.01));
+        // Anti-parallel counts as parallel (edges traversed in opposite
+        // directions on opposing blocks).
+        assert!(s1.is_parallel_to(&s2.reversed(), 0.01));
+    }
+}

@@ -1,0 +1,277 @@
+//! Plain 2-D vector with the operations DDA needs.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D vector / point in double precision.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec2) -> f64 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    ///
+    /// Positive when `rhs` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, rhs: Vec2) -> f64 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root in comparisons).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn dist(self, rhs: Vec2) -> f64 {
+        (self - rhs).norm()
+    }
+
+    /// Squared distance to another point.
+    #[inline]
+    pub fn dist_sq(self, rhs: Vec2) -> f64 {
+        (self - rhs).norm_sq()
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// Returns [`Vec2::ZERO`] for (near-)zero input rather than NaN, which
+    /// is the behaviour the contact kernels want for degenerate edges.
+    #[inline]
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        if n < crate::GEOM_EPS {
+            Vec2::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Counter-clockwise perpendicular (rotation by +90°).
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Rotates the vector by `angle` radians counter-clockwise.
+    #[inline]
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `rhs` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, rhs: Vec2, t: f64) -> Vec2 {
+        self + (rhs - self) * t
+    }
+
+    /// Angle of the vector measured counter-clockwise from +x, in
+    /// `(-pi, pi]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x.min(rhs.x), self.y.min(rhs.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x.max(rhs.x), self.y.max(rhs.y))
+    }
+
+    /// True when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec2::new(3.0, -4.0);
+        let b = Vec2::new(-1.0, 2.0);
+        assert_eq!(a + b, Vec2::new(2.0, -2.0));
+        assert_eq!(a - b, Vec2::new(4.0, -6.0));
+        assert_eq!(a * 2.0, Vec2::new(6.0, -8.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec2::new(1.5, -2.0));
+        assert_eq!(-a, Vec2::new(-3.0, 4.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(Vec2::ZERO.dist(a), 5.0);
+        assert_eq!(Vec2::ZERO.dist_sq(a), 25.0);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+        let n = Vec2::new(10.0, 0.0).normalized();
+        assert!((n.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn perp_is_ccw_rotation() {
+        let a = Vec2::new(1.0, 0.0);
+        assert_eq!(a.perp(), Vec2::new(0.0, 1.0));
+        // perp of perp is negation
+        assert_eq!(a.perp().perp(), -a);
+        // cross(v, v.perp()) > 0 means perp is CCW.
+        assert!(a.cross(a.perp()) > 0.0);
+    }
+
+    #[test]
+    fn rotation_by_quarter_turn() {
+        let a = Vec2::new(1.0, 0.0);
+        let r = a.rotated(std::f64::consts::FRAC_PI_2);
+        assert!((r.x).abs() < 1e-15);
+        assert!((r.y - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let a = Vec2::new(2.5, -7.25);
+        for k in 0..16 {
+            let r = a.rotated(k as f64 * 0.39);
+            assert!((r.norm() - a.norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn angle_quadrants() {
+        assert!((Vec2::new(1.0, 0.0).angle() - 0.0).abs() < 1e-15);
+        assert!((Vec2::new(0.0, 1.0).angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert!((Vec2::new(-1.0, 0.0).angle() - std::f64::consts::PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Vec2::new(1.0, 5.0);
+        let b = Vec2::new(2.0, -3.0);
+        assert_eq!(a.min(b), Vec2::new(1.0, -3.0));
+        assert_eq!(a.max(b), Vec2::new(2.0, 5.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! Fig 10 reproduction: SpMV and TSS times on the case-1 matrix.
+//!
+//! The paper's matrix snapshot has 4361 diagonal and 18731 non-diagonal
+//! sub-matrices; SpMV-HSBCSR beats SpMV-cuSPARSE by 2.8×, and TSS costs
+//! about 11× one cuSPARSE SpMV.
+//!
+//! Usage: `fig10 [--blocks N] [--seed N] [--full]`
+
+use dda_harness::experiments::spmv_study;
+use dda_harness::table::{fmt_time, Table};
+use dda_harness::Args;
+
+fn main() {
+    let mut a = Args::parse(1200, 0, 0);
+    if a.full {
+        a.blocks = 4361;
+    }
+    println!("Fig 10 — SpMV and TSS on the case-1 matrix ({} target blocks)\n", a.blocks);
+    let s = spmv_study(a.blocks, a.seed);
+    println!(
+        "matrix: {} diagonal, {} non-diagonal sub-matrices (paper: 4361 / 18731)\n",
+        s.n_diag, s.n_nondiag
+    );
+
+    let mut t = Table::new(vec!["Kernel", "Modeled time (K40)", "vs HSBCSR"]);
+    let rel = |x: f64| format!("{:.2}×", x / s.t_hsbcsr);
+    t.row(vec!["SpMV-HSBCSR (ours)".into(), fmt_time(s.t_hsbcsr), rel(s.t_hsbcsr)]);
+    t.row(vec!["SpMV-cuSPARSE (CSR vector)".into(), fmt_time(s.t_csr_vector), rel(s.t_csr_vector)]);
+    t.row(vec!["SpMV CSR scalar".into(), fmt_time(s.t_csr_scalar), rel(s.t_csr_scalar)]);
+    t.row(vec!["SpMV BCSR (full matrix)".into(), fmt_time(s.t_bcsr), rel(s.t_bcsr)]);
+    t.row(vec!["SpMV ELLPACK-R (full matrix)".into(), fmt_time(s.t_ell), rel(s.t_ell)]);
+    t.row(vec!["TSS (ILU triangular solves)".into(), fmt_time(s.t_tss), rel(s.t_tss)]);
+    t.print();
+
+    println!("\nPaper's claims at this matrix:");
+    println!(
+        "  HSBCSR vs cuSPARSE speed-up: measured {:.2}× (paper: 2.8×)",
+        s.t_csr_vector / s.t_hsbcsr
+    );
+    println!(
+        "  TSS vs cuSPARSE SpMV:        measured {:.2}× (paper: ~11×)",
+        s.t_tss / s.t_csr_vector
+    );
+}

@@ -1,0 +1,37 @@
+//! Figs 8–9 ablation: the proposed bank-conflict-aware shared-memory
+//! reduction in the HSBCSR SpMV versus the naive row-major walk.
+//!
+//! Usage: `fig89 [--blocks N] [--seed N]`
+
+use dda_harness::experiments::smem_study;
+use dda_harness::table::{fmt_time, Table};
+use dda_harness::Args;
+
+fn main() {
+    let a = Args::parse(1200, 0, 0);
+    println!(
+        "Figs 8–9 — shared-memory reduction scheme ablation ({} target blocks)\n",
+        a.blocks
+    );
+    let s = smem_study(a.blocks, a.seed);
+
+    let mut t = Table::new(vec!["Scheme", "Bank-conflict replays", "Modeled SpMV time"]);
+    t.row(vec![
+        "Proposed (Fig 8, bank-staggered)".to_string(),
+        s.proposed_replays.to_string(),
+        fmt_time(s.proposed_s),
+    ]);
+    t.row(vec![
+        "Naive row-major 6×6 walk".to_string(),
+        s.naive_replays.to_string(),
+        fmt_time(s.naive_s),
+    ]);
+    t.print();
+
+    println!(
+        "\nPaper's claim: \"all the entries are reduced concurrently with minimum\n\
+         bank conflicts, and none of the CUDA threads will be idle\" — the proposed\n\
+         scheme must measure zero replays. Measured: {} vs {} (naive).",
+        s.proposed_replays, s.naive_replays
+    );
+}

@@ -1,0 +1,54 @@
+//! Extension exhibit (§VI future work): HSBCSR SpMV scaling across
+//! multiple simulated GPUs.
+//!
+//! Usage: `multigpu [--blocks N] [--seed N]`
+
+use dda_harness::experiments::case1_matrix;
+use dda_harness::table::{fmt_time, Table};
+use dda_harness::Args;
+use dda_simt::DeviceProfile;
+use dda_sparse::spmv::MultiGpuSpmv;
+
+fn main() {
+    let a = Args::parse(4361, 0, 0);
+    println!(
+        "Multi-GPU HSBCSR SpMV scaling (paper §VI future work), case-1 matrix, {} target blocks\n",
+        a.blocks
+    );
+    let m = case1_matrix(a.blocks, 2, a.seed);
+    println!(
+        "matrix: {} block rows, {} upper sub-matrices\n",
+        m.n_blocks(),
+        m.n_upper()
+    );
+    let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.13).sin()).collect();
+
+    let mut t = Table::new(vec![
+        "GPUs",
+        "Kernel (slowest device)",
+        "All-reduce",
+        "Total",
+        "Speed-up vs 1 GPU",
+    ]);
+    let mut base = 0.0;
+    for p in [1usize, 2, 4, 8] {
+        let multi = MultiGpuSpmv::new(DeviceProfile::tesla_k40(), p, &m);
+        let (_, r) = multi.mul(&x);
+        let kmax = r.per_device.iter().copied().fold(0.0, f64::max);
+        if p == 1 {
+            base = r.total_s;
+        }
+        t.row(vec![
+            p.to_string(),
+            fmt_time(kmax),
+            fmt_time(r.transfer_s),
+            fmt_time(r.total_s),
+            format!("{:.2}×", base / r.total_s),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape: kernel time divides with devices while the PCIe all-reduce\n\
+         does not — the communication wall the paper's future work would face."
+    );
+}

@@ -1,0 +1,76 @@
+//! Table III reproduction: case-2 (rockfall) per-module times and
+//! speed-ups.
+//!
+//! Usage: `table3 [--rocks N] [--steps N] [--full]`
+
+use dda_harness::experiments::run_case2;
+use dda_harness::table::{fmt_speedup, fmt_time, Table};
+use dda_harness::Args;
+
+fn main() {
+    let mut a = Args::parse(0, 200, 5);
+    if a.full {
+        a.rocks = 1683;
+        a.steps = 80_000;
+    }
+    println!(
+        "Table III — case 2 (rockfall), {} rocks, {} steps\n",
+        a.rocks, a.steps
+    );
+    let cs = run_case2(a.rocks, a.steps);
+    println!(
+        "model: {} blocks total, mean {:.0} contacts/step\n",
+        cs.blocks, cs.mean_contacts
+    );
+
+    let s20 = cs.cpu.speedup_over(&cs.k20);
+    let s40 = cs.cpu.speedup_over(&cs.k40);
+    let mut t = Table::new(vec![
+        "Module",
+        "E5620 (model)",
+        "K20 (model)",
+        "K40 (model)",
+        "K20 speed-up",
+        "K40 speed-up",
+    ]);
+    let rows = cs.cpu.rows();
+    let r20 = cs.k20.rows();
+    let r40 = cs.k40.rows();
+    let sp20 = s20.rows();
+    let sp40 = s40.rows();
+    for k in 0..rows.len() {
+        t.row(vec![
+            rows[k].0.to_string(),
+            fmt_time(rows[k].1),
+            fmt_time(r20[k].1),
+            fmt_time(r40[k].1),
+            fmt_speedup(sp20[k].1),
+            fmt_speedup(sp40[k].1),
+        ]);
+    }
+    t.row(vec![
+        "Total".to_string(),
+        fmt_time(cs.cpu.total()),
+        fmt_time(cs.k20.total()),
+        fmt_time(cs.k40.total()),
+        fmt_speedup(cs.cpu.total() / cs.k20.total()),
+        fmt_speedup(cs.cpu.total() / cs.k40.total()),
+    ]);
+    t.print();
+
+    println!("\nPaper (Table III, 1683 blocks, 80000 steps):");
+    let mut p = Table::new(vec!["Module", "E5620", "K20", "K40", "K20 ×", "K40 ×"]);
+    p.row(vec!["Contact Detection", "5560.61 s", "72.84 s", "59.43 s", "76.34", "93.57"]);
+    p.row(vec!["Diagonal Matrix Building", "122.578 s", "4.78 s", "3.74 s", "25.64", "32.77"]);
+    p.row(vec!["Non-diagonal Matrix Building", "817.912 s", "416.49 s", "343.84 s", "1.96", "2.39"]);
+    p.row(vec!["Equation Solving", "12219.1 s", "3122.7 s", "2755.1 s", "3.91", "4.44"]);
+    p.row(vec!["Interpenetration Checking", "1470.82 s", "96.33 s", "88.73 s", "15.27", "16.58"]);
+    p.row(vec!["Data Updating", "207.091 s", "15.67 s", "13.98 s", "13.22", "14.81"]);
+    p.row(vec!["Total", "20454.9 s", "3731.7 s", "3267.3 s", "5.48", "6.26"]);
+    p.print();
+
+    println!(
+        "\nKey shape: case 2's total speed-up is far below case 1's — a smaller,\n\
+         sparser dynamic problem keeps the GPU under-occupied and the solves easy."
+    );
+}

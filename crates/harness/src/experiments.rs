@@ -1,0 +1,468 @@
+//! Experiment runners shared by the harness binaries and the integration
+//! tests. Every function is deterministic for a given seed.
+
+use dda_core::assembly::assemble_serial;
+use dda_core::contact::init::{init_contacts_classified, init_contacts_monolithic};
+use dda_core::contact::{broad_phase_serial, narrow_phase_serial, GeomSoa};
+use dda_core::pipeline::{CpuPipeline, GpuPipeline, ModuleTimes, PrecondKind};
+use dda_core::{BlockSystem, DdaParams};
+use dda_simt::serial::CpuCounter;
+use dda_simt::{Device, DeviceProfile};
+use dda_solver::precond::{Ilu0, Preconditioner};
+use dda_sparse::spmv::{spmv_bcsr, spmv_csr_scalar, spmv_csr_vector, spmv_hsbcsr, Stage1Smem};
+use dda_sparse::ell::spmv_ell;
+use dda_sparse::{BlockCsr, Csr, Ell, Hsbcsr, SymBlockMatrix};
+use dda_workloads::{rockfall_case, slope_case, RockfallConfig, SlopeConfig};
+
+fn k40() -> Device {
+    Device::new(DeviceProfile::tesla_k40())
+}
+
+fn k20() -> Device {
+    Device::new(DeviceProfile::tesla_k20())
+}
+
+/// Builds the case-1 system at a given block count.
+pub fn case1_system(blocks: usize, seed: u64) -> (BlockSystem, DdaParams) {
+    slope_case(&SlopeConfig {
+        seed,
+        ..SlopeConfig::default().with_target_blocks(blocks)
+    })
+}
+
+/// Develops the case-1 contact network for `warm` steps and returns the
+/// assembled stiffness matrix (the Fig-10 test matrix).
+pub fn case1_matrix(blocks: usize, warm: usize, seed: u64) -> SymBlockMatrix {
+    let (sys, params) = case1_system(blocks, seed);
+    let mut pipe = CpuPipeline::new(sys, params);
+    for _ in 0..warm {
+        pipe.step();
+    }
+    let mut c = CpuCounter::new();
+    let contacts = pipe.contacts().to_vec();
+    let asm = assemble_serial(&pipe.sys, &contacts, &pipe.params, &mut c);
+    asm.matrix
+}
+
+// ---------------------------------------------------------------------------
+// Table I + Fig 5: preconditioner study
+// ---------------------------------------------------------------------------
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct PrecondRow {
+    /// Preconditioner name ("BJ", "SSOR", "ILU").
+    pub name: &'static str,
+    /// Mean PCG iterations per solve.
+    pub avg_iterations: f64,
+    /// Mean construction time per solve (modeled seconds).
+    pub construct_s: f64,
+    /// Mean application time per preconditioner apply (modeled seconds).
+    pub apply_s: f64,
+    /// Total equation-solving time over the run (modeled seconds).
+    pub total_solve_s: f64,
+    /// Per-step iteration samples (Fig 5's series).
+    pub samples: Vec<usize>,
+}
+
+/// Runs the case-1 pipeline once per preconditioner and extracts Table I /
+/// Fig 5.
+pub fn preconditioner_study(blocks: usize, steps: usize, seed: u64) -> Vec<PrecondRow> {
+    let kinds = [
+        (PrecondKind::BlockJacobi, "BJ"),
+        (PrecondKind::SsorAi, "SSOR"),
+        (PrecondKind::Ilu0, "ILU"),
+    ];
+    let mut rows = Vec::new();
+    for (kind, name) in kinds {
+        let (sys, mut params) = case1_system(blocks, seed);
+        // The study isolates solver behaviour: a tight tolerance keeps all
+        // three preconditioners converging to the same solutions.
+        params.pcg.max_iters = 200;
+        let mut pipe = GpuPipeline::new(sys, params, k40()).with_precond(kind);
+        let reports = pipe.run(steps);
+
+        let samples: Vec<usize> = reports.iter().map(|r| r.last_solve_iterations).collect();
+        let solves: usize = reports.iter().map(|r| r.oc_iterations).sum();
+        let total_iters: usize = reports.iter().map(|r| r.pcg_iterations).sum();
+        let applies = (total_iters + solves).max(1);
+
+        let by = pipe.device().trace().by_kernel();
+        let time_of = |prefixes: &[&str]| -> f64 {
+            by.iter()
+                .filter(|(k, _)| prefixes.iter().any(|p| k.starts_with(p)))
+                .map(|(_, (_, s))| *s)
+                .sum()
+        };
+        let (construct_total, apply_total) = match kind {
+            PrecondKind::BlockJacobi => (time_of(&["precond.bj.construct"]), time_of(&["precond.bj.apply"])),
+            PrecondKind::SsorAi => (
+                time_of(&["precond.bj.construct"]),
+                time_of(&["precond.ssor."]),
+            ),
+            PrecondKind::Ilu0 => (
+                time_of(&["precond.ilu.construct"]),
+                time_of(&["tss."]),
+            ),
+            PrecondKind::None => (0.0, 0.0),
+        };
+
+        rows.push(PrecondRow {
+            name,
+            avg_iterations: total_iters as f64 / solves.max(1) as f64,
+            construct_s: construct_total / solves.max(1) as f64,
+            apply_s: apply_total / applies as f64,
+            total_solve_s: pipe.times.solving,
+            samples,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig 10: SpMV / TSS comparison
+// ---------------------------------------------------------------------------
+
+/// Modeled times of the Fig-10 kernels on the same matrix.
+#[derive(Debug, Clone)]
+pub struct SpmvStudy {
+    /// Diagonal sub-matrix count of the test matrix.
+    pub n_diag: usize,
+    /// Non-diagonal (upper) sub-matrix count.
+    pub n_nondiag: usize,
+    /// Naive scalar-CSR kernel.
+    pub t_csr_scalar: f64,
+    /// Warp-per-row CSR kernel (the cuSPARSE baseline).
+    pub t_csr_vector: f64,
+    /// Full-matrix BCSR kernel.
+    pub t_bcsr: f64,
+    /// ELLPACK-R kernel (the §II-B related-work baseline).
+    pub t_ell: f64,
+    /// The paper's two-stage HSBCSR kernel.
+    pub t_hsbcsr: f64,
+    /// One ILU(0) triangular-solve pair (TSS).
+    pub t_tss: f64,
+}
+
+/// Runs every SpMV variant and one TSS on the case-1 matrix.
+pub fn spmv_study(blocks: usize, seed: u64) -> SpmvStudy {
+    let m = case1_matrix(blocks, 2, seed);
+    let x: Vec<f64> = (0..m.dim()).map(|i| ((i % 17) as f64) * 0.1 - 0.8).collect();
+
+    let csr = Csr::from_sym_full(&m);
+    let bcsr = BlockCsr::from_sym_full(&m);
+    let ell = Ell::from_csr(&csr);
+    let h = Hsbcsr::from_sym(&m);
+
+    let time_one = |f: &dyn Fn(&Device)| -> f64 {
+        let dev = k40();
+        f(&dev);
+        dev.modeled_seconds()
+    };
+
+    let t_csr_scalar = time_one(&|d| {
+        spmv_csr_scalar(d, &csr, &x);
+    });
+    let t_csr_vector = time_one(&|d| {
+        spmv_csr_vector(d, &csr, &x);
+    });
+    let t_bcsr = time_one(&|d| {
+        spmv_bcsr(d, &bcsr, &x);
+    });
+    let t_ell = time_one(&|d| {
+        spmv_ell(d, &ell, &x);
+    });
+    let t_hsbcsr = time_one(&|d| {
+        spmv_hsbcsr(d, &h, &x, Stage1Smem::Proposed);
+    });
+    // TSS: construct ILU once, then time a single apply (two triangular
+    // solves), as Fig 10 plots.
+    let dev = k40();
+    let ilu = Ilu0::new(&dev, &csr);
+    dev.reset_trace();
+    let _ = ilu.apply(&dev, &x);
+    let t_tss = dev.modeled_seconds();
+
+    SpmvStudy {
+        n_diag: m.n_blocks(),
+        n_nondiag: m.n_upper(),
+        t_csr_scalar,
+        t_csr_vector,
+        t_bcsr,
+        t_ell,
+        t_hsbcsr,
+        t_tss,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables II / III: end-to-end case studies
+// ---------------------------------------------------------------------------
+
+/// Per-platform module times of one case.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// "case 1" / "case 2".
+    pub label: &'static str,
+    /// Steps executed.
+    pub steps: usize,
+    /// Blocks in the model.
+    pub blocks: usize,
+    /// E5620 serial model times.
+    pub cpu: ModuleTimes,
+    /// Tesla K20 modeled times.
+    pub k20: ModuleTimes,
+    /// Tesla K40 modeled times.
+    pub k40: ModuleTimes,
+    /// Mean contacts per step (K40 run).
+    pub mean_contacts: f64,
+}
+
+fn run_case(label: &'static str, sys: BlockSystem, params: DdaParams, steps: usize) -> CaseStudy {
+    let blocks = sys.len();
+    let mut cpu = CpuPipeline::new(sys.clone(), params.clone());
+    cpu.run(steps);
+    let mut g20 = GpuPipeline::new(sys.clone(), params.clone(), k20());
+    g20.run(steps);
+    let mut g40 = GpuPipeline::new(sys, params, k40());
+    let reports = g40.run(steps);
+    let mean_contacts =
+        reports.iter().map(|r| r.n_contacts as f64).sum::<f64>() / steps.max(1) as f64;
+    CaseStudy {
+        label,
+        steps,
+        blocks,
+        cpu: cpu.times,
+        k20: g20.times,
+        k40: g40.times,
+        mean_contacts,
+    }
+}
+
+/// Table II: the static slope case.
+pub fn run_case1(blocks: usize, steps: usize, seed: u64) -> CaseStudy {
+    let (sys, params) = case1_system(blocks, seed);
+    run_case("case 1 (static slope)", sys, params, steps)
+}
+
+/// Table III: the dynamic rockfall case.
+pub fn run_case2(rocks: usize, steps: usize) -> CaseStudy {
+    let (sys, params) = rockfall_case(&RockfallConfig::default().with_rocks(rocks));
+    run_case("case 2 (rockfall)", sys, params, steps)
+}
+
+// ---------------------------------------------------------------------------
+// D1: data-classification divergence study (§III-A)
+// ---------------------------------------------------------------------------
+
+/// Classified-vs-monolithic contact initialization comparison.
+#[derive(Debug, Clone)]
+pub struct DivergenceStudy {
+    /// Contacts processed.
+    pub contacts: usize,
+    /// Modeled seconds, monolithic kernel.
+    pub mono_s: f64,
+    /// Modeled seconds of the classified *initialization kernels* — the
+    /// like-for-like comparison: in the paper's framework the
+    /// classification itself (scan/radix sort) already exists, produced by
+    /// the narrow phase and reused by every downstream module.
+    pub class_s: f64,
+    /// Modeled seconds of the classification machinery itself (flagging,
+    /// scans, compaction), reported separately.
+    pub classification_overhead_s: f64,
+    /// Branch-divergence fraction of the monolithic kernel.
+    pub mono_divergence: f64,
+    /// Branch-divergence fraction of the classified init kernels.
+    pub class_divergence: f64,
+}
+
+impl DivergenceStudy {
+    /// Net time saved by classification (µs), the paper's 20.576 µs.
+    pub fn saved_us(&self) -> f64 {
+        (self.mono_s - self.class_s) * 1e6
+    }
+
+    /// Divergence reduction in percentage points (paper: 11.18 %).
+    pub fn divergence_reduction_pct(&self) -> f64 {
+        (self.mono_divergence - self.class_divergence) * 100.0
+    }
+}
+
+/// Runs contact initialization both ways over the case-1 contact set.
+pub fn divergence_study(blocks: usize, seed: u64) -> DivergenceStudy {
+    let (sys, params) = case1_system(blocks, seed);
+    let mut cnt = CpuCounter::new();
+    let pairs = broad_phase_serial(&sys, params.contact_range, &mut cnt);
+    let contacts = narrow_phase_serial(&sys, &pairs, params.contact_range, &mut cnt);
+    let touch = params.touch_tol * params.max_displacement;
+    let soa = GeomSoa::build(&sys);
+
+    // The monolithic baseline processes contacts in *discovery order* — a
+    // direct CPU port has no reason to sort them; the key-sorted,
+    // class-grouped layout is exactly what the paper's classification
+    // framework produces. A deterministic shuffle reconstructs that
+    // unordered stream.
+    let d1 = k40();
+    let mut mono = contacts.clone();
+    let mut state = 0x243F6A8885A308D3u64;
+    for k in (1..mono.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        mono.swap(k, (state % (k as u64 + 1)) as usize);
+    }
+    init_contacts_monolithic(&d1, &soa, &mut mono, touch);
+    let mono_s = d1.modeled_seconds();
+    let mono_stats = d1.trace().total_stats();
+
+    let d2 = k40();
+    let mut class = contacts.clone();
+    init_contacts_classified(&d2, &soa, &mut class, touch);
+    let total_class_s = d2.modeled_seconds();
+    // Separate the uniform init kernels from the classification machinery.
+    let by = d2.trace().by_kernel();
+    let mut init_stats = dda_simt::KernelStats::default();
+    let mut class_s = 0.0;
+    for (k, (s, t)) in by.iter() {
+        if k.starts_with("init.v") {
+            init_stats.merge(s);
+            class_s += t;
+        }
+    }
+    let mut mono_sorted = mono.clone();
+    mono_sorted.sort_by_key(|c| c.key());
+    class.sort_by_key(|c| c.key());
+    assert_eq!(mono_sorted, class, "both paths must produce identical contacts");
+
+    DivergenceStudy {
+        contacts: contacts.len(),
+        mono_s,
+        class_s,
+        classification_overhead_s: total_class_s - class_s,
+        mono_divergence: mono_stats.divergence_fraction(),
+        class_divergence: init_stats.divergence_fraction(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figs 8–9: shared-memory scheme ablation
+// ---------------------------------------------------------------------------
+
+/// Bank-conflict ablation of the HSBCSR stage-1 reduction.
+#[derive(Debug, Clone)]
+pub struct SmemStudy {
+    /// Bank-conflict replays, proposed scheme.
+    pub proposed_replays: u64,
+    /// Bank-conflict replays, naive row-major scheme.
+    pub naive_replays: u64,
+    /// Modeled SpMV seconds, proposed scheme.
+    pub proposed_s: f64,
+    /// Modeled SpMV seconds, naive scheme.
+    pub naive_s: f64,
+}
+
+/// Runs the HSBCSR SpMV with both stage-1 shared-memory schemes.
+pub fn smem_study(blocks: usize, seed: u64) -> SmemStudy {
+    let m = case1_matrix(blocks, 2, seed);
+    let h = Hsbcsr::from_sym(&m);
+    let x = vec![1.0; m.dim()];
+
+    let d1 = k40();
+    let _ = spmv_hsbcsr(&d1, &h, &x, Stage1Smem::Proposed);
+    let s1 = d1.trace().total_stats();
+    let t1 = d1.modeled_seconds();
+
+    let d2 = k40();
+    let _ = spmv_hsbcsr(&d2, &h, &x, Stage1Smem::NaiveRowMajor);
+    let s2 = d2.trace().total_stats();
+    let t2 = d2.modeled_seconds();
+
+    SmemStudy {
+        proposed_replays: s1.smem_replays,
+        naive_replays: s2.smem_replays,
+        proposed_s: t1,
+        naive_s: t2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 60; // small but contact-rich
+
+    #[test]
+    fn preconditioner_study_ordering() {
+        let rows = preconditioner_study(N, 2, 1);
+        assert_eq!(rows.len(), 3);
+        let bj = &rows[0];
+        let ssor = &rows[1];
+        let ilu = &rows[2];
+        // Table I ordering: iterations ILU ≤ SSOR ≤ BJ.
+        assert!(ilu.avg_iterations <= ssor.avg_iterations + 1e-9);
+        assert!(ssor.avg_iterations <= bj.avg_iterations + 1e-9);
+        // Costs: BJ construction cheapest, ILU most expensive.
+        assert!(bj.construct_s < ilu.construct_s);
+        assert!(bj.apply_s < ilu.apply_s);
+        // The headline: ILU loses the total despite fewer iterations.
+        assert!(
+            ilu.total_solve_s > bj.total_solve_s,
+            "ILU {} must exceed BJ {}",
+            ilu.total_solve_s,
+            bj.total_solve_s
+        );
+        assert_eq!(bj.samples.len(), 2);
+    }
+
+    #[test]
+    fn spmv_study_fig10_shape() {
+        // At this deliberately tiny scale (unit-test budget) kernel-launch
+        // overhead and under-occupancy dominate, so only the
+        // scale-independent parts of the Fig-10 shape are asserted here;
+        // the full ordering (HSBCSR < cuSPARSE-style vector CSR, the 2.8×
+        // gap, TSS ≈ 11× SpMV) is exercised at experiment scale by the
+        // `fig10` binary and the release-mode integration test.
+        let s = spmv_study(N, 2);
+        assert!(s.n_diag > 20);
+        assert!(s.n_nondiag > 10);
+        assert!(s.t_hsbcsr < s.t_csr_scalar, "{} vs {}", s.t_hsbcsr, s.t_csr_scalar);
+        // TSS always loses to one SpMV: level-by-level launches.
+        assert!(s.t_tss > s.t_hsbcsr, "TSS {} vs SpMV {}", s.t_tss, s.t_hsbcsr);
+    }
+
+    #[test]
+    fn case_study_internal_consistency() {
+        // Speed-up *shape* claims need near-full device occupancy, i.e.
+        // thousands of blocks (the table2/table3 binaries); at unit-test
+        // scale we check the bookkeeping: every module accrues time on
+        // every platform, and the faster device profile wins.
+        let cs = run_case1(N, 2, 3);
+        for times in [&cs.cpu, &cs.k20, &cs.k40] {
+            assert!(times.contact_detection > 0.0);
+            assert!(times.diag_building > 0.0);
+            assert!(times.nondiag_building > 0.0);
+            assert!(times.solving > 0.0);
+            assert!(times.interpenetration > 0.0);
+            assert!(times.updating > 0.0);
+        }
+        assert!(cs.k40.total() < cs.k20.total());
+        assert!(cs.mean_contacts > 10.0);
+    }
+
+    #[test]
+    fn divergence_study_shape() {
+        let d = divergence_study(N, 5);
+        assert!(d.contacts > 20);
+        assert!(d.mono_divergence > 0.0);
+        assert_eq!(d.class_divergence, 0.0);
+        assert!(d.divergence_reduction_pct() > 0.0);
+    }
+
+    #[test]
+    fn smem_study_shape() {
+        let s = smem_study(N, 7);
+        assert_eq!(s.proposed_replays, 0);
+        assert!(s.naive_replays > 0);
+        assert!(s.proposed_s <= s.naive_s);
+    }
+}

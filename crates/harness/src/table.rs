@@ -1,0 +1,120 @@
+//! Plain-text table printing for the harness binaries.
+
+/// A simple right-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders to a string. Widths are computed in characters (the cells
+    /// contain `×` and `µ`), so alignment survives multi-byte glyphs.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let chars = |s: &String| s.chars().count();
+        let mut widths: Vec<usize> = self.header.iter().map(chars).collect();
+        for row in &self.rows {
+            for (k, c) in row.iter().enumerate() {
+                widths[k] = widths[k].max(chars(c));
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for k in 0..ncol {
+                let pad = widths[k].saturating_sub(cells[k].chars().count());
+                if k == 0 {
+                    line.push_str(&cells[k]);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str("  ");
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(&cells[k]);
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.2} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} µs", seconds * 1e6)
+    }
+}
+
+/// Formats a speed-up factor.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}×")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(vec!["Module", "Time", "Speed-up"]);
+        t.row(vec!["Contact Detection", "12.1 ms", "93.2×"]);
+        t.row(vec!["Solve", "1.2 s", "46.4×"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Module"));
+        assert!(lines[1].starts_with('-'));
+        // Columns align: all lines have equal character count.
+        assert_eq!(lines[0].chars().count(), lines[2].chars().count());
+        assert_eq!(lines[2].chars().count(), lines[3].chars().count());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn time_units() {
+        assert_eq!(fmt_time(2.5), "2.50 s");
+        assert_eq!(fmt_time(0.0021), "2.10 ms");
+        assert_eq!(fmt_time(2.1e-5), "21.00 µs");
+        assert_eq!(fmt_speedup(48.72), "48.72×");
+    }
+}

@@ -1,0 +1,331 @@
+//! Thread-block-granular kernel context for cooperative kernels.
+//!
+//! Scan, radix sort and the SpMV reductions are *cooperative*: threads of a
+//! block exchange data through shared memory across barriers. Simulating
+//! that lane-by-lane would require re-entrant closures; instead, a
+//! block-granular kernel receives a [`Block`] that executes whole-block
+//! operations ("every thread t loads `base + t`", "the block scans its
+//! shared array") — computing real results while instrumenting the canonical
+//! access pattern of each operation.
+//!
+//! The accounting rules are identical to the lane-level collector: 128-byte
+//! coalescing over each warp's 32 addresses, 32-bank conflict replays,
+//! per-warp divergence groups for masked execution.
+
+use crate::buffer::GBuf;
+use crate::stats::KernelStats;
+use crate::{SMEM_BANKS, TEX_TRANSACTION_BYTES, TRANSACTION_BYTES, WARP_SIZE};
+
+/// Execution context handed to a per-block kernel closure.
+pub struct Block {
+    /// Block index within the launch.
+    pub block_id: usize,
+    /// Threads per block.
+    pub block_size: usize,
+    pub(crate) epoch: u32,
+    pub(crate) stats: KernelStats,
+}
+
+impl Block {
+    pub(crate) fn new(block_id: usize, block_size: usize, epoch: u32) -> Self {
+        Block {
+            block_id,
+            block_size,
+            epoch,
+            stats: KernelStats::default(),
+        }
+    }
+
+    fn account_addresses<I: Iterator<Item = u64>>(&mut self, addrs: I, tex: bool) {
+        // Chunk the per-thread addresses into warps and count distinct
+        // transaction segments per warp.
+        let granularity = if tex {
+            TEX_TRANSACTION_BYTES
+        } else {
+            TRANSACTION_BYTES
+        };
+        let mut segs: Vec<u64> = Vec::with_capacity(WARP_SIZE);
+        let mut in_warp = 0usize;
+        let flush = |segs: &mut Vec<u64>, stats: &mut KernelStats| {
+            if segs.is_empty() {
+                return;
+            }
+            segs.sort_unstable();
+            segs.dedup();
+            if tex {
+                stats.tex_transactions += segs.len() as u64;
+            } else {
+                stats.gmem_transactions += segs.len() as u64;
+            }
+            segs.clear();
+        };
+        for (addr, bytes) in addrs.map(|a| (a, 8u64)) {
+            let first = addr / granularity;
+            let last = (addr + bytes - 1) / granularity;
+            for s in first..=last {
+                segs.push(s);
+            }
+            in_warp += 1;
+            if in_warp == WARP_SIZE {
+                flush(&mut segs, &mut self.stats);
+                in_warp = 0;
+            }
+        }
+        flush(&mut segs, &mut self.stats);
+    }
+
+    /// Every thread `t < count` loads `buf[start + t]`; returns the values.
+    pub fn gld_range<T: Copy + Send>(&mut self, buf: &GBuf<T>, start: usize, count: usize) -> Vec<T> {
+        self.stats.gmem_bytes += (count * buf.elem_bytes() as usize) as u64;
+        self.account_addresses((0..count).map(|t| buf.addr(start + t)), false);
+        (0..count).map(|t| buf.get(start + t)).collect()
+    }
+
+    /// Thread `t` loads `buf[idxs[t]]` (arbitrary gather); returns values.
+    pub fn gld_gather<T: Copy + Send>(&mut self, buf: &GBuf<T>, idxs: &[usize]) -> Vec<T> {
+        self.stats.gmem_bytes += (idxs.len() * buf.elem_bytes() as usize) as u64;
+        self.account_addresses(idxs.iter().map(|&i| buf.addr(i)), false);
+        idxs.iter().map(|&i| buf.get(i)).collect()
+    }
+
+    /// Gather through the texture path (32-byte transactions).
+    pub fn gld_gather_tex<T: Copy + Send>(&mut self, buf: &GBuf<T>, idxs: &[usize]) -> Vec<T> {
+        self.stats.gmem_bytes += (idxs.len() * buf.elem_bytes() as usize) as u64;
+        self.account_addresses(idxs.iter().map(|&i| buf.addr(i)), true);
+        idxs.iter().map(|&i| buf.get(i)).collect()
+    }
+
+    /// Single-thread load of one element.
+    pub fn gld_one<T: Copy + Send>(&mut self, buf: &GBuf<T>, i: usize) -> T {
+        self.stats.gmem_bytes += u64::from(buf.elem_bytes());
+        self.stats.gmem_transactions += 1;
+        buf.get(i)
+    }
+
+    /// Every thread `t < vals.len()` stores `vals[t]` to `buf[start + t]`.
+    pub fn gst_range<T: Copy + Send>(&mut self, buf: &GBuf<T>, start: usize, vals: &[T]) {
+        self.stats.gmem_bytes += (vals.len() * buf.elem_bytes() as usize) as u64;
+        self.account_addresses((0..vals.len()).map(|t| buf.addr(start + t)), false);
+        for (t, &v) in vals.iter().enumerate() {
+            buf.set(start + t, v, self.epoch);
+        }
+    }
+
+    /// Thread `t` stores `pairs[t].1` to `buf[pairs[t].0]` (scatter).
+    pub fn gst_scatter<T: Copy + Send>(&mut self, buf: &GBuf<T>, pairs: &[(usize, T)]) {
+        self.stats.gmem_bytes += (pairs.len() * buf.elem_bytes() as usize) as u64;
+        self.account_addresses(pairs.iter().map(|&(i, _)| buf.addr(i)), false);
+        for &(i, v) in pairs {
+            buf.set(i, v, self.epoch);
+        }
+    }
+
+    /// Single-thread store of one element.
+    pub fn gst_one<T: Copy + Send>(&mut self, buf: &GBuf<T>, i: usize, v: T) {
+        self.stats.gmem_bytes += u64::from(buf.elem_bytes());
+        self.stats.gmem_transactions += 1;
+        buf.set(i, v, self.epoch);
+    }
+
+    /// Every thread performs `n` flops.
+    pub fn flop_all(&mut self, n: u64) {
+        self.stats.flops += n * self.block_size as u64;
+        self.stats.warp_flops += n * (self.warps() * WARP_SIZE) as u64;
+    }
+
+    /// The first `active` threads (contiguous mask) perform `n` flops each;
+    /// the rest idle — lockstep work still covers their warps.
+    pub fn flop_masked(&mut self, active: usize, n: u64) {
+        let active = active.min(self.block_size);
+        self.stats.flops += n * active as u64;
+        let busy_warps = active.div_ceil(WARP_SIZE);
+        self.stats.warp_flops += n * (busy_warps * WARP_SIZE) as u64;
+    }
+
+    /// One designated thread performs `n` flops.
+    pub fn flop_one(&mut self, n: u64) {
+        self.stats.flops += n;
+        self.stats.warp_flops += n * WARP_SIZE as u64;
+    }
+
+    /// Records a branch at `site` taken by the first `active` threads of a
+    /// contiguous mask: every fully-agreeing warp is a uniform group, the
+    /// boundary warp (if mixed) diverges.
+    pub fn branch_front(&mut self, _site: u32, active: usize) {
+        let active = active.min(self.block_size);
+        let warps = self.warps();
+        self.stats.branch_groups += warps as u64;
+        if !active.is_multiple_of(WARP_SIZE) && active < self.block_size {
+            self.stats.divergent_branch_groups += 1;
+        }
+    }
+
+    /// Records a branch at `site` with an explicit per-thread mask.
+    pub fn branch_mask(&mut self, _site: u32, mask: &[bool]) {
+        for chunk in mask.chunks(WARP_SIZE) {
+            self.stats.branch_groups += 1;
+            let taken = chunk.iter().filter(|&&b| b).count();
+            if taken != 0 && taken != chunk.len() {
+                self.stats.divergent_branch_groups += 1;
+            }
+        }
+    }
+
+    /// Records one lockstep shared-memory access per thread, `words[t]`
+    /// being thread `t`'s word index. Counts bank-conflict replays per warp.
+    pub fn smem_access(&mut self, words: &[u32]) {
+        for chunk in words.chunks(WARP_SIZE) {
+            let mut bank_count = [0u32; SMEM_BANKS];
+            for &w in chunk {
+                bank_count[(w as usize) % SMEM_BANKS] += 1;
+            }
+            self.stats.smem_accesses += chunk.len() as u64;
+            let max_mult = *bank_count.iter().max().unwrap();
+            self.stats.smem_replays += u64::from(max_mult.saturating_sub(1));
+        }
+    }
+
+    /// Cost of a work-efficient (Blelloch) block scan over `n` shared-memory
+    /// elements: `2(n-1)` adds, `~4n` conflict-free shared accesses,
+    /// `2·log2(n)` barriers.
+    pub fn block_scan_cost(&mut self, n: usize) {
+        if n <= 1 {
+            return;
+        }
+        let adds = 2 * (n as u64 - 1);
+        self.stats.flops += adds;
+        self.stats.warp_flops += adds; // spread over the block's lanes
+        self.stats.smem_accesses += 4 * n as u64;
+        self.stats.syncs += 2 * (usize::BITS - (n - 1).leading_zeros()) as u64;
+    }
+
+    /// Cost of a warp shuffle reduction/scan over `width` lanes
+    /// (`log2(width)` shuffle steps per warp) for the first `active`
+    /// threads. The paper replaces shared-memory reductions with shuffles in
+    /// its scan and radix sort ("Faster Parallel Reductions on Kepler").
+    pub fn shfl_reduce_cost(&mut self, active: usize, width: usize) {
+        let warps = active.div_ceil(WARP_SIZE) as u64;
+        let steps = usize::BITS as u64 - (width.max(2) - 1).leading_zeros() as u64;
+        self.stats.shuffles += warps * steps;
+        let adds = steps * active as u64;
+        self.stats.flops += adds;
+        self.stats.warp_flops += steps * (warps * WARP_SIZE as u64);
+    }
+
+    /// Records a block-wide barrier.
+    pub fn sync(&mut self) {
+        self.stats.syncs += 1;
+    }
+
+    /// Number of warps in this block.
+    fn warps(&self) -> usize {
+        self.block_size.div_ceil(WARP_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> Block {
+        Block::new(0, 256, 1)
+    }
+
+    #[test]
+    fn range_load_is_coalesced() {
+        let data = vec![1.0f64; 1024];
+        let buf = GBuf::new_ro(&data, 0);
+        let mut b = block();
+        let vals = b.gld_range(&buf, 0, 256);
+        assert_eq!(vals.len(), 256);
+        // 256 f64 = 2048 bytes = 16 transactions of 128 B.
+        assert_eq!(b.stats.gmem_transactions, 16);
+        assert!((b.stats.overfetch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gather_load_counts_scattered_segments() {
+        let data = vec![1.0f64; 4096];
+        let buf = GBuf::new_ro(&data, 0);
+        let mut b = block();
+        let idxs: Vec<usize> = (0..256).map(|t| t * 16).collect(); // stride 16 f64
+        let _ = b.gld_gather(&buf, &idxs);
+        // Every access in its own 128-byte segment.
+        assert_eq!(b.stats.gmem_transactions, 256);
+    }
+
+    #[test]
+    fn scatter_store_roundtrip() {
+        let mut data = vec![0u32; 64];
+        let buf = GBuf::new_rw(&mut data, 0, true);
+        let mut b = block();
+        let pairs: Vec<(usize, u32)> = (0..64).map(|i| (63 - i, i as u32)).collect();
+        b.gst_scatter(&buf, &pairs);
+        drop(buf);
+        assert_eq!(data[63], 0);
+        assert_eq!(data[0], 63);
+    }
+
+    #[test]
+    fn masked_flops_work() {
+        let mut b = block();
+        b.flop_masked(40, 10);
+        assert_eq!(b.stats.flops, 400);
+        // 40 active threads span 2 warps → 2 × 32 lockstep lanes.
+        assert_eq!(b.stats.warp_flops, 640);
+    }
+
+    #[test]
+    fn branch_front_divergence_only_at_boundary() {
+        let mut b = block();
+        b.branch_front(0, 64); // warp-aligned: no divergence
+        assert_eq!(b.stats.divergent_branch_groups, 0);
+        b.branch_front(0, 40); // boundary warp mixed
+        assert_eq!(b.stats.divergent_branch_groups, 1);
+        b.branch_front(0, 256); // everyone takes it: uniform
+        assert_eq!(b.stats.divergent_branch_groups, 1);
+    }
+
+    #[test]
+    fn branch_mask_counts_mixed_warps() {
+        let mut b = block();
+        let mut mask = vec![false; 64];
+        for (i, m) in mask.iter_mut().enumerate() {
+            *m = i % 2 == 0; // alternating: both warps diverge
+        }
+        b.branch_mask(1, &mask);
+        assert_eq!(b.stats.branch_groups, 2);
+        assert_eq!(b.stats.divergent_branch_groups, 2);
+    }
+
+    #[test]
+    fn smem_conflicts() {
+        let mut b = block();
+        // 32 threads all in bank 5.
+        let words: Vec<u32> = (0..32).map(|t| 5 + 32 * t).collect();
+        b.smem_access(&words);
+        assert_eq!(b.stats.smem_replays, 31);
+        // Identity mapping: conflict-free.
+        let mut b2 = block();
+        let words2: Vec<u32> = (0..32).collect();
+        b2.smem_access(&words2);
+        assert_eq!(b2.stats.smem_replays, 0);
+    }
+
+    #[test]
+    fn scan_cost_scaling() {
+        let mut b = block();
+        b.block_scan_cost(256);
+        assert_eq!(b.stats.flops, 510);
+        assert_eq!(b.stats.smem_accesses, 1024);
+        assert_eq!(b.stats.syncs, 16); // 2 * log2(256)
+    }
+
+    #[test]
+    fn shfl_cost_scaling() {
+        let mut b = block();
+        b.shfl_reduce_cost(256, 32);
+        // 8 warps × 5 shuffle steps.
+        assert_eq!(b.stats.shuffles, 40);
+    }
+}

@@ -1,0 +1,194 @@
+//! Simulated device global-memory buffers.
+//!
+//! A [`GBuf`] wraps a host slice and gives simulated kernels CUDA-like
+//! access semantics: any lane may load any element, and lanes may store to
+//! elements *provided no two lanes store to the same element within one
+//! launch* — exactly the discipline CUDA global memory imposes on kernels
+//! that do not use atomics.
+//!
+//! Each buffer is assigned a synthetic, 128-byte-aligned base address so the
+//! coalescing model can reason about transactions without interference
+//! between buffers.
+//!
+//! ## Write-conflict detector
+//!
+//! When the owning [`crate::Device`] has conflict checking armed, every
+//! buffer carries an epoch stamp per element. A store bumps the element to
+//! the current launch epoch; a second store to the same element in the same
+//! epoch panics. This turns the paper's §III-C claim — that sort/scan
+//! assembly of the global stiffness matrix is write-conflict-free — into a
+//! machine-checked invariant.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Interior-mutable cell that is `Sync` so warps on different host threads
+/// can access the simulated global memory concurrently.
+///
+/// Safety relies on the CUDA discipline documented on [`GBuf`]: disjoint
+/// stores within a launch, no load of an element stored in the same launch
+/// without an intervening kernel boundary.
+#[repr(transparent)]
+struct SyncCell<T>(UnsafeCell<T>);
+
+// SAFETY: access discipline is enforced by the kernel-programming contract
+// (and dynamically by the conflict detector in checked mode); `T: Send`
+// suffices because only plain copies cross threads.
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
+/// A device-visible view of a host slice.
+///
+/// Create via [`crate::Device::bind`] (read-write) or
+/// [`crate::Device::bind_ro`] (read-only).
+pub struct GBuf<'a, T> {
+    cells: &'a [SyncCell<T>],
+    base: u64,
+    writable: bool,
+    stamps: Option<Arc<Vec<AtomicU32>>>,
+}
+
+impl<'a, T: Copy + Send> GBuf<'a, T> {
+    /// Internal constructor used by `Device::bind`.
+    pub(crate) fn new_rw(slice: &'a mut [T], base: u64, check: bool) -> Self {
+        let len = slice.len();
+        // SAFETY: SyncCell<T> is repr(transparent) over UnsafeCell<T>, which
+        // is repr(transparent) over T; the exclusive borrow guarantees no
+        // other alias exists for the lifetime 'a.
+        let cells =
+            unsafe { std::slice::from_raw_parts(slice.as_mut_ptr() as *const SyncCell<T>, len) };
+        GBuf {
+            cells,
+            base,
+            writable: true,
+            stamps: check.then(|| Arc::new((0..len).map(|_| AtomicU32::new(0)).collect())),
+        }
+    }
+
+    /// Internal constructor used by `Device::bind_ro`.
+    pub(crate) fn new_ro(slice: &'a [T], base: u64) -> Self {
+        let cells =
+            unsafe { std::slice::from_raw_parts(slice.as_ptr() as *const SyncCell<T>, slice.len()) };
+        GBuf {
+            cells,
+            base,
+            writable: false,
+            stamps: None,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the buffer has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Synthetic device address of element `i`, used by the coalescing
+    /// model.
+    #[inline]
+    pub(crate) fn addr(&self, i: usize) -> u64 {
+        self.base + (i * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Element size in bytes.
+    #[inline]
+    pub(crate) fn elem_bytes(&self) -> u32 {
+        std::mem::size_of::<T>() as u32
+    }
+
+    /// Raw load (no instrumentation — used by [`crate::Lane::ld`] which adds
+    /// the accounting).
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> T {
+        // SAFETY: in-bounds index (slice indexing panics otherwise); the
+        // kernel contract guarantees no concurrent writer to this element.
+        unsafe { *self.cells[i].0.get() }
+    }
+
+    /// Raw store (no instrumentation). Panics on read-only buffers and, in
+    /// checked mode, on write conflicts within `epoch`.
+    #[inline]
+    pub(crate) fn set(&self, i: usize, v: T, epoch: u32) {
+        assert!(self.writable, "store to read-only device buffer");
+        if let Some(stamps) = &self.stamps {
+            let prev = stamps[i].swap(epoch, Ordering::Relaxed);
+            assert!(
+                prev != epoch,
+                "memory write conflict: element {i} stored twice in launch epoch {epoch}"
+            );
+        }
+        // SAFETY: in-bounds; conflict freedom per the kernel contract (and
+        // dynamically verified above when checking is armed).
+        unsafe { *self.cells[i].0.get() = v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_buffer_roundtrip() {
+        let mut data = vec![1.0f64, 2.0, 3.0];
+        let buf = GBuf::new_rw(&mut data, 0, false);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.get(1), 2.0);
+        buf.set(1, 9.0, 1);
+        assert_eq!(buf.get(1), 9.0);
+        drop(buf);
+        assert_eq!(data[1], 9.0);
+    }
+
+    #[test]
+    fn ro_buffer_reads() {
+        let data = vec![7u32, 8, 9];
+        let buf = GBuf::new_ro(&data, 256);
+        assert_eq!(buf.get(2), 9);
+        assert_eq!(buf.addr(0), 256);
+        assert_eq!(buf.addr(2), 256 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn ro_buffer_rejects_store() {
+        let data = vec![1u8];
+        let buf = GBuf::new_ro(&data, 0);
+        buf.set(0, 2, 1);
+    }
+
+    #[test]
+    fn conflict_detector_allows_distinct_elements() {
+        let mut data = vec![0i32; 4];
+        let buf = GBuf::new_rw(&mut data, 0, true);
+        for i in 0..4 {
+            buf.set(i, i as i32, 1);
+        }
+        // A later epoch may rewrite the same elements.
+        for i in 0..4 {
+            buf.set(i, -(i as i32), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "write conflict")]
+    fn conflict_detector_catches_double_store() {
+        let mut data = vec![0i32; 4];
+        let buf = GBuf::new_rw(&mut data, 0, true);
+        buf.set(2, 1, 7);
+        buf.set(2, 2, 7); // same element, same epoch
+    }
+
+    #[test]
+    fn addresses_use_element_size() {
+        let mut data = vec![0f64; 10];
+        let buf = GBuf::new_rw(&mut data, 1024, false);
+        assert_eq!(buf.addr(3), 1024 + 24);
+        assert_eq!(buf.elem_bytes(), 8);
+    }
+}

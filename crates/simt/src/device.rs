@@ -1,0 +1,469 @@
+//! The simulated device: kernel launches, buffer binding, and the trace.
+
+use crate::block::Block;
+use crate::buffer::GBuf;
+use crate::lane::{aggregate_warp, Lane, LaneRec};
+use crate::profile::DeviceProfile;
+use crate::stats::{DeviceTrace, KernelStats, LaunchRecord};
+use crate::timing::TimingModel;
+use crate::WARP_SIZE;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Below this many warps a launch runs on the calling thread; above it,
+/// warps are distributed over the rayon pool. Purely a host-side execution
+/// detail — modeled time is identical either way.
+const PARALLEL_WARP_THRESHOLD: usize = 64;
+
+/// A simulated GPU (or the serial-CPU baseline platform).
+///
+/// The device owns a [`DeviceProfile`], a [`TimingModel`] and a trace of
+/// every kernel launched since the last reset. Kernels execute for real on
+/// the host; the trace carries their architectural counters and modeled
+/// times.
+pub struct Device {
+    profile: DeviceProfile,
+    model: TimingModel,
+    check_conflicts: bool,
+    trace: Mutex<DeviceTrace>,
+    next_base: AtomicU64,
+    epoch: AtomicU32,
+}
+
+impl Device {
+    /// Creates a device with the given hardware profile and the default
+    /// timing model.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Device {
+            profile,
+            model: TimingModel::default(),
+            check_conflicts: false,
+            trace: Mutex::new(DeviceTrace::default()),
+            next_base: AtomicU64::new(1 << 12),
+            epoch: AtomicU32::new(0),
+        }
+    }
+
+    /// Arms or disarms the global-memory write-conflict detector for
+    /// buffers bound *after* this call. See the crate docs.
+    pub fn with_conflict_checking(mut self, on: bool) -> Self {
+        self.check_conflicts = on;
+        self
+    }
+
+    /// Replaces the timing model.
+    pub fn with_timing_model(mut self, model: TimingModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The device's hardware profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The device's timing model.
+    pub fn model(&self) -> &TimingModel {
+        &self.model
+    }
+
+    /// Binds a host slice as a read-write device buffer.
+    pub fn bind<'a, T: Copy + Send>(&self, slice: &'a mut [T]) -> GBuf<'a, T> {
+        let bytes = std::mem::size_of_val(slice) as u64;
+        let base = self.alloc_base(bytes);
+        GBuf::new_rw(slice, base, self.check_conflicts)
+    }
+
+    /// Binds a host slice as a read-only device buffer.
+    pub fn bind_ro<'a, T: Copy + Send>(&self, slice: &'a [T]) -> GBuf<'a, T> {
+        let bytes = std::mem::size_of_val(slice) as u64;
+        let base = self.alloc_base(bytes);
+        GBuf::new_ro(slice, base)
+    }
+
+    fn alloc_base(&self, bytes: u64) -> u64 {
+        let rounded = (bytes + 255) & !127; // pad and 128-align
+        self.next_base.fetch_add(rounded.max(128), Ordering::Relaxed)
+    }
+
+    /// Launches a per-thread kernel: `f` runs once per simulated thread.
+    ///
+    /// Returns the launch's architectural counters (also appended to the
+    /// device trace together with its modeled time).
+    ///
+    /// ```
+    /// use dda_simt::{Device, DeviceProfile};
+    ///
+    /// let dev = Device::new(DeviceProfile::tesla_k40());
+    /// let x = vec![1.0f64; 1024];
+    /// let mut y = vec![0.0f64; 1024];
+    /// let bx = dev.bind_ro(&x);
+    /// let by = dev.bind(&mut y);
+    /// let stats = dev.launch("double", 1024, |lane| {
+    ///     let v = lane.ld(&bx, lane.gid);
+    ///     lane.flop(1);
+    ///     lane.st(&by, lane.gid, 2.0 * v);
+    /// });
+    /// drop(by);
+    /// assert_eq!(y[7], 2.0);
+    /// assert_eq!(stats.flops, 1024);
+    /// assert!(dev.modeled_seconds() > 0.0);
+    /// ```
+    pub fn launch<F>(&self, name: &str, threads: usize, f: F) -> KernelStats
+    where
+        F: Fn(&mut Lane) + Sync,
+    {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let n_warps = threads.div_ceil(WARP_SIZE);
+
+        let run_warp = |w: usize, scratch: &mut Vec<LaneRec>, stats: &mut KernelStats| {
+            for lane_idx in 0..WARP_SIZE {
+                let gid = w * WARP_SIZE + lane_idx;
+                let rec = &mut scratch[lane_idx];
+                rec.clear();
+                if gid < threads {
+                    rec.set_active();
+                    let mut lane = Lane {
+                        gid,
+                        lane_id: lane_idx as u32,
+                        warp_id: w,
+                        epoch,
+                        rec,
+                    };
+                    f(&mut lane);
+                }
+            }
+            aggregate_warp(scratch, stats);
+        };
+
+        let mut stats = if n_warps <= PARALLEL_WARP_THRESHOLD {
+            let mut scratch: Vec<LaneRec> = (0..WARP_SIZE).map(|_| LaneRec::default()).collect();
+            let mut stats = KernelStats::default();
+            for w in 0..n_warps {
+                run_warp(w, &mut scratch, &mut stats);
+            }
+            stats
+        } else {
+            (0..n_warps)
+                .into_par_iter()
+                .fold(
+                    || {
+                        (
+                            (0..WARP_SIZE).map(|_| LaneRec::default()).collect::<Vec<_>>(),
+                            KernelStats::default(),
+                        )
+                    },
+                    |(mut scratch, mut stats), w| {
+                        run_warp(w, &mut scratch, &mut stats);
+                        (scratch, stats)
+                    },
+                )
+                .map(|(_, stats)| stats)
+                .reduce(KernelStats::default, |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+        };
+
+        stats.launches = 1;
+        stats.threads = threads as u64;
+        stats.warps = n_warps as u64;
+        self.record(name, stats);
+        stats
+    }
+
+    /// Launches a block-granular cooperative kernel: `f` runs once per
+    /// thread block with a [`Block`] context of `block_size` threads.
+    pub fn launch_blocks<F>(&self, name: &str, blocks: usize, block_size: usize, f: F) -> KernelStats
+    where
+        F: Fn(&mut Block) + Sync,
+    {
+        assert!(
+            block_size > 0 && block_size.is_multiple_of(WARP_SIZE),
+            "block size must be a positive multiple of {WARP_SIZE}"
+        );
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+
+        let mut stats = if blocks <= 8 {
+            let mut stats = KernelStats::default();
+            for b in 0..blocks {
+                let mut blk = Block::new(b, block_size, epoch);
+                f(&mut blk);
+                stats.merge(&blk.stats);
+            }
+            stats
+        } else {
+            (0..blocks)
+                .into_par_iter()
+                .fold(KernelStats::default, |mut stats, b| {
+                    let mut blk = Block::new(b, block_size, epoch);
+                    f(&mut blk);
+                    stats.merge(&blk.stats);
+                    stats
+                })
+                .reduce(KernelStats::default, |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+        };
+
+        stats.launches = 1;
+        stats.threads = (blocks * block_size) as u64;
+        stats.warps = (blocks * block_size.div_ceil(WARP_SIZE)) as u64;
+        self.record(name, stats);
+        stats
+    }
+
+    /// Records an externally-assembled report (used by serial reference
+    /// code that models the E5620 baseline without simulated warps).
+    pub fn record_external(&self, name: &str, stats: KernelStats) -> f64 {
+        self.record(name, stats)
+    }
+
+    fn record(&self, name: &str, stats: KernelStats) -> f64 {
+        let seconds = self.model.seconds(&stats, &self.profile);
+        self.trace.lock().records.push(LaunchRecord {
+            name: name.to_owned(),
+            stats,
+            seconds,
+        });
+        seconds
+    }
+
+    /// Snapshot of the launch trace.
+    pub fn trace(&self) -> DeviceTrace {
+        self.trace.lock().clone()
+    }
+
+    /// Total modeled seconds since the last reset.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.trace.lock().total_seconds()
+    }
+
+    /// Clears the launch trace.
+    pub fn reset_trace(&self) {
+        self.trace.lock().records.clear();
+    }
+
+    /// Takes the launch trace, leaving it empty.
+    pub fn take_trace(&self) -> DeviceTrace {
+        std::mem::take(&mut *self.trace.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k40() -> Device {
+        Device::new(DeviceProfile::tesla_k40())
+    }
+
+    #[test]
+    fn saxpy_computes_and_accounts() {
+        let dev = k40();
+        let n = 10_000;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y: Vec<f64> = vec![1.0; n];
+        let bx = dev.bind_ro(&x);
+        let by = dev.bind(&mut y);
+        let stats = dev.launch("saxpy", n, |lane| {
+            let xv = lane.ld(&bx, lane.gid);
+            let yv = lane.ld(&by, lane.gid);
+            lane.flop(2);
+            lane.st(&by, lane.gid, 2.0 * xv + yv);
+        });
+        drop(by);
+        assert_eq!(y[3], 7.0);
+        assert_eq!(y[n - 1], 2.0 * (n as f64 - 1.0) + 1.0);
+        assert_eq!(stats.threads, n as u64);
+        assert_eq!(stats.flops, 2 * n as u64);
+        // Perfectly coalesced: 3 streams of n f64.
+        assert_eq!(stats.gmem_bytes, 3 * 8 * n as u64);
+        assert!(stats.overfetch() < 1.1);
+        assert_eq!(dev.trace().len(), 1);
+        assert!(dev.modeled_seconds() > 0.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_paths_agree() {
+        // A launch big enough to take the rayon path must produce identical
+        // counters to the sequential path.
+        let n = PARALLEL_WARP_THRESHOLD * WARP_SIZE * 4;
+        let x: Vec<f64> = (0..n).map(|i| (i % 97) as f64).collect();
+
+        let run = |force_serial: bool| -> (KernelStats, Vec<f64>) {
+            let dev = k40();
+            let mut out = vec![0.0; n];
+            let bx = dev.bind_ro(&x);
+            let bo = dev.bind(&mut out);
+            // Launch in one call or split into small sequential chunks.
+            let stats = if force_serial {
+                let mut acc = KernelStats::default();
+                let chunk = PARALLEL_WARP_THRESHOLD * WARP_SIZE;
+                for c in 0..(n / chunk) {
+                    let s = dev.launch("sq", chunk, |lane| {
+                        let g = c * chunk + lane.gid;
+                        let v = lane.ld(&bx, g);
+                        lane.flop(1);
+                        lane.st(&bo, g, v * v);
+                    });
+                    acc.merge(&s);
+                }
+                acc
+            } else {
+                dev.launch("sq", n, |lane| {
+                    let v = lane.ld(&bx, lane.gid);
+                    lane.flop(1);
+                    lane.st(&bo, lane.gid, v * v);
+                })
+            };
+            drop(bo);
+            (stats, out)
+        };
+
+        let (s_par, out_par) = run(false);
+        let (s_ser, out_ser) = run(true);
+        assert_eq!(out_par, out_ser);
+        assert_eq!(s_par.flops, s_ser.flops);
+        assert_eq!(s_par.gmem_transactions, s_ser.gmem_transactions);
+    }
+
+    #[test]
+    fn conflict_checker_catches_racing_stores() {
+        let dev = k40().with_conflict_checking(true);
+        let mut out = vec![0.0f64; 4];
+        let bo = dev.bind(&mut out);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Every lane writes element 0: a classic assembly write conflict.
+            dev.launch("conflict", 32, |lane| {
+                lane.st(&bo, 0, lane.gid as f64);
+            });
+        }));
+        assert!(result.is_err(), "conflicting stores must be detected");
+    }
+
+    #[test]
+    fn conflict_checker_passes_disjoint_stores() {
+        let dev = k40().with_conflict_checking(true);
+        let mut out = vec![0.0f64; 64];
+        let bo = dev.bind(&mut out);
+        dev.launch("disjoint", 64, |lane| {
+            lane.st(&bo, lane.gid, 1.0);
+        });
+        // Re-writing the same elements in a *new* launch is fine.
+        dev.launch("disjoint2", 64, |lane| {
+            lane.st(&bo, lane.gid, 2.0);
+        });
+        drop(bo);
+        assert!(out.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn block_launch_records_and_computes() {
+        let dev = k40();
+        let n = 1024;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut block_sums = vec![0.0f64; n / 256];
+        let bx = dev.bind_ro(&x);
+        let bs = dev.bind(&mut block_sums);
+        dev.launch_blocks("block_sum", n / 256, 256, |blk| {
+            let vals = blk.gld_range(&bx, blk.block_id * 256, 256);
+            blk.flop_all(1);
+            blk.shfl_reduce_cost(256, 32);
+            let sum: f64 = vals.iter().sum();
+            blk.gst_one(&bs, blk.block_id, sum);
+        });
+        drop(bs);
+        let expected: f64 = (0..256).map(|i| i as f64).sum();
+        assert_eq!(block_sums[0], expected);
+        let trace = dev.trace();
+        assert_eq!(trace.len(), 1);
+        assert!(trace.records[0].stats.shuffles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn block_size_must_be_warp_multiple() {
+        let dev = k40();
+        dev.launch_blocks("bad", 1, 48, |_| {});
+    }
+
+    #[test]
+    fn trace_reset_and_take() {
+        let dev = k40();
+        dev.launch("nop", 32, |_| {});
+        assert_eq!(dev.trace().len(), 1);
+        let t = dev.take_trace();
+        assert_eq!(t.len(), 1);
+        assert!(dev.trace().is_empty());
+        dev.launch("nop", 32, |_| {});
+        dev.reset_trace();
+        assert!(dev.trace().is_empty());
+    }
+
+    #[test]
+    fn custom_timing_model_changes_modeled_time() {
+        use crate::timing::TimingModel;
+        let slow_launch = TimingModel {
+            alu_efficiency: 0.35,
+            bw_efficiency: 0.65,
+            divergence_window: 24.0,
+            smem_flop_equiv: 1.0,
+            shfl_flop_equiv: 1.0,
+            sync_flop_equiv: 32.0,
+            min_utilization: 0.15,
+            tex_miss_rate: 0.25,
+        };
+        let d1 = Device::new(DeviceProfile::tesla_k40());
+        let d2 = Device::new(DeviceProfile::tesla_k40()).with_timing_model(TimingModel {
+            min_utilization: 1.0, // no occupancy penalty at all
+            ..slow_launch
+        });
+        let run = |d: &Device| {
+            d.launch("tiny", 32, |lane| lane.flop(100));
+            d.modeled_seconds()
+        };
+        assert!(run(&d1) > run(&d2));
+    }
+
+    #[test]
+    fn launches_are_deterministic() {
+        // Two identical launches produce identical counters and results —
+        // the reproducibility contract the harness relies on.
+        let run = || {
+            let d = k40();
+            let x: Vec<f64> = (0..4096).map(|i| (i as f64).sin()).collect();
+            let mut y = vec![0.0f64; 4096];
+            let bx = d.bind_ro(&x);
+            let by = d.bind(&mut y);
+            let stats = d.launch("det", 4096, |lane| {
+                let v = lane.ld(&bx, lane.gid);
+                if lane.branch(0, v > 0.0) {
+                    lane.flop(3);
+                }
+                lane.st(&by, lane.gid, v * 2.0);
+            });
+            drop(by);
+            (stats, y)
+        };
+        let (s1, y1) = run();
+        let (s2, y2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn distinct_buffers_get_distinct_address_ranges() {
+        let dev = k40();
+        let a = vec![0u8; 100];
+        let b = vec![0u8; 100];
+        let ba = dev.bind_ro(&a);
+        let bb = dev.bind_ro(&b);
+        // Address ranges must not overlap for the coalescing model.
+        let a_end = ba.addr(99);
+        let b_start = bb.addr(0);
+        assert!(b_start > a_end);
+    }
+}

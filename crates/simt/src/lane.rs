@@ -1,0 +1,455 @@
+//! Per-thread kernel context and warp-level aggregation.
+//!
+//! A [`Lane`] is the view one simulated CUDA thread has of the machine. The
+//! executor runs the 32 lanes of a warp one after another, each recording an
+//! ordered trace of its memory accesses and branch decisions; the warp
+//! collector then *replays the warp in lockstep* — zipping the k-th access
+//! of every lane — to derive coalesced transaction counts, shared-memory
+//! bank conflicts, and branch-divergence groups exactly as the hardware
+//! would observe them.
+
+use crate::buffer::GBuf;
+use crate::stats::KernelStats;
+use crate::{SMEM_BANKS, TEX_TRANSACTION_BYTES, TRANSACTION_BYTES, WARP_SIZE};
+
+/// Kind of a recorded global-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemKind {
+    /// Load through L1/L2 (128-byte transactions).
+    Load,
+    /// Store through L1/L2 (128-byte transactions).
+    Store,
+    /// Load through the texture path (32-byte transactions) — what the
+    /// paper uses for the irregular vector reads in SpMV.
+    Tex,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MemAcc {
+    addr: u64,
+    bytes: u32,
+    kind: MemKind,
+}
+
+/// Ordered trace of one lane's execution.
+#[derive(Debug, Default)]
+pub(crate) struct LaneRec {
+    flops: u64,
+    mem: Vec<MemAcc>,
+    smem: Vec<u32>,
+    branches: Vec<(u32, bool)>,
+    shuffles: u64,
+    syncs: u64,
+    active: bool,
+}
+
+impl LaneRec {
+    /// Marks the lane as active in the current warp (tail warps leave some
+    /// lanes inactive).
+    pub(crate) fn set_active(&mut self) {
+        self.active = true;
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.flops = 0;
+        self.mem.clear();
+        self.smem.clear();
+        self.branches.clear();
+        self.shuffles = 0;
+        self.syncs = 0;
+        self.active = false;
+    }
+}
+
+/// Execution context handed to a per-thread kernel closure.
+///
+/// All instrumented operations are *also* the real operation: [`Lane::ld`]
+/// returns the element, [`Lane::st`] writes it. Pure arithmetic is the
+/// kernel's own Rust code, accounted via [`Lane::flop`].
+pub struct Lane<'w> {
+    /// Global thread index (`blockIdx * blockDim + threadIdx` equivalent).
+    pub gid: usize,
+    /// Lane index within the warp, `0..32`.
+    pub lane_id: u32,
+    /// Warp index within the launch.
+    pub warp_id: usize,
+    pub(crate) epoch: u32,
+    pub(crate) rec: &'w mut LaneRec,
+}
+
+impl<'w> Lane<'w> {
+    /// Loads element `i` of `buf` through the L1/L2 path.
+    #[inline]
+    pub fn ld<T: Copy + Send>(&mut self, buf: &GBuf<T>, i: usize) -> T {
+        self.rec.mem.push(MemAcc {
+            addr: buf.addr(i),
+            bytes: buf.elem_bytes(),
+            kind: MemKind::Load,
+        });
+        buf.get(i)
+    }
+
+    /// Loads element `i` of `buf` through the texture path (32-byte
+    /// transactions; cheaper for irregular gathers).
+    #[inline]
+    pub fn ld_tex<T: Copy + Send>(&mut self, buf: &GBuf<T>, i: usize) -> T {
+        self.rec.mem.push(MemAcc {
+            addr: buf.addr(i),
+            bytes: buf.elem_bytes(),
+            kind: MemKind::Tex,
+        });
+        buf.get(i)
+    }
+
+    /// Stores `v` into element `i` of `buf`.
+    ///
+    /// Within one launch no other lane may store to the same element
+    /// (CUDA's data-race rule); the device's conflict checker enforces this
+    /// when armed.
+    #[inline]
+    pub fn st<T: Copy + Send>(&mut self, buf: &GBuf<T>, i: usize, v: T) {
+        self.rec.mem.push(MemAcc {
+            addr: buf.addr(i),
+            bytes: buf.elem_bytes(),
+            kind: MemKind::Store,
+        });
+        buf.set(i, v, self.epoch);
+    }
+
+    /// Records `n` floating-point operations of lane work.
+    #[inline]
+    pub fn flop(&mut self, n: u32) {
+        self.rec.flops += u64::from(n);
+    }
+
+    /// Records a special-function operation (`tan`, `sqrt`, `atan2`, …),
+    /// costed as 8 flops — the SFU throughput ratio on Kepler.
+    #[inline]
+    pub fn special(&mut self, n: u32) {
+        self.rec.flops += 8 * u64::from(n);
+    }
+
+    /// Records a branch decision at static `site` and returns `taken`, so
+    /// kernels write `if lane.branch(SITE_X, cond) { … }`. Lanes of one warp
+    /// disagreeing at the same site and occurrence form a divergence group.
+    #[inline]
+    pub fn branch(&mut self, site: u32, taken: bool) -> bool {
+        self.rec.branches.push((site, taken));
+        taken
+    }
+
+    /// Records a shared-memory read of word index `word` (bank = `word % 32`).
+    #[inline]
+    pub fn smem_ld(&mut self, word: u32) {
+        self.rec.smem.push(word);
+    }
+
+    /// Records a shared-memory write of word index `word`.
+    #[inline]
+    pub fn smem_st(&mut self, word: u32) {
+        self.rec.smem.push(word);
+    }
+
+    /// Records a warp shuffle operation.
+    #[inline]
+    pub fn shfl(&mut self, n: u32) {
+        self.rec.shuffles += u64::from(n);
+    }
+
+    /// Records a block-wide barrier.
+    #[inline]
+    pub fn sync(&mut self) {
+        self.rec.syncs += 1;
+    }
+}
+
+/// Folds the 32 lane traces of one warp into `stats`, applying the lockstep
+/// coalescing / bank-conflict / divergence rules.
+pub(crate) fn aggregate_warp(lanes: &[LaneRec], stats: &mut KernelStats) {
+    let active: Vec<&LaneRec> = lanes.iter().filter(|l| l.active).collect();
+    if active.is_empty() {
+        return;
+    }
+
+    // --- SIMT compute work -------------------------------------------------
+    let mut max_flops = 0u64;
+    for l in &active {
+        stats.flops += l.flops;
+        max_flops = max_flops.max(l.flops);
+        stats.gmem_bytes += l.mem.iter().map(|m| u64::from(m.bytes)).sum::<u64>();
+    }
+    stats.warp_flops += max_flops * WARP_SIZE as u64;
+
+    // --- Global memory: zip k-th access of each lane -----------------------
+    let max_mem = active.iter().map(|l| l.mem.len()).max().unwrap_or(0);
+    let mut segs: Vec<u64> = Vec::with_capacity(WARP_SIZE);
+    for k in 0..max_mem {
+        for kind in [MemKind::Load, MemKind::Store, MemKind::Tex] {
+            segs.clear();
+            let granularity = if kind == MemKind::Tex {
+                TEX_TRANSACTION_BYTES
+            } else {
+                TRANSACTION_BYTES
+            };
+            for l in &active {
+                if let Some(m) = l.mem.get(k) {
+                    if m.kind == kind {
+                        // An element spanning a boundary costs both segments.
+                        let first = m.addr / granularity;
+                        let last = (m.addr + u64::from(m.bytes) - 1) / granularity;
+                        for s in first..=last {
+                            segs.push(s);
+                        }
+                    }
+                }
+            }
+            if segs.is_empty() {
+                continue;
+            }
+            segs.sort_unstable();
+            segs.dedup();
+            if kind == MemKind::Tex {
+                stats.tex_transactions += segs.len() as u64;
+            } else {
+                stats.gmem_transactions += segs.len() as u64;
+            }
+        }
+    }
+
+    // --- Shared memory: bank conflicts per lockstep access ------------------
+    let max_smem = active.iter().map(|l| l.smem.len()).max().unwrap_or(0);
+    for k in 0..max_smem {
+        let mut bank_count = [0u32; SMEM_BANKS];
+        let mut n = 0u64;
+        for l in &active {
+            if let Some(&w) = l.smem.get(k) {
+                bank_count[(w as usize) % SMEM_BANKS] += 1;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            stats.smem_accesses += n;
+            let max_mult = *bank_count.iter().max().unwrap();
+            stats.smem_replays += u64::from(max_mult.saturating_sub(1));
+        }
+    }
+
+    // --- Branch divergence: zip k-th branch, grouped by site ---------------
+    let max_br = active.iter().map(|l| l.branches.len()).max().unwrap_or(0);
+    for k in 0..max_br {
+        // Group the k-th decision of each lane by site; within a site group,
+        // mixed outcomes form a divergence event.
+        let mut groups: Vec<(u32, bool, bool)> = Vec::new(); // (site, saw_taken, saw_not)
+        for l in &active {
+            if let Some(&(site, taken)) = l.branches.get(k) {
+                match groups.iter_mut().find(|g| g.0 == site) {
+                    Some(g) => {
+                        g.1 |= taken;
+                        g.2 |= !taken;
+                    }
+                    None => groups.push((site, taken, !taken)),
+                }
+            }
+        }
+        for (_, saw_taken, saw_not) in groups {
+            stats.branch_groups += 1;
+            if saw_taken && saw_not {
+                stats.divergent_branch_groups += 1;
+            }
+        }
+    }
+
+    // --- Warp-uniform ops ---------------------------------------------------
+    stats.shuffles += active.iter().map(|l| l.shuffles).max().unwrap_or(0);
+    stats.syncs += active.iter().map(|l| l.syncs).max().unwrap_or(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_warp() -> Vec<LaneRec> {
+        (0..WARP_SIZE).map(|_| LaneRec::default()).collect()
+    }
+
+    fn run_lane(rec: &mut LaneRec, gid: usize, f: impl FnOnce(&mut Lane)) {
+        rec.clear();
+        rec.active = true;
+        let mut lane = Lane {
+            gid,
+            lane_id: (gid % WARP_SIZE) as u32,
+            warp_id: gid / WARP_SIZE,
+            epoch: 1,
+            rec,
+        };
+        f(&mut lane);
+    }
+
+    #[test]
+    fn coalesced_load_is_two_transactions_for_f64() {
+        // 32 lanes loading consecutive f64 = 256 bytes = 2 × 128-byte
+        // transactions.
+        let data = vec![1.0f64; 64];
+        let buf = GBuf::new_ro(&data, 0);
+        let mut warp = fresh_warp();
+        for (i, rec) in warp.iter_mut().enumerate() {
+            run_lane(rec, i, |lane| {
+                let _ = lane.ld(&buf, lane.gid);
+            });
+        }
+        let mut stats = KernelStats::default();
+        aggregate_warp(&warp, &mut stats);
+        assert_eq!(stats.gmem_transactions, 2);
+        assert_eq!(stats.gmem_bytes, 256);
+        assert!((stats.overfetch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_load_is_fully_uncoalesced() {
+        // Stride-16 f64 access: every lane touches its own 128-byte segment.
+        let data = vec![0.0f64; 16 * 32];
+        let buf = GBuf::new_ro(&data, 0);
+        let mut warp = fresh_warp();
+        for (i, rec) in warp.iter_mut().enumerate() {
+            run_lane(rec, i, |lane| {
+                let _ = lane.ld(&buf, lane.gid * 16);
+            });
+        }
+        let mut stats = KernelStats::default();
+        aggregate_warp(&warp, &mut stats);
+        assert_eq!(stats.gmem_transactions, 32);
+        assert!(stats.overfetch() > 15.0);
+    }
+
+    #[test]
+    fn broadcast_load_is_one_transaction() {
+        let data = vec![0.0f64; 4];
+        let buf = GBuf::new_ro(&data, 0);
+        let mut warp = fresh_warp();
+        for (i, rec) in warp.iter_mut().enumerate() {
+            run_lane(rec, i, |lane| {
+                let _ = lane.ld(&buf, 0);
+            });
+        }
+        let mut stats = KernelStats::default();
+        aggregate_warp(&warp, &mut stats);
+        assert_eq!(stats.gmem_transactions, 1);
+    }
+
+    #[test]
+    fn texture_path_uses_32_byte_transactions() {
+        let data = vec![0.0f64; 512];
+        let buf = GBuf::new_ro(&data, 0);
+        let mut warp = fresh_warp();
+        for (i, rec) in warp.iter_mut().enumerate() {
+            run_lane(rec, i, |lane| {
+                // Scattered gather, 64 elements apart.
+                let _ = lane.ld_tex(&buf, (lane.gid * 64) % 512);
+            });
+        }
+        let mut stats = KernelStats::default();
+        aggregate_warp(&warp, &mut stats);
+        assert_eq!(stats.gmem_transactions, 0);
+        // 8 distinct addresses (gid*64 mod 512 cycles through 8 values),
+        // each its own 32-byte segment.
+        assert_eq!(stats.tex_transactions, 8);
+    }
+
+    #[test]
+    fn divergence_detected_on_mixed_outcomes() {
+        let mut warp = fresh_warp();
+        for (i, rec) in warp.iter_mut().enumerate() {
+            run_lane(rec, i, |lane| {
+                let c = lane.branch(0, lane.gid % 2 == 0);
+                if c {
+                    lane.flop(4);
+                }
+                lane.branch(1, true); // uniform branch
+            });
+        }
+        let mut stats = KernelStats::default();
+        aggregate_warp(&warp, &mut stats);
+        assert_eq!(stats.branch_groups, 2);
+        assert_eq!(stats.divergent_branch_groups, 1);
+        assert!((stats.divergence_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simt_work_counts_idle_lanes() {
+        let mut warp = fresh_warp();
+        for (i, rec) in warp.iter_mut().enumerate() {
+            run_lane(rec, i, |lane| {
+                if lane.gid == 0 {
+                    lane.flop(100); // one busy lane
+                }
+            });
+        }
+        let mut stats = KernelStats::default();
+        aggregate_warp(&warp, &mut stats);
+        assert_eq!(stats.flops, 100);
+        assert_eq!(stats.warp_flops, 100 * 32);
+        assert!((stats.simt_efficiency() - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bank_conflicts_counted() {
+        let mut warp = fresh_warp();
+        // All 32 lanes hit bank 0 (words 0, 32, 64, …): 31 replays.
+        for (i, rec) in warp.iter_mut().enumerate() {
+            run_lane(rec, i, |lane| {
+                lane.smem_ld((lane.gid as u32) * 32);
+            });
+        }
+        let mut stats = KernelStats::default();
+        aggregate_warp(&warp, &mut stats);
+        assert_eq!(stats.smem_accesses, 32);
+        assert_eq!(stats.smem_replays, 31);
+
+        // Conflict-free: each lane its own bank.
+        let mut warp2 = fresh_warp();
+        for (i, rec) in warp2.iter_mut().enumerate() {
+            run_lane(rec, i, |lane| {
+                lane.smem_ld(lane.gid as u32);
+            });
+        }
+        let mut stats2 = KernelStats::default();
+        aggregate_warp(&warp2, &mut stats2);
+        assert_eq!(stats2.smem_replays, 0);
+    }
+
+    #[test]
+    fn partial_warp_aggregates_only_active_lanes() {
+        let mut warp = fresh_warp();
+        // Only 5 active lanes.
+        for (i, rec) in warp.iter_mut().take(5).enumerate() {
+            run_lane(rec, i, |lane| {
+                lane.flop(10);
+            });
+        }
+        let mut stats = KernelStats::default();
+        aggregate_warp(&warp, &mut stats);
+        assert_eq!(stats.flops, 50);
+        assert_eq!(stats.warp_flops, 320); // still a full warp of lockstep work
+    }
+
+    #[test]
+    fn stores_and_loads_group_separately() {
+        let mut a = vec![0.0f64; 32];
+        let b = vec![1.0f64; 32];
+        let ba = GBuf::new_rw(&mut a, 0, false);
+        let bb = GBuf::new_ro(&b, 1 << 20);
+        let mut warp = fresh_warp();
+        for (i, rec) in warp.iter_mut().enumerate() {
+            run_lane(rec, i, |lane| {
+                let v = lane.ld(&bb, lane.gid);
+                lane.st(&ba, lane.gid, v * 2.0);
+            });
+        }
+        let mut stats = KernelStats::default();
+        aggregate_warp(&warp, &mut stats);
+        // 2 coalesced transactions for the load + 2 for the store.
+        assert_eq!(stats.gmem_transactions, 4);
+        drop(ba);
+        assert_eq!(a[7], 2.0);
+    }
+}

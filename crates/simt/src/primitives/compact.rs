@@ -1,0 +1,97 @@
+//! Stream compaction: keep the flagged elements, densely packed.
+//!
+//! The narrow phase "abandons" candidate pairs that fail the distance or
+//! angle judgment and stores the survivors "in a successive array" (§III-B).
+//! That is exactly scan-based compaction: scan the keep-flags for output
+//! positions, then scatter the survivors.
+
+use super::scan::scan_exclusive_u32;
+use crate::device::Device;
+
+/// Returns the indices of elements whose flag is nonzero, densely packed in
+/// input order, using a flag-scan + scatter pair of kernels.
+pub fn compact_indices(dev: &Device, flags: &[u32]) -> Vec<u32> {
+    let n = flags.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (positions, total) = scan_exclusive_u32(dev, flags);
+    let mut out = vec![0u32; total as usize];
+    if total == 0 {
+        return out;
+    }
+    {
+        let b_flags = dev.bind_ro(flags);
+        let b_pos = dev.bind_ro(&positions);
+        let b_out = dev.bind(&mut out);
+        dev.launch("compact.scatter", n, |lane| {
+            let i = lane.gid;
+            let f = lane.ld(&b_flags, i);
+            if lane.branch(0, f != 0) {
+                let p = lane.ld(&b_pos, i);
+                lane.st(&b_out, p as usize, i as u32);
+            }
+        });
+    }
+    out
+}
+
+/// Compacts `values` by `flags` (generic gather on the host side after a
+/// device compaction of indices).
+pub fn compact_by_flags<T: Copy>(dev: &Device, values: &[T], flags: &[u32]) -> Vec<T> {
+    assert_eq!(values.len(), flags.len());
+    compact_indices(dev, flags)
+        .into_iter()
+        .map(|i| values[i as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true)
+    }
+
+    #[test]
+    fn empty() {
+        let d = dev();
+        assert!(compact_indices(&d, &[]).is_empty());
+    }
+
+    #[test]
+    fn keeps_flagged_in_order() {
+        let d = dev();
+        let flags = vec![0u32, 1, 0, 1, 1, 0, 0, 1];
+        assert_eq!(compact_indices(&d, &flags), vec![1, 3, 4, 7]);
+    }
+
+    #[test]
+    fn all_kept_and_none_kept() {
+        let d = dev();
+        let all = vec![1u32; 100];
+        assert_eq!(compact_indices(&d, &all).len(), 100);
+        let none = vec![0u32; 100];
+        assert!(compact_indices(&d, &none).is_empty());
+    }
+
+    #[test]
+    fn compact_values() {
+        let d = dev();
+        let values = vec![10.0f64, 20.0, 30.0, 40.0];
+        let flags = vec![1u32, 0, 0, 1];
+        assert_eq!(compact_by_flags(&d, &values, &flags), vec![10.0, 40.0]);
+    }
+
+    #[test]
+    fn large_input() {
+        let d = dev();
+        let n = 10_000;
+        let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 3 == 0)).collect();
+        let out = compact_indices(&d, &flags);
+        let expected: Vec<u32> = (0..n as u32).filter(|i| i % 3 == 0).collect();
+        assert_eq!(out, expected);
+    }
+}

@@ -1,0 +1,190 @@
+//! Segment boundary detection and segmented reduction over sorted keys.
+//!
+//! This is Fig. 4 of the paper, verbatim: after sorting contact
+//! contributions by sub-matrix number, boundaries are found with
+//! `di[i] = (SD[i] − SD[i−1] == 0) ? 1 : 0`, `di` is scanned to index the
+//! distinct sub-matrices, and each sub-matrix is the sum of its segment
+//! `SD[sd2[i−1]] … SD[sd2[i]]`. No element is written by two threads —
+//! the write-conflict-free assembly.
+
+use super::scan::scan_exclusive_u32;
+use crate::device::Device;
+
+/// Given keys sorted ascending, returns `(segment_of, starts)`:
+/// `segment_of[i]` is the segment index of element `i`, and `starts[s]` is
+/// the first element of segment `s` (with a final sentinel `starts[n_seg] =
+/// keys.len()`).
+pub fn segment_starts(dev: &Device, sorted_keys: &[u64]) -> (Vec<u32>, Vec<u32>) {
+    let n = sorted_keys.len();
+    if n == 0 {
+        return (Vec::new(), vec![0]);
+    }
+
+    // Kernel: head flags (paper's `di`).
+    let mut flags = vec![0u32; n];
+    {
+        let b_keys = dev.bind_ro(sorted_keys);
+        let b_flags = dev.bind(&mut flags);
+        dev.launch("segments.head_flags", n, |lane| {
+            let i = lane.gid;
+            let k = lane.ld(&b_keys, i);
+            let is_head = if i == 0 {
+                true
+            } else {
+                let prev = lane.ld(&b_keys, i - 1);
+                lane.flop(1);
+                prev != k
+            };
+            lane.st(&b_flags, i, u32::from(is_head));
+        });
+    }
+
+    // Scan flags → segment index per element (inclusive-style via exclusive
+    // scan + flag).
+    let (scanned, total) = scan_exclusive_u32(dev, &flags);
+    let n_segments = total as usize;
+    let segment_of: Vec<u32> = scanned
+        .iter()
+        .zip(flags.iter())
+        .map(|(&s, &f)| s + f - 1)
+        .collect();
+
+    // Kernel: scatter segment starts (each head element writes its start —
+    // disjoint by construction).
+    let mut starts = vec![0u32; n_segments + 1];
+    starts[n_segments] = n as u32;
+    {
+        let b_flags = dev.bind_ro(&flags);
+        let b_seg = dev.bind_ro(&segment_of);
+        let b_starts = dev.bind(&mut starts);
+        dev.launch("segments.scatter_starts", n, |lane| {
+            let i = lane.gid;
+            let f = lane.ld(&b_flags, i);
+            if lane.branch(0, f == 1) {
+                let s = lane.ld(&b_seg, i);
+                lane.st(&b_starts, s as usize, i as u32);
+            }
+        });
+    }
+
+    (segment_of, starts)
+}
+
+/// Sums `values` within each segment delimited by `starts` (as produced by
+/// [`segment_starts`], including the trailing sentinel). One thread reduces
+/// one segment — the load imbalance of skewed segment sizes is therefore
+/// visible to the timing model, as it is on hardware.
+pub fn segmented_sum_f64(dev: &Device, values: &[f64], starts: &[u32]) -> Vec<f64> {
+    let n_segments = starts.len().saturating_sub(1);
+    let mut out = vec![0.0f64; n_segments];
+    if n_segments == 0 {
+        return out;
+    }
+    let b_vals = dev.bind_ro(values);
+    let b_starts = dev.bind_ro(starts);
+    let b_out = dev.bind(&mut out);
+    dev.launch("segments.sum", n_segments, |lane| {
+        let s = lane.gid;
+        let lo = lane.ld(&b_starts, s) as usize;
+        let hi = lane.ld(&b_starts, s + 1) as usize;
+        let mut acc = 0.0;
+        for i in lo..hi {
+            acc += lane.ld(&b_vals, i);
+            lane.flop(1);
+        }
+        lane.st(&b_out, s, acc);
+    });
+    drop(b_out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true)
+    }
+
+    #[test]
+    fn empty_keys() {
+        let d = dev();
+        let (seg, starts) = segment_starts(&d, &[]);
+        assert!(seg.is_empty());
+        assert_eq!(starts, vec![0]);
+        let sums = segmented_sum_f64(&d, &[], &starts);
+        assert!(sums.is_empty());
+    }
+
+    #[test]
+    fn single_segment() {
+        let d = dev();
+        let keys = vec![7u64; 100];
+        let (seg, starts) = segment_starts(&d, &keys);
+        assert!(seg.iter().all(|&s| s == 0));
+        assert_eq!(starts, vec![0, 100]);
+        let vals = vec![0.5f64; 100];
+        let sums = segmented_sum_f64(&d, &vals, &starts);
+        assert_eq!(sums.len(), 1);
+        assert!((sums[0] - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_segments() {
+        let d = dev();
+        let keys = vec![1u64, 1, 2, 2, 2, 5, 9, 9];
+        let (seg, starts) = segment_starts(&d, &keys);
+        assert_eq!(seg, vec![0, 0, 1, 1, 1, 2, 3, 3]);
+        assert_eq!(starts, vec![0, 2, 5, 6, 8]);
+        let vals: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let sums = segmented_sum_f64(&d, &vals, &starts);
+        assert_eq!(sums, vec![1.0, 9.0, 5.0, 13.0]);
+    }
+
+    #[test]
+    fn every_element_its_own_segment() {
+        let d = dev();
+        let keys: Vec<u64> = (0..500).collect();
+        let (seg, starts) = segment_starts(&d, &keys);
+        assert_eq!(seg.len(), 500);
+        for (i, &s) in seg.iter().enumerate() {
+            assert_eq!(s as usize, i);
+        }
+        assert_eq!(starts.len(), 501);
+    }
+
+    #[test]
+    fn skewed_segments_sum_correctly() {
+        // One huge segment, many tiny ones — the assembly's worst case.
+        let d = dev();
+        let mut keys = vec![0u64; 1000];
+        keys.extend(1..=50u64);
+        let vals: Vec<f64> = vec![1.0; keys.len()];
+        let (_, starts) = segment_starts(&d, &keys);
+        let sums = segmented_sum_f64(&d, &vals, &starts);
+        assert_eq!(sums.len(), 51);
+        assert!((sums[0] - 1000.0).abs() < 1e-12);
+        assert!(sums[1..].iter().all(|&s| (s - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn large_input_crosses_tiles() {
+        let d = dev();
+        let n = 10_000usize;
+        // Segments of length 37.
+        let keys: Vec<u64> = (0..n).map(|i| (i / 37) as u64).collect();
+        let vals: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        let (_, starts) = segment_starts(&d, &keys);
+        let sums = segmented_sum_f64(&d, &vals, &starts);
+        // Reference.
+        let n_seg = n.div_ceil(37);
+        assert_eq!(sums.len(), n_seg);
+        for s in 0..n_seg {
+            let lo = s * 37;
+            let hi = ((s + 1) * 37).min(n);
+            let expect: f64 = (lo..hi).map(|i| (i % 5) as f64).sum();
+            assert!((sums[s] - expect).abs() < 1e-9, "segment {s}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Sorted search (vectorized binary search / lower bound).
+//!
+//! Contact transfer (§III-B) matches every contact of the previous step
+//! against the sorted contact array of the current step: "sorted search is
+//! used to execute the contact transfer on the GPU". Each query thread
+//! binary-searches the sorted key array; the log₂(n) gather loads go through
+//! the texture path as irregular reads.
+
+use crate::device::Device;
+
+/// For each query, the index of the first element of `sorted` that is
+/// `>= query` (i.e. `lower_bound`), as a device kernel.
+pub fn lower_bound_u64(dev: &Device, sorted: &[u64], queries: &[u64]) -> Vec<u32> {
+    let nq = queries.len();
+    let mut out = vec![0u32; nq];
+    if nq == 0 {
+        return out;
+    }
+    let n = sorted.len();
+    {
+        let b_sorted = dev.bind_ro(sorted);
+        let b_q = dev.bind_ro(queries);
+        let b_out = dev.bind(&mut out);
+        dev.launch("sorted_search.lower_bound", nq, |lane| {
+            let q = lane.ld(&b_q, lane.gid);
+            let mut lo = 0usize;
+            let mut hi = n;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let k = lane.ld_tex(&b_sorted, mid);
+                lane.flop(2);
+                if lane.branch(0, k < q) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lane.st(&b_out, lane.gid, lo as u32);
+        });
+    }
+    out
+}
+
+/// For each query, the index of a matching element in `sorted`, or
+/// `u32::MAX` when absent.
+pub fn find_exact_u64(dev: &Device, sorted: &[u64], queries: &[u64]) -> Vec<u32> {
+    let lb = lower_bound_u64(dev, sorted, queries);
+    lb.into_iter()
+        .zip(queries.iter())
+        .map(|(p, &q)| {
+            if (p as usize) < sorted.len() && sorted[p as usize] == q {
+                p
+            } else {
+                u32::MAX
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40())
+    }
+
+    #[test]
+    fn empty_queries() {
+        let d = dev();
+        assert!(lower_bound_u64(&d, &[1, 2, 3], &[]).is_empty());
+    }
+
+    #[test]
+    fn empty_haystack() {
+        let d = dev();
+        assert_eq!(lower_bound_u64(&d, &[], &[5, 7]), vec![0, 0]);
+        assert_eq!(find_exact_u64(&d, &[], &[5]), vec![u32::MAX]);
+    }
+
+    #[test]
+    fn lower_bound_matches_std() {
+        let d = dev();
+        let sorted: Vec<u64> = vec![2, 4, 4, 4, 9, 12, 100];
+        let queries: Vec<u64> = vec![0, 2, 3, 4, 5, 12, 100, 101];
+        let got = lower_bound_u64(&d, &sorted, &queries);
+        for (g, &q) in got.iter().zip(&queries) {
+            let expect = sorted.partition_point(|&k| k < q) as u32;
+            assert_eq!(*g, expect, "query {q}");
+        }
+    }
+
+    #[test]
+    fn find_exact_hits_and_misses() {
+        let d = dev();
+        let sorted: Vec<u64> = vec![10, 20, 30];
+        let got = find_exact_u64(&d, &sorted, &[20, 25, 30, 5]);
+        assert_eq!(got, vec![1, u32::MAX, 2, u32::MAX]);
+    }
+
+    #[test]
+    fn large_scale() {
+        let d = dev();
+        let sorted: Vec<u64> = (0..5000).map(|i| i * 3).collect();
+        let queries: Vec<u64> = (0..2000).map(|i| i * 7 + 1).collect();
+        let got = lower_bound_u64(&d, &sorted, &queries);
+        for (g, &q) in got.iter().zip(&queries) {
+            assert_eq!(*g as usize, sorted.partition_point(|&k| k < q));
+        }
+        // Binary-search gathers are irregular: they should be texture-path.
+        let stats = d.trace().total_stats();
+        assert!(stats.tex_transactions > 0);
+    }
+
+    #[test]
+    fn divergence_recorded_for_mixed_outcomes() {
+        let d = dev();
+        let sorted: Vec<u64> = (0..1024).collect();
+        let queries: Vec<u64> = (0..256).map(|i| (i * 37) % 1024).collect();
+        let _ = lower_bound_u64(&d, &sorted, &queries);
+        let stats = d.trace().total_stats();
+        assert!(stats.branch_groups > 0);
+        assert!(stats.divergent_branch_groups > 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! LSD radix sort of `(u64 key, u32 payload)` pairs.
+//!
+//! Merrill & Grimshaw's structure: for each 8-bit digit pass, (1) a
+//! per-tile histogram kernel writes digit counts in digit-major layout,
+//! (2) a device-wide exclusive scan of the counts yields stable global
+//! offsets, (3) a scatter kernel places each element at
+//! `offset[digit][tile] + local_rank`. Only digits up to the maximum key's
+//! width are processed, as real implementations do.
+//!
+//! The scatter's store pattern is measured from the *actual* output
+//! positions, so nearly-sorted inputs (the common case across DDA time
+//! steps — the contact set changes slowly) coalesce better than random
+//! ones, exactly as on hardware.
+
+use super::scan::scan_exclusive_u32;
+use super::BLOCK;
+use crate::device::Device;
+
+const RADIX_BITS: u32 = 8;
+const RADIX: usize = 1 << RADIX_BITS;
+
+/// Sorts `keys` ascending, carrying `payload` along. Stable.
+///
+/// # Panics
+/// Panics when `keys` and `payload` lengths differ.
+pub fn sort_pairs_u64(dev: &Device, keys: &[u64], payload: &[u32]) -> (Vec<u64>, Vec<u32>) {
+    assert_eq!(keys.len(), payload.len(), "keys/payload length mismatch");
+    let n = keys.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+
+    let max_key = keys.iter().copied().max().unwrap_or(0);
+    let significant_bits = 64 - max_key.leading_zeros();
+    let passes = significant_bits.div_ceil(RADIX_BITS).max(1);
+
+    let mut cur_keys = keys.to_vec();
+    let mut cur_vals = payload.to_vec();
+    let n_blocks = n.div_ceil(BLOCK);
+
+    for pass in 0..passes {
+        let shift = pass * RADIX_BITS;
+
+        // Kernel 1: per-tile digit histogram, digit-major layout
+        // counts[d * n_blocks + b].
+        let mut counts = vec![0u32; RADIX * n_blocks];
+        {
+            let b_keys = dev.bind_ro(&cur_keys);
+            let b_counts = dev.bind(&mut counts);
+            dev.launch_blocks("radix.histogram", n_blocks, BLOCK, |blk| {
+                let start = blk.block_id * BLOCK;
+                let count = BLOCK.min(n - start);
+                let tile = blk.gld_range(&b_keys, start, count);
+                // Shared-memory digit counters: the bank pattern of the
+                // actual digits is measured (conflict replays are real).
+                let words: Vec<u32> = tile
+                    .iter()
+                    .map(|&k| ((k >> shift) as u32) & (RADIX as u32 - 1))
+                    .collect();
+                blk.smem_access(&words);
+                blk.flop_masked(count, 2);
+                blk.sync();
+
+                let mut local = [0u32; RADIX];
+                for &k in &tile {
+                    local[((k >> shift) as usize) & (RADIX - 1)] += 1;
+                }
+                // 256 counters written by 256 threads, coalesced but strided
+                // across the digit-major array.
+                let pairs: Vec<(usize, u32)> = (0..RADIX)
+                    .map(|d| (d * n_blocks + blk.block_id, local[d]))
+                    .collect();
+                blk.gst_scatter(&b_counts, &pairs);
+            });
+        }
+
+        // Kernel 2 (sequence): scan the digit-major counts.
+        let (offsets, _total) = scan_exclusive_u32(dev, &counts);
+
+        // Kernel 3: stable scatter.
+        let mut next_keys = vec![0u64; n];
+        let mut next_vals = vec![0u32; n];
+        {
+            let b_keys = dev.bind_ro(&cur_keys);
+            let b_vals = dev.bind_ro(&cur_vals);
+            let b_off = dev.bind_ro(&offsets);
+            let b_nk = dev.bind(&mut next_keys);
+            let b_nv = dev.bind(&mut next_vals);
+            dev.launch_blocks("radix.scatter", n_blocks, BLOCK, |blk| {
+                let start = blk.block_id * BLOCK;
+                let count = BLOCK.min(n - start);
+                let tile_keys = blk.gld_range(&b_keys, start, count);
+                let tile_vals = blk.gld_range(&b_vals, start, count);
+                // Per-digit tile offsets.
+                let digit_of = |k: u64| ((k >> shift) as usize) & (RADIX - 1);
+                let used: Vec<usize> = {
+                    let mut ds: Vec<usize> = tile_keys.iter().map(|&k| digit_of(k)).collect();
+                    ds.sort_unstable();
+                    ds.dedup();
+                    ds
+                };
+                let off_idx: Vec<usize> = used.iter().map(|&d| d * n_blocks + blk.block_id).collect();
+                let tile_off = blk.gld_gather(&b_off, &off_idx);
+                let mut local_rank = [0u32; RADIX];
+                let mut key_pairs = Vec::with_capacity(count);
+                let mut val_pairs = Vec::with_capacity(count);
+                for (i, &k) in tile_keys.iter().enumerate() {
+                    let d = digit_of(k);
+                    let base = tile_off[used.binary_search(&d).unwrap()];
+                    let pos = base as usize + local_rank[d] as usize;
+                    local_rank[d] += 1;
+                    key_pairs.push((pos, k));
+                    val_pairs.push((pos, tile_vals[i]));
+                }
+                blk.flop_masked(count, 4);
+                blk.block_scan_cost(count);
+                blk.gst_scatter(&b_nk, &key_pairs);
+                blk.gst_scatter(&b_nv, &val_pairs);
+            });
+        }
+
+        cur_keys = next_keys;
+        cur_vals = next_vals;
+    }
+
+    (cur_keys, cur_vals)
+}
+
+/// Convenience: sorts `keys` and returns the permutation that sorts them
+/// (payload = original indices).
+pub fn argsort_u64(dev: &Device, keys: &[u64]) -> (Vec<u64>, Vec<u32>) {
+    let idx: Vec<u32> = (0..keys.len() as u32).collect();
+    sort_pairs_u64(dev, keys, &idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true)
+    }
+
+    #[test]
+    fn empty() {
+        let d = dev();
+        let (k, v) = sort_pairs_u64(&d, &[], &[]);
+        assert!(k.is_empty() && v.is_empty());
+    }
+
+    #[test]
+    fn small_known_case() {
+        let d = dev();
+        let keys = vec![5u64, 1, 4, 1, 3];
+        let vals = vec![0u32, 1, 2, 3, 4];
+        let (k, v) = sort_pairs_u64(&d, &keys, &vals);
+        assert_eq!(k, vec![1, 1, 3, 4, 5]);
+        // Stability: the two 1-keys keep original order (payloads 1 then 3).
+        assert_eq!(v, vec![1, 3, 4, 2, 0]);
+    }
+
+    #[test]
+    fn large_random_matches_std_sort() {
+        let d = dev();
+        let n = 20_000;
+        // Deterministic pseudo-random keys spanning multiple digit passes.
+        let keys: Vec<u64> = (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                x >> 24 // ~40 significant bits → 5 passes
+            })
+            .collect();
+        let vals: Vec<u32> = (0..n as u32).collect();
+        let (k, v) = sort_pairs_u64(&d, &keys, &vals);
+
+        let mut expected: Vec<(u64, u32)> = keys.iter().copied().zip(vals.iter().copied()).collect();
+        expected.sort_by_key(|&(k, _)| k);
+        let (ek, ev): (Vec<u64>, Vec<u32>) = expected.into_iter().unzip();
+        assert_eq!(k, ek);
+        assert_eq!(v, ev);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let d = dev();
+        let sorted: Vec<u64> = (0..5000).collect();
+        let idx: Vec<u32> = (0..5000).collect();
+        let (k, v) = sort_pairs_u64(&d, &sorted, &idx);
+        assert_eq!(k, sorted);
+        assert_eq!(v, idx);
+
+        let reversed: Vec<u64> = (0..5000).rev().collect();
+        let (k, v) = sort_pairs_u64(&d, &reversed, &idx);
+        assert_eq!(k, sorted);
+        assert_eq!(v[0], 4999);
+    }
+
+    #[test]
+    fn all_equal_keys_is_stable_identity() {
+        let d = dev();
+        let keys = vec![42u64; 1000];
+        let idx: Vec<u32> = (0..1000).collect();
+        let (k, v) = sort_pairs_u64(&d, &keys, &idx);
+        assert_eq!(k, keys);
+        assert_eq!(v, idx);
+    }
+
+    #[test]
+    fn skips_passes_for_small_keys() {
+        let d = dev();
+        let keys: Vec<u64> = (0..1000).map(|i| (i * 7) % 256).collect(); // 8-bit keys
+        let idx: Vec<u32> = (0..1000).collect();
+        let _ = sort_pairs_u64(&d, &keys, &idx);
+        let by = d.trace().by_kernel();
+        // One pass → exactly one histogram launch.
+        assert_eq!(by["radix.histogram"].0.launches, 1);
+    }
+
+    #[test]
+    fn argsort_permutation() {
+        let d = dev();
+        let keys = vec![30u64, 10, 20];
+        let (k, perm) = argsort_u64(&d, &keys);
+        assert_eq!(k, vec![10, 20, 30]);
+        assert_eq!(perm, vec![1, 2, 0]);
+    }
+}

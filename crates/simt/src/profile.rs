@@ -1,0 +1,131 @@
+//! Device profiles: the hardware the paper evaluates on.
+//!
+//! The numerical experience section uses a workstation with an Intel Xeon
+//! E5620 (serial baseline) and NVIDIA Tesla K20 / K40 GPUs, in double
+//! precision. The profiles below carry the published characteristics of
+//! those parts; the paper itself quotes the K40's 1.43 Tflop/s DP peak and
+//! 288 GB/s bandwidth when motivating the arithmetic-intensity threshold.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of an execution platform for the timing model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable name used in reports ("Tesla K40", "Xeon E5620").
+    pub name: &'static str,
+    /// `true` for the serial-CPU baseline profile: work is timed as a single
+    /// in-order stream with no launch overhead and no SIMT effects.
+    pub serial: bool,
+    /// Number of streaming multiprocessors (ignored for serial profiles).
+    pub sm_count: u32,
+    /// Peak double-precision throughput in Gflop/s.
+    pub dp_gflops: f64,
+    /// Peak single-precision throughput in Gflop/s (reported for context;
+    /// the DDA pipeline is double-precision throughout).
+    pub sp_gflops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Fixed cost of one kernel launch, in microseconds. This is what makes
+    /// level-scheduled triangular solves (hundreds of launches per solve)
+    /// expensive on the GPU.
+    pub kernel_launch_us: f64,
+    /// Number of resident warps per SM needed to reach full throughput.
+    /// Kernels smaller than `sm_count * full_occupancy_warps` warps are
+    /// charged proportionally lower utilisation.
+    pub full_occupancy_warps: u32,
+}
+
+impl DeviceProfile {
+    /// NVIDIA Tesla K20 (GK110, 13 SMX, 208 GB/s, 1.17 Tflop/s DP).
+    pub fn tesla_k20() -> Self {
+        DeviceProfile {
+            name: "Tesla K20",
+            serial: false,
+            sm_count: 13,
+            dp_gflops: 1170.0,
+            sp_gflops: 3520.0,
+            mem_bandwidth_gbs: 208.0,
+            kernel_launch_us: 5.0,
+            full_occupancy_warps: 16,
+        }
+    }
+
+    /// NVIDIA Tesla K40 (GK110B, 15 SMX, 288 GB/s, 1.43 Tflop/s DP — the
+    /// figures the paper quotes in its introduction).
+    pub fn tesla_k40() -> Self {
+        DeviceProfile {
+            name: "Tesla K40",
+            serial: false,
+            sm_count: 15,
+            dp_gflops: 1430.0,
+            sp_gflops: 4290.0,
+            mem_bandwidth_gbs: 288.0,
+            kernel_launch_us: 5.0,
+            full_occupancy_warps: 16,
+        }
+    }
+
+    /// Intel Xeon E5620 running the original serial DDA implementation.
+    ///
+    /// The numbers are *sustained serial* figures, not peaks: one Westmere
+    /// core at 2.4 GHz sustains on the order of 1–2 double-precision
+    /// Gflop/s on pointer-rich simulation code, and irregular single-thread
+    /// access patterns sustain a few GB/s of the socket's bandwidth. These
+    /// two constants are the calibration knobs for the reproduction; see
+    /// `EXPERIMENTS.md`.
+    pub fn xeon_e5620_serial() -> Self {
+        DeviceProfile {
+            name: "Xeon E5620 (serial)",
+            serial: true,
+            sm_count: 1,
+            dp_gflops: 1.25,
+            sp_gflops: 2.5,
+            mem_bandwidth_gbs: 3.0,
+            kernel_launch_us: 0.0,
+            full_occupancy_warps: 1,
+        }
+    }
+
+    /// Total warps required for full device utilisation.
+    pub fn saturation_warps(&self) -> u64 {
+        u64::from(self.sm_count) * u64::from(self.full_occupancy_warps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_figures() {
+        let k40 = DeviceProfile::tesla_k40();
+        // The paper: "the peak performance of double-precision … can reach
+        // 1.43 Tflops/s … but the memory bandwidth is 288 GB/s".
+        assert_eq!(k40.dp_gflops, 1430.0);
+        assert_eq!(k40.mem_bandwidth_gbs, 288.0);
+        assert!(!k40.serial);
+    }
+
+    #[test]
+    fn k20_slower_than_k40() {
+        let k20 = DeviceProfile::tesla_k20();
+        let k40 = DeviceProfile::tesla_k40();
+        assert!(k20.dp_gflops < k40.dp_gflops);
+        assert!(k20.mem_bandwidth_gbs < k40.mem_bandwidth_gbs);
+        assert!(k20.sm_count < k40.sm_count);
+    }
+
+    #[test]
+    fn serial_profile_shape() {
+        let cpu = DeviceProfile::xeon_e5620_serial();
+        assert!(cpu.serial);
+        assert_eq!(cpu.kernel_launch_us, 0.0);
+        assert_eq!(cpu.saturation_warps(), 1);
+    }
+
+    #[test]
+    fn saturation_warps_scales_with_sms() {
+        let k40 = DeviceProfile::tesla_k40();
+        assert_eq!(k40.saturation_warps(), 15 * 16);
+    }
+}

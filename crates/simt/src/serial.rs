@@ -1,0 +1,120 @@
+//! Instrumentation for the serial-CPU reference implementation.
+//!
+//! The paper's baseline is "the original CPU-based serial implementation"
+//! on a Xeon E5620. The reproduction's serial pipeline computes with plain
+//! Rust but tallies its useful work through a [`CpuCounter`]; the counters
+//! convert to modeled E5620 seconds through the same [`TimingModel`] used
+//! for the GPU, so speedups compare like with like.
+
+use crate::profile::DeviceProfile;
+use crate::stats::KernelStats;
+use crate::timing::TimingModel;
+use serde::{Deserialize, Serialize};
+
+/// Work tally for a stretch of serial code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuCounter {
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// Bytes of data touched (reads + writes of working-set traffic).
+    pub bytes: u64,
+}
+
+impl CpuCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` floating-point operations.
+    #[inline]
+    pub fn flop(&mut self, n: u64) {
+        self.flops += n;
+    }
+
+    /// Records a special-function evaluation (`tan`, `sqrt`, …), costed at
+    /// 8 flops as in the SIMT model.
+    #[inline]
+    pub fn special(&mut self, n: u64) {
+        self.flops += 8 * n;
+    }
+
+    /// Records `n` bytes of memory traffic.
+    #[inline]
+    pub fn bytes(&mut self, n: u64) {
+        self.bytes += n;
+    }
+
+    /// Records traffic for `n` elements of `size` bytes.
+    #[inline]
+    pub fn elems(&mut self, n: u64, size: u64) {
+        self.bytes += n * size;
+    }
+
+    /// Adds another counter's tallies.
+    #[inline]
+    pub fn add(&mut self, other: CpuCounter) {
+        self.flops += other.flops;
+        self.bytes += other.bytes;
+    }
+
+    /// Converts the tally to a [`KernelStats`] record (useful flops and
+    /// bytes only; no SIMT counters).
+    pub fn to_stats(self) -> KernelStats {
+        KernelStats {
+            launches: 1,
+            flops: self.flops,
+            gmem_bytes: self.bytes,
+            ..Default::default()
+        }
+    }
+
+    /// Modeled serial seconds under `profile` (normally
+    /// [`DeviceProfile::xeon_e5620_serial`]).
+    pub fn seconds(self, model: &TimingModel, profile: &DeviceProfile) -> f64 {
+        assert!(profile.serial, "CpuCounter timing requires a serial profile");
+        model.seconds(&self.to_stats(), profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_accumulate() {
+        let mut c = CpuCounter::new();
+        c.flop(10);
+        c.special(2);
+        c.bytes(100);
+        c.elems(4, 8);
+        assert_eq!(c.flops, 26);
+        assert_eq!(c.bytes, 132);
+        let mut d = CpuCounter::new();
+        d.flop(4);
+        c.add(d);
+        assert_eq!(c.flops, 30);
+    }
+
+    #[test]
+    fn seconds_scale_linearly() {
+        let model = TimingModel::default();
+        let cpu = DeviceProfile::xeon_e5620_serial();
+        let mut a = CpuCounter::new();
+        a.flop(1_000_000_000);
+        let mut b = CpuCounter::new();
+        b.flop(2_000_000_000);
+        let ta = a.seconds(&model, &cpu);
+        let tb = b.seconds(&model, &cpu);
+        assert!((tb / ta - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "serial profile")]
+    fn rejects_gpu_profile() {
+        let model = TimingModel::default();
+        let mut c = CpuCounter::new();
+        c.flop(1);
+        let _ = c.seconds(&model, &DeviceProfile::tesla_k40());
+    }
+}

@@ -1,0 +1,344 @@
+//! Preconditioned conjugate gradients on the simulated device.
+//!
+//! Standard PCG with the DDA conventions: the iteration cap defaults to 200
+//! (the paper shrinks the physical time step when a solve fails to converge
+//! within 200 iterations), and callers seed `x0` with the previous step's
+//! solution ("the equation solution of the previous step is the initial
+//! value of the PCG iterative step", §IV-A).
+
+use crate::precond::Preconditioner;
+use crate::traits::MatVec;
+use crate::vecops::{axpy, dot, norm_sq, xpby};
+use dda_simt::Device;
+use serde::{Deserialize, Serialize};
+
+/// PCG controls.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PcgOptions {
+    /// Relative residual tolerance: converge when `‖r‖ ≤ tol·‖b‖`.
+    pub tol: f64,
+    /// Iteration cap (DDA uses 200; on failure the time step is reduced).
+    pub max_iters: usize,
+}
+
+impl Default for PcgOptions {
+    fn default() -> Self {
+        PcgOptions {
+            tol: 1e-8,
+            max_iters: 200,
+        }
+    }
+}
+
+/// Outcome of one PCG solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// Solution vector.
+    pub x: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the tolerance was met within the cap.
+    pub converged: bool,
+    /// Final residual 2-norm.
+    pub residual: f64,
+}
+
+/// Solves `A x = b` by preconditioned CG, starting from `x0`.
+///
+/// ```
+/// use dda_simt::{Device, DeviceProfile};
+/// use dda_solver::precond::BlockJacobi;
+/// use dda_solver::traits::HsbcsrMat;
+/// use dda_solver::{pcg, PcgOptions};
+/// use dda_sparse::{Hsbcsr, SymBlockMatrix};
+///
+/// let m = SymBlockMatrix::random_spd(20, 3.0, 1);
+/// let h = Hsbcsr::from_sym(&m);
+/// let b = vec![1.0; m.dim()];
+/// let dev = Device::new(DeviceProfile::tesla_k40());
+/// let bj = BlockJacobi::new(&dev, &h);
+/// let res = pcg(&dev, &HsbcsrMat { m: &h }, &b, &vec![0.0; m.dim()], &bj,
+///               PcgOptions::default());
+/// assert!(res.converged);
+/// ```
+pub fn pcg<A: MatVec + ?Sized, P: Preconditioner + ?Sized>(
+    dev: &Device,
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    m: &P,
+    opts: PcgOptions,
+) -> SolveResult {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    assert_eq!(x0.len(), n, "initial guess dimension mismatch");
+
+    let b_norm_sq = norm_sq(dev, b);
+    let threshold_sq = if b_norm_sq > 0.0 {
+        opts.tol * opts.tol * b_norm_sq
+    } else {
+        opts.tol * opts.tol
+    };
+
+    let mut x = x0.to_vec();
+    // r = b − A x
+    let ax = a.apply(dev, &x);
+    let mut r = b.to_vec();
+    axpy(dev, -1.0, &ax, &mut r);
+
+    let mut r_norm_sq = norm_sq(dev, &r);
+    if r_norm_sq <= threshold_sq {
+        return SolveResult {
+            x,
+            iterations: 0,
+            converged: true,
+            residual: r_norm_sq.sqrt(),
+        };
+    }
+
+    let mut z = m.apply(dev, &r);
+    let mut p = z.clone();
+    let mut rz = dot(dev, &r, &z);
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < opts.max_iters {
+        iterations += 1;
+        let q = a.apply(dev, &p);
+        let pq = dot(dev, &p, &q);
+        if pq <= 0.0 || !pq.is_finite() {
+            // Indefinite or broken operator — bail with the current iterate.
+            break;
+        }
+        let alpha = rz / pq;
+        axpy(dev, alpha, &p, &mut x);
+        axpy(dev, -alpha, &q, &mut r);
+        r_norm_sq = norm_sq(dev, &r);
+        if r_norm_sq <= threshold_sq {
+            converged = true;
+            break;
+        }
+        z = m.apply(dev, &r);
+        let rz_new = dot(dev, &r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        // p ← z + β p
+        xpby(dev, &z, beta, &mut p);
+    }
+
+    SolveResult {
+        x,
+        iterations,
+        converged,
+        residual: r_norm_sq.max(0.0).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{BlockJacobi, Identity, Ilu0, SsorAi};
+    use crate::traits::{CsrVectorMat, HsbcsrMat};
+    use dda_simt::DeviceProfile;
+    use dda_sparse::{Csr, Hsbcsr, SymBlockMatrix};
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40())
+    }
+
+    fn problem(n: usize, seed: u64) -> (SymBlockMatrix, Vec<f64>) {
+        let m = SymBlockMatrix::random_spd(n, 3.0, seed);
+        let b: Vec<f64> = (0..m.dim()).map(|i| ((i * 7 + 3) % 19) as f64 - 9.0).collect();
+        (m, b)
+    }
+
+    fn check_solution(m: &SymBlockMatrix, b: &[f64], res: &SolveResult, tol: f64) {
+        assert!(res.converged, "did not converge: {} iters", res.iterations);
+        let ax = m.mul_vec(&res.x);
+        let err: f64 = ax
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err <= tol * bn * 10.0, "residual {err} too large vs {bn}");
+    }
+
+    #[test]
+    fn plain_cg_converges() {
+        let (m, b) = problem(15, 1);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let res = pcg(
+            &d,
+            &HsbcsrMat { m: &h },
+            &b,
+            &vec![0.0; m.dim()],
+            &Identity,
+            PcgOptions::default(),
+        );
+        check_solution(&m, &b, &res, 1e-8);
+    }
+
+    #[test]
+    fn bj_reduces_iterations() {
+        let (m, b) = problem(40, 2);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let none = pcg(
+            &d,
+            &HsbcsrMat { m: &h },
+            &b,
+            &vec![0.0; m.dim()],
+            &Identity,
+            PcgOptions::default(),
+        );
+        let bj = BlockJacobi::new(&d, &h);
+        let with_bj = pcg(
+            &d,
+            &HsbcsrMat { m: &h },
+            &b,
+            &vec![0.0; m.dim()],
+            &bj,
+            PcgOptions::default(),
+        );
+        check_solution(&m, &b, &with_bj, 1e-8);
+        assert!(
+            with_bj.iterations <= none.iterations,
+            "BJ {} vs none {}",
+            with_bj.iterations,
+            none.iterations
+        );
+    }
+
+    #[test]
+    fn preconditioner_iteration_ordering_matches_paper() {
+        // Table I ordering: ILU ≤ SSOR ≤ BJ in iteration count.
+        let (m, b) = problem(60, 3);
+        let h = Hsbcsr::from_sym(&m);
+        let csr = Csr::from_sym_full(&m);
+        let d = dev();
+        let opts = PcgOptions {
+            tol: 1e-10,
+            max_iters: 500,
+        };
+        let x0 = vec![0.0; m.dim()];
+
+        let bj = BlockJacobi::new(&d, &h);
+        let r_bj = pcg(&d, &HsbcsrMat { m: &h }, &b, &x0, &bj, opts);
+        let ssor = SsorAi::new(&d, &h, 1.0);
+        let r_ssor = pcg(&d, &HsbcsrMat { m: &h }, &b, &x0, &ssor, opts);
+        let ilu = Ilu0::new(&d, &csr);
+        let r_ilu = pcg(&d, &HsbcsrMat { m: &h }, &b, &x0, &ilu, opts);
+
+        check_solution(&m, &b, &r_bj, 1e-10);
+        check_solution(&m, &b, &r_ssor, 1e-10);
+        check_solution(&m, &b, &r_ilu, 1e-10);
+        assert!(
+            r_ilu.iterations <= r_ssor.iterations,
+            "ILU {} vs SSOR {}",
+            r_ilu.iterations,
+            r_ssor.iterations
+        );
+        assert!(
+            r_ssor.iterations <= r_bj.iterations,
+            "SSOR {} vs BJ {}",
+            r_ssor.iterations,
+            r_bj.iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        // The DDA trick: seeding with (nearly) the solution of the previous
+        // step slashes iterations.
+        let (m, b) = problem(30, 4);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let cold = pcg(
+            &d,
+            &HsbcsrMat { m: &h },
+            &b,
+            &vec![0.0; m.dim()],
+            &Identity,
+            PcgOptions::default(),
+        );
+        // Perturbed solution as warm start.
+        let warm_x0: Vec<f64> = cold.x.iter().map(|v| v * 1.001).collect();
+        let warm = pcg(
+            &d,
+            &HsbcsrMat { m: &h },
+            &b,
+            &warm_x0,
+            &Identity,
+            PcgOptions::default(),
+        );
+        assert!(warm.iterations < cold.iterations);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately_from_zero() {
+        let (m, _) = problem(5, 5);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let res = pcg(
+            &d,
+            &HsbcsrMat { m: &h },
+            &vec![0.0; m.dim()],
+            &vec![0.0; m.dim()],
+            &Identity,
+            PcgOptions::default(),
+        );
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let (m, b) = problem(50, 6);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let res = pcg(
+            &d,
+            &HsbcsrMat { m: &h },
+            &b,
+            &vec![0.0; m.dim()],
+            &Identity,
+            PcgOptions {
+                tol: 1e-30,
+                max_iters: 3,
+            },
+        );
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 3);
+    }
+
+    #[test]
+    fn csr_operator_agrees_with_hsbcsr_operator() {
+        let (m, b) = problem(20, 7);
+        let h = Hsbcsr::from_sym(&m);
+        let c = Csr::from_sym_full(&m);
+        let d = dev();
+        let r1 = pcg(
+            &d,
+            &HsbcsrMat { m: &h },
+            &b,
+            &vec![0.0; m.dim()],
+            &Identity,
+            PcgOptions::default(),
+        );
+        let r2 = pcg(
+            &d,
+            &CsrVectorMat { m: &c },
+            &b,
+            &vec![0.0; m.dim()],
+            &Identity,
+            PcgOptions::default(),
+        );
+        assert_eq!(r1.iterations, r2.iterations);
+        for i in 0..m.dim() {
+            assert!((r1.x[i] - r2.x[i]).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Identity "preconditioner" — plain CG, the control case.
+
+use super::Preconditioner;
+use dda_simt::Device;
+
+/// No preconditioning: `z = r` (still a device copy, as a real
+/// implementation would issue).
+pub struct Identity;
+
+impl Preconditioner for Identity {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn apply(&self, dev: &Device, r: &[f64]) -> Vec<f64> {
+        let mut z = vec![0.0; r.len()];
+        crate::vecops::copy(dev, r, &mut z);
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_simt::DeviceProfile;
+
+    #[test]
+    fn identity_copies() {
+        let dev = Device::new(DeviceProfile::tesla_k40());
+        let r = vec![1.0, -2.0, 3.0];
+        let z = Identity.apply(&dev, &r);
+        assert_eq!(z, r);
+        assert_eq!(Identity.name(), "none");
+    }
+}

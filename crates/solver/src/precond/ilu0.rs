@@ -1,0 +1,256 @@
+//! ILU(0) preconditioner with level-scheduled triangular solves.
+//!
+//! The strongest preconditioner in Table I (93 iterations vs 275 for BJ)
+//! and the slowest end-to-end: factorization is expensive and sequential,
+//! and each application needs a forward and a backward triangular solve —
+//! on the GPU, one kernel launch per dependency level at low occupancy
+//! (Fig 10 measures TSS at ~11× one SpMV). cuSPARSE provides this
+//! preconditioner in the paper; here the factorization and solves are our
+//! own, with the factorization's sequential cost modeled explicitly.
+
+use super::Preconditioner;
+use crate::tri::{levels_lower, levels_upper, solve_lower, solve_upper, LevelSchedule};
+use dda_simt::{Device, KernelStats};
+use dda_sparse::Csr;
+
+/// ILU(0) factors and their level schedules.
+pub struct Ilu0 {
+    /// Strict lower factor (unit diagonal implied).
+    pub l: Csr,
+    /// Upper factor including the diagonal.
+    pub u: Csr,
+    lsched: LevelSchedule,
+    usched: LevelSchedule,
+}
+
+impl Ilu0 {
+    /// Computes the zero-fill incomplete LU factorization of `a`.
+    ///
+    /// The factorization itself is the textbook IKJ sweep restricted to the
+    /// sparsity pattern. Its *modeled* cost is recorded on the device as a
+    /// dependency-bound computation: the update sweep has the same level
+    /// structure as the triangular solves, so we charge one virtual launch
+    /// per level with the per-level update work — this is what cuSPARSE's
+    /// `csrilu02` does and why the paper measures 31.465 ms for
+    /// construction against 0.059 ms for Block-Jacobi.
+    ///
+    /// # Panics
+    /// Panics on a zero pivot (cannot happen for the SPD, diagonally
+    /// boosted matrices DDA produces).
+    pub fn new(dev: &Device, a: &Csr) -> Ilu0 {
+        let n = a.dim;
+        let mut values = a.values.clone();
+
+        // Column-position lookup within each row for pattern-restricted
+        // updates.
+        let find = |row: usize, col: u32, col_idx: &[u32], row_ptr: &[u32]| -> Option<usize> {
+            let lo = row_ptr[row] as usize;
+            let hi = row_ptr[row + 1] as usize;
+            col_idx[lo..hi].binary_search(&col).ok().map(|o| lo + o)
+        };
+
+        let mut factor_flops = 0u64;
+        for i in 1..n {
+            let lo = a.row_ptr[i] as usize;
+            let hi = a.row_ptr[i + 1] as usize;
+            for kp in lo..hi {
+                let k = a.col_idx[kp] as usize;
+                if k >= i {
+                    break;
+                }
+                // l_ik = a_ik / u_kk
+                let dkk = find(k, k as u32, &a.col_idx, &a.row_ptr)
+                    .map(|p| values[p])
+                    .expect("diagonal entry missing");
+                assert!(dkk != 0.0, "zero pivot at row {k}");
+                values[kp] /= dkk;
+                let lik = values[kp];
+                factor_flops += 1;
+                // Row update restricted to the pattern of row i.
+                for jp in (kp + 1)..hi {
+                    let j = a.col_idx[jp];
+                    if let Some(ukj) = find(k, j, &a.col_idx, &a.row_ptr) {
+                        values[jp] -= lik * values[ukj];
+                        factor_flops += 2;
+                    }
+                }
+            }
+        }
+
+        // Split into L (strict lower, unit diag implied) and U (diag+upper).
+        let (l, u) = split_lu(a, &values);
+        let lsched = levels_lower(&l);
+        let usched = levels_upper(&u);
+
+        // Model the factorization cost: level-bound sweep, one virtual
+        // launch per level, work spread over the level's rows.
+        let depth = lsched.depth().max(1) as u64;
+        let stats = KernelStats {
+            launches: depth,
+            threads: n as u64,
+            warps: (n as u64).div_ceil(32).max(depth),
+            flops: factor_flops,
+            warp_flops: factor_flops * 4, // ragged rows waste lanes
+            gmem_transactions: a.nnz() as u64 / 4,
+            gmem_bytes: (a.nnz() * 12) as u64,
+            ..Default::default()
+        };
+        dev.record_external("precond.ilu.construct", stats);
+
+        Ilu0 {
+            l,
+            u,
+            lsched,
+            usched,
+        }
+    }
+
+    /// Level-schedule diagnostics: `(forward depth, backward depth)`.
+    pub fn level_depths(&self) -> (usize, usize) {
+        (self.lsched.depth(), self.usched.depth())
+    }
+}
+
+/// Splits a factored value array into strict-L and diag+U CSR matrices.
+fn split_lu(a: &Csr, values: &[f64]) -> (Csr, Csr) {
+    let n = a.dim;
+    let mut l_rp = vec![0u32; n + 1];
+    let mut u_rp = vec![0u32; n + 1];
+    let mut l_ci = Vec::new();
+    let mut l_v = Vec::new();
+    let mut u_ci = Vec::new();
+    let mut u_v = Vec::new();
+    for i in 0..n {
+        for p in a.row_ptr[i] as usize..a.row_ptr[i + 1] as usize {
+            let j = a.col_idx[p] as usize;
+            if j < i {
+                l_ci.push(j as u32);
+                l_v.push(values[p]);
+            } else {
+                u_ci.push(j as u32);
+                u_v.push(values[p]);
+            }
+        }
+        l_rp[i + 1] = l_ci.len() as u32;
+        u_rp[i + 1] = u_ci.len() as u32;
+    }
+    (
+        Csr {
+            row_ptr: l_rp,
+            col_idx: l_ci,
+            values: l_v,
+            dim: n,
+        },
+        Csr {
+            row_ptr: u_rp,
+            col_idx: u_ci,
+            values: u_v,
+            dim: n,
+        },
+    )
+}
+
+impl Preconditioner for Ilu0 {
+    fn name(&self) -> &'static str {
+        "ILU"
+    }
+
+    /// `z = U⁻¹ L⁻¹ r` via two level-scheduled triangular solves.
+    fn apply(&self, dev: &Device, r: &[f64]) -> Vec<f64> {
+        let y = solve_lower(dev, &self.l, r, &self.lsched, true);
+        solve_upper(dev, &self.u, &y, &self.usched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_simt::DeviceProfile;
+    use dda_sparse::SymBlockMatrix;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40())
+    }
+
+    #[test]
+    fn exact_for_full_pattern() {
+        // On a dense-pattern SPD matrix ILU(0) is the exact LU, so
+        // apply(r) solves A z = r exactly.
+        let m = SymBlockMatrix::random_spd(2, 5.0, 4); // 2 blocks, 1 coupling
+        let a = Csr::from_sym_full(&m);
+        let d = dev();
+        let ilu = Ilu0::new(&d, &a);
+        let r: Vec<f64> = (0..a.dim).map(|i| (i as f64 + 1.0) * 0.5).collect();
+        let z = ilu.apply(&d, &r);
+        let back = a.mul_vec(&z);
+        for i in 0..a.dim {
+            assert!(
+                (back[i] - r[i]).abs() < 1e-8,
+                "i={i}: {} vs {}",
+                back[i],
+                r[i]
+            );
+        }
+    }
+
+    #[test]
+    fn factors_have_expected_shape() {
+        let m = SymBlockMatrix::random_spd(20, 3.0, 6);
+        let a = Csr::from_sym_full(&m);
+        let d = dev();
+        let ilu = Ilu0::new(&d, &a);
+        assert_eq!(ilu.l.nnz() + ilu.u.nnz(), a.nnz());
+        // L strictly lower, U upper with diagonal present.
+        for i in 0..a.dim {
+            for p in ilu.l.row_ptr[i] as usize..ilu.l.row_ptr[i + 1] as usize {
+                assert!((ilu.l.col_idx[p] as usize) < i);
+            }
+            let lo = ilu.u.row_ptr[i] as usize;
+            assert_eq!(ilu.u.col_idx[lo] as usize, i, "U row {i} must start at diag");
+        }
+    }
+
+    #[test]
+    fn residual_reduction_as_preconditioner() {
+        // M⁻¹ should be a good approximation: ‖r − A·M⁻¹r‖ ≪ ‖r‖.
+        let m = SymBlockMatrix::random_spd(30, 3.0, 10);
+        let a = Csr::from_sym_full(&m);
+        let d = dev();
+        let ilu = Ilu0::new(&d, &a);
+        let r = vec![1.0; a.dim];
+        let z = ilu.apply(&d, &r);
+        let az = a.mul_vec(&z);
+        let err: f64 = az.iter().zip(&r).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let rn: f64 = (a.dim as f64).sqrt();
+        assert!(err < 0.5 * rn, "ILU(0) residual too large: {err} vs {rn}");
+    }
+
+    #[test]
+    fn construction_recorded_with_levels() {
+        let m = SymBlockMatrix::random_spd(40, 3.0, 2);
+        let a = Csr::from_sym_full(&m);
+        let d = dev();
+        let ilu = Ilu0::new(&d, &a);
+        let by = d.trace().by_kernel();
+        let (st, _) = &by["precond.ilu.construct"];
+        assert!(st.launches > 1, "factorization must be level-bound");
+        let (fd, bd) = ilu.level_depths();
+        assert!(fd > 1 && bd > 1);
+    }
+
+    #[test]
+    fn apply_issues_many_small_launches() {
+        // The Fig-10 phenomenon: TSS needs one launch per level.
+        let m = SymBlockMatrix::random_spd(60, 3.0, 3);
+        let a = Csr::from_sym_full(&m);
+        let d = dev();
+        let ilu = Ilu0::new(&d, &a);
+        d.reset_trace();
+        let r = vec![1.0; a.dim];
+        let _ = ilu.apply(&d, &r);
+        let by = d.trace().by_kernel();
+        let (fd, bd) = ilu.level_depths();
+        assert_eq!(by["tss.lower_level"].0.launches as usize, fd);
+        assert_eq!(by["tss.upper_level"].0.launches as usize, bd);
+    }
+}

@@ -1,0 +1,279 @@
+//! SSOR approximate-inverse preconditioner (Helfenstein & Koko, 2012).
+//!
+//! The classical SSOR preconditioner
+//! `M = (D/ω + L) (ω/(2−ω))⁻¹? …` requires two triangular *solves* per
+//! application — exactly what GPUs are bad at. The approximate-inverse form
+//! the paper adopts ([36]) replaces each triangular inverse by its
+//! first-order Neumann expansion:
+//!
+//! ```text
+//! M⁻¹ ≈ ω(2−ω) · (I − ω D⁻¹Lᵀ) · (I − ω D⁻¹L) · D⁻¹
+//! ```
+//!
+//! so one application is: a block-diagonal product, a lower-triangular
+//! SpMV, another block-diagonal product, an upper-triangular SpMV, and a
+//! scaling — all matrix-vector shaped, all parallel. Construction reuses
+//! the Block-Jacobi inverses, hence the paper's tiny 0.208 ms construction
+//! time.
+//!
+//! The triangular SpMVs traverse the HSBCSR listings: `Lᵀ` (strict upper)
+//! via the `row-up-i` segments and `L` (strict lower) via the
+//! `row-low-i`/`row-low-p` mapping — one thread per block row, no write
+//! conflicts.
+
+use super::block_jacobi::{block_diag_apply, BlockJacobi};
+use super::Preconditioner;
+use dda_simt::Device;
+use dda_sparse::Hsbcsr;
+
+/// The SSOR-AI preconditioner.
+pub struct SsorAi<'m> {
+    m: &'m Hsbcsr,
+    bj: BlockJacobi,
+    omega: f64,
+}
+
+impl<'m> SsorAi<'m> {
+    /// Builds the preconditioner. `omega ∈ (0, 2)`; the paper's reference
+    /// uses values near 1.
+    pub fn new(dev: &Device, m: &'m Hsbcsr, omega: f64) -> SsorAi<'m> {
+        assert!(omega > 0.0 && omega < 2.0, "SSOR relaxation must be in (0,2)");
+        SsorAi {
+            m,
+            bj: BlockJacobi::new(dev, m),
+            omega,
+        }
+    }
+
+    /// `y_c = Σ_{k : col(k) = c} B_kᵀ x_{row(k)}` — the strict-lower product
+    /// `L x`, one thread per block row via the lower listing.
+    fn mul_lower(&self, dev: &Device, x: &[f64]) -> Vec<f64> {
+        let h = self.m;
+        let mut y = vec![0.0f64; h.n * 6];
+        let b_nd = dev.bind_ro(&h.nd_data_up);
+        let b_rc = dev.bind_ro(&h.rc);
+        let b_rli = dev.bind_ro(&h.row_low_i);
+        let b_rlp = dev.bind_ro(&h.row_low_p);
+        let b_x = dev.bind_ro(x);
+        let b_y = dev.bind(&mut y);
+        let pad = h.pad_nd;
+        dev.launch("precond.ssor.mul_lower", h.n, |lane| {
+            let i = lane.gid;
+            let lo = if i == 0 { 0 } else { lane.ld(&b_rli, i - 1) } as usize;
+            let hi = lane.ld(&b_rli, i) as usize;
+            let mut acc = [0.0f64; 6];
+            for l in lo..hi {
+                let k = lane.ld(&b_rlp, l) as usize;
+                let rc = lane.ld_tex(&b_rc, k);
+                let row = (rc >> 32) as usize;
+                for c in 0..6 {
+                    let xr = lane.ld_tex(&b_x, row * 6 + c);
+                    for r in 0..6 {
+                        let a = lane.ld_tex(&b_nd, Hsbcsr::sliced_index(pad, k, c, r));
+                        lane.flop(2);
+                        acc[r] += a * xr;
+                    }
+                }
+            }
+            for r in 0..6 {
+                lane.st(&b_y, i * 6 + r, acc[r]);
+            }
+        });
+        drop(b_y);
+        y
+    }
+
+    /// `y_r = Σ_{k : row(k) = r} B_k x_{col(k)}` — the strict-upper product
+    /// `Lᵀ x`, one thread per block row via the upper listing.
+    fn mul_upper(&self, dev: &Device, x: &[f64]) -> Vec<f64> {
+        let h = self.m;
+        let mut y = vec![0.0f64; h.n * 6];
+        let b_nd = dev.bind_ro(&h.nd_data_up);
+        let b_rc = dev.bind_ro(&h.rc);
+        let b_rui = dev.bind_ro(&h.row_up_i);
+        let b_x = dev.bind_ro(x);
+        let b_y = dev.bind(&mut y);
+        let pad = h.pad_nd;
+        dev.launch("precond.ssor.mul_upper", h.n, |lane| {
+            let i = lane.gid;
+            let lo = if i == 0 { 0 } else { lane.ld(&b_rui, i - 1) } as usize;
+            let hi = lane.ld(&b_rui, i) as usize;
+            let mut acc = [0.0f64; 6];
+            for k in lo..hi {
+                let rc = lane.ld(&b_rc, k);
+                let col = (rc & 0xFFFF_FFFF) as usize;
+                for c in 0..6 {
+                    let xc = lane.ld_tex(&b_x, col * 6 + c);
+                    for r in 0..6 {
+                        let a = lane.ld(&b_nd, Hsbcsr::sliced_index(pad, k, r, c));
+                        lane.flop(2);
+                        acc[r] += a * xc;
+                    }
+                }
+            }
+            for r in 0..6 {
+                lane.st(&b_y, i * 6 + r, acc[r]);
+            }
+        });
+        drop(b_y);
+        y
+    }
+
+    /// `out = a − ω·Dinv·b` fused kernel.
+    fn sub_scaled_dinv(&self, dev: &Device, name: &str, a: &[f64], b: &[f64], scale: f64) -> Vec<f64> {
+        let tmp = block_diag_apply(dev, name, self.bj.dinv(), b);
+        let n = a.len();
+        let mut out = vec![0.0f64; n];
+        let b_a = dev.bind_ro(a);
+        let b_t = dev.bind_ro(&tmp);
+        let b_o = dev.bind(&mut out);
+        let omega = self.omega;
+        dev.launch("precond.ssor.fuse", n, |lane| {
+            let i = lane.gid;
+            let av = lane.ld(&b_a, i);
+            let tv = lane.ld(&b_t, i);
+            lane.flop(3);
+            lane.st(&b_o, i, (av - omega * tv) * scale);
+        });
+        drop(b_o);
+        out
+    }
+}
+
+impl Preconditioner for SsorAi<'_> {
+    fn name(&self) -> &'static str {
+        "SSOR"
+    }
+
+    /// `z = ω(2−ω) (I − ωD⁻¹Lᵀ)(I − ωD⁻¹L) D⁻¹ r`.
+    fn apply(&self, dev: &Device, r: &[f64]) -> Vec<f64> {
+        let t = block_diag_apply(dev, "precond.ssor.dinv", self.bj.dinv(), r);
+        let lt = self.mul_lower(dev, &t);
+        let u = self.sub_scaled_dinv(dev, "precond.ssor.dinv2", &t, &lt, 1.0);
+        let ltu = self.mul_upper(dev, &u);
+        let c = self.omega * (2.0 - self.omega);
+        self.sub_scaled_dinv(dev, "precond.ssor.dinv3", &u, &ltu, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_simt::DeviceProfile;
+    use dda_sparse::SymBlockMatrix;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true)
+    }
+
+    /// Dense reference of the approximate inverse.
+    fn dense_reference(m: &SymBlockMatrix, omega: f64, r: &[f64]) -> Vec<f64> {
+        let dim = m.dim();
+        let dense = m.to_dense();
+        // Extract block-diagonal inverse, strict lower, strict upper.
+        let mut dinv = vec![vec![0.0; dim]; dim];
+        for i in 0..m.n_blocks() {
+            let inv = m.diag[i].inverse().unwrap();
+            for a in 0..6 {
+                for b in 0..6 {
+                    dinv[i * 6 + a][i * 6 + b] = inv.0[a][b];
+                }
+            }
+        }
+        let matvec = |mat: &Vec<Vec<f64>>, x: &[f64]| -> Vec<f64> {
+            (0..dim)
+                .map(|i| (0..dim).map(|j| mat[i][j] * x[j]).sum())
+                .collect()
+        };
+        let lower_mul = |x: &[f64]| -> Vec<f64> {
+            (0..dim)
+                .map(|i| {
+                    (0..dim)
+                        .filter(|&j| j / 6 < i / 6)
+                        .map(|j| dense[i][j] * x[j])
+                        .sum()
+                })
+                .collect()
+        };
+        let upper_mul = |x: &[f64]| -> Vec<f64> {
+            (0..dim)
+                .map(|i| {
+                    (0..dim)
+                        .filter(|&j| j / 6 > i / 6)
+                        .map(|j| dense[i][j] * x[j])
+                        .sum()
+                })
+                .collect()
+        };
+        let t = matvec(&dinv, r);
+        let lt = lower_mul(&t);
+        let dlt = matvec(&dinv, &lt);
+        let u: Vec<f64> = (0..dim).map(|i| t[i] - omega * dlt[i]).collect();
+        let ltu = upper_mul(&u);
+        let dltu = matvec(&dinv, &ltu);
+        let c = omega * (2.0 - omega);
+        (0..dim).map(|i| c * (u[i] - omega * dltu[i])).collect()
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let m = SymBlockMatrix::random_spd(12, 3.0, 31);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let ssor = SsorAi::new(&d, &h, 1.2);
+        let r: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.17).sin()).collect();
+        let z = ssor.apply(&d, &r);
+        let z_ref = dense_reference(&m, 1.2, &r);
+        for i in 0..m.dim() {
+            assert!(
+                (z[i] - z_ref[i]).abs() < 1e-9,
+                "i={i}: {} vs {}",
+                z[i],
+                z_ref[i]
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_reduces_to_scaled_jacobi() {
+        // With L = 0: z = ω(2−ω) D⁻¹ r.
+        let m = SymBlockMatrix::random_spd(6, 0.0, 8);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let omega = 0.9;
+        let ssor = SsorAi::new(&d, &h, omega);
+        let r = vec![1.0; m.dim()];
+        let z = ssor.apply(&d, &r);
+        let bj = BlockJacobi::new(&d, &h);
+        let zj = bj.apply(&d, &r);
+        let c = omega * (2.0 - omega);
+        for i in 0..m.dim() {
+            assert!((z[i] - c * zj[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "relaxation")]
+    fn rejects_bad_omega() {
+        let m = SymBlockMatrix::random_spd(3, 1.0, 2);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let _ = SsorAi::new(&d, &h, 2.5);
+    }
+
+    #[test]
+    fn preconditioner_is_symmetric() {
+        // PCG requires a symmetric M⁻¹: check ⟨M⁻¹u, v⟩ = ⟨u, M⁻¹v⟩.
+        let m = SymBlockMatrix::random_spd(10, 3.0, 5);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let ssor = SsorAi::new(&d, &h, 1.0);
+        let u: Vec<f64> = (0..m.dim()).map(|i| ((i * 13 + 1) % 7) as f64 - 3.0).collect();
+        let v: Vec<f64> = (0..m.dim()).map(|i| ((i * 5 + 2) % 11) as f64 - 5.0).collect();
+        let mu = ssor.apply(&d, &u);
+        let mv = ssor.apply(&d, &v);
+        let a: f64 = mu.iter().zip(&v).map(|(x, y)| x * y).sum();
+        let b: f64 = u.iter().zip(&mv).map(|(x, y)| x * y).sum();
+        assert!((a - b).abs() < 1e-8 * a.abs().max(1.0), "{a} vs {b}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Instrumented device vector kernels for the Krylov iteration.
+//!
+//! PCG's non-SpMV work is a handful of BLAS-1 operations per iteration:
+//! two dots, three axpy-like updates, and a norm check. Each is a real
+//! device launch here so the solver's modeled time includes them (they are
+//! memory-bound and small — on the GPU their launch overhead is visible,
+//! which is part of why low-iteration-count preconditioners matter).
+
+use dda_simt::Device;
+
+/// `y ← a·x + y`.
+pub fn axpy(dev: &Device, a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let bx = dev.bind_ro(x);
+    let by = dev.bind(y);
+    dev.launch("vec.axpy", n, |lane| {
+        let i = lane.gid;
+        let xv = lane.ld(&bx, i);
+        let yv = lane.ld(&by, i);
+        lane.flop(2);
+        lane.st(&by, i, a * xv + yv);
+    });
+}
+
+/// `y ← x + b·y` (the `p ← z + βp` update).
+pub fn xpby(dev: &Device, x: &[f64], b: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let bx = dev.bind_ro(x);
+    let by = dev.bind(y);
+    dev.launch("vec.xpby", n, |lane| {
+        let i = lane.gid;
+        let xv = lane.ld(&bx, i);
+        let yv = lane.ld(&by, i);
+        lane.flop(2);
+        lane.st(&by, i, xv + b * yv);
+    });
+}
+
+/// Element-wise copy through the device.
+pub fn copy(dev: &Device, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let bx = dev.bind_ro(x);
+    let by = dev.bind(y);
+    dev.launch("vec.copy", n, |lane| {
+        let v = lane.ld(&bx, lane.gid);
+        lane.st(&by, lane.gid, v);
+    });
+}
+
+/// Dot product with a two-phase block reduction (tile partial sums, then a
+/// final single-block pass).
+pub fn dot(dev: &Device, x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let tile = 256usize;
+    let n_blocks = n.div_ceil(tile);
+    let mut partials = vec![0.0f64; n_blocks];
+    {
+        let bx = dev.bind_ro(x);
+        let by = dev.bind_ro(y);
+        let bp = dev.bind(&mut partials);
+        dev.launch_blocks("vec.dot.partial", n_blocks, 256, |blk| {
+            let start = blk.block_id * tile;
+            let count = tile.min(n - start);
+            let xs = blk.gld_range(&bx, start, count);
+            let ys = blk.gld_range(&by, start, count);
+            blk.flop_masked(count, 2);
+            blk.shfl_reduce_cost(count, 32);
+            blk.sync();
+            let s: f64 = xs.iter().zip(ys.iter()).map(|(a, b)| a * b).sum();
+            blk.gst_one(&bp, blk.block_id, s);
+        });
+    }
+    if n_blocks == 1 {
+        return partials[0];
+    }
+    // Final reduction in one block (host reads the single result back, as a
+    // real PCG does for its scalars).
+    let mut result = vec![0.0f64; 1];
+    {
+        let bp = dev.bind_ro(&partials);
+        let br = dev.bind(&mut result);
+        dev.launch_blocks("vec.dot.final", 1, 256, |blk| {
+            let mut acc = 0.0;
+            let mut off = 0;
+            while off < n_blocks {
+                let count = 256.min(n_blocks - off);
+                let vals = blk.gld_range(&bp, off, count);
+                blk.flop_masked(count, 1);
+                acc += vals.iter().sum::<f64>();
+                off += count;
+            }
+            blk.shfl_reduce_cost(256, 32);
+            blk.gst_one(&br, 0, acc);
+        });
+    }
+    result[0]
+}
+
+/// Squared 2-norm.
+pub fn norm_sq(dev: &Device, x: &[f64]) -> f64 {
+    dot(dev, x, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_simt::DeviceProfile;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true)
+    }
+
+    #[test]
+    fn axpy_works() {
+        let d = dev();
+        let x: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let mut y = vec![1.0; 1000];
+        axpy(&d, 2.0, &x, &mut y);
+        assert_eq!(y[10], 21.0);
+        assert_eq!(y[999], 1999.0);
+    }
+
+    #[test]
+    fn xpby_works() {
+        let d = dev();
+        let x = vec![5.0; 100];
+        let mut y = vec![2.0; 100];
+        xpby(&d, &x, 3.0, &mut y);
+        assert!(y.iter().all(|&v| (v - 11.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn copy_works() {
+        let d = dev();
+        let x: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let mut y = vec![0.0; 500];
+        copy(&d, &x, &mut y);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dot_small_and_large() {
+        let d = dev();
+        assert_eq!(dot(&d, &[], &[]), 0.0);
+        let x = vec![2.0; 10];
+        let y = vec![3.0; 10];
+        assert!((dot(&d, &x, &y) - 60.0).abs() < 1e-12);
+
+        let n = 100_000;
+        let x: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) * 0.5).collect();
+        let expect: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let got = dot(&d, &x, &y);
+        assert!((got - expect).abs() < 1e-6 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn norm_sq_matches() {
+        let d = dev();
+        let x = vec![3.0, 4.0];
+        assert!((norm_sq(&d, &x) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernels_appear_in_trace() {
+        let d = dev();
+        let x = vec![1.0; 1024];
+        let y = vec![1.0; 1024];
+        let _ = dot(&d, &x, &y);
+        let by = d.trace().by_kernel();
+        assert!(by.contains_key("vec.dot.partial"));
+        assert!(by.contains_key("vec.dot.final"));
+    }
+}

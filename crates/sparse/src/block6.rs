@@ -1,0 +1,417 @@
+//! Dense 6×6 sub-matrix arithmetic.
+//!
+//! Each DDA block carries six unknowns — rigid translation `(u0, v0)`,
+//! rotation `r0`, and strains `(εx, εy, γxy)` — so every entry of the global
+//! stiffness matrix is a 6×6 sub-matrix and every right-hand-side / solution
+//! chunk is a [`Vec6`].
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
+
+/// Degrees of freedom per DDA block.
+pub const BLOCK_DOF: usize = 6;
+
+/// A 6-component vector (one block's DOF chunk).
+pub type Vec6 = [f64; 6];
+
+/// Adds `b` into `a` component-wise.
+pub fn vec6_add_assign(a: &mut Vec6, b: &Vec6) {
+    for i in 0..6 {
+        a[i] += b[i];
+    }
+}
+
+/// Scales a [`Vec6`] by `s`.
+pub fn vec6_scale(a: &Vec6, s: f64) -> Vec6 {
+    let mut out = [0.0; 6];
+    for i in 0..6 {
+        out[i] = a[i] * s;
+    }
+    out
+}
+
+/// Dot product of two [`Vec6`]s.
+pub fn vec6_dot(a: &Vec6, b: &Vec6) -> f64 {
+    let mut s = 0.0;
+    for i in 0..6 {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// A dense 6×6 sub-matrix, row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Block6(pub [[f64; 6]; 6]);
+
+impl Default for Block6 {
+    fn default() -> Self {
+        Block6::ZERO
+    }
+}
+
+impl Block6 {
+    /// The zero sub-matrix.
+    pub const ZERO: Block6 = Block6([[0.0; 6]; 6]);
+
+    /// The identity sub-matrix.
+    pub fn identity() -> Block6 {
+        let mut m = Block6::ZERO;
+        for i in 0..6 {
+            m.0[i][i] = 1.0;
+        }
+        m
+    }
+
+    /// Diagonal sub-matrix with the given diagonal.
+    pub fn diag(d: &Vec6) -> Block6 {
+        let mut m = Block6::ZERO;
+        for i in 0..6 {
+            m.0[i][i] = d[i];
+        }
+        m
+    }
+
+    /// Outer product `a bᵀ` — the shape of every penalty-spring stiffness
+    /// contribution in DDA (`p · e eᵀ` etc.).
+    pub fn outer(a: &Vec6, b: &Vec6) -> Block6 {
+        let mut m = Block6::ZERO;
+        for i in 0..6 {
+            for j in 0..6 {
+                m.0[i][j] = a[i] * b[j];
+            }
+        }
+        m
+    }
+
+    /// Matrix–vector product `A x`.
+    pub fn mul_vec(&self, x: &Vec6) -> Vec6 {
+        let mut y = [0.0; 6];
+        for i in 0..6 {
+            let row = &self.0[i];
+            let mut s = 0.0;
+            for j in 0..6 {
+                s += row[j] * x[j];
+            }
+            y[i] = s;
+        }
+        y
+    }
+
+    /// Transposed product `Aᵀ x` — used for the lower-triangle contribution
+    /// of the half-stored symmetric SpMV.
+    pub fn tr_mul_vec(&self, x: &Vec6) -> Vec6 {
+        let mut y = [0.0; 6];
+        for j in 0..6 {
+            let xj = x[j];
+            for i in 0..6 {
+                y[i] += self.0[j][i] * xj;
+            }
+        }
+        y
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Block6 {
+        let mut t = Block6::ZERO;
+        for i in 0..6 {
+            for j in 0..6 {
+                t.0[j][i] = self.0[i][j];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `A B`.
+    pub fn matmul(&self, rhs: &Block6) -> Block6 {
+        let mut m = Block6::ZERO;
+        for i in 0..6 {
+            for k in 0..6 {
+                let a = self.0[i][k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..6 {
+                    m.0[i][j] += a * rhs.0[k][j];
+                }
+            }
+        }
+        m
+    }
+
+    /// Scales every entry.
+    pub fn scale(&self, s: f64) -> Block6 {
+        let mut m = *self;
+        for row in m.0.iter_mut() {
+            for v in row.iter_mut() {
+                *v *= s;
+            }
+        }
+        m
+    }
+
+    /// Inverse by Gauss–Jordan elimination with partial pivoting.
+    ///
+    /// Returns `None` for (numerically) singular sub-matrices. Block-Jacobi
+    /// preconditioning inverts every diagonal sub-matrix; DDA keeps them
+    /// well-conditioned via the inertia term (§IV-A).
+    pub fn inverse(&self) -> Option<Block6> {
+        let mut a = self.0;
+        let mut inv = Block6::identity().0;
+        for col in 0..6 {
+            // Partial pivot.
+            let mut pivot_row = col;
+            let mut best = a[col][col].abs();
+            for r in (col + 1)..6 {
+                if a[r][col].abs() > best {
+                    best = a[r][col].abs();
+                    pivot_row = r;
+                }
+            }
+            if best < 1e-300 {
+                return None;
+            }
+            a.swap(col, pivot_row);
+            inv.swap(col, pivot_row);
+            let p = a[col][col];
+            for j in 0..6 {
+                a[col][j] /= p;
+                inv[col][j] /= p;
+            }
+            for r in 0..6 {
+                if r == col {
+                    continue;
+                }
+                let f = a[r][col];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..6 {
+                    a[r][j] -= f * a[col][j];
+                    inv[r][j] -= f * inv[col][j];
+                }
+            }
+        }
+        Some(Block6(inv))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.0
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.0
+            .iter()
+            .flat_map(|r| r.iter())
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// True when symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                if (self.0[i][j] - self.0[j][i]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Adds `s · I` to the diagonal.
+    pub fn add_diag(&mut self, s: f64) {
+        for i in 0..6 {
+            self.0[i][i] += s;
+        }
+    }
+}
+
+impl Add for Block6 {
+    type Output = Block6;
+    fn add(self, rhs: Block6) -> Block6 {
+        let mut m = self;
+        m += rhs;
+        m
+    }
+}
+
+impl AddAssign for Block6 {
+    fn add_assign(&mut self, rhs: Block6) {
+        for i in 0..6 {
+            for j in 0..6 {
+                self.0[i][j] += rhs.0[i][j];
+            }
+        }
+    }
+}
+
+impl Sub for Block6 {
+    type Output = Block6;
+    fn sub(self, rhs: Block6) -> Block6 {
+        let mut m = self;
+        for i in 0..6 {
+            for j in 0..6 {
+                m.0[i][j] -= rhs.0[i][j];
+            }
+        }
+        m
+    }
+}
+
+impl Mul for Block6 {
+    type Output = Block6;
+    fn mul(self, rhs: Block6) -> Block6 {
+        Block6::matmul(&self, &rhs)
+    }
+}
+
+impl Index<(usize, usize)> for Block6 {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.0[i][j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Block6 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.0[i][j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Block6 {
+        let mut m = Block6::ZERO;
+        for i in 0..6 {
+            for j in 0..6 {
+                m.0[i][j] = (i * 6 + j) as f64 * 0.5 - 7.0;
+            }
+            m.0[i][i] += 20.0; // diagonally dominant → invertible
+        }
+        m
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let m = sample();
+        let i = Block6::identity();
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let m = Block6::identity().scale(2.0);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(m.mul_vec(&x), [2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn tr_mul_vec_equals_transpose_mul() {
+        let m = sample();
+        let x = [1.0, -2.0, 0.5, 3.0, -1.0, 0.25];
+        let a = m.tr_mul_vec(&x);
+        let b = m.transpose().mul_vec(&x);
+        for i in 0..6 {
+            assert!((a[i] - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = sample();
+        let inv = m.inverse().expect("invertible");
+        let prod = m.matmul(&inv);
+        for i in 0..6 {
+            for j in 0..6 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (prod.0[i][j] - expect).abs() < 1e-9,
+                    "({i},{j}) = {}",
+                    prod.0[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        assert!(Block6::ZERO.inverse().is_none());
+        let mut m = Block6::identity();
+        m.0[3][3] = 0.0;
+        // Row 3 all-zero → singular.
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn outer_product_shape() {
+        let a = [1.0, 0.0, 0.0, 0.0, 0.0, 2.0];
+        let b = [0.0, 3.0, 0.0, 0.0, 0.0, 0.0];
+        let m = Block6::outer(&a, &b);
+        assert_eq!(m.0[0][1], 3.0);
+        assert_eq!(m.0[5][1], 6.0);
+        assert_eq!(m.0[2][2], 0.0);
+        // outer(a,b)ᵀ = outer(b,a)
+        assert_eq!(m.transpose(), Block6::outer(&b, &a));
+    }
+
+    #[test]
+    fn outer_with_self_is_symmetric() {
+        let e = [1.0, -2.0, 3.5, 0.0, 4.0, -1.0];
+        assert!(Block6::outer(&e, &e).is_symmetric(0.0));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = sample();
+        let b = Block6::identity().scale(3.0);
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn diag_and_add_diag() {
+        let mut m = Block6::diag(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        m.add_diag(10.0);
+        assert_eq!(m.0[0][0], 11.0);
+        assert_eq!(m.0[5][5], 16.0);
+        assert_eq!(m.0[0][1], 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Block6::identity();
+        assert!((m.frobenius() - 6.0f64.sqrt()).abs() < 1e-15);
+        assert_eq!(m.max_abs(), 1.0);
+    }
+
+    #[test]
+    fn vec6_helpers() {
+        let mut a = [1.0; 6];
+        vec6_add_assign(&mut a, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a[5], 7.0);
+        assert_eq!(vec6_scale(&a, 2.0)[0], 4.0);
+        assert_eq!(vec6_dot(&[1.0; 6], &[2.0; 6]), 12.0);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut m = Block6::ZERO;
+        m[(2, 3)] = 5.0;
+        assert_eq!(m[(2, 3)], 5.0);
+        assert_eq!(m.0[2][3], 5.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Scalar compressed sparse row storage.
+//!
+//! The cuSPARSE baseline in the paper operates on the scalar CSR expansion
+//! of the (recovered full) stiffness matrix, and ILU(0) factors it. This is
+//! that format, with an instrumented serial SpMV used by the E5620 baseline
+//! model.
+
+use crate::bcsr::BlockCsr;
+use crate::block6::BLOCK_DOF;
+use crate::sym::SymBlockMatrix;
+use dda_simt::serial::CpuCounter;
+use serde::{Deserialize, Serialize};
+
+/// A scalar CSR matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    /// Row pointers, length `dim + 1`.
+    pub row_ptr: Vec<u32>,
+    /// Column index per nonzero.
+    pub col_idx: Vec<u32>,
+    /// Nonzero values.
+    pub values: Vec<f64>,
+    /// Dimension (square).
+    pub dim: usize,
+}
+
+impl Csr {
+    /// Expands a block-CSR matrix to scalar CSR, dropping explicit zeros
+    /// inside stored sub-matrices? — **No**: zeros inside a stored 6×6
+    /// sub-matrix are kept, as cuSPARSE sees them when fed a BCSR-expanded
+    /// matrix. (DDA sub-matrices are essentially dense anyway.)
+    pub fn from_bcsr(b: &BlockCsr) -> Csr {
+        let dim = b.dim();
+        let mut row_ptr = vec![0u32; dim + 1];
+        for brow in 0..b.n {
+            let blocks_in_row = (b.row_ptr[brow + 1] - b.row_ptr[brow]) as usize;
+            for r in 0..BLOCK_DOF {
+                row_ptr[brow * 6 + r + 1] =
+                    row_ptr[brow * 6 + r] + (blocks_in_row * BLOCK_DOF) as u32;
+            }
+        }
+        let nnz = row_ptr[dim] as usize;
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0.0f64; nnz];
+        for brow in 0..b.n {
+            let lo = b.row_ptr[brow] as usize;
+            let hi = b.row_ptr[brow + 1] as usize;
+            for r in 0..BLOCK_DOF {
+                let mut p = row_ptr[brow * 6 + r] as usize;
+                for bp in lo..hi {
+                    let bcol = b.col_idx[bp] as usize;
+                    for c in 0..BLOCK_DOF {
+                        col_idx[p] = (bcol * 6 + c) as u32;
+                        values[p] = b.blocks[bp].0[r][c];
+                        p += 1;
+                    }
+                }
+            }
+        }
+        Csr {
+            row_ptr,
+            col_idx,
+            values,
+            dim,
+        }
+    }
+
+    /// Scalar CSR of the recovered full symmetric matrix.
+    pub fn from_sym_full(m: &SymBlockMatrix) -> Csr {
+        Csr::from_bcsr(&BlockCsr::from_sym_full(m))
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Serial SpMV `y = A x`, tallying the E5620 work model into `counter`:
+    /// 2 flops per nonzero, plus traffic for values, column indices, the
+    /// gathered `x` entries, and the streamed `y`.
+    pub fn mul_vec_counted(&self, x: &[f64], counter: &mut CpuCounter) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim);
+        let mut y = vec![0.0; self.dim];
+        for row in 0..self.dim {
+            let lo = self.row_ptr[row] as usize;
+            let hi = self.row_ptr[row + 1] as usize;
+            let mut acc = 0.0;
+            for p in lo..hi {
+                acc += self.values[p] * x[self.col_idx[p] as usize];
+            }
+            y[row] = acc;
+        }
+        let nnz = self.nnz() as u64;
+        counter.flop(2 * nnz);
+        counter.bytes(nnz * (8 + 4 + 8) + self.dim as u64 * (8 + 4));
+        y
+    }
+
+    /// Serial SpMV without instrumentation.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut c = CpuCounter::new();
+        self.mul_vec_counted(x, &mut c)
+    }
+
+    /// Value at `(row, col)` if stored.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        let lo = self.row_ptr[row] as usize;
+        let hi = self.row_ptr[row + 1] as usize;
+        self.col_idx[lo..hi]
+            .binary_search(&(col as u32))
+            .ok()
+            .map(|off| self.values[lo + off])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym() -> SymBlockMatrix {
+        SymBlockMatrix::random_spd(15, 3.0, 5)
+    }
+
+    #[test]
+    fn expansion_matches_reference() {
+        let m = sym();
+        let csr = Csr::from_sym_full(&m);
+        assert_eq!(csr.dim, m.dim());
+        let x: Vec<f64> = (0..m.dim()).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let y_ref = m.mul_vec(&x);
+        let y = csr.mul_vec(&x);
+        for i in 0..m.dim() {
+            assert!((y[i] - y_ref[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nnz_accounting() {
+        let m = sym();
+        let full = BlockCsr::from_sym_full(&m);
+        let csr = Csr::from_bcsr(&full);
+        assert_eq!(csr.nnz(), full.nnz_blocks() * 36);
+    }
+
+    #[test]
+    fn rows_sorted_by_column() {
+        let csr = Csr::from_sym_full(&sym());
+        for r in 0..csr.dim {
+            let seg = &csr.col_idx[csr.row_ptr[r] as usize..csr.row_ptr[r + 1] as usize];
+            for w in seg.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn get_returns_stored_entries() {
+        let m = sym();
+        let csr = Csr::from_sym_full(&m);
+        let dense = m.to_dense();
+        // Diagonal entries are always stored.
+        for i in 0..csr.dim {
+            assert!((csr.get(i, i).unwrap() - dense[i][i]).abs() < 1e-12);
+        }
+        // A definitely-absent entry (first and last block unconnected in a
+        // band matrix of this size).
+        assert!(csr.get(0, csr.dim - 1).is_none());
+    }
+
+    #[test]
+    fn counter_tallies_work() {
+        let m = sym();
+        let csr = Csr::from_sym_full(&m);
+        let x = vec![1.0; csr.dim];
+        let mut c = CpuCounter::new();
+        let _ = csr.mul_vec_counted(&x, &mut c);
+        assert_eq!(c.flops, 2 * csr.nnz() as u64);
+        assert!(c.bytes > 20 * csr.nnz() as u64);
+    }
+
+    #[test]
+    fn symmetric_dense_equivalence() {
+        let m = sym();
+        let csr = Csr::from_sym_full(&m);
+        let dense = m.to_dense();
+        for r in 0..csr.dim {
+            for p in csr.row_ptr[r] as usize..csr.row_ptr[r + 1] as usize {
+                let c = csr.col_idx[p] as usize;
+                assert!((csr.values[p] - dense[r][c]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Block-CSR SpMV on the recovered full matrix.
+//!
+//! One thread per `(block row, local row)` pair: each thread streams the six
+//! entries of its local row in every sub-matrix of its block row. Blocks are
+//! stored as dense row-major `[f64; 36]` runs, so the six loads of one
+//! thread are contiguous but *different threads of a warp* touch addresses
+//! 36 elements apart — the partial coalescing that makes plain BCSR lose to
+//! the sliced HSBCSR layout.
+
+use crate::bcsr::BlockCsr;
+use dda_simt::Device;
+
+/// `y = A x` with `A` in full block-CSR form.
+pub fn spmv_bcsr(dev: &Device, a: &BlockCsr, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.dim());
+    // Flatten blocks to a scalar array for device binding.
+    let flat: Vec<f64> = a
+        .blocks
+        .iter()
+        .flat_map(|b| b.0.iter().flatten().copied())
+        .collect();
+    let n = a.n;
+    let mut y = vec![0.0f64; a.dim()];
+    {
+        let b_rp = dev.bind_ro(&a.row_ptr);
+        let b_ci = dev.bind_ro(&a.col_idx);
+        let b_bl = dev.bind_ro(&flat);
+        let b_x = dev.bind_ro(x);
+        let b_y = dev.bind(&mut y);
+        // Thread layout: gid = brow * 6 + r, so a warp covers ~5 block rows.
+        dev.launch("spmv.bcsr", n * 6, |lane| {
+            let brow = lane.gid / 6;
+            let r = lane.gid % 6;
+            let lo = lane.ld(&b_rp, brow) as usize;
+            let hi = lane.ld(&b_rp, brow + 1) as usize;
+            let mut acc = 0.0;
+            for p in lo..hi {
+                let bcol = lane.ld(&b_ci, p) as usize;
+                for c in 0..6 {
+                    let v = lane.ld(&b_bl, p * 36 + r * 6 + c);
+                    let xv = lane.ld_tex(&b_x, bcol * 6 + c);
+                    lane.flop(2);
+                    acc += v * xv;
+                }
+            }
+            lane.st(&b_y, lane.gid, acc);
+        });
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::SymBlockMatrix;
+    use dda_simt::DeviceProfile;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true)
+    }
+
+    #[test]
+    fn correct_against_reference() {
+        for seed in [2u64, 4, 8] {
+            let m = SymBlockMatrix::random_spd(40, 4.0, seed);
+            let a = BlockCsr::from_sym_full(&m);
+            let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.7).cos()).collect();
+            let d = dev();
+            let y = spmv_bcsr(&d, &a, &x);
+            let y_ref = m.mul_vec(&x);
+            for i in 0..m.dim() {
+                assert!((y[i] - y_ref[i]).abs() < 1e-9, "seed {seed} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_only() {
+        let m = SymBlockMatrix::random_spd(10, 0.0, 1);
+        let a = BlockCsr::from_sym_full(&m);
+        let x = vec![1.0; m.dim()];
+        let d = dev();
+        let y = spmv_bcsr(&d, &a, &x);
+        let y_ref = m.mul_vec(&x);
+        for i in 0..m.dim() {
+            assert!((y[i] - y_ref[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_layout_partially_coalesced() {
+        let m = SymBlockMatrix::random_spd(300, 5.0, 6);
+        let a = BlockCsr::from_sym_full(&m);
+        let x = vec![1.0; m.dim()];
+        let d = dev();
+        let _ = spmv_bcsr(&d, &a, &x);
+        let s = d.trace().total_stats();
+        // Row-major 36-stride blocks can't be perfectly coalesced...
+        assert!(s.overfetch() > 1.5);
+        // ...but they're far from fully scattered either.
+        assert!(s.overfetch() < 16.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! The paper's two-stage HSBCSR SpMV (§IV-B, Figs 8–9).
+//!
+//! **Stage 1** — one thread per stored upper sub-matrix: the thread streams
+//! its 36 entries *slice by slice*; because slice storage interleaves
+//! sub-matrices (entry `(r,c)` of consecutive sub-matrices are adjacent),
+//! the warp's loads are perfectly coalesced. Each entry multiplies both the
+//! upper vector chunk (`A_ij · x_j` → `up-res`) and, transposed, the lower
+//! chunk (`A_ijᵀ · x_i` → `low-res`); the vector gathers go through the
+//! texture path. The per-sub-matrix reduction uses the Fig-8 shared-memory
+//! scheme in which concurrent threads walk different banks
+//! ([`Stage1Smem::Proposed`]); the naive row-major walk
+//! ([`Stage1Smem::NaiveRowMajor`]) is kept for the Fig-8/9 ablation.
+//!
+//! **Stage 2** — per-row reductions: the `up-res` segments of a row are
+//! contiguous ("regular and fast", loaded coalesced by 48-thread groups in
+//! the paper), while `low-res` entries are scattered and fetched through
+//! the texture cache via the `row-low-p` mapping (Fig 9). The diagonal
+//! product is fused here; its sliced layout again loads coalesced.
+
+use crate::hsbcsr::Hsbcsr;
+use dda_simt::Device;
+
+/// Shared-memory access pattern for the stage-1 sub-matrix reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage1Smem {
+    /// The paper's Fig-8 scheme: threads access different banks every step —
+    /// conflict-free.
+    Proposed,
+    /// Natural row-major 6×6 tile walk: stride-6 bank pattern with 2-way
+    /// conflicts (the ablation baseline).
+    NaiveRowMajor,
+}
+
+/// `y = A x` with `A` in HSBCSR form. Never materialises the full matrix.
+pub fn spmv_hsbcsr(dev: &Device, h: &Hsbcsr, x: &[f64], scheme: Stage1Smem) -> Vec<f64> {
+    assert_eq!(x.len(), h.n * 6);
+    let mut up_res = vec![0.0f64; h.n_nd * 6];
+    let mut low_res = vec![0.0f64; h.n_nd * 6];
+
+    // ---- Stage 1: per-sub-matrix products ---------------------------------
+    if h.n_nd > 0 {
+        let b_nd = dev.bind_ro(&h.nd_data_up);
+        let b_rc = dev.bind_ro(&h.rc);
+        let b_x = dev.bind_ro(x);
+        let b_up = dev.bind(&mut up_res);
+        let b_low = dev.bind(&mut low_res);
+        let pad = h.pad_nd;
+        let nnd = h.n_nd;
+        dev.launch("spmv.hsbcsr.stage1", h.n_nd, |lane| {
+            let k = lane.gid;
+            let rc = lane.ld(&b_rc, k);
+            let row = (rc >> 32) as usize;
+            let col = (rc & 0xFFFF_FFFF) as usize;
+            let mut up = [0.0f64; 6];
+            let mut low = [0.0f64; 6];
+            // Both vector chunks are fetched once into registers (12 texture
+            // reads per sub-matrix, not 72).
+            let mut xr = [0.0f64; 6];
+            let mut xc = [0.0f64; 6];
+            for r in 0..6 {
+                xr[r] = lane.ld_tex(&b_x, row * 6 + r);
+                xc[r] = lane.ld_tex(&b_x, col * 6 + r);
+            }
+            // Slice-by-slice traversal: for fixed (r, c), consecutive k are
+            // consecutive addresses → coalesced.
+            for r in 0..6 {
+                for c in 0..6 {
+                    let a = lane.ld(&b_nd, Hsbcsr::sliced_index(pad, k, r, c));
+                    lane.flop(4);
+                    up[r] += a * xc[c];
+                    low[c] += a * xr[r];
+                }
+            }
+            // Fig-8 reduction of the up results in shared memory: 6 steps,
+            // each a store + load.
+            for step in 0..6u32 {
+                let word = match scheme {
+                    Stage1Smem::Proposed => lane.lane_id, // one bank per lane
+                    Stage1Smem::NaiveRowMajor => lane.lane_id * 6 + step,
+                };
+                lane.smem_st(word);
+                lane.smem_ld(word);
+                lane.flop(1);
+            }
+            // Results land in slice layout (r·n_nd + k): at each local row
+            // the warp's stores are consecutive — the coalesced pattern the
+            // paper achieves by staging in shared memory (Fig 8).
+            for r in 0..6 {
+                lane.st(&b_up, r * nnd + k, up[r]);
+                lane.st(&b_low, r * nnd + k, low[r]);
+            }
+        });
+    }
+
+    // ---- Stage 2: per-row reductions + diagonal ----------------------------
+    let rows_per_block = 32usize;
+    let n_blocks = h.n.div_ceil(rows_per_block);
+    let mut y = vec![0.0f64; h.n * 6];
+    {
+        let b_up = dev.bind_ro(&up_res);
+        let b_low = dev.bind_ro(&low_res);
+        let b_rui = dev.bind_ro(&h.row_up_i);
+        let b_rli = dev.bind_ro(&h.row_low_i);
+        let b_rlp = dev.bind_ro(&h.row_low_p);
+        let b_d = dev.bind_ro(&h.d_data);
+        let b_x = dev.bind_ro(x);
+        let b_y = dev.bind(&mut y);
+        let pad_d = h.pad_d;
+        let n_nd = h.n_nd.max(1);
+        dev.launch_blocks("spmv.hsbcsr.stage2", n_blocks, 256, |blk| {
+            let i0 = blk.block_id * rows_per_block;
+            let rows = rows_per_block.min(h.n - i0);
+            let mut acc = vec![[0.0f64; 6]; rows];
+
+            // Row bounds (coalesced index loads).
+            let up_ends = blk.gld_range(&b_rui, i0, rows);
+            let up_first = if i0 == 0 { 0 } else { blk.gld_one(&b_rui, i0 - 1) };
+            let low_ends = blk.gld_range(&b_rli, i0, rows);
+            let low_first = if i0 == 0 { 0 } else { blk.gld_one(&b_rli, i0 - 1) };
+
+            // Upper reduction: each slice of the chunk's up-res region is
+            // contiguous ("regular and fast", Fig 9).
+            let up_lo = up_first as usize;
+            let up_hi = *up_ends.last().unwrap() as usize;
+            if up_hi > up_lo {
+                let count = up_hi - up_lo;
+                let mut slices: Vec<Vec<f64>> = Vec::with_capacity(6);
+                for r in 0..6 {
+                    slices.push(blk.gld_range(&b_up, r * n_nd + up_lo, count));
+                }
+                blk.flop_masked(count.min(256), 6);
+                // Shared-memory reduction of six-row groups (the paper's
+                // 48-thread scheme); conflict-free word pattern.
+                let words: Vec<u32> = (0..count.min(256) as u32).collect();
+                blk.smem_access(&words);
+                let mut lo = up_lo;
+                for (w, &end) in up_ends.iter().enumerate() {
+                    let hi = end as usize;
+                    for k in lo..hi {
+                        for r in 0..6 {
+                            acc[w][r] += slices[r][k - up_lo];
+                        }
+                    }
+                    lo = hi;
+                }
+            }
+
+            // Lower reduction: mapped positions, texture gathers.
+            let low_lo = low_first as usize;
+            let low_hi = *low_ends.last().unwrap() as usize;
+            if low_hi > low_lo {
+                let count = low_hi - low_lo;
+                let ps = blk.gld_range(&b_rlp, low_lo, count);
+                let mut vals: Vec<Vec<f64>> = Vec::with_capacity(6);
+                for r in 0..6 {
+                    let gather: Vec<usize> =
+                        ps.iter().map(|&p| r * n_nd + p as usize).collect();
+                    vals.push(blk.gld_gather_tex(&b_low, &gather));
+                }
+                blk.flop_masked(count.min(256), 6);
+                let mut lo = low_lo;
+                for (w, &end) in low_ends.iter().enumerate() {
+                    let hi = end as usize;
+                    for l in lo..hi {
+                        for r in 0..6 {
+                            acc[w][r] += vals[r][l - low_lo];
+                        }
+                    }
+                    lo = hi;
+                }
+            }
+
+            // Diagonal product: sliced layout → coalesced over rows. The x
+            // chunk of the row block is fetched once per local column.
+            let mut xs_cols: Vec<Vec<f64>> = Vec::with_capacity(6);
+            for c in 0..6 {
+                let xidx: Vec<usize> = (0..rows).map(|w| (i0 + w) * 6 + c).collect();
+                xs_cols.push(blk.gld_gather_tex(&b_x, &xidx));
+            }
+            for r in 0..6 {
+                for c in 0..6 {
+                    let dvals = blk.gld_range(&b_d, Hsbcsr::sliced_index(pad_d, i0, r, c), rows);
+                    blk.flop_masked(rows, 2);
+                    for w in 0..rows {
+                        acc[w][r] += dvals[w] * xs_cols[c][w];
+                    }
+                }
+            }
+
+            // Coalesced result store.
+            let flat: Vec<f64> = acc.iter().flat_map(|a| a.iter().copied()).collect();
+            blk.gst_range(&b_y, i0 * 6, &flat);
+        });
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::SymBlockMatrix;
+    use dda_simt::DeviceProfile;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true)
+    }
+
+    #[test]
+    fn correct_against_reference() {
+        for seed in [3u64, 6, 12] {
+            let m = SymBlockMatrix::random_spd(50, 4.0, seed);
+            let h = Hsbcsr::from_sym(&m);
+            let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.13).sin() * 2.0).collect();
+            let d = dev();
+            let y = spmv_hsbcsr(&d, &h, &x, Stage1Smem::Proposed);
+            let y_ref = m.mul_vec(&x);
+            for i in 0..m.dim() {
+                assert!((y[i] - y_ref[i]).abs() < 1e-9, "seed {seed} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_scheme_same_result_more_conflicts() {
+        let m = SymBlockMatrix::random_spd(120, 5.0, 7);
+        let h = Hsbcsr::from_sym(&m);
+        let x = vec![0.5; m.dim()];
+
+        let d1 = dev();
+        let y1 = spmv_hsbcsr(&d1, &h, &x, Stage1Smem::Proposed);
+        let s1 = d1.trace().total_stats();
+
+        let d2 = dev();
+        let y2 = spmv_hsbcsr(&d2, &h, &x, Stage1Smem::NaiveRowMajor);
+        let s2 = d2.trace().total_stats();
+
+        assert_eq!(y1, y2);
+        assert_eq!(s1.smem_replays, 0, "proposed scheme must be conflict-free");
+        assert!(
+            s2.smem_replays > 0,
+            "row-major walk must produce bank conflicts"
+        );
+    }
+
+    #[test]
+    fn diagonal_only_matrix() {
+        let m = SymBlockMatrix::random_spd(33, 0.0, 4);
+        let h = Hsbcsr::from_sym(&m);
+        assert_eq!(h.n_nd, 0);
+        let x: Vec<f64> = (0..m.dim()).map(|i| i as f64).collect();
+        let d = dev();
+        let y = spmv_hsbcsr(&d, &h, &x, Stage1Smem::Proposed);
+        let y_ref = m.mul_vec(&x);
+        for i in 0..m.dim() {
+            assert!((y[i] - y_ref[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_block_matrix() {
+        let m = SymBlockMatrix::random_spd(1, 0.0, 2);
+        let h = Hsbcsr::from_sym(&m);
+        let x = vec![1.0; 6];
+        let d = dev();
+        let y = spmv_hsbcsr(&d, &h, &x, Stage1Smem::Proposed);
+        let y_ref = m.mul_vec(&x);
+        for i in 0..6 {
+            assert!((y[i] - y_ref[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stage1_loads_are_well_coalesced() {
+        let m = SymBlockMatrix::random_spd(400, 5.0, 13);
+        let h = Hsbcsr::from_sym(&m);
+        let x = vec![1.0; m.dim()];
+        let d = dev();
+        let _ = spmv_hsbcsr(&d, &h, &x, Stage1Smem::Proposed);
+        let by = d.trace().by_kernel();
+        let s1 = by["spmv.hsbcsr.stage1"].0;
+        // Matrix data is streamed coalesced; only the x gathers are
+        // irregular (texture), which bounds the combined overfetch well
+        // below the fully-scattered regime (~16× for f64).
+        assert!(
+            s1.overfetch() < 3.0,
+            "stage-1 overfetch {} too high",
+            s1.overfetch()
+        );
+        // The L1/L2 portion (matrix loads perfectly coalesced; the
+        // stride-6 up-res/low-res stores pay some over-fetch, as on the
+        // hardware) must stay well under the scattered regime.
+        let l12_bytes = s1.gmem_transactions * 128;
+        assert!(
+            l12_bytes < 2 * s1.gmem_bytes,
+            "sliced traffic too high: {l12_bytes} vs useful {}",
+            s1.gmem_bytes
+        );
+    }
+
+    #[test]
+    fn hsbcsr_beats_scalar_csr_in_modeled_time() {
+        // The headline Fig-10 shape at reduced scale: half-stored sliced
+        // SpMV must be faster than the naive scalar-CSR kernel on the same
+        // matrix.
+        let m = SymBlockMatrix::random_spd(500, 4.5, 21);
+        let x = vec![1.0; m.dim()];
+
+        let d1 = dev();
+        let h = Hsbcsr::from_sym(&m);
+        let _ = spmv_hsbcsr(&d1, &h, &x, Stage1Smem::Proposed);
+        let t_hsbcsr = d1.modeled_seconds();
+
+        let d2 = dev();
+        let a = crate::csr::Csr::from_sym_full(&m);
+        let _ = crate::spmv::spmv_csr_scalar(&d2, &a, &x);
+        let t_csr = d2.modeled_seconds();
+
+        assert!(
+            t_hsbcsr < t_csr,
+            "HSBCSR {t_hsbcsr} should beat scalar CSR {t_csr}"
+        );
+    }
+}

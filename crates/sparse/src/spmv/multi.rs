@@ -1,0 +1,243 @@
+//! Multi-GPU HSBCSR SpMV — the paper's stated future work.
+//!
+//! "The next step of this work will focus on applying these efforts to
+//! three-dimensional DDA on the multiple GPUs" (§VI). This module
+//! prototypes the 2-D building block: the half-stored SpMV distributed
+//! over several simulated devices by block-row ownership.
+//!
+//! Each upper sub-matrix is processed by the device owning its *row*
+//! (computing both its upper product and its transposed lower product, as
+//! in the single-device kernel), so no entry is duplicated; the partial
+//! result vectors are then summed by a ring all-reduce whose PCIe traffic
+//! is modeled explicitly. The classic multi-GPU shape follows: near-linear
+//! kernel scaling at large sizes, transfer-dominated slowdown at small
+//! ones.
+
+use crate::hsbcsr::Hsbcsr;
+use crate::spmv::hsbcsr::{spmv_hsbcsr, Stage1Smem};
+use crate::sym::SymBlockMatrix;
+use crate::Block6;
+use dda_simt::{Device, DeviceProfile, KernelStats};
+
+/// Effective PCIe 3.0 x16 bandwidth per direction (GB/s) for the transfer
+/// model — the interconnect of the paper's era.
+pub const PCIE_GBS: f64 = 12.0;
+
+/// A symmetric block matrix partitioned across several simulated devices.
+pub struct MultiGpuSpmv {
+    devices: Vec<Device>,
+    parts: Vec<Hsbcsr>,
+    dim: usize,
+}
+
+/// Timing breakdown of one distributed SpMV.
+#[derive(Debug, Clone)]
+pub struct MultiSpmvReport {
+    /// Modeled kernel seconds per device (the slowest binds).
+    pub per_device: Vec<f64>,
+    /// Modeled all-reduce transfer seconds.
+    pub transfer_s: f64,
+    /// Modeled end-to-end seconds: `max(per_device) + transfer`.
+    pub total_s: f64,
+}
+
+impl MultiGpuSpmv {
+    /// Partitions `m` across `n_devices` simulated devices with the given
+    /// profile, by contiguous block-row ranges of equal entry counts.
+    ///
+    /// # Panics
+    /// Panics when `n_devices == 0`.
+    pub fn new(profile: DeviceProfile, n_devices: usize, m: &SymBlockMatrix) -> MultiGpuSpmv {
+        assert!(n_devices > 0, "need at least one device");
+        let n = m.n_blocks();
+
+        // Balance by sub-matrix count: walk rows, cutting when the running
+        // entry count passes the per-device share.
+        let total_entries = n + m.n_upper();
+        let share = total_entries.div_ceil(n_devices);
+        let mut row_entries = vec![1usize; n]; // diag
+        for &(r, _, _) in &m.upper {
+            row_entries[r as usize] += 1;
+        }
+        let mut cuts = Vec::with_capacity(n_devices + 1);
+        cuts.push(0usize);
+        let mut acc = 0usize;
+        for (row, &e) in row_entries.iter().enumerate() {
+            acc += e;
+            if acc >= share && cuts.len() < n_devices {
+                cuts.push(row + 1);
+                acc = 0;
+            }
+        }
+        while cuts.len() < n_devices {
+            cuts.push(n);
+        }
+        cuts.push(n);
+
+        let owner = |row: u32| -> usize {
+            match cuts[1..].iter().position(|&c| (row as usize) < c) {
+                Some(d) => d,
+                None => n_devices - 1,
+            }
+        };
+
+        // Per-device half matrices: owned diagonal blocks plus upper
+        // entries owned by row. Unowned diagonals stay zero (they simply
+        // pad the slice arrays).
+        let mut parts_m: Vec<SymBlockMatrix> = (0..n_devices)
+            .map(|_| SymBlockMatrix::new(vec![Block6::ZERO; n], Vec::new()))
+            .collect();
+        for (i, d) in m.diag.iter().enumerate() {
+            parts_m[owner(i as u32)].diag[i] = *d;
+        }
+        for &(r, c, ref b) in &m.upper {
+            parts_m[owner(r)].upper.push((r, c, *b));
+        }
+
+        MultiGpuSpmv {
+            devices: (0..n_devices).map(|_| Device::new(profile.clone())).collect(),
+            parts: parts_m.iter().map(Hsbcsr::from_sym).collect(),
+            dim: m.dim(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Distributed `y = A x`: each device multiplies its partition, then a
+    /// ring all-reduce sums the partial vectors.
+    pub fn mul(&self, x: &[f64]) -> (Vec<f64>, MultiSpmvReport) {
+        assert_eq!(x.len(), self.dim);
+        let p = self.devices.len();
+        let mut y = vec![0.0f64; self.dim];
+        let mut per_device = Vec::with_capacity(p);
+        for (dev, part) in self.devices.iter().zip(&self.parts) {
+            let t0 = dev.modeled_seconds();
+            let yd = spmv_hsbcsr(dev, part, x, Stage1Smem::Proposed);
+            per_device.push(dev.modeled_seconds() - t0);
+            for (acc, v) in y.iter_mut().zip(&yd) {
+                *acc += v;
+            }
+        }
+
+        // Ring all-reduce of the partial vectors: each device sends and
+        // receives 2·(p−1)/p of the vector.
+        let transfer_s = if p > 1 {
+            let bytes = (self.dim * 8) as f64 * 2.0 * (p as f64 - 1.0) / p as f64;
+            let t = bytes / (PCIE_GBS * 1e9);
+            for dev in &self.devices {
+                dev.record_external(
+                    "multi.allreduce",
+                    KernelStats {
+                        launches: 1,
+                        gmem_bytes: bytes as u64,
+                        ..Default::default()
+                    },
+                );
+            }
+            t
+        } else {
+            0.0
+        };
+
+        let kernel_max = per_device.iter().copied().fold(0.0, f64::max);
+        let report = MultiSpmvReport {
+            per_device,
+            transfer_s,
+            total_s: kernel_max + transfer_s,
+        };
+        (y, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize) -> SymBlockMatrix {
+        SymBlockMatrix::random_spd(n, 4.3, 17)
+    }
+
+    #[test]
+    fn distributed_result_matches_reference() {
+        for p in [1usize, 2, 3, 4] {
+            let m = matrix(60);
+            let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.29).sin()).collect();
+            let multi = MultiGpuSpmv::new(DeviceProfile::tesla_k40(), p, &m);
+            let (y, report) = multi.mul(&x);
+            let y_ref = m.mul_vec(&x);
+            for i in 0..m.dim() {
+                assert!(
+                    (y[i] - y_ref[i]).abs() < 1e-8 * y_ref[i].abs().max(1.0),
+                    "p={p} i={i}"
+                );
+            }
+            assert_eq!(report.per_device.len(), p);
+            if p == 1 {
+                assert_eq!(report.transfer_s, 0.0);
+            } else {
+                assert!(report.transfer_s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_time_scales_down_with_devices() {
+        // Stage 2 walks all block rows on every device (the lower products
+        // scatter globally), so scaling is sub-linear; stage 1 — the bulk
+        // at scale — divides cleanly. Use a matrix big enough for stage 1
+        // to dominate.
+        let m = matrix(6000);
+        let x = vec![1.0; m.dim()];
+        let one = MultiGpuSpmv::new(DeviceProfile::tesla_k40(), 1, &m);
+        let (_, r1) = one.mul(&x);
+        let four = MultiGpuSpmv::new(DeviceProfile::tesla_k40(), 4, &m);
+        let (_, r4) = four.mul(&x);
+        let k1 = r1.per_device[0];
+        let k4 = r4.per_device.iter().copied().fold(0.0, f64::max);
+        assert!(
+            k4 < 0.75 * k1,
+            "4-device kernel time {k4} should be well under single {k1}"
+        );
+    }
+
+    #[test]
+    fn transfer_dominates_small_matrices() {
+        // The classic multi-GPU caveat: at small sizes the all-reduce buys
+        // nothing.
+        let m = matrix(40);
+        let x = vec![1.0; m.dim()];
+        let one = MultiGpuSpmv::new(DeviceProfile::tesla_k40(), 1, &m);
+        let (_, r1) = one.mul(&x);
+        let four = MultiGpuSpmv::new(DeviceProfile::tesla_k40(), 4, &m);
+        let (_, r4) = four.mul(&x);
+        assert!(
+            r4.total_s > r1.total_s * 0.8,
+            "small-matrix multi-GPU should not win big: {} vs {}",
+            r4.total_s,
+            r1.total_s
+        );
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let m = matrix(400);
+        let multi = MultiGpuSpmv::new(DeviceProfile::tesla_k40(), 4, &m);
+        let counts: Vec<usize> = multi.parts.iter().map(|p| p.n_nd).collect();
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(
+            min > 0.5 * max,
+            "partitions badly unbalanced: {counts:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        let m = matrix(10);
+        let _ = MultiGpuSpmv::new(DeviceProfile::tesla_k40(), 0, &m);
+    }
+}

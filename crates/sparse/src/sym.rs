@@ -1,0 +1,296 @@
+//! The canonical half-stored symmetric block matrix.
+//!
+//! "As A is symmetric, only the upper entry of A is computed and stored"
+//! (§III-C). [`SymBlockMatrix`] is exactly that representation: one dense
+//! 6×6 sub-matrix per diagonal block plus the strictly-upper nonzero
+//! sub-matrices sorted by `(row, col)`. It is what stiffness assembly
+//! produces, what the preconditioners factor, and what every storage format
+//! in this crate converts from.
+
+use crate::block6::{vec6_add_assign, Block6, Vec6, BLOCK_DOF};
+use serde::{Deserialize, Serialize};
+
+/// A symmetric block matrix stored as diagonal + strict upper triangle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymBlockMatrix {
+    /// Diagonal sub-matrices, one per block row (all nonzero in DDA).
+    pub diag: Vec<Block6>,
+    /// Strictly-upper nonzero sub-matrices, sorted by `(row, col)`,
+    /// without duplicates. Invariant: `row < col < diag.len()`.
+    pub upper: Vec<(u32, u32, Block6)>,
+}
+
+impl SymBlockMatrix {
+    /// Creates a matrix from parts, validating and normalising the upper
+    /// entries (sorts by `(row, col)` and sums duplicates).
+    ///
+    /// # Panics
+    /// Panics when an upper entry is not strictly upper (`row >= col`) or
+    /// indexes past `diag.len()`.
+    pub fn new(diag: Vec<Block6>, mut upper: Vec<(u32, u32, Block6)>) -> Self {
+        let n = diag.len() as u32;
+        for &(r, c, _) in &upper {
+            assert!(r < c, "upper entry ({r},{c}) is not strictly upper");
+            assert!(c < n, "upper entry ({r},{c}) out of range (n = {n})");
+        }
+        upper.sort_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates.
+        let mut merged: Vec<(u32, u32, Block6)> = Vec::with_capacity(upper.len());
+        for (r, c, b) in upper {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += b,
+                _ => merged.push((r, c, b)),
+            }
+        }
+        SymBlockMatrix {
+            diag,
+            upper: merged,
+        }
+    }
+
+    /// Number of block rows.
+    pub fn n_blocks(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Scalar dimension (`6 × n_blocks`).
+    pub fn dim(&self) -> usize {
+        self.diag.len() * BLOCK_DOF
+    }
+
+    /// Number of strictly-upper nonzero sub-matrices.
+    pub fn n_upper(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// Reference symmetric SpMV: `y = A x`, looping diagonal, upper, and
+    /// mirrored lower contributions. The ground truth every SpMV kernel in
+    /// [`crate::spmv`] is tested against.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        let n = self.n_blocks();
+        let mut y = vec![0.0; self.dim()];
+        for i in 0..n {
+            let xi: &Vec6 = x[i * 6..i * 6 + 6].try_into().unwrap();
+            let yi = self.diag[i].mul_vec(xi);
+            vec6_add_assign((&mut y[i * 6..i * 6 + 6]).try_into().unwrap(), &yi);
+        }
+        for &(r, c, ref b) in &self.upper {
+            let (r, c) = (r as usize, c as usize);
+            let xc: &Vec6 = x[c * 6..c * 6 + 6].try_into().unwrap();
+            let up = b.mul_vec(xc);
+            vec6_add_assign((&mut y[r * 6..r * 6 + 6]).try_into().unwrap(), &up);
+            let xr: &Vec6 = x[r * 6..r * 6 + 6].try_into().unwrap();
+            let low = b.tr_mul_vec(xr);
+            vec6_add_assign((&mut y[c * 6..c * 6 + 6]).try_into().unwrap(), &low);
+        }
+        y
+    }
+
+    /// Expands to a dense row-major matrix (tests and tiny systems only).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let d = self.dim();
+        let mut m = vec![vec![0.0; d]; d];
+        for (i, b) in self.diag.iter().enumerate() {
+            for r in 0..6 {
+                for c in 0..6 {
+                    m[i * 6 + r][i * 6 + c] = b.0[r][c];
+                }
+            }
+        }
+        for &(br, bc, ref b) in &self.upper {
+            let (br, bc) = (br as usize, bc as usize);
+            for r in 0..6 {
+                for c in 0..6 {
+                    m[br * 6 + r][bc * 6 + c] = b.0[r][c];
+                    m[bc * 6 + c][br * 6 + r] = b.0[r][c];
+                }
+            }
+        }
+        m
+    }
+
+    /// True when every diagonal sub-matrix is symmetric within `tol`
+    /// (required for the whole matrix to be symmetric, since off-diagonal
+    /// symmetry is structural).
+    pub fn diag_symmetric(&self, tol: f64) -> bool {
+        self.diag.iter().all(|b| b.is_symmetric(tol))
+    }
+
+    /// A reproducible random symmetric positive-definite test matrix with
+    /// `n` block rows and roughly `avg_neighbors` upper entries per row.
+    ///
+    /// Used by tests and benches that need DDA-shaped matrices without
+    /// running the pipeline: entries are random but the diagonal is boosted
+    /// to dominance, which is how the inertia term conditions the real
+    /// stiffness matrix.
+    pub fn random_spd(n: usize, avg_neighbors: f64, seed: u64) -> SymBlockMatrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        let mut rand_f = {
+            let mut n2 = next;
+            move || (n2() >> 11) as f64 / (1u64 << 53) as f64
+        };
+
+        let mut upper: Vec<(u32, u32, Block6)> = Vec::new();
+        let p_edge = if n > 1 {
+            (avg_neighbors / (n - 1) as f64).min(1.0)
+        } else {
+            0.0
+        };
+        // Band-limited neighbours keep the structure slope-like (contacts
+        // are spatially local).
+        let band = ((avg_neighbors * 4.0).ceil() as usize).max(2);
+        for r in 0..n {
+            for c in (r + 1)..n.min(r + 1 + band) {
+                if rand_f() < p_edge * (n - 1) as f64 / band as f64 {
+                    let mut b = Block6::ZERO;
+                    for i in 0..6 {
+                        for j in 0..6 {
+                            b.0[i][j] = rand_f() * 2.0 - 1.0;
+                        }
+                    }
+                    upper.push((r as u32, c as u32, b));
+                }
+            }
+        }
+
+        // Diagonal: symmetric, boosted to strict dominance.
+        let mut diag = vec![Block6::ZERO; n];
+        let mut row_mass = vec![0.0f64; n];
+        for &(r, c, ref b) in &upper {
+            let m = b.max_abs() * 6.0;
+            row_mass[r as usize] += m;
+            row_mass[c as usize] += m;
+        }
+        for (i, d) in diag.iter_mut().enumerate() {
+            for r in 0..6 {
+                for c in r..6 {
+                    let v = rand_f() * 0.5 - 0.25;
+                    d.0[r][c] = v;
+                    d.0[c][r] = v;
+                }
+            }
+            d.add_diag(row_mass[i] + 6.0 + rand_f());
+        }
+        SymBlockMatrix::new(diag, upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SymBlockMatrix {
+        // 3 blocks, upper entries (0,1) and (1,2).
+        let diag = vec![
+            Block6::identity().scale(10.0),
+            Block6::identity().scale(20.0),
+            Block6::identity().scale(30.0),
+        ];
+        let mut b01 = Block6::ZERO;
+        b01.0[0][1] = 2.0;
+        let mut b12 = Block6::identity();
+        b12.0[5][0] = -1.0;
+        SymBlockMatrix::new(diag, vec![(1, 2, b12), (0, 1, b01)])
+    }
+
+    #[test]
+    fn construction_sorts_and_validates() {
+        let m = small();
+        assert_eq!(m.n_blocks(), 3);
+        assert_eq!(m.dim(), 18);
+        assert_eq!(m.n_upper(), 2);
+        assert_eq!((m.upper[0].0, m.upper[0].1), (0, 1));
+        assert_eq!((m.upper[1].0, m.upper[1].1), (1, 2));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let diag = vec![Block6::identity(); 2];
+        let m = SymBlockMatrix::new(
+            diag,
+            vec![
+                (0, 1, Block6::identity()),
+                (0, 1, Block6::identity().scale(2.0)),
+            ],
+        );
+        assert_eq!(m.n_upper(), 1);
+        assert_eq!(m.upper[0].2, Block6::identity().scale(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly upper")]
+    fn rejects_lower_entry() {
+        SymBlockMatrix::new(vec![Block6::identity(); 2], vec![(1, 1, Block6::identity())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        SymBlockMatrix::new(vec![Block6::identity(); 2], vec![(0, 5, Block6::identity())]);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = small();
+        let x: Vec<f64> = (0..18).map(|i| (i as f64) * 0.3 - 2.0).collect();
+        let y = m.mul_vec(&x);
+        let dense = m.to_dense();
+        for r in 0..18 {
+            let expect: f64 = (0..18).map(|c| dense[r][c] * x[c]).sum();
+            assert!((y[r] - expect).abs() < 1e-12, "row {r}");
+        }
+    }
+
+    #[test]
+    fn dense_is_symmetric() {
+        let m = small();
+        let d = m.to_dense();
+        for r in 0..18 {
+            for c in 0..18 {
+                assert_eq!(d[r][c], d[c][r]);
+            }
+        }
+    }
+
+    #[test]
+    fn random_spd_shape_and_symmetry() {
+        let m = SymBlockMatrix::random_spd(50, 4.0, 42);
+        assert_eq!(m.n_blocks(), 50);
+        assert!(m.n_upper() > 20, "expected a meaningful edge count");
+        assert!(m.diag_symmetric(0.0));
+        // Upper entries sorted and strictly upper.
+        for w in m.upper.windows(2) {
+            assert!((w[0].0, w[0].1) < (w[1].0, w[1].1));
+        }
+        // Deterministic for equal seeds, different across seeds.
+        let m2 = SymBlockMatrix::random_spd(50, 4.0, 42);
+        assert_eq!(m, m2);
+        let m3 = SymBlockMatrix::random_spd(50, 4.0, 43);
+        assert_ne!(m, m3);
+    }
+
+    #[test]
+    fn random_spd_is_diagonally_dominant_scalarwise() {
+        let m = SymBlockMatrix::random_spd(30, 3.0, 7);
+        let d = m.to_dense();
+        for r in 0..m.dim() {
+            let off: f64 = (0..m.dim())
+                .filter(|&c| c != r)
+                .map(|c| d[r][c].abs())
+                .sum();
+            assert!(
+                d[r][r] > off,
+                "row {r}: diag {} vs off-diag sum {off}",
+                d[r][r]
+            );
+        }
+    }
+}

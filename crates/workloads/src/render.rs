@@ -1,0 +1,113 @@
+//! SVG snapshots of a block system.
+//!
+//! Figures 11–13 of the paper show the initial/final slope states and the
+//! rockfall motion sequence. The examples in this repository write the
+//! same kind of snapshot with this renderer: fixed blocks in dark grey,
+//! free blocks coloured by material, optional velocity tinting.
+
+use dda_core::BlockSystem;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Output width in pixels (height follows the aspect ratio).
+    pub width_px: f64,
+    /// Colour free blocks by speed instead of material.
+    pub color_by_speed: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width_px: 900.0,
+            color_by_speed: false,
+        }
+    }
+}
+
+const MATERIAL_COLORS: [&str; 6] = [
+    "#8c7a5b", "#a98f63", "#c2a878", "#d8c294", "#e8d9b0", "#b4a284",
+];
+
+/// Renders the system to an SVG string.
+pub fn render_svg(sys: &BlockSystem, opts: &RenderOptions) -> String {
+    let bb = sys.domain();
+    let margin = 0.03 * bb.extent().norm().max(1.0);
+    let min = bb.min - dda_geom::Vec2::new(margin, margin);
+    let ext = bb.extent() + dda_geom::Vec2::new(2.0 * margin, 2.0 * margin);
+    let scale = opts.width_px / ext.x;
+    let height_px = ext.y * scale;
+
+    let max_speed = sys
+        .blocks
+        .iter()
+        .map(|b| (b.velocity[0].powi(2) + b.velocity[1].powi(2)).sqrt())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.2} {:.2}">"#,
+        opts.width_px, height_px, opts.width_px, height_px
+    );
+    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#f7f5f0"/>"##);
+    for b in &sys.blocks {
+        let mut path = String::new();
+        for (k, v) in b.poly.vertices().iter().enumerate() {
+            let x = (v.x - min.x) * scale;
+            let y = height_px - (v.y - min.y) * scale; // SVG y is down
+            let _ = write!(path, "{}{:.2},{:.2} ", if k == 0 { "M" } else { "L" }, x, y);
+        }
+        path.push('Z');
+        let fill = if b.fixed {
+            "#4a4a4a".to_string()
+        } else if opts.color_by_speed {
+            let speed = (b.velocity[0].powi(2) + b.velocity[1].powi(2)).sqrt() / max_speed;
+            let r = (90.0 + 165.0 * speed) as u8;
+            format!("#{r:02x}5a46")
+        } else {
+            MATERIAL_COLORS[b.material as usize % MATERIAL_COLORS.len()].to_string()
+        };
+        let _ = writeln!(
+            svg,
+            r##"<path d="{path}" fill="{fill}" stroke="#2b2b2b" stroke-width="0.6"/>"##
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slope::{slope_case, SlopeConfig};
+
+    #[test]
+    fn renders_valid_svg() {
+        let (sys, _) = slope_case(&SlopeConfig::default().with_target_blocks(60));
+        let svg = render_svg(&sys, &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<path").count(), sys.len());
+        // Fixed blocks present and coloured dark.
+        assert!(svg.contains("#4a4a4a"));
+    }
+
+    #[test]
+    fn speed_coloring_mode() {
+        let (mut sys, _) = slope_case(&SlopeConfig::default().with_target_blocks(40));
+        for b in sys.blocks.iter_mut() {
+            b.velocity[0] = 1.0;
+        }
+        let svg = render_svg(
+            &sys,
+            &RenderOptions {
+                color_by_speed: true,
+                ..Default::default()
+            },
+        );
+        assert!(svg.contains("5a46"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Case 1: static stability analysis of a jointed slope (§V-A).
+//!
+//! The cross-section is a crest bench, an inclined face, and a toe bench,
+//! decomposed into convex pieces and cut by two joint sets. Blocks touching
+//! the model base are fixed (the far-field rock). Five block materials are
+//! assigned by depth bands and a table of joint materials provides the
+//! interface strength spread the paper mentions (38 types in the original
+//! survey data).
+
+use crate::cutter::{cut_blocks, spacing_for_target, JointSet};
+use dda_core::{Block, BlockMaterial, BlockSystem, DdaParams, JointMaterial};
+use dda_geom::{Polygon, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the slope model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlopeConfig {
+    /// Overall width of the section (m).
+    pub width: f64,
+    /// Crest elevation (m).
+    pub crest_height: f64,
+    /// Toe bench elevation (m).
+    pub toe_height: f64,
+    /// x where the crest bench ends and the face begins.
+    pub crest_x: f64,
+    /// x where the face meets the toe bench.
+    pub toe_x: f64,
+    /// Target number of blocks (joint spacing is derived).
+    pub target_blocks: usize,
+    /// Joint set orientations (degrees).
+    pub joint_angles: [f64; 2],
+    /// Spacing jitter.
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SlopeConfig {
+    fn default() -> Self {
+        SlopeConfig {
+            width: 120.0,
+            crest_height: 60.0,
+            toe_height: 15.0,
+            crest_x: 40.0,
+            toe_x: 90.0,
+            target_blocks: 400,
+            joint_angles: [62.0, -18.0],
+            jitter: 0.25,
+            seed: 20170529,
+        }
+    }
+}
+
+impl SlopeConfig {
+    /// A configuration at the paper's case-1 scale (≈4361 blocks).
+    pub fn paper_scale() -> SlopeConfig {
+        SlopeConfig {
+            target_blocks: 4361,
+            ..SlopeConfig::default()
+        }
+    }
+
+    /// Scales the target block count (the harness's `--blocks` knob).
+    pub fn with_target_blocks(mut self, n: usize) -> SlopeConfig {
+        self.target_blocks = n;
+        self
+    }
+}
+
+/// Builds the case-1 block system and matching analysis parameters.
+pub fn slope_case(cfg: &SlopeConfig) -> (BlockSystem, DdaParams) {
+    // Convex decomposition of the section: crest column, face wedge, toe
+    // column.
+    let regions = vec![
+        Polygon::rect(0.0, 0.0, cfg.crest_x, cfg.crest_height),
+        Polygon::new(vec![
+            Vec2::new(cfg.crest_x, 0.0),
+            Vec2::new(cfg.toe_x, 0.0),
+            Vec2::new(cfg.toe_x, cfg.toe_height),
+            Vec2::new(cfg.crest_x, cfg.crest_height),
+        ]),
+        Polygon::rect(cfg.toe_x, 0.0, cfg.width, cfg.toe_height),
+    ];
+    let area: f64 = regions.iter().map(|r| r.area()).sum();
+    let spacing = spacing_for_target(
+        area,
+        cfg.target_blocks,
+        (cfg.joint_angles[0] - cfg.joint_angles[1]).abs(),
+    );
+    let sets = [
+        JointSet {
+            angle_deg: cfg.joint_angles[0],
+            spacing,
+            jitter: cfg.jitter,
+        },
+        JointSet {
+            angle_deg: cfg.joint_angles[1],
+            spacing: spacing * 1.15,
+            jitter: cfg.jitter,
+        },
+    ];
+    let min_area = spacing * spacing * 0.02;
+    let mut polys = cut_blocks(&regions, &sets, min_area, cfg.seed);
+    // Survey-data block numbering is not spatially banded; shuffle the
+    // fragment order so the stiffness matrix has the paper's
+    // general-sparse structure (this is what gives ILU's level scheduling
+    // its — still insufficient — parallelism in Fig 10).
+    {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x5b0c_17f3);
+        polys.shuffle(&mut rng);
+    }
+
+    // Five block materials by depth band (stiffer at depth), as in the
+    // paper's material table.
+    let materials: Vec<BlockMaterial> = (0..5)
+        .map(|k| {
+            BlockMaterial::rock()
+                .with_young(2e9 + 1.5e9 * k as f64)
+                .with_density(2300.0 + 100.0 * k as f64)
+        })
+        .collect();
+    // Joint material table: friction angles spread 25°–42°.
+    let joints: Vec<JointMaterial> = (0..5)
+        .map(|k| JointMaterial::frictional(25.0 + 4.0 * k as f64))
+        .collect();
+
+    let band = cfg.crest_height / 5.0;
+    let mut blocks: Vec<Block> = polys
+        .into_iter()
+        .map(|p| {
+            let c = p.centroid();
+            let depth_band = ((cfg.crest_height - c.y) / band).clamp(0.0, 4.0) as u32;
+            let fixed = p.aabb().min.y < spacing * 0.25;
+            let b = Block::new(p, depth_band);
+            if fixed {
+                b.fixed()
+            } else {
+                b
+            }
+        })
+        .collect();
+    // Guarantee at least one fixed block (tiny targets could miss the base).
+    if !blocks.iter().any(|b| b.fixed) {
+        if let Some(lowest) = (0..blocks.len())
+            .min_by(|&a, &b| blocks[a].centroid().y.total_cmp(&blocks[b].centroid().y))
+        {
+            blocks[lowest].fixed = true;
+        }
+    }
+
+    let sys = BlockSystem {
+        blocks,
+        block_materials: materials,
+        joint_materials: joints,
+        point_loads: Vec::new(),
+    };
+    let params = DdaParams::for_model(spacing, 8e9).static_analysis();
+    (sys, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_slope_has_expected_scale() {
+        let (sys, params) = slope_case(&SlopeConfig::default());
+        let n = sys.len();
+        assert!(
+            n > 200 && n < 800,
+            "target 400 blocks, got {n}"
+        );
+        assert!(sys.blocks.iter().any(|b| b.fixed), "base must be fixed");
+        assert!(params.dynamics == 0.0, "case 1 is static");
+        // All blocks convex, positive area.
+        for b in &sys.blocks {
+            assert!(b.poly.is_convex());
+            assert!(b.area() > 0.0);
+        }
+    }
+
+    #[test]
+    fn block_count_scales_with_target() {
+        let small = slope_case(&SlopeConfig::default().with_target_blocks(80)).0;
+        let large = slope_case(&SlopeConfig::default().with_target_blocks(600)).0;
+        assert!(large.len() > 3 * small.len());
+    }
+
+    #[test]
+    fn materials_assigned_by_depth() {
+        let (sys, _) = slope_case(&SlopeConfig::default());
+        let used: std::collections::HashSet<u32> = sys.blocks.iter().map(|b| b.material).collect();
+        assert!(used.len() >= 3, "expected several depth bands: {used:?}");
+        assert!(used.iter().all(|&m| (m as usize) < sys.block_materials.len()));
+    }
+
+    #[test]
+    fn no_initial_interpenetration() {
+        let (sys, _) = slope_case(&SlopeConfig::default().with_target_blocks(120));
+        assert!(
+            sys.total_interpenetration() < 1e-6,
+            "cutter fragments must tile without overlap"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = slope_case(&SlopeConfig::default()).0;
+        let b = slope_case(&SlopeConfig::default()).0;
+        assert_eq!(a.len(), b.len());
+    }
+}

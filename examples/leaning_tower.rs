@@ -1,0 +1,86 @@
+//! Leaning-tower stability: the classic block-statics demonstration.
+//!
+//! A column of blocks is stacked with a constant horizontal offset per
+//! course. Rigid-block statics says the tower stands while the centre of
+//! mass of every upper section stays over its supporting course, and
+//! topples otherwise — a sharp, analytically-known threshold that DDA
+//! should reproduce. This example runs both sides of the threshold.
+//!
+//! Run with: `cargo run --release --example leaning_tower -- [courses]`
+
+use dda_repro::core::pipeline::GpuPipeline;
+use dda_repro::core::{Block, BlockMaterial, BlockSystem, DdaParams, JointMaterial};
+use dda_repro::geom::Polygon;
+use dda_repro::simt::{Device, DeviceProfile};
+
+/// Builds a tower of `courses` unit-height blocks with per-course offset.
+fn tower(courses: usize, offset: f64) -> (BlockSystem, DdaParams) {
+    let w = 1.0; // block width
+    let mut blocks = vec![Block::new(Polygon::rect(-5.0, -1.0, 5.0, 0.0), 0).fixed()];
+    for k in 0..courses {
+        let x0 = k as f64 * offset;
+        let y0 = k as f64 * 0.5;
+        blocks.push(Block::new(
+            Polygon::rect(x0, y0, x0 + w, y0 + 0.5),
+            0,
+        ));
+    }
+    let sys = BlockSystem::new(
+        blocks,
+        BlockMaterial::rock(),
+        JointMaterial::frictional(40.0),
+    );
+    let mut params = DdaParams::for_model(1.0, 5e9);
+    params.dt = 1.5e-3;
+    params.dt_max = 1.5e-3;
+    params.dynamics = 0.995; // nearly undamped: the collapse must be free to run
+    (sys, params)
+}
+
+fn run(courses: usize, offset: f64, steps: usize) -> (f64, f64) {
+    let (sys, params) = tower(courses, offset);
+    let y_top0 = sys.blocks[courses].centroid().y;
+    let device = Device::new(DeviceProfile::tesla_k40());
+    let mut pipe = GpuPipeline::new(sys, params, device);
+    for _ in 0..steps {
+        pipe.step();
+    }
+    let top = &pipe.sys.blocks[courses];
+    // The robust discriminator at short horizons: a collapsing stack's top
+    // *sinks* monotonically as the hinge rotation proceeds, while a stable
+    // stack holds its height (it may rock elastically, but does not sink).
+    let sink = y_top0 - top.centroid().y;
+    (sink, top.velocity[2].abs())
+}
+
+fn main() {
+    let courses: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    // For N courses of width w, a uniform offset tower stands while the
+    // top-course overhang stays under ~w·(1/2)·(1/(N−1))·… — in practice a
+    // small offset is safely stable and a near-half-width offset topples.
+    let stable_offset = 0.02;
+    let toppling_offset = 0.4;
+    // Short-horizon run: the open–close iteration shrinks Δt while the
+    // collapse topology churns, so the fall proceeds in slow motion — but
+    // its direction is unambiguous within a few hundred steps.
+    let steps = 400;
+
+    println!("leaning tower, {courses} courses, {steps} steps each\n");
+    let (sink_s, spin_s) = run(courses, stable_offset, steps);
+    println!(
+        "offset {stable_offset:>4} m/course → top sink {sink_s:+.4} m, |ω_top| {spin_s:.4} rad/s  (stands)"
+    );
+    let (sink_t, spin_t) = run(courses, toppling_offset, steps);
+    println!(
+        "offset {toppling_offset:>4} m/course → top sink {sink_t:+.4} m, |ω_top| {spin_t:.4} rad/s  (topples)"
+    );
+
+    assert!(
+        sink_t > 5e-3 && sink_t > 4.0 * sink_s.abs().max(1e-4),
+        "the leaning tower should be collapsing: sink {sink_t} vs stable {sink_s}"
+    );
+    println!("\nthe offset tower is collapsing while the straight tower stands — rigid-block statics reproduced.");
+}

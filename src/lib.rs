@@ -1,0 +1,59 @@
+//! # dda-repro — GPU-architected Discontinuous Deformation Analysis
+//!
+//! Umbrella crate re-exporting the public API of the workspace. This is the
+//! crate downstream users depend on; the examples and integration tests in
+//! this repository exercise exactly this surface.
+//!
+//! Reproduction of: Xiao, Huang, Miao, Xiao, Wang — *Architecting the
+//! Discontinuous Deformation Analysis Method Pipeline on the GPU*
+//! (IPPS 2017). See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Crate map
+//!
+//! * [`geom`] — 2-D geometry: vectors, convex polygons, distances.
+//! * [`simt`] — the SIMT GPU execution simulator (warps, divergence,
+//!   coalescing, bank conflicts, timing model) plus device-wide primitives
+//!   (scan, radix sort, segmented reduce).
+//! * [`sparse`] — 6×6 block-sparse symmetric matrices: CSR, BCSR and the
+//!   paper's HSBCSR format with its two-stage SpMV.
+//! * [`solver`] — CG/PCG with Block-Jacobi, SSOR-AI and ILU(0)
+//!   preconditioners; level-scheduled triangular solves.
+//! * [`core`] — the DDA method itself: blocks, contact detection,
+//!   stiffness assembly, open–close iteration, interpenetration checking,
+//!   and the serial-CPU and simulated-GPU pipelines.
+//! * [`workloads`] — the paper's two evaluation cases (slope stability,
+//!   rockfall) and synthetic generators.
+//!
+//! ## Example
+//!
+//! ```
+//! use dda_repro::core::pipeline::GpuPipeline;
+//! use dda_repro::core::{Block, BlockMaterial, BlockSystem, DdaParams, JointMaterial};
+//! use dda_repro::geom::Polygon;
+//! use dda_repro::simt::{Device, DeviceProfile};
+//!
+//! // A block resting on a fixed floor, run for one step on a simulated
+//! // Tesla K40.
+//! let sys = BlockSystem::new(
+//!     vec![
+//!         Block::new(Polygon::rect(-5.0, -1.0, 5.0, 0.0), 0).fixed(),
+//!         Block::new(Polygon::rect(-0.5, 0.0, 0.5, 1.0), 0),
+//!     ],
+//!     BlockMaterial::rock(),
+//!     JointMaterial::frictional(35.0),
+//! );
+//! let params = DdaParams::for_model(1.0, 5e9).static_analysis();
+//! let mut pipe = GpuPipeline::new(sys, params, Device::new(DeviceProfile::tesla_k40()));
+//! let report = pipe.step();
+//! assert!(report.oc_converged);
+//! assert!(report.n_contacts >= 2);
+//! assert!(pipe.times.total() > 0.0);
+//! ```
+
+pub use dda_core as core;
+pub use dda_geom as geom;
+pub use dda_simt as simt;
+pub use dda_solver as solver;
+pub use dda_sparse as sparse;
+pub use dda_workloads as workloads;

@@ -1,0 +1,224 @@
+//! Property-based tests over the core data structures and kernels.
+//!
+//! Strategies generate random-but-valid inputs; each property is an
+//! invariant the paper's pipeline relies on: format round-trips, kernel
+//! equivalence to serial references, primitive equivalence to std, and
+//! geometric conservation laws.
+
+use dda_repro::geom::{Polygon, Vec2};
+use dda_repro::simt::primitives::{
+    compact_indices, lower_bound_u64, scan_exclusive_u32, segment_starts, segmented_sum_f64,
+    sort::sort_pairs_u64,
+};
+use dda_repro::simt::{Device, DeviceProfile};
+use dda_repro::solver::precond::{BlockJacobi, SsorAi};
+use dda_repro::solver::traits::HsbcsrMat;
+use dda_repro::solver::{pcg, PcgOptions};
+use dda_repro::sparse::spmv::{spmv_bcsr, spmv_csr_scalar, spmv_csr_vector, spmv_hsbcsr, Stage1Smem};
+use dda_repro::sparse::ell::spmv_ell;
+use dda_repro::sparse::{BlockCsr, Csr, Ell, Hsbcsr, SymBlockMatrix};
+use proptest::prelude::*;
+
+fn dev() -> Device {
+    Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // ---- SIMT primitives vs std -------------------------------------------
+
+    #[test]
+    fn scan_matches_prefix_sum(input in proptest::collection::vec(0u32..100, 0..2000)) {
+        let d = dev();
+        let (scan, total) = scan_exclusive_u32(&d, &input);
+        let mut acc = 0u32;
+        for (i, &v) in input.iter().enumerate() {
+            prop_assert_eq!(scan[i], acc);
+            acc += v;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn radix_sort_matches_std_sort(keys in proptest::collection::vec(0u64..1_000_000, 0..1500)) {
+        let d = dev();
+        let idx: Vec<u32> = (0..keys.len() as u32).collect();
+        let (sorted, perm) = sort_pairs_u64(&d, &keys, &idx);
+        let mut expect: Vec<u64> = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(&sorted, &expect);
+        // The permutation actually maps inputs to outputs.
+        for (pos, &src) in perm.iter().enumerate() {
+            prop_assert_eq!(keys[src as usize], sorted[pos]);
+        }
+    }
+
+    #[test]
+    fn compact_matches_filter(flags in proptest::collection::vec(0u32..2, 0..1500)) {
+        let d = dev();
+        let got = compact_indices(&d, &flags);
+        let expect: Vec<u32> = flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f != 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn lower_bound_matches_partition_point(
+        mut haystack in proptest::collection::vec(0u64..10_000, 0..800),
+        queries in proptest::collection::vec(0u64..10_000, 0..200),
+    ) {
+        haystack.sort_unstable();
+        let d = dev();
+        let got = lower_bound_u64(&d, &haystack, &queries);
+        for (g, &q) in got.iter().zip(&queries) {
+            prop_assert_eq!(*g as usize, haystack.partition_point(|&k| k < q));
+        }
+    }
+
+    #[test]
+    fn segmented_sum_matches_grouped_sum(
+        runs in proptest::collection::vec((0u64..50, 1usize..8), 1..100)
+    ) {
+        // Build sorted keys with controlled run lengths.
+        let mut keys: Vec<u64> = Vec::new();
+        let mut key = 0u64;
+        for &(gap, len) in &runs {
+            key += gap + 1;
+            keys.extend(std::iter::repeat_n(key, len));
+        }
+        let vals: Vec<f64> = (0..keys.len()).map(|i| (i % 7) as f64 - 3.0).collect();
+        let d = dev();
+        let (_, starts) = segment_starts(&d, &keys);
+        let sums = segmented_sum_f64(&d, &vals, &starts);
+        // Reference with a BTreeMap.
+        let mut expect: std::collections::BTreeMap<u64, f64> = Default::default();
+        for (&k, &v) in keys.iter().zip(&vals) {
+            *expect.entry(k).or_insert(0.0) += v;
+        }
+        let expect: Vec<f64> = expect.into_values().collect();
+        prop_assert_eq!(sums.len(), expect.len());
+        for (a, b) in sums.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    // ---- Sparse formats ----------------------------------------------------
+
+    #[test]
+    fn all_spmv_kernels_agree(n in 2usize..40, neighbors in 0.5f64..6.0, seed in 0u64..500) {
+        let m = SymBlockMatrix::random_spd(n, neighbors, seed);
+        let x: Vec<f64> = (0..m.dim()).map(|i| ((i * 31 + seed as usize) % 23) as f64 * 0.1 - 1.0).collect();
+        let reference = m.mul_vec(&x);
+
+        let h = Hsbcsr::from_sym(&m);
+        let csr = Csr::from_sym_full(&m);
+        let bcsr = BlockCsr::from_sym_full(&m);
+
+        let ell = Ell::from_csr(&csr);
+        let d = dev();
+        let y1 = spmv_hsbcsr(&d, &h, &x, Stage1Smem::Proposed);
+        let y2 = spmv_csr_scalar(&d, &csr, &x);
+        let y3 = spmv_csr_vector(&d, &csr, &x);
+        let y4 = spmv_bcsr(&d, &bcsr, &x);
+        let y5 = h.mul_vec_serial(&x);
+        let y6 = spmv_ell(&d, &ell, &x);
+        for i in 0..m.dim() {
+            let scale = reference[i].abs().max(1.0);
+            prop_assert!((y1[i] - reference[i]).abs() < 1e-8 * scale);
+            prop_assert!((y2[i] - reference[i]).abs() < 1e-8 * scale);
+            prop_assert!((y3[i] - reference[i]).abs() < 1e-8 * scale);
+            prop_assert!((y4[i] - reference[i]).abs() < 1e-8 * scale);
+            prop_assert!((y5[i] - reference[i]).abs() < 1e-8 * scale);
+            prop_assert!((y6[i] - reference[i]).abs() < 1e-8 * scale);
+        }
+    }
+
+    #[test]
+    fn hsbcsr_roundtrip_preserves_blocks(n in 1usize..30, seed in 0u64..500) {
+        let m = SymBlockMatrix::random_spd(n, 3.0, seed);
+        let h = Hsbcsr::from_sym(&m);
+        prop_assert_eq!(h.n_nd, m.n_upper());
+        for (k, &(r, c, ref b)) in m.upper.iter().enumerate() {
+            prop_assert_eq!(h.row_of(k), r);
+            prop_assert_eq!(h.col_of(k), c);
+            prop_assert_eq!(h.nd_block(k), *b);
+        }
+    }
+
+    // ---- Solver -------------------------------------------------------------
+
+    #[test]
+    fn pcg_solves_random_spd_systems(n in 2usize..25, seed in 0u64..300) {
+        let m = SymBlockMatrix::random_spd(n, 3.0, seed);
+        let h = Hsbcsr::from_sym(&m);
+        let b: Vec<f64> = (0..m.dim()).map(|i| ((i * 13 + 5) % 17) as f64 - 8.0).collect();
+        let d = dev();
+        let bj = BlockJacobi::new(&d, &h);
+        let res = pcg(
+            &d,
+            &HsbcsrMat { m: &h },
+            &b,
+            &vec![0.0; m.dim()],
+            &bj,
+            PcgOptions { tol: 1e-10, max_iters: 600 },
+        );
+        prop_assert!(res.converged, "iters {}", res.iterations);
+        let back = m.mul_vec(&res.x);
+        let err: f64 = back.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(err < 1e-6 * bn.max(1.0));
+    }
+
+    #[test]
+    fn ssor_preconditioner_stays_symmetric(n in 2usize..15, omega in 0.3f64..1.7, seed in 0u64..200) {
+        let m = SymBlockMatrix::random_spd(n, 3.0, seed);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let ssor = SsorAi::new(&d, &h, omega);
+        let u: Vec<f64> = (0..m.dim()).map(|i| ((i * 3 + 1) % 11) as f64 - 5.0).collect();
+        let v: Vec<f64> = (0..m.dim()).map(|i| ((i * 7 + 2) % 13) as f64 - 6.0).collect();
+        use dda_repro::solver::Preconditioner;
+        let mu = ssor.apply(&d, &u);
+        let mv = ssor.apply(&d, &v);
+        let a: f64 = mu.iter().zip(&v).map(|(x, y)| x * y).sum();
+        let b: f64 = u.iter().zip(&mv).map(|(x, y)| x * y).sum();
+        prop_assert!((a - b).abs() < 1e-7 * a.abs().max(1.0));
+    }
+
+    // ---- Geometry ------------------------------------------------------------
+
+    #[test]
+    fn polygon_split_conserves_area(
+        cx in -10.0f64..10.0, cy in -10.0f64..10.0,
+        r in 0.5f64..5.0, sides in 3usize..10,
+        px in -3.0f64..3.0, py in -3.0f64..3.0, angle in 0.0f64..6.2,
+    ) {
+        let p = Polygon::regular(Vec2::new(cx, cy), r, sides);
+        let dir = Vec2::new(angle.cos(), angle.sin());
+        let (l, rr) = p.split_by_line(Vec2::new(cx + px, cy + py), dir);
+        let sum = l.as_ref().map_or(0.0, |q| q.area()) + rr.as_ref().map_or(0.0, |q| q.area());
+        prop_assert!((sum - p.area()).abs() < 1e-7 * p.area());
+        for piece in [l, rr].into_iter().flatten() {
+            prop_assert!(piece.is_convex());
+        }
+    }
+
+    #[test]
+    fn second_moments_rotation_trace_invariant(
+        r in 0.5f64..4.0, sides in 3usize..9, angle in 0.0f64..3.1,
+    ) {
+        // sxx + syy (the polar moment) is invariant under rotation.
+        let p = Polygon::regular(Vec2::ZERO, r, sides);
+        let rotated = Polygon::new(
+            p.vertices().iter().map(|v| v.rotated(angle)).collect(),
+        );
+        let a = p.second_moments();
+        let b = rotated.second_moments();
+        prop_assert!(((a.sxx + a.syy) - (b.sxx + b.syy)).abs() < 1e-7 * (a.sxx + a.syy));
+    }
+}
