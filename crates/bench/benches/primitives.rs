@@ -33,7 +33,9 @@ fn bench_sort(c: &mut Criterion) {
     let mut g = c.benchmark_group("radix_sort_pairs_u64");
     g.sample_size(15);
     for n in [1_000usize, 10_000, 50_000] {
-        let keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 24).collect();
+        let keys: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 24)
+            .collect();
         let vals: Vec<u32> = (0..n as u32).collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let d = dev();
@@ -78,5 +80,11 @@ fn bench_search_and_compact(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scan, bench_sort, bench_segments, bench_search_and_compact);
+criterion_group!(
+    benches,
+    bench_scan,
+    bench_sort,
+    bench_segments,
+    bench_search_and_compact
+);
 criterion_main!(benches);

@@ -114,7 +114,8 @@ pub fn assemble_contacts_serial(
         counter.bytes(36 * 3 * 8);
     }
 
-    let upper_vec: Vec<(u32, u32, Block6)> = upper.into_iter().map(|((r, c), b)| (r, c, b)).collect();
+    let upper_vec: Vec<(u32, u32, Block6)> =
+        upper.into_iter().map(|((r, c), b)| (r, c, b)).collect();
     AssembledSystem {
         matrix: SymBlockMatrix::new(diag, upper_vec),
         rhs,
@@ -195,13 +196,28 @@ pub fn assemble_contacts_gpu(
             let p2 = Vec2::new(lane.ld_tex(&b_vx, j0 + e), lane.ld_tex(&b_vy, j0 + e));
             let e1 = (e + 1) % nj;
             let p3 = Vec2::new(lane.ld_tex(&b_vx, j0 + e1), lane.ld_tex(&b_vy, j0 + e1));
-            let ci = Vec2::new(lane.ld_tex(&b_cx, c.i as usize), lane.ld_tex(&b_cy, c.i as usize));
-            let cj = Vec2::new(lane.ld_tex(&b_cx, c.j as usize), lane.ld_tex(&b_cy, c.j as usize));
+            let ci = Vec2::new(
+                lane.ld_tex(&b_cx, c.i as usize),
+                lane.ld_tex(&b_cy, c.i as usize),
+            );
+            let cj = Vec2::new(
+                lane.ld_tex(&b_cx, c.j as usize),
+                lane.ld_tex(&b_cy, c.j as usize),
+            );
             let tan_phi = lane.ld(&b_jp, 2 * t_idx);
             let cohesion = lane.ld(&b_jp, 2 * t_idx + 1);
             lane.flop(600);
             let Some(t) = contact_spring_terms(
-                &c, ci, cj, p1, p2, p3, penalty, shear_ratio, tan_phi, cohesion,
+                &c,
+                ci,
+                cj,
+                p1,
+                p2,
+                p3,
+                penalty,
+                shear_ratio,
+                tan_phi,
+                cohesion,
             ) else {
                 return;
             };
@@ -382,8 +398,12 @@ mod tests {
         );
         let params = DdaParams::for_model(1.0, 5e9);
         let mut cnt = CpuCounter::new();
-        let mut contacts =
-            narrow_phase_serial(&sys, &[(0, 1), (0, 2), (1, 2)], params.contact_range, &mut cnt);
+        let mut contacts = narrow_phase_serial(
+            &sys,
+            &[(0, 1), (0, 2), (1, 2)],
+            params.contact_range,
+            &mut cnt,
+        );
         crate::contact::init::init_contacts_serial(
             &sys,
             &mut contacts,

@@ -118,7 +118,10 @@ impl Block {
                 // Exact rigid rotation.
                 let rot = Vec2::new(co * rel.x - s * rel.y, s * rel.x + co * rel.y);
                 // First-order strain displacement.
-                let strain = Vec2::new(ex * rel.x + 0.5 * gxy * rel.y, ey * rel.y + 0.5 * gxy * rel.x);
+                let strain = Vec2::new(
+                    ex * rel.x + 0.5 * gxy * rel.y,
+                    ey * rel.y + 0.5 * gxy * rel.x,
+                );
                 c + rot + strain + Vec2::new(u0, v0)
             })
             .collect();
@@ -232,7 +235,11 @@ mod tests {
         for _ in 0..100 {
             b.apply_displacement(&[0.0, 0.0, 0.1, 0.0, 0.0, 0.0]);
         }
-        assert!((b.area() - 4.0).abs() < 1e-9, "area drifted to {}", b.area());
+        assert!(
+            (b.area() - 4.0).abs() < 1e-9,
+            "area drifted to {}",
+            b.area()
+        );
         assert!(b.centroid().dist(Vec2::new(1.0, 1.0)) < 1e-9);
     }
 

@@ -24,7 +24,11 @@ const TILE: usize = 16;
 
 /// Serial reference: upper-triangular AABB sweep. Returns candidate pairs
 /// `(i, j)` with `i < j`, sorted.
-pub fn broad_phase_serial(sys: &BlockSystem, range: f64, counter: &mut CpuCounter) -> Vec<(u32, u32)> {
+pub fn broad_phase_serial(
+    sys: &BlockSystem,
+    range: f64,
+    counter: &mut CpuCounter,
+) -> Vec<(u32, u32)> {
     let n = sys.len();
     let boxes: Vec<_> = sys.blocks.iter().map(|b| b.aabb().inflate(range)).collect();
     let mut out = Vec::new();
@@ -94,7 +98,10 @@ pub fn broad_phase_gpu(dev: &Device, soa: &GeomSoa, range: f64) -> Vec<(u32, u32
             // that only costs a few duplicate loads.
             let distinct = rows + ccount - 1;
             let col_js: Vec<usize> = (0..distinct).map(|d| (r0 + c0 + 1 + d) % n).collect();
-            let col_idx: Vec<usize> = col_js.iter().flat_map(|&j| (0..4).map(move |k| 4 * j + k)).collect();
+            let col_idx: Vec<usize> = col_js
+                .iter()
+                .flat_map(|&j| (0..4).map(move |k| 4 * j + k))
+                .collect();
             let col_boxes = blk.gld_gather(&b_boxes, &col_idx);
             let words: Vec<u32> = (0..(4 * distinct) as u32).collect();
             blk.smem_access(&words);
@@ -115,7 +122,8 @@ pub fn broad_phase_gpu(dev: &Device, soa: &GeomSoa, range: f64) -> Vec<(u32, u32
                     let d = r + c; // index into the distinct-j cache
                     let rb = &row_boxes[4 * r..4 * r + 4];
                     let cb = &col_boxes[4 * d..4 * d + 4];
-                    let overlap = rb[0] <= cb[2] && cb[0] <= rb[2] && rb[1] <= cb[3] && cb[1] <= rb[3];
+                    let overlap =
+                        rb[0] <= cb[2] && cb[0] <= rb[2] && rb[1] <= cb[3] && cb[1] <= rb[3];
                     mask.push(overlap);
                     if overlap {
                         stores.push((gr * cols + gc, 1u32));
@@ -180,7 +188,11 @@ mod tests {
                 blocks.push(Block::new(Polygon::rect(x0, y0, x0 + 1.0, y0 + 1.0), 0));
             }
         }
-        BlockSystem::new(blocks, BlockMaterial::rock(), JointMaterial::frictional(30.0))
+        BlockSystem::new(
+            blocks,
+            BlockMaterial::rock(),
+            JointMaterial::frictional(30.0),
+        )
     }
 
     fn dev() -> Device {
@@ -212,7 +224,12 @@ mod tests {
 
     #[test]
     fn gpu_matches_serial() {
-        for (nx, ny, range) in [(3usize, 3usize, 0.3f64), (4, 4, 0.3), (5, 3, 0.6), (2, 1, 0.3)] {
+        for (nx, ny, range) in [
+            (3usize, 3usize, 0.3f64),
+            (4, 4, 0.3),
+            (5, 3, 0.6),
+            (2, 1, 0.3),
+        ] {
             let sys = grid_system(nx, ny, 0.5);
             let mut c = CpuCounter::new();
             let serial = broad_phase_serial(&sys, range, &mut c);

@@ -53,7 +53,12 @@ fn kind_extra_flops(kind: ContactKind) -> (u32, u32) {
 }
 
 /// Serial reference initialization.
-pub fn init_contacts_serial(sys: &BlockSystem, contacts: &mut [Contact], touch: f64, counter: &mut CpuCounter) {
+pub fn init_contacts_serial(
+    sys: &BlockSystem,
+    contacts: &mut [Contact],
+    touch: f64,
+    counter: &mut CpuCounter,
+) {
     for c in contacts.iter_mut() {
         let p1 = sys.blocks[c.i as usize].poly.vertex(c.vertex as usize);
         let seg = sys.blocks[c.j as usize].poly.edge(c.edge as usize);

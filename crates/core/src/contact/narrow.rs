@@ -93,7 +93,8 @@ pub fn pair_contacts(i: u32, j: u32, vi: &[Vec2], vj: &[Vec2], d0: f64) -> Vec<C
             // --- VV1: vertex presses the parallel facing edge ---
             let pseg = Segment::new(vj[pe], vj[(pe + 1) % nj]);
             if ve_admissible(&wedge_i, pseg.outward_normal(), ANGLE_TOL) {
-                let mut c = Contact::new(i, j, v_idx as u32, pe as u32, v2 as u32, ContactKind::Vv1);
+                let mut c =
+                    Contact::new(i, j, v_idx as u32, pe as u32, v2 as u32, ContactKind::Vv1);
                 c.edge_ratio = pseg.closest_param(p);
                 out.push(c);
             }
@@ -196,7 +197,12 @@ pub fn narrow_phase_serial(
 ///
 /// Emission uses the count → scan → emit pattern so survivors land "in a
 /// successive array" without write conflicts.
-pub fn narrow_phase_gpu(dev: &Device, soa: &GeomSoa, pairs: &[(u32, u32)], d0: f64) -> Vec<Contact> {
+pub fn narrow_phase_gpu(
+    dev: &Device,
+    soa: &GeomSoa,
+    pairs: &[(u32, u32)],
+    d0: f64,
+) -> Vec<Contact> {
     if pairs.is_empty() {
         return Vec::new();
     }
@@ -259,7 +265,8 @@ pub fn narrow_phase_gpu(dev: &Device, soa: &GeomSoa, pairs: &[(u32, u32)], d0: f
     let (offsets, total) = dda_simt::primitives::scan_exclusive_u32(dev, &counts);
 
     // Kernel 2: emit into the successive array.
-    let mut out: Vec<Contact> = vec![Contact::new(0, 0, 0, 0, u32::MAX, ContactKind::Ve); total as usize];
+    let mut out: Vec<Contact> =
+        vec![Contact::new(0, 0, 0, 0, u32::MAX, ContactKind::Ve); total as usize];
     if total > 0 {
         let b_pairs = dev.bind_ro(&pair_flat);
         let b_vx = dev.bind_ro(&soa.vx);
@@ -309,8 +316,15 @@ mod tests {
         ]);
         let mut c = CpuCounter::new();
         let contacts = narrow_phase_serial(&sys, &[(0, 1)], 0.05, &mut c);
-        let ve: Vec<_> = contacts.iter().filter(|c| c.kind == ContactKind::Ve).collect();
-        assert_eq!(ve.len(), 2, "two corners on the edge interior: {contacts:?}");
+        let ve: Vec<_> = contacts
+            .iter()
+            .filter(|c| c.kind == ContactKind::Ve)
+            .collect();
+        assert_eq!(
+            ve.len(),
+            2,
+            "two corners on the edge interior: {contacts:?}"
+        );
         // Both contacts: vertex of the box (block 1) onto floor's top edge.
         for c in &ve {
             assert_eq!(c.i, 1);
@@ -357,7 +371,10 @@ mod tests {
             "expected a VV2 contact: {contacts:?}"
         );
         // VV2 dedup: exactly one record per vertex pair.
-        let vv2: Vec<_> = contacts.iter().filter(|c| c.kind == ContactKind::Vv2).collect();
+        let vv2: Vec<_> = contacts
+            .iter()
+            .filter(|c| c.kind == ContactKind::Vv2)
+            .collect();
         assert_eq!(vv2.len(), 1);
     }
 

@@ -39,11 +39,7 @@ pub fn transfer_contacts_serial(
 }
 
 /// GPU transfer via device sorted search, then a gather-update pass.
-pub fn transfer_contacts_gpu(
-    dev: &Device,
-    previous: &[Contact],
-    current: &mut [Contact],
-) -> usize {
+pub fn transfer_contacts_gpu(dev: &Device, previous: &[Contact], current: &mut [Contact]) -> usize {
     if previous.is_empty() || current.is_empty() {
         return 0;
     }
@@ -140,19 +136,28 @@ mod tests {
         let mut prevs = Vec::new();
         for k in 0..40u32 {
             let mut p = contact(k % 7, k % 7 + 1 + k % 3, k % 4, k % 2);
-            p.state = if k % 2 == 0 { ContactState::Lock } else { ContactState::Slide };
+            p.state = if k % 2 == 0 {
+                ContactState::Lock
+            } else {
+                ContactState::Slide
+            };
             p.normal_disp = k as f64 * 0.1;
             prevs.push(p);
         }
         prevs = sorted(prevs);
         prevs.dedup_by_key(|c| c.key());
         // Current step: half the old contacts survive plus some new ones.
-        let mut current: Vec<Contact> = prevs.iter().step_by(2).copied().map(|mut c| {
-            c.state = ContactState::Open;
-            c.normal_disp = 0.0;
-            c.shear_disp = 0.0;
-            c
-        }).collect();
+        let mut current: Vec<Contact> = prevs
+            .iter()
+            .step_by(2)
+            .copied()
+            .map(|mut c| {
+                c.state = ContactState::Open;
+                c.normal_disp = 0.0;
+                c.shear_disp = 0.0;
+                c
+            })
+            .collect();
         for k in 0..10u32 {
             current.push(contact(100 + k, 200 + k, 0, 0));
         }

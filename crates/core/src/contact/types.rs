@@ -128,7 +128,8 @@ impl Contact {
     /// previous open–close iteration: +1 when the shear spring appears
     /// (slide→lock), −1 when it disappears (lock→slide).
     pub fn p2(&self) -> i32 {
-        i32::from(self.state == ContactState::Lock) - i32::from(self.prev_iter_state == ContactState::Lock)
+        i32::from(self.state == ContactState::Lock)
+            - i32::from(self.prev_iter_state == ContactState::Lock)
     }
 
     /// The paper's third classification (§III-A): categories C1–C5 select

@@ -123,8 +123,12 @@ pub fn check_serial(
         let bj = &sys.blocks[c.j as usize];
         let p1 = bi.poly.vertex(c.vertex as usize);
         let seg = bj.poly.edge(c.edge as usize);
-        let di: &Vec6 = d[6 * c.i as usize..6 * c.i as usize + 6].try_into().unwrap();
-        let dj: &Vec6 = d[6 * c.j as usize..6 * c.j as usize + 6].try_into().unwrap();
+        let di: &Vec6 = d[6 * c.i as usize..6 * c.i as usize + 6]
+            .try_into()
+            .unwrap();
+        let dj: &Vec6 = d[6 * c.j as usize..6 * c.j as usize + 6]
+            .try_into()
+            .unwrap();
         let (dn, ds) = contact_gap_under(c, bi.centroid(), bj.centroid(), p1, seg.a, seg.b, di, dj);
         let jm = sys.joint_of(c.i as usize, c.j as usize);
         let l = seg.length();
@@ -211,8 +215,14 @@ pub fn check_gpu(
             let p2 = Vec2::new(lane.ld_tex(&b_vx, j0 + e), lane.ld_tex(&b_vy, j0 + e));
             let e1 = (e + 1) % nj;
             let p3 = Vec2::new(lane.ld_tex(&b_vx, j0 + e1), lane.ld_tex(&b_vy, j0 + e1));
-            let ci = Vec2::new(lane.ld_tex(&b_cx, c.i as usize), lane.ld_tex(&b_cy, c.i as usize));
-            let cj = Vec2::new(lane.ld_tex(&b_cx, c.j as usize), lane.ld_tex(&b_cy, c.j as usize));
+            let ci = Vec2::new(
+                lane.ld_tex(&b_cx, c.i as usize),
+                lane.ld_tex(&b_cy, c.i as usize),
+            );
+            let cj = Vec2::new(
+                lane.ld_tex(&b_cx, c.j as usize),
+                lane.ld_tex(&b_cy, c.j as usize),
+            );
             let mut di = [0.0f64; 6];
             let mut dj = [0.0f64; 6];
             for r in 0..6 {
@@ -374,11 +384,29 @@ mod tests {
         let soa = GeomSoa::build(&sys);
 
         let d1 = Device::new(DeviceProfile::tesla_k40());
-        let _ = check_gpu(&d1, &soa, &sys, &contacts, &d, 1e9, 1.0, BranchScheme::Naive);
+        let _ = check_gpu(
+            &d1,
+            &soa,
+            &sys,
+            &contacts,
+            &d,
+            1e9,
+            1.0,
+            BranchScheme::Naive,
+        );
         let naive = d1.trace().total_stats();
 
         let d2 = Device::new(DeviceProfile::tesla_k40());
-        let _ = check_gpu(&d2, &soa, &sys, &contacts, &d, 1e9, 1.0, BranchScheme::Restructured);
+        let _ = check_gpu(
+            &d2,
+            &soa,
+            &sys,
+            &contacts,
+            &d,
+            1e9,
+            1.0,
+            BranchScheme::Restructured,
+        );
         let restructured = d2.trace().total_stats();
 
         assert!(naive.divergent_branch_groups > 0);

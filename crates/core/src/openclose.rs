@@ -232,18 +232,39 @@ mod tests {
     fn decision_rules() {
         let tol = 1e-6;
         // Separated beyond tolerance → open, whatever the previous state.
-        assert_eq!(decide(ContactState::Lock, -1e-3, 0.0, 5.0, 6.0, 0.0, tol), ContactState::Open);
-        assert_eq!(decide(ContactState::Open, -1e-3, 0.0, 5.0, 6.0, 0.0, tol), ContactState::Open);
+        assert_eq!(
+            decide(ContactState::Lock, -1e-3, 0.0, 5.0, 6.0, 0.0, tol),
+            ContactState::Open
+        );
+        assert_eq!(
+            decide(ContactState::Open, -1e-3, 0.0, 5.0, 6.0, 0.0, tol),
+            ContactState::Open
+        );
         // Open and merely touching (dn ≤ 0) stays open.
-        assert_eq!(decide(ContactState::Open, -1e-9, 0.0, 5.0, 6.0, 0.0, tol), ContactState::Open);
+        assert_eq!(
+            decide(ContactState::Open, -1e-9, 0.0, 5.0, 6.0, 0.0, tol),
+            ContactState::Open
+        );
         // Penetrating with margin → lock.
-        assert_eq!(decide(ContactState::Open, 1e-4, 0.0, 5.0, 6.0, 0.0, tol), ContactState::Lock);
+        assert_eq!(
+            decide(ContactState::Open, 1e-4, 0.0, 5.0, 6.0, 0.0, tol),
+            ContactState::Lock
+        );
         // A stalled slider with clear margin re-locks.
-        assert_eq!(decide(ContactState::Slide, 1e-4, 0.0, 5.0, 6.0, 1.0, tol), ContactState::Lock);
+        assert_eq!(
+            decide(ContactState::Slide, 1e-4, 0.0, 5.0, 6.0, 1.0, tol),
+            ContactState::Lock
+        );
         // Penetrating beyond the friction margin → slide.
-        assert_eq!(decide(ContactState::Lock, 1e-4, 0.0, -1.0, 6.0, 0.0, tol), ContactState::Slide);
+        assert_eq!(
+            decide(ContactState::Lock, 1e-4, 0.0, -1.0, 6.0, 0.0, tol),
+            ContactState::Slide
+        );
         // A closed contact within tolerance keeps its spring.
-        assert_eq!(decide(ContactState::Lock, -1e-9, 0.0, 5.0, 6.0, 0.0, tol), ContactState::Lock);
+        assert_eq!(
+            decide(ContactState::Lock, -1e-9, 0.0, 5.0, 6.0, 0.0, tol),
+            ContactState::Lock
+        );
     }
 
     #[test]
@@ -294,10 +315,10 @@ mod tests {
     #[test]
     fn serial_counts_changes_and_records_prev() {
         let mut contacts = vec![
-            contact(ContactState::Lock),  // will open
-            contact(ContactState::Lock),  // stays locked
-            contact(ContactState::Lock),  // will slide
-            contact(ContactState::Open),  // will lock
+            contact(ContactState::Lock), // will open
+            contact(ContactState::Lock), // stays locked
+            contact(ContactState::Lock), // will slide
+            contact(ContactState::Open), // will lock
         ];
         let gaps = GapArrays {
             dn: vec![-0.1, 0.001, 0.001, 0.001],
@@ -349,19 +370,50 @@ mod tests {
         use crate::contact::types::ContactKind;
         let mut contacts = Vec::new();
         // One of each category plus an abandoned contact.
-        let mk = |kind: ContactKind, prev: ContactState, prev_it: ContactState, cur: ContactState| {
-            let mut c = Contact::new(0, 1, 0, 0, u32::MAX, kind);
-            c.prev_step_state = prev;
-            c.prev_iter_state = prev_it;
-            c.state = cur;
-            c
-        };
-        contacts.push(mk(ContactKind::Ve, ContactState::Open, ContactState::Open, ContactState::Lock)); // C1
-        contacts.push(mk(ContactKind::Ve, ContactState::Slide, ContactState::Slide, ContactState::Lock)); // C2
-        contacts.push(mk(ContactKind::Vv1, ContactState::Lock, ContactState::Lock, ContactState::Lock)); // C3
-        contacts.push(mk(ContactKind::Vv2, ContactState::Open, ContactState::Open, ContactState::Lock)); // C4
-        contacts.push(mk(ContactKind::Vv2, ContactState::Slide, ContactState::Slide, ContactState::Slide)); // C5
-        contacts.push(mk(ContactKind::Ve, ContactState::Open, ContactState::Open, ContactState::Open)); // abandoned
+        let mk =
+            |kind: ContactKind, prev: ContactState, prev_it: ContactState, cur: ContactState| {
+                let mut c = Contact::new(0, 1, 0, 0, u32::MAX, kind);
+                c.prev_step_state = prev;
+                c.prev_iter_state = prev_it;
+                c.state = cur;
+                c
+            };
+        contacts.push(mk(
+            ContactKind::Ve,
+            ContactState::Open,
+            ContactState::Open,
+            ContactState::Lock,
+        )); // C1
+        contacts.push(mk(
+            ContactKind::Ve,
+            ContactState::Slide,
+            ContactState::Slide,
+            ContactState::Lock,
+        )); // C2
+        contacts.push(mk(
+            ContactKind::Vv1,
+            ContactState::Lock,
+            ContactState::Lock,
+            ContactState::Lock,
+        )); // C3
+        contacts.push(mk(
+            ContactKind::Vv2,
+            ContactState::Open,
+            ContactState::Open,
+            ContactState::Lock,
+        )); // C4
+        contacts.push(mk(
+            ContactKind::Vv2,
+            ContactState::Slide,
+            ContactState::Slide,
+            ContactState::Slide,
+        )); // C5
+        contacts.push(mk(
+            ContactKind::Ve,
+            ContactState::Open,
+            ContactState::Open,
+            ContactState::Open,
+        )); // abandoned
         let dev = Device::new(DeviceProfile::tesla_k40());
         let hist = categorize_gpu(&dev, &contacts);
         assert_eq!(hist, [1, 1, 1, 1, 1, 1]);
@@ -380,6 +432,9 @@ mod tests {
             len: vec![1.0; 10],
         };
         let mut cnt = CpuCounter::new();
-        assert_eq!(open_close_serial(&mut contacts, &gaps, 1e-6, false, &mut cnt), 0);
+        assert_eq!(
+            open_close_serial(&mut contacts, &gaps, 1e-6, false, &mut cnt),
+            0
+        );
     }
 }

@@ -3,8 +3,8 @@
 use super::{ModuleTimes, StepReport};
 use crate::assembly::{assemble_contacts_serial, AssembledSystem};
 use crate::contact::{
-    broad_phase_serial, init::init_contacts_serial, narrow_phase_serial,
-    transfer_contacts_serial, Contact,
+    broad_phase_serial, init::init_contacts_serial, narrow_phase_serial, transfer_contacts_serial,
+    Contact,
 };
 use crate::interpenetration::{check_serial, GapArrays};
 use crate::openclose::open_close_serial;
@@ -108,7 +108,13 @@ impl CpuPipeline {
                 self.times.nondiag_building += self.charge(nd);
 
                 let mut sc = CpuCounter::new();
-                let res = pcg_serial_bj(&asm.matrix, &asm.rhs, &self.x_prev, self.params.pcg, &mut sc);
+                let res = pcg_serial_bj(
+                    &asm.matrix,
+                    &asm.rhs,
+                    &self.x_prev,
+                    self.params.pcg,
+                    &mut sc,
+                );
                 self.times.solving += self.charge(sc);
                 report.pcg_iterations += res.iterations;
                 report.last_solve_iterations = res.iterations;
@@ -123,7 +129,8 @@ impl CpuPipeline {
                     self.params.shear_ratio,
                     &mut ic,
                 );
-                let changes = open_close_serial(&mut self.contacts, &gaps, open_tol, freeze, &mut ic);
+                let changes =
+                    open_close_serial(&mut self.contacts, &gaps, open_tol, freeze, &mut ic);
                 self.times.interpenetration += self.charge(ic);
                 if changes == 0 && res.converged {
                     oc_converged = true;
@@ -148,7 +155,14 @@ impl CpuPipeline {
         let (d, gaps) = accepted.expect("an attempt is always accepted");
         report.max_open_penetration = gaps.max_open_penetration(&self.contacts);
         let mut uc = CpuCounter::new();
-        update_system(&mut self.sys, &d, &mut self.contacts, &gaps, &self.params, &mut uc);
+        update_system(
+            &mut self.sys,
+            &d,
+            &mut self.contacts,
+            &gaps,
+            &self.params,
+            &mut uc,
+        );
         self.times.updating += self.charge(uc);
         self.x_prev = d;
         report.dt = self.params.dt;
@@ -195,11 +209,7 @@ mod tests {
         }
         let y1 = pipe.sys.blocks[1].centroid().y;
         // Penalty compliance allows a microscopic settlement only.
-        assert!(
-            (y0 - y1).abs() < 5e-4,
-            "block sank by {} m",
-            y0 - y1
-        );
+        assert!((y0 - y1).abs() < 5e-4, "block sank by {} m", y0 - y1);
         // No interpenetration beyond the penalty compliance scale.
         assert!(pipe.sys.total_interpenetration() < 1e-4);
     }
@@ -243,7 +253,12 @@ mod tests {
             pipe.step();
         }
         let b = &pipe.sys.blocks[1];
-        let min_y = b.poly.vertices().iter().map(|v| v.y).fold(f64::INFINITY, f64::min);
+        let min_y = b
+            .poly
+            .vertices()
+            .iter()
+            .map(|v| v.y)
+            .fold(f64::INFINITY, f64::min);
         assert!(
             min_y > -2e-3 && min_y < 2e-3,
             "block should rest on the floor, bottom at {min_y}"

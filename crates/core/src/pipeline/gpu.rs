@@ -11,9 +11,7 @@
 use super::{ModuleTimes, StepReport};
 use crate::assembly::assemble_contacts_gpu;
 use crate::contact::init::init_contacts_classified;
-use crate::contact::{
-    broad_phase_gpu, narrow_phase_gpu, transfer_contacts_gpu, Contact, GeomSoa,
-};
+use crate::contact::{broad_phase_gpu, narrow_phase_gpu, transfer_contacts_gpu, Contact, GeomSoa};
 use crate::interpenetration::{check_gpu, BranchScheme, GapArrays};
 use crate::openclose::{categorize_gpu, open_close_gpu};
 use crate::params::DdaParams;
@@ -23,8 +21,7 @@ use crate::update::{max_displacement, update_system};
 use dda_simt::serial::CpuCounter;
 use dda_simt::{Device, KernelStats};
 use dda_solver::precond::{BlockJacobi, Identity, Ilu0, SsorAi};
-use dda_solver::traits::HsbcsrMat;
-use dda_solver::{pcg, SolveResult};
+use dda_solver::{pcg, pcg_fused, HsbcsrMat, PcgWorkspace, SolveResult};
 use dda_sparse::{Csr, Hsbcsr};
 
 /// Preconditioner selection for the equation-solving module (Table I).
@@ -42,6 +39,24 @@ pub enum PrecondKind {
 
 const MAX_RETRIES: usize = 4;
 
+/// Cached equation-solving state, reused across open–close iterations and
+/// time steps. The open–close loop usually toggles no contacts between
+/// consecutive solves, so the HSBCSR symbolic structure (index arrays,
+/// padding) is stable: the cache then refills values in place instead of
+/// rebuilding, reuses the Block-Jacobi storage (refactoring values with the
+/// same single launch), and keeps the PCG/SpMV workspace warm so the whole
+/// solve path stops allocating.
+#[derive(Default)]
+struct SolverCache {
+    h: Option<Hsbcsr>,
+    bj: Option<BlockJacobi>,
+    pcg_ws: PcgWorkspace,
+    /// Diagnostics: how many solves reused the symbolic structure.
+    refills: usize,
+    /// Diagnostics: how many solves rebuilt the format from scratch.
+    rebuilds: usize,
+}
+
 /// The GPU DDA driver.
 pub struct GpuPipeline {
     /// The evolving block system (host mirror of device state).
@@ -55,6 +70,8 @@ pub struct GpuPipeline {
     dev: Device,
     contacts: Vec<Contact>,
     x_prev: Vec<f64>,
+    cache: SolverCache,
+    legacy_solver: bool,
 }
 
 impl GpuPipeline {
@@ -69,12 +86,23 @@ impl GpuPipeline {
             dev,
             contacts: Vec::new(),
             x_prev: vec![0.0; 6 * n],
+            cache: SolverCache::default(),
+            legacy_solver: false,
         }
     }
 
     /// Selects the solver preconditioner.
     pub fn with_precond(mut self, p: PrecondKind) -> GpuPipeline {
         self.precond = p;
+        self
+    }
+
+    /// Benchmark baseline: run the equation-solving module the pre-fusion
+    /// way — fresh HSBCSR conversion and preconditioner per solve, unfused
+    /// ~12-launch PCG, no workspace reuse. The `bench1` binary flips this
+    /// on to measure the fused/cached path's before/after in one process.
+    pub fn with_legacy_solver(mut self, on: bool) -> GpuPipeline {
+        self.legacy_solver = on;
         self
     }
 
@@ -92,12 +120,103 @@ impl GpuPipeline {
         self.dev.modeled_seconds()
     }
 
-    /// Solves the assembled system with the configured preconditioner.
-    fn solve(&self, matrix: &dda_sparse::SymBlockMatrix, rhs: &[f64]) -> SolveResult {
-        // Format building: the half-stored sliced format is rebuilt from
-        // the assembled system (charged as part of this module's time via
-        // an explicit record — the paper's pipeline equally pays it on
-        // device).
+    /// Solves the assembled system with the configured preconditioner,
+    /// reusing the cached HSBCSR structure / preconditioner storage / PCG
+    /// workspace whenever the contact pattern is unchanged.
+    fn solve(&mut self, matrix: &dda_sparse::SymBlockMatrix, rhs: &[f64]) -> SolveResult {
+        if self.legacy_solver {
+            return self.solve_legacy(matrix, rhs);
+        }
+        let SolverCache {
+            h: h_slot,
+            bj: bj_slot,
+            pcg_ws,
+            refills,
+            rebuilds,
+        } = &mut self.cache;
+
+        // Format building (charged as part of this module's time via an
+        // explicit record — the paper's pipeline equally pays it on
+        // device). When the sparsity pattern matches the cached format,
+        // only the value arrays are rewritten; the index derivation and
+        // its traffic are skipped.
+        let refilled = match h_slot.as_mut() {
+            Some(h) => h.refill_values(matrix),
+            None => false,
+        };
+        if !refilled {
+            *h_slot = Some(Hsbcsr::from_sym(matrix));
+            *rebuilds += 1;
+        } else {
+            *refills += 1;
+        }
+        let h = h_slot.as_ref().expect("cache holds a format after refill");
+        let bytes = h.data_bytes() as u64;
+        let charged = if refilled { bytes } else { 2 * bytes };
+        self.dev.record_external(
+            "format.hsbcsr",
+            KernelStats {
+                launches: 1,
+                threads: (h.n + h.n_nd) as u64,
+                warps: ((h.n + h.n_nd) as u64).div_ceil(32),
+                gmem_bytes: charged,
+                gmem_transactions: charged.div_ceil(128),
+                ..Default::default()
+            },
+        );
+        match self.precond {
+            PrecondKind::None => pcg_fused(
+                &self.dev,
+                h,
+                rhs,
+                &self.x_prev,
+                &Identity,
+                self.params.pcg,
+                pcg_ws,
+            ),
+            PrecondKind::BlockJacobi => {
+                // Values change every solve (contact springs); the cache
+                // keeps the storage and refactors in place.
+                match bj_slot.as_mut() {
+                    Some(bj) => bj.refactor(&self.dev, h),
+                    None => *bj_slot = Some(BlockJacobi::new(&self.dev, h)),
+                }
+                let bj = bj_slot.as_ref().expect("cache holds a factorization");
+                pcg_fused(&self.dev, h, rhs, &self.x_prev, bj, self.params.pcg, pcg_ws)
+            }
+            PrecondKind::SsorAi => {
+                let ssor = SsorAi::new(&self.dev, h, 1.0);
+                pcg_fused(
+                    &self.dev,
+                    h,
+                    rhs,
+                    &self.x_prev,
+                    &ssor,
+                    self.params.pcg,
+                    pcg_ws,
+                )
+            }
+            PrecondKind::Ilu0 => {
+                let csr = Csr::from_sym_full(matrix);
+                let ilu = Ilu0::new(&self.dev, &csr);
+                pcg_fused(
+                    &self.dev,
+                    h,
+                    rhs,
+                    &self.x_prev,
+                    &ilu,
+                    self.params.pcg,
+                    pcg_ws,
+                )
+            }
+        }
+    }
+
+    /// The pre-fusion equation-solving module, kept verbatim as the
+    /// benchmark baseline: every solve converts the matrix from scratch,
+    /// constructs its preconditioner from scratch, and runs the unfused
+    /// textbook PCG loop.
+    fn solve_legacy(&mut self, matrix: &dda_sparse::SymBlockMatrix, rhs: &[f64]) -> SolveResult {
         let h = Hsbcsr::from_sym(matrix);
         let bytes = h.data_bytes() as u64;
         self.dev.record_external(
@@ -111,23 +230,29 @@ impl GpuPipeline {
                 ..Default::default()
             },
         );
-        let op = HsbcsrMat { m: &h };
+        let a = HsbcsrMat { m: &h };
         match self.precond {
-            PrecondKind::None => pcg(&self.dev, &op, rhs, &self.x_prev, &Identity, self.params.pcg),
+            PrecondKind::None => pcg(&self.dev, &a, rhs, &self.x_prev, &Identity, self.params.pcg),
             PrecondKind::BlockJacobi => {
                 let bj = BlockJacobi::new(&self.dev, &h);
-                pcg(&self.dev, &op, rhs, &self.x_prev, &bj, self.params.pcg)
+                pcg(&self.dev, &a, rhs, &self.x_prev, &bj, self.params.pcg)
             }
             PrecondKind::SsorAi => {
                 let ssor = SsorAi::new(&self.dev, &h, 1.0);
-                pcg(&self.dev, &op, rhs, &self.x_prev, &ssor, self.params.pcg)
+                pcg(&self.dev, &a, rhs, &self.x_prev, &ssor, self.params.pcg)
             }
             PrecondKind::Ilu0 => {
                 let csr = Csr::from_sym_full(matrix);
                 let ilu = Ilu0::new(&self.dev, &csr);
-                pcg(&self.dev, &op, rhs, &self.x_prev, &ilu, self.params.pcg)
+                pcg(&self.dev, &a, rhs, &self.x_prev, &ilu, self.params.pcg)
             }
         }
+    }
+
+    /// Solver-cache diagnostics: `(value_refills, full_rebuilds)` of the
+    /// HSBCSR format across all solves so far.
+    pub fn format_cache_stats(&self) -> (usize, usize) {
+        (self.cache.refills, self.cache.rebuilds)
     }
 
     /// Per-solve telemetry of the last step (name of the preconditioner).
@@ -207,7 +332,8 @@ impl GpuPipeline {
                     self.params.shear_ratio,
                     BranchScheme::Restructured,
                 );
-                let changes = open_close_gpu(&self.dev, &mut self.contacts, &gaps, open_tol, freeze);
+                let changes =
+                    open_close_gpu(&self.dev, &mut self.contacts, &gaps, open_tol, freeze);
                 self.times.interpenetration += self.mark() - t_check;
                 if changes == 0 && res.converged {
                     oc_converged = true;
@@ -238,7 +364,14 @@ impl GpuPipeline {
         report.max_open_penetration = gaps.max_open_penetration(&self.contacts);
         let t_up = self.mark();
         let mut uc = CpuCounter::new();
-        update_system(&mut self.sys, &d, &mut self.contacts, &gaps, &self.params, &mut uc);
+        update_system(
+            &mut self.sys,
+            &d,
+            &mut self.contacts,
+            &gaps,
+            &self.params,
+            &mut uc,
+        );
         // The update kernels are a straightforward per-block map; charge
         // their modeled device cost from the same work tally.
         let n = 6 * self.sys.len() as u64; // one thread per DOF
@@ -343,6 +476,44 @@ mod tests {
         assert!(t.updating > 0.0);
         // The device trace total equals the sum of module charges.
         assert!((gpu.device().modeled_seconds() - t.total()).abs() < 1e-9 * t.total().max(1e-12));
+    }
+
+    #[test]
+    fn solver_cache_refills_when_pattern_stable() {
+        let (sys, params) = stack();
+        let mut gpu = GpuPipeline::new(sys, params, k40());
+        for _ in 0..3 {
+            gpu.step();
+        }
+        let (refills, rebuilds) = gpu.format_cache_stats();
+        assert!(rebuilds >= 1, "first solve must build the format");
+        assert!(
+            refills > 0,
+            "stable contact pattern must reuse the format \
+             (refills={refills}, rebuilds={rebuilds})"
+        );
+    }
+
+    #[test]
+    fn legacy_solver_matches_fused_trajectory() {
+        // The benchmark baseline must be physically equivalent: same contact
+        // history, same open–close iterations, centroids within solver drift.
+        let (sys, params) = stack();
+        let mut fused = GpuPipeline::new(sys.clone(), params.clone(), k40());
+        let mut legacy = GpuPipeline::new(sys, params, k40()).with_legacy_solver(true);
+        for step in 0..3 {
+            let rf = fused.step();
+            let rl = legacy.step();
+            assert_eq!(rf.n_contacts, rl.n_contacts, "step {step}");
+            assert_eq!(rf.oc_iterations, rl.oc_iterations, "step {step}");
+            for (bf, bl) in fused.sys.blocks.iter().zip(&legacy.sys.blocks) {
+                assert!(bf.centroid().dist(bl.centroid()) < 1e-7, "step {step}");
+            }
+        }
+        // And it really is the heavier path: more launches for the same work.
+        let lf = fused.device().trace().records.len();
+        let ll = legacy.device().trace().records.len();
+        assert!(ll > lf, "legacy {ll} launches vs fused {lf}");
     }
 
     #[test]

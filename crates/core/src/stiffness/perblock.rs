@@ -64,7 +64,13 @@ impl BlockSoa {
             let m = b.moments();
             geom.extend_from_slice(&[b.area(), m.sxx, m.syy, m.sxy]);
             let bm = &sys.block_materials[b.material as usize];
-            mat.extend_from_slice(&[bm.density, bm.young, bm.poisson, bm.body_force[0], bm.body_force[1]]);
+            mat.extend_from_slice(&[
+                bm.density,
+                bm.young,
+                bm.poisson,
+                bm.body_force[0],
+                bm.body_force[1],
+            ]);
             vel.extend_from_slice(&b.velocity);
             stress.extend_from_slice(&b.stress);
             fixed.push(f64::from(u8::from(b.fixed)));
@@ -206,7 +212,13 @@ pub fn build_diag_serial(
         );
         diag.push(k);
         rhs[6 * i..6 * i + 6].copy_from_slice(&f);
-        counter.flop(400 + if b.fixed { 150 * b.poly.len() as u64 } else { 0 });
+        counter.flop(
+            400 + if b.fixed {
+                150 * b.poly.len() as u64
+            } else {
+                0
+            },
+        );
         counter.bytes(60 * 8);
     }
     // Point loads.
@@ -277,8 +289,20 @@ pub fn build_diag_gpu(
             };
             lane.flop(400 + if is_fixed { 150 * (hi - lo) as u32 } else { 0 });
             let (k, f) = diag_one(
-                area, sxx, syy, sxy, density, young, poisson, [bx, by], &velocity, &stress,
-                is_fixed, centroid, &verts, params,
+                area,
+                sxx,
+                syy,
+                sxy,
+                density,
+                young,
+                poisson,
+                [bx, by],
+                &velocity,
+                &stress,
+                is_fixed,
+                centroid,
+                &verts,
+                params,
             );
             lane.st(&b_diag, i, k);
             for r in 0..6 {

@@ -247,7 +247,7 @@ mod tests {
         let s0 = orient2d(p2, p3, p1);
         assert!(s0 > 0.0, "vertex should be on the material side: {s0}");
         assert!(t.fi[1] != 0.0); // force exists
-        // Energy symmetry: K_jj, K_ii symmetric, K_ij arbitrary.
+                                 // Energy symmetry: K_jj, K_ii symmetric, K_ij arbitrary.
         assert!(t.kii.is_symmetric(1e-9 * t.kii.max_abs()));
         assert!(t.kjj.is_symmetric(1e-9 * t.kjj.max_abs()));
         // The normal force on i is along −S0 gradient: direction of e.
@@ -290,8 +290,8 @@ mod tests {
     fn friction_opposes_shear_offset() {
         let (mut c, ci, cj, _, p2, p3) = setup(ContactState::Slide);
         c.edge_ratio = 0.5; // reference point at x = 0
-        // Vertex penetrating (on the material side, S0 > 0) and shifted +x
-        // from the reference point.
+                            // Vertex penetrating (on the material side, S0 > 0) and shifted +x
+                            // from the reference point.
         let p1 = Vec2::new(0.3, 0.0);
         let t = contact_spring_terms(&c, ci, cj, p1, p2, p3, 1e6, 1.0, 0.5, 0.0).unwrap();
         // Friction force on block i must act in −x.

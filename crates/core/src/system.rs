@@ -77,7 +77,11 @@ impl BlockSystem {
         if self.blocks.is_empty() {
             return 0.0;
         }
-        let sum: f64 = self.blocks.iter().map(|b| b.poly.circumradius() * 2.0).sum();
+        let sum: f64 = self
+            .blocks
+            .iter()
+            .map(|b| b.poly.circumradius() * 2.0)
+            .sum();
         sum / self.blocks.len() as f64
     }
 

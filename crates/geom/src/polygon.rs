@@ -304,10 +304,7 @@ impl Polygon {
     /// Maximum distance from the centroid to a vertex (circumradius).
     pub fn circumradius(&self) -> f64 {
         let c = self.centroid();
-        self.vertices
-            .iter()
-            .map(|v| v.dist(c))
-            .fold(0.0, f64::max)
+        self.vertices.iter().map(|v| v.dist(c)).fold(0.0, f64::max)
     }
 }
 
@@ -328,7 +325,10 @@ fn dedup_ring(vs: &mut Vec<Vec2>) {
     }
     let mut out: Vec<Vec2> = Vec::with_capacity(vs.len());
     for &v in vs.iter() {
-        if out.last().is_none_or(|&l| l.dist_sq(v) > GEOM_EPS * GEOM_EPS) {
+        if out
+            .last()
+            .is_none_or(|&l| l.dist_sq(v) > GEOM_EPS * GEOM_EPS)
+        {
             out.push(v);
         }
     }

@@ -94,8 +94,14 @@ mod tests {
     fn classify_orientation_tolerance() {
         let a = Vec2::new(0.0, 0.0);
         let b = Vec2::new(100.0, 0.0);
-        assert_eq!(classify_orientation(a, b, Vec2::new(50.0, 1.0)), Orientation::Left);
-        assert_eq!(classify_orientation(a, b, Vec2::new(50.0, -1.0)), Orientation::Right);
+        assert_eq!(
+            classify_orientation(a, b, Vec2::new(50.0, 1.0)),
+            Orientation::Left
+        );
+        assert_eq!(
+            classify_orientation(a, b, Vec2::new(50.0, -1.0)),
+            Orientation::Right
+        );
         assert_eq!(
             classify_orientation(a, b, Vec2::new(50.0, 1e-12)),
             Orientation::Collinear

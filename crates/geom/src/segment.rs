@@ -123,7 +123,10 @@ impl Segment {
             return true;
         }
         let on = |p: Vec2, s: &Segment, d: f64| d.abs() < GEOM_EPS && s.bbox_contains(p);
-        on(self.a, other, d1) || on(self.b, other, d2) || on(other.a, self, d3) || on(other.b, self, d4)
+        on(self.a, other, d1)
+            || on(self.b, other, d2)
+            || on(other.a, self, d3)
+            || on(other.b, self, d4)
     }
 
     /// True when `p` is within the axis-aligned bounding box of the segment

@@ -1,0 +1,228 @@
+//! BENCH_1 generator: before/after measurements for the fused-kernel PCG
+//! and allocation-free SpMV optimisation.
+//!
+//! Three probes, each timed two ways — modeled device seconds (the roofline
+//! timing model, deterministic) and host wall-clock (the host-overhead the
+//! allocation-free paths remove):
+//!
+//! * **spmv** — one HSBCSR SpMV: the allocating `spmv_hsbcsr` wrapper vs
+//!   the warmed workspace `spmv_hsbcsr_into`;
+//! * **pcg_solve** — one Block-Jacobi PCG solve: the unfused textbook loop
+//!   (`pcg`, ~12 launches/iteration) vs the fused loop (`pcg_fused`,
+//!   ≤5 launches/iteration) with a warmed workspace;
+//! * **pipeline_step** — one full GPU pipeline time step: the legacy
+//!   equation-solving module (fresh format + preconditioner every solve,
+//!   unfused PCG) vs the cached/fused module.
+//!
+//! Writes `BENCH_1.json` into the current directory and prints it.
+//!
+//! Usage: `bench1 [--blocks N] [--steps N] [--seed N]`
+
+use std::time::Instant;
+
+use dda_core::pipeline::GpuPipeline;
+use dda_harness::experiments::{case1_matrix, case1_system};
+use dda_harness::Args;
+use dda_simt::{Device, DeviceProfile};
+use dda_solver::precond::BlockJacobi;
+use dda_solver::{pcg, pcg_fused, HsbcsrMat, PcgOptions, PcgWorkspace};
+use dda_sparse::spmv::{spmv_hsbcsr, spmv_hsbcsr_into, SpmvWorkspace, Stage1Smem};
+use dda_sparse::Hsbcsr;
+
+fn k40() -> Device {
+    Device::new(DeviceProfile::tesla_k40())
+}
+
+/// One before/after pair: per-operation modeled and wall seconds.
+struct Pair {
+    before_modeled: f64,
+    before_wall: f64,
+    after_modeled: f64,
+    after_wall: f64,
+}
+
+impl Pair {
+    fn json(&self, indent: &str) -> String {
+        let speedup = |b: f64, a: f64| if a > 0.0 { b / a } else { f64::NAN };
+        format!(
+            "{{\n{indent}  \"before\": {{ \"modeled_s\": {:.6e}, \"wall_s\": {:.6e} }},\n\
+             {indent}  \"after\":  {{ \"modeled_s\": {:.6e}, \"wall_s\": {:.6e} }},\n\
+             {indent}  \"modeled_speedup\": {:.3},\n\
+             {indent}  \"wall_speedup\": {:.3}\n{indent}}}",
+            self.before_modeled,
+            self.before_wall,
+            self.after_modeled,
+            self.after_wall,
+            speedup(self.before_modeled, self.after_modeled),
+            speedup(self.before_wall, self.after_wall),
+        )
+    }
+}
+
+fn bench_spmv(blocks: usize, seed: u64) -> Pair {
+    let m = case1_matrix(blocks, 2, seed);
+    let h = Hsbcsr::from_sym(&m);
+    let x: Vec<f64> = (0..m.dim())
+        .map(|i| ((i % 17) as f64) * 0.1 - 0.8)
+        .collect();
+    const REPS: u32 = 40;
+
+    // Before: the allocating wrapper, a fresh result vector every call.
+    let dev = k40();
+    let _ = spmv_hsbcsr(&dev, &h, &x, Stage1Smem::Proposed); // warm trace
+    dev.reset_trace();
+    let t = Instant::now();
+    for _ in 0..REPS {
+        let _ = spmv_hsbcsr(&dev, &h, &x, Stage1Smem::Proposed);
+    }
+    let before_wall = t.elapsed().as_secs_f64() / REPS as f64;
+    let before_modeled = dev.modeled_seconds() / REPS as f64;
+
+    // After: warmed workspace, zero steady-state allocations.
+    let dev = k40();
+    let mut ws = SpmvWorkspace::new();
+    let mut y = vec![0.0f64; m.dim()];
+    for _ in 0..2 {
+        spmv_hsbcsr_into(&dev, &h, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+    }
+    dev.reset_trace();
+    let t = Instant::now();
+    for _ in 0..REPS {
+        spmv_hsbcsr_into(&dev, &h, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+    }
+    let after_wall = t.elapsed().as_secs_f64() / REPS as f64;
+    let after_modeled = dev.modeled_seconds() / REPS as f64;
+
+    Pair {
+        before_modeled,
+        before_wall,
+        after_modeled,
+        after_wall,
+    }
+}
+
+fn bench_pcg(blocks: usize, seed: u64) -> (Pair, usize, usize) {
+    let m = case1_matrix(blocks, 2, seed);
+    let h = Hsbcsr::from_sym(&m);
+    let b: Vec<f64> = (0..m.dim())
+        .map(|i| ((i % 23) as f64) * 0.13 - 1.1)
+        .collect();
+    let x0 = vec![0.0f64; m.dim()];
+    let opts = PcgOptions::default();
+    const REPS: u32 = 8;
+
+    // Before: the unfused textbook loop.
+    let dev = k40();
+    let bj = BlockJacobi::new(&dev, &h);
+    let _ = pcg(&dev, &HsbcsrMat { m: &h }, &b, &x0, &bj, opts);
+    dev.reset_trace();
+    let t = Instant::now();
+    let mut iters_before = 0;
+    for _ in 0..REPS {
+        iters_before = pcg(&dev, &HsbcsrMat { m: &h }, &b, &x0, &bj, opts).iterations;
+    }
+    let before_wall = t.elapsed().as_secs_f64() / REPS as f64;
+    let before_modeled = dev.modeled_seconds() / REPS as f64;
+
+    // After: the fused ≤5-launch loop with a warmed workspace.
+    let dev = k40();
+    let bj = BlockJacobi::new(&dev, &h);
+    let mut ws = PcgWorkspace::new();
+    let _ = pcg_fused(&dev, &h, &b, &x0, &bj, opts, &mut ws);
+    dev.reset_trace();
+    let t = Instant::now();
+    let mut iters_after = 0;
+    for _ in 0..REPS {
+        iters_after = pcg_fused(&dev, &h, &b, &x0, &bj, opts, &mut ws).iterations;
+    }
+    let after_wall = t.elapsed().as_secs_f64() / REPS as f64;
+    let after_modeled = dev.modeled_seconds() / REPS as f64;
+
+    (
+        Pair {
+            before_modeled,
+            before_wall,
+            after_modeled,
+            after_wall,
+        },
+        iters_before,
+        iters_after,
+    )
+}
+
+/// Runs one pipeline (legacy or fused), returning per-step equation-solving
+/// modeled seconds, per-step total modeled seconds, and per-step wall
+/// seconds over `steps` measured steps after one warm-up step.
+fn run_pipeline(
+    blocks: usize,
+    steps: usize,
+    seed: u64,
+    legacy: bool,
+) -> (f64, f64, f64, usize, usize) {
+    let (sys, params) = case1_system(blocks, seed);
+    let mut pipe = GpuPipeline::new(sys, params, k40()).with_legacy_solver(legacy);
+    pipe.step(); // warm: first solve always builds the format
+    let solve0 = pipe.times.solving;
+    let total0 = pipe.times.total();
+    let t = Instant::now();
+    pipe.run(steps);
+    let wall = t.elapsed().as_secs_f64() / steps.max(1) as f64;
+    let solving = (pipe.times.solving - solve0) / steps.max(1) as f64;
+    let total = (pipe.times.total() - total0) / steps.max(1) as f64;
+    let (refills, rebuilds) = pipe.format_cache_stats();
+    (solving, total, wall, refills, rebuilds)
+}
+
+fn main() {
+    let a = Args::parse(400, 0, 4);
+    eprintln!(
+        "bench1: blocks={} steps={} seed={} (K40 model)",
+        a.blocks, a.steps, a.seed
+    );
+
+    let spmv = bench_spmv(a.blocks, a.seed);
+    eprintln!("  spmv done");
+    let (pcg_pair, it_b, it_a) = bench_pcg(a.blocks, a.seed);
+    eprintln!("  pcg done ({it_b} vs {it_a} iterations)");
+
+    let (solve_b, total_b, wall_b, _, _) = run_pipeline(a.blocks, a.steps, a.seed, true);
+    eprintln!("  legacy pipeline done");
+    let (solve_a, total_a, wall_a, refills, rebuilds) =
+        run_pipeline(a.blocks, a.steps, a.seed, false);
+    eprintln!("  fused pipeline done ({refills} refills, {rebuilds} rebuilds)");
+
+    let step_pair = Pair {
+        before_modeled: solve_b,
+        before_wall: wall_b,
+        after_modeled: solve_a,
+        after_wall: wall_a,
+    };
+
+    let json = format!(
+        "{{\n  \"bench\": \"fused_pcg_alloc_free_spmv\",\n  \"device\": \"tesla_k40_model\",\n  \
+         \"config\": {{ \"blocks\": {}, \"steps\": {}, \"seed\": {} }},\n  \
+         \"spmv\": {},\n  \
+         \"pcg_solve\": {},\n  \
+         \"pcg_iterations\": {{ \"before\": {}, \"after\": {} }},\n  \
+         \"pipeline_step_units\": \"modeled_s = equation-solving modeled seconds per step; wall_s = full-step host wall seconds per step\",\n  \
+         \"pipeline_step\": {},\n  \
+         \"pipeline_step_total_modeled_s\": {{ \"before\": {:.6e}, \"after\": {:.6e} }},\n  \
+         \"format_cache\": {{ \"refills\": {}, \"rebuilds\": {} }}\n}}\n",
+        a.blocks,
+        a.steps,
+        a.seed,
+        spmv.json("  "),
+        pcg_pair.json("  "),
+        it_b,
+        it_a,
+        step_pair.json("  "),
+        total_b,
+        total_a,
+        refills,
+        rebuilds,
+    );
+
+    print!("{json}");
+    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+    eprintln!("wrote BENCH_1.json");
+}

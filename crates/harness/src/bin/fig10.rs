@@ -15,7 +15,10 @@ fn main() {
     if a.full {
         a.blocks = 4361;
     }
-    println!("Fig 10 — SpMV and TSS on the case-1 matrix ({} target blocks)\n", a.blocks);
+    println!(
+        "Fig 10 — SpMV and TSS on the case-1 matrix ({} target blocks)\n",
+        a.blocks
+    );
     let s = spmv_study(a.blocks, a.seed);
     println!(
         "matrix: {} diagonal, {} non-diagonal sub-matrices (paper: 4361 / 18731)\n",
@@ -24,12 +27,36 @@ fn main() {
 
     let mut t = Table::new(vec!["Kernel", "Modeled time (K40)", "vs HSBCSR"]);
     let rel = |x: f64| format!("{:.2}×", x / s.t_hsbcsr);
-    t.row(vec!["SpMV-HSBCSR (ours)".into(), fmt_time(s.t_hsbcsr), rel(s.t_hsbcsr)]);
-    t.row(vec!["SpMV-cuSPARSE (CSR vector)".into(), fmt_time(s.t_csr_vector), rel(s.t_csr_vector)]);
-    t.row(vec!["SpMV CSR scalar".into(), fmt_time(s.t_csr_scalar), rel(s.t_csr_scalar)]);
-    t.row(vec!["SpMV BCSR (full matrix)".into(), fmt_time(s.t_bcsr), rel(s.t_bcsr)]);
-    t.row(vec!["SpMV ELLPACK-R (full matrix)".into(), fmt_time(s.t_ell), rel(s.t_ell)]);
-    t.row(vec!["TSS (ILU triangular solves)".into(), fmt_time(s.t_tss), rel(s.t_tss)]);
+    t.row(vec![
+        "SpMV-HSBCSR (ours)".into(),
+        fmt_time(s.t_hsbcsr),
+        rel(s.t_hsbcsr),
+    ]);
+    t.row(vec![
+        "SpMV-cuSPARSE (CSR vector)".into(),
+        fmt_time(s.t_csr_vector),
+        rel(s.t_csr_vector),
+    ]);
+    t.row(vec![
+        "SpMV CSR scalar".into(),
+        fmt_time(s.t_csr_scalar),
+        rel(s.t_csr_scalar),
+    ]);
+    t.row(vec![
+        "SpMV BCSR (full matrix)".into(),
+        fmt_time(s.t_bcsr),
+        rel(s.t_bcsr),
+    ]);
+    t.row(vec![
+        "SpMV ELLPACK-R (full matrix)".into(),
+        fmt_time(s.t_ell),
+        rel(s.t_ell),
+    ]);
+    t.row(vec![
+        "TSS (ILU triangular solves)".into(),
+        fmt_time(s.t_tss),
+        rel(s.t_tss),
+    ]);
     t.print();
 
     println!("\nPaper's claims at this matrix:");

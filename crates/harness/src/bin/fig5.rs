@@ -4,8 +4,8 @@
 //! Usage: `fig5 [--blocks N] [--steps N] [--seed N]`
 
 use dda_harness::experiments::preconditioner_study;
-use dda_harness::Table;
 use dda_harness::Args;
+use dda_harness::Table;
 
 /// Number of samples the paper plots.
 const PAPER_SAMPLES: usize = 26;

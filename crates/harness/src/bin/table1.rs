@@ -38,7 +38,13 @@ fn main() {
     t.print();
 
     println!("\nPaper (Table I, 4361 blocks, 1000 steps, K40):");
-    let mut p = Table::new(vec!["Preconditioner", "Avg iters", "Construction", "Implementation", "Total"]);
+    let mut p = Table::new(vec![
+        "Preconditioner",
+        "Avg iters",
+        "Construction",
+        "Implementation",
+        "Total",
+    ]);
     p.row(vec!["BJ", "275", "0.059 ms", "0.011 ms", "60330 s"]);
     p.row(vec!["SSOR", "141", "0.208 ms", "0.118 ms", "62830 s"]);
     p.row(vec!["ILU", "93", "31.465 ms", "7.269 ms", "873787 s"]);

@@ -62,12 +62,56 @@ fn main() {
 
     println!("\nPaper (Table II, 4361 blocks, 40000 steps):");
     let mut p = Table::new(vec!["Module", "E5620", "K20", "K40", "K20 ×", "K40 ×"]);
-    p.row(vec!["Contact Detection", "4975.91 s", "53.4 s", "42.28 s", "93.18", "117.69"]);
-    p.row(vec!["Diagonal Matrix Building", "180.997 s", "2.13 s", "1.68 s", "84.98", "107.74"]);
-    p.row(vec!["Non-diagonal Matrix Building", "1063.25 s", "295.06 s", "242.76 s", "3.6", "4.38"]);
-    p.row(vec!["Equation Solving", "92401.4 s", "1992.1 s", "1723.7 s", "46.38", "53.60"]);
-    p.row(vec!["Interpenetration Checking", "2367.8 s", "63.66 s", "60.04 s", "37.19", "39.44"]);
-    p.row(vec!["Data Updating", "276.081 s", "6.19 s", "5.63 s", "44.6", "49.04"]);
-    p.row(vec!["Total", "101339 s", "2416.1 s", "2080.2 s", "41.94", "48.72"]);
+    p.row(vec![
+        "Contact Detection",
+        "4975.91 s",
+        "53.4 s",
+        "42.28 s",
+        "93.18",
+        "117.69",
+    ]);
+    p.row(vec![
+        "Diagonal Matrix Building",
+        "180.997 s",
+        "2.13 s",
+        "1.68 s",
+        "84.98",
+        "107.74",
+    ]);
+    p.row(vec![
+        "Non-diagonal Matrix Building",
+        "1063.25 s",
+        "295.06 s",
+        "242.76 s",
+        "3.6",
+        "4.38",
+    ]);
+    p.row(vec![
+        "Equation Solving",
+        "92401.4 s",
+        "1992.1 s",
+        "1723.7 s",
+        "46.38",
+        "53.60",
+    ]);
+    p.row(vec![
+        "Interpenetration Checking",
+        "2367.8 s",
+        "63.66 s",
+        "60.04 s",
+        "37.19",
+        "39.44",
+    ]);
+    p.row(vec![
+        "Data Updating",
+        "276.081 s",
+        "6.19 s",
+        "5.63 s",
+        "44.6",
+        "49.04",
+    ]);
+    p.row(vec![
+        "Total", "101339 s", "2416.1 s", "2080.2 s", "41.94", "48.72",
+    ]);
     p.print();
 }

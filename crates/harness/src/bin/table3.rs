@@ -60,13 +60,62 @@ fn main() {
 
     println!("\nPaper (Table III, 1683 blocks, 80000 steps):");
     let mut p = Table::new(vec!["Module", "E5620", "K20", "K40", "K20 ×", "K40 ×"]);
-    p.row(vec!["Contact Detection", "5560.61 s", "72.84 s", "59.43 s", "76.34", "93.57"]);
-    p.row(vec!["Diagonal Matrix Building", "122.578 s", "4.78 s", "3.74 s", "25.64", "32.77"]);
-    p.row(vec!["Non-diagonal Matrix Building", "817.912 s", "416.49 s", "343.84 s", "1.96", "2.39"]);
-    p.row(vec!["Equation Solving", "12219.1 s", "3122.7 s", "2755.1 s", "3.91", "4.44"]);
-    p.row(vec!["Interpenetration Checking", "1470.82 s", "96.33 s", "88.73 s", "15.27", "16.58"]);
-    p.row(vec!["Data Updating", "207.091 s", "15.67 s", "13.98 s", "13.22", "14.81"]);
-    p.row(vec!["Total", "20454.9 s", "3731.7 s", "3267.3 s", "5.48", "6.26"]);
+    p.row(vec![
+        "Contact Detection",
+        "5560.61 s",
+        "72.84 s",
+        "59.43 s",
+        "76.34",
+        "93.57",
+    ]);
+    p.row(vec![
+        "Diagonal Matrix Building",
+        "122.578 s",
+        "4.78 s",
+        "3.74 s",
+        "25.64",
+        "32.77",
+    ]);
+    p.row(vec![
+        "Non-diagonal Matrix Building",
+        "817.912 s",
+        "416.49 s",
+        "343.84 s",
+        "1.96",
+        "2.39",
+    ]);
+    p.row(vec![
+        "Equation Solving",
+        "12219.1 s",
+        "3122.7 s",
+        "2755.1 s",
+        "3.91",
+        "4.44",
+    ]);
+    p.row(vec![
+        "Interpenetration Checking",
+        "1470.82 s",
+        "96.33 s",
+        "88.73 s",
+        "15.27",
+        "16.58",
+    ]);
+    p.row(vec![
+        "Data Updating",
+        "207.091 s",
+        "15.67 s",
+        "13.98 s",
+        "13.22",
+        "14.81",
+    ]);
+    p.row(vec![
+        "Total",
+        "20454.9 s",
+        "3731.7 s",
+        "3267.3 s",
+        "5.48",
+        "6.26",
+    ]);
     p.print();
 
     println!(

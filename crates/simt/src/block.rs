@@ -16,6 +16,12 @@ use crate::buffer::GBuf;
 use crate::stats::KernelStats;
 use crate::{SMEM_BANKS, TEX_TRANSACTION_BYTES, TRANSACTION_BYTES, WARP_SIZE};
 
+thread_local! {
+    /// Reused per-warp transaction-segment scratch for address accounting.
+    static SEG_SCRATCH: std::cell::RefCell<Vec<u64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Execution context handed to a per-block kernel closure.
 pub struct Block {
     /// Block index within the launch.
@@ -38,61 +44,111 @@ impl Block {
 
     fn account_addresses<I: Iterator<Item = u64>>(&mut self, addrs: I, tex: bool) {
         // Chunk the per-thread addresses into warps and count distinct
-        // transaction segments per warp.
+        // transaction segments per warp. The segment scratch is per-thread
+        // and reused across every launch, so accounting never allocates.
         let granularity = if tex {
             TEX_TRANSACTION_BYTES
         } else {
             TRANSACTION_BYTES
         };
-        let mut segs: Vec<u64> = Vec::with_capacity(WARP_SIZE);
-        let mut in_warp = 0usize;
-        let flush = |segs: &mut Vec<u64>, stats: &mut KernelStats| {
-            if segs.is_empty() {
-                return;
-            }
-            segs.sort_unstable();
-            segs.dedup();
-            if tex {
-                stats.tex_transactions += segs.len() as u64;
-            } else {
-                stats.gmem_transactions += segs.len() as u64;
-            }
+        SEG_SCRATCH.with(|cell| {
+            let mut segs = cell.borrow_mut();
             segs.clear();
-        };
-        for (addr, bytes) in addrs.map(|a| (a, 8u64)) {
-            let first = addr / granularity;
-            let last = (addr + bytes - 1) / granularity;
-            for s in first..=last {
-                segs.push(s);
+            let mut in_warp = 0usize;
+            let flush = |segs: &mut Vec<u64>, stats: &mut KernelStats| {
+                if segs.is_empty() {
+                    return;
+                }
+                segs.sort_unstable();
+                segs.dedup();
+                if tex {
+                    stats.tex_transactions += segs.len() as u64;
+                } else {
+                    stats.gmem_transactions += segs.len() as u64;
+                }
+                segs.clear();
+            };
+            for (addr, bytes) in addrs.map(|a| (a, 8u64)) {
+                let first = addr / granularity;
+                let last = (addr + bytes - 1) / granularity;
+                for s in first..=last {
+                    segs.push(s);
+                }
+                in_warp += 1;
+                if in_warp == WARP_SIZE {
+                    flush(&mut segs, &mut self.stats);
+                    in_warp = 0;
+                }
             }
-            in_warp += 1;
-            if in_warp == WARP_SIZE {
-                flush(&mut segs, &mut self.stats);
-                in_warp = 0;
-            }
-        }
-        flush(&mut segs, &mut self.stats);
+            flush(&mut segs, &mut self.stats);
+        });
     }
 
     /// Every thread `t < count` loads `buf[start + t]`; returns the values.
-    pub fn gld_range<T: Copy + Send>(&mut self, buf: &GBuf<T>, start: usize, count: usize) -> Vec<T> {
+    pub fn gld_range<T: Copy + Send>(
+        &mut self,
+        buf: &GBuf<T>,
+        start: usize,
+        count: usize,
+    ) -> Vec<T> {
+        let mut out = Vec::with_capacity(count);
+        self.gld_range_into(buf, start, count, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Block::gld_range`]: clears `out` and fills it with
+    /// the loaded values, reusing its capacity.
+    pub fn gld_range_into<T: Copy + Send>(
+        &mut self,
+        buf: &GBuf<T>,
+        start: usize,
+        count: usize,
+        out: &mut Vec<T>,
+    ) {
         self.stats.gmem_bytes += (count * buf.elem_bytes() as usize) as u64;
         self.account_addresses((0..count).map(|t| buf.addr(start + t)), false);
-        (0..count).map(|t| buf.get(start + t)).collect()
+        out.clear();
+        out.extend((0..count).map(|t| buf.get(start + t)));
     }
 
     /// Thread `t` loads `buf[idxs[t]]` (arbitrary gather); returns values.
     pub fn gld_gather<T: Copy + Send>(&mut self, buf: &GBuf<T>, idxs: &[usize]) -> Vec<T> {
+        let mut out = Vec::with_capacity(idxs.len());
+        self.gld_gather_into(buf, idxs, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Block::gld_gather`] reusing `out`'s capacity.
+    pub fn gld_gather_into<T: Copy + Send>(
+        &mut self,
+        buf: &GBuf<T>,
+        idxs: &[usize],
+        out: &mut Vec<T>,
+    ) {
         self.stats.gmem_bytes += (idxs.len() * buf.elem_bytes() as usize) as u64;
         self.account_addresses(idxs.iter().map(|&i| buf.addr(i)), false);
-        idxs.iter().map(|&i| buf.get(i)).collect()
+        out.clear();
+        out.extend(idxs.iter().map(|&i| buf.get(i)));
     }
 
     /// Gather through the texture path (32-byte transactions).
     pub fn gld_gather_tex<T: Copy + Send>(&mut self, buf: &GBuf<T>, idxs: &[usize]) -> Vec<T> {
+        let mut out = Vec::with_capacity(idxs.len());
+        self.gld_gather_tex_into(buf, idxs, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Block::gld_gather_tex`] reusing `out`'s capacity.
+    pub fn gld_gather_tex_into<T: Copy + Send>(
+        &mut self,
+        buf: &GBuf<T>,
+        idxs: &[usize],
+        out: &mut Vec<T>,
+    ) {
         self.stats.gmem_bytes += (idxs.len() * buf.elem_bytes() as usize) as u64;
         self.account_addresses(idxs.iter().map(|&i| buf.addr(i)), true);
-        idxs.iter().map(|&i| buf.get(i)).collect()
+        out.clear();
+        out.extend(idxs.iter().map(|&i| buf.get(i)));
     }
 
     /// Single-thread load of one element.

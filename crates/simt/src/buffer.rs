@@ -67,8 +67,9 @@ impl<'a, T: Copy + Send> GBuf<'a, T> {
 
     /// Internal constructor used by `Device::bind_ro`.
     pub(crate) fn new_ro(slice: &'a [T], base: u64) -> Self {
-        let cells =
-            unsafe { std::slice::from_raw_parts(slice.as_ptr() as *const SyncCell<T>, slice.len()) };
+        let cells = unsafe {
+            std::slice::from_raw_parts(slice.as_ptr() as *const SyncCell<T>, slice.len())
+        };
         GBuf {
             cells,
             base,

@@ -6,15 +6,24 @@ use crate::lane::{aggregate_warp, Lane, LaneRec};
 use crate::profile::DeviceProfile;
 use crate::stats::{DeviceTrace, KernelStats, LaunchRecord};
 use crate::timing::TimingModel;
-use crate::WARP_SIZE;
-use parking_lot::Mutex;
-use rayon::prelude::*;
+use crate::{pool, WARP_SIZE};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Below this many warps a launch runs on the calling thread; above it,
-/// warps are distributed over the rayon pool. Purely a host-side execution
-/// detail — modeled time is identical either way.
+/// warps are distributed over the persistent host-thread pool. Purely a
+/// host-side execution detail — modeled time is identical either way.
 const PARALLEL_WARP_THRESHOLD: usize = 64;
+
+thread_local! {
+    /// Per-thread warp replay scratch: 32 [`LaneRec`]s whose inner vectors
+    /// keep their capacity across launches, so the steady-state hot loop
+    /// records lane traces without touching the heap.
+    static WARP_SCRATCH: RefCell<Vec<LaneRec>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread counter accumulator for the launch in flight.
+    static LOCAL_STATS: RefCell<KernelStats> = const { RefCell::new(KernelStats::new()) };
+}
 
 /// A simulated GPU (or the serial-CPU baseline platform).
 ///
@@ -84,7 +93,8 @@ impl Device {
 
     fn alloc_base(&self, bytes: u64) -> u64 {
         let rounded = (bytes + 255) & !127; // pad and 128-align
-        self.next_base.fetch_add(rounded.max(128), Ordering::Relaxed)
+        self.next_base
+            .fetch_add(rounded.max(128), Ordering::Relaxed)
     }
 
     /// Launches a per-thread kernel: `f` runs once per simulated thread.
@@ -110,14 +120,14 @@ impl Device {
     /// assert_eq!(stats.flops, 1024);
     /// assert!(dev.modeled_seconds() > 0.0);
     /// ```
-    pub fn launch<F>(&self, name: &str, threads: usize, f: F) -> KernelStats
+    pub fn launch<F>(&self, name: &'static str, threads: usize, f: F) -> KernelStats
     where
         F: Fn(&mut Lane) + Sync,
     {
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let n_warps = threads.div_ceil(WARP_SIZE);
 
-        let run_warp = |w: usize, scratch: &mut Vec<LaneRec>, stats: &mut KernelStats| {
+        let run_warp = |w: usize, scratch: &mut [LaneRec], stats: &mut KernelStats| {
             for lane_idx in 0..WARP_SIZE {
                 let gid = w * WARP_SIZE + lane_idx;
                 let rec = &mut scratch[lane_idx];
@@ -138,32 +148,36 @@ impl Device {
         };
 
         let mut stats = if n_warps <= PARALLEL_WARP_THRESHOLD {
-            let mut scratch: Vec<LaneRec> = (0..WARP_SIZE).map(|_| LaneRec::default()).collect();
-            let mut stats = KernelStats::default();
-            for w in 0..n_warps {
-                run_warp(w, &mut scratch, &mut stats);
-            }
-            stats
+            WARP_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                if scratch.len() < WARP_SIZE {
+                    scratch.resize_with(WARP_SIZE, LaneRec::default);
+                }
+                let mut stats = KernelStats::default();
+                for w in 0..n_warps {
+                    run_warp(w, &mut scratch, &mut stats);
+                }
+                stats
+            })
         } else {
-            (0..n_warps)
-                .into_par_iter()
-                .fold(
-                    || {
-                        (
-                            (0..WARP_SIZE).map(|_| LaneRec::default()).collect::<Vec<_>>(),
-                            KernelStats::default(),
-                        )
-                    },
-                    |(mut scratch, mut stats), w| {
-                        run_warp(w, &mut scratch, &mut stats);
-                        (scratch, stats)
-                    },
-                )
-                .map(|(_, stats)| stats)
-                .reduce(KernelStats::default, |mut a, b| {
-                    a.merge(&b);
-                    a
-                })
+            let total = Mutex::new(KernelStats::default());
+            let task = |w: usize| {
+                WARP_SCRATCH.with(|cell| {
+                    let mut scratch = cell.borrow_mut();
+                    if scratch.len() < WARP_SIZE {
+                        scratch.resize_with(WARP_SIZE, LaneRec::default);
+                    }
+                    LOCAL_STATS.with(|stats| {
+                        run_warp(w, &mut scratch, &mut stats.borrow_mut());
+                    });
+                });
+            };
+            let finish = || {
+                let local = LOCAL_STATS.with(|stats| std::mem::take(&mut *stats.borrow_mut()));
+                total.lock().unwrap().merge(&local);
+            };
+            pool::global().run(n_warps, &task, &finish);
+            total.into_inner().unwrap()
         };
 
         stats.launches = 1;
@@ -175,7 +189,13 @@ impl Device {
 
     /// Launches a block-granular cooperative kernel: `f` runs once per
     /// thread block with a [`Block`] context of `block_size` threads.
-    pub fn launch_blocks<F>(&self, name: &str, blocks: usize, block_size: usize, f: F) -> KernelStats
+    pub fn launch_blocks<F>(
+        &self,
+        name: &'static str,
+        blocks: usize,
+        block_size: usize,
+        f: F,
+    ) -> KernelStats
     where
         F: Fn(&mut Block) + Sync,
     {
@@ -194,18 +214,18 @@ impl Device {
             }
             stats
         } else {
-            (0..blocks)
-                .into_par_iter()
-                .fold(KernelStats::default, |mut stats, b| {
-                    let mut blk = Block::new(b, block_size, epoch);
-                    f(&mut blk);
-                    stats.merge(&blk.stats);
-                    stats
-                })
-                .reduce(KernelStats::default, |mut a, b| {
-                    a.merge(&b);
-                    a
-                })
+            let total = Mutex::new(KernelStats::default());
+            let task = |b: usize| {
+                let mut blk = Block::new(b, block_size, epoch);
+                f(&mut blk);
+                LOCAL_STATS.with(|stats| stats.borrow_mut().merge(&blk.stats));
+            };
+            let finish = || {
+                let local = LOCAL_STATS.with(|stats| std::mem::take(&mut *stats.borrow_mut()));
+                total.lock().unwrap().merge(&local);
+            };
+            pool::global().run(blocks, &task, &finish);
+            total.into_inner().unwrap()
         };
 
         stats.launches = 1;
@@ -217,14 +237,14 @@ impl Device {
 
     /// Records an externally-assembled report (used by serial reference
     /// code that models the E5620 baseline without simulated warps).
-    pub fn record_external(&self, name: &str, stats: KernelStats) -> f64 {
+    pub fn record_external(&self, name: &'static str, stats: KernelStats) -> f64 {
         self.record(name, stats)
     }
 
-    fn record(&self, name: &str, stats: KernelStats) -> f64 {
+    fn record(&self, name: &'static str, stats: KernelStats) -> f64 {
         let seconds = self.model.seconds(&stats, &self.profile);
-        self.trace.lock().records.push(LaunchRecord {
-            name: name.to_owned(),
+        self.trace.lock().unwrap().records.push(LaunchRecord {
+            name,
             stats,
             seconds,
         });
@@ -233,22 +253,23 @@ impl Device {
 
     /// Snapshot of the launch trace.
     pub fn trace(&self) -> DeviceTrace {
-        self.trace.lock().clone()
+        self.trace.lock().unwrap().clone()
     }
 
     /// Total modeled seconds since the last reset.
     pub fn modeled_seconds(&self) -> f64 {
-        self.trace.lock().total_seconds()
+        self.trace.lock().unwrap().total_seconds()
     }
 
-    /// Clears the launch trace.
+    /// Clears the launch trace (retaining its capacity, so a warmed device
+    /// records subsequent launches without reallocating).
     pub fn reset_trace(&self) {
-        self.trace.lock().records.clear();
+        self.trace.lock().unwrap().records.clear();
     }
 
     /// Takes the launch trace, leaving it empty.
     pub fn take_trace(&self) -> DeviceTrace {
-        std::mem::take(&mut *self.trace.lock())
+        std::mem::take(&mut *self.trace.lock().unwrap())
     }
 }
 

@@ -163,105 +163,118 @@ impl<'w> Lane<'w> {
     }
 }
 
+/// Transaction-segment keys plus `(width, read, tex)` divergence groups.
+type AggScratch = (Vec<u64>, Vec<(u32, bool, bool)>);
+
+thread_local! {
+    /// Reused transaction-segment and divergence-group scratch, so warp
+    /// aggregation in the steady-state hot loop never allocates.
+    static AGG_SCRATCH: std::cell::RefCell<AggScratch> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
 /// Folds the 32 lane traces of one warp into `stats`, applying the lockstep
 /// coalescing / bank-conflict / divergence rules.
 pub(crate) fn aggregate_warp(lanes: &[LaneRec], stats: &mut KernelStats) {
-    let active: Vec<&LaneRec> = lanes.iter().filter(|l| l.active).collect();
-    if active.is_empty() {
+    let active = || lanes.iter().filter(|l| l.active);
+    if active().next().is_none() {
         return;
     }
+    AGG_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let (segs, groups) = &mut *scratch;
 
-    // --- SIMT compute work -------------------------------------------------
-    let mut max_flops = 0u64;
-    for l in &active {
-        stats.flops += l.flops;
-        max_flops = max_flops.max(l.flops);
-        stats.gmem_bytes += l.mem.iter().map(|m| u64::from(m.bytes)).sum::<u64>();
-    }
-    stats.warp_flops += max_flops * WARP_SIZE as u64;
+        // --- SIMT compute work ---------------------------------------------
+        let mut max_flops = 0u64;
+        for l in active() {
+            stats.flops += l.flops;
+            max_flops = max_flops.max(l.flops);
+            stats.gmem_bytes += l.mem.iter().map(|m| u64::from(m.bytes)).sum::<u64>();
+        }
+        stats.warp_flops += max_flops * WARP_SIZE as u64;
 
-    // --- Global memory: zip k-th access of each lane -----------------------
-    let max_mem = active.iter().map(|l| l.mem.len()).max().unwrap_or(0);
-    let mut segs: Vec<u64> = Vec::with_capacity(WARP_SIZE);
-    for k in 0..max_mem {
-        for kind in [MemKind::Load, MemKind::Store, MemKind::Tex] {
-            segs.clear();
-            let granularity = if kind == MemKind::Tex {
-                TEX_TRANSACTION_BYTES
-            } else {
-                TRANSACTION_BYTES
-            };
-            for l in &active {
-                if let Some(m) = l.mem.get(k) {
-                    if m.kind == kind {
-                        // An element spanning a boundary costs both segments.
-                        let first = m.addr / granularity;
-                        let last = (m.addr + u64::from(m.bytes) - 1) / granularity;
-                        for s in first..=last {
-                            segs.push(s);
+        // --- Global memory: zip k-th access of each lane -------------------
+        let max_mem = active().map(|l| l.mem.len()).max().unwrap_or(0);
+        for k in 0..max_mem {
+            for kind in [MemKind::Load, MemKind::Store, MemKind::Tex] {
+                segs.clear();
+                let granularity = if kind == MemKind::Tex {
+                    TEX_TRANSACTION_BYTES
+                } else {
+                    TRANSACTION_BYTES
+                };
+                for l in active() {
+                    if let Some(m) = l.mem.get(k) {
+                        if m.kind == kind {
+                            // An element spanning a boundary costs both segments.
+                            let first = m.addr / granularity;
+                            let last = (m.addr + u64::from(m.bytes) - 1) / granularity;
+                            for s in first..=last {
+                                segs.push(s);
+                            }
                         }
                     }
                 }
-            }
-            if segs.is_empty() {
-                continue;
-            }
-            segs.sort_unstable();
-            segs.dedup();
-            if kind == MemKind::Tex {
-                stats.tex_transactions += segs.len() as u64;
-            } else {
-                stats.gmem_transactions += segs.len() as u64;
-            }
-        }
-    }
-
-    // --- Shared memory: bank conflicts per lockstep access ------------------
-    let max_smem = active.iter().map(|l| l.smem.len()).max().unwrap_or(0);
-    for k in 0..max_smem {
-        let mut bank_count = [0u32; SMEM_BANKS];
-        let mut n = 0u64;
-        for l in &active {
-            if let Some(&w) = l.smem.get(k) {
-                bank_count[(w as usize) % SMEM_BANKS] += 1;
-                n += 1;
-            }
-        }
-        if n > 0 {
-            stats.smem_accesses += n;
-            let max_mult = *bank_count.iter().max().unwrap();
-            stats.smem_replays += u64::from(max_mult.saturating_sub(1));
-        }
-    }
-
-    // --- Branch divergence: zip k-th branch, grouped by site ---------------
-    let max_br = active.iter().map(|l| l.branches.len()).max().unwrap_or(0);
-    for k in 0..max_br {
-        // Group the k-th decision of each lane by site; within a site group,
-        // mixed outcomes form a divergence event.
-        let mut groups: Vec<(u32, bool, bool)> = Vec::new(); // (site, saw_taken, saw_not)
-        for l in &active {
-            if let Some(&(site, taken)) = l.branches.get(k) {
-                match groups.iter_mut().find(|g| g.0 == site) {
-                    Some(g) => {
-                        g.1 |= taken;
-                        g.2 |= !taken;
-                    }
-                    None => groups.push((site, taken, !taken)),
+                if segs.is_empty() {
+                    continue;
+                }
+                segs.sort_unstable();
+                segs.dedup();
+                if kind == MemKind::Tex {
+                    stats.tex_transactions += segs.len() as u64;
+                } else {
+                    stats.gmem_transactions += segs.len() as u64;
                 }
             }
         }
-        for (_, saw_taken, saw_not) in groups {
-            stats.branch_groups += 1;
-            if saw_taken && saw_not {
-                stats.divergent_branch_groups += 1;
+
+        // --- Shared memory: bank conflicts per lockstep access --------------
+        let max_smem = active().map(|l| l.smem.len()).max().unwrap_or(0);
+        for k in 0..max_smem {
+            let mut bank_count = [0u32; SMEM_BANKS];
+            let mut n = 0u64;
+            for l in active() {
+                if let Some(&w) = l.smem.get(k) {
+                    bank_count[(w as usize) % SMEM_BANKS] += 1;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                stats.smem_accesses += n;
+                let max_mult = *bank_count.iter().max().unwrap();
+                stats.smem_replays += u64::from(max_mult.saturating_sub(1));
             }
         }
-    }
 
-    // --- Warp-uniform ops ---------------------------------------------------
-    stats.shuffles += active.iter().map(|l| l.shuffles).max().unwrap_or(0);
-    stats.syncs += active.iter().map(|l| l.syncs).max().unwrap_or(0);
+        // --- Branch divergence: zip k-th branch, grouped by site -----------
+        let max_br = active().map(|l| l.branches.len()).max().unwrap_or(0);
+        for k in 0..max_br {
+            // Group the k-th decision of each lane by site; within a site
+            // group, mixed outcomes form a divergence event.
+            groups.clear(); // entries are (site, saw_taken, saw_not)
+            for l in active() {
+                if let Some(&(site, taken)) = l.branches.get(k) {
+                    match groups.iter_mut().find(|g| g.0 == site) {
+                        Some(g) => {
+                            g.1 |= taken;
+                            g.2 |= !taken;
+                        }
+                        None => groups.push((site, taken, !taken)),
+                    }
+                }
+            }
+            for &(_, saw_taken, saw_not) in groups.iter() {
+                stats.branch_groups += 1;
+                if saw_taken && saw_not {
+                    stats.divergent_branch_groups += 1;
+                }
+            }
+        }
+
+        // --- Warp-uniform ops ----------------------------------------------
+        stats.shuffles += active().map(|l| l.shuffles).max().unwrap_or(0);
+        stats.syncs += active().map(|l| l.syncs).max().unwrap_or(0);
+    });
 }
 
 #[cfg(test)]

@@ -12,8 +12,9 @@
 //! provides the substitute substrate: a **SIMT execution simulator** that
 //!
 //! 1. **executes kernels for real** — a kernel is a plain Rust closure run
-//!    for every simulated thread, with warps distributed over host cores via
-//!    rayon, so all numerical results are exact; and
+//!    for every simulated thread, with warps of large launches distributed
+//!    over a persistent host-thread pool, so all numerical results are
+//!    exact; and
 //! 2. **models the architecture** — every kernel reports
 //!    [`stats::KernelStats`]: global-memory transactions under 128-byte
 //!    coalescing rules, texture-path transactions, shared-memory bank
@@ -65,6 +66,7 @@ pub mod block;
 pub mod buffer;
 pub mod device;
 pub mod lane;
+pub(crate) mod pool;
 pub mod primitives;
 pub mod profile;
 pub mod serial;

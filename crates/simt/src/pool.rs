@@ -1,0 +1,226 @@
+//! Persistent host-thread pool backing large simulated launches.
+//!
+//! Large launches distribute warps (or blocks) over host cores purely as a
+//! host-side execution detail — modeled time is identical either way. The
+//! pool is spawned once per process and reused by every launch, so the hot
+//! loop pays no thread-spawn cost and no per-launch heap allocation beyond
+//! each worker's lazily-created thread-local scratch.
+//!
+//! One job runs at a time (`run` serializes callers); workers pull item
+//! indices from a shared atomic counter, call `task(i)` per item, then call
+//! `finish()` once — the hook launch code uses to fold thread-local
+//! accumulators into the launch total. Counters are summed commutatively,
+//! so results are deterministic regardless of which worker handles which
+//! item.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// The process-wide pool, spawned on first use.
+pub(crate) fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .saturating_sub(1); // the caller participates too
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(JobSlot {
+                generation: 0,
+                job: None,
+                remaining: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        for i in 0..workers {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("simt-pool-{i}"))
+                .spawn(move || worker_loop(&sh))
+                .expect("failed to spawn simt pool worker");
+        }
+        Pool {
+            shared,
+            run_lock: Mutex::new(()),
+            workers,
+        }
+    })
+}
+
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    /// Serializes concurrent `run` callers (e.g. parallel test threads);
+    /// one launch already saturates the pool.
+    run_lock: Mutex<()>,
+    workers: usize,
+}
+
+struct Shared {
+    slot: Mutex<JobSlot>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+struct JobSlot {
+    /// Bumped per job so sleeping workers can tell new work from old.
+    generation: u64,
+    job: Option<Job>,
+    /// Workers that have not yet finished the current generation.
+    remaining: usize,
+}
+
+/// Borrows of the caller's closures with lifetimes erased. Sound because
+/// `Pool::run` does not return until every worker has finished the
+/// generation, so the pointees strictly outlive all uses.
+#[derive(Clone, Copy)]
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    finish: *const (dyn Fn() + Sync),
+    counter: *const AtomicUsize,
+    n_items: usize,
+}
+
+// SAFETY: the raw pointers are only dereferenced between job publication
+// and the completion handshake in `run`, during which the pointees are
+// alive and `Sync`.
+unsafe impl Send for Job {}
+
+impl Pool {
+    /// Runs `task(0..n_items)` across the workers plus the calling thread,
+    /// then `finish()` once on every participating thread.
+    pub(crate) fn run<'a>(
+        &self,
+        n_items: usize,
+        task: &'a (dyn Fn(usize) + Sync),
+        finish: &'a (dyn Fn() + Sync),
+    ) {
+        let _serial = self.run_lock.lock().unwrap();
+        let counter = AtomicUsize::new(0);
+        // SAFETY: erases the borrow lifetimes to the `'static`-bounded
+        // pointers `Job` carries; see `Job` for why the pointees outlive
+        // every use.
+        let job = unsafe {
+            Job {
+                task: std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync + 'a),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(task),
+                finish: std::mem::transmute::<
+                    *const (dyn Fn() + Sync + 'a),
+                    *const (dyn Fn() + Sync + 'static),
+                >(finish),
+                counter: &counter,
+                n_items,
+            }
+        };
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            debug_assert!(slot.job.is_none() && slot.remaining == 0);
+            slot.generation += 1;
+            slot.job = Some(job);
+            slot.remaining = self.workers;
+            self.shared.work_cv.notify_all();
+        }
+        // The caller is a full participant.
+        // SAFETY: the job's pointees are the arguments of this very call.
+        unsafe { drain(&job) };
+        let mut slot = self.shared.slot.lock().unwrap();
+        while slot.remaining > 0 {
+            slot = self.shared.done_cv.wait(slot).unwrap();
+        }
+        slot.job = None;
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut last_gen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().unwrap();
+            loop {
+                if slot.generation != last_gen {
+                    if let Some(job) = slot.job {
+                        last_gen = slot.generation;
+                        break job;
+                    }
+                }
+                slot = shared.work_cv.wait(slot).unwrap();
+            }
+        };
+        // SAFETY: `run` is blocked on `remaining > 0` until we decrement
+        // below, so the job's pointees are still alive here.
+        unsafe { drain(&job) };
+        let mut slot = shared.slot.lock().unwrap();
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Pulls items until the counter runs dry, then runs the epilogue.
+///
+/// # Safety
+/// The job's pointers must still be alive (guaranteed by the `run`
+/// completion handshake).
+unsafe fn drain(job: &Job) {
+    let task = unsafe { &*job.task };
+    let finish = unsafe { &*job.finish };
+    let counter = unsafe { &*job.counter };
+    loop {
+        let i = counter.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n_items {
+            break;
+        }
+        task(i);
+    }
+    finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_item_exactly_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let task = |i: usize| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        };
+        let finish = || {};
+        global().run(n, &task, &finish);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn finish_runs_once_per_participant() {
+        let calls = AtomicU64::new(0);
+        let task = |_i: usize| {};
+        let finish = || {
+            calls.fetch_add(1, Ordering::Relaxed);
+        };
+        global().run(64, &task, &finish);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            global().workers as u64 + 1,
+            "every worker plus the caller runs the epilogue"
+        );
+    }
+
+    #[test]
+    fn back_to_back_jobs_reuse_the_pool() {
+        for round in 0..50u64 {
+            let sum = AtomicU64::new(0);
+            let task = |i: usize| {
+                sum.fetch_add(i as u64 + round, Ordering::Relaxed);
+            };
+            let finish = || {};
+            global().run(100, &task, &finish);
+            let expect: u64 = (0..100u64).map(|i| i + round).sum();
+            assert_eq!(sum.load(Ordering::Relaxed), expect);
+        }
+    }
+}

@@ -99,7 +99,8 @@ pub fn sort_pairs_u64(dev: &Device, keys: &[u64], payload: &[u32]) -> (Vec<u64>,
                     ds.dedup();
                     ds
                 };
-                let off_idx: Vec<usize> = used.iter().map(|&d| d * n_blocks + blk.block_id).collect();
+                let off_idx: Vec<usize> =
+                    used.iter().map(|&d| d * n_blocks + blk.block_id).collect();
                 let tile_off = blk.gld_gather(&b_off, &off_idx);
                 let mut local_rank = [0u32; RADIX];
                 let mut key_pairs = Vec::with_capacity(count);
@@ -174,7 +175,8 @@ mod tests {
         let vals: Vec<u32> = (0..n as u32).collect();
         let (k, v) = sort_pairs_u64(&d, &keys, &vals);
 
-        let mut expected: Vec<(u64, u32)> = keys.iter().copied().zip(vals.iter().copied()).collect();
+        let mut expected: Vec<(u64, u32)> =
+            keys.iter().copied().zip(vals.iter().copied()).collect();
         expected.sort_by_key(|&(k, _)| k);
         let (ek, ev): (Vec<u64>, Vec<u32>) = expected.into_iter().unzip();
         assert_eq!(k, ek);

@@ -72,7 +72,10 @@ impl CpuCounter {
     /// Modeled serial seconds under `profile` (normally
     /// [`DeviceProfile::xeon_e5620_serial`]).
     pub fn seconds(self, model: &TimingModel, profile: &DeviceProfile) -> f64 {
-        assert!(profile.serial, "CpuCounter timing requires a serial profile");
+        assert!(
+            profile.serial,
+            "CpuCounter timing requires a serial profile"
+        );
         model.seconds(&self.to_stats(), profile)
     }
 }

@@ -52,6 +52,27 @@ pub struct KernelStats {
 }
 
 impl KernelStats {
+    /// All-zero report; `const` so thread-local accumulators can be
+    /// initialized without lazy machinery.
+    pub const fn new() -> KernelStats {
+        KernelStats {
+            launches: 0,
+            threads: 0,
+            warps: 0,
+            flops: 0,
+            warp_flops: 0,
+            gmem_transactions: 0,
+            gmem_bytes: 0,
+            tex_transactions: 0,
+            smem_accesses: 0,
+            smem_replays: 0,
+            branch_groups: 0,
+            divergent_branch_groups: 0,
+            shuffles: 0,
+            syncs: 0,
+        }
+    }
+
     /// Merges another report into this one (summing every counter).
     pub fn merge(&mut self, other: &KernelStats) {
         self.launches += other.launches;
@@ -113,10 +134,14 @@ impl KernelStats {
 }
 
 /// One recorded launch: kernel name, its counters, and its modeled time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Kernel names are interned `&'static str`s (every launch site names its
+/// kernel with a literal), so recording a launch in the hot loop copies a
+/// pointer instead of allocating a `String`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct LaunchRecord {
     /// Kernel name as passed to `Device::launch`.
-    pub name: String,
+    pub name: &'static str,
     /// Counters for this launch.
     pub stats: KernelStats,
     /// Modeled execution time in seconds under the device's profile.
@@ -147,12 +172,10 @@ impl DeviceTrace {
 
     /// Per-kernel-name aggregation: `(merged stats, total seconds)`, sorted
     /// by name for deterministic reporting.
-    pub fn by_kernel(&self) -> BTreeMap<String, (KernelStats, f64)> {
-        let mut map: BTreeMap<String, (KernelStats, f64)> = BTreeMap::new();
+    pub fn by_kernel(&self) -> BTreeMap<&'static str, (KernelStats, f64)> {
+        let mut map: BTreeMap<&'static str, (KernelStats, f64)> = BTreeMap::new();
         for r in &self.records {
-            let entry = map
-                .entry(r.name.clone())
-                .or_insert((KernelStats::default(), 0.0));
+            let entry = map.entry(r.name).or_insert((KernelStats::default(), 0.0));
             entry.0.merge(&r.stats);
             entry.1 += r.seconds;
         }
@@ -193,7 +216,7 @@ impl DeviceTrace {
     /// to a profiler summary. `top` limits the number of rows (0 = all).
     pub fn report(&self, top: usize) -> String {
         let total = self.total_seconds().max(1e-30);
-        let mut rows: Vec<(String, KernelStats, f64)> = self
+        let mut rows: Vec<(&'static str, KernelStats, f64)> = self
             .by_kernel()
             .into_iter()
             .map(|(k, (s, t))| (k, s, t))
@@ -282,12 +305,12 @@ mod tests {
 
         let mut t = DeviceTrace::default();
         t.records.push(LaunchRecord {
-            name: "spmv".into(),
+            name: "spmv",
             stats: s,
             seconds: 2e-3,
         });
         t.records.push(LaunchRecord {
-            name: "dot".into(),
+            name: "dot",
             stats: s,
             seconds: 0.5e-3,
         });
@@ -305,17 +328,17 @@ mod tests {
     fn trace_aggregation() {
         let mut t = DeviceTrace::default();
         t.records.push(LaunchRecord {
-            name: "a".into(),
+            name: "a",
             stats: sample(10, 20),
             seconds: 1.5,
         });
         t.records.push(LaunchRecord {
-            name: "b".into(),
+            name: "b",
             stats: sample(5, 10),
             seconds: 0.5,
         });
         t.records.push(LaunchRecord {
-            name: "a".into(),
+            name: "a",
             stats: sample(1, 2),
             seconds: 0.25,
         });

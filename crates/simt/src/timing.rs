@@ -95,8 +95,8 @@ impl TimingModel {
         // Occupancy: a launch with fewer warps than the device needs to hide
         // latency runs proportionally below peak.
         let warps_per_launch = s.warps as f64 / s.launches.max(1) as f64;
-        let util = (warps_per_launch / p.saturation_warps() as f64)
-            .clamp(self.min_utilization, 1.0);
+        let util =
+            (warps_per_launch / p.saturation_warps() as f64).clamp(self.min_utilization, 1.0);
 
         launch + compute.max(memory) / util
     }

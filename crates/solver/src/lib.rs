@@ -34,6 +34,6 @@ pub mod traits;
 pub mod tri;
 pub mod vecops;
 
-pub use pcg::{pcg, PcgOptions, SolveResult};
+pub use pcg::{pcg, pcg_fused, PcgOptions, PcgWorkspace, SolveResult};
 pub use precond::{BlockJacobi, Identity, Ilu0, Jacobi, Preconditioner, SsorAi};
 pub use traits::{CsrScalarMat, CsrVectorMat, HsbcsrMat, MatVec};

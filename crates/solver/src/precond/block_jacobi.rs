@@ -24,34 +24,51 @@ impl BlockJacobi {
     /// Panics when a diagonal sub-matrix is singular — in DDA the inertia
     /// term guarantees it never is (§IV-A).
     pub fn new(dev: &Device, m: &Hsbcsr) -> BlockJacobi {
-        let n = m.n;
-        let mut dinv = vec![0.0f64; 36 * n];
-        {
-            let b_d = dev.bind_ro(&m.d_data);
-            let b_out = dev.bind(&mut dinv);
-            let pad = m.pad_d;
-            dev.launch("precond.bj.construct", n, |lane| {
-                let i = lane.gid;
-                let mut blk = Block6::ZERO;
-                for r in 0..6 {
-                    for c in 0..6 {
-                        // Sliced layout: coalesced across threads.
-                        blk.0[r][c] = lane.ld(&b_d, Hsbcsr::sliced_index(pad, i, r, c));
-                    }
-                }
-                // 6×6 Gauss–Jordan ≈ 2·6³ flops.
-                lane.flop(430);
-                let inv = blk
-                    .inverse()
-                    .unwrap_or_else(|| panic!("singular diagonal sub-matrix {i}"));
-                for r in 0..6 {
-                    for c in 0..6 {
-                        lane.st(&b_out, i * 36 + r * 6 + c, inv.0[r][c]);
-                    }
-                }
-            });
+        let mut bj = BlockJacobi {
+            n: m.n,
+            dinv: vec![0.0f64; 36 * m.n],
+        };
+        bj.compute(dev, m);
+        bj
+    }
+
+    /// Recomputes the inverses in place — the identical single launch as
+    /// construction, but reusing the existing allocation. The pipeline's
+    /// solver cache calls this every solve, since the diagonal values
+    /// change with the contact springs even when the pattern is stable.
+    pub fn refactor(&mut self, dev: &Device, m: &Hsbcsr) {
+        if self.n != m.n {
+            self.n = m.n;
+            self.dinv.clear();
+            self.dinv.resize(36 * m.n, 0.0);
         }
-        BlockJacobi { n, dinv }
+        self.compute(dev, m);
+    }
+
+    fn compute(&mut self, dev: &Device, m: &Hsbcsr) {
+        let b_d = dev.bind_ro(&m.d_data);
+        let b_out = dev.bind(self.dinv.as_mut_slice());
+        let pad = m.pad_d;
+        dev.launch("precond.bj.construct", m.n, |lane| {
+            let i = lane.gid;
+            let mut blk = Block6::ZERO;
+            for r in 0..6 {
+                for c in 0..6 {
+                    // Sliced layout: coalesced across threads.
+                    blk.0[r][c] = lane.ld(&b_d, Hsbcsr::sliced_index(pad, i, r, c));
+                }
+            }
+            // 6×6 Gauss–Jordan ≈ 2·6³ flops.
+            lane.flop(430);
+            let inv = blk
+                .inverse()
+                .unwrap_or_else(|| panic!("singular diagonal sub-matrix {i}"));
+            for r in 0..6 {
+                for c in 0..6 {
+                    lane.st(&b_out, i * 36 + r * 6 + c, inv.0[r][c]);
+                }
+            }
+        });
     }
 
     /// The inverse of diagonal block `i` (diagnostics/tests).
@@ -79,7 +96,12 @@ impl BlockJacobi {
 /// Device kernel: `z_i = Dinv_i · r_i`, one thread per *scalar* row
 /// (`6n` threads — six per block — which keeps the kernel occupied even on
 /// mid-sized models; one-thread-per-block leaves 5/6 of the device idle).
-pub(crate) fn block_diag_apply(dev: &Device, name: &str, dinv: &[f64], r: &[f64]) -> Vec<f64> {
+pub(crate) fn block_diag_apply(
+    dev: &Device,
+    name: &'static str,
+    dinv: &[f64],
+    r: &[f64],
+) -> Vec<f64> {
     let dim = r.len();
     let mut z = vec![0.0f64; dim];
     {
@@ -110,6 +132,10 @@ impl Preconditioner for BlockJacobi {
     fn apply(&self, dev: &Device, r: &[f64]) -> Vec<f64> {
         assert_eq!(r.len(), self.n * 6);
         block_diag_apply(dev, "precond.bj.apply", &self.dinv, r)
+    }
+
+    fn block_diag_inv(&self) -> Option<&[f64]> {
+        Some(&self.dinv)
     }
 }
 
@@ -155,6 +181,19 @@ mod tests {
             for c in 0..6 {
                 assert!((back[c] - r[i * 6 + c]).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn refactor_matches_fresh_construction() {
+        let d = dev();
+        let h1 = Hsbcsr::from_sym(&SymBlockMatrix::random_spd(12, 2.0, 3));
+        let h2 = Hsbcsr::from_sym(&SymBlockMatrix::random_spd(12, 2.0, 4));
+        let mut bj = BlockJacobi::new(&d, &h1);
+        bj.refactor(&d, &h2);
+        let fresh = BlockJacobi::new(&d, &h2);
+        for i in 0..12 {
+            assert_eq!(bj.block_inverse(i), fresh.block_inverse(i), "block {i}");
         }
     }
 

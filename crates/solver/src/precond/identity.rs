@@ -17,6 +17,10 @@ impl Preconditioner for Identity {
         crate::vecops::copy(dev, r, &mut z);
         z
     }
+
+    fn is_identity(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

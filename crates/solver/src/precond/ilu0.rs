@@ -206,7 +206,10 @@ mod tests {
                 assert!((ilu.l.col_idx[p] as usize) < i);
             }
             let lo = ilu.u.row_ptr[i] as usize;
-            assert_eq!(ilu.u.col_idx[lo] as usize, i, "U row {i} must start at diag");
+            assert_eq!(
+                ilu.u.col_idx[lo] as usize, i,
+                "U row {i} must start at diag"
+            );
         }
     }
 
@@ -220,7 +223,12 @@ mod tests {
         let r = vec![1.0; a.dim];
         let z = ilu.apply(&d, &r);
         let az = a.mul_vec(&z);
-        let err: f64 = az.iter().zip(&r).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let err: f64 = az
+            .iter()
+            .zip(&r)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
         let rn: f64 = (a.dim as f64).sqrt();
         assert!(err < 0.5 * rn, "ILU(0) residual too large: {err} vs {rn}");
     }

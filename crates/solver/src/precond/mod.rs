@@ -34,4 +34,17 @@ pub trait Preconditioner {
     fn name(&self) -> &'static str;
     /// Applies the preconditioner.
     fn apply(&self, dev: &Device, r: &[f64]) -> Vec<f64>;
+    /// Flat row-major 6×6 block-diagonal inverses (36 scalars per block
+    /// row) when [`Preconditioner::apply`] is exactly the block-diagonal
+    /// product `z = D⁻¹ r` — the hook that lets the fused PCG compute `z`
+    /// inside its reduction kernel instead of a separate apply launch.
+    /// `None` (the default) sends the fused solver down its fallback path.
+    fn block_diag_inv(&self) -> Option<&[f64]> {
+        None
+    }
+    /// True when apply is the identity (`z = r`), which the fused PCG also
+    /// folds into its reduction kernel.
+    fn is_identity(&self) -> bool {
+        false
+    }
 }

@@ -37,7 +37,10 @@ impl<'m> SsorAi<'m> {
     /// Builds the preconditioner. `omega ∈ (0, 2)`; the paper's reference
     /// uses values near 1.
     pub fn new(dev: &Device, m: &'m Hsbcsr, omega: f64) -> SsorAi<'m> {
-        assert!(omega > 0.0 && omega < 2.0, "SSOR relaxation must be in (0,2)");
+        assert!(
+            omega > 0.0 && omega < 2.0,
+            "SSOR relaxation must be in (0,2)"
+        );
         SsorAi {
             m,
             bj: BlockJacobi::new(dev, m),
@@ -120,7 +123,14 @@ impl<'m> SsorAi<'m> {
     }
 
     /// `out = a − ω·Dinv·b` fused kernel.
-    fn sub_scaled_dinv(&self, dev: &Device, name: &str, a: &[f64], b: &[f64], scale: f64) -> Vec<f64> {
+    fn sub_scaled_dinv(
+        &self,
+        dev: &Device,
+        name: &'static str,
+        a: &[f64],
+        b: &[f64],
+        scale: f64,
+    ) -> Vec<f64> {
         let tmp = block_diag_apply(dev, name, self.bj.dinv(), b);
         let n = a.len();
         let mut out = vec![0.0f64; n];
@@ -268,8 +278,12 @@ mod tests {
         let h = Hsbcsr::from_sym(&m);
         let d = dev();
         let ssor = SsorAi::new(&d, &h, 1.0);
-        let u: Vec<f64> = (0..m.dim()).map(|i| ((i * 13 + 1) % 7) as f64 - 3.0).collect();
-        let v: Vec<f64> = (0..m.dim()).map(|i| ((i * 5 + 2) % 11) as f64 - 5.0).collect();
+        let u: Vec<f64> = (0..m.dim())
+            .map(|i| ((i * 13 + 1) % 7) as f64 - 3.0)
+            .collect();
+        let v: Vec<f64> = (0..m.dim())
+            .map(|i| ((i * 5 + 2) % 11) as f64 - 5.0)
+            .collect();
         let mu = ssor.apply(&d, &u);
         let mv = ssor.apply(&d, &v);
         let a: f64 = mu.iter().zip(&v).map(|(x, y)| x * y).sum();

@@ -139,7 +139,12 @@ mod tests {
         let res = pcg_serial_bj(&m, &b, &vec![0.0; m.dim()], PcgOptions::default(), &mut c);
         assert!(res.converged);
         let ax = m.mul_vec(&res.x);
-        let err: f64 = ax.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt();
+        let err: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!(err < 1e-5);
         assert!(c.flops > 0 && c.bytes > 0);
     }

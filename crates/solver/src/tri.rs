@@ -88,7 +88,13 @@ fn collect_levels(level: &[u32], max_level: u32) -> LevelSchedule {
 /// Solves `L x = b` with `L` lower triangular stored in CSR. When
 /// `unit_diag` is true the diagonal is implicitly 1 and need not be stored;
 /// otherwise the diagonal entry must be present in each row.
-pub fn solve_lower(dev: &Device, l: &Csr, b: &[f64], sched: &LevelSchedule, unit_diag: bool) -> Vec<f64> {
+pub fn solve_lower(
+    dev: &Device,
+    l: &Csr,
+    b: &[f64],
+    sched: &LevelSchedule,
+    unit_diag: bool,
+) -> Vec<f64> {
     let n = l.dim;
     assert_eq!(b.len(), n);
     let mut x = vec![0.0f64; n];

@@ -5,8 +5,40 @@
 //! device launch here so the solver's modeled time includes them (they are
 //! memory-bound and small — on the GPU their launch overhead is visible,
 //! which is part of why low-iteration-count preconditioners matter).
+//!
+//! The `fused_*` kernels collapse that per-iteration BLAS-1 train into
+//! three launches (see [`crate::pcg::pcg_fused`]): each fused kernel starts
+//! with a redundant per-block reduction of the previous kernel's partial
+//! sums — recomputing a tiny reduction in every block is far cheaper than
+//! a dedicated reduce launch — then performs its vector updates and writes
+//! the partials the *next* kernel needs. All partial sums keep the unfused
+//! 256-tile ordering, so the only reassociation relative to the unfused
+//! loop is the `p·q` dot, whose partials tile by SpMV row block.
 
 use dda_simt::Device;
+use std::cell::RefCell;
+
+/// Reduction/update tile width — matches the unfused [`dot`] so the fused
+/// partials reassociate identically.
+const TILE: usize = 256;
+
+/// Per-host-thread scratch for the fused kernels' tile loads; reused across
+/// launches so the solver's hot loop allocates nothing.
+#[derive(Debug, Default)]
+struct FusedScratch {
+    va: Vec<f64>,
+    vb: Vec<f64>,
+    vc: Vec<f64>,
+    vd: Vec<f64>,
+    red: Vec<f64>,
+    out: Vec<f64>,
+    ia: Vec<usize>,
+    ib: Vec<usize>,
+}
+
+thread_local! {
+    static FUSED_SCRATCH: RefCell<FusedScratch> = RefCell::new(FusedScratch::default());
+}
 
 /// `y ← a·x + y`.
 pub fn axpy(dev: &Device, a: f64, x: &[f64], y: &mut [f64]) {
@@ -50,42 +82,52 @@ pub fn copy(dev: &Device, x: &[f64], y: &mut [f64]) {
     });
 }
 
-/// Dot product with a two-phase block reduction (tile partial sums, then a
-/// final single-block pass).
-pub fn dot(dev: &Device, x: &[f64], y: &[f64]) -> f64 {
+/// The tile-partial stage of [`dot`], allocation-free: fills `partials`
+/// with one 256-tile partial sum per block (reusing its capacity).
+pub fn dot_partials_into(dev: &Device, x: &[f64], y: &[f64], partials: &mut Vec<f64>) {
     assert_eq!(x.len(), y.len());
     let n = x.len();
+    let n_blocks = n.div_ceil(TILE);
+    partials.clear();
+    partials.resize(n_blocks, 0.0);
     if n == 0 {
-        return 0.0;
+        return;
     }
-    let tile = 256usize;
-    let n_blocks = n.div_ceil(tile);
-    let mut partials = vec![0.0f64; n_blocks];
-    {
-        let bx = dev.bind_ro(x);
-        let by = dev.bind_ro(y);
-        let bp = dev.bind(&mut partials);
-        dev.launch_blocks("vec.dot.partial", n_blocks, 256, |blk| {
-            let start = blk.block_id * tile;
-            let count = tile.min(n - start);
-            let xs = blk.gld_range(&bx, start, count);
-            let ys = blk.gld_range(&by, start, count);
+    let bx = dev.bind_ro(x);
+    let by = dev.bind_ro(y);
+    let bp = dev.bind(partials.as_mut_slice());
+    dev.launch_blocks("vec.dot.partial", n_blocks, 256, |blk| {
+        FUSED_SCRATCH.with(|cell| {
+            let mut s = cell.borrow_mut();
+            let FusedScratch { va, vb, .. } = &mut *s;
+            let start = blk.block_id * TILE;
+            let count = TILE.min(n - start);
+            blk.gld_range_into(&bx, start, count, va);
+            blk.gld_range_into(&by, start, count, vb);
             blk.flop_masked(count, 2);
             blk.shfl_reduce_cost(count, 32);
             blk.sync();
-            let s: f64 = xs.iter().zip(ys.iter()).map(|(a, b)| a * b).sum();
-            blk.gst_one(&bp, blk.block_id, s);
+            let partial: f64 = va.iter().zip(vb.iter()).map(|(a, b)| a * b).sum();
+            blk.gst_one(&bp, blk.block_id, partial);
         });
+    });
+}
+
+/// Single-block final reduction of tile partials ("vec.dot.final" order:
+/// 256-chunk sequential sums). Skips the launch when one partial suffices,
+/// exactly as [`dot`] does.
+pub fn reduce_partials(dev: &Device, partials: &[f64]) -> f64 {
+    let n_blocks = partials.len();
+    if n_blocks == 0 {
+        return 0.0;
     }
     if n_blocks == 1 {
         return partials[0];
     }
-    // Final reduction in one block (host reads the single result back, as a
-    // real PCG does for its scalars).
-    let mut result = vec![0.0f64; 1];
+    let mut result = [0.0f64; 1];
     {
-        let bp = dev.bind_ro(&partials);
-        let br = dev.bind(&mut result);
+        let bp = dev.bind_ro(partials);
+        let br = dev.bind(&mut result[..]);
         dev.launch_blocks("vec.dot.final", 1, 256, |blk| {
             let mut acc = 0.0;
             let mut off = 0;
@@ -103,9 +145,264 @@ pub fn dot(dev: &Device, x: &[f64], y: &[f64]) -> f64 {
     result[0]
 }
 
+/// Host-side mirror of the device partial reduction, in the identical
+/// 256-chunk order — used by the fused kernels to hand the reduced scalar
+/// back to the orchestrating host without an extra launch (the device-side
+/// redundant reduce is charged inside the fused kernel itself).
+fn reduce_partials_host(partials: &[f64]) -> f64 {
+    if partials.len() == 1 {
+        return partials[0];
+    }
+    let mut acc = 0.0;
+    let mut off = 0;
+    while off < partials.len() {
+        let count = 256.min(partials.len() - off);
+        acc += partials[off..off + count].iter().sum::<f64>();
+        off += count;
+    }
+    acc
+}
+
+/// Dot product with a two-phase block reduction (tile partial sums, then a
+/// final single-block pass).
+pub fn dot(dev: &Device, x: &[f64], y: &[f64]) -> f64 {
+    if x.is_empty() {
+        assert_eq!(x.len(), y.len());
+        return 0.0;
+    }
+    let mut partials = Vec::new();
+    dot_partials_into(dev, x, y, &mut partials);
+    reduce_partials(dev, &partials)
+}
+
 /// Squared 2-norm.
 pub fn norm_sq(dev: &Device, x: &[f64]) -> f64 {
     dot(dev, x, x)
+}
+
+/// Fused PCG update kernel: one launch performing
+///
+/// 1. redundant per-block reduction of the SpMV's `p·q` partials → `α = rz/pq`
+///    (with the device-side breakdown guard: `pq ≤ 0` or non-finite leaves
+///    `x` and `r` untouched so the host bails with the current iterate,
+///    matching the unfused loop);
+/// 2. `x ← x + α p` and `r ← r − α q` (bitwise the unfused [`axpy`] pair);
+/// 3. one `‖r‖²` partial per 256-tile into `norm_partials`, in the unfused
+///    [`dot`] tile order.
+///
+/// Returns the reduced `p·q` (same summation order as the in-kernel reduce)
+/// for the host-side breakdown check.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_axpy2_norm(
+    dev: &Device,
+    pq_partials: &[f64],
+    rz: f64,
+    p: &[f64],
+    q: &[f64],
+    x: &mut [f64],
+    r: &mut [f64],
+    norm_partials: &mut Vec<f64>,
+) -> f64 {
+    let n = p.len();
+    assert_eq!(q.len(), n);
+    assert_eq!(x.len(), n);
+    assert_eq!(r.len(), n);
+    let n_tiles = n.div_ceil(TILE).max(1);
+    norm_partials.clear();
+    norm_partials.resize(n_tiles, 0.0);
+    let n_pq = pq_partials.len();
+    let pqv: f64 = pq_partials.iter().sum();
+    {
+        let b_pq = dev.bind_ro(pq_partials);
+        let b_p = dev.bind_ro(p);
+        let b_q = dev.bind_ro(q);
+        let b_x = dev.bind(&mut *x);
+        let b_r = dev.bind(&mut *r);
+        let b_np = dev.bind(norm_partials.as_mut_slice());
+        dev.launch_blocks("pcg.fused.axpy2norm", n_tiles, 256, |blk| {
+            FUSED_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                let FusedScratch {
+                    va,
+                    vb,
+                    vc,
+                    vd,
+                    red,
+                    out,
+                    ..
+                } = &mut *scratch;
+                // Redundant per-block p·q reduction (n_pq is tiny; a reduce
+                // launch would cost more than every block re-summing it).
+                blk.gld_range_into(&b_pq, 0, n_pq, red);
+                blk.flop_masked(n_pq.min(256), 1);
+                let pq: f64 = red.iter().sum();
+                if pq <= 0.0 || !pq.is_finite() {
+                    return;
+                }
+                let alpha = rz / pq;
+                blk.flop_one(1);
+                let start = blk.block_id * TILE;
+                let count = TILE.min(n - start);
+                blk.gld_range_into(&b_p, start, count, va);
+                blk.gld_range_into(&b_q, start, count, vb);
+                blk.gld_range_into(&b_x, start, count, vc);
+                blk.gld_range_into(&b_r, start, count, vd);
+                // x + αp and r − αq, both 2 flops per element.
+                blk.flop_masked(count, 4);
+                out.clear();
+                out.extend((0..count).map(|t| alpha * va[t] + vc[t]));
+                blk.gst_range(&b_x, start, out);
+                out.clear();
+                out.extend((0..count).map(|t| -alpha * vb[t] + vd[t]));
+                blk.gst_range(&b_r, start, out);
+                // ‖r‖² tile partial, unfused dot order.
+                blk.flop_masked(count, 2);
+                blk.shfl_reduce_cost(count, 32);
+                let partial: f64 = out.iter().map(|v| v * v).sum();
+                blk.gst_one(&b_np, blk.block_id, partial);
+            });
+        });
+    }
+    pqv
+}
+
+/// Fused convergence + preconditioner kernel: one launch performing
+///
+/// 1. (block 0) the final `‖r‖²` reduction of `norm_partials` — the scalar
+///    the host reads back for the convergence test;
+/// 2. `z ← D⁻¹ r` when `dinv` holds flat 6×6 block-diagonal inverses
+///    (the exact arithmetic order of the Block-Jacobi apply kernel), or
+///    `z ← r` for the identity preconditioner;
+/// 3. one `r·z` partial per 256-tile into `rz_partials`.
+///
+/// Returns `‖r‖²` (host mirror of the charged device reduce).
+pub fn fused_precond_rz(
+    dev: &Device,
+    dinv: Option<&[f64]>,
+    r: &[f64],
+    z: &mut [f64],
+    norm_partials: &[f64],
+    rz_partials: &mut Vec<f64>,
+) -> f64 {
+    let n = r.len();
+    assert_eq!(z.len(), n);
+    let n_tiles = n.div_ceil(TILE).max(1);
+    rz_partials.clear();
+    rz_partials.resize(n_tiles, 0.0);
+    let np_len = norm_partials.len();
+    {
+        let b_np = dev.bind_ro(norm_partials);
+        let b_r = dev.bind_ro(r);
+        let b_z = dev.bind(&mut *z);
+        let b_rz = dev.bind(rz_partials.as_mut_slice());
+        let b_dinv = dinv.map(|d| dev.bind_ro(d));
+        dev.launch_blocks("pcg.fused.precond_rz", n_tiles, 256, |blk| {
+            FUSED_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                let FusedScratch {
+                    va,
+                    vd,
+                    red,
+                    out,
+                    ia,
+                    ib,
+                    ..
+                } = &mut *scratch;
+                if blk.block_id == 0 {
+                    // Final ‖r‖² reduction (dot.final order); the host reads
+                    // the scalar back without a dedicated launch.
+                    blk.gld_range_into(&b_np, 0, np_len, red);
+                    blk.flop_masked(np_len.min(256), 1);
+                    blk.shfl_reduce_cost(np_len.min(256), 32);
+                }
+                let start = blk.block_id * TILE;
+                let count = TILE.min(n - start);
+                blk.gld_range_into(&b_r, start, count, vd);
+                out.clear();
+                if let Some(b_dinv) = &b_dinv {
+                    // z_g = Σ_c Dinv[i·36 + r·6 + c] · r[i·6 + c], the
+                    // block-diagonal apply in its exact arithmetic order
+                    // (i = g/6, local row r = g%6).
+                    ia.clear();
+                    ia.extend((start..start + count).flat_map(|g| {
+                        let (i, rr) = (g / 6, g % 6);
+                        (0..6).map(move |c| i * 36 + rr * 6 + c)
+                    }));
+                    blk.gld_gather_into(b_dinv, ia, va);
+                    ib.clear();
+                    ib.extend(
+                        (start..start + count).flat_map(|g| (0..6).map(move |c| (g / 6) * 6 + c)),
+                    );
+                    blk.gld_gather_tex_into(&b_r, ib, red);
+                    blk.flop_masked(count, 12);
+                    out.extend((0..count).map(|t| {
+                        let mut acc = 0.0;
+                        for c in 0..6 {
+                            acc += va[t * 6 + c] * red[t * 6 + c];
+                        }
+                        acc
+                    }));
+                } else {
+                    // Identity preconditioner: z = r.
+                    out.extend_from_slice(vd);
+                }
+                blk.gst_range(&b_z, start, out);
+                // r·z tile partial, unfused dot order.
+                blk.flop_masked(count, 2);
+                blk.shfl_reduce_cost(count, 32);
+                let partial: f64 = vd.iter().zip(out.iter()).map(|(rv, zv)| rv * zv).sum();
+                blk.gst_one(&b_rz, blk.block_id, partial);
+            });
+        });
+    }
+    reduce_partials_host(norm_partials)
+}
+
+/// Fused direction-update kernel: one launch performing
+///
+/// 1. redundant per-block reduction of `rz_partials` → `rz_new`, then
+///    `β = rz_new / rz_old`;
+/// 2. `p ← z + β p` (bitwise the unfused [`xpby`]).
+///
+/// Returns `rz_new` (host mirror of the charged device reduce).
+pub fn fused_xpby_beta(
+    dev: &Device,
+    rz_partials: &[f64],
+    rz_old: f64,
+    z: &[f64],
+    p: &mut [f64],
+) -> f64 {
+    let n = z.len();
+    assert_eq!(p.len(), n);
+    let n_tiles = n.div_ceil(TILE).max(1);
+    let n_rz = rz_partials.len();
+    {
+        let b_rz = dev.bind_ro(rz_partials);
+        let b_z = dev.bind_ro(z);
+        let b_p = dev.bind(&mut *p);
+        dev.launch_blocks("pcg.fused.xpby_beta", n_tiles, 256, |blk| {
+            FUSED_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                let FusedScratch {
+                    va, vb, red, out, ..
+                } = &mut *scratch;
+                blk.gld_range_into(&b_rz, 0, n_rz, red);
+                blk.flop_masked(n_rz.min(256), 1);
+                let rz_new = reduce_partials_host(red);
+                let beta = rz_new / rz_old;
+                blk.flop_one(1);
+                let start = blk.block_id * TILE;
+                let count = TILE.min(n - start);
+                blk.gld_range_into(&b_z, start, count, va);
+                blk.gld_range_into(&b_p, start, count, vb);
+                blk.flop_masked(count, 2);
+                out.clear();
+                out.extend((0..count).map(|t| va[t] + beta * vb[t]));
+                blk.gst_range(&b_p, start, out);
+            });
+        });
+    }
+    reduce_partials_host(rz_partials)
 }
 
 #[cfg(test)]

@@ -246,6 +246,36 @@ impl Hsbcsr {
     pub fn data_bytes(&self) -> usize {
         (self.d_data.len() + self.nd_data_up.len()) * 8
     }
+
+    /// Refills the numeric values from `m`, reusing the symbolic structure
+    /// (index arrays, padding, slice layout) built by [`Hsbcsr::from_sym`].
+    ///
+    /// Succeeds — and returns `true` — only when `m` has exactly the
+    /// sparsity pattern this format was built for (same block count, same
+    /// upper `(row, col)` listing in the same order). Otherwise returns
+    /// `false` **without modifying `self`**, and the caller rebuilds with
+    /// `from_sym`. In the DDA open–close loop the contact pattern is
+    /// usually stable between iterations, so the solver refreshes values
+    /// only instead of re-deriving `rc` / `row-up-i` / `row-low-i` /
+    /// `row-low-p` every solve.
+    pub fn refill_values(&mut self, m: &SymBlockMatrix) -> bool {
+        if m.n_blocks() != self.n || m.n_upper() != self.n_nd {
+            return false;
+        }
+        // Pattern check first — no partial writes on mismatch.
+        for (k, &(r, c, _)) in m.upper.iter().enumerate() {
+            if self.rc[k] != ((r as u64) << 32) | c as u64 {
+                return false;
+            }
+        }
+        for (i, b) in m.diag.iter().enumerate() {
+            write_sliced(&mut self.d_data, self.pad_d, i, b);
+        }
+        for (k, (_, _, b)) in m.upper.iter().enumerate() {
+            write_sliced(&mut self.nd_data_up, self.pad_nd, k, b);
+        }
+        true
+    }
 }
 
 fn pad(n: usize) -> usize {
@@ -354,7 +384,9 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let m = sym(25, seed);
             let h = Hsbcsr::from_sym(&m);
-            let x: Vec<f64> = (0..m.dim()).map(|i| ((i * 31 + 7) % 17) as f64 - 8.0).collect();
+            let x: Vec<f64> = (0..m.dim())
+                .map(|i| ((i * 31 + 7) % 17) as f64 - 8.0)
+                .collect();
             let y_ref = m.mul_vec(&x);
             let y = h.mul_vec_serial(&x);
             for i in 0..m.dim() {
@@ -371,6 +403,42 @@ mod tests {
         let x = vec![2.0; 30];
         let y = h.mul_vec_serial(&x);
         assert!(y.iter().all(|&v| (v - 6.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn refill_matches_fresh_from_sym() {
+        let m1 = sym(30, 41);
+        // Same sparsity pattern, different values.
+        let mut m2 = m1.clone();
+        for b in &mut m2.diag {
+            *b = b.scale(1.5);
+        }
+        for (_, _, b) in &mut m2.upper {
+            *b = b.scale(0.25);
+        }
+        let mut h = Hsbcsr::from_sym(&m1);
+        assert!(h.refill_values(&m2));
+        let fresh = Hsbcsr::from_sym(&m2);
+        assert_eq!(h, fresh, "refilled format must equal a fresh build");
+        let x: Vec<f64> = (0..m2.dim()).map(|i| (i as f64 * 0.31).cos()).collect();
+        assert_eq!(h.mul_vec_serial(&x), fresh.mul_vec_serial(&x));
+    }
+
+    #[test]
+    fn refill_rejects_pattern_change_without_partial_writes() {
+        let m1 = sym(20, 5);
+        let mut h = Hsbcsr::from_sym(&m1);
+        let before = h.clone();
+        // Different block count.
+        assert!(!h.refill_values(&sym(21, 5)));
+        // Same size, different pattern (different seed ⇒ different contacts).
+        let m3 = sym(20, 6);
+        if m3.upper.iter().map(|&(r, c, _)| (r, c)).collect::<Vec<_>>()
+            != m1.upper.iter().map(|&(r, c, _)| (r, c)).collect::<Vec<_>>()
+        {
+            assert!(!h.refill_values(&m3));
+        }
+        assert_eq!(h, before, "failed refill must leave the format untouched");
     }
 
     #[test]

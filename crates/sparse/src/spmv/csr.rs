@@ -91,7 +91,9 @@ mod tests {
         for seed in [1u64, 5, 9] {
             let m = SymBlockMatrix::random_spd(30, 3.0, seed);
             let a = Csr::from_sym_full(&m);
-            let x: Vec<f64> = (0..a.dim).map(|i| ((i * 13 + 3) % 29) as f64 * 0.1 - 1.0).collect();
+            let x: Vec<f64> = (0..a.dim)
+                .map(|i| ((i * 13 + 3) % 29) as f64 * 0.1 - 1.0)
+                .collect();
             let y_ref = m.mul_vec(&x);
             let d = dev();
             let y = kernel(&d, &a, &x);

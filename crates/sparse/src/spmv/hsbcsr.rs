@@ -19,6 +19,7 @@
 
 use crate::hsbcsr::Hsbcsr;
 use dda_simt::Device;
+use std::cell::RefCell;
 
 /// Shared-memory access pattern for the stage-1 sub-matrix reduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,19 +32,126 @@ pub enum Stage1Smem {
     NaiveRowMajor,
 }
 
+/// Rows reduced per stage-2 thread block.
+const ROWS_PER_BLOCK: usize = 32;
+
+/// Reusable buffers for [`spmv_hsbcsr_into`]: the `up-res` / `low-res`
+/// intermediate vectors and the per-row-block `p·q` partials of the fused
+/// variant. Holding one workspace across calls makes the steady-state SpMV
+/// path allocation-free (per-block gather scratch is per-host-thread and
+/// equally reused).
+#[derive(Debug, Default)]
+pub struct SpmvWorkspace {
+    pub(crate) up_res: Vec<f64>,
+    pub(crate) low_res: Vec<f64>,
+    /// One partial sum of `x·y` per stage-2 row block, filled by
+    /// [`spmv_hsbcsr_fused_pq`].
+    pub pq_partials: Vec<f64>,
+}
+
+impl SpmvWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    pub fn new() -> SpmvWorkspace {
+        SpmvWorkspace::default()
+    }
+
+    fn prepare(&mut self, h: &Hsbcsr) {
+        // Stage 1 overwrites every element, so only the lengths matter;
+        // `resize` reuses capacity once warmed.
+        self.up_res.resize(h.n_nd * 6, 0.0);
+        self.low_res.resize(h.n_nd * 6, 0.0);
+    }
+}
+
+/// Per-host-thread stage-2 gather/reduce scratch, reused across calls so
+/// the hot loop allocates nothing.
+#[derive(Debug, Default)]
+struct Stage2Scratch {
+    acc: Vec<[f64; 6]>,
+    up_ends: Vec<u32>,
+    low_ends: Vec<u32>,
+    slices: [Vec<f64>; 6],
+    words: Vec<u32>,
+    ps: Vec<u32>,
+    gather: Vec<usize>,
+    vals: [Vec<f64>; 6],
+    xs_cols: [Vec<f64>; 6],
+    xidx: Vec<usize>,
+    dvals: Vec<f64>,
+    flat: Vec<f64>,
+}
+
+thread_local! {
+    static STAGE2_SCRATCH: RefCell<Stage2Scratch> = RefCell::new(Stage2Scratch::default());
+}
+
 /// `y = A x` with `A` in HSBCSR form. Never materialises the full matrix.
+///
+/// Convenience wrapper over [`spmv_hsbcsr_into`] that allocates the result
+/// and a throwaway workspace; the hot loop uses the `_into` form.
 pub fn spmv_hsbcsr(dev: &Device, h: &Hsbcsr, x: &[f64], scheme: Stage1Smem) -> Vec<f64> {
+    let mut ws = SpmvWorkspace::new();
+    let mut y = vec![0.0f64; h.n * 6];
+    spmv_hsbcsr_into(dev, h, x, scheme, &mut ws, &mut y);
+    y
+}
+
+/// Allocation-free `y = A x`: intermediates live in `ws`, the result lands
+/// in `y` (length `6n`). Bitwise-identical to [`spmv_hsbcsr`].
+pub fn spmv_hsbcsr_into(
+    dev: &Device,
+    h: &Hsbcsr,
+    x: &[f64],
+    scheme: Stage1Smem,
+    ws: &mut SpmvWorkspace,
+    y: &mut [f64],
+) {
+    spmv_hsbcsr_stage12(dev, h, x, scheme, ws, y, false);
+}
+
+/// Fused SpMV + dot: computes `y = A x` and, in the same stage-2 launch,
+/// one partial sum of `x · y` per row block into `ws.pq_partials` — the
+/// per-block tiles the fused PCG's next kernel reduces to `α` without a
+/// separate dot launch. `y` is bitwise-identical to [`spmv_hsbcsr`]; the
+/// dot partials tile by row block (192 scalars) instead of the unfused
+/// 256-tile `vec.dot` grouping, a reassociation documented to drift ≤1e-12
+/// relative on DDA-scale systems.
+pub fn spmv_hsbcsr_fused_pq(
+    dev: &Device,
+    h: &Hsbcsr,
+    x: &[f64],
+    scheme: Stage1Smem,
+    ws: &mut SpmvWorkspace,
+    y: &mut [f64],
+) {
+    spmv_hsbcsr_stage12(dev, h, x, scheme, ws, y, true);
+}
+
+fn spmv_hsbcsr_stage12(
+    dev: &Device,
+    h: &Hsbcsr,
+    x: &[f64],
+    scheme: Stage1Smem,
+    ws: &mut SpmvWorkspace,
+    y: &mut [f64],
+    fuse_pq: bool,
+) {
     assert_eq!(x.len(), h.n * 6);
-    let mut up_res = vec![0.0f64; h.n_nd * 6];
-    let mut low_res = vec![0.0f64; h.n_nd * 6];
+    assert_eq!(y.len(), h.n * 6);
+    ws.prepare(h);
+    let SpmvWorkspace {
+        up_res,
+        low_res,
+        pq_partials,
+    } = ws;
 
     // ---- Stage 1: per-sub-matrix products ---------------------------------
     if h.n_nd > 0 {
         let b_nd = dev.bind_ro(&h.nd_data_up);
         let b_rc = dev.bind_ro(&h.rc);
         let b_x = dev.bind_ro(x);
-        let b_up = dev.bind(&mut up_res);
-        let b_low = dev.bind(&mut low_res);
+        let b_up = dev.bind(up_res.as_mut_slice());
+        let b_low = dev.bind(low_res.as_mut_slice());
         let pad = h.pad_nd;
         let nnd = h.n_nd;
         dev.launch("spmv.hsbcsr.stage1", h.n_nd, |lane| {
@@ -93,106 +201,162 @@ pub fn spmv_hsbcsr(dev: &Device, h: &Hsbcsr, x: &[f64], scheme: Stage1Smem) -> V
     }
 
     // ---- Stage 2: per-row reductions + diagonal ----------------------------
-    let rows_per_block = 32usize;
-    let n_blocks = h.n.div_ceil(rows_per_block);
-    let mut y = vec![0.0f64; h.n * 6];
+    let n_blocks = h.n.div_ceil(ROWS_PER_BLOCK);
+    if fuse_pq {
+        pq_partials.resize(n_blocks, 0.0);
+    } else {
+        pq_partials.clear();
+    }
+    let stage2_name: &'static str = if fuse_pq {
+        "spmv.hsbcsr.stage2_pq"
+    } else {
+        "spmv.hsbcsr.stage2"
+    };
     {
-        let b_up = dev.bind_ro(&up_res);
-        let b_low = dev.bind_ro(&low_res);
+        let b_up = dev.bind_ro(up_res.as_slice());
+        let b_low = dev.bind_ro(low_res.as_slice());
         let b_rui = dev.bind_ro(&h.row_up_i);
         let b_rli = dev.bind_ro(&h.row_low_i);
         let b_rlp = dev.bind_ro(&h.row_low_p);
         let b_d = dev.bind_ro(&h.d_data);
         let b_x = dev.bind_ro(x);
-        let b_y = dev.bind(&mut y);
+        let b_y = dev.bind(&mut *y);
+        let b_pq = dev.bind(pq_partials.as_mut_slice());
         let pad_d = h.pad_d;
         let n_nd = h.n_nd.max(1);
-        dev.launch_blocks("spmv.hsbcsr.stage2", n_blocks, 256, |blk| {
-            let i0 = blk.block_id * rows_per_block;
-            let rows = rows_per_block.min(h.n - i0);
-            let mut acc = vec![[0.0f64; 6]; rows];
+        dev.launch_blocks(stage2_name, n_blocks, 256, |blk| {
+            STAGE2_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                let Stage2Scratch {
+                    acc,
+                    up_ends,
+                    low_ends,
+                    slices,
+                    words,
+                    ps,
+                    gather,
+                    vals,
+                    xs_cols,
+                    xidx,
+                    dvals,
+                    flat,
+                } = &mut *scratch;
 
-            // Row bounds (coalesced index loads).
-            let up_ends = blk.gld_range(&b_rui, i0, rows);
-            let up_first = if i0 == 0 { 0 } else { blk.gld_one(&b_rui, i0 - 1) };
-            let low_ends = blk.gld_range(&b_rli, i0, rows);
-            let low_first = if i0 == 0 { 0 } else { blk.gld_one(&b_rli, i0 - 1) };
+                let i0 = blk.block_id * ROWS_PER_BLOCK;
+                let rows = ROWS_PER_BLOCK.min(h.n - i0);
+                acc.clear();
+                acc.resize(rows, [0.0f64; 6]);
 
-            // Upper reduction: each slice of the chunk's up-res region is
-            // contiguous ("regular and fast", Fig 9).
-            let up_lo = up_first as usize;
-            let up_hi = *up_ends.last().unwrap() as usize;
-            if up_hi > up_lo {
-                let count = up_hi - up_lo;
-                let mut slices: Vec<Vec<f64>> = Vec::with_capacity(6);
-                for r in 0..6 {
-                    slices.push(blk.gld_range(&b_up, r * n_nd + up_lo, count));
-                }
-                blk.flop_masked(count.min(256), 6);
-                // Shared-memory reduction of six-row groups (the paper's
-                // 48-thread scheme); conflict-free word pattern.
-                let words: Vec<u32> = (0..count.min(256) as u32).collect();
-                blk.smem_access(&words);
-                let mut lo = up_lo;
-                for (w, &end) in up_ends.iter().enumerate() {
-                    let hi = end as usize;
-                    for k in lo..hi {
-                        for r in 0..6 {
-                            acc[w][r] += slices[r][k - up_lo];
-                        }
+                // Row bounds (coalesced index loads).
+                blk.gld_range_into(&b_rui, i0, rows, up_ends);
+                let up_first = if i0 == 0 {
+                    0
+                } else {
+                    blk.gld_one(&b_rui, i0 - 1)
+                };
+                blk.gld_range_into(&b_rli, i0, rows, low_ends);
+                let low_first = if i0 == 0 {
+                    0
+                } else {
+                    blk.gld_one(&b_rli, i0 - 1)
+                };
+
+                // Upper reduction: each slice of the chunk's up-res region is
+                // contiguous ("regular and fast", Fig 9).
+                let up_lo = up_first as usize;
+                let up_hi = *up_ends.last().unwrap() as usize;
+                if up_hi > up_lo {
+                    let count = up_hi - up_lo;
+                    for r in 0..6 {
+                        blk.gld_range_into(&b_up, r * n_nd + up_lo, count, &mut slices[r]);
                     }
-                    lo = hi;
-                }
-            }
-
-            // Lower reduction: mapped positions, texture gathers.
-            let low_lo = low_first as usize;
-            let low_hi = *low_ends.last().unwrap() as usize;
-            if low_hi > low_lo {
-                let count = low_hi - low_lo;
-                let ps = blk.gld_range(&b_rlp, low_lo, count);
-                let mut vals: Vec<Vec<f64>> = Vec::with_capacity(6);
-                for r in 0..6 {
-                    let gather: Vec<usize> =
-                        ps.iter().map(|&p| r * n_nd + p as usize).collect();
-                    vals.push(blk.gld_gather_tex(&b_low, &gather));
-                }
-                blk.flop_masked(count.min(256), 6);
-                let mut lo = low_lo;
-                for (w, &end) in low_ends.iter().enumerate() {
-                    let hi = end as usize;
-                    for l in lo..hi {
-                        for r in 0..6 {
-                            acc[w][r] += vals[r][l - low_lo];
+                    blk.flop_masked(count.min(256), 6);
+                    // Shared-memory reduction of six-row groups (the paper's
+                    // 48-thread scheme); conflict-free word pattern.
+                    words.clear();
+                    words.extend(0..count.min(256) as u32);
+                    blk.smem_access(words);
+                    let mut lo = up_lo;
+                    for (w, &end) in up_ends.iter().enumerate() {
+                        let hi = end as usize;
+                        for k in lo..hi {
+                            for r in 0..6 {
+                                acc[w][r] += slices[r][k - up_lo];
+                            }
                         }
+                        lo = hi;
                     }
-                    lo = hi;
                 }
-            }
 
-            // Diagonal product: sliced layout → coalesced over rows. The x
-            // chunk of the row block is fetched once per local column.
-            let mut xs_cols: Vec<Vec<f64>> = Vec::with_capacity(6);
-            for c in 0..6 {
-                let xidx: Vec<usize> = (0..rows).map(|w| (i0 + w) * 6 + c).collect();
-                xs_cols.push(blk.gld_gather_tex(&b_x, &xidx));
-            }
-            for r in 0..6 {
+                // Lower reduction: mapped positions, texture gathers.
+                let low_lo = low_first as usize;
+                let low_hi = *low_ends.last().unwrap() as usize;
+                if low_hi > low_lo {
+                    let count = low_hi - low_lo;
+                    blk.gld_range_into(&b_rlp, low_lo, count, ps);
+                    for r in 0..6 {
+                        gather.clear();
+                        gather.extend(ps.iter().map(|&p| r * n_nd + p as usize));
+                        blk.gld_gather_tex_into(&b_low, gather, &mut vals[r]);
+                    }
+                    blk.flop_masked(count.min(256), 6);
+                    let mut lo = low_lo;
+                    for (w, &end) in low_ends.iter().enumerate() {
+                        let hi = end as usize;
+                        for l in lo..hi {
+                            for r in 0..6 {
+                                acc[w][r] += vals[r][l - low_lo];
+                            }
+                        }
+                        lo = hi;
+                    }
+                }
+
+                // Diagonal product: sliced layout → coalesced over rows. The x
+                // chunk of the row block is fetched once per local column.
                 for c in 0..6 {
-                    let dvals = blk.gld_range(&b_d, Hsbcsr::sliced_index(pad_d, i0, r, c), rows);
-                    blk.flop_masked(rows, 2);
-                    for w in 0..rows {
-                        acc[w][r] += dvals[w] * xs_cols[c][w];
+                    xidx.clear();
+                    xidx.extend((0..rows).map(|w| (i0 + w) * 6 + c));
+                    blk.gld_gather_tex_into(&b_x, xidx, &mut xs_cols[c]);
+                }
+                for r in 0..6 {
+                    for c in 0..6 {
+                        blk.gld_range_into(
+                            &b_d,
+                            Hsbcsr::sliced_index(pad_d, i0, r, c),
+                            rows,
+                            dvals,
+                        );
+                        blk.flop_masked(rows, 2);
+                        for w in 0..rows {
+                            acc[w][r] += dvals[w] * xs_cols[c][w];
+                        }
                     }
                 }
-            }
 
-            // Coalesced result store.
-            let flat: Vec<f64> = acc.iter().flat_map(|a| a.iter().copied()).collect();
-            blk.gst_range(&b_y, i0 * 6, &flat);
+                // Fused p·q partial: the row block's x chunk is already in
+                // registers (xs_cols, fetched for the diagonal product), so
+                // the dot costs only flops, an intra-block reduction, and one
+                // scalar store — no extra global reads and no separate launch.
+                if fuse_pq {
+                    let mut partial = 0.0f64;
+                    for w in 0..rows {
+                        for r in 0..6 {
+                            partial += acc[w][r] * xs_cols[r][w];
+                        }
+                    }
+                    blk.flop_masked(rows, 12);
+                    blk.shfl_reduce_cost(rows.min(256), 32);
+                    blk.gst_one(&b_pq, blk.block_id, partial);
+                }
+
+                // Coalesced result store.
+                flat.clear();
+                flat.extend(acc.iter().flat_map(|a| a.iter().copied()));
+                blk.gst_range(&b_y, i0 * 6, flat);
+            });
         });
     }
-    y
 }
 
 #[cfg(test)]
@@ -210,7 +374,9 @@ mod tests {
         for seed in [3u64, 6, 12] {
             let m = SymBlockMatrix::random_spd(50, 4.0, seed);
             let h = Hsbcsr::from_sym(&m);
-            let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.13).sin() * 2.0).collect();
+            let x: Vec<f64> = (0..m.dim())
+                .map(|i| (i as f64 * 0.13).sin() * 2.0)
+                .collect();
             let d = dev();
             let y = spmv_hsbcsr(&d, &h, &x, Stage1Smem::Proposed);
             let y_ref = m.mul_vec(&x);
@@ -295,6 +461,51 @@ mod tests {
             "sliced traffic too high: {l12_bytes} vs useful {}",
             s1.gmem_bytes
         );
+    }
+
+    #[test]
+    fn into_variant_is_bitwise_identical_and_reusable() {
+        let m = SymBlockMatrix::random_spd(60, 4.0, 31);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let mut ws = SpmvWorkspace::new();
+        let mut y = vec![0.0f64; m.dim()];
+        for pass in 0..3 {
+            let x: Vec<f64> = (0..m.dim())
+                .map(|i| ((i + pass) as f64 * 0.17).sin())
+                .collect();
+            spmv_hsbcsr_into(&d, &h, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+            let y_ref = spmv_hsbcsr(&d, &h, &x, Stage1Smem::Proposed);
+            assert_eq!(y, y_ref, "pass {pass} must be bitwise identical");
+        }
+    }
+
+    #[test]
+    fn fused_pq_partials_reduce_to_the_dot() {
+        let m = SymBlockMatrix::random_spd(70, 4.0, 8);
+        let h = Hsbcsr::from_sym(&m);
+        let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.29).cos()).collect();
+        let d = dev();
+        let mut ws = SpmvWorkspace::new();
+        let mut y = vec![0.0f64; m.dim()];
+        spmv_hsbcsr_fused_pq(&d, &h, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+
+        // y unchanged by the fusion.
+        let y_ref = spmv_hsbcsr(&d, &h, &x, Stage1Smem::Proposed);
+        assert_eq!(y, y_ref, "fusing the dot must not perturb y");
+
+        // Partials tile by row block and sum to x·y (reassociation only).
+        assert_eq!(ws.pq_partials.len(), m.dim().div_ceil(6 * ROWS_PER_BLOCK));
+        let pq: f64 = ws.pq_partials.iter().sum();
+        let dot_ref: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!(
+            (pq - dot_ref).abs() <= 1e-12 * dot_ref.abs().max(1.0),
+            "fused dot {pq} vs reference {dot_ref}"
+        );
+
+        // The fused stage 2 replaces, not adds, a launch.
+        let by = d.trace().by_kernel();
+        assert!(by.contains_key("spmv.hsbcsr.stage2_pq"));
     }
 
     #[test]

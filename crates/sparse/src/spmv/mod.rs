@@ -22,5 +22,5 @@ pub mod multi;
 
 pub use bcsr_kernel::spmv_bcsr;
 pub use csr::{spmv_csr_scalar, spmv_csr_vector};
-pub use hsbcsr::{spmv_hsbcsr, Stage1Smem};
+pub use hsbcsr::{spmv_hsbcsr, spmv_hsbcsr_fused_pq, spmv_hsbcsr_into, SpmvWorkspace, Stage1Smem};
 pub use multi::{MultiGpuSpmv, MultiSpmvReport};

@@ -95,7 +95,9 @@ impl MultiGpuSpmv {
         }
 
         MultiGpuSpmv {
-            devices: (0..n_devices).map(|_| Device::new(profile.clone())).collect(),
+            devices: (0..n_devices)
+                .map(|_| Device::new(profile.clone()))
+                .collect(),
             parts: parts_m.iter().map(Hsbcsr::from_sym).collect(),
             dim: m.dim(),
         }
@@ -228,10 +230,7 @@ mod tests {
         let counts: Vec<usize> = multi.parts.iter().map(|p| p.n_nd).collect();
         let max = *counts.iter().max().unwrap() as f64;
         let min = *counts.iter().min().unwrap() as f64;
-        assert!(
-            min > 0.5 * max,
-            "partitions badly unbalanced: {counts:?}"
-        );
+        assert!(min > 0.5 * max, "partitions badly unbalanced: {counts:?}");
     }
 
     #[test]

@@ -228,13 +228,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "not strictly upper")]
     fn rejects_lower_entry() {
-        SymBlockMatrix::new(vec![Block6::identity(); 2], vec![(1, 1, Block6::identity())]);
+        SymBlockMatrix::new(
+            vec![Block6::identity(); 2],
+            vec![(1, 1, Block6::identity())],
+        );
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range() {
-        SymBlockMatrix::new(vec![Block6::identity(); 2], vec![(0, 5, Block6::identity())]);
+        SymBlockMatrix::new(
+            vec![Block6::identity(); 2],
+            vec![(0, 5, Block6::identity())],
+        );
     }
 
     #[test]

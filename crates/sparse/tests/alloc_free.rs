@@ -1,0 +1,85 @@
+//! Steady-state allocation audit for the HSBCSR SpMV path.
+//!
+//! The workspace-based SpMV (`spmv_hsbcsr_into` / `spmv_hsbcsr_fused_pq`)
+//! must allocate **nothing** once warmed: per-call intermediates live in
+//! `SpmvWorkspace`, per-block gather scratch is thread-local, kernel names
+//! are `&'static str`, and the device trace retains its capacity across
+//! `reset_trace`. This test arms a counting global allocator around the
+//! warmed calls and requires exactly zero heap allocations.
+//!
+//! The matrix is sized so both SpMV stages run on the simulator's serial
+//! path (few warps / blocks): a single deterministic thread, so a zero
+//! count is exact rather than scheduling-dependent. The parallel-pool path
+//! reuses the same thread-local scratch but warms per worker thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use dda_simt::{Device, DeviceProfile};
+use dda_sparse::spmv::{spmv_hsbcsr_fused_pq, spmv_hsbcsr_into, SpmvWorkspace, Stage1Smem};
+use dda_sparse::{Hsbcsr, SymBlockMatrix};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_spmv_steady_state_allocates_nothing() {
+    // No conflict checking: the epoch detector allocates stamp arrays on
+    // bind, which is a debug facility, not part of the hot loop.
+    let dev = Device::new(DeviceProfile::tesla_k40());
+    let m = SymBlockMatrix::random_spd(150, 4.0, 77);
+    let h = Hsbcsr::from_sym(&m);
+    let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.19).sin()).collect();
+    let mut ws = SpmvWorkspace::new();
+    let mut y = vec![0.0f64; m.dim()];
+
+    // Warm: workspace buffers, thread-local kernel scratch, trace capacity.
+    for _ in 0..2 {
+        spmv_hsbcsr_into(&dev, &h, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+        spmv_hsbcsr_fused_pq(&dev, &h, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+    }
+    dev.reset_trace();
+
+    // Measure.
+    ARMED.store(true, Ordering::SeqCst);
+    spmv_hsbcsr_into(&dev, &h, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+    spmv_hsbcsr_fused_pq(&dev, &h, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+    ARMED.store(false, Ordering::SeqCst);
+
+    let n_allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n_allocs, 0,
+        "warmed SpMV steady state performed {n_allocs} heap allocations"
+    );
+
+    // And it still computes the right thing.
+    let y_ref = m.mul_vec(&x);
+    for i in 0..m.dim() {
+        assert!((y[i] - y_ref[i]).abs() < 1e-9, "i={i}");
+    }
+}

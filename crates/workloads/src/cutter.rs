@@ -25,7 +25,12 @@ pub struct JointSet {
 
 /// Cuts `regions` by every line of every joint set. Returns the resulting
 /// convex fragments, dropping slivers below `min_area`.
-pub fn cut_blocks(regions: &[Polygon], sets: &[JointSet], min_area: f64, seed: u64) -> Vec<Polygon> {
+pub fn cut_blocks(
+    regions: &[Polygon],
+    sets: &[JointSet],
+    min_area: f64,
+    seed: u64,
+) -> Vec<Polygon> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut blocks: Vec<Polygon> = regions.to_vec();
 
@@ -37,7 +42,10 @@ pub fn cut_blocks(regions: &[Polygon], sets: &[JointSet], min_area: f64, seed: u
     let center = bb.center();
 
     for set in sets {
-        let dir = Vec2::new(set.angle_deg.to_radians().cos(), set.angle_deg.to_radians().sin());
+        let dir = Vec2::new(
+            set.angle_deg.to_radians().cos(),
+            set.angle_deg.to_radians().sin(),
+        );
         let normal = dir.perp();
         let n_lines = (diag / set.spacing).ceil() as i64 + 1;
         for k in -n_lines..=n_lines {

@@ -52,7 +52,10 @@ pub fn render_svg(sys: &BlockSystem, opts: &RenderOptions) -> String {
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.2} {:.2}">"#,
         opts.width_px, height_px, opts.width_px, height_px
     );
-    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#f7f5f0"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#f7f5f0"/>"##
+    );
     for b in &sys.blocks {
         let mut path = String::new();
         for (k, v) in b.poly.vertices().iter().enumerate() {

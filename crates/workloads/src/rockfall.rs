@@ -186,7 +186,10 @@ mod tests {
             // Every rock vertex lies on the outer side of the face line.
             for &v in b.poly.vertices() {
                 let side = (b2 - a).cross(v - a);
-                assert!(side < 0.0 || v.y > 0.0, "rock vertex {v:?} inside the wedge");
+                assert!(
+                    side < 0.0 || v.y > 0.0,
+                    "rock vertex {v:?} inside the wedge"
+                );
             }
             assert!(!b.fixed);
         }
@@ -207,6 +210,9 @@ mod tests {
         for _ in 0..5 {
             pipe.step();
         }
-        assert!(pipe.sys.blocks[2].centroid().y < y0, "rock must start falling");
+        assert!(
+            pipe.sys.blocks[2].centroid().y < y0,
+            "rock must start falling"
+        );
     }
 }

@@ -168,10 +168,7 @@ mod tests {
     fn default_slope_has_expected_scale() {
         let (sys, params) = slope_case(&SlopeConfig::default());
         let n = sys.len();
-        assert!(
-            n > 200 && n < 800,
-            "target 400 blocks, got {n}"
-        );
+        assert!(n > 200 && n < 800, "target 400 blocks, got {n}");
         assert!(sys.blocks.iter().any(|b| b.fixed), "base must be fixed");
         assert!(params.dynamics == 0.0, "case 1 is static");
         // All blocks convex, positive area.
@@ -193,7 +190,9 @@ mod tests {
         let (sys, _) = slope_case(&SlopeConfig::default());
         let used: std::collections::HashSet<u32> = sys.blocks.iter().map(|b| b.material).collect();
         assert!(used.len() >= 3, "expected several depth bands: {used:?}");
-        assert!(used.iter().all(|&m| (m as usize) < sys.block_materials.len()));
+        assert!(used
+            .iter()
+            .all(|&m| (m as usize) < sys.block_materials.len()));
     }
 
     #[test]

@@ -20,10 +20,7 @@ fn tower(courses: usize, offset: f64) -> (BlockSystem, DdaParams) {
     for k in 0..courses {
         let x0 = k as f64 * offset;
         let y0 = k as f64 * 0.5;
-        blocks.push(Block::new(
-            Polygon::rect(x0, y0, x0 + w, y0 + 0.5),
-            0,
-        ));
+        blocks.push(Block::new(Polygon::rect(x0, y0, x0 + w, y0 + 0.5), 0));
     }
     let sys = BlockSystem::new(
         blocks,

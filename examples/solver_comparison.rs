@@ -38,8 +38,14 @@ fn main() {
     let d2 = Device::new(DeviceProfile::tesla_k40());
     let _ = spmv_csr_vector(&d2, &csr, &x);
     println!("\nSpMV (modeled K40):");
-    println!("  HSBCSR (half-stored):  {:>10.2} µs", d1.modeled_seconds() * 1e6);
-    println!("  CSR vector (full):     {:>10.2} µs", d2.modeled_seconds() * 1e6);
+    println!(
+        "  HSBCSR (half-stored):  {:>10.2} µs",
+        d1.modeled_seconds() * 1e6
+    );
+    println!(
+        "  CSR vector (full):     {:>10.2} µs",
+        d2.modeled_seconds() * 1e6
+    );
 
     // --- Preconditioned solves -----------------------------------------------
     let b: Vec<f64> = (0..m.dim()).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
@@ -50,7 +56,10 @@ fn main() {
     };
 
     println!("\nPCG (tol 1e-10):");
-    println!("  {:<14} {:>10} {:>16}", "precond", "iterations", "modeled time");
+    println!(
+        "  {:<14} {:>10} {:>16}",
+        "precond", "iterations", "modeled time"
+    );
     let run = |name: &str, f: &dyn Fn(&Device) -> dda_repro::solver::SolveResult| {
         let dev = Device::new(DeviceProfile::tesla_k40());
         let res = f(&dev);

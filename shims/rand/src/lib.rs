@@ -1,0 +1,152 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses.
+//!
+//! No crates.io access exists in the build environment, so the real crate
+//! cannot be fetched. The workloads only need a deterministic seeded
+//! generator (`StdRng::seed_from_u64`), uniform `f64` samples
+//! (`rng.gen::<f64>()`), integer ranges, and Fisher–Yates `shuffle`. The
+//! generator is splitmix64 — high-quality for these purposes and stable
+//! across platforms, which is what the experiment seeds rely on. Streams
+//! differ from upstream rand's ChaCha-based `StdRng`, which only shifts
+//! which concrete random workloads a seed denotes.
+
+/// Seedable generators (mirrors `rand::SeedableRng`'s `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (mirrors the parts of `rand::Rng` used here).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of `T` (only `f64` in `[0, 1)` and the integer types
+    /// below are supported).
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty gen_range");
+        range.start + (self.next_u64() % span as u64) as usize
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Uniform {
+    /// Maps 64 random bits to a uniform sample.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Uniform for f64 {
+    fn sample(bits: u64) -> f64 {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Uniform for u64 {
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Uniform for u32 {
+    fn sample(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Uniform for bool {
+    fn sample(bits: u64) -> bool {
+        bits >> 63 != 0
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence adapters (mirrors `rand::seq::SliceRandom::shuffle`).
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling support for slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+}

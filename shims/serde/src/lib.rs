@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container has no route to crates.io, so the real serde cannot be
+//! vendored. The workspace uses serde only as `#[derive(Serialize,
+//! Deserialize)]` markers on plain data types — nothing calls a serializer —
+//! so this shim provides the two trait names and re-exports the no-op
+//! derives from the sibling `serde_derive` shim. Swapping the workspace
+//! back to real serde is a two-line `Cargo.toml` change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op derive
+/// does not implement it and nothing in the workspace requires it).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (lifetime parameter kept for
+/// signature compatibility).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `serde_derive` cannot be fetched. Nothing in the workspace serializes
+//! through serde at runtime (reports are written as hand-formatted text /
+//! JSON), so empty derive expansions are sufficient and keep every
+//! `#[derive(Serialize, Deserialize)]` in the tree compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: no `Serialize` impl is generated or needed.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: no `Deserialize` impl is generated or needed.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

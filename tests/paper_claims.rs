@@ -34,11 +34,21 @@ fn fig10_spmv_and_tss_shape() {
     let s = spmv_study(1200, 3);
     // HSBCSR wins against every full-matrix baseline (paper: 2.8× vs
     // cuSPARSE at full scale).
-    assert!(s.t_hsbcsr < s.t_csr_vector, "{} vs {}", s.t_hsbcsr, s.t_csr_vector);
+    assert!(
+        s.t_hsbcsr < s.t_csr_vector,
+        "{} vs {}",
+        s.t_hsbcsr,
+        s.t_csr_vector
+    );
     assert!(s.t_hsbcsr < s.t_csr_scalar);
     assert!(s.t_hsbcsr < s.t_bcsr);
     // TSS costs many SpMVs (paper: ~11×).
-    assert!(s.t_tss > 5.0 * s.t_csr_vector, "TSS {} vs {}", s.t_tss, s.t_csr_vector);
+    assert!(
+        s.t_tss > 5.0 * s.t_csr_vector,
+        "TSS {} vs {}",
+        s.t_tss,
+        s.t_csr_vector
+    );
 }
 
 #[test]

@@ -57,12 +57,7 @@ fn incline_friction_threshold() {
         let n = Vec2::new(angle.sin(), angle.cos()); // outward normal
         let mid = Vec2::new(5.0, 5.0 * angle.tan()) + n * 1e-6;
         let s = 1.0;
-        let block = Polygon::new(vec![
-            mid,
-            mid + t * s,
-            mid + t * s + n * s,
-            mid + n * s,
-        ]);
+        let block = Polygon::new(vec![mid, mid + t * s, mid + t * s + n * s, mid + n * s]);
         let sys = BlockSystem::new(
             vec![Block::new(incline, 0).fixed(), Block::new(block, 0)],
             BlockMaterial::rock(),

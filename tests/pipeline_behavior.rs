@@ -162,10 +162,7 @@ fn contact_set_stable_on_resting_stack() {
     let keys1: Vec<u64> = pipe.contacts().iter().map(|c| c.key()).collect();
     assert_eq!(keys0, keys1, "resting contact network must not churn");
     // All closed after settling.
-    assert!(pipe
-        .contacts()
-        .iter()
-        .all(|c| c.state.closed()));
+    assert!(pipe.contacts().iter().all(|c| c.state.closed()));
 }
 
 /// GPU and CPU pipelines adapt Δt identically (the loop-2 control is part

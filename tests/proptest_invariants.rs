@@ -14,8 +14,10 @@ use dda_repro::simt::{Device, DeviceProfile};
 use dda_repro::solver::precond::{BlockJacobi, SsorAi};
 use dda_repro::solver::traits::HsbcsrMat;
 use dda_repro::solver::{pcg, PcgOptions};
-use dda_repro::sparse::spmv::{spmv_bcsr, spmv_csr_scalar, spmv_csr_vector, spmv_hsbcsr, Stage1Smem};
 use dda_repro::sparse::ell::spmv_ell;
+use dda_repro::sparse::spmv::{
+    spmv_bcsr, spmv_csr_scalar, spmv_csr_vector, spmv_hsbcsr, Stage1Smem,
+};
 use dda_repro::sparse::{BlockCsr, Csr, Ell, Hsbcsr, SymBlockMatrix};
 use proptest::prelude::*;
 
