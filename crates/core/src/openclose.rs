@@ -75,19 +75,39 @@ fn decide(
     }
 }
 
+/// Tolerance on the edge-ratio saturation test in [`apply_slip`]: a
+/// reference point this close to an endpoint is treated as still on the
+/// edge (floating-point slop, not a real slide-off).
+const EDGE_RATIO_SLACK: f64 = 1e-9;
+
 /// Post-decision bookkeeping shared by both paths: sliding contacts
 /// remember their direction and let the shear reference point slip along
 /// the edge, so a later re-lock attaches the shear spring at the slid
 /// position instead of yanking the block back.
-fn apply_slip(c: &mut Contact, ds: f64, len: f64) {
-    if c.state == ContactState::Slide {
-        if ds.abs() > 1e-14 {
-            c.slide_dir = ds.signum();
-        }
-        if len > 1e-12 {
-            c.edge_ratio = (c.edge_ratio + ds / len).clamp(0.0, 1.0);
+///
+/// A slip that carries the reference point *past* an edge endpoint means
+/// the vertex has slid off this edge: the contact pair no longer exists
+/// geometrically, so the contact is released to open (and reported as a
+/// state change by the caller) instead of being silently pinned at the
+/// endpoint — the next detection pass re-finds the vertex against its new
+/// edge (or corner) and transfer drops the stale spring. Returns `true`
+/// when the contact slid off.
+fn apply_slip(c: &mut Contact, ds: f64, len: f64) -> bool {
+    if c.state != ContactState::Slide {
+        return false;
+    }
+    if ds.abs() > 1e-14 {
+        c.slide_dir = ds.signum();
+    }
+    if len > 1e-12 {
+        let raw = c.edge_ratio + ds / len;
+        c.edge_ratio = raw.clamp(0.0, 1.0);
+        if !(-EDGE_RATIO_SLACK..=1.0 + EDGE_RATIO_SLACK).contains(&raw) {
+            c.state = ContactState::Open;
+            return true;
         }
     }
+    false
 }
 
 /// Serial open–close update: applies the decision to every contact and
@@ -122,12 +142,17 @@ pub fn open_close_serial(
             c.state = ContactState::Slide;
         }
         c.prev_iter_state = c.state;
-        if new_state != c.state {
+        let flipped = new_state != c.state;
+        if flipped {
             c.state = new_state;
             c.flips += 1;
+        }
+        let slid_off = apply_slip(c, gaps.ds[k], gaps.len[k]);
+        if flipped || slid_off {
+            // A slide-off release is a state change the loop must see, or
+            // it would converge with a phantom contact still assembled.
             changes += 1;
         }
-        apply_slip(c, gaps.ds[k], gaps.len[k]);
         counter.flop(8);
         counter.bytes(80);
     }
@@ -174,16 +199,16 @@ pub fn open_close_gpu(
                 new_state = ContactState::Slide;
                 c.state = ContactState::Slide;
             }
-            let changed = new_state != c.state;
-            lane.branch(0, changed);
+            let flipped = new_state != c.state;
+            lane.branch(0, flipped);
             c.prev_iter_state = c.state;
             c.state = new_state;
-            if changed {
+            if flipped {
                 c.flips += 1;
             }
-            apply_slip(&mut c, ds, l);
+            let slid_off = apply_slip(&mut c, ds, l);
             lane.st(&b_c, k, c);
-            lane.st(&b_f, k, u32::from(changed));
+            lane.st(&b_f, k, u32::from(flipped || slid_off));
         });
     }
     let (_, total) = dda_simt::primitives::scan_exclusive_u32(dev, &flags);
@@ -310,6 +335,67 @@ mod tests {
         cl.edge_ratio = 0.5;
         apply_slip(&mut cl, 0.1, 2.0);
         assert_eq!(cl.edge_ratio, 0.5);
+    }
+
+    #[test]
+    fn slide_past_edge_end_releases_contact() {
+        // Regression: the pre-fix code clamped the ratio and silently kept
+        // the contact sliding, pinned at the endpoint.
+        let mut c = contact(ContactState::Slide);
+        c.edge_ratio = 0.9;
+        // Slip 0.8 m along a 2 m edge: the reference lands at ratio 1.3.
+        assert!(apply_slip(&mut c, 0.8, 2.0), "must report the slide-off");
+        assert_eq!(c.state, ContactState::Open, "slid-off contact releases");
+        assert_eq!(c.edge_ratio, 1.0);
+        // Off the start of the edge, symmetrically.
+        let mut c2 = contact(ContactState::Slide);
+        c2.edge_ratio = 0.05;
+        assert!(apply_slip(&mut c2, -0.4, 2.0));
+        assert_eq!(c2.state, ContactState::Open);
+        assert_eq!(c2.edge_ratio, 0.0);
+        // A slip that stays on the edge keeps sliding.
+        let mut c3 = contact(ContactState::Slide);
+        c3.edge_ratio = 0.5;
+        assert!(!apply_slip(&mut c3, 0.2, 2.0));
+        assert_eq!(c3.state, ContactState::Slide);
+        // Landing exactly on the endpoint (within slack) is not a
+        // slide-off.
+        let mut c4 = contact(ContactState::Slide);
+        c4.edge_ratio = 0.5;
+        assert!(!apply_slip(&mut c4, 1.0, 2.0));
+        assert_eq!(c4.state, ContactState::Slide);
+        assert_eq!(c4.edge_ratio, 1.0);
+    }
+
+    #[test]
+    fn slide_off_counts_as_change_and_matches_gpu() {
+        // A ramp-edge slide-off seen by the loop drivers: one contact still
+        // slipping forward whose accumulated slip carries it past the edge
+        // end. Both paths must release it AND count a change, or loop 3
+        // would converge with a phantom contact still assembled.
+        let mk = || {
+            let mut c = contact(ContactState::Slide);
+            c.slide_dir = 1.0;
+            c.edge_ratio = 0.95;
+            c
+        };
+        let mut serial = vec![mk()];
+        let mut gpu = serial.clone();
+        let gaps = GapArrays {
+            dn: vec![0.001],    // still pressing the edge
+            ds: vec![0.3],      // slipping forward, 0.3 m on a 2 m edge
+            margin: vec![-1.0], // beyond the friction limit
+            limit: vec![1.0],
+            len: vec![2.0],
+        };
+        let mut cnt = CpuCounter::new();
+        let n1 = open_close_serial(&mut serial, &gaps, 1e-6, false, &mut cnt);
+        assert_eq!(n1, 1, "the release must be counted as a state change");
+        assert_eq!(serial[0].state, ContactState::Open);
+        let dev = Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true);
+        let n2 = open_close_gpu(&dev, &mut gpu, &gaps, 1e-6, false);
+        assert_eq!(n1, n2);
+        assert_eq!(serial, gpu);
     }
 
     #[test]

@@ -1,0 +1,560 @@
+//! Batched multi-scene throughput runtime.
+//!
+//! Small DDA scenes leave a modeled GPU mostly idle: a 60-block rockfall
+//! launches kernels over a few hundred threads, so per-launch overhead and
+//! low occupancy dominate. [`SceneBatch`] steps N independent scenes
+//! concurrently on **one** device: the per-scene state lives side by side
+//! (offset-indexed per scene), every pipeline phase is visited
+//! *phase-major* across all scenes inside a device batch region, and the
+//! region merges the scenes' matching kernels into one modeled launch
+//! covering all scenes — amortizing launch overhead and summing warps into
+//! far better occupancy.
+//!
+//! The three-level DDA loop becomes a **masked lockstep**: all scenes enter
+//! loop 2 (displacement control) and loop 3 (open–close iteration)
+//! together, and per-scene convergence masks drop finished scenes out of
+//! subsequent phases — a scene whose open–close iteration converged at
+//! global iteration k simply stops contributing launches, exactly like a
+//! masked-off scene slice in a real packed kernel. Each scene's own
+//! control-flow decisions (convergence, Δt retries, freeze flags) are
+//! evaluated with scene-local data, so per-scene trajectories are
+//! **bit-identical** to stepping the same scene alone in a
+//! [`GpuPipeline`](super::GpuPipeline).
+//!
+//! Launch accounting per step is exposed as `(launches_in, launches_out)`:
+//! the launches the N scenes would have issued solo versus the merged
+//! launches the batch actually modeled.
+
+use super::driver::{StepOutcome, MAX_RETRIES};
+use super::solver_cache::SolverCache;
+use super::{ModuleTimes, StepReport};
+use crate::assembly::{assemble_contacts_gpu, AssembledSystem};
+use crate::contact::init::init_contacts_classified;
+use crate::contact::{broad_phase_gpu, narrow_phase_gpu, transfer_contacts_gpu, Contact, GeomSoa};
+use crate::interpenetration::{check_gpu, BranchScheme, GapArrays};
+use crate::openclose::{categorize_gpu, open_close_gpu};
+use crate::params::DdaParams;
+use crate::stiffness::perblock::{build_diag_gpu, BlockSoa};
+use crate::system::BlockSystem;
+use crate::update::{max_displacement, update_system};
+use dda_simt::serial::CpuCounter;
+use dda_simt::{BatchSummary, Device, KernelStats};
+use dda_solver::{pcg_fused_batch, PcgBatchEntry};
+use dda_sparse::Block6;
+
+/// One scene's slice of the batch: its own block system, parameters,
+/// contact set, warm-start vector, and solver cache.
+struct BatchScene {
+    sys: BlockSystem,
+    params: DdaParams,
+    times: ModuleTimes,
+    contacts: Vec<Contact>,
+    x_prev: Vec<f64>,
+    cache: SolverCache,
+    gsoa: Option<GeomSoa>,
+    bsoa: Option<BlockSoa>,
+}
+
+/// Steps N independent scenes concurrently on one modeled device (see the
+/// module docs for the batching model).
+pub struct SceneBatch {
+    dev: Device,
+    scenes: Vec<BatchScene>,
+    launches_in: u64,
+    launches_out: u64,
+}
+
+impl SceneBatch {
+    /// Packs `scenes` onto `dev`. Panics if `scenes` is empty.
+    pub fn new(dev: Device, scenes: Vec<(BlockSystem, DdaParams)>) -> SceneBatch {
+        assert!(!scenes.is_empty(), "a batch needs at least one scene");
+        let scenes = scenes
+            .into_iter()
+            .map(|(sys, params)| {
+                let n = sys.len();
+                BatchScene {
+                    sys,
+                    params,
+                    times: ModuleTimes::default(),
+                    contacts: Vec::new(),
+                    x_prev: vec![0.0; 6 * n],
+                    cache: SolverCache::default(),
+                    gsoa: None,
+                    bsoa: None,
+                }
+            })
+            .collect();
+        SceneBatch {
+            dev,
+            scenes,
+            launches_in: 0,
+            launches_out: 0,
+        }
+    }
+
+    /// Number of scenes in the batch.
+    pub fn n_scenes(&self) -> usize {
+        self.scenes.len()
+    }
+
+    /// The shared device (for trace inspection).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// Scene `i`'s evolving block system.
+    pub fn sys(&self, i: usize) -> &BlockSystem {
+        &self.scenes[i].sys
+    }
+
+    /// Scene `i`'s analysis parameters (Δt adapts per scene).
+    pub fn params(&self, i: usize) -> &DdaParams {
+        &self.scenes[i].params
+    }
+
+    /// Scene `i`'s current contact set.
+    pub fn contacts(&self, i: usize) -> &[Contact] {
+        &self.scenes[i].contacts
+    }
+
+    /// Scene `i`'s accumulated modeled seconds per module (its share of
+    /// every merged launch, split by modeled work).
+    pub fn times(&self, i: usize) -> &ModuleTimes {
+        &self.scenes[i].times
+    }
+
+    /// Sum of all scenes' module times.
+    pub fn total_times(&self) -> ModuleTimes {
+        let mut t = ModuleTimes::default();
+        for sc in &self.scenes {
+            t.contact_detection += sc.times.contact_detection;
+            t.diag_building += sc.times.diag_building;
+            t.nondiag_building += sc.times.nondiag_building;
+            t.solving += sc.times.solving;
+            t.interpenetration += sc.times.interpenetration;
+            t.updating += sc.times.updating;
+        }
+        t
+    }
+
+    /// Launch accounting of the last step: `(launches_in, launches_out)` —
+    /// what the scenes would have launched solo vs what the batch modeled
+    /// after merging.
+    pub fn last_step_launches(&self) -> (u64, u64) {
+        (self.launches_in, self.launches_out)
+    }
+
+    /// Folds a phase's batch summary into the per-scene module times and
+    /// the step's launch accounting.
+    fn charge(&mut self, s: BatchSummary, field: fn(&mut ModuleTimes) -> &mut f64) {
+        self.launches_in += s.launches_in;
+        self.launches_out += s.launches_out;
+        for (sc, &sec) in self.scenes.iter_mut().zip(&s.per_segment_seconds) {
+            *field(&mut sc.times) += sec;
+        }
+    }
+
+    /// Advances every scene one time step, returning one report per scene.
+    pub fn step(&mut self) -> Vec<StepReport> {
+        let n = self.scenes.len();
+        let mut reports = vec![StepReport::default(); n];
+        self.launches_in = 0;
+        self.launches_out = 0;
+
+        // ---- Phase: contact detection (all scenes, one merged launch set)
+        self.dev.batch_begin(n);
+        for (i, sc) in self.scenes.iter_mut().enumerate() {
+            self.dev.batch_segment(i);
+            let touch = sc.params.touch_tol * sc.params.max_displacement;
+            let gsoa = GeomSoa::build(&sc.sys);
+            let pairs = broad_phase_gpu(&self.dev, &gsoa, sc.params.contact_range);
+            let mut contacts = narrow_phase_gpu(&self.dev, &gsoa, &pairs, sc.params.contact_range);
+            transfer_contacts_gpu(&self.dev, &sc.contacts, &mut contacts);
+            init_contacts_classified(&self.dev, &gsoa, &mut contacts, touch);
+            sc.contacts = contacts;
+            reports[i].n_contacts = sc.contacts.len();
+            for c in sc.contacts.iter_mut() {
+                c.flips = 0;
+            }
+            sc.gsoa = Some(gsoa);
+            sc.bsoa = Some(BlockSoa::build(&sc.sys));
+        }
+        let s = self.dev.batch_end();
+        self.charge(s, |t| &mut t.contact_detection);
+
+        // ---- Loops 2–3: masked lockstep across scenes ------------------------
+        let mut active = vec![true; n]; // still inside loop 2
+        let mut outcomes: Vec<Option<StepOutcome>> = (0..n).map(|_| None).collect();
+        let mut diag: Vec<Option<(Vec<Block6>, Vec<f64>)>> = (0..n).map(|_| None).collect();
+        let mut attempt = 0;
+        while active.iter().any(|&a| a) {
+            // Phase: diagonal building (Δt changed for retrying scenes).
+            self.dev.batch_begin(n);
+            for (i, sc) in self.scenes.iter_mut().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                self.dev.batch_segment(i);
+                diag[i] = Some(build_diag_gpu(
+                    &self.dev,
+                    &sc.sys,
+                    sc.bsoa.as_ref().expect("detection builds the SoA"),
+                    &sc.params,
+                ));
+            }
+            let s = self.dev.batch_end();
+            self.charge(s, |t| &mut t.diag_building);
+
+            // Loop 3 state for this attempt.
+            let mut in_oc = active.clone();
+            let mut d: Vec<Vec<f64>> = self.scenes.iter().map(|sc| sc.x_prev.clone()).collect();
+            let mut gaps: Vec<GapArrays> = (0..n).map(|_| GapArrays::default()).collect();
+            let mut oc_conv = vec![false; n];
+            let mut asms: Vec<Option<AssembledSystem>> = (0..n).map(|_| None).collect();
+            for i in 0..n {
+                if active[i] {
+                    reports[i].oc_iterations = 0;
+                }
+            }
+            let mut oc_iter = 0;
+            while in_oc.iter().any(|&a| a) {
+                // Phase: non-diagonal building.
+                self.dev.batch_begin(n);
+                for (i, sc) in self.scenes.iter_mut().enumerate() {
+                    if !in_oc[i] {
+                        continue;
+                    }
+                    self.dev.batch_segment(i);
+                    let (dg, rhs0) = diag[i].as_ref().expect("diag phase ran");
+                    let asm = assemble_contacts_gpu(
+                        &self.dev,
+                        &sc.sys,
+                        sc.gsoa.as_ref().expect("detection builds the SoA"),
+                        &sc.contacts,
+                        &sc.params,
+                        dg.clone(),
+                        rhs0.clone(),
+                    );
+                    reports[i].n_upper = asm.matrix.n_upper();
+                    reports[i].oc_iterations += 1;
+                    asms[i] = Some(asm);
+                }
+                let s = self.dev.batch_end();
+                self.charge(s, |t| &mut t.nondiag_building);
+
+                // Phase: equation solving — per-scene format/preconditioner
+                // prep, then the masked batched fused PCG over all active
+                // scenes' systems.
+                let mut entries = Vec::new();
+                let mut idxs = Vec::new();
+                self.dev.batch_begin(n);
+                for (i, (sc, asm)) in self.scenes.iter_mut().zip(asms.iter()).enumerate() {
+                    if !in_oc[i] {
+                        continue;
+                    }
+                    self.dev.batch_segment(i);
+                    let asm = asm.as_ref().expect("assembly phase ran");
+                    let BatchScene {
+                        cache,
+                        x_prev,
+                        params,
+                        ..
+                    } = sc;
+                    let (h, bj, ws) = cache.prepare(&self.dev, &asm.matrix, true);
+                    entries.push(PcgBatchEntry {
+                        h,
+                        b: &asm.rhs,
+                        x0: x_prev.as_slice(),
+                        m: bj.expect("prepare(want_bj) returns a factorization"),
+                        opts: params.pcg,
+                        ws,
+                    });
+                    idxs.push(i);
+                }
+                let prep = self.dev.batch_end();
+                let (results, solve_sum) = pcg_fused_batch(&self.dev, &mut entries);
+                drop(entries);
+                self.charge(prep, |t| &mut t.solving);
+                self.launches_in += solve_sum.launches_in;
+                self.launches_out += solve_sum.launches_out;
+                let mut last_conv = vec![false; n];
+                for (k, (res, &i)) in results.into_iter().zip(&idxs).enumerate() {
+                    self.scenes[i].times.solving += solve_sum.per_segment_seconds[k];
+                    reports[i].pcg_iterations += res.iterations;
+                    reports[i].last_solve_iterations = res.iterations;
+                    last_conv[i] = res.converged;
+                    d[i] = res.x;
+                }
+
+                // Phase: interpenetration checking + open–close update.
+                self.dev.batch_begin(n);
+                for (i, sc) in self.scenes.iter_mut().enumerate() {
+                    if !in_oc[i] {
+                        continue;
+                    }
+                    self.dev.batch_segment(i);
+                    let open_tol = 1e-6 * sc.params.max_displacement;
+                    let freeze = oc_iter + 3 >= sc.params.oc_max_iters;
+                    gaps[i] = check_gpu(
+                        &self.dev,
+                        sc.gsoa.as_ref().expect("detection builds the SoA"),
+                        &sc.sys,
+                        &sc.contacts,
+                        &d[i],
+                        sc.params.penalty,
+                        sc.params.shear_ratio,
+                        BranchScheme::Restructured,
+                    );
+                    let changes =
+                        open_close_gpu(&self.dev, &mut sc.contacts, &gaps[i], open_tol, freeze);
+                    // Scene-local convergence mask: a converged (or
+                    // iteration-capped) scene stops contributing launches.
+                    if changes == 0 && last_conv[i] {
+                        oc_conv[i] = true;
+                        in_oc[i] = false;
+                    } else if oc_iter + 1 >= sc.params.oc_max_iters {
+                        in_oc[i] = false;
+                    }
+                }
+                let s = self.dev.batch_end();
+                self.charge(s, |t| &mut t.interpenetration);
+                oc_iter += 1;
+            }
+
+            // Displacement control, per scene on the host (scalar controls
+            // are the only thing that crosses back, as in the paper).
+            for (i, sc) in self.scenes.iter_mut().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                reports[i].oc_converged = oc_conv[i];
+                let maxd = max_displacement(&sc.sys, &d[i]);
+                reports[i].max_displacement = maxd;
+                let too_big = maxd > 2.0 * sc.params.max_displacement;
+                if (too_big || !oc_conv[i]) && attempt < MAX_RETRIES && sc.params.reduce_dt() {
+                    reports[i].retries += 1; // scene stays active for the next attempt
+                } else {
+                    outcomes[i] = Some(StepOutcome {
+                        d: std::mem::take(&mut d[i]),
+                        gaps: std::mem::take(&mut gaps[i]),
+                        oc_converged: oc_conv[i],
+                        too_big,
+                        retries: reports[i].retries,
+                    });
+                    active[i] = false;
+                }
+            }
+            attempt += 1;
+        }
+        // The loop above exits only when every scene has an outcome.
+        let outcomes: Vec<StepOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("inactive scenes hold an outcome"))
+            .collect();
+
+        // ---- Phase: third classification (C1…C5) -----------------------------
+        self.dev.batch_begin(n);
+        for (i, sc) in self.scenes.iter_mut().enumerate() {
+            self.dev.batch_segment(i);
+            reports[i].categories = categorize_gpu(&self.dev, &sc.contacts);
+        }
+        let s = self.dev.batch_end();
+        self.charge(s, |t| &mut t.interpenetration);
+
+        // ---- Phase: data updating --------------------------------------------
+        self.dev.batch_begin(n);
+        for (i, (sc, out)) in self.scenes.iter_mut().zip(outcomes).enumerate() {
+            self.dev.batch_segment(i);
+            reports[i].max_open_penetration = out.gaps.max_open_penetration(&sc.contacts);
+            let mut uc = CpuCounter::new();
+            update_system(
+                &mut sc.sys,
+                &out.d,
+                &mut sc.contacts,
+                &out.gaps,
+                &sc.params,
+                &mut uc,
+            );
+            let nd = 6 * sc.sys.len() as u64; // one thread per DOF
+            self.dev.record_external(
+                "update.apply",
+                KernelStats {
+                    launches: 2,
+                    threads: nd,
+                    warps: nd.div_ceil(32).max(1),
+                    flops: uc.flops,
+                    warp_flops: uc.flops * 2,
+                    gmem_bytes: uc.bytes,
+                    gmem_transactions: uc.bytes.div_ceil(128),
+                    ..Default::default()
+                },
+            );
+            reports[i].dt = sc.params.dt;
+            out.recover_dt_if_clean(&mut sc.params);
+            sc.x_prev = out.d;
+        }
+        let s = self.dev.batch_end();
+        self.charge(s, |t| &mut t.updating);
+
+        reports
+    }
+
+    /// Runs `n` steps; element `[s][i]` is scene `i`'s report at step `s`.
+    pub fn run(&mut self, n: usize) -> Vec<Vec<StepReport>> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::material::{BlockMaterial, JointMaterial};
+    use crate::pipeline::GpuPipeline;
+    use dda_geom::Polygon;
+    use dda_simt::DeviceProfile;
+
+    fn k40() -> Device {
+        Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true)
+    }
+
+    /// A family of small distinct scenes: a resting stack, a falling
+    /// block, and an offset stack — different contact histories, different
+    /// convergence behavior.
+    fn scene(kind: usize) -> (BlockSystem, DdaParams) {
+        let (top, params) = match kind % 3 {
+            0 => (
+                Polygon::rect(-0.5, 0.0, 0.5, 1.0),
+                DdaParams::for_model(1.0, 5e9).static_analysis(),
+            ),
+            1 => {
+                let mut p = DdaParams::for_model(1.0, 5e9);
+                p.dt = 0.002;
+                p.dt_max = 0.002;
+                (Polygon::rect(-0.5, 0.005, 0.5, 1.005), p)
+            }
+            _ => (
+                Polygon::rect(0.3, 0.0, 1.3, 1.0),
+                DdaParams::for_model(1.0, 5e9).static_analysis(),
+            ),
+        };
+        let sys = BlockSystem::new(
+            vec![
+                Block::new(Polygon::rect(-5.0, -1.0, 5.0, 0.0), 0).fixed(),
+                Block::new(top, 0),
+            ],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(35.0),
+        );
+        (sys, params)
+    }
+
+    #[test]
+    fn batch_trajectories_bit_identical_to_solo() {
+        let n = 3;
+        let mut solos: Vec<GpuPipeline> = (0..n)
+            .map(|k| {
+                let (sys, params) = scene(k);
+                GpuPipeline::new(sys, params, k40())
+            })
+            .collect();
+        let mut batch = SceneBatch::new(k40(), (0..n).map(scene).collect());
+        for step in 0..4 {
+            let rb = batch.step();
+            for (i, solo) in solos.iter_mut().enumerate() {
+                let rs = solo.step();
+                assert_eq!(rs.n_contacts, rb[i].n_contacts, "step {step} scene {i}");
+                assert_eq!(
+                    rs.oc_iterations, rb[i].oc_iterations,
+                    "step {step} scene {i}"
+                );
+                assert_eq!(rs.retries, rb[i].retries, "step {step} scene {i}");
+                assert_eq!(
+                    rs.pcg_iterations, rb[i].pcg_iterations,
+                    "step {step} scene {i}"
+                );
+                assert_eq!(rs.oc_converged, rb[i].oc_converged, "step {step} scene {i}");
+                assert_eq!(rs.dt.to_bits(), rb[i].dt.to_bits(), "step {step} scene {i}");
+                // Bit-identical state: positions and velocities match
+                // exactly, not merely within tolerance.
+                for (bs, bb) in solo.sys.blocks.iter().zip(&batch.sys(i).blocks) {
+                    let (cs, cb) = (bs.centroid(), bb.centroid());
+                    assert_eq!(cs.x.to_bits(), cb.x.to_bits(), "step {step} scene {i}");
+                    assert_eq!(cs.y.to_bits(), cb.y.to_bits(), "step {step} scene {i}");
+                    for dof in 0..6 {
+                        assert_eq!(
+                            bs.velocity[dof].to_bits(),
+                            bb.velocity[dof].to_bits(),
+                            "step {step} scene {i} dof {dof}"
+                        );
+                    }
+                }
+                // And the contact bookkeeping agrees.
+                assert_eq!(solo.contacts().len(), batch.contacts(i).len());
+                for (cs, cb) in solo.contacts().iter().zip(batch.contacts(i)) {
+                    assert_eq!(cs.state, cb.state, "step {step} scene {i}");
+                    assert_eq!(
+                        cs.edge_ratio.to_bits(),
+                        cb.edge_ratio.to_bits(),
+                        "step {step} scene {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_merges_launches_and_beats_serial_time() {
+        let n = 4;
+        let mut batch = SceneBatch::new(k40(), (0..n).map(|_| scene(0)).collect());
+        let mut solos: Vec<GpuPipeline> = (0..n)
+            .map(|_| {
+                let (sys, params) = scene(0);
+                GpuPipeline::new(sys, params, k40())
+            })
+            .collect();
+        batch.step();
+        for s in solos.iter_mut() {
+            s.step();
+        }
+        let (l_in, l_out) = batch.last_step_launches();
+        assert!(
+            l_out < l_in,
+            "merging must reduce launches: {l_out} vs {l_in}"
+        );
+        // Identical scenes merge near-perfectly: ~n× fewer launches.
+        assert!(
+            (l_out as f64) < (l_in as f64) / (n as f64 - 1.0),
+            "expected ~{n}× merge, got {l_in} -> {l_out}"
+        );
+        let serial: f64 = solos.iter().map(|s| s.device().modeled_seconds()).sum();
+        let batched = batch.device().modeled_seconds();
+        assert!(
+            batched < serial,
+            "batched {batched} s must beat serial-loop {serial} s"
+        );
+    }
+
+    #[test]
+    fn batch_of_one_keeps_solo_accounting() {
+        let mut batch = SceneBatch::new(k40(), vec![scene(0)]);
+        batch.step();
+        let (l_in, l_out) = batch.last_step_launches();
+        assert_eq!(l_in, l_out, "a single scene has nothing to merge with");
+    }
+
+    #[test]
+    fn per_scene_times_sum_to_device_total() {
+        let mut batch = SceneBatch::new(k40(), (0..3).map(scene).collect());
+        batch.run(2);
+        let total = batch.total_times().total();
+        let dev = batch.device().modeled_seconds();
+        assert!(
+            (total - dev).abs() < 1e-9 * dev.max(1e-12),
+            "attributed {total} s vs device {dev} s"
+        );
+        for i in 0..3 {
+            assert!(batch.times(i).total() > 0.0, "scene {i} got no time share");
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The serial reference pipeline (Fig 1), timed under the E5620 model.
 
+use super::driver::{drive_step, StepBackend};
 use super::{ModuleTimes, StepReport};
 use crate::assembly::{assemble_contacts_serial, AssembledSystem};
 use crate::contact::{
@@ -16,10 +17,8 @@ use dda_simt::profile::DeviceProfile;
 use dda_simt::serial::CpuCounter;
 use dda_simt::TimingModel;
 use dda_solver::serial::pcg_serial_bj;
-
-/// Maximum times a step is redone with a reduced Δt before being accepted
-/// as-is (Shi's code behaves the same once the Δt floor is hit).
-const MAX_RETRIES: usize = 4;
+use dda_solver::SolveResult;
+use dda_sparse::{Block6, SymBlockMatrix};
 
 /// The serial DDA driver.
 pub struct CpuPipeline {
@@ -63,7 +62,6 @@ impl CpuPipeline {
     pub fn step(&mut self) -> StepReport {
         let mut report = StepReport::default();
         let touch = self.params.touch_tol * self.params.max_displacement;
-        let open_tol = 1e-6 * self.params.max_displacement;
 
         // ---- Contact detection ---------------------------------------------
         let mut cd = CpuCounter::new();
@@ -79,96 +77,24 @@ impl CpuPipeline {
             c.flips = 0;
         }
 
-        // ---- Loop 2: displacement-controlled attempts -----------------------
-        let mut accepted: Option<(Vec<f64>, GapArrays)> = None;
-        for attempt in 0..=MAX_RETRIES {
-            // Diagonal building (depends on Δt).
-            let mut dc = CpuCounter::new();
-            let (diag, rhs0) = build_diag_serial(&self.sys, &self.params, &mut dc);
-            self.times.diag_building += self.charge(dc);
-
-            // ---- Loop 3: open–close iteration --------------------------------
-            let mut d = self.x_prev.clone();
-            let mut gaps = GapArrays::default();
-            let mut oc_converged = false;
-            report.oc_iterations = 0;
-            for oc_iter in 0..self.params.oc_max_iters {
-                report.oc_iterations += 1;
-                let freeze = oc_iter + 3 >= self.params.oc_max_iters;
-                let mut nd = CpuCounter::new();
-                let asm: AssembledSystem = assemble_contacts_serial(
-                    &self.sys,
-                    &self.contacts,
-                    &self.params,
-                    diag.clone(),
-                    rhs0.clone(),
-                    &mut nd,
-                );
-                report.n_upper = asm.matrix.n_upper();
-                self.times.nondiag_building += self.charge(nd);
-
-                let mut sc = CpuCounter::new();
-                let res = pcg_serial_bj(
-                    &asm.matrix,
-                    &asm.rhs,
-                    &self.x_prev,
-                    self.params.pcg,
-                    &mut sc,
-                );
-                self.times.solving += self.charge(sc);
-                report.pcg_iterations += res.iterations;
-                report.last_solve_iterations = res.iterations;
-                d = res.x;
-
-                let mut ic = CpuCounter::new();
-                gaps = check_serial(
-                    &self.sys,
-                    &self.contacts,
-                    &d,
-                    self.params.penalty,
-                    self.params.shear_ratio,
-                    &mut ic,
-                );
-                let changes =
-                    open_close_serial(&mut self.contacts, &gaps, open_tol, freeze, &mut ic);
-                self.times.interpenetration += self.charge(ic);
-                if changes == 0 && res.converged {
-                    oc_converged = true;
-                    break;
-                }
-            }
-            report.oc_converged = oc_converged;
-
-            // Displacement control.
-            let maxd = max_displacement(&self.sys, &d);
-            report.max_displacement = maxd;
-            let too_big = maxd > 2.0 * self.params.max_displacement;
-            if (too_big || !oc_converged) && attempt < MAX_RETRIES && self.params.reduce_dt() {
-                report.retries += 1;
-                continue;
-            }
-            accepted = Some((d, gaps));
-            break;
-        }
+        // ---- Loops 2–3 (shared driver) -------------------------------------
+        let outcome = drive_step(self, &mut report);
 
         // ---- Data updating ----------------------------------------------------
-        let (d, gaps) = accepted.expect("an attempt is always accepted");
-        report.max_open_penetration = gaps.max_open_penetration(&self.contacts);
+        report.max_open_penetration = outcome.gaps.max_open_penetration(&self.contacts);
         let mut uc = CpuCounter::new();
         update_system(
             &mut self.sys,
-            &d,
+            &outcome.d,
             &mut self.contacts,
-            &gaps,
+            &outcome.gaps,
             &self.params,
             &mut uc,
         );
         self.times.updating += self.charge(uc);
-        self.x_prev = d;
         report.dt = self.params.dt;
-        if report.retries == 0 {
-            self.params.recover_dt();
-        }
+        outcome.recover_dt_if_clean(&mut self.params);
+        self.x_prev = outcome.d;
         report
     }
 
@@ -178,12 +104,80 @@ impl CpuPipeline {
     }
 }
 
+impl StepBackend for CpuPipeline {
+    fn params(&self) -> &DdaParams {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut DdaParams {
+        &mut self.params
+    }
+
+    fn x_prev(&self) -> &[f64] {
+        &self.x_prev
+    }
+
+    fn build_diag(&mut self) -> (Vec<Block6>, Vec<f64>) {
+        let mut dc = CpuCounter::new();
+        let out = build_diag_serial(&self.sys, &self.params, &mut dc);
+        self.times.diag_building += self.charge(dc);
+        out
+    }
+
+    fn assemble(&mut self, diag: &[Block6], rhs0: &[f64]) -> AssembledSystem {
+        let mut nd = CpuCounter::new();
+        let asm = assemble_contacts_serial(
+            &self.sys,
+            &self.contacts,
+            &self.params,
+            diag.to_vec(),
+            rhs0.to_vec(),
+            &mut nd,
+        );
+        self.times.nondiag_building += self.charge(nd);
+        asm
+    }
+
+    fn solve(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> SolveResult {
+        let mut sc = CpuCounter::new();
+        let res = pcg_serial_bj(matrix, rhs, &self.x_prev, self.params.pcg, &mut sc);
+        self.times.solving += self.charge(sc);
+        res
+    }
+
+    fn check(&mut self, d: &[f64]) -> GapArrays {
+        let mut ic = CpuCounter::new();
+        let gaps = check_serial(
+            &self.sys,
+            &self.contacts,
+            d,
+            self.params.penalty,
+            self.params.shear_ratio,
+            &mut ic,
+        );
+        self.times.interpenetration += self.charge(ic);
+        gaps
+    }
+
+    fn open_close(&mut self, gaps: &GapArrays, open_tol: f64, freeze: bool) -> usize {
+        let mut ic = CpuCounter::new();
+        let changes = open_close_serial(&mut self.contacts, gaps, open_tol, freeze, &mut ic);
+        self.times.interpenetration += self.charge(ic);
+        changes
+    }
+
+    fn max_displacement(&self, d: &[f64]) -> f64 {
+        max_displacement(&self.sys, d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::block::Block;
+    use crate::contact::ContactState;
     use crate::material::{BlockMaterial, JointMaterial};
-    use dda_geom::Polygon;
+    use dda_geom::{Polygon, Vec2};
 
     fn resting_stack() -> (BlockSystem, DdaParams) {
         let sys = BlockSystem::new(
@@ -293,5 +287,116 @@ mod tests {
         assert!(r.pcg_iterations >= 1);
         assert!(r.dt > 0.0);
         assert!(r.oc_converged, "resting stack must converge: {r:?}");
+    }
+
+    #[test]
+    fn dt_holds_at_floor_while_step_is_dirty() {
+        // Regression: a persistently non-converging scene must park Δt at
+        // the floor, not thrash. Before the fix, a step accepted only
+        // because the Δt floor blocked further reduction still counted as
+        // "no retries", so recover_dt() raised Δt and the next step fell
+        // right back — oscillating between dt_min and 1.3·dt_min forever.
+        let (sys, mut params) = resting_stack();
+        // Make the solver incapable of converging: impossible tolerance,
+        // two iterations. Every solve reports !converged, so loop 3 never
+        // converges and every step is dirty.
+        params.pcg.tol = 1e-30;
+        params.pcg.max_iters = 2;
+        let mut pipe = CpuPipeline::new(sys, params);
+        // Drive Δt down to the floor.
+        for _ in 0..6 {
+            let r = pipe.step();
+            assert!(!r.oc_converged, "solver must be hobbled for this test");
+        }
+        assert_eq!(
+            pipe.params.dt, pipe.params.dt_min,
+            "Δt must reach the floor"
+        );
+        // And hold there: no recovery as long as steps stay dirty. The
+        // pre-fix thrash shows up as Δt bouncing to 1.3·dt_min *after* the
+        // step (recovery fired on a dirty floor-accepted step) and as a
+        // wasted reduction retry on the following step.
+        for step in 0..4 {
+            let r = pipe.step();
+            assert_eq!(
+                pipe.params.dt, pipe.params.dt_min,
+                "step {step}: Δt must hold at the floor, not thrash"
+            );
+            assert_eq!(
+                r.retries, 0,
+                "step {step}: floor oscillation wastes retries"
+            );
+        }
+    }
+
+    #[test]
+    fn block_sliding_off_ramp_edge_releases_contact() {
+        // A rock sliding down a steep ramp reaches the ramp's toe: the
+        // vertex–edge contact's entry point runs off the edge's end. The
+        // slide bookkeeping must release the contact (and let detection
+        // re-find geometry) rather than silently pinning edge_ratio at 1.
+        let ramp = Polygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(4.0, 0.0),
+            Vec2::new(0.0, 3.0),
+        ]);
+        // Small square resting on the incline near the toe, moving
+        // downslope (the incline runs from (0,3) to (4,0); direction
+        // (0.8, -0.6)).
+        let s = 0.4;
+        let cx = 2.8; // near the toe
+        let cy = 3.0 * (1.0 - cx / 4.0) + 0.01;
+        let rock = Polygon::new(vec![
+            Vec2::new(cx, cy),
+            Vec2::new(cx + s * 0.8, cy - s * 0.6),
+            Vec2::new(cx + s * 0.8 + s * 0.6, cy - s * 0.6 + s * 0.8),
+            Vec2::new(cx + s * 0.6, cy + s * 0.8),
+        ]);
+        let mut b = Block::new(rock, 0);
+        b.velocity[0] = 2.0 * 0.8;
+        b.velocity[1] = 2.0 * -0.6;
+        let sys = BlockSystem::new(
+            vec![Block::new(ramp, 0).fixed(), b],
+            BlockMaterial::rock(),
+            // Low friction so it keeps sliding.
+            JointMaterial::frictional(5.0),
+        );
+        let mut params = DdaParams::for_model(s, 5e9);
+        params.dt = 0.005;
+        params.dt_max = 0.005;
+        let mut pipe = CpuPipeline::new(sys, params);
+        let mut saw_slide = false;
+        for _ in 0..60 {
+            pipe.step();
+            saw_slide |= pipe
+                .contacts()
+                .iter()
+                .any(|c| c.state == ContactState::Slide);
+            // The invariant under test: no surviving closed contact may sit
+            // pinned at a saturated edge ratio — sliding past the end must
+            // have released it (transfer then drops it or detection re-finds
+            // real geometry).
+            for c in pipe.contacts() {
+                if c.state == ContactState::Slide {
+                    assert!(
+                        c.edge_ratio < 1.0 && c.edge_ratio > 0.0,
+                        "sliding contact pinned at edge end: ratio={}",
+                        c.edge_ratio
+                    );
+                }
+            }
+            // Once the rock has left the ramp entirely we are done.
+            if pipe.sys.blocks[1].centroid().x > 4.0 + s {
+                break;
+            }
+        }
+        assert!(saw_slide, "scenario must actually exercise the slide path");
+        // The rock must end up past the toe — it was never wedged in place
+        // by a contact stuck at the edge end.
+        assert!(
+            pipe.sys.blocks[1].centroid().x > 3.0,
+            "rock stalled at x={}",
+            pipe.sys.blocks[1].centroid().x
+        );
     }
 }

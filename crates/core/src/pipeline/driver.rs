@@ -1,0 +1,139 @@
+//! The shared step driver: loop 2 (displacement control) around loop 3
+//! (open–close iteration).
+//!
+//! The CPU and GPU pipelines execute the same three-level nested loop and
+//! previously each carried its own copy of the attempt/retry/accept logic
+//! (drifting was only a matter of time, and both ended in an
+//! `accepted.expect(..)` that a future edit could turn into a panic). The
+//! control flow now lives here once, parameterized over a [`StepBackend`]
+//! that supplies the per-platform phase implementations; the result is a
+//! structured [`StepOutcome`] that always exists — acceptance is the loop's
+//! exit condition, not a post-hoc unwrap.
+
+use super::StepReport;
+use crate::assembly::AssembledSystem;
+use crate::interpenetration::GapArrays;
+use crate::params::DdaParams;
+use dda_solver::SolveResult;
+use dda_sparse::{Block6, SymBlockMatrix};
+
+/// Maximum times a step is redone with a reduced Δt before being accepted
+/// as-is (Shi's code behaves the same once the Δt floor is hit).
+pub(crate) const MAX_RETRIES: usize = 4;
+
+/// Per-platform phase implementations consumed by [`drive_step`]. Each
+/// method runs one pipeline phase on its own substrate (serial counters or
+/// simulated device) and charges its own module times.
+pub(crate) trait StepBackend {
+    /// Analysis parameters (Δt evolves during the step).
+    fn params(&self) -> &DdaParams;
+    /// Mutable parameters, for the Δt reductions of loop 2.
+    fn params_mut(&mut self) -> &mut DdaParams;
+    /// Previous step's solution (PCG warm start and loop-3 seed).
+    fn x_prev(&self) -> &[f64];
+    /// Diagonal building: per-block stiffness/inertia and base RHS.
+    fn build_diag(&mut self) -> (Vec<Block6>, Vec<f64>);
+    /// Non-diagonal building: contact springs assembled onto the diagonal.
+    fn assemble(&mut self, diag: &[Block6], rhs0: &[f64]) -> AssembledSystem;
+    /// Equation solving.
+    fn solve(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> SolveResult;
+    /// Interpenetration / contact-measure checking under displacements `d`.
+    fn check(&mut self, d: &[f64]) -> GapArrays;
+    /// Open–close state update; returns the number of state changes.
+    fn open_close(&mut self, gaps: &GapArrays, open_tol: f64, freeze: bool) -> usize;
+    /// Largest block displacement measure of `d` (displacement control).
+    fn max_displacement(&self, d: &[f64]) -> f64;
+}
+
+/// What loop 2 settled on: the accepted displacements and gap measures,
+/// plus the quality of the acceptance. Unlike the old `Option` + `expect`
+/// pattern, an outcome always exists — and it remembers *why* the attempt
+/// was accepted, so Δt recovery can distinguish a clean step from one that
+/// merely ran out of retries.
+pub struct StepOutcome {
+    /// Accepted generalized displacements.
+    pub d: Vec<f64>,
+    /// Gap measures of the accepted attempt.
+    pub gaps: GapArrays,
+    /// Whether the open–close iteration converged on the accepted attempt.
+    pub oc_converged: bool,
+    /// Whether the accepted attempt still exceeded the displacement bound.
+    pub too_big: bool,
+    /// Δt reductions taken before acceptance.
+    pub retries: usize,
+}
+
+impl StepOutcome {
+    /// A cleanly accepted step: the open–close iteration converged and the
+    /// displacement stayed in bounds.
+    pub fn clean(&self) -> bool {
+        self.oc_converged && !self.too_big
+    }
+
+    /// Grows Δt back toward its ceiling, but only after a clean first-try
+    /// step. A step accepted because `MAX_RETRIES` (or the Δt floor) was
+    /// exhausted is *not* clean — recovering Δt there immediately re-fails
+    /// the next step and the time step thrashes at the floor instead of
+    /// holding it.
+    pub fn recover_dt_if_clean(&self, params: &mut DdaParams) {
+        if self.clean() && self.retries == 0 {
+            params.recover_dt();
+        }
+    }
+}
+
+/// Runs loops 2 and 3 for one time step on `backend`, filling the loop
+/// fields of `report` (`oc_iterations`, `pcg_iterations`,
+/// `last_solve_iterations`, `n_upper`, `oc_converged`, `max_displacement`,
+/// `retries`).
+pub(crate) fn drive_step<B: StepBackend + ?Sized>(
+    backend: &mut B,
+    report: &mut StepReport,
+) -> StepOutcome {
+    let open_tol = 1e-6 * backend.params().max_displacement;
+    let mut attempt = 0;
+    loop {
+        // Diagonal building (depends on Δt, so it is redone per attempt).
+        let (diag, rhs0) = backend.build_diag();
+
+        // ---- Loop 3: open–close iteration --------------------------------
+        let mut d = backend.x_prev().to_vec();
+        let mut gaps = GapArrays::default();
+        let mut oc_converged = false;
+        report.oc_iterations = 0;
+        for oc_iter in 0..backend.params().oc_max_iters {
+            report.oc_iterations += 1;
+            let freeze = oc_iter + 3 >= backend.params().oc_max_iters;
+            let asm = backend.assemble(&diag, &rhs0);
+            report.n_upper = asm.matrix.n_upper();
+            let res = backend.solve(&asm.matrix, &asm.rhs);
+            report.pcg_iterations += res.iterations;
+            report.last_solve_iterations = res.iterations;
+            d = res.x;
+            gaps = backend.check(&d);
+            let changes = backend.open_close(&gaps, open_tol, freeze);
+            if changes == 0 && res.converged {
+                oc_converged = true;
+                break;
+            }
+        }
+        report.oc_converged = oc_converged;
+
+        // ---- Displacement control ----------------------------------------
+        let maxd = backend.max_displacement(&d);
+        report.max_displacement = maxd;
+        let too_big = maxd > 2.0 * backend.params().max_displacement;
+        if (too_big || !oc_converged) && attempt < MAX_RETRIES && backend.params_mut().reduce_dt() {
+            report.retries += 1;
+            attempt += 1;
+            continue;
+        }
+        return StepOutcome {
+            d,
+            gaps,
+            oc_converged,
+            too_big,
+            retries: report.retries,
+        };
+    }
+}

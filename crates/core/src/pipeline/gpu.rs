@@ -8,8 +8,10 @@
 //! buffers across modules; only scalar controls (iteration counts,
 //! convergence flags, Δt decisions) cross back, as in the paper.
 
+use super::driver::{drive_step, StepBackend};
+use super::solver_cache::SolverCache;
 use super::{ModuleTimes, StepReport};
-use crate::assembly::assemble_contacts_gpu;
+use crate::assembly::{assemble_contacts_gpu, AssembledSystem};
 use crate::contact::init::init_contacts_classified;
 use crate::contact::{broad_phase_gpu, narrow_phase_gpu, transfer_contacts_gpu, Contact, GeomSoa};
 use crate::interpenetration::{check_gpu, BranchScheme, GapArrays};
@@ -21,8 +23,8 @@ use crate::update::{max_displacement, update_system};
 use dda_simt::serial::CpuCounter;
 use dda_simt::{Device, KernelStats};
 use dda_solver::precond::{BlockJacobi, Identity, Ilu0, SsorAi};
-use dda_solver::{pcg, pcg_fused, HsbcsrMat, PcgWorkspace, SolveResult};
-use dda_sparse::{Csr, Hsbcsr};
+use dda_solver::{pcg, pcg_fused, HsbcsrMat, SolveResult};
+use dda_sparse::{Block6, Csr, Hsbcsr, SymBlockMatrix};
 
 /// Preconditioner selection for the equation-solving module (Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,26 +37,6 @@ pub enum PrecondKind {
     SsorAi,
     /// ILU(0) with level-scheduled triangular solves.
     Ilu0,
-}
-
-const MAX_RETRIES: usize = 4;
-
-/// Cached equation-solving state, reused across open–close iterations and
-/// time steps. The open–close loop usually toggles no contacts between
-/// consecutive solves, so the HSBCSR symbolic structure (index arrays,
-/// padding) is stable: the cache then refills values in place instead of
-/// rebuilding, reuses the Block-Jacobi storage (refactoring values with the
-/// same single launch), and keeps the PCG/SpMV workspace warm so the whole
-/// solve path stops allocating.
-#[derive(Default)]
-struct SolverCache {
-    h: Option<Hsbcsr>,
-    bj: Option<BlockJacobi>,
-    pcg_ws: PcgWorkspace,
-    /// Diagnostics: how many solves reused the symbolic structure.
-    refills: usize,
-    /// Diagnostics: how many solves rebuilt the format from scratch.
-    rebuilds: usize,
 }
 
 /// The GPU DDA driver.
@@ -72,6 +54,10 @@ pub struct GpuPipeline {
     x_prev: Vec<f64>,
     cache: SolverCache,
     legacy_solver: bool,
+    // Per-step SoA mirrors, built once per step() and consumed by the
+    // backend phases the shared driver calls.
+    gsoa: Option<GeomSoa>,
+    bsoa: Option<BlockSoa>,
 }
 
 impl GpuPipeline {
@@ -88,6 +74,8 @@ impl GpuPipeline {
             x_prev: vec![0.0; 6 * n],
             cache: SolverCache::default(),
             legacy_solver: false,
+            gsoa: None,
+            bsoa: None,
         }
     }
 
@@ -123,91 +111,35 @@ impl GpuPipeline {
     /// Solves the assembled system with the configured preconditioner,
     /// reusing the cached HSBCSR structure / preconditioner storage / PCG
     /// workspace whenever the contact pattern is unchanged.
-    fn solve(&mut self, matrix: &dda_sparse::SymBlockMatrix, rhs: &[f64]) -> SolveResult {
-        if self.legacy_solver {
-            return self.solve_legacy(matrix, rhs);
-        }
-        let SolverCache {
-            h: h_slot,
-            bj: bj_slot,
-            pcg_ws,
-            refills,
-            rebuilds,
-        } = &mut self.cache;
-
-        // Format building (charged as part of this module's time via an
-        // explicit record — the paper's pipeline equally pays it on
-        // device). When the sparsity pattern matches the cached format,
-        // only the value arrays are rewritten; the index derivation and
-        // its traffic are skipped.
-        let refilled = match h_slot.as_mut() {
-            Some(h) => h.refill_values(matrix),
-            None => false,
-        };
-        if !refilled {
-            *h_slot = Some(Hsbcsr::from_sym(matrix));
-            *rebuilds += 1;
-        } else {
-            *refills += 1;
-        }
-        let h = h_slot.as_ref().expect("cache holds a format after refill");
-        let bytes = h.data_bytes() as u64;
-        let charged = if refilled { bytes } else { 2 * bytes };
-        self.dev.record_external(
-            "format.hsbcsr",
-            KernelStats {
-                launches: 1,
-                threads: (h.n + h.n_nd) as u64,
-                warps: ((h.n + h.n_nd) as u64).div_ceil(32),
-                gmem_bytes: charged,
-                gmem_transactions: charged.div_ceil(128),
-                ..Default::default()
-            },
-        );
+    fn solve_fused(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> SolveResult {
         match self.precond {
-            PrecondKind::None => pcg_fused(
-                &self.dev,
-                h,
-                rhs,
-                &self.x_prev,
-                &Identity,
-                self.params.pcg,
-                pcg_ws,
-            ),
+            PrecondKind::None => {
+                let (h, _, ws) = self.cache.prepare(&self.dev, matrix, false);
+                pcg_fused(
+                    &self.dev,
+                    h,
+                    rhs,
+                    &self.x_prev,
+                    &Identity,
+                    self.params.pcg,
+                    ws,
+                )
+            }
             PrecondKind::BlockJacobi => {
-                // Values change every solve (contact springs); the cache
-                // keeps the storage and refactors in place.
-                match bj_slot.as_mut() {
-                    Some(bj) => bj.refactor(&self.dev, h),
-                    None => *bj_slot = Some(BlockJacobi::new(&self.dev, h)),
-                }
-                let bj = bj_slot.as_ref().expect("cache holds a factorization");
-                pcg_fused(&self.dev, h, rhs, &self.x_prev, bj, self.params.pcg, pcg_ws)
+                let (h, bj, ws) = self.cache.prepare(&self.dev, matrix, true);
+                let bj = bj.expect("prepare(want_bj) returns a factorization");
+                pcg_fused(&self.dev, h, rhs, &self.x_prev, bj, self.params.pcg, ws)
             }
             PrecondKind::SsorAi => {
+                let (h, _, ws) = self.cache.prepare(&self.dev, matrix, false);
                 let ssor = SsorAi::new(&self.dev, h, 1.0);
-                pcg_fused(
-                    &self.dev,
-                    h,
-                    rhs,
-                    &self.x_prev,
-                    &ssor,
-                    self.params.pcg,
-                    pcg_ws,
-                )
+                pcg_fused(&self.dev, h, rhs, &self.x_prev, &ssor, self.params.pcg, ws)
             }
             PrecondKind::Ilu0 => {
+                let (h, _, ws) = self.cache.prepare(&self.dev, matrix, false);
                 let csr = Csr::from_sym_full(matrix);
                 let ilu = Ilu0::new(&self.dev, &csr);
-                pcg_fused(
-                    &self.dev,
-                    h,
-                    rhs,
-                    &self.x_prev,
-                    &ilu,
-                    self.params.pcg,
-                    pcg_ws,
-                )
+                pcg_fused(&self.dev, h, rhs, &self.x_prev, &ilu, self.params.pcg, ws)
             }
         }
     }
@@ -216,7 +148,7 @@ impl GpuPipeline {
     /// benchmark baseline: every solve converts the matrix from scratch,
     /// constructs its preconditioner from scratch, and runs the unfused
     /// textbook PCG loop.
-    fn solve_legacy(&mut self, matrix: &dda_sparse::SymBlockMatrix, rhs: &[f64]) -> SolveResult {
+    fn solve_legacy(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> SolveResult {
         let h = Hsbcsr::from_sym(matrix);
         let bytes = h.data_bytes() as u64;
         self.dev.record_external(
@@ -269,7 +201,6 @@ impl GpuPipeline {
     pub fn step(&mut self) -> StepReport {
         let mut report = StepReport::default();
         let touch = self.params.touch_tol * self.params.max_displacement;
-        let open_tol = 1e-6 * self.params.max_displacement;
 
         // ---- Contact detection (broad, narrow, transfer, init) --------------
         let t0 = self.mark();
@@ -285,73 +216,11 @@ impl GpuPipeline {
             c.flips = 0;
         }
 
-        let bsoa = BlockSoa::build(&self.sys);
+        self.gsoa = Some(gsoa);
+        self.bsoa = Some(BlockSoa::build(&self.sys));
 
-        // ---- Loop 2 ----------------------------------------------------------
-        let mut accepted: Option<(Vec<f64>, GapArrays)> = None;
-        for attempt in 0..=MAX_RETRIES {
-            let t_diag = self.mark();
-            let (diag, rhs0) = build_diag_gpu(&self.dev, &self.sys, &bsoa, &self.params);
-            self.times.diag_building += self.mark() - t_diag;
-
-            let mut d = self.x_prev.clone();
-            let mut gaps = GapArrays::default();
-            let mut oc_converged = false;
-            report.oc_iterations = 0;
-            for oc_iter in 0..self.params.oc_max_iters {
-                report.oc_iterations += 1;
-                let freeze = oc_iter + 3 >= self.params.oc_max_iters;
-                let t_nd = self.mark();
-                let asm = assemble_contacts_gpu(
-                    &self.dev,
-                    &self.sys,
-                    &gsoa,
-                    &self.contacts,
-                    &self.params,
-                    diag.clone(),
-                    rhs0.clone(),
-                );
-                report.n_upper = asm.matrix.n_upper();
-                self.times.nondiag_building += self.mark() - t_nd;
-
-                let t_solve = self.mark();
-                let res = self.solve(&asm.matrix, &asm.rhs);
-                self.times.solving += self.mark() - t_solve;
-                report.pcg_iterations += res.iterations;
-                report.last_solve_iterations = res.iterations;
-                d = res.x;
-
-                let t_check = self.mark();
-                gaps = check_gpu(
-                    &self.dev,
-                    &gsoa,
-                    &self.sys,
-                    &self.contacts,
-                    &d,
-                    self.params.penalty,
-                    self.params.shear_ratio,
-                    BranchScheme::Restructured,
-                );
-                let changes =
-                    open_close_gpu(&self.dev, &mut self.contacts, &gaps, open_tol, freeze);
-                self.times.interpenetration += self.mark() - t_check;
-                if changes == 0 && res.converged {
-                    oc_converged = true;
-                    break;
-                }
-            }
-            report.oc_converged = oc_converged;
-
-            let maxd = max_displacement(&self.sys, &d);
-            report.max_displacement = maxd;
-            let too_big = maxd > 2.0 * self.params.max_displacement;
-            if (too_big || !oc_converged) && attempt < MAX_RETRIES && self.params.reduce_dt() {
-                report.retries += 1;
-                continue;
-            }
-            accepted = Some((d, gaps));
-            break;
-        }
+        // ---- Loops 2–3 (shared driver) ---------------------------------------
+        let outcome = drive_step(self, &mut report);
 
         // Third classification (C1…C5) for the report — part of the
         // checking/classification machinery's cost.
@@ -360,15 +229,14 @@ impl GpuPipeline {
         self.times.interpenetration += self.mark() - t_cat;
 
         // ---- Data updating -----------------------------------------------------
-        let (d, gaps) = accepted.expect("an attempt is always accepted");
-        report.max_open_penetration = gaps.max_open_penetration(&self.contacts);
+        report.max_open_penetration = outcome.gaps.max_open_penetration(&self.contacts);
         let t_up = self.mark();
         let mut uc = CpuCounter::new();
         update_system(
             &mut self.sys,
-            &d,
+            &outcome.d,
             &mut self.contacts,
-            &gaps,
+            &outcome.gaps,
             &self.params,
             &mut uc,
         );
@@ -389,17 +257,92 @@ impl GpuPipeline {
             },
         );
         self.times.updating += self.mark() - t_up;
-        self.x_prev = d;
         report.dt = self.params.dt;
-        if report.retries == 0 {
-            self.params.recover_dt();
-        }
+        outcome.recover_dt_if_clean(&mut self.params);
+        self.x_prev = outcome.d;
         report
     }
 
     /// Runs `n` steps.
     pub fn run(&mut self, n: usize) -> Vec<StepReport> {
         (0..n).map(|_| self.step()).collect()
+    }
+}
+
+impl StepBackend for GpuPipeline {
+    fn params(&self) -> &DdaParams {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut DdaParams {
+        &mut self.params
+    }
+
+    fn x_prev(&self) -> &[f64] {
+        &self.x_prev
+    }
+
+    fn build_diag(&mut self) -> (Vec<Block6>, Vec<f64>) {
+        let t = self.mark();
+        let bsoa = self.bsoa.as_ref().expect("step() builds the block SoA");
+        let out = build_diag_gpu(&self.dev, &self.sys, bsoa, &self.params);
+        self.times.diag_building += self.mark() - t;
+        out
+    }
+
+    fn assemble(&mut self, diag: &[Block6], rhs0: &[f64]) -> AssembledSystem {
+        let t = self.mark();
+        let gsoa = self.gsoa.as_ref().expect("step() builds the geometry SoA");
+        let asm = assemble_contacts_gpu(
+            &self.dev,
+            &self.sys,
+            gsoa,
+            &self.contacts,
+            &self.params,
+            diag.to_vec(),
+            rhs0.to_vec(),
+        );
+        self.times.nondiag_building += self.mark() - t;
+        asm
+    }
+
+    fn solve(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> SolveResult {
+        let t = self.mark();
+        let res = if self.legacy_solver {
+            self.solve_legacy(matrix, rhs)
+        } else {
+            self.solve_fused(matrix, rhs)
+        };
+        self.times.solving += self.mark() - t;
+        res
+    }
+
+    fn check(&mut self, d: &[f64]) -> GapArrays {
+        let t = self.mark();
+        let gsoa = self.gsoa.as_ref().expect("step() builds the geometry SoA");
+        let gaps = check_gpu(
+            &self.dev,
+            gsoa,
+            &self.sys,
+            &self.contacts,
+            d,
+            self.params.penalty,
+            self.params.shear_ratio,
+            BranchScheme::Restructured,
+        );
+        self.times.interpenetration += self.mark() - t;
+        gaps
+    }
+
+    fn open_close(&mut self, gaps: &GapArrays, open_tol: f64, freeze: bool) -> usize {
+        let t = self.mark();
+        let changes = open_close_gpu(&self.dev, &mut self.contacts, gaps, open_tol, freeze);
+        self.times.interpenetration += self.mark() - t;
+        changes
+    }
+
+    fn max_displacement(&self, d: &[f64]) -> f64 {
+        max_displacement(&self.sys, d)
     }
 }
 
@@ -528,6 +471,29 @@ mod tests {
             let mut gpu = GpuPipeline::new(sys, params, k40()).with_precond(pk);
             let r = gpu.step();
             assert!(r.oc_converged, "{pk:?} failed to converge: {r:?}");
+        }
+    }
+
+    #[test]
+    fn dt_holds_at_floor_on_gpu_too() {
+        // Same regression as the CPU pipeline: dirty steps at the Δt floor
+        // must not recover Δt.
+        let (sys, mut params) = stack();
+        params.pcg.tol = 1e-30;
+        params.pcg.max_iters = 2;
+        let mut gpu = GpuPipeline::new(sys, params, k40());
+        for _ in 0..6 {
+            let r = gpu.step();
+            assert!(!r.oc_converged);
+        }
+        assert_eq!(gpu.params.dt, gpu.params.dt_min);
+        for _ in 0..3 {
+            let r = gpu.step();
+            assert_eq!(
+                gpu.params.dt, gpu.params.dt_min,
+                "Δt thrashed off the floor"
+            );
+            assert_eq!(r.retries, 0, "floor oscillation wastes retries");
         }
     }
 }

@@ -7,10 +7,15 @@
 //! non-diagonal building, equation solving, interpenetration checking,
 //! data updating.
 
+pub mod batch;
 pub mod cpu;
+pub(crate) mod driver;
 pub mod gpu;
+pub(crate) mod solver_cache;
 
+pub use batch::SceneBatch;
 pub use cpu::CpuPipeline;
+pub use driver::StepOutcome;
 pub use gpu::{GpuPipeline, PrecondKind};
 
 use serde::{Deserialize, Serialize};

@@ -1,5 +1,6 @@
 //! The simulated device: kernel launches, buffer binding, and the trace.
 
+use crate::batch::{BatchState, BatchSummary};
 use crate::block::Block;
 use crate::buffer::GBuf;
 use crate::lane::{aggregate_warp, Lane, LaneRec};
@@ -36,6 +37,7 @@ pub struct Device {
     model: TimingModel,
     check_conflicts: bool,
     trace: Mutex<DeviceTrace>,
+    batch: Mutex<Option<BatchState>>,
     next_base: AtomicU64,
     epoch: AtomicU32,
 }
@@ -49,6 +51,7 @@ impl Device {
             model: TimingModel::default(),
             check_conflicts: false,
             trace: Mutex::new(DeviceTrace::default()),
+            batch: Mutex::new(None),
             next_base: AtomicU64::new(1 << 12),
             epoch: AtomicU32::new(0),
         }
@@ -242,6 +245,12 @@ impl Device {
     }
 
     fn record(&self, name: &'static str, stats: KernelStats) -> f64 {
+        if let Some(batch) = self.batch.lock().unwrap().as_mut() {
+            // Inside a batch region the launch is parked for merging; its
+            // modeled time is attributed when the region closes.
+            batch.push(name, stats);
+            return 0.0;
+        }
         let seconds = self.model.seconds(&stats, &self.profile);
         self.trace.lock().unwrap().records.push(LaunchRecord {
             name,
@@ -249,6 +258,44 @@ impl Device {
             seconds,
         });
         seconds
+    }
+
+    /// Opens a batch region over `n_segments` independent work streams
+    /// (e.g. scenes). Until [`Device::batch_end`], launches are *parked*
+    /// instead of priced: matching kernels from different segments are
+    /// merged into single launch records, modeling the fused kernel a real
+    /// batched implementation would issue. Call [`Device::batch_segment`]
+    /// before each segment's launches. Panics if a region is already open.
+    pub fn batch_begin(&self, n_segments: usize) {
+        let mut batch = self.batch.lock().unwrap();
+        assert!(batch.is_none(), "nested batch regions are not supported");
+        *batch = Some(BatchState::new(n_segments));
+    }
+
+    /// Declares which segment subsequent launches belong to. Panics if no
+    /// batch region is open or `i` is out of range.
+    pub fn batch_segment(&self, i: usize) {
+        self.batch
+            .lock()
+            .unwrap()
+            .as_mut()
+            .expect("batch_segment() outside a batch region")
+            .set_segment(i);
+    }
+
+    /// Closes the batch region: merged launch records are priced and
+    /// appended to the trace, and the accounting (launches in/out, seconds,
+    /// per-segment attribution) is returned. Panics if no region is open.
+    pub fn batch_end(&self) -> BatchSummary {
+        let state = self
+            .batch
+            .lock()
+            .unwrap()
+            .take()
+            .expect("batch_end() without batch_begin()");
+        let (records, summary) = state.finish(&self.model, &self.profile);
+        self.trace.lock().unwrap().records.extend(records);
+        summary
     }
 
     /// Snapshot of the launch trace.
@@ -473,6 +520,171 @@ mod tests {
         let (s2, y2) = run();
         assert_eq!(s1, s2);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn batch_region_merges_matching_launches() {
+        let dev = k40();
+        let n_seg = 4;
+        let x: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let bx = dev.bind_ro(&x);
+
+        // Solo baseline: the same launches outside a region.
+        for _ in 0..n_seg {
+            dev.launch("phase_a", 256, |lane| {
+                let v = lane.ld(&bx, lane.gid);
+                lane.flop(1);
+                std::hint::black_box(v);
+            });
+            dev.launch("phase_b", 256, |lane| lane.flop(2));
+        }
+        let solo = dev.take_trace();
+        assert_eq!(solo.len(), 2 * n_seg);
+        let solo_seconds = solo.total_seconds();
+
+        dev.batch_begin(n_seg);
+        for s in 0..n_seg {
+            dev.batch_segment(s);
+            dev.launch("phase_a", 256, |lane| {
+                let v = lane.ld(&bx, lane.gid);
+                lane.flop(1);
+                std::hint::black_box(v);
+            });
+            dev.launch("phase_b", 256, |lane| lane.flop(2));
+        }
+        let summary = dev.batch_end();
+        let batched = dev.take_trace();
+
+        // 8 launches in, 2 merged out ("phase_a" and "phase_b").
+        assert_eq!(summary.launches_in, 2 * n_seg as u64);
+        assert_eq!(summary.launches_out, 2);
+        assert_eq!(batched.len(), 2);
+        assert_eq!(batched.records[0].name, "phase_a");
+        assert_eq!(batched.records[1].name, "phase_b");
+        assert_eq!(batched.records[0].stats.launches, 1);
+        // The merged record carries all segments' work.
+        assert_eq!(batched.records[0].stats.threads, 256 * n_seg as u64);
+        // Amortized launch overhead: batched must be cheaper than solo.
+        assert!(
+            summary.seconds < solo_seconds,
+            "batched {} vs solo {}",
+            summary.seconds,
+            solo_seconds
+        );
+        assert_eq!(summary.seconds, batched.total_seconds());
+    }
+
+    #[test]
+    fn batch_attribution_sums_to_total() {
+        let dev = k40();
+        dev.batch_begin(3);
+        for s in 0..3 {
+            dev.batch_segment(s);
+            // Unequal work: segment s does (s+1)× the flops.
+            dev.launch("work", 32 * (s + 1), |lane| lane.flop(10));
+        }
+        let summary = dev.batch_end();
+        let attributed: f64 = summary.per_segment_seconds.iter().sum();
+        assert!((attributed - summary.seconds).abs() < 1e-15 + 1e-9 * summary.seconds);
+        // Heavier segments are billed at least as much as lighter ones.
+        assert!(summary.per_segment_seconds[2] >= summary.per_segment_seconds[0]);
+    }
+
+    #[test]
+    fn batch_aligns_repeating_cycles_per_iteration() {
+        // Segment 0 runs 3 iterations of a 2-kernel cycle, segment 1 only
+        // 2 (early convergence): the tail iteration stays unmerged.
+        let dev = k40();
+        dev.batch_begin(2);
+        dev.batch_segment(0);
+        for _ in 0..3 {
+            dev.launch("spmv", 32, |lane| lane.flop(1));
+            dev.launch("axpy", 32, |lane| lane.flop(1));
+        }
+        dev.batch_segment(1);
+        for _ in 0..2 {
+            dev.launch("spmv", 32, |lane| lane.flop(1));
+            dev.launch("axpy", 32, |lane| lane.flop(1));
+        }
+        let summary = dev.batch_end();
+        let trace = dev.take_trace();
+        assert_eq!(summary.launches_in, 10);
+        // Iterations 1–2 merge pairwise; iteration 3 is segment 0 alone.
+        assert_eq!(summary.launches_out, 6);
+        let merged: Vec<u64> = trace.records.iter().map(|r| r.stats.threads / 32).collect();
+        assert_eq!(merged, vec![2, 2, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn batch_intercepts_external_records() {
+        let dev = k40();
+        dev.batch_begin(2);
+        for s in 0..2 {
+            dev.batch_segment(s);
+            let stats = KernelStats {
+                launches: 2,
+                gmem_bytes: 1 << 20,
+                gmem_transactions: 1 << 13,
+                ..Default::default()
+            };
+            dev.record_external("format.refill", stats);
+        }
+        let summary = dev.batch_end();
+        assert_eq!(summary.launches_in, 4);
+        // A record modeling 2 sequential launches still needs 2 when
+        // batched — the merge removes the *per-segment* duplication only.
+        assert_eq!(summary.launches_out, 2);
+        let trace = dev.take_trace();
+        assert_eq!(trace.records[0].stats.gmem_bytes, 2 << 20);
+        assert_eq!(trace.records[0].stats.launches, 2);
+    }
+
+    #[test]
+    fn nested_batch_begin_panics() {
+        let dev = k40();
+        dev.batch_begin(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.batch_begin(1);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn batch_launch_without_segment_panics() {
+        let dev = k40();
+        dev.batch_begin(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch("orphan", 32, |_| {});
+        }));
+        assert!(result.is_err(), "launch before batch_segment must panic");
+    }
+
+    #[test]
+    fn batch_results_identical_to_solo() {
+        // The batch region only changes accounting — kernel execution and
+        // results are untouched.
+        let run = |batched: bool| -> Vec<f64> {
+            let dev = k40();
+            let x: Vec<f64> = (0..128).map(|i| (i as f64).cos()).collect();
+            let mut y = vec![0.0f64; 128];
+            let bx = dev.bind_ro(&x);
+            let by = dev.bind(&mut y);
+            if batched {
+                dev.batch_begin(1);
+                dev.batch_segment(0);
+            }
+            dev.launch("scale", 128, |lane| {
+                let v = lane.ld(&bx, lane.gid);
+                lane.flop(1);
+                lane.st(&by, lane.gid, 3.0 * v);
+            });
+            if batched {
+                dev.batch_end();
+            }
+            drop(by);
+            y
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -62,6 +62,7 @@
 // notation (row r, column c); iterator rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
 
+pub mod batch;
 pub mod block;
 pub mod buffer;
 pub mod device;
@@ -73,6 +74,7 @@ pub mod serial;
 pub mod stats;
 pub mod timing;
 
+pub use batch::BatchSummary;
 pub use block::Block;
 pub use buffer::GBuf;
 pub use device::Device;

@@ -34,6 +34,8 @@ pub mod traits;
 pub mod tri;
 pub mod vecops;
 
-pub use pcg::{pcg, pcg_fused, PcgOptions, PcgWorkspace, SolveResult};
+pub use pcg::{
+    pcg, pcg_fused, pcg_fused_batch, PcgBatchEntry, PcgOptions, PcgWorkspace, SolveResult,
+};
 pub use precond::{BlockJacobi, Identity, Ilu0, Jacobi, Preconditioner, SsorAi};
 pub use traits::{CsrScalarMat, CsrVectorMat, HsbcsrMat, MatVec};

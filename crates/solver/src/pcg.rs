@@ -27,7 +27,7 @@ use crate::vecops::{
     axpy, dot, dot_partials_into, fused_axpy2_norm, fused_precond_rz, fused_xpby_beta, norm_sq,
     reduce_partials, xpby,
 };
-use dda_simt::Device;
+use dda_simt::{BatchSummary, Device};
 use dda_sparse::spmv::{spmv_hsbcsr_fused_pq, spmv_hsbcsr_into, SpmvWorkspace, Stage1Smem};
 use dda_sparse::Hsbcsr;
 use serde::{Deserialize, Serialize};
@@ -311,6 +311,50 @@ pub fn pcg_fused<P: Preconditioner + ?Sized>(
         converged,
         residual: r_norm_sq.max(0.0).sqrt(),
     }
+}
+
+/// One scene's system inside a batched PCG call: the same inputs
+/// [`pcg_fused`] takes, bundled so [`pcg_fused_batch`] can iterate over
+/// scenes while each keeps its own matrix, preconditioner and workspace.
+pub struct PcgBatchEntry<'a> {
+    /// Scene operator in HSBCSR form.
+    pub h: &'a Hsbcsr,
+    /// Right-hand side.
+    pub b: &'a [f64],
+    /// Warm-start iterate.
+    pub x0: &'a [f64],
+    /// Preconditioner (Block-Jacobi rides the 5-launch fast path).
+    pub m: &'a dyn Preconditioner,
+    /// Per-scene tolerance and iteration cap.
+    pub opts: PcgOptions,
+    /// The scene's persistent workspace.
+    pub ws: &'a mut PcgWorkspace,
+}
+
+/// Batched fused PCG over N independent systems on one device.
+///
+/// Each scene's solve runs the exact [`pcg_fused`] code path — results are
+/// bit-identical to solo solves — inside a device batch region that merges
+/// iteration *k*'s five kernels across scenes into five batched launches
+/// (the masked lockstep a real multi-scene kernel would execute; see
+/// `dda_simt::batch`). A scene that converges early stops contributing to
+/// later groups, so the batch drains gracefully. Returns the per-scene
+/// results in input order plus the region's launch/time accounting.
+pub fn pcg_fused_batch(
+    dev: &Device,
+    entries: &mut [PcgBatchEntry<'_>],
+) -> (Vec<SolveResult>, BatchSummary) {
+    if entries.is_empty() {
+        return (Vec::new(), BatchSummary::default());
+    }
+    dev.batch_begin(entries.len());
+    let mut results = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter_mut().enumerate() {
+        dev.batch_segment(i);
+        results.push(pcg_fused(dev, e.h, e.b, e.x0, e.m, e.opts, e.ws));
+    }
+    let summary = dev.batch_end();
+    (results, summary)
 }
 
 #[cfg(test)]
@@ -633,6 +677,102 @@ mod tests {
         assert!(!fused.converged);
         assert_eq!(fused.iterations, unfused.iterations);
         assert_eq!(fused.x, unfused.x, "breakdown must not corrupt the iterate");
+    }
+
+    #[test]
+    fn batched_solves_are_bit_identical_to_solo() {
+        // Three systems of different sizes and conditioning, solved solo
+        // and batched: identical iterates, iteration counts, residuals.
+        let sizes = [(20usize, 21u64), (35, 22), (27, 23)];
+        let problems: Vec<(SymBlockMatrix, Vec<f64>)> =
+            sizes.iter().map(|&(n, s)| problem(n, s)).collect();
+        let hs: Vec<Hsbcsr> = problems.iter().map(|(m, _)| Hsbcsr::from_sym(m)).collect();
+        let opts = PcgOptions::default();
+
+        // Solo reference.
+        let d_solo = dev();
+        let mut solo = Vec::new();
+        for ((m, b), h) in problems.iter().zip(&hs) {
+            let bj = BlockJacobi::new(&d_solo, h);
+            let mut ws = PcgWorkspace::new();
+            solo.push(pcg_fused(
+                &d_solo,
+                h,
+                b,
+                &vec![0.0; m.dim()],
+                &bj,
+                opts,
+                &mut ws,
+            ));
+        }
+
+        // Batched run on a fresh device.
+        let d = dev();
+        let bjs: Vec<BlockJacobi> = hs.iter().map(|h| BlockJacobi::new(&d, h)).collect();
+        let x0s: Vec<Vec<f64>> = problems.iter().map(|(m, _)| vec![0.0; m.dim()]).collect();
+        let mut wss: Vec<PcgWorkspace> = (0..3).map(|_| PcgWorkspace::new()).collect();
+        d.reset_trace();
+        let mut entries: Vec<PcgBatchEntry> = Vec::new();
+        for (((h, (_, b)), (bj, x0)), ws) in hs
+            .iter()
+            .zip(&problems)
+            .zip(bjs.iter().zip(&x0s))
+            .zip(&mut wss)
+        {
+            entries.push(PcgBatchEntry {
+                h,
+                b,
+                x0,
+                m: bj,
+                opts,
+                ws,
+            });
+        }
+        let (batched, summary) = pcg_fused_batch(&d, &mut entries);
+
+        for (s, f) in solo.iter().zip(&batched) {
+            assert_eq!(s.x, f.x, "batched iterate must be bit-identical");
+            assert_eq!(s.iterations, f.iterations);
+            assert_eq!(s.converged, f.converged);
+            assert_eq!(s.residual, f.residual);
+        }
+
+        // Launch accounting: the batch must merge (fewer records out than
+        // in) and the merged time must beat three solo runs.
+        assert!(summary.launches_out < summary.launches_in);
+        assert_eq!(summary.per_segment_seconds.len(), 3);
+        let solo_seconds = d_solo.modeled_seconds();
+        assert!(
+            summary.seconds < solo_seconds,
+            "batched {} vs solo {}",
+            summary.seconds,
+            solo_seconds
+        );
+    }
+
+    #[test]
+    fn batch_of_one_matches_solo_accounting_shape() {
+        let (m, b) = problem(12, 31);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let bj = BlockJacobi::new(&d, &h);
+        let x0 = vec![0.0; m.dim()];
+        let mut ws = PcgWorkspace::new();
+        let mut entries = [PcgBatchEntry {
+            h: &h,
+            b: &b,
+            x0: &x0,
+            m: &bj,
+            opts: PcgOptions::default(),
+            ws: &mut ws,
+        }];
+        let (results, summary) = pcg_fused_batch(&d, &mut entries);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].converged);
+        // A batch of one merges nothing: launches in == launches out.
+        assert_eq!(summary.launches_in, summary.launches_out);
+        let total: f64 = summary.per_segment_seconds.iter().sum();
+        assert!((total - summary.seconds).abs() <= 1e-12 * summary.seconds.max(1.0));
     }
 
     #[test]

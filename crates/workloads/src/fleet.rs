@@ -1,0 +1,116 @@
+//! Scene fleets for the batched multi-scene runtime.
+//!
+//! Throughput studies (many small independent simulations on one device —
+//! parameter sweeps, probabilistic rockfall hazard runs) need N *distinct*
+//! scenes, not N copies: identical scenes would converge in lockstep and
+//! overstate how well batching amortizes. The fleet generator derives each
+//! scene from a base [`RockfallConfig`] with deterministic per-scene
+//! perturbations of the release speed and rock size, so contact histories,
+//! PCG iteration counts, and Δt adaptation genuinely diverge across the
+//! batch while every scene stays a valid case-2 model.
+
+use crate::rockfall::{rockfall_case, RockfallConfig};
+use dda_core::{BlockSystem, DdaParams};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a rockfall scene fleet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of scenes.
+    pub n_scenes: usize,
+    /// The base scene every fleet member perturbs.
+    pub base: RockfallConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n_scenes: 8,
+            base: RockfallConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Sets the scene count.
+    pub fn with_scenes(mut self, n: usize) -> FleetConfig {
+        self.n_scenes = n;
+        self
+    }
+
+    /// Sets the per-scene rock count (scales the base slope with it).
+    pub fn with_rocks(mut self, n: usize) -> FleetConfig {
+        self.base = self.base.with_rocks(n);
+        self
+    }
+}
+
+/// Builds `cfg.n_scenes` distinct rockfall scenes. Scene `k` releases its
+/// rocks at a different speed and with a slightly different block size, so
+/// the fleet samples a spread of trajectories instead of N identical runs.
+pub fn rockfall_fleet(cfg: &FleetConfig) -> Vec<(BlockSystem, DdaParams)> {
+    assert!(cfg.n_scenes > 0, "a fleet needs at least one scene");
+    (0..cfg.n_scenes)
+        .map(|k| {
+            let mut c = cfg.base.clone();
+            // Deterministic spread: ±20% release speed, ±4% rock size
+            // across the fleet (triangle-wave so any fleet size stays
+            // centred on the base).
+            let u = if cfg.n_scenes > 1 {
+                2.0 * (k as f64 / (cfg.n_scenes - 1) as f64) - 1.0
+            } else {
+                0.0
+            };
+            c.initial_speed = cfg.base.initial_speed * (1.0 + 0.2 * u);
+            c.rock_size = cfg.base.rock_size * (1.0 + 0.04 * u);
+            rockfall_case(&c)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_has_requested_size_and_valid_scenes() {
+        let fleet = rockfall_fleet(&FleetConfig::default().with_scenes(5).with_rocks(6));
+        assert_eq!(fleet.len(), 5);
+        for (sys, params) in &fleet {
+            assert_eq!(sys.len(), 2 + 6);
+            assert!(sys.total_interpenetration() < 1e-9);
+            assert!(params.dt > 0.0);
+        }
+    }
+
+    #[test]
+    fn fleet_scenes_are_distinct() {
+        let fleet = rockfall_fleet(&FleetConfig::default().with_scenes(4).with_rocks(4));
+        // Release speeds differ pairwise.
+        let speeds: Vec<f64> = fleet
+            .iter()
+            .map(|(sys, _)| {
+                let v = sys.blocks[2].velocity;
+                (v[0] * v[0] + v[1] * v[1]).sqrt()
+            })
+            .collect();
+        for i in 0..speeds.len() {
+            for j in i + 1..speeds.len() {
+                assert!(
+                    (speeds[i] - speeds[j]).abs() > 1e-9,
+                    "scenes {i} and {j} have identical release speed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_scene_fleet_is_the_base_case() {
+        let cfg = FleetConfig::default().with_scenes(1).with_rocks(4);
+        let fleet = rockfall_fleet(&cfg);
+        let (base_sys, _) = rockfall_case(&cfg.base);
+        assert_eq!(fleet[0].0.len(), base_sys.len());
+        // u = 0 for a singleton: exactly the base release speed.
+        assert_eq!(fleet[0].0.blocks[2].velocity, base_sys.blocks[2].velocity);
+    }
+}

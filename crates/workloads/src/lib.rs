@@ -13,14 +13,18 @@
 //!   of parallel joint lines;
 //! * [`slope`] — case-1 generator (jointed slope cross-section);
 //! * [`rockfall`] — case-2 generator (rock column on a steep slope);
+//! * [`fleet`] — N distinct rockfall scenes for the batched multi-scene
+//!   runtime's throughput studies;
 //! * [`render`] — SVG snapshots (the Figs 11–13 analogues).
 
 #![deny(missing_docs)]
 
 pub mod cutter;
+pub mod fleet;
 pub mod render;
 pub mod rockfall;
 pub mod slope;
 
+pub use fleet::{rockfall_fleet, FleetConfig};
 pub use rockfall::{rockfall_case, RockfallConfig};
 pub use slope::{slope_case, SlopeConfig};

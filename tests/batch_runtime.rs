@@ -1,0 +1,130 @@
+//! Integration tests for the batched multi-scene runtime and the step
+//! drivers it shares with the solo pipelines.
+//!
+//! Two equivalence contracts are pinned here, at the umbrella-crate
+//! surface downstream users see:
+//!
+//! * **CPU/GPU step parity** (property-style): over randomly perturbed
+//!   rockfall scenes, the two pipelines run the same algorithm — same
+//!   contact counts and states, same Δt-retry decisions, and trajectories
+//!   that agree to reduction-order noise.
+//! * **Batch equivalence**: `SceneBatch` is a scheduling change, not a
+//!   physics change — each scene's trajectory and step reports must be
+//!   *bit-identical* to stepping the same scene alone in a `GpuPipeline`.
+
+use dda_repro::core::pipeline::{CpuPipeline, GpuPipeline, SceneBatch};
+use dda_repro::simt::{Device, DeviceProfile};
+use dda_repro::workloads::{rockfall_case, rockfall_fleet, FleetConfig, RockfallConfig};
+use proptest::prelude::*;
+
+fn k40() -> Device {
+    Device::new(DeviceProfile::tesla_k40())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// CPU and GPU pipelines take identical decisions on random scenes:
+    /// the backends differ in schedule (serial loops vs simulated kernels,
+    /// fused PCG) but not in algorithm.
+    #[test]
+    fn cpu_and_gpu_steps_are_equivalent(
+        rocks in 3u32..7,
+        speed in 1.0f64..3.5,
+        steps in 2u32..5,
+    ) {
+        let mut cfg = RockfallConfig::default().with_rocks(rocks as usize);
+        cfg.initial_speed = speed;
+        let (sys, params) = rockfall_case(&cfg);
+        let mut cpu = CpuPipeline::new(sys.clone(), params.clone());
+        let mut gpu = GpuPipeline::new(sys, params, k40());
+        for step in 0..steps {
+            let rc = cpu.step();
+            let rg = gpu.step();
+            prop_assert_eq!(rc.n_contacts, rg.n_contacts, "contacts at step {}", step);
+            prop_assert_eq!(rc.oc_iterations, rg.oc_iterations, "oc iters at step {}", step);
+            prop_assert_eq!(rc.retries, rg.retries, "retries at step {}", step);
+            prop_assert_eq!(rc.dt.to_bits(), rg.dt.to_bits(), "dt at step {}", step);
+            // Same contacts with the same state-machine outcome. The two
+            // detectors may order the list differently (serial sweep vs
+            // sorted search), so compare as multisets keyed by identity.
+            let states = |contacts: &[dda_repro::core::contact::Contact]| {
+                let mut v: Vec<_> = contacts
+                    .iter()
+                    .map(|c| (c.i, c.j, c.vertex, c.edge, c.vertex2, c.state as u8))
+                    .collect();
+                v.sort();
+                v
+            };
+            prop_assert_eq!(
+                states(cpu.contacts()),
+                states(gpu.contacts()),
+                "contact states at step {}",
+                step
+            );
+            // Trajectories agree to reduction-order noise.
+            for (i, (bc, bg)) in cpu.sys.blocks.iter().zip(&gpu.sys.blocks).enumerate() {
+                let drift = bc.centroid().dist(bg.centroid());
+                prop_assert!(drift < 1e-6, "step {} block {}: drift {}", step, i, drift);
+            }
+        }
+    }
+}
+
+/// Stepping a fleet through `SceneBatch` reproduces each scene's solo
+/// `GpuPipeline` trajectory bit for bit, report for report, while issuing
+/// strictly fewer launches than the scenes would separately.
+#[test]
+fn scene_batch_matches_solo_pipelines_bitwise() {
+    let fleet_cfg = FleetConfig::default().with_scenes(3).with_rocks(4);
+    let steps = 4;
+
+    let mut solos: Vec<GpuPipeline> = rockfall_fleet(&fleet_cfg)
+        .into_iter()
+        .map(|(sys, params)| GpuPipeline::new(sys, params, k40()))
+        .collect();
+    let mut batch = SceneBatch::new(k40(), rockfall_fleet(&fleet_cfg));
+
+    for step in 0..steps {
+        let solo_reports: Vec<_> = solos.iter_mut().map(|p| p.step()).collect();
+        let batch_reports = batch.step();
+        let (launches_in, launches_out) = batch.last_step_launches();
+        assert!(
+            launches_out < launches_in,
+            "step {step}: batching must reduce launches ({launches_out} vs {launches_in})"
+        );
+        for (i, (rs, rb)) in solo_reports.iter().zip(&batch_reports).enumerate() {
+            assert_eq!(rs.n_contacts, rb.n_contacts, "scene {i} step {step}");
+            assert_eq!(rs.oc_iterations, rb.oc_iterations, "scene {i} step {step}");
+            assert_eq!(
+                rs.pcg_iterations, rb.pcg_iterations,
+                "scene {i} step {step}"
+            );
+            assert_eq!(rs.retries, rb.retries, "scene {i} step {step}");
+            assert_eq!(rs.oc_converged, rb.oc_converged, "scene {i} step {step}");
+            assert_eq!(rs.dt.to_bits(), rb.dt.to_bits(), "scene {i} step {step}");
+        }
+        for (i, solo) in solos.iter().enumerate() {
+            for (j, (bs, bb)) in solo.sys.blocks.iter().zip(&batch.sys(i).blocks).enumerate() {
+                let (cs, cb) = (bs.centroid(), bb.centroid());
+                assert_eq!(
+                    cs.x.to_bits(),
+                    cb.x.to_bits(),
+                    "scene {i} block {j} centroid.x at step {step}"
+                );
+                assert_eq!(
+                    cs.y.to_bits(),
+                    cb.y.to_bits(),
+                    "scene {i} block {j} centroid.y at step {step}"
+                );
+                for dof in 0..6 {
+                    assert_eq!(
+                        bs.velocity[dof].to_bits(),
+                        bb.velocity[dof].to_bits(),
+                        "scene {i} block {j} dof {dof} at step {step}"
+                    );
+                }
+            }
+        }
+    }
+}
