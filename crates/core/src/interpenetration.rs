@@ -50,6 +50,13 @@ pub struct GapArrays {
 }
 
 impl GapArrays {
+    /// True when every gap measure is finite — the health check the step
+    /// drivers run before trusting the open–close update with the values.
+    pub fn all_finite(&self) -> bool {
+        let fin = |v: &[f64]| v.iter().all(|x| x.is_finite());
+        fin(&self.dn) && fin(&self.ds) && fin(&self.margin) && fin(&self.limit) && fin(&self.len)
+    }
+
     /// Largest penetration across all *open* contacts — the quantity the
     /// checker must drive to ~0 (open contacts must not interpenetrate).
     pub fn max_open_penetration(&self, contacts: &[Contact]) -> f64 {

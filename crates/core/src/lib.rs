@@ -55,4 +55,5 @@ pub mod update;
 pub use block::Block;
 pub use material::{BlockMaterial, JointMaterial};
 pub use params::DdaParams;
+pub use pipeline::{HealthPolicy, SceneHealth, SlotState, StepError};
 pub use system::BlockSystem;

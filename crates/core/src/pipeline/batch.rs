@@ -1,4 +1,5 @@
-//! Batched multi-scene throughput runtime.
+//! Batched multi-scene throughput runtime with a fault-isolated scene
+//! lifecycle.
 //!
 //! Small DDA scenes leave a modeled GPU mostly idle: a 60-block rockfall
 //! launches kernels over a few hundred threads, so per-launch overhead and
@@ -21,11 +22,35 @@
 //! **bit-identical** to stepping the same scene alone in a
 //! [`GpuPipeline`](super::GpuPipeline).
 //!
+//! # Scene lifecycle and fault isolation
+//!
+//! Each batch position is a *slot* carrying a [`SceneHealth`] record whose
+//! [`SlotState`] walks `Running → Degraded → Quarantined → Retired`:
+//!
+//! - **Streaming admission**: [`SceneBatch::admit`] adds a scene at a step
+//!   boundary without draining the batch (reusing a retired slot when one
+//!   is free); [`SceneBatch::retire`] frees a slot and hands its system
+//!   back.
+//! - **Health monitoring**: phase boundaries scan the faulting scene's RHS,
+//!   solution, and gap arrays for NaN/Inf, bound the accepted displacement
+//!   (divergence), and watch for a pinned open–close loop. The scans are
+//!   host-side — no launches, no modeled time — so healthy scenes stay bit-
+//!   and time-identical to an unmonitored run.
+//! - **Graceful degradation**: a batched Block-Jacobi solve that breaks
+//!   down is re-solved solo under scalar Jacobi (the last ladder rung);
+//!   success marks the scene [`SlotState::Degraded`] but keeps it moving.
+//! - **Fault isolation**: a faulted scene's step is *not committed* — its
+//!   system and warm-start stay frozen — its Δt backs off exponentially,
+//!   and [`HealthPolicy::retry_budget`] consecutive failures quarantine it.
+//!   Batch-mates never see any of this: their masked launches and values
+//!   are unchanged.
+//!
 //! Launch accounting per step is exposed as `(launches_in, launches_out)`:
 //! the launches the N scenes would have issued solo versus the merged
 //! launches the batch actually modeled.
 
 use super::driver::{StepOutcome, MAX_RETRIES};
+use super::health::{all_finite, HealthPolicy, SceneHealth, SlotState, StepError};
 use super::solver_cache::SolverCache;
 use super::{ModuleTimes, StepReport};
 use crate::assembly::{assemble_contacts_gpu, AssembledSystem};
@@ -39,7 +64,8 @@ use crate::system::BlockSystem;
 use crate::update::{max_displacement, update_system};
 use dda_simt::serial::CpuCounter;
 use dda_simt::{BatchSummary, Device, KernelStats};
-use dda_solver::{pcg_fused_batch, PcgBatchEntry};
+use dda_solver::precond::Jacobi;
+use dda_solver::{pcg_fused, pcg_fused_batch, PcgBatchEntry, SolveResult};
 use dda_sparse::Block6;
 
 /// One scene's slice of the batch: its own block system, parameters,
@@ -55,11 +81,36 @@ struct BatchScene {
     bsoa: Option<BlockSoa>,
 }
 
+impl BatchScene {
+    fn new(sys: BlockSystem, params: DdaParams) -> BatchScene {
+        let n = sys.len();
+        BatchScene {
+            sys,
+            params,
+            times: ModuleTimes::default(),
+            contacts: Vec::new(),
+            x_prev: vec![0.0; 6 * n],
+            cache: SolverCache::default(),
+            gsoa: None,
+            bsoa: None,
+        }
+    }
+}
+
+/// One batch position: the scene payload (absent once retired) plus its
+/// lifecycle health record.
+struct SceneSlot {
+    scene: Option<BatchScene>,
+    health: SceneHealth,
+}
+
 /// Steps N independent scenes concurrently on one modeled device (see the
-/// module docs for the batching model).
+/// module docs for the batching model and the scene lifecycle).
 pub struct SceneBatch {
     dev: Device,
-    scenes: Vec<BatchScene>,
+    slots: Vec<SceneSlot>,
+    policy: HealthPolicy,
+    step_index: u64,
     launches_in: u64,
     launches_out: u64,
 }
@@ -68,33 +119,87 @@ impl SceneBatch {
     /// Packs `scenes` onto `dev`. Panics if `scenes` is empty.
     pub fn new(dev: Device, scenes: Vec<(BlockSystem, DdaParams)>) -> SceneBatch {
         assert!(!scenes.is_empty(), "a batch needs at least one scene");
-        let scenes = scenes
+        let slots = scenes
             .into_iter()
-            .map(|(sys, params)| {
-                let n = sys.len();
-                BatchScene {
-                    sys,
-                    params,
-                    times: ModuleTimes::default(),
-                    contacts: Vec::new(),
-                    x_prev: vec![0.0; 6 * n],
-                    cache: SolverCache::default(),
-                    gsoa: None,
-                    bsoa: None,
-                }
+            .map(|(sys, params)| SceneSlot {
+                scene: Some(BatchScene::new(sys, params)),
+                health: SceneHealth::new_running(),
             })
             .collect();
         SceneBatch {
             dev,
-            scenes,
+            slots,
+            policy: HealthPolicy::default(),
+            step_index: 0,
             launches_in: 0,
             launches_out: 0,
         }
     }
 
-    /// Number of scenes in the batch.
+    /// Overrides the degradation policy (retry budget, stall limit,
+    /// divergence bound).
+    pub fn with_policy(mut self, policy: HealthPolicy) -> SceneBatch {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of slots in the batch (including quarantined/retired ones —
+    /// slot indices are stable for the batch's lifetime).
     pub fn n_scenes(&self) -> usize {
-        self.scenes.len()
+        self.slots.len()
+    }
+
+    /// Number of slots currently stepping (Running or Degraded).
+    pub fn n_live(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.health.is_stepping() && s.scene.is_some())
+            .count()
+    }
+
+    /// Admits a new scene at the next step boundary: it joins the merged
+    /// launches of the following [`SceneBatch::step`] without draining the
+    /// batch. Reuses a retired slot when one is free (keeping batch
+    /// regions dense), otherwise appends. Returns the slot index.
+    pub fn admit(&mut self, sys: BlockSystem, params: DdaParams) -> usize {
+        let slot = SceneSlot {
+            scene: Some(BatchScene::new(sys, params)),
+            health: SceneHealth::new_running(),
+        };
+        match self
+            .slots
+            .iter()
+            .position(|s| s.health.state == SlotState::Retired)
+        {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Retires slot `i`, freeing it for re-admission, and hands back the
+    /// scene's final block system (`None` if the slot was already empty).
+    /// Works on any state — finished scenes and quarantined ones alike.
+    pub fn retire(&mut self, i: usize) -> Option<BlockSystem> {
+        let slot = &mut self.slots[i];
+        slot.health.state = SlotState::Retired;
+        slot.scene.take().map(|sc| sc.sys)
+    }
+
+    /// Slot `i`'s health record (state machine position, failure counters,
+    /// last fault).
+    pub fn health(&self, i: usize) -> &SceneHealth {
+        &self.slots[i].health
+    }
+
+    /// The degradation policy in force.
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
     }
 
     /// The shared device (for trace inspection).
@@ -102,31 +207,38 @@ impl SceneBatch {
         &self.dev
     }
 
-    /// Scene `i`'s evolving block system.
+    fn scene(&self, i: usize) -> &BatchScene {
+        self.slots[i]
+            .scene
+            .as_ref()
+            .expect("slot holds a live scene")
+    }
+
+    /// Scene `i`'s evolving block system. Panics if the slot was retired.
     pub fn sys(&self, i: usize) -> &BlockSystem {
-        &self.scenes[i].sys
+        &self.scene(i).sys
     }
 
     /// Scene `i`'s analysis parameters (Δt adapts per scene).
     pub fn params(&self, i: usize) -> &DdaParams {
-        &self.scenes[i].params
+        &self.scene(i).params
     }
 
     /// Scene `i`'s current contact set.
     pub fn contacts(&self, i: usize) -> &[Contact] {
-        &self.scenes[i].contacts
+        &self.scene(i).contacts
     }
 
     /// Scene `i`'s accumulated modeled seconds per module (its share of
     /// every merged launch, split by modeled work).
     pub fn times(&self, i: usize) -> &ModuleTimes {
-        &self.scenes[i].times
+        &self.scene(i).times
     }
 
     /// Sum of all scenes' module times.
     pub fn total_times(&self) -> ModuleTimes {
         let mut t = ModuleTimes::default();
-        for sc in &self.scenes {
+        for sc in self.slots.iter().filter_map(|s| s.scene.as_ref()) {
             t.contact_detection += sc.times.contact_detection;
             t.diag_building += sc.times.diag_building;
             t.nondiag_building += sc.times.nondiag_building;
@@ -149,21 +261,102 @@ impl SceneBatch {
     fn charge(&mut self, s: BatchSummary, field: fn(&mut ModuleTimes) -> &mut f64) {
         self.launches_in += s.launches_in;
         self.launches_out += s.launches_out;
-        for (sc, &sec) in self.scenes.iter_mut().zip(&s.per_segment_seconds) {
-            *field(&mut sc.times) += sec;
+        for (slot, &sec) in self.slots.iter_mut().zip(&s.per_segment_seconds) {
+            if let Some(sc) = slot.scene.as_mut() {
+                *field(&mut sc.times) += sec;
+            }
         }
     }
 
-    /// Advances every scene one time step, returning one report per scene.
+    /// Books a fault against slot `i`: Δt backs off exponentially and the
+    /// scene keeps retrying until the budget is spent, then quarantines
+    /// frozen at its last accepted state.
+    fn record_fault(&mut self, i: usize, err: StepError) {
+        let slot = &mut self.slots[i];
+        slot.health.total_faults += 1;
+        slot.health.consecutive_failures += 1;
+        slot.health.last_error = Some(err);
+        if slot.health.consecutive_failures > self.policy.retry_budget {
+            slot.health.state = SlotState::Quarantined;
+            slot.health.quarantined_at_step = Some(self.step_index);
+        } else {
+            slot.health.state = SlotState::Degraded;
+            if let Some(sc) = slot.scene.as_mut() {
+                sc.params.reduce_dt();
+            }
+        }
+    }
+
+    /// Attempts the degraded solo re-solve for slot `i` after the batched
+    /// Block-Jacobi solve (or its factorization) failed: scalar Jacobi —
+    /// the last ladder rung — in the scene's own batch region.
+    fn rescue_solve(&mut self, i: usize, asm: &AssembledSystem) -> Result<SolveResult, StepError> {
+        let n = self.slots.len();
+        self.dev.batch_begin(n);
+        self.dev.batch_segment(i);
+        let res = {
+            let sc = self.slots[i]
+                .scene
+                .as_mut()
+                .expect("stepping slot holds a scene");
+            (|| {
+                let (h, _, ws) = sc.cache.try_prepare(&self.dev, &asm.matrix, false)?;
+                let j = Jacobi::try_new(&self.dev, h)?;
+                Ok(pcg_fused(
+                    &self.dev,
+                    h,
+                    &asm.rhs,
+                    &sc.x_prev,
+                    &j,
+                    sc.params.pcg,
+                    ws,
+                ))
+            })()
+        };
+        let s = self.dev.batch_end();
+        self.charge(s, |t| &mut t.solving);
+        match res {
+            Err(error) => Err(StepError::PreconditionerFailed { error }),
+            Ok(r) => {
+                if let Some(error) = r.error {
+                    Err(StepError::SolverBreakdown { error })
+                } else if !all_finite(&r.x) {
+                    Err(StepError::NonFiniteSolution { oc_iteration: 0 })
+                } else {
+                    Ok(r)
+                }
+            }
+        }
+    }
+
+    /// Advances every stepping scene one time step, returning one report
+    /// per slot (quarantined/retired slots get a default report).
     pub fn step(&mut self) -> Vec<StepReport> {
-        let n = self.scenes.len();
+        let n = self.slots.len();
         let mut reports = vec![StepReport::default(); n];
         self.launches_in = 0;
         self.launches_out = 0;
+        self.step_index += 1;
+
+        let stepping: Vec<bool> = self
+            .slots
+            .iter()
+            .map(|s| s.health.is_stepping() && s.scene.is_some())
+            .collect();
+        if !stepping.iter().any(|&a| a) {
+            return reports;
+        }
+        // Faults detected mid-step; a faulted scene leaves the lockstep
+        // immediately and its step is never committed.
+        let mut fault: Vec<Option<StepError>> = vec![None; n];
 
         // ---- Phase: contact detection (all scenes, one merged launch set)
         self.dev.batch_begin(n);
-        for (i, sc) in self.scenes.iter_mut().enumerate() {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if !stepping[i] {
+                continue;
+            }
+            let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
             self.dev.batch_segment(i);
             let touch = sc.params.touch_tol * sc.params.max_displacement;
             let gsoa = GeomSoa::build(&sc.sys);
@@ -183,17 +376,19 @@ impl SceneBatch {
         self.charge(s, |t| &mut t.contact_detection);
 
         // ---- Loops 2–3: masked lockstep across scenes ------------------------
-        let mut active = vec![true; n]; // still inside loop 2
+        let mut active = stepping.clone(); // still inside loop 2
         let mut outcomes: Vec<Option<StepOutcome>> = (0..n).map(|_| None).collect();
         let mut diag: Vec<Option<(Vec<Block6>, Vec<f64>)>> = (0..n).map(|_| None).collect();
+        let mut rescued = vec![false; n];
         let mut attempt = 0;
         while active.iter().any(|&a| a) {
             // Phase: diagonal building (Δt changed for retrying scenes).
             self.dev.batch_begin(n);
-            for (i, sc) in self.scenes.iter_mut().enumerate() {
+            for (i, slot) in self.slots.iter_mut().enumerate() {
                 if !active[i] {
                     continue;
                 }
+                let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
                 self.dev.batch_segment(i);
                 diag[i] = Some(build_diag_gpu(
                     &self.dev,
@@ -207,7 +402,16 @@ impl SceneBatch {
 
             // Loop 3 state for this attempt.
             let mut in_oc = active.clone();
-            let mut d: Vec<Vec<f64>> = self.scenes.iter().map(|sc| sc.x_prev.clone()).collect();
+            let mut d: Vec<Vec<f64>> = self
+                .slots
+                .iter()
+                .map(|slot| {
+                    slot.scene
+                        .as_ref()
+                        .map(|sc| sc.x_prev.clone())
+                        .unwrap_or_default()
+                })
+                .collect();
             let mut gaps: Vec<GapArrays> = (0..n).map(|_| GapArrays::default()).collect();
             let mut oc_conv = vec![false; n];
             let mut asms: Vec<Option<AssembledSystem>> = (0..n).map(|_| None).collect();
@@ -220,13 +424,15 @@ impl SceneBatch {
             while in_oc.iter().any(|&a| a) {
                 // Phase: non-diagonal building.
                 self.dev.batch_begin(n);
-                for (i, sc) in self.scenes.iter_mut().enumerate() {
+                for (i, slot) in self.slots.iter_mut().enumerate() {
                     if !in_oc[i] {
                         continue;
                     }
+                    let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
                     self.dev.batch_segment(i);
                     let (dg, rhs0) = diag[i].as_ref().expect("diag phase ran");
-                    let asm = assemble_contacts_gpu(
+                    #[allow(unused_mut)]
+                    let mut asm = assemble_contacts_gpu(
                         &self.dev,
                         &sc.sys,
                         sc.gsoa.as_ref().expect("detection builds the SoA"),
@@ -235,6 +441,18 @@ impl SceneBatch {
                         dg.clone(),
                         rhs0.clone(),
                     );
+                    #[cfg(feature = "fault-inject")]
+                    {
+                        use dda_simt::Fault;
+                        if self.dev.fault_fires(Fault::NanRhs) {
+                            asm.rhs[0] = f64::NAN;
+                        }
+                        if self.dev.fault_fires(Fault::IndefiniteOperator) {
+                            for db in asm.matrix.diag.iter_mut() {
+                                *db = db.scale(-1.0);
+                            }
+                        }
+                    }
                     reports[i].n_upper = asm.matrix.n_upper();
                     reports[i].oc_iterations += 1;
                     asms[i] = Some(asm);
@@ -242,16 +460,35 @@ impl SceneBatch {
                 let s = self.dev.batch_end();
                 self.charge(s, |t| &mut t.nondiag_building);
 
-                // Phase: equation solving — per-scene format/preconditioner
-                // prep, then the masked batched fused PCG over all active
-                // scenes' systems.
-                let mut entries = Vec::new();
-                let mut idxs = Vec::new();
-                self.dev.batch_begin(n);
-                for (i, (sc, asm)) in self.scenes.iter_mut().zip(asms.iter()).enumerate() {
+                // Health check: a NaN/Inf right-hand side never reaches the
+                // solver (host-side scan, no launches).
+                for i in 0..n {
                     if !in_oc[i] {
                         continue;
                     }
+                    let asm = asms[i].as_ref().expect("assembly phase ran");
+                    if !all_finite(&asm.rhs) {
+                        fault[i] = Some(StepError::NonFiniteRhs {
+                            oc_iteration: reports[i].oc_iterations,
+                        });
+                        in_oc[i] = false;
+                        active[i] = false;
+                    }
+                }
+
+                // Phase: equation solving — per-scene format/preconditioner
+                // prep, then the masked batched fused PCG over all active
+                // scenes' systems. Scenes whose factorization fails drop to
+                // the rescue path instead of joining the batch.
+                let mut entries = Vec::new();
+                let mut idxs = Vec::new();
+                let mut needs_rescue = Vec::new();
+                self.dev.batch_begin(n);
+                for (i, (slot, asm)) in self.slots.iter_mut().zip(asms.iter()).enumerate() {
+                    if !in_oc[i] {
+                        continue;
+                    }
+                    let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
                     self.dev.batch_segment(i);
                     let asm = asm.as_ref().expect("assembly phase ran");
                     let BatchScene {
@@ -260,16 +497,20 @@ impl SceneBatch {
                         params,
                         ..
                     } = sc;
-                    let (h, bj, ws) = cache.prepare(&self.dev, &asm.matrix, true);
-                    entries.push(PcgBatchEntry {
-                        h,
-                        b: &asm.rhs,
-                        x0: x_prev.as_slice(),
-                        m: bj.expect("prepare(want_bj) returns a factorization"),
-                        opts: params.pcg,
-                        ws,
-                    });
-                    idxs.push(i);
+                    match cache.try_prepare(&self.dev, &asm.matrix, true) {
+                        Ok((h, bj, ws)) => {
+                            entries.push(PcgBatchEntry {
+                                h,
+                                b: &asm.rhs,
+                                x0: x_prev.as_slice(),
+                                m: bj.expect("try_prepare(want_bj) returns a factorization"),
+                                opts: params.pcg,
+                                ws,
+                            });
+                            idxs.push(i);
+                        }
+                        Err(_) => needs_rescue.push(i),
+                    }
                 }
                 let prep = self.dev.batch_end();
                 let (results, solve_sum) = pcg_fused_batch(&self.dev, &mut entries);
@@ -279,19 +520,61 @@ impl SceneBatch {
                 self.launches_out += solve_sum.launches_out;
                 let mut last_conv = vec![false; n];
                 for (k, (res, &i)) in results.into_iter().zip(&idxs).enumerate() {
-                    self.scenes[i].times.solving += solve_sum.per_segment_seconds[k];
+                    if let Some(sc) = self.slots[i].scene.as_mut() {
+                        sc.times.solving += solve_sum.per_segment_seconds[k];
+                    }
+                    if res.broke_down() || !all_finite(&res.x) {
+                        needs_rescue.push(i);
+                        continue;
+                    }
                     reports[i].pcg_iterations += res.iterations;
                     reports[i].last_solve_iterations = res.iterations;
                     last_conv[i] = res.converged;
                     d[i] = res.x;
                 }
+                // Degraded re-solve: scalar Jacobi in the scene's own batch
+                // region. Failure here is a fault; success keeps the scene
+                // stepping under Degraded.
+                for &i in &needs_rescue {
+                    let asm = asms[i].take().expect("assembly phase ran");
+                    match self.rescue_solve(i, &asm) {
+                        Ok(res) => {
+                            reports[i].pcg_iterations += res.iterations;
+                            reports[i].last_solve_iterations = res.iterations;
+                            reports[i].fallback_level = reports[i].fallback_level.max(1);
+                            last_conv[i] = res.converged;
+                            d[i] = res.x;
+                            rescued[i] = true;
+                            self.slots[i].health.fallback_solves += 1;
+                            self.slots[i].health.state = SlotState::Degraded;
+                        }
+                        Err(e) => {
+                            fault[i] = Some(e);
+                            in_oc[i] = false;
+                            active[i] = false;
+                        }
+                    }
+                    asms[i] = Some(asm);
+                }
+                // Health check: NaN that slipped through a "successful"
+                // solve (e.g. NaN off-diagonals with a finite diagonal).
+                for i in 0..n {
+                    if in_oc[i] && !all_finite(&d[i]) {
+                        fault[i] = Some(StepError::NonFiniteSolution {
+                            oc_iteration: reports[i].oc_iterations,
+                        });
+                        in_oc[i] = false;
+                        active[i] = false;
+                    }
+                }
 
                 // Phase: interpenetration checking + open–close update.
                 self.dev.batch_begin(n);
-                for (i, sc) in self.scenes.iter_mut().enumerate() {
+                for (i, slot) in self.slots.iter_mut().enumerate() {
                     if !in_oc[i] {
                         continue;
                     }
+                    let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
                     self.dev.batch_segment(i);
                     let open_tol = 1e-6 * sc.params.max_displacement;
                     let freeze = oc_iter + 3 >= sc.params.oc_max_iters;
@@ -305,8 +588,13 @@ impl SceneBatch {
                         sc.params.shear_ratio,
                         BranchScheme::Restructured,
                     );
-                    let changes =
+                    #[allow(unused_mut)]
+                    let mut changes =
                         open_close_gpu(&self.dev, &mut sc.contacts, &gaps[i], open_tol, freeze);
+                    #[cfg(feature = "fault-inject")]
+                    if self.dev.fault_fires(dda_simt::Fault::OcPin) {
+                        changes = changes.max(1);
+                    }
                     // Scene-local convergence mask: a converged (or
                     // iteration-capped) scene stops contributing launches.
                     if changes == 0 && last_conv[i] {
@@ -318,18 +606,40 @@ impl SceneBatch {
                 }
                 let s = self.dev.batch_end();
                 self.charge(s, |t| &mut t.interpenetration);
+                // Health check: gap measures must stay finite (host-side).
+                for i in 0..n {
+                    if !active[i] || in_oc[i] {
+                        continue;
+                    }
+                    if !gaps[i].all_finite() {
+                        fault[i] = Some(StepError::NonFiniteGaps {
+                            oc_iteration: reports[i].oc_iterations,
+                        });
+                        active[i] = false;
+                    }
+                }
                 oc_iter += 1;
             }
 
             // Displacement control, per scene on the host (scalar controls
             // are the only thing that crosses back, as in the paper).
-            for (i, sc) in self.scenes.iter_mut().enumerate() {
+            for (i, slot) in self.slots.iter_mut().enumerate() {
                 if !active[i] {
                     continue;
                 }
+                let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
                 reports[i].oc_converged = oc_conv[i];
                 let maxd = max_displacement(&sc.sys, &d[i]);
                 reports[i].max_displacement = maxd;
+                if !maxd.is_finite()
+                    || maxd > self.policy.divergence_factor * sc.params.max_displacement
+                {
+                    fault[i] = Some(StepError::Diverged {
+                        max_displacement: maxd,
+                    });
+                    active[i] = false;
+                    continue;
+                }
                 let too_big = maxd > 2.0 * sc.params.max_displacement;
                 if (too_big || !oc_conv[i]) && attempt < MAX_RETRIES && sc.params.reduce_dt() {
                     reports[i].retries += 1; // scene stays active for the next attempt
@@ -346,24 +656,55 @@ impl SceneBatch {
             }
             attempt += 1;
         }
-        // The loop above exits only when every scene has an outcome.
-        let outcomes: Vec<StepOutcome> = outcomes
-            .into_iter()
-            .map(|o| o.expect("inactive scenes hold an outcome"))
-            .collect();
+
+        // Stall detector: an accepted-but-dirty step extends the scene's
+        // streak; past the policy limit the step is demoted to a fault so
+        // a permanently pinned open–close loop quarantines instead of
+        // spinning at the Δt floor forever.
+        for i in 0..n {
+            if fault[i].is_some() || !stepping[i] {
+                continue;
+            }
+            let Some(out) = outcomes[i].as_ref() else {
+                continue;
+            };
+            if out.oc_converged {
+                self.slots[i].health.oc_stall_streak = 0;
+            } else {
+                self.slots[i].health.oc_stall_streak += 1;
+                let streak = self.slots[i].health.oc_stall_streak;
+                if streak >= self.policy.oc_stall_limit {
+                    fault[i] = Some(StepError::OcStalled { streak });
+                    outcomes[i] = None;
+                }
+            }
+        }
 
         // ---- Phase: third classification (C1…C5) -----------------------------
         self.dev.batch_begin(n);
-        for (i, sc) in self.scenes.iter_mut().enumerate() {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if !stepping[i] || fault[i].is_some() {
+                continue;
+            }
+            let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
             self.dev.batch_segment(i);
             reports[i].categories = categorize_gpu(&self.dev, &sc.contacts);
         }
         let s = self.dev.batch_end();
         self.charge(s, |t| &mut t.interpenetration);
 
-        // ---- Phase: data updating --------------------------------------------
+        // ---- Phase: data updating (commit) -----------------------------------
+        // Faulted scenes are conspicuously absent: their systems and
+        // warm-starts stay frozen at the last accepted state.
         self.dev.batch_begin(n);
-        for (i, (sc, out)) in self.scenes.iter_mut().zip(outcomes).enumerate() {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Some(out) = outcomes[i].take() else {
+                continue;
+            };
+            if fault[i].is_some() {
+                continue;
+            }
+            let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
             self.dev.batch_segment(i);
             reports[i].max_open_penetration = out.gaps.max_open_penetration(&sc.contacts);
             let mut uc = CpuCounter::new();
@@ -392,9 +733,22 @@ impl SceneBatch {
             reports[i].dt = sc.params.dt;
             out.recover_dt_if_clean(&mut sc.params);
             sc.x_prev = out.d;
+            // Committed step: clear the failure streak; a scene that got
+            // here without needing the rescue solve is healthy again.
+            slot.health.consecutive_failures = 0;
+            if slot.health.state == SlotState::Degraded && !rescued[i] {
+                slot.health.state = SlotState::Running;
+            }
         }
         let s = self.dev.batch_end();
         self.charge(s, |t| &mut t.updating);
+
+        // ---- Fault bookkeeping ----------------------------------------------
+        for i in 0..n {
+            if let Some(err) = fault[i] {
+                self.record_fault(i, err);
+            }
+        }
 
         reports
     }
@@ -556,5 +910,58 @@ mod tests {
         for i in 0..3 {
             assert!(batch.times(i).total() > 0.0, "scene {i} got no time share");
         }
+    }
+
+    #[test]
+    fn admitted_scene_joins_without_draining_the_batch() {
+        let mut batch = SceneBatch::new(k40(), (0..2).map(scene).collect());
+        batch.step();
+        // A solo pipeline tracks what the late scene should do once it
+        // joins — admission must not perturb anyone's trajectory.
+        let (sys, params) = scene(2);
+        let mut solo = GpuPipeline::new(sys.clone(), params.clone(), k40());
+        let slot = batch.admit(sys, params);
+        assert_eq!(slot, 2, "no retired slot to reuse: appended");
+        assert_eq!(batch.n_live(), 3);
+        for step in 0..3 {
+            let rb = batch.step();
+            let rs = solo.step();
+            assert_eq!(rs.oc_iterations, rb[slot].oc_iterations, "step {step}");
+            for (bs, bb) in solo.sys.blocks.iter().zip(&batch.sys(slot).blocks) {
+                assert_eq!(bs.centroid().x.to_bits(), bb.centroid().x.to_bits());
+                assert_eq!(bs.centroid().y.to_bits(), bb.centroid().y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn retired_slot_is_reused_by_admission() {
+        let mut batch = SceneBatch::new(k40(), (0..3).map(scene).collect());
+        batch.step();
+        let sys = batch.retire(1).expect("slot 1 held a scene");
+        assert!(!sys.blocks.is_empty());
+        assert_eq!(batch.health(1).state, SlotState::Retired);
+        assert_eq!(batch.n_live(), 2);
+        assert!(batch.retire(1).is_none(), "already retired");
+        // The freed slot is reused, not appended after.
+        let (s2, p2) = scene(1);
+        assert_eq!(batch.admit(s2, p2), 1);
+        assert_eq!(batch.n_scenes(), 3);
+        assert_eq!(batch.n_live(), 3);
+        assert_eq!(batch.health(1).state, SlotState::Running);
+        // And the refreshed batch still steps.
+        let reports = batch.step();
+        assert_eq!(reports.len(), 3);
+        assert!(reports[1].oc_iterations >= 1);
+    }
+
+    #[test]
+    fn all_quarantined_batch_steps_to_noop() {
+        let mut batch = SceneBatch::new(k40(), vec![scene(0)]);
+        batch.retire(0);
+        let reports = batch.step();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].oc_iterations, 0, "retired slot must not step");
+        assert_eq!(batch.n_live(), 0);
     }
 }

@@ -1,6 +1,7 @@
 //! The serial reference pipeline (Fig 1), timed under the E5620 model.
 
 use super::driver::{drive_step, StepBackend};
+use super::health::StepError;
 use super::{ModuleTimes, StepReport};
 use crate::assembly::{assemble_contacts_serial, AssembledSystem};
 use crate::contact::{
@@ -17,7 +18,7 @@ use dda_simt::profile::DeviceProfile;
 use dda_simt::serial::CpuCounter;
 use dda_simt::TimingModel;
 use dda_solver::serial::pcg_serial_bj;
-use dda_solver::SolveResult;
+use dda_solver::{SolveError, SolveResult};
 use dda_sparse::{Block6, SymBlockMatrix};
 
 /// The serial DDA driver.
@@ -58,8 +59,10 @@ impl CpuPipeline {
         c.seconds(&self.model, &self.profile)
     }
 
-    /// Advances one time step.
-    pub fn step(&mut self) -> StepReport {
+    /// Advances one time step, reporting scene-health faults as structured
+    /// errors instead of panicking. On `Err` the system state is left as it
+    /// was before the step (the commit phase never ran).
+    pub fn try_step(&mut self) -> Result<StepReport, StepError> {
         let mut report = StepReport::default();
         let touch = self.params.touch_tol * self.params.max_displacement;
 
@@ -78,7 +81,7 @@ impl CpuPipeline {
         }
 
         // ---- Loops 2–3 (shared driver) -------------------------------------
-        let outcome = drive_step(self, &mut report);
+        let outcome = drive_step(self, &mut report)?;
 
         // ---- Data updating ----------------------------------------------------
         report.max_open_penetration = outcome.gaps.max_open_penetration(&self.contacts);
@@ -95,7 +98,14 @@ impl CpuPipeline {
         report.dt = self.params.dt;
         outcome.recover_dt_if_clean(&mut self.params);
         self.x_prev = outcome.d;
-        report
+        Ok(report)
+    }
+
+    /// Advances one time step, panicking on a scene-health fault (the
+    /// historical contract; healthy scenes never hit it).
+    pub fn step(&mut self) -> StepReport {
+        self.try_step()
+            .unwrap_or_else(|e| panic!("CPU pipeline step failed: {e}"))
     }
 
     /// Runs `n` steps, collecting reports.
@@ -138,11 +148,17 @@ impl StepBackend for CpuPipeline {
         asm
     }
 
-    fn solve(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> SolveResult {
+    fn solve(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> Result<SolveResult, StepError> {
         let mut sc = CpuCounter::new();
         let res = pcg_serial_bj(matrix, rhs, &self.x_prev, self.params.pcg, &mut sc);
         self.times.solving += self.charge(sc);
-        res
+        // The serial reference has no fallback ladder: a singular
+        // preconditioner means the scene input is malformed, so surface it.
+        // Curvature breakdowns still return an iterate for Δt retry.
+        if let Some(error @ SolveError::SingularPreconditioner { .. }) = res.error {
+            return Err(StepError::SolverBreakdown { error });
+        }
+        Ok(res)
     }
 
     fn check(&mut self, d: &[f64]) -> GapArrays {

@@ -10,6 +10,7 @@
 //! structured [`StepOutcome`] that always exists — acceptance is the loop's
 //! exit condition, not a post-hoc unwrap.
 
+use super::health::{all_finite, StepError};
 use super::StepReport;
 use crate::assembly::AssembledSystem;
 use crate::interpenetration::GapArrays;
@@ -35,8 +36,11 @@ pub(crate) trait StepBackend {
     fn build_diag(&mut self) -> (Vec<Block6>, Vec<f64>);
     /// Non-diagonal building: contact springs assembled onto the diagonal.
     fn assemble(&mut self, diag: &[Block6], rhs0: &[f64]) -> AssembledSystem;
-    /// Equation solving.
-    fn solve(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> SolveResult;
+    /// Equation solving. `Err` means the solver could not produce any
+    /// iterate at all (e.g. every preconditioner rung failed to
+    /// construct); a breakdown that still yields a finite iterate comes
+    /// back as `Ok` with [`SolveResult::error`] set.
+    fn solve(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> Result<SolveResult, StepError>;
     /// Interpenetration / contact-measure checking under displacements `d`.
     fn check(&mut self, d: &[f64]) -> GapArrays;
     /// Open–close state update; returns the number of state changes.
@@ -86,10 +90,16 @@ impl StepOutcome {
 /// fields of `report` (`oc_iterations`, `pcg_iterations`,
 /// `last_solve_iterations`, `n_upper`, `oc_converged`, `max_displacement`,
 /// `retries`).
+///
+/// Health checks sit at the phase boundaries: a NaN/Inf right-hand side,
+/// solution, gap array, or displacement measure aborts the step with a
+/// structured [`StepError`] instead of propagating garbage into the
+/// system state. The scans are host-side (no launches, no modeled time),
+/// so healthy runs are bit- and time-identical to the unchecked driver.
 pub(crate) fn drive_step<B: StepBackend + ?Sized>(
     backend: &mut B,
     report: &mut StepReport,
-) -> StepOutcome {
+) -> Result<StepOutcome, StepError> {
     let open_tol = 1e-6 * backend.params().max_displacement;
     let mut attempt = 0;
     loop {
@@ -106,11 +116,26 @@ pub(crate) fn drive_step<B: StepBackend + ?Sized>(
             let freeze = oc_iter + 3 >= backend.params().oc_max_iters;
             let asm = backend.assemble(&diag, &rhs0);
             report.n_upper = asm.matrix.n_upper();
-            let res = backend.solve(&asm.matrix, &asm.rhs);
+            if !all_finite(&asm.rhs) {
+                return Err(StepError::NonFiniteRhs {
+                    oc_iteration: report.oc_iterations,
+                });
+            }
+            let res = backend.solve(&asm.matrix, &asm.rhs)?;
             report.pcg_iterations += res.iterations;
             report.last_solve_iterations = res.iterations;
+            if !all_finite(&res.x) {
+                return Err(StepError::NonFiniteSolution {
+                    oc_iteration: report.oc_iterations,
+                });
+            }
             d = res.x;
             gaps = backend.check(&d);
+            if !gaps.all_finite() {
+                return Err(StepError::NonFiniteGaps {
+                    oc_iteration: report.oc_iterations,
+                });
+            }
             let changes = backend.open_close(&gaps, open_tol, freeze);
             if changes == 0 && res.converged {
                 oc_converged = true;
@@ -122,18 +147,23 @@ pub(crate) fn drive_step<B: StepBackend + ?Sized>(
         // ---- Displacement control ----------------------------------------
         let maxd = backend.max_displacement(&d);
         report.max_displacement = maxd;
+        if !maxd.is_finite() {
+            return Err(StepError::Diverged {
+                max_displacement: maxd,
+            });
+        }
         let too_big = maxd > 2.0 * backend.params().max_displacement;
         if (too_big || !oc_converged) && attempt < MAX_RETRIES && backend.params_mut().reduce_dt() {
             report.retries += 1;
             attempt += 1;
             continue;
         }
-        return StepOutcome {
+        return Ok(StepOutcome {
             d,
             gaps,
             oc_converged,
             too_big,
             retries: report.retries,
-        };
+        });
     }
 }

@@ -9,6 +9,7 @@
 //! convergence flags, Δt decisions) cross back, as in the paper.
 
 use super::driver::{drive_step, StepBackend};
+use super::health::StepError;
 use super::solver_cache::SolverCache;
 use super::{ModuleTimes, StepReport};
 use crate::assembly::{assemble_contacts_gpu, AssembledSystem};
@@ -22,8 +23,8 @@ use crate::system::BlockSystem;
 use crate::update::{max_displacement, update_system};
 use dda_simt::serial::CpuCounter;
 use dda_simt::{Device, KernelStats};
-use dda_solver::precond::{BlockJacobi, Identity, Ilu0, SsorAi};
-use dda_solver::{pcg, pcg_fused, HsbcsrMat, SolveResult};
+use dda_solver::precond::{BlockJacobi, Identity, Ilu0, Jacobi, SsorAi};
+use dda_solver::{pcg, pcg_fused, HsbcsrMat, PrecondError, SolveResult};
 use dda_sparse::{Block6, Csr, Hsbcsr, SymBlockMatrix};
 
 /// Preconditioner selection for the equation-solving module (Table I).
@@ -37,6 +38,33 @@ pub enum PrecondKind {
     SsorAi,
     /// ILU(0) with level-scheduled triangular solves.
     Ilu0,
+    /// Scalar-diagonal Jacobi — the last rung of the degradation ladder.
+    Jacobi,
+}
+
+/// The degradation ladder for `start`: on construction failure or solver
+/// breakdown the pipeline descends ILU0 → SSOR-AI → Block-Jacobi →
+/// Jacobi, each rung cheaper and harder to break than the one above
+/// (Jacobi only needs a nonzero scalar diagonal). Plain CG has no rungs to
+/// descend to — a breakdown there is the operator's fault, not the
+/// preconditioner's.
+pub(crate) fn fallback_ladder(start: PrecondKind) -> &'static [PrecondKind] {
+    match start {
+        PrecondKind::None => &[PrecondKind::None],
+        PrecondKind::Ilu0 => &[
+            PrecondKind::Ilu0,
+            PrecondKind::SsorAi,
+            PrecondKind::BlockJacobi,
+            PrecondKind::Jacobi,
+        ],
+        PrecondKind::SsorAi => &[
+            PrecondKind::SsorAi,
+            PrecondKind::BlockJacobi,
+            PrecondKind::Jacobi,
+        ],
+        PrecondKind::BlockJacobi => &[PrecondKind::BlockJacobi, PrecondKind::Jacobi],
+        PrecondKind::Jacobi => &[PrecondKind::Jacobi],
+    }
 }
 
 /// The GPU DDA driver.
@@ -58,6 +86,10 @@ pub struct GpuPipeline {
     // backend phases the shared driver calls.
     gsoa: Option<GeomSoa>,
     bsoa: Option<BlockSoa>,
+    // Deepest ladder rung any solve of the current step needed.
+    step_fallback_level: usize,
+    // Lifetime count of solves that left the configured rung.
+    fallback_solves: usize,
 }
 
 impl GpuPipeline {
@@ -76,6 +108,8 @@ impl GpuPipeline {
             legacy_solver: false,
             gsoa: None,
             bsoa: None,
+            step_fallback_level: 0,
+            fallback_solves: 0,
         }
     }
 
@@ -108,14 +142,19 @@ impl GpuPipeline {
         self.dev.modeled_seconds()
     }
 
-    /// Solves the assembled system with the configured preconditioner,
-    /// reusing the cached HSBCSR structure / preconditioner storage / PCG
-    /// workspace whenever the contact pattern is unchanged.
-    fn solve_fused(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> SolveResult {
-        match self.precond {
+    /// One solve attempt on a specific ladder rung. `Err` is a
+    /// preconditioner construction failure (zero pivot, singular block) —
+    /// the caller descends the ladder on it.
+    fn solve_attempt(
+        &mut self,
+        matrix: &SymBlockMatrix,
+        rhs: &[f64],
+        kind: PrecondKind,
+    ) -> Result<SolveResult, PrecondError> {
+        match kind {
             PrecondKind::None => {
-                let (h, _, ws) = self.cache.prepare(&self.dev, matrix, false);
-                pcg_fused(
+                let (h, _, ws) = self.cache.try_prepare(&self.dev, matrix, false)?;
+                Ok(pcg_fused(
                     &self.dev,
                     h,
                     rhs,
@@ -123,24 +162,115 @@ impl GpuPipeline {
                     &Identity,
                     self.params.pcg,
                     ws,
-                )
+                ))
             }
             PrecondKind::BlockJacobi => {
-                let (h, bj, ws) = self.cache.prepare(&self.dev, matrix, true);
-                let bj = bj.expect("prepare(want_bj) returns a factorization");
-                pcg_fused(&self.dev, h, rhs, &self.x_prev, bj, self.params.pcg, ws)
+                let (h, bj, ws) = self.cache.try_prepare(&self.dev, matrix, true)?;
+                let bj = bj.expect("try_prepare(want_bj) returns a factorization");
+                Ok(pcg_fused(
+                    &self.dev,
+                    h,
+                    rhs,
+                    &self.x_prev,
+                    bj,
+                    self.params.pcg,
+                    ws,
+                ))
             }
             PrecondKind::SsorAi => {
-                let (h, _, ws) = self.cache.prepare(&self.dev, matrix, false);
-                let ssor = SsorAi::new(&self.dev, h, 1.0);
-                pcg_fused(&self.dev, h, rhs, &self.x_prev, &ssor, self.params.pcg, ws)
+                let (h, _, ws) = self.cache.try_prepare(&self.dev, matrix, false)?;
+                let ssor = SsorAi::try_new(&self.dev, h, 1.0)?;
+                Ok(pcg_fused(
+                    &self.dev,
+                    h,
+                    rhs,
+                    &self.x_prev,
+                    &ssor,
+                    self.params.pcg,
+                    ws,
+                ))
             }
             PrecondKind::Ilu0 => {
-                let (h, _, ws) = self.cache.prepare(&self.dev, matrix, false);
+                let (h, _, ws) = self.cache.try_prepare(&self.dev, matrix, false)?;
                 let csr = Csr::from_sym_full(matrix);
-                let ilu = Ilu0::new(&self.dev, &csr);
-                pcg_fused(&self.dev, h, rhs, &self.x_prev, &ilu, self.params.pcg, ws)
+                let ilu = Ilu0::try_new(&self.dev, &csr)?;
+                Ok(pcg_fused(
+                    &self.dev,
+                    h,
+                    rhs,
+                    &self.x_prev,
+                    &ilu,
+                    self.params.pcg,
+                    ws,
+                ))
             }
+            PrecondKind::Jacobi => {
+                let (h, _, ws) = self.cache.try_prepare(&self.dev, matrix, false)?;
+                let j = Jacobi::try_new(&self.dev, h)?;
+                Ok(pcg_fused(
+                    &self.dev,
+                    h,
+                    rhs,
+                    &self.x_prev,
+                    &j,
+                    self.params.pcg,
+                    ws,
+                ))
+            }
+        }
+    }
+
+    /// Solves the assembled system with the configured preconditioner,
+    /// reusing the cached HSBCSR structure / preconditioner storage / PCG
+    /// workspace whenever the contact pattern is unchanged.
+    ///
+    /// Graceful degradation: a rung whose preconditioner fails to
+    /// construct, or whose solve breaks down (indefinite curvature,
+    /// non-finite iterate), hands the system to the next rung of
+    /// [`fallback_ladder`]. The rung actually used is recorded in
+    /// [`StepReport::fallback_level`]. Only when every rung fails to even
+    /// construct does the solve error out.
+    fn solve_fused(
+        &mut self,
+        matrix: &SymBlockMatrix,
+        rhs: &[f64],
+    ) -> Result<SolveResult, StepError> {
+        let rungs = fallback_ladder(self.precond);
+        let mut last_construct_err = None;
+        let mut last_result = None;
+        for (level, &kind) in rungs.iter().enumerate() {
+            match self.solve_attempt(matrix, rhs, kind) {
+                Err(e) => {
+                    last_construct_err = Some(e);
+                    continue;
+                }
+                Ok(res) => {
+                    let healthy = !res.broke_down() && res.x.iter().all(|v| v.is_finite());
+                    if healthy || level + 1 == rungs.len() {
+                        self.note_fallback(level);
+                        return Ok(res);
+                    }
+                    last_result = Some((level, res));
+                }
+            }
+        }
+        // The deepest rungs failed to construct. Fall back to the best
+        // iterate an earlier rung produced, or report the ladder exhausted.
+        match last_result {
+            Some((level, res)) => {
+                self.note_fallback(level);
+                Ok(res)
+            }
+            None => Err(StepError::PreconditionerFailed {
+                error: last_construct_err.expect("ladder has at least one rung"),
+            }),
+        }
+    }
+
+    fn note_fallback(&mut self, level: usize) {
+        self.step_fallback_level = self.step_fallback_level.max(level);
+        if level > 0 {
+            self.fallback_solves += 1;
         }
     }
 
@@ -178,6 +308,10 @@ impl GpuPipeline {
                 let ilu = Ilu0::new(&self.dev, &csr);
                 pcg(&self.dev, &a, rhs, &self.x_prev, &ilu, self.params.pcg)
             }
+            PrecondKind::Jacobi => {
+                let j = Jacobi::new(&self.dev, &h);
+                pcg(&self.dev, &a, rhs, &self.x_prev, &j, self.params.pcg)
+            }
         }
     }
 
@@ -194,11 +328,21 @@ impl GpuPipeline {
             PrecondKind::BlockJacobi => "BJ",
             PrecondKind::SsorAi => "SSOR",
             PrecondKind::Ilu0 => "ILU",
+            PrecondKind::Jacobi => "J",
         }
     }
 
-    /// Advances one time step.
-    pub fn step(&mut self) -> StepReport {
+    /// Lifetime count of solves that had to leave the configured
+    /// preconditioner rung (degradation-ladder activations).
+    pub fn fallback_solves(&self) -> usize {
+        self.fallback_solves
+    }
+
+    /// Advances one time step, reporting scene-health faults as structured
+    /// errors instead of panicking. On `Err` the system state is left as it
+    /// was before the step (the commit phase never ran), so the caller can
+    /// retry with a smaller Δt or quarantine the scene.
+    pub fn try_step(&mut self) -> Result<StepReport, StepError> {
         let mut report = StepReport::default();
         let touch = self.params.touch_tol * self.params.max_displacement;
 
@@ -220,7 +364,9 @@ impl GpuPipeline {
         self.bsoa = Some(BlockSoa::build(&self.sys));
 
         // ---- Loops 2–3 (shared driver) ---------------------------------------
-        let outcome = drive_step(self, &mut report);
+        self.step_fallback_level = 0;
+        let outcome = drive_step(self, &mut report)?;
+        report.fallback_level = self.step_fallback_level;
 
         // Third classification (C1…C5) for the report — part of the
         // checking/classification machinery's cost.
@@ -260,7 +406,14 @@ impl GpuPipeline {
         report.dt = self.params.dt;
         outcome.recover_dt_if_clean(&mut self.params);
         self.x_prev = outcome.d;
-        report
+        Ok(report)
+    }
+
+    /// Advances one time step, panicking on a scene-health fault (the
+    /// historical contract; healthy scenes never hit it).
+    pub fn step(&mut self) -> StepReport {
+        self.try_step()
+            .unwrap_or_else(|e| panic!("GPU pipeline step failed: {e}"))
     }
 
     /// Runs `n` steps.
@@ -306,10 +459,10 @@ impl StepBackend for GpuPipeline {
         asm
     }
 
-    fn solve(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> SolveResult {
+    fn solve(&mut self, matrix: &SymBlockMatrix, rhs: &[f64]) -> Result<SolveResult, StepError> {
         let t = self.mark();
         let res = if self.legacy_solver {
-            self.solve_legacy(matrix, rhs)
+            Ok(self.solve_legacy(matrix, rhs))
         } else {
             self.solve_fused(matrix, rhs)
         };
@@ -466,12 +619,84 @@ mod tests {
             PrecondKind::BlockJacobi,
             PrecondKind::SsorAi,
             PrecondKind::Ilu0,
+            PrecondKind::Jacobi,
         ] {
             let (sys, params) = stack();
             let mut gpu = GpuPipeline::new(sys, params, k40()).with_precond(pk);
             let r = gpu.step();
             assert!(r.oc_converged, "{pk:?} failed to converge: {r:?}");
         }
+    }
+
+    /// A diagonally dominant SPD test matrix with a contact-like coupling.
+    fn spd_matrix(n: usize) -> SymBlockMatrix {
+        let diag = (0..n)
+            .map(|i| Block6::diag(&[50.0 + i as f64; 6]))
+            .collect();
+        let upper = (0..n - 1)
+            .map(|i| (i as u32, i as u32 + 1, Block6::diag(&[-1.0; 6])))
+            .collect();
+        SymBlockMatrix::new(diag, upper)
+    }
+
+    #[test]
+    fn ladder_descends_on_breakdown_and_reports_depth() {
+        // Negate the operator: every rung constructs (diagonal blocks are
+        // negated but invertible) yet PCG breaks down on the first
+        // curvature. The ladder must walk every rung, return the last
+        // rung's broken result, and record the full descent depth.
+        let (sys, params) = stack();
+        let mut gpu = GpuPipeline::new(sys, params, k40()).with_precond(PrecondKind::Ilu0);
+        let mut m = spd_matrix(4);
+        for d in m.diag.iter_mut() {
+            *d = d.scale(-1.0);
+        }
+        for (_, _, b) in m.upper.iter_mut() {
+            *b = b.scale(-1.0);
+        }
+        gpu.x_prev = vec![0.0; 6 * 4];
+        let rhs = vec![1.0; 6 * 4];
+        let res = gpu.solve_fused(&m, &rhs).expect("rungs construct fine");
+        assert!(
+            res.broke_down(),
+            "negative-definite operator must break down"
+        );
+        assert_eq!(
+            gpu.step_fallback_level,
+            fallback_ladder(PrecondKind::Ilu0).len() - 1,
+            "ladder must be walked to the last rung"
+        );
+        assert_eq!(gpu.fallback_solves(), 1);
+    }
+
+    #[test]
+    fn ladder_exhaustion_reports_structured_error() {
+        // A zero diagonal defeats every rung's construction (zero pivot,
+        // singular block, zero scalar diagonal): the solve must surface a
+        // structured error, not panic inside a factorization.
+        let (sys, params) = stack();
+        let mut gpu = GpuPipeline::new(sys, params, k40()).with_precond(PrecondKind::BlockJacobi);
+        let mut m = spd_matrix(4);
+        m.diag[2] = Block6::ZERO;
+        gpu.x_prev = vec![0.0; 6 * 4];
+        let rhs = vec![1.0; 6 * 4];
+        match gpu.solve_fused(&m, &rhs) {
+            Err(StepError::PreconditionerFailed { .. }) => {}
+            other => panic!("expected PreconditionerFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_solve_stays_on_configured_rung() {
+        let (sys, params) = stack();
+        let mut gpu = GpuPipeline::new(sys, params, k40()).with_precond(PrecondKind::Ilu0);
+        let m = spd_matrix(4);
+        gpu.x_prev = vec![0.0; 6 * 4];
+        let rhs = vec![1.0; 6 * 4];
+        let res = gpu.solve_fused(&m, &rhs).expect("SPD system solves");
+        assert!(res.converged && !res.broke_down());
+        assert_eq!(gpu.step_fallback_level, 0, "no fallback on a healthy solve");
+        assert_eq!(gpu.fallback_solves(), 0);
     }
 
     #[test]

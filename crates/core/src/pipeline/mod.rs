@@ -11,12 +11,14 @@ pub mod batch;
 pub mod cpu;
 pub(crate) mod driver;
 pub mod gpu;
+pub mod health;
 pub(crate) mod solver_cache;
 
 pub use batch::SceneBatch;
 pub use cpu::CpuPipeline;
 pub use driver::StepOutcome;
 pub use gpu::{GpuPipeline, PrecondKind};
+pub use health::{HealthPolicy, SceneHealth, SlotState, StepError};
 
 use serde::{Deserialize, Serialize};
 
@@ -104,6 +106,10 @@ pub struct StepReport {
     /// accepted solve — the checker's "no interpenetrations" criterion
     /// (should sit at the numerical-noise scale once loop 3 converges).
     pub max_open_penetration: f64,
+    /// Deepest preconditioner fallback rung any solve of this step needed
+    /// (0 = the configured preconditioner; each +1 is one rung down the
+    /// ILU0 → SSOR-AI → Block-Jacobi → Jacobi ladder).
+    pub fallback_level: usize,
 }
 
 #[cfg(test)]

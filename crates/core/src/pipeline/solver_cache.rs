@@ -3,7 +3,7 @@
 
 use dda_simt::{Device, KernelStats};
 use dda_solver::precond::BlockJacobi;
-use dda_solver::PcgWorkspace;
+use dda_solver::{PcgWorkspace, PrecondError};
 use dda_sparse::{Hsbcsr, SymBlockMatrix};
 
 /// Cached equation-solving state, reused across open–close iterations and
@@ -35,12 +35,16 @@ impl SolverCache {
     /// When the sparsity pattern matches the cached format, only the value
     /// arrays are rewritten; the index derivation and its traffic are
     /// skipped.
-    pub(crate) fn prepare(
+    ///
+    /// A singular diagonal sub-matrix (malformed scene input) surfaces as
+    /// a structured [`PrecondError`] so the caller's fallback ladder can
+    /// degrade instead of panicking inside the factorization kernel.
+    pub(crate) fn try_prepare(
         &mut self,
         dev: &Device,
         matrix: &SymBlockMatrix,
         want_bj: bool,
-    ) -> (&Hsbcsr, Option<&BlockJacobi>, &mut PcgWorkspace) {
+    ) -> Result<(&Hsbcsr, Option<&BlockJacobi>, &mut PcgWorkspace), PrecondError> {
         let SolverCache {
             h: h_slot,
             bj: bj_slot,
@@ -78,13 +82,13 @@ impl SolverCache {
             // Values change every solve (contact springs); the cache keeps
             // the storage and refactors in place.
             match bj_slot.as_mut() {
-                Some(bj) => bj.refactor(dev, h),
-                None => *bj_slot = Some(BlockJacobi::new(dev, h)),
+                Some(bj) => bj.try_refactor(dev, h)?,
+                None => *bj_slot = Some(BlockJacobi::try_new(dev, h)?),
             }
             Some(bj_slot.as_ref().expect("cache holds a factorization"))
         } else {
             None
         };
-        (h, bj, pcg_ws)
+        Ok((h, bj, pcg_ws))
     }
 }

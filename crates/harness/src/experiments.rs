@@ -107,6 +107,10 @@ pub fn preconditioner_study(blocks: usize, steps: usize, seed: u64) -> Vec<Preco
                 time_of(&["precond.ssor."]),
             ),
             PrecondKind::Ilu0 => (time_of(&["precond.ilu.construct"]), time_of(&["tss."])),
+            PrecondKind::Jacobi => (
+                time_of(&["precond.jacobi.construct"]),
+                time_of(&["precond.jacobi.apply"]),
+            ),
             PrecondKind::None => (0.0, 0.0),
         };
 

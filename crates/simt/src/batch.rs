@@ -67,6 +67,13 @@ impl BatchState {
         }
     }
 
+    /// The segment subsequent launches are attributed to (None before the
+    /// region's first `set_segment`).
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn current_segment(&self) -> Option<usize> {
+        self.current
+    }
+
     pub(crate) fn set_segment(&mut self, i: usize) {
         assert!(
             i < self.n_segments,

@@ -40,6 +40,8 @@ pub struct Device {
     batch: Mutex<Option<BatchState>>,
     next_base: AtomicU64,
     epoch: AtomicU32,
+    #[cfg(feature = "fault-inject")]
+    faults: Mutex<Vec<crate::inject::ArmedFault>>,
 }
 
 impl Device {
@@ -54,6 +56,8 @@ impl Device {
             batch: Mutex::new(None),
             next_base: AtomicU64::new(1 << 12),
             epoch: AtomicU32::new(0),
+            #[cfg(feature = "fault-inject")]
+            faults: Mutex::new(Vec::new()),
         }
     }
 
@@ -296,6 +300,51 @@ impl Device {
         let (records, summary) = state.finish(&self.model, &self.profile);
         self.trace.lock().unwrap().records.extend(records);
         summary
+    }
+
+    /// Arms `fault` against batch segment `segment` for the next `times`
+    /// firings (`usize::MAX` = every opportunity). Deterministic: firings
+    /// are consumed in program order at the instrumented call sites.
+    #[cfg(feature = "fault-inject")]
+    pub fn arm_fault(&self, segment: usize, fault: crate::inject::Fault, times: usize) {
+        self.faults.lock().unwrap().push(crate::inject::ArmedFault {
+            segment,
+            fault,
+            remaining: times,
+        });
+    }
+
+    /// Polls whether `fault` is armed for the *current batch segment*,
+    /// consuming one firing when it is. Outside a batch region (or for an
+    /// unarmed segment) this is always false, so instrumented call sites
+    /// are inert unless a test arms them.
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_fires(&self, fault: crate::inject::Fault) -> bool {
+        let Some(seg) = self
+            .batch
+            .lock()
+            .unwrap()
+            .as_ref()
+            .and_then(|b| b.current_segment())
+        else {
+            return false;
+        };
+        let mut faults = self.faults.lock().unwrap();
+        for f in faults.iter_mut() {
+            if f.fault == fault && f.segment == seg && f.remaining > 0 {
+                if f.remaining != usize::MAX {
+                    f.remaining -= 1;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Disarms every fault.
+    #[cfg(feature = "fault-inject")]
+    pub fn disarm_faults(&self) {
+        self.faults.lock().unwrap().clear();
     }
 
     /// Snapshot of the launch trace.

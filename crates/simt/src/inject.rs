@@ -1,0 +1,41 @@
+//! Deterministic fault injection (compiled only with the `fault-inject`
+//! feature).
+//!
+//! The fault-isolation machinery in the pipeline crates is worthless if it
+//! cannot be exercised on demand: real NaN contamination and PCG breakdown
+//! are rare and input-dependent. This module lets a test or benchmark
+//! *arm* a fault against one batch segment (scene) of a device; the
+//! pipeline's instrumented call sites poll [`Device::fault_fires`] at the
+//! matching phase and corrupt their own data when it returns true.
+//!
+//! Injection is deterministic by construction: a fault names its target
+//! segment and a firing budget, and firing consumes budget in program
+//! order — no randomness, no clocks — so a poisoned run is exactly
+//! reproducible and an *unpoisoned* run is bit-identical to a build
+//! without the feature (the polls read state under a lock and touch no
+//! numerical data).
+//!
+//! [`Device::fault_fires`]: crate::Device::fault_fires
+
+/// What to corrupt when the fault fires. The corruption itself lives at
+/// the pipeline call site (this crate only decides *whether* it happens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Poison the scene's assembled right-hand side with NaN.
+    NanRhs,
+    /// Negate the assembled operator's diagonal so PCG meets negative
+    /// curvature and breaks down.
+    IndefiniteOperator,
+    /// Pin the open–close loop: the contact state machine reports a
+    /// change every iteration, so loop 3 never settles.
+    OcPin,
+}
+
+/// One armed fault: target segment, kind, and remaining firings
+/// (`usize::MAX` = unlimited).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ArmedFault {
+    pub(crate) segment: usize,
+    pub(crate) fault: Fault,
+    pub(crate) remaining: usize,
+}

@@ -66,6 +66,8 @@ pub mod batch;
 pub mod block;
 pub mod buffer;
 pub mod device;
+#[cfg(feature = "fault-inject")]
+pub mod inject;
 pub mod lane;
 pub(crate) mod pool;
 pub mod primitives;
@@ -78,6 +80,8 @@ pub use batch::BatchSummary;
 pub use block::Block;
 pub use buffer::GBuf;
 pub use device::Device;
+#[cfg(feature = "fault-inject")]
+pub use inject::Fault;
 pub use lane::Lane;
 pub use profile::DeviceProfile;
 pub use stats::{DeviceTrace, KernelStats};

@@ -35,7 +35,8 @@ pub mod tri;
 pub mod vecops;
 
 pub use pcg::{
-    pcg, pcg_fused, pcg_fused_batch, PcgBatchEntry, PcgOptions, PcgWorkspace, SolveResult,
+    pcg, pcg_fused, pcg_fused_batch, PcgBatchEntry, PcgOptions, PcgWorkspace, SolveError,
+    SolveResult,
 };
-pub use precond::{BlockJacobi, Identity, Ilu0, Jacobi, Preconditioner, SsorAi};
+pub use precond::{BlockJacobi, Identity, Ilu0, Jacobi, PrecondError, Preconditioner, SsorAi};
 pub use traits::{CsrScalarMat, CsrVectorMat, HsbcsrMat, MatVec};

@@ -50,6 +50,67 @@ impl Default for PcgOptions {
     }
 }
 
+/// Why a PCG solve stopped before meeting its tolerance.
+///
+/// Historically the `p·q ≤ 0` breakdown guard exited the iteration loop
+/// indistinguishably from convergence (the caller only saw
+/// `converged = false`, the same as an iteration-cap exit). The pipeline's
+/// degradation ladder needs to tell those apart: a cap exit means "shrink
+/// Δt and retry", a breakdown means "the operator or preconditioner is
+/// unusable — fall back or quarantine".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SolveError {
+    /// `p·q ≤ 0`: the operator is not positive definite along the current
+    /// search direction (CG's invariant is broken).
+    IndefiniteOperator {
+        /// The offending curvature value `p·q`.
+        pq: f64,
+        /// Iteration at which the guard tripped (1-based).
+        iteration: usize,
+    },
+    /// A non-finite value contaminated the iteration (NaN/Inf in the
+    /// right-hand side, the operator, or the preconditioner output).
+    NonFinite {
+        /// Iteration at which the contamination was detected (0 = the
+        /// inputs were already non-finite before the first iteration).
+        iteration: usize,
+    },
+    /// The preconditioner could not be applied (singular diagonal block in
+    /// the serial Block-Jacobi path).
+    SingularPreconditioner {
+        /// Index of the offending 6×6 diagonal block.
+        block: usize,
+    },
+}
+
+impl core::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SolveError::IndefiniteOperator { pq, iteration } => {
+                write!(
+                    f,
+                    "indefinite operator: p·q = {pq} at iteration {iteration}"
+                )
+            }
+            SolveError::NonFinite { iteration } => {
+                write!(f, "non-finite value at iteration {iteration}")
+            }
+            SolveError::SingularPreconditioner { block } => {
+                write!(f, "singular preconditioner diagonal block {block}")
+            }
+        }
+    }
+}
+
+/// Classifies a breakdown curvature value `p·q` into its [`SolveError`].
+fn breakdown_reason(pq: f64, iteration: usize) -> SolveError {
+    if pq.is_finite() {
+        SolveError::IndefiniteOperator { pq, iteration }
+    } else {
+        SolveError::NonFinite { iteration }
+    }
+}
+
 /// Outcome of one PCG solve.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SolveResult {
@@ -61,6 +122,18 @@ pub struct SolveResult {
     pub converged: bool,
     /// Final residual 2-norm.
     pub residual: f64,
+    /// Why the solve stopped early, if it broke down. `None` with
+    /// `converged = false` means the iteration cap was reached — a normal
+    /// Δt-retry situation, not a fault.
+    pub error: Option<SolveError>,
+}
+
+impl SolveResult {
+    /// True when the solve ended in breakdown (as opposed to converging or
+    /// merely hitting the iteration cap).
+    pub fn broke_down(&self) -> bool {
+        self.error.is_some()
+    }
 }
 
 /// Solves `A x = b` by preconditioned CG, starting from `x0`.
@@ -94,6 +167,16 @@ pub fn pcg<A: MatVec + ?Sized, P: Preconditioner + ?Sized>(
     assert_eq!(x0.len(), n, "initial guess dimension mismatch");
 
     let b_norm_sq = norm_sq(dev, b);
+    if !b_norm_sq.is_finite() {
+        // NaN/Inf already in the right-hand side: no iteration can help.
+        return SolveResult {
+            x: x0.to_vec(),
+            iterations: 0,
+            converged: false,
+            residual: f64::NAN,
+            error: Some(SolveError::NonFinite { iteration: 0 }),
+        };
+    }
     let threshold_sq = if b_norm_sq > 0.0 {
         opts.tol * opts.tol * b_norm_sq
     } else {
@@ -113,6 +196,7 @@ pub fn pcg<A: MatVec + ?Sized, P: Preconditioner + ?Sized>(
             iterations: 0,
             converged: true,
             residual: r_norm_sq.sqrt(),
+            error: None,
         };
     }
 
@@ -122,12 +206,16 @@ pub fn pcg<A: MatVec + ?Sized, P: Preconditioner + ?Sized>(
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut error = None;
     while iterations < opts.max_iters {
         iterations += 1;
         let q = a.apply(dev, &p);
         let pq = dot(dev, &p, &q);
         if pq <= 0.0 || !pq.is_finite() {
-            // Indefinite or broken operator — bail with the current iterate.
+            // Indefinite or broken operator — bail with the current
+            // iterate, reporting why so the caller can tell this apart
+            // from an iteration-cap exit.
+            error = Some(breakdown_reason(pq, iterations));
             break;
         }
         let alpha = rz / pq;
@@ -151,6 +239,7 @@ pub fn pcg<A: MatVec + ?Sized, P: Preconditioner + ?Sized>(
         iterations,
         converged,
         residual: r_norm_sq.max(0.0).sqrt(),
+        error,
     }
 }
 
@@ -212,6 +301,16 @@ pub fn pcg_fused<P: Preconditioner + ?Sized>(
     assert_eq!(x0.len(), n, "initial guess dimension mismatch");
 
     let b_norm_sq = norm_sq(dev, b);
+    if !b_norm_sq.is_finite() {
+        // NaN/Inf already in the right-hand side: no iteration can help.
+        return SolveResult {
+            x: x0.to_vec(),
+            iterations: 0,
+            converged: false,
+            residual: f64::NAN,
+            error: Some(SolveError::NonFinite { iteration: 0 }),
+        };
+    }
     let threshold_sq = if b_norm_sq > 0.0 {
         opts.tol * opts.tol * b_norm_sq
     } else {
@@ -235,6 +334,7 @@ pub fn pcg_fused<P: Preconditioner + ?Sized>(
             iterations: 0,
             converged: true,
             residual: r_norm_sq.sqrt(),
+            error: None,
         };
     }
 
@@ -250,6 +350,7 @@ pub fn pcg_fused<P: Preconditioner + ?Sized>(
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut error = None;
     while iterations < opts.max_iters {
         iterations += 1;
         // Launches 1–2: q = A p with per-row-block p·q partials fused into
@@ -269,7 +370,8 @@ pub fn pcg_fused<P: Preconditioner + ?Sized>(
         );
         if pq <= 0.0 || !pq.is_finite() {
             // Indefinite or broken operator — the kernel left x and r
-            // untouched; bail with the current iterate.
+            // untouched; bail with the current iterate and a reason.
+            error = Some(breakdown_reason(pq, iterations));
             break;
         }
         if fast_precond {
@@ -310,6 +412,7 @@ pub fn pcg_fused<P: Preconditioner + ?Sized>(
         iterations,
         converged,
         residual: r_norm_sq.max(0.0).sqrt(),
+        error,
     }
 }
 
@@ -677,6 +780,83 @@ mod tests {
         assert!(!fused.converged);
         assert_eq!(fused.iterations, unfused.iterations);
         assert_eq!(fused.x, unfused.x, "breakdown must not corrupt the iterate");
+    }
+
+    #[test]
+    fn breakdown_is_distinguishable_from_iteration_cap() {
+        // An SPD matrix perturbed to indefiniteness (one diagonal block
+        // flipped) must report `IndefiniteOperator`, not just a bare
+        // `converged = false` — a cap exit must stay reason-less.
+        let m = SymBlockMatrix::random_spd(12, 2.0, 41);
+        let mut indef = m.clone();
+        indef.diag[3] = indef.diag[3].scale(-40.0);
+        let h = Hsbcsr::from_sym(&indef);
+        let d = dev();
+        let b: Vec<f64> = (0..indef.dim()).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x0 = vec![0.0; indef.dim()];
+        let mut ws = PcgWorkspace::new();
+
+        let unfused = pcg(
+            &d,
+            &HsbcsrMat { m: &h },
+            &b,
+            &x0,
+            &Identity,
+            PcgOptions::default(),
+        );
+        let fused = pcg_fused(&d, &h, &b, &x0, &Identity, PcgOptions::default(), &mut ws);
+        for res in [&unfused, &fused] {
+            assert!(!res.converged);
+            assert!(res.broke_down());
+            match res.error {
+                Some(SolveError::IndefiniteOperator { pq, iteration }) => {
+                    assert!(pq <= 0.0, "reported curvature must be non-positive: {pq}");
+                    assert!(iteration >= 1);
+                }
+                other => panic!("expected IndefiniteOperator, got {other:?}"),
+            }
+        }
+
+        // Iteration-cap exit: converged = false but *no* error.
+        let (spd, b2) = problem(30, 42);
+        let h2 = Hsbcsr::from_sym(&spd);
+        let capped = pcg_fused(
+            &d,
+            &h2,
+            &b2,
+            &vec![0.0; spd.dim()],
+            &Identity,
+            PcgOptions {
+                tol: 1e-30,
+                max_iters: 2,
+            },
+            &mut ws,
+        );
+        assert!(!capped.converged);
+        assert!(!capped.broke_down(), "cap exit must not be a breakdown");
+    }
+
+    #[test]
+    fn nan_rhs_is_rejected_before_iterating() {
+        let (m, mut b) = problem(8, 43);
+        b[5] = f64::NAN;
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let x0 = vec![0.0; m.dim()];
+        let mut ws = PcgWorkspace::new();
+        let fused = pcg_fused(&d, &h, &b, &x0, &Identity, PcgOptions::default(), &mut ws);
+        assert!(!fused.converged);
+        assert_eq!(fused.error, Some(SolveError::NonFinite { iteration: 0 }));
+        assert_eq!(fused.x, x0, "iterate must stay at the warm start");
+        let unfused = pcg(
+            &d,
+            &HsbcsrMat { m: &h },
+            &b,
+            &x0,
+            &Identity,
+            PcgOptions::default(),
+        );
+        assert_eq!(unfused.error, Some(SolveError::NonFinite { iteration: 0 }));
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! product. The paper measures 0.059 ms construction / 0.011 ms apply —
 //! the cheapest of the three — at the cost of the most iterations (275).
 
-use super::Preconditioner;
+use super::{PrecondError, Preconditioner};
 use dda_simt::Device;
 use dda_sparse::{Block6, Hsbcsr};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Block-Jacobi preconditioner with precomputed 6×6 inverses.
 pub struct BlockJacobi {
@@ -22,53 +23,87 @@ impl BlockJacobi {
     ///
     /// # Panics
     /// Panics when a diagonal sub-matrix is singular — in DDA the inertia
-    /// term guarantees it never is (§IV-A).
+    /// term guarantees it never is (§IV-A). Use [`BlockJacobi::try_new`]
+    /// when the matrix comes from untrusted scene input.
     pub fn new(dev: &Device, m: &Hsbcsr) -> BlockJacobi {
+        BlockJacobi::try_new(dev, m)
+            .unwrap_or_else(|e| panic!("Block-Jacobi construction failed: {e}"))
+    }
+
+    /// Fallible construction: reports the first singular (or non-finite)
+    /// diagonal sub-matrix as a structured [`PrecondError`] instead of
+    /// panicking inside the construction kernel.
+    pub fn try_new(dev: &Device, m: &Hsbcsr) -> Result<BlockJacobi, PrecondError> {
         let mut bj = BlockJacobi {
             n: m.n,
             dinv: vec![0.0f64; 36 * m.n],
         };
-        bj.compute(dev, m);
-        bj
+        bj.compute(dev, m)?;
+        Ok(bj)
     }
 
     /// Recomputes the inverses in place — the identical single launch as
     /// construction, but reusing the existing allocation. The pipeline's
     /// solver cache calls this every solve, since the diagonal values
     /// change with the contact springs even when the pattern is stable.
+    ///
+    /// # Panics
+    /// Panics on a singular diagonal sub-matrix, like [`BlockJacobi::new`].
     pub fn refactor(&mut self, dev: &Device, m: &Hsbcsr) {
+        self.try_refactor(dev, m)
+            .unwrap_or_else(|e| panic!("Block-Jacobi refactor failed: {e}"))
+    }
+
+    /// Fallible in-place refactor, reporting singular blocks structurally.
+    pub fn try_refactor(&mut self, dev: &Device, m: &Hsbcsr) -> Result<(), PrecondError> {
         if self.n != m.n {
             self.n = m.n;
             self.dinv.clear();
             self.dinv.resize(36 * m.n, 0.0);
         }
-        self.compute(dev, m);
+        self.compute(dev, m)
     }
 
-    fn compute(&mut self, dev: &Device, m: &Hsbcsr) {
-        let b_d = dev.bind_ro(&m.d_data);
-        let b_out = dev.bind(self.dinv.as_mut_slice());
-        let pad = m.pad_d;
-        dev.launch("precond.bj.construct", m.n, |lane| {
-            let i = lane.gid;
-            let mut blk = Block6::ZERO;
-            for r in 0..6 {
-                for c in 0..6 {
-                    // Sliced layout: coalesced across threads.
-                    blk.0[r][c] = lane.ld(&b_d, Hsbcsr::sliced_index(pad, i, r, c));
+    fn compute(&mut self, dev: &Device, m: &Hsbcsr) -> Result<(), PrecondError> {
+        // Lanes run concurrently, so a failed inverse is flagged through an
+        // atomic min (lowest failing block wins) and checked after the
+        // launch; the kernel itself never panics on scene data.
+        let singular = AtomicUsize::new(usize::MAX);
+        {
+            let b_d = dev.bind_ro(&m.d_data);
+            let b_out = dev.bind(self.dinv.as_mut_slice());
+            let pad = m.pad_d;
+            let flag = &singular;
+            dev.launch("precond.bj.construct", m.n, |lane| {
+                let i = lane.gid;
+                let mut blk = Block6::ZERO;
+                let mut finite = true;
+                for r in 0..6 {
+                    for c in 0..6 {
+                        // Sliced layout: coalesced across threads.
+                        let v = lane.ld(&b_d, Hsbcsr::sliced_index(pad, i, r, c));
+                        finite &= v.is_finite();
+                        blk.0[r][c] = v;
+                    }
                 }
-            }
-            // 6×6 Gauss–Jordan ≈ 2·6³ flops.
-            lane.flop(430);
-            let inv = blk
-                .inverse()
-                .unwrap_or_else(|| panic!("singular diagonal sub-matrix {i}"));
-            for r in 0..6 {
-                for c in 0..6 {
-                    lane.st(&b_out, i * 36 + r * 6 + c, inv.0[r][c]);
+                // 6×6 Gauss–Jordan ≈ 2·6³ flops.
+                lane.flop(430);
+                let inv = if finite { blk.inverse() } else { None };
+                let out = inv.unwrap_or_else(|| {
+                    flag.fetch_min(i, Ordering::Relaxed);
+                    Block6::ZERO
+                });
+                for r in 0..6 {
+                    for c in 0..6 {
+                        lane.st(&b_out, i * 36 + r * 6 + c, out.0[r][c]);
+                    }
                 }
-            }
-        });
+            });
+        }
+        match singular.load(Ordering::Relaxed) {
+            usize::MAX => Ok(()),
+            block => Err(PrecondError::SingularBlock { block }),
+        }
     }
 
     /// The inverse of diagonal block `i` (diagnostics/tests).
@@ -195,6 +230,22 @@ mod tests {
         for i in 0..12 {
             assert_eq!(bj.block_inverse(i), fresh.block_inverse(i), "block {i}");
         }
+    }
+
+    #[test]
+    fn singular_block_reports_structured_error() {
+        let mut m = SymBlockMatrix::random_spd(5, 2.0, 6);
+        m.diag[3] = Block6::ZERO;
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        assert_eq!(
+            BlockJacobi::try_new(&d, &h).err(),
+            Some(PrecondError::SingularBlock { block: 3 })
+        );
+        // Refactor from a healthy factorization hits the same guard.
+        let good = Hsbcsr::from_sym(&SymBlockMatrix::random_spd(5, 2.0, 7));
+        let mut bj = BlockJacobi::new(&d, &good);
+        assert!(bj.try_refactor(&d, &h).is_err());
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //! preconditioner in the paper; here the factorization and solves are our
 //! own, with the factorization's sequential cost modeled explicitly.
 
-use super::Preconditioner;
+use super::{PrecondError, Preconditioner};
 use crate::tri::{levels_lower, levels_upper, solve_lower, solve_upper, LevelSchedule};
 use dda_simt::{Device, KernelStats};
 use dda_sparse::Csr;
+
+/// Relative pivot floor: a pivot smaller than this times the largest
+/// initial diagonal magnitude would put near-Inf factors into L and poison
+/// every subsequent solve, so it is rejected as structurally zero.
+const PIVOT_REL_FLOOR: f64 = 1e-14;
 
 /// ILU(0) factors and their level schedules.
 pub struct Ilu0 {
@@ -35,9 +40,18 @@ impl Ilu0 {
     /// construction against 0.059 ms for Block-Jacobi.
     ///
     /// # Panics
-    /// Panics on a zero pivot (cannot happen for the SPD, diagonally
-    /// boosted matrices DDA produces).
+    /// Panics on a zero, near-zero or non-finite pivot (cannot happen for
+    /// the SPD, diagonally boosted matrices DDA produces). Use
+    /// [`Ilu0::try_new`] when the matrix comes from untrusted scene input.
     pub fn new(dev: &Device, a: &Csr) -> Ilu0 {
+        Ilu0::try_new(dev, a).unwrap_or_else(|e| panic!("ILU(0) factorization failed: {e}"))
+    }
+
+    /// Fallible construction: reports a structured [`PrecondError`] on a
+    /// zero/near-zero/non-finite pivot or a missing diagonal entry, instead
+    /// of producing Inf factors or panicking. The pipeline's fallback
+    /// ladder uses this to skip the rung and degrade to SSOR-AI.
+    pub fn try_new(dev: &Device, a: &Csr) -> Result<Ilu0, PrecondError> {
         let n = a.dim;
         let mut values = a.values.clone();
 
@@ -48,6 +62,21 @@ impl Ilu0 {
             let hi = row_ptr[row + 1] as usize;
             col_idx[lo..hi].binary_search(&col).ok().map(|o| lo + o)
         };
+
+        // Pivot floor, relative to the matrix's own diagonal scale.
+        let mut max_diag = 0.0f64;
+        for i in 0..n {
+            if let Some(p) = find(i, i as u32, &a.col_idx, &a.row_ptr) {
+                let v = a.values[p];
+                if v.is_finite() {
+                    max_diag = max_diag.max(v.abs());
+                }
+            } else {
+                return Err(PrecondError::MissingDiagonal { row: i });
+            }
+        }
+        let floor = PIVOT_REL_FLOOR * max_diag;
+        let bad_pivot = |v: f64| !v.is_finite() || v.abs() <= floor;
 
         let mut factor_flops = 0u64;
         for i in 1..n {
@@ -61,8 +90,10 @@ impl Ilu0 {
                 // l_ik = a_ik / u_kk
                 let dkk = find(k, k as u32, &a.col_idx, &a.row_ptr)
                     .map(|p| values[p])
-                    .expect("diagonal entry missing");
-                assert!(dkk != 0.0, "zero pivot at row {k}");
+                    .ok_or(PrecondError::MissingDiagonal { row: k })?;
+                if bad_pivot(dkk) {
+                    return Err(PrecondError::ZeroPivot { row: k, pivot: dkk });
+                }
                 values[kp] /= dkk;
                 let lik = values[kp];
                 factor_flops += 1;
@@ -74,6 +105,17 @@ impl Ilu0 {
                         factor_flops += 2;
                     }
                 }
+            }
+        }
+        // The last pivot never divides during elimination but does in the
+        // backward solve — check every factored diagonal before accepting.
+        for i in 0..n {
+            let p = find(i, i as u32, &a.col_idx, &a.row_ptr).expect("checked above");
+            if bad_pivot(values[p]) {
+                return Err(PrecondError::ZeroPivot {
+                    row: i,
+                    pivot: values[p],
+                });
             }
         }
 
@@ -97,12 +139,12 @@ impl Ilu0 {
         };
         dev.record_external("precond.ilu.construct", stats);
 
-        Ilu0 {
+        Ok(Ilu0 {
             l,
             u,
             lsched,
             usched,
-        }
+        })
     }
 
     /// Level-schedule diagnostics: `(forward depth, backward depth)`.
@@ -244,6 +286,45 @@ mod tests {
         assert!(st.launches > 1, "factorization must be level-bound");
         let (fd, bd) = ilu.level_depths();
         assert!(fd > 1 && bd > 1);
+    }
+
+    #[test]
+    fn zero_pivot_reports_structured_error() {
+        // Zero out one diagonal block: the factorization must refuse with
+        // a ZeroPivot instead of dividing through and emitting Inf factors.
+        let mut m = SymBlockMatrix::random_spd(6, 2.0, 7);
+        m.diag[2] = dda_sparse::Block6::ZERO;
+        let a = Csr::from_sym_full(&m);
+        let d = dev();
+        match Ilu0::try_new(&d, &a) {
+            Err(PrecondError::ZeroPivot { row, pivot }) => {
+                assert_eq!(row / 6, 2, "pivot failure must be in block 2");
+                assert!(pivot.abs() <= 1e-10, "reported pivot {pivot}");
+            }
+            other => panic!("expected ZeroPivot, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn nan_matrix_reports_structured_error() {
+        let m = SymBlockMatrix::random_spd(4, 2.0, 8);
+        let mut a = Csr::from_sym_full(&m);
+        a.values[0] = f64::NAN;
+        let d = dev();
+        assert!(
+            matches!(Ilu0::try_new(&d, &a), Err(PrecondError::ZeroPivot { .. })),
+            "NaN factors must be rejected"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ILU(0) factorization failed")]
+    fn panicking_constructor_preserves_old_contract() {
+        let mut m = SymBlockMatrix::random_spd(4, 2.0, 9);
+        m.diag[0] = dda_sparse::Block6::ZERO;
+        let a = Csr::from_sym_full(&m);
+        let d = dev();
+        let _ = Ilu0::new(&d, &a);
     }
 
     #[test]

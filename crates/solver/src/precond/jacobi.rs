@@ -7,9 +7,10 @@
 //! the 6×6 coupling inside each block, so it needs more iterations than
 //! BJ on DDA matrices, at an even lower per-apply cost.
 
-use super::Preconditioner;
+use super::{PrecondError, Preconditioner};
 use dda_simt::Device;
 use dda_sparse::Hsbcsr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Scalar-diagonal Jacobi preconditioner.
 pub struct Jacobi {
@@ -20,24 +21,42 @@ impl Jacobi {
     /// Extracts and inverts the scalar diagonal on the device.
     ///
     /// # Panics
-    /// Panics on a zero scalar diagonal entry.
+    /// Panics on a zero or non-finite scalar diagonal entry. Use
+    /// [`Jacobi::try_new`] when the matrix comes from untrusted scene
+    /// input.
     pub fn new(dev: &Device, m: &Hsbcsr) -> Jacobi {
+        Jacobi::try_new(dev, m).unwrap_or_else(|e| panic!("Jacobi construction failed: {e}"))
+    }
+
+    /// Fallible construction: reports the first zero/non-finite scalar
+    /// diagonal entry as a structured [`PrecondError`].
+    pub fn try_new(dev: &Device, m: &Hsbcsr) -> Result<Jacobi, PrecondError> {
         let dim = m.n * 6;
         let mut inv_diag = vec![0.0f64; dim];
+        let bad = AtomicUsize::new(usize::MAX);
         {
             let b_d = dev.bind_ro(&m.d_data);
             let b_out = dev.bind(&mut inv_diag);
             let pad = m.pad_d;
+            let flag = &bad;
             dev.launch("precond.jacobi.construct", dim, |lane| {
                 let i = lane.gid / 6;
                 let r = lane.gid % 6;
                 let v = lane.ld(&b_d, Hsbcsr::sliced_index(pad, i, r, r));
-                assert!(v != 0.0, "zero diagonal at scalar row {}", lane.gid);
                 lane.flop(1);
-                lane.st(&b_out, lane.gid, 1.0 / v);
+                let inv = if v != 0.0 && v.is_finite() {
+                    1.0 / v
+                } else {
+                    flag.fetch_min(lane.gid, Ordering::Relaxed);
+                    0.0
+                };
+                lane.st(&b_out, lane.gid, inv);
             });
         }
-        Jacobi { inv_diag }
+        match bad.load(Ordering::Relaxed) {
+            usize::MAX => Ok(Jacobi { inv_diag }),
+            row => Err(PrecondError::ZeroDiagonal { row }),
+        }
     }
 }
 

@@ -28,6 +28,57 @@ pub use ssor_ai::SsorAi;
 
 use dda_simt::Device;
 
+/// Structured construction failure: the matrix handed to a preconditioner
+/// cannot be factored. These feed the pipeline's degradation ladder
+/// (ILU0 → SSOR-AI → Block-Jacobi → Jacobi): a rung that fails to
+/// construct is skipped instead of panicking mid-solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrecondError {
+    /// A pivot was zero, nearly zero (relative to the largest diagonal
+    /// entry), or non-finite during ILU(0) factorization.
+    ZeroPivot {
+        /// Scalar row of the offending pivot.
+        row: usize,
+        /// The pivot value encountered.
+        pivot: f64,
+    },
+    /// A structurally required diagonal entry is absent from the pattern.
+    MissingDiagonal {
+        /// Scalar row with no stored diagonal.
+        row: usize,
+    },
+    /// A 6×6 diagonal sub-matrix is singular or non-finite (Block-Jacobi
+    /// and SSOR-AI construction).
+    SingularBlock {
+        /// Index of the offending block row.
+        block: usize,
+    },
+    /// A scalar diagonal entry is zero or non-finite (point Jacobi).
+    ZeroDiagonal {
+        /// Scalar row of the offending entry.
+        row: usize,
+    },
+}
+
+impl core::fmt::Display for PrecondError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PrecondError::ZeroPivot { row, pivot } => {
+                write!(f, "zero or non-finite pivot {pivot} at row {row}")
+            }
+            PrecondError::MissingDiagonal { row } => {
+                write!(f, "diagonal entry missing at row {row}")
+            }
+            PrecondError::SingularBlock { block } => {
+                write!(f, "singular diagonal sub-matrix {block}")
+            }
+            PrecondError::ZeroDiagonal { row } => {
+                write!(f, "zero or non-finite diagonal at scalar row {row}")
+            }
+        }
+    }
+}
+
 /// Application interface: `z = M⁻¹ r` on the device.
 pub trait Preconditioner {
     /// Short name used in reports ("BJ", "SSOR", "ILU").

@@ -22,7 +22,7 @@
 //! conflicts.
 
 use super::block_jacobi::{block_diag_apply, BlockJacobi};
-use super::Preconditioner;
+use super::{PrecondError, Preconditioner};
 use dda_simt::Device;
 use dda_sparse::Hsbcsr;
 
@@ -36,6 +36,11 @@ pub struct SsorAi<'m> {
 impl<'m> SsorAi<'m> {
     /// Builds the preconditioner. `omega ∈ (0, 2)`; the paper's reference
     /// uses values near 1.
+    ///
+    /// # Panics
+    /// Panics on a bad `omega` or a singular diagonal sub-matrix (the
+    /// construction reuses Block-Jacobi's inverses). Use
+    /// [`SsorAi::try_new`] for untrusted scene input.
     pub fn new(dev: &Device, m: &'m Hsbcsr, omega: f64) -> SsorAi<'m> {
         assert!(
             omega > 0.0 && omega < 2.0,
@@ -46,6 +51,21 @@ impl<'m> SsorAi<'m> {
             bj: BlockJacobi::new(dev, m),
             omega,
         }
+    }
+
+    /// Fallible construction: reports a singular diagonal sub-matrix as a
+    /// structured [`PrecondError`] (a bad `omega` still panics — that is a
+    /// programming error, not a property of the scene).
+    pub fn try_new(dev: &Device, m: &'m Hsbcsr, omega: f64) -> Result<SsorAi<'m>, PrecondError> {
+        assert!(
+            omega > 0.0 && omega < 2.0,
+            "SSOR relaxation must be in (0,2)"
+        );
+        Ok(SsorAi {
+            m,
+            bj: BlockJacobi::try_new(dev, m)?,
+            omega,
+        })
     }
 
     /// `y_c = Σ_{k : col(k) = c} B_kᵀ x_{row(k)}` — the strict-lower product

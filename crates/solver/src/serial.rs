@@ -6,7 +6,7 @@
 //! matrix with [`CpuCounter`] instrumentation, so the harness can convert
 //! the same algorithmic work into modeled E5620 seconds.
 
-use crate::pcg::{PcgOptions, SolveResult};
+use crate::pcg::{PcgOptions, SolveError, SolveResult};
 use dda_simt::serial::CpuCounter;
 use dda_sparse::{Block6, SymBlockMatrix};
 
@@ -27,12 +27,24 @@ pub fn pcg_serial_bj(
     assert_eq!(b.len(), dim);
     assert_eq!(x0.len(), dim);
 
-    // Preconditioner construction: invert the diagonal blocks.
-    let dinv: Vec<Block6> = m
-        .diag
-        .iter()
-        .map(|d| d.inverse().expect("singular diagonal block"))
-        .collect();
+    // Preconditioner construction: invert the diagonal blocks. A singular
+    // block (malformed scene input: zero-mass block, degenerate geometry)
+    // is reported as a structured breakdown instead of panicking.
+    let mut dinv: Vec<Block6> = Vec::with_capacity(m.n_blocks());
+    for (i, d) in m.diag.iter().enumerate() {
+        match d.inverse() {
+            Some(inv) => dinv.push(inv),
+            None => {
+                return SolveResult {
+                    x: x0.to_vec(),
+                    iterations: 0,
+                    converged: false,
+                    residual: f64::NAN,
+                    error: Some(SolveError::SingularPreconditioner { block: i }),
+                }
+            }
+        }
+    }
     counter.flop(430 * m.n_blocks() as u64);
     counter.bytes(2 * 36 * 8 * m.n_blocks() as u64);
 
@@ -56,6 +68,15 @@ pub fn pcg_serial_bj(
     };
 
     let b_norm_sq = dot(b, b, counter);
+    if !b_norm_sq.is_finite() {
+        return SolveResult {
+            x: x0.to_vec(),
+            iterations: 0,
+            converged: false,
+            residual: f64::NAN,
+            error: Some(SolveError::NonFinite { iteration: 0 }),
+        };
+    }
     let threshold_sq = if b_norm_sq > 0.0 {
         opts.tol * opts.tol * b_norm_sq
     } else {
@@ -76,6 +97,7 @@ pub fn pcg_serial_bj(
             iterations: 0,
             converged: true,
             residual: r_norm_sq.sqrt(),
+            error: None,
         };
     }
 
@@ -84,6 +106,7 @@ pub fn pcg_serial_bj(
     let mut rz = dot(&r, &z, counter);
     let mut iterations = 0;
     let mut converged = false;
+    let mut error = None;
 
     while iterations < opts.max_iters {
         iterations += 1;
@@ -92,6 +115,16 @@ pub fn pcg_serial_bj(
         counter.bytes(spmv_bytes);
         let pq = dot(&p, &q, counter);
         if pq <= 0.0 || !pq.is_finite() {
+            error = Some(if pq.is_finite() {
+                SolveError::IndefiniteOperator {
+                    pq,
+                    iteration: iterations,
+                }
+            } else {
+                SolveError::NonFinite {
+                    iteration: iterations,
+                }
+            });
             break;
         }
         let alpha = rz / pq;
@@ -122,6 +155,7 @@ pub fn pcg_serial_bj(
         iterations,
         converged,
         residual: r_norm_sq.max(0.0).sqrt(),
+        error,
     }
 }
 

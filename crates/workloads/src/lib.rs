@@ -9,6 +9,8 @@
 //! on — block count, contact density, matrix structure, and the
 //! static/dynamic split (see `DESIGN.md`, substitution table).
 //!
+//! * [`adversarial`] — malformed/hostile scenes (NaN contamination,
+//!   stiffness contrast) for the health-monitoring and quarantine paths;
 //! * [`cutter`] — joint-set block cutter: convex regions split by families
 //!   of parallel joint lines;
 //! * [`slope`] — case-1 generator (jointed slope cross-section);
@@ -19,12 +21,14 @@
 
 #![deny(missing_docs)]
 
+pub mod adversarial;
 pub mod cutter;
 pub mod fleet;
 pub mod render;
 pub mod rockfall;
 pub mod slope;
 
+pub use adversarial::{nan_contaminated_scene, stiff_contrast_scene};
 pub use fleet::{rockfall_fleet, FleetConfig};
 pub use rockfall::{rockfall_case, RockfallConfig};
 pub use slope::{slope_case, SlopeConfig};
