@@ -55,5 +55,8 @@ pub mod update;
 pub use block::Block;
 pub use material::{BlockMaterial, JointMaterial};
 pub use params::DdaParams;
-pub use pipeline::{HealthPolicy, SceneHealth, SlotState, StepError};
+pub use pipeline::{
+    BatchScheduler, HealthPolicy, IngestConfig, IngestError, Priority, SceneCheckpoint,
+    SceneHealth, SceneStatus, SceneSubmission, SlotState, StepError, Ticket,
+};
 pub use system::BlockSystem;

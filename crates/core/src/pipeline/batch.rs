@@ -104,6 +104,30 @@ struct SceneSlot {
     health: SceneHealth,
 }
 
+/// Full-fidelity snapshot of one slot's scene: everything needed to
+/// re-create the scene elsewhere (another slot, another batch, another
+/// process) with a bit-identical trajectory — the evolving system, the
+/// parameters (including Δt backoff), the contact set (whose transfer
+/// history seeds the next detection), the PCG warm start, the per-module
+/// accounting, and the health record. Derived caches (SoA mirrors, solver
+/// format cache) are deliberately absent: they are rebuilt deterministically
+/// and never influence trajectory values.
+#[derive(Debug, Clone)]
+pub struct SceneState {
+    /// The evolving block system.
+    pub sys: BlockSystem,
+    /// Analysis parameters (Δt carries the backoff state).
+    pub params: DdaParams,
+    /// Current contact set (transfer history).
+    pub contacts: Vec<Contact>,
+    /// Previous accepted solution (PCG warm start / loop-3 seed).
+    pub x_prev: Vec<f64>,
+    /// Accumulated modeled seconds per module.
+    pub times: ModuleTimes,
+    /// Lifecycle health record at snapshot time.
+    pub health: SceneHealth,
+}
+
 /// Steps N independent scenes concurrently on one modeled device (see the
 /// module docs for the batching model and the scene lifecycle).
 pub struct SceneBatch {
@@ -136,6 +160,25 @@ impl SceneBatch {
         }
     }
 
+    /// An empty batch: no slots yet, scenes arrive through
+    /// [`SceneBatch::admit`] (this is how the ingestion scheduler starts a
+    /// fleet). Stepping an empty batch is a safe no-op.
+    pub fn empty(dev: Device) -> SceneBatch {
+        SceneBatch {
+            dev,
+            slots: Vec::new(),
+            policy: HealthPolicy::default(),
+            step_index: 0,
+            launches_in: 0,
+            launches_out: 0,
+        }
+    }
+
+    /// The batch's step counter (increments once per [`SceneBatch::step`]).
+    pub fn step_index(&self) -> u64 {
+        self.step_index
+    }
+
     /// Overrides the degradation policy (retry budget, stall limit,
     /// divergence bound).
     pub fn with_policy(mut self, policy: HealthPolicy) -> SceneBatch {
@@ -161,10 +204,43 @@ impl SceneBatch {
     /// launches of the following [`SceneBatch::step`] without draining the
     /// batch. Reuses a retired slot when one is free (keeping batch
     /// regions dense), otherwise appends. Returns the slot index.
+    ///
+    /// A reused slot is rebuilt from scratch — fresh scene payload *and*
+    /// fresh [`SceneHealth`] — so a new scene can never inherit its
+    /// predecessor's failure counters or Δt backoff.
     pub fn admit(&mut self, sys: BlockSystem, params: DdaParams) -> usize {
-        let slot = SceneSlot {
-            scene: Some(BatchScene::new(sys, params)),
+        self.admit_state(SceneState {
+            x_prev: vec![0.0; 6 * sys.len()],
+            sys,
+            params,
+            contacts: Vec::new(),
+            times: ModuleTimes::default(),
             health: SceneHealth::new_running(),
+        })
+    }
+
+    /// Admits a previously captured [`SceneState`] — the restore half of
+    /// checkpointing and the mechanism behind requeue-after-repair. The
+    /// scene resumes with its saved system, contact history, warm start,
+    /// Δt backoff, and health record, so its continued trajectory is
+    /// bit-identical to never having left the batch. Placement follows
+    /// [`SceneBatch::admit`] (retired slot first, else append).
+    pub fn admit_state(&mut self, st: SceneState) -> usize {
+        let SceneState {
+            sys,
+            params,
+            contacts,
+            x_prev,
+            times,
+            health,
+        } = st;
+        let mut scene = BatchScene::new(sys, params);
+        scene.contacts = contacts;
+        scene.x_prev = x_prev;
+        scene.times = times;
+        let slot = SceneSlot {
+            scene: Some(scene),
+            health,
         };
         match self
             .slots
@@ -186,9 +262,104 @@ impl SceneBatch {
     /// scene's final block system (`None` if the slot was already empty).
     /// Works on any state — finished scenes and quarantined ones alike.
     pub fn retire(&mut self, i: usize) -> Option<BlockSystem> {
-        let slot = &mut self.slots[i];
-        slot.health.state = SlotState::Retired;
-        slot.scene.take().map(|sc| sc.sys)
+        self.extract(i).map(|st| st.sys)
+    }
+
+    /// Retires slot `i` and hands back the scene's **full** state — system,
+    /// parameters, contacts, warm start, times, and the pre-retirement
+    /// health record — so the caller can repair and resubmit it, or
+    /// checkpoint it. The slot itself is left with a clean
+    /// [`SceneHealth::retired`] record (no inherited degradation).
+    pub fn extract(&mut self, i: usize) -> Option<SceneState> {
+        let slot = self.slots.get_mut(i)?;
+        let health = std::mem::replace(&mut slot.health, SceneHealth::retired());
+        let sc = slot.scene.take()?;
+        Some(SceneState {
+            sys: sc.sys,
+            params: sc.params,
+            contacts: sc.contacts,
+            x_prev: sc.x_prev,
+            times: sc.times,
+            health,
+        })
+    }
+
+    /// A clone of slot `i`'s full scene state (`None` for empty slots) —
+    /// the capture half of checkpointing. Must be taken at a step boundary
+    /// for the snapshot to be resumable.
+    pub fn scene_state(&self, i: usize) -> Option<SceneState> {
+        let slot = self.slots.get(i)?;
+        let sc = slot.scene.as_ref()?;
+        Some(SceneState {
+            sys: sc.sys.clone(),
+            params: sc.params.clone(),
+            contacts: sc.contacts.clone(),
+            x_prev: sc.x_prev.clone(),
+            times: sc.times,
+            health: slot.health.clone(),
+        })
+    }
+
+    /// Compacts the batch at a step boundary: retired slots are removed and
+    /// surviving scenes move down into the lowest indices, so merged batch
+    /// regions stop carrying dead segments (a region's modeled cost is the
+    /// `max` over member segments — empty trailing slots are pure waste).
+    ///
+    /// Returns the old→new slot mapping (`None` for removed slots). Scene
+    /// payloads are *moved*, never rebuilt, so surviving trajectories are
+    /// bit-identical by construction — and asserted, via a state
+    /// fingerprint taken on each side of the move. Armed fault injections
+    /// (under `fault-inject`) are remapped to follow their scenes.
+    pub fn compact(&mut self) -> Vec<Option<usize>> {
+        let n = self.slots.len();
+        let before: Vec<Option<u64>> = (0..n).map(|i| self.fingerprint(i)).collect();
+        let mut map: Vec<Option<usize>> = vec![None; n];
+        let old = std::mem::take(&mut self.slots);
+        for (i, slot) in old.into_iter().enumerate() {
+            if slot.health.state == SlotState::Retired {
+                continue;
+            }
+            map[i] = Some(self.slots.len());
+            self.slots.push(slot);
+        }
+        for (old_i, &new_i) in map.iter().enumerate() {
+            if let Some(new_i) = new_i {
+                assert_eq!(
+                    before[old_i],
+                    self.fingerprint(new_i),
+                    "compaction must preserve scene state bit-for-bit \
+                     (slot {old_i} -> {new_i})"
+                );
+            }
+        }
+        #[cfg(feature = "fault-inject")]
+        self.dev.remap_fault_segments(&map);
+        map
+    }
+
+    /// FNV-1a over the bits of scene `i`'s kinematic state (centroids,
+    /// velocities, warm start, Δt) — `None` for empty slots. Collision-safe
+    /// enough for the compaction assertion; never fed back into physics.
+    fn fingerprint(&self, i: usize) -> Option<u64> {
+        let sc = self.scene(i)?;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bits: u64| {
+            h ^= bits;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for b in &sc.sys.blocks {
+            let c = b.centroid();
+            eat(c.x.to_bits());
+            eat(c.y.to_bits());
+            for dof in 0..6 {
+                eat(b.velocity[dof].to_bits());
+            }
+        }
+        for x in &sc.x_prev {
+            eat(x.to_bits());
+        }
+        eat(sc.params.dt.to_bits());
+        Some(h)
     }
 
     /// Slot `i`'s health record (state machine position, failure counters,
@@ -207,32 +378,33 @@ impl SceneBatch {
         &self.dev
     }
 
-    fn scene(&self, i: usize) -> &BatchScene {
-        self.slots[i]
-            .scene
-            .as_ref()
-            .expect("slot holds a live scene")
+    fn scene(&self, i: usize) -> Option<&BatchScene> {
+        self.slots.get(i)?.scene.as_ref()
     }
 
-    /// Scene `i`'s evolving block system. Panics if the slot was retired.
-    pub fn sys(&self, i: usize) -> &BlockSystem {
-        &self.scene(i).sys
+    /// Scene `i`'s evolving block system (`None` once the slot is retired
+    /// or out of range).
+    pub fn sys(&self, i: usize) -> Option<&BlockSystem> {
+        self.scene(i).map(|sc| &sc.sys)
     }
 
-    /// Scene `i`'s analysis parameters (Δt adapts per scene).
-    pub fn params(&self, i: usize) -> &DdaParams {
-        &self.scene(i).params
+    /// Scene `i`'s analysis parameters (Δt adapts per scene). `None` once
+    /// the slot is retired or out of range.
+    pub fn params(&self, i: usize) -> Option<&DdaParams> {
+        self.scene(i).map(|sc| &sc.params)
     }
 
-    /// Scene `i`'s current contact set.
-    pub fn contacts(&self, i: usize) -> &[Contact] {
-        &self.scene(i).contacts
+    /// Scene `i`'s current contact set (`None` once the slot is retired or
+    /// out of range).
+    pub fn contacts(&self, i: usize) -> Option<&[Contact]> {
+        self.scene(i).map(|sc| sc.contacts.as_slice())
     }
 
     /// Scene `i`'s accumulated modeled seconds per module (its share of
-    /// every merged launch, split by modeled work).
-    pub fn times(&self, i: usize) -> &ModuleTimes {
-        &self.scene(i).times
+    /// every merged launch, split by modeled work). `None` once the slot
+    /// is retired or out of range.
+    pub fn times(&self, i: usize) -> Option<&ModuleTimes> {
+        self.scene(i).map(|sc| &sc.times)
     }
 
     /// Sum of all scenes' module times.
@@ -294,14 +466,17 @@ impl SceneBatch {
         let n = self.slots.len();
         self.dev.batch_begin(n);
         self.dev.batch_segment(i);
-        let res = {
-            let sc = self.slots[i]
-                .scene
-                .as_mut()
-                .expect("stepping slot holds a scene");
-            (|| {
-                let (h, _, ws) = sc.cache.try_prepare(&self.dev, &asm.matrix, false)?;
-                let j = Jacobi::try_new(&self.dev, h)?;
+        let res = match self.slots[i].scene.as_mut() {
+            None => Err(StepError::Internal {
+                what: "rescued slot lost its scene",
+            }),
+            Some(sc) => (|| {
+                let (h, _, ws) = sc
+                    .cache
+                    .try_prepare(&self.dev, &asm.matrix, false)
+                    .map_err(|error| StepError::PreconditionerFailed { error })?;
+                let j = Jacobi::try_new(&self.dev, h)
+                    .map_err(|error| StepError::PreconditionerFailed { error })?;
                 Ok(pcg_fused(
                     &self.dev,
                     h,
@@ -311,21 +486,17 @@ impl SceneBatch {
                     sc.params.pcg,
                     ws,
                 ))
-            })()
+            })(),
         };
         let s = self.dev.batch_end();
         self.charge(s, |t| &mut t.solving);
-        match res {
-            Err(error) => Err(StepError::PreconditionerFailed { error }),
-            Ok(r) => {
-                if let Some(error) = r.error {
-                    Err(StepError::SolverBreakdown { error })
-                } else if !all_finite(&r.x) {
-                    Err(StepError::NonFiniteSolution { oc_iteration: 0 })
-                } else {
-                    Ok(r)
-                }
-            }
+        let r = res?;
+        if let Some(error) = r.error {
+            Err(StepError::SolverBreakdown { error })
+        } else if !all_finite(&r.x) {
+            Err(StepError::NonFiniteSolution { oc_iteration: 0 })
+        } else {
+            Ok(r)
         }
     }
 
@@ -338,7 +509,7 @@ impl SceneBatch {
         self.launches_out = 0;
         self.step_index += 1;
 
-        let stepping: Vec<bool> = self
+        let mut stepping: Vec<bool> = self
             .slots
             .iter()
             .map(|s| s.health.is_stepping() && s.scene.is_some())
@@ -356,7 +527,13 @@ impl SceneBatch {
             if !stepping[i] {
                 continue;
             }
-            let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
+            let Some(sc) = slot.scene.as_mut() else {
+                fault[i] = Some(StepError::Internal {
+                    what: "stepping slot lost its scene",
+                });
+                stepping[i] = false;
+                continue;
+            };
             self.dev.batch_segment(i);
             let touch = sc.params.touch_tol * sc.params.max_displacement;
             let gsoa = GeomSoa::build(&sc.sys);
@@ -388,14 +565,22 @@ impl SceneBatch {
                 if !active[i] {
                     continue;
                 }
-                let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
+                let Some(sc) = slot.scene.as_mut() else {
+                    fault[i] = Some(StepError::Internal {
+                        what: "active slot lost its scene",
+                    });
+                    active[i] = false;
+                    continue;
+                };
+                let Some(bsoa) = sc.bsoa.as_ref() else {
+                    fault[i] = Some(StepError::Internal {
+                        what: "detection skipped the block SoA build",
+                    });
+                    active[i] = false;
+                    continue;
+                };
                 self.dev.batch_segment(i);
-                diag[i] = Some(build_diag_gpu(
-                    &self.dev,
-                    &sc.sys,
-                    sc.bsoa.as_ref().expect("detection builds the SoA"),
-                    &sc.params,
-                ));
+                diag[i] = Some(build_diag_gpu(&self.dev, &sc.sys, bsoa, &sc.params));
             }
             let s = self.dev.batch_end();
             self.charge(s, |t| &mut t.diag_building);
@@ -428,14 +613,29 @@ impl SceneBatch {
                     if !in_oc[i] {
                         continue;
                     }
-                    let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
+                    let Some(sc) = slot.scene.as_mut() else {
+                        fault[i] = Some(StepError::Internal {
+                            what: "iterating slot lost its scene",
+                        });
+                        in_oc[i] = false;
+                        active[i] = false;
+                        continue;
+                    };
+                    let (Some((dg, rhs0)), Some(gsoa)) = (diag[i].as_ref(), sc.gsoa.as_ref())
+                    else {
+                        fault[i] = Some(StepError::Internal {
+                            what: "diag/detection output missing at assembly",
+                        });
+                        in_oc[i] = false;
+                        active[i] = false;
+                        continue;
+                    };
                     self.dev.batch_segment(i);
-                    let (dg, rhs0) = diag[i].as_ref().expect("diag phase ran");
                     #[allow(unused_mut)]
                     let mut asm = assemble_contacts_gpu(
                         &self.dev,
                         &sc.sys,
-                        sc.gsoa.as_ref().expect("detection builds the SoA"),
+                        gsoa,
                         &sc.contacts,
                         &sc.params,
                         dg.clone(),
@@ -466,7 +666,14 @@ impl SceneBatch {
                     if !in_oc[i] {
                         continue;
                     }
-                    let asm = asms[i].as_ref().expect("assembly phase ran");
+                    let Some(asm) = asms[i].as_ref() else {
+                        fault[i] = Some(StepError::Internal {
+                            what: "assembly output missing at RHS scan",
+                        });
+                        in_oc[i] = false;
+                        active[i] = false;
+                        continue;
+                    };
                     if !all_finite(&asm.rhs) {
                         fault[i] = Some(StepError::NonFiniteRhs {
                             oc_iteration: reports[i].oc_iterations,
@@ -488,9 +695,23 @@ impl SceneBatch {
                     if !in_oc[i] {
                         continue;
                     }
-                    let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
+                    let Some(sc) = slot.scene.as_mut() else {
+                        fault[i] = Some(StepError::Internal {
+                            what: "solving slot lost its scene",
+                        });
+                        in_oc[i] = false;
+                        active[i] = false;
+                        continue;
+                    };
+                    let Some(asm) = asm.as_ref() else {
+                        fault[i] = Some(StepError::Internal {
+                            what: "assembly output missing at solve",
+                        });
+                        in_oc[i] = false;
+                        active[i] = false;
+                        continue;
+                    };
                     self.dev.batch_segment(i);
-                    let asm = asm.as_ref().expect("assembly phase ran");
                     let BatchScene {
                         cache,
                         x_prev,
@@ -498,18 +719,20 @@ impl SceneBatch {
                         ..
                     } = sc;
                     match cache.try_prepare(&self.dev, &asm.matrix, true) {
-                        Ok((h, bj, ws)) => {
+                        Ok((h, Some(m), ws)) => {
                             entries.push(PcgBatchEntry {
                                 h,
                                 b: &asm.rhs,
                                 x0: x_prev.as_slice(),
-                                m: bj.expect("try_prepare(want_bj) returns a factorization"),
+                                m,
                                 opts: params.pcg,
                                 ws,
                             });
                             idxs.push(i);
                         }
-                        Err(_) => needs_rescue.push(i),
+                        // A missing factorization (contract breach) degrades
+                        // to the solo rescue path instead of panicking.
+                        Ok((_, None, _)) | Err(_) => needs_rescue.push(i),
                     }
                 }
                 let prep = self.dev.batch_end();
@@ -536,7 +759,14 @@ impl SceneBatch {
                 // region. Failure here is a fault; success keeps the scene
                 // stepping under Degraded.
                 for &i in &needs_rescue {
-                    let asm = asms[i].take().expect("assembly phase ran");
+                    let Some(asm) = asms[i].take() else {
+                        fault[i] = Some(StepError::Internal {
+                            what: "assembly output missing at rescue",
+                        });
+                        in_oc[i] = false;
+                        active[i] = false;
+                        continue;
+                    };
                     match self.rescue_solve(i, &asm) {
                         Ok(res) => {
                             reports[i].pcg_iterations += res.iterations;
@@ -574,13 +804,28 @@ impl SceneBatch {
                     if !in_oc[i] {
                         continue;
                     }
-                    let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
+                    let Some(sc) = slot.scene.as_mut() else {
+                        fault[i] = Some(StepError::Internal {
+                            what: "checking slot lost its scene",
+                        });
+                        in_oc[i] = false;
+                        active[i] = false;
+                        continue;
+                    };
+                    let Some(gsoa) = sc.gsoa.as_ref() else {
+                        fault[i] = Some(StepError::Internal {
+                            what: "detection output missing at gap check",
+                        });
+                        in_oc[i] = false;
+                        active[i] = false;
+                        continue;
+                    };
                     self.dev.batch_segment(i);
                     let open_tol = 1e-6 * sc.params.max_displacement;
                     let freeze = oc_iter + 3 >= sc.params.oc_max_iters;
                     gaps[i] = check_gpu(
                         &self.dev,
-                        sc.gsoa.as_ref().expect("detection builds the SoA"),
+                        gsoa,
                         &sc.sys,
                         &sc.contacts,
                         &d[i],
@@ -627,7 +872,13 @@ impl SceneBatch {
                 if !active[i] {
                     continue;
                 }
-                let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
+                let Some(sc) = slot.scene.as_mut() else {
+                    fault[i] = Some(StepError::Internal {
+                        what: "controlled slot lost its scene",
+                    });
+                    active[i] = false;
+                    continue;
+                };
                 reports[i].oc_converged = oc_conv[i];
                 let maxd = max_displacement(&sc.sys, &d[i]);
                 reports[i].max_displacement = maxd;
@@ -686,7 +937,12 @@ impl SceneBatch {
             if !stepping[i] || fault[i].is_some() {
                 continue;
             }
-            let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
+            let Some(sc) = slot.scene.as_mut() else {
+                fault[i] = Some(StepError::Internal {
+                    what: "classified slot lost its scene",
+                });
+                continue;
+            };
             self.dev.batch_segment(i);
             reports[i].categories = categorize_gpu(&self.dev, &sc.contacts);
         }
@@ -704,7 +960,12 @@ impl SceneBatch {
             if fault[i].is_some() {
                 continue;
             }
-            let sc = slot.scene.as_mut().expect("stepping slot holds a scene");
+            let Some(sc) = slot.scene.as_mut() else {
+                fault[i] = Some(StepError::Internal {
+                    what: "committing slot lost its scene",
+                });
+                continue;
+            };
             self.dev.batch_segment(i);
             reports[i].max_open_penetration = out.gaps.max_open_penetration(&sc.contacts);
             let mut uc = CpuCounter::new();
@@ -736,6 +997,7 @@ impl SceneBatch {
             // Committed step: clear the failure streak; a scene that got
             // here without needing the rescue solve is healthy again.
             slot.health.consecutive_failures = 0;
+            slot.health.steps_committed += 1;
             if slot.health.state == SlotState::Degraded && !rescued[i] {
                 slot.health.state = SlotState::Running;
             }
@@ -831,7 +1093,8 @@ mod tests {
                 assert_eq!(rs.dt.to_bits(), rb[i].dt.to_bits(), "step {step} scene {i}");
                 // Bit-identical state: positions and velocities match
                 // exactly, not merely within tolerance.
-                for (bs, bb) in solo.sys.blocks.iter().zip(&batch.sys(i).blocks) {
+                let bsys = batch.sys(i).expect("live scene");
+                for (bs, bb) in solo.sys.blocks.iter().zip(&bsys.blocks) {
                     let (cs, cb) = (bs.centroid(), bb.centroid());
                     assert_eq!(cs.x.to_bits(), cb.x.to_bits(), "step {step} scene {i}");
                     assert_eq!(cs.y.to_bits(), cb.y.to_bits(), "step {step} scene {i}");
@@ -844,8 +1107,9 @@ mod tests {
                     }
                 }
                 // And the contact bookkeeping agrees.
-                assert_eq!(solo.contacts().len(), batch.contacts(i).len());
-                for (cs, cb) in solo.contacts().iter().zip(batch.contacts(i)) {
+                let bcontacts = batch.contacts(i).expect("live scene");
+                assert_eq!(solo.contacts().len(), bcontacts.len());
+                for (cs, cb) in solo.contacts().iter().zip(bcontacts) {
                     assert_eq!(cs.state, cb.state, "step {step} scene {i}");
                     assert_eq!(
                         cs.edge_ratio.to_bits(),
@@ -908,7 +1172,8 @@ mod tests {
             "attributed {total} s vs device {dev} s"
         );
         for i in 0..3 {
-            assert!(batch.times(i).total() > 0.0, "scene {i} got no time share");
+            let t = batch.times(i).expect("live scene");
+            assert!(t.total() > 0.0, "scene {i} got no time share");
         }
     }
 
@@ -927,7 +1192,8 @@ mod tests {
             let rb = batch.step();
             let rs = solo.step();
             assert_eq!(rs.oc_iterations, rb[slot].oc_iterations, "step {step}");
-            for (bs, bb) in solo.sys.blocks.iter().zip(&batch.sys(slot).blocks) {
+            let bsys = batch.sys(slot).expect("live scene");
+            for (bs, bb) in solo.sys.blocks.iter().zip(&bsys.blocks) {
                 assert_eq!(bs.centroid().x.to_bits(), bb.centroid().x.to_bits());
                 assert_eq!(bs.centroid().y.to_bits(), bb.centroid().y.to_bits());
             }
@@ -963,5 +1229,144 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].oc_iterations, 0, "retired slot must not step");
         assert_eq!(batch.n_live(), 0);
+    }
+
+    #[test]
+    fn empty_batch_steps_and_admits() {
+        let mut batch = SceneBatch::empty(k40());
+        assert_eq!(batch.n_scenes(), 0);
+        assert!(batch.step().is_empty(), "empty batch steps to nothing");
+        let (sys, params) = scene(0);
+        assert_eq!(batch.admit(sys, params), 0);
+        let reports = batch.step();
+        assert!(reports[0].oc_iterations >= 1);
+    }
+
+    #[test]
+    fn accessors_return_none_for_retired_and_out_of_range_slots() {
+        let mut batch = SceneBatch::new(k40(), vec![scene(0)]);
+        assert!(batch.sys(0).is_some());
+        batch.retire(0);
+        assert!(batch.sys(0).is_none());
+        assert!(batch.params(0).is_none());
+        assert!(batch.contacts(0).is_none());
+        assert!(batch.times(0).is_none());
+        assert!(batch.sys(7).is_none(), "out-of-range is None, not a panic");
+    }
+
+    /// Regression (satellite): a reused slot must not inherit its
+    /// predecessor's failure counters or Δt backoff.
+    #[test]
+    fn readmission_resets_health_and_backoff() {
+        let mut batch = SceneBatch::new(k40(), (0..2).map(scene).collect());
+        batch.run(2);
+        // Manufacture a degraded predecessor: poison its health record the
+        // way repeated faults would.
+        {
+            let slot = &mut batch.slots[1];
+            slot.health.consecutive_failures = 3;
+            slot.health.total_faults = 5;
+            slot.health.oc_stall_streak = 4;
+            slot.health.last_error = Some(StepError::OcStalled { streak: 4 });
+            slot.health.state = SlotState::Quarantined;
+            slot.health.quarantined_at_step = Some(2);
+            if let Some(sc) = slot.scene.as_mut() {
+                while sc.params.reduce_dt() {}
+            }
+        }
+        let st = batch.extract(1).expect("quarantined slot holds state");
+        assert_eq!(st.health.total_faults, 5, "extract preserves post-mortem");
+        assert_eq!(
+            batch.health(1).state,
+            SlotState::Retired,
+            "slot freed after extract"
+        );
+        assert_eq!(batch.health(1).total_faults, 0, "slot record is clean");
+        let (sys, params) = scene(1);
+        let dt_fresh = params.dt;
+        let slot = batch.admit(sys, params);
+        assert_eq!(slot, 1, "retired slot is reused");
+        let h = batch.health(1);
+        assert_eq!(h.state, SlotState::Running);
+        assert_eq!(h.consecutive_failures, 0);
+        assert_eq!(h.total_faults, 0);
+        assert_eq!(h.oc_stall_streak, 0);
+        assert_eq!(h.steps_committed, 0);
+        assert!(h.last_error.is_none());
+        assert!(h.quarantined_at_step.is_none());
+        assert_eq!(
+            batch.params(1).expect("live scene").dt.to_bits(),
+            dt_fresh.to_bits(),
+            "no inherited Δt backoff"
+        );
+    }
+
+    #[test]
+    fn commit_counts_steps_per_scene() {
+        let mut batch = SceneBatch::new(k40(), (0..2).map(scene).collect());
+        batch.run(3);
+        assert_eq!(batch.health(0).steps_committed, 3);
+        assert_eq!(batch.health(1).steps_committed, 3);
+    }
+
+    #[test]
+    fn extract_admit_state_round_trip_is_bitwise() {
+        // Run two identical fleets; mid-run, bounce scene 1 of the second
+        // batch through extract + admit_state. Trajectories must match the
+        // undisturbed batch bit-for-bit afterwards.
+        let mut a = SceneBatch::new(k40(), (0..3).map(scene).collect());
+        let mut b = SceneBatch::new(k40(), (0..3).map(scene).collect());
+        a.run(2);
+        b.run(2);
+        let st = b.extract(1).expect("live scene");
+        assert_eq!(b.n_live(), 2);
+        assert_eq!(b.admit_state(st), 1, "retired slot is reused");
+        a.run(3);
+        b.run(3);
+        for i in 0..3 {
+            let (sa, sb) = (a.sys(i).expect("live"), b.sys(i).expect("live"));
+            for (ba, bb) in sa.blocks.iter().zip(&sb.blocks) {
+                assert_eq!(ba.centroid().x.to_bits(), bb.centroid().x.to_bits());
+                assert_eq!(ba.centroid().y.to_bits(), bb.centroid().y.to_bits());
+                for dof in 0..6 {
+                    assert_eq!(ba.velocity[dof].to_bits(), bb.velocity[dof].to_bits());
+                }
+            }
+        }
+        assert_eq!(
+            a.health(1).steps_committed,
+            b.health(1).steps_committed,
+            "health continuity across the bounce"
+        );
+    }
+
+    #[test]
+    fn compaction_drops_retired_slots_and_preserves_survivors_bitwise() {
+        let mut full = SceneBatch::new(k40(), (0..4).map(scene).collect());
+        let mut compacted = SceneBatch::new(k40(), (0..4).map(scene).collect());
+        full.run(2);
+        compacted.run(2);
+        compacted.retire(1);
+        compacted.retire(3);
+        let map = compacted.compact();
+        assert_eq!(map, vec![Some(0), None, Some(1), None]);
+        assert_eq!(compacted.n_scenes(), 2);
+        assert_eq!(compacted.n_live(), 2);
+        // Survivors continue bit-identically to the uncompacted batch.
+        full.run(3);
+        compacted.run(3);
+        for (old_i, new_i) in [(0usize, 0usize), (2, 1)] {
+            let (sf, sc) = (
+                full.sys(old_i).expect("live"),
+                compacted.sys(new_i).expect("live"),
+            );
+            for (bf, bc) in sf.blocks.iter().zip(&sc.blocks) {
+                assert_eq!(bf.centroid().x.to_bits(), bc.centroid().x.to_bits());
+                assert_eq!(bf.centroid().y.to_bits(), bc.centroid().y.to_bits());
+                for dof in 0..6 {
+                    assert_eq!(bf.velocity[dof].to_bits(), bc.velocity[dof].to_bits());
+                }
+            }
+        }
     }
 }

@@ -55,6 +55,32 @@ impl CpuPipeline {
         &self.contacts
     }
 
+    /// A clone of the pipeline's full resumable state — the capture half
+    /// of solo-pipeline checkpointing. The health field is a fresh
+    /// running record (solo pipelines keep no lifecycle machine). Must be
+    /// taken at a step boundary to be resumable.
+    pub fn scene_state(&self) -> super::batch::SceneState {
+        super::batch::SceneState {
+            sys: self.sys.clone(),
+            params: self.params.clone(),
+            contacts: self.contacts.clone(),
+            x_prev: self.x_prev.clone(),
+            times: self.times,
+            health: super::health::SceneHealth::new_running(),
+        }
+    }
+
+    /// Rebuilds a pipeline from a captured state — the restore half.
+    /// Continuing the restored pipeline reproduces the original's
+    /// trajectory bit for bit.
+    pub fn from_state(st: super::batch::SceneState) -> CpuPipeline {
+        let mut p = CpuPipeline::new(st.sys, st.params);
+        p.contacts = st.contacts;
+        p.x_prev = st.x_prev;
+        p.times = st.times;
+        p
+    }
+
     fn charge(&self, c: CpuCounter) -> f64 {
         c.seconds(&self.model, &self.profile)
     }

@@ -133,6 +133,34 @@ impl GpuPipeline {
         &self.dev
     }
 
+    /// A clone of the pipeline's full resumable state — the capture half
+    /// of solo-pipeline checkpointing. The health field is a fresh
+    /// running record (solo pipelines keep no lifecycle machine). Must be
+    /// taken at a step boundary to be resumable. Derived solver caches
+    /// are deliberately excluded: they rebuild deterministically and only
+    /// shift modeled *time* attribution, never trajectory values.
+    pub fn scene_state(&self) -> super::batch::SceneState {
+        super::batch::SceneState {
+            sys: self.sys.clone(),
+            params: self.params.clone(),
+            contacts: self.contacts.clone(),
+            x_prev: self.x_prev.clone(),
+            times: self.times,
+            health: super::health::SceneHealth::new_running(),
+        }
+    }
+
+    /// Rebuilds a pipeline on `dev` from a captured state — the restore
+    /// half. Continuing the restored pipeline reproduces the original's
+    /// trajectory bit for bit.
+    pub fn from_state(st: super::batch::SceneState, dev: Device) -> GpuPipeline {
+        let mut p = GpuPipeline::new(st.sys, st.params, dev);
+        p.contacts = st.contacts;
+        p.x_prev = st.x_prev;
+        p.times = st.times;
+        p
+    }
+
     /// Current contact set.
     pub fn contacts(&self) -> &[Contact] {
         &self.contacts

@@ -55,6 +55,14 @@ pub enum StepError {
         /// Consecutive dirty steps observed.
         streak: usize,
     },
+    /// An internal pipeline invariant broke (a phase's output was missing
+    /// for a scene that should have produced it). Never expected in
+    /// practice; surfaced as a per-scene fault instead of a process panic
+    /// so one corrupted slot cannot take down the whole batch.
+    Internal {
+        /// The violated invariant, for diagnostics.
+        what: &'static str,
+    },
 }
 
 impl core::fmt::Display for StepError {
@@ -87,6 +95,9 @@ impl core::fmt::Display for StepError {
             }
             StepError::OcStalled { streak } => {
                 write!(f, "open–close loop stalled for {streak} consecutive steps")
+            }
+            StepError::Internal { what } => {
+                write!(f, "internal invariant violated: {what}")
             }
         }
     }
@@ -141,6 +152,10 @@ pub struct SceneHealth {
     pub state: SlotState,
     /// Consecutive failed steps (resets on a clean step).
     pub consecutive_failures: usize,
+    /// Committed (accepted) steps this scene has taken since admission.
+    /// Drives the scheduler's early-fault retry window and completion
+    /// criterion; resets when a slot is re-admitted.
+    pub steps_committed: u64,
     /// Consecutive dirty steps feeding the oc-stall detector.
     pub oc_stall_streak: usize,
     /// Solves that needed a preconditioner fallback or a batch-level
@@ -160,11 +175,23 @@ impl SceneHealth {
         SceneHealth {
             state: SlotState::Running,
             consecutive_failures: 0,
+            steps_committed: 0,
             oc_stall_streak: 0,
             fallback_solves: 0,
             total_faults: 0,
             last_error: None,
             quarantined_at_step: None,
+        }
+    }
+
+    /// A clean record for a freed slot: every counter zeroed so a future
+    /// admission can never inherit the predecessor scene's degradation.
+    /// (Callers wanting post-mortem diagnostics must read the health
+    /// *before* retiring the slot.)
+    pub fn retired() -> SceneHealth {
+        SceneHealth {
+            state: SlotState::Retired,
+            ..SceneHealth::new_running()
         }
     }
 

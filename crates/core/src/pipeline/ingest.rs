@@ -1,0 +1,2005 @@
+//! Overload-safe asynchronous scene ingestion for the batched runtime.
+//!
+//! [`SceneBatch`] gave the fleet fault isolation inside the batch; this
+//! module puts an admission layer *in front of* it so a fleet can be fed
+//! faster than it drains without losing control of memory or latency:
+//!
+//! * [`IntakeQueue`] — a bounded, priority-laned submission queue with
+//!   explicit backpressure. A full queue rejects with
+//!   [`IngestError::QueueFull`] instead of growing; a submission whose
+//!   deadline passes before admission is shed with a structured record.
+//! * [`BatchScheduler`] — drives one [`SceneBatch`] tick by tick: sheds
+//!   expired work, drains the queue into retired slots at step
+//!   boundaries, steps the batch, books completions and quarantines,
+//!   requeues early-faulting scenes once with a repaired Δt, compacts
+//!   the batch when dead slots pass a watermark, and takes periodic
+//!   checkpoints.
+//! * [`SceneCheckpoint`] / [`FleetCheckpoint`] — a dependency-free text
+//!   codec over a scene's **complete** resumable state
+//!   ([`SceneState`]: system, parameters, contact history, warm start,
+//!   timing ledger, health). Every `f64` is stored as the hex of its
+//!   bit pattern, so a restored scene's continued trajectory is
+//!   bit-identical to one that never left the process.
+//!
+//! Everything here is host-side bookkeeping between steps: no modeled
+//! device launches, so admission control never perturbs the physics or
+//! the modeled timing of scenes already in flight.
+
+use std::collections::{HashMap, VecDeque};
+
+use dda_geom::{Polygon, Vec2};
+use dda_simt::Device;
+use dda_solver::{PrecondError, SolveError};
+
+use crate::block::Block;
+use crate::contact::{Contact, ContactKind, ContactState};
+use crate::material::{BlockMaterial, JointMaterial};
+use crate::params::DdaParams;
+use crate::system::{BlockSystem, PointLoad};
+
+use super::batch::{SceneBatch, SceneState};
+use super::health::{HealthPolicy, SceneHealth, SlotState, StepError};
+use super::ModuleTimes;
+
+// ---------------------------------------------------------------------------
+// Checkpoint codec
+// ---------------------------------------------------------------------------
+
+/// Format magic opening a serialized [`SceneCheckpoint`].
+const SCENE_MAGIC: &str = "ddack1";
+/// Format magic opening a serialized [`FleetCheckpoint`].
+const FLEET_MAGIC: &str = "ddafleet1";
+
+/// Diagnostic placeholder restored in place of a [`StepError::Internal`]
+/// message, whose `&'static str` cannot survive serialization.
+const RESTORED_INTERNAL: &str = "internal fault (diagnostic lost across checkpoint restore)";
+
+/// Failure decoding a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The token stream ended before the structure was complete.
+    Truncated,
+    /// The stream does not open with the expected format magic.
+    BadMagic {
+        /// The magic word this decoder expected.
+        expected: &'static str,
+    },
+    /// A token failed to parse or carried an out-of-range value.
+    Malformed {
+        /// What the decoder was trying to read.
+        what: &'static str,
+    },
+}
+
+impl core::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic { expected } => {
+                write!(f, "not a checkpoint: expected magic {expected:?}")
+            }
+            CheckpointError::Malformed { what } => {
+                write!(f, "malformed checkpoint: bad {what}")
+            }
+        }
+    }
+}
+
+/// Whitespace-separated token writer. `f64` values are written as the
+/// 16-hex-digit bit pattern so round-trips are exact for every value,
+/// NaN payloads and signed zeros included.
+struct Enc {
+    out: String,
+}
+
+impl Enc {
+    fn new(magic: &str) -> Enc {
+        let mut e = Enc { out: String::new() };
+        e.word(magic);
+        e
+    }
+
+    fn word(&mut self, w: &str) {
+        if !self.out.is_empty() {
+            self.out.push(' ');
+        }
+        self.out.push_str(w);
+    }
+
+    fn u(&mut self, v: u64) {
+        let s = v.to_string();
+        self.word(&s);
+    }
+
+    fn f(&mut self, v: f64) {
+        let s = format!("{:016x}", v.to_bits());
+        self.word(&s);
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Token reader matching [`Enc`].
+struct Dec<'a> {
+    toks: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Dec<'a> {
+    fn new(text: &'a str, magic: &'static str) -> Result<Dec<'a>, CheckpointError> {
+        let mut d = Dec {
+            toks: text.split_whitespace(),
+        };
+        match d.toks.next() {
+            Some(w) if w == magic => Ok(d),
+            Some(_) => Err(CheckpointError::BadMagic { expected: magic }),
+            None => Err(CheckpointError::Truncated),
+        }
+    }
+
+    fn tok(&mut self) -> Result<&'a str, CheckpointError> {
+        self.toks.next().ok_or(CheckpointError::Truncated)
+    }
+
+    fn u(&mut self) -> Result<u64, CheckpointError> {
+        self.tok()?.parse().map_err(|_| CheckpointError::Malformed {
+            what: "unsigned integer",
+        })
+    }
+
+    fn usz(&mut self) -> Result<usize, CheckpointError> {
+        Ok(self.u()? as usize)
+    }
+
+    fn f(&mut self) -> Result<f64, CheckpointError> {
+        let t = self.tok()?;
+        if t.len() != 16 {
+            return Err(CheckpointError::Malformed {
+                what: "f64 bit pattern",
+            });
+        }
+        u64::from_str_radix(t, 16)
+            .map(f64::from_bits)
+            .map_err(|_| CheckpointError::Malformed {
+                what: "f64 bit pattern",
+            })
+    }
+
+    fn flag(&mut self) -> Result<bool, CheckpointError> {
+        match self.u()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CheckpointError::Malformed { what: "flag" }),
+        }
+    }
+
+    fn finish(mut self) -> Result<(), CheckpointError> {
+        if self.toks.next().is_some() {
+            Err(CheckpointError::Malformed {
+                what: "trailing tokens",
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn enc_step_error(e: &mut Enc, err: &StepError) {
+    match err {
+        StepError::NonFiniteRhs { oc_iteration } => {
+            e.u(1);
+            e.u(*oc_iteration as u64);
+        }
+        StepError::NonFiniteSolution { oc_iteration } => {
+            e.u(2);
+            e.u(*oc_iteration as u64);
+        }
+        StepError::NonFiniteGaps { oc_iteration } => {
+            e.u(3);
+            e.u(*oc_iteration as u64);
+        }
+        StepError::Diverged { max_displacement } => {
+            e.u(4);
+            e.f(*max_displacement);
+        }
+        StepError::SolverBreakdown { error } => {
+            e.u(5);
+            match error {
+                SolveError::IndefiniteOperator { pq, iteration } => {
+                    e.u(0);
+                    e.f(*pq);
+                    e.u(*iteration as u64);
+                }
+                SolveError::NonFinite { iteration } => {
+                    e.u(1);
+                    e.u(*iteration as u64);
+                }
+                SolveError::SingularPreconditioner { block } => {
+                    e.u(2);
+                    e.u(*block as u64);
+                }
+            }
+        }
+        StepError::PreconditionerFailed { error } => {
+            e.u(6);
+            match error {
+                PrecondError::ZeroPivot { row, pivot } => {
+                    e.u(0);
+                    e.u(*row as u64);
+                    e.f(*pivot);
+                }
+                PrecondError::MissingDiagonal { row } => {
+                    e.u(1);
+                    e.u(*row as u64);
+                }
+                PrecondError::SingularBlock { block } => {
+                    e.u(2);
+                    e.u(*block as u64);
+                }
+                PrecondError::ZeroDiagonal { row } => {
+                    e.u(3);
+                    e.u(*row as u64);
+                }
+            }
+        }
+        StepError::OcStalled { streak } => {
+            e.u(7);
+            e.u(*streak as u64);
+        }
+        // The `&'static str` diagnostic cannot cross a serialization
+        // boundary; the variant survives, the message is replaced on decode.
+        StepError::Internal { .. } => e.u(8),
+    }
+}
+
+fn dec_step_error(d: &mut Dec<'_>) -> Result<StepError, CheckpointError> {
+    Ok(match d.u()? {
+        1 => StepError::NonFiniteRhs {
+            oc_iteration: d.usz()?,
+        },
+        2 => StepError::NonFiniteSolution {
+            oc_iteration: d.usz()?,
+        },
+        3 => StepError::NonFiniteGaps {
+            oc_iteration: d.usz()?,
+        },
+        4 => StepError::Diverged {
+            max_displacement: d.f()?,
+        },
+        5 => StepError::SolverBreakdown {
+            error: match d.u()? {
+                0 => SolveError::IndefiniteOperator {
+                    pq: d.f()?,
+                    iteration: d.usz()?,
+                },
+                1 => SolveError::NonFinite {
+                    iteration: d.usz()?,
+                },
+                2 => SolveError::SingularPreconditioner { block: d.usz()? },
+                _ => {
+                    return Err(CheckpointError::Malformed {
+                        what: "solver-breakdown tag",
+                    })
+                }
+            },
+        },
+        6 => StepError::PreconditionerFailed {
+            error: match d.u()? {
+                0 => PrecondError::ZeroPivot {
+                    row: d.usz()?,
+                    pivot: d.f()?,
+                },
+                1 => PrecondError::MissingDiagonal { row: d.usz()? },
+                2 => PrecondError::SingularBlock { block: d.usz()? },
+                3 => PrecondError::ZeroDiagonal { row: d.usz()? },
+                _ => {
+                    return Err(CheckpointError::Malformed {
+                        what: "preconditioner-failure tag",
+                    })
+                }
+            },
+        },
+        7 => StepError::OcStalled { streak: d.usz()? },
+        8 => StepError::Internal {
+            what: RESTORED_INTERNAL,
+        },
+        _ => {
+            return Err(CheckpointError::Malformed {
+                what: "step-error tag",
+            })
+        }
+    })
+}
+
+fn enc_health(e: &mut Enc, h: &SceneHealth) {
+    e.u(match h.state {
+        SlotState::Running => 0,
+        SlotState::Degraded => 1,
+        SlotState::Quarantined => 2,
+        SlotState::Retired => 3,
+    });
+    e.u(h.consecutive_failures as u64);
+    e.u(h.steps_committed);
+    e.u(h.oc_stall_streak as u64);
+    e.u(h.fallback_solves as u64);
+    e.u(h.total_faults as u64);
+    match &h.last_error {
+        None => e.u(0),
+        Some(err) => {
+            e.u(1);
+            enc_step_error(e, err);
+        }
+    }
+    match h.quarantined_at_step {
+        None => e.u(0),
+        Some(s) => {
+            e.u(1);
+            e.u(s);
+        }
+    }
+}
+
+fn dec_health(d: &mut Dec<'_>) -> Result<SceneHealth, CheckpointError> {
+    let state = match d.u()? {
+        0 => SlotState::Running,
+        1 => SlotState::Degraded,
+        2 => SlotState::Quarantined,
+        3 => SlotState::Retired,
+        _ => {
+            return Err(CheckpointError::Malformed {
+                what: "slot-state tag",
+            })
+        }
+    };
+    let consecutive_failures = d.usz()?;
+    let steps_committed = d.u()?;
+    let oc_stall_streak = d.usz()?;
+    let fallback_solves = d.usz()?;
+    let total_faults = d.usz()?;
+    let last_error = if d.flag()? {
+        Some(dec_step_error(d)?)
+    } else {
+        None
+    };
+    let quarantined_at_step = if d.flag()? { Some(d.u()?) } else { None };
+    Ok(SceneHealth {
+        state,
+        consecutive_failures,
+        steps_committed,
+        oc_stall_streak,
+        fallback_solves,
+        total_faults,
+        last_error,
+        quarantined_at_step,
+    })
+}
+
+fn dec_contact_state(d: &mut Dec<'_>) -> Result<ContactState, CheckpointError> {
+    Ok(match d.u()? {
+        0 => ContactState::Open,
+        1 => ContactState::Slide,
+        2 => ContactState::Lock,
+        _ => {
+            return Err(CheckpointError::Malformed {
+                what: "contact-state tag",
+            })
+        }
+    })
+}
+
+fn enc_state(e: &mut Enc, st: &SceneState) {
+    e.u(st.sys.blocks.len() as u64);
+    for b in &st.sys.blocks {
+        let vs = b.poly.vertices();
+        e.u(vs.len() as u64);
+        for v in vs {
+            e.f(v.x);
+            e.f(v.y);
+        }
+        e.u(b.material as u64);
+        for dof in 0..6 {
+            e.f(b.velocity[dof]);
+        }
+        for s in b.stress {
+            e.f(s);
+        }
+        e.u(b.fixed as u64);
+    }
+    e.u(st.sys.block_materials.len() as u64);
+    for m in &st.sys.block_materials {
+        e.f(m.density);
+        e.f(m.young);
+        e.f(m.poisson);
+        e.f(m.body_force[0]);
+        e.f(m.body_force[1]);
+    }
+    e.u(st.sys.joint_materials.len() as u64);
+    for m in &st.sys.joint_materials {
+        e.f(m.friction_angle_deg);
+        e.f(m.cohesion);
+        e.f(m.tensile_strength);
+    }
+    e.u(st.sys.point_loads.len() as u64);
+    for l in &st.sys.point_loads {
+        e.u(l.block as u64);
+        e.f(l.point.x);
+        e.f(l.point.y);
+        e.f(l.force.x);
+        e.f(l.force.y);
+    }
+    let p = &st.params;
+    e.f(p.dt);
+    e.f(p.dt_max);
+    e.f(p.dt_min);
+    e.f(p.max_displacement);
+    e.f(p.penalty);
+    e.f(p.shear_ratio);
+    e.u(p.oc_max_iters as u64);
+    e.f(p.contact_range);
+    e.f(p.touch_tol);
+    e.f(p.pcg.tol);
+    e.u(p.pcg.max_iters as u64);
+    e.f(p.dynamics);
+    e.f(p.fixity_factor);
+    e.u(st.contacts.len() as u64);
+    for c in &st.contacts {
+        e.u(c.i as u64);
+        e.u(c.j as u64);
+        e.u(c.vertex as u64);
+        e.u(c.edge as u64);
+        e.u(c.vertex2 as u64);
+        e.u(c.kind as u64);
+        e.u(c.state as u64);
+        e.u(c.prev_step_state as u64);
+        e.u(c.prev_iter_state as u64);
+        e.f(c.normal_disp);
+        e.f(c.shear_disp);
+        e.f(c.edge_ratio);
+        e.f(c.slide_dir);
+        e.u(c.flips as u64);
+    }
+    e.u(st.x_prev.len() as u64);
+    for x in &st.x_prev {
+        e.f(*x);
+    }
+    let t = &st.times;
+    e.f(t.contact_detection);
+    e.f(t.diag_building);
+    e.f(t.nondiag_building);
+    e.f(t.solving);
+    e.f(t.interpenetration);
+    e.f(t.updating);
+    enc_health(e, &st.health);
+}
+
+fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
+    let n_blocks = d.usz()?;
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let nv = d.usz()?;
+        if nv < 3 {
+            return Err(CheckpointError::Malformed {
+                what: "polygon with fewer than 3 vertices",
+            });
+        }
+        let mut vs = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            let x = d.f()?;
+            let y = d.f()?;
+            vs.push(Vec2::new(x, y));
+        }
+        let material = d.u()? as u32;
+        // `Polygon::new` keeps already-CCW vertices untouched and
+        // `Block::new` recomputes the cached centroid/area/moments with
+        // the same code that produced them, so reconstruction is bitwise.
+        let mut b = Block::new(Polygon::new(vs), material);
+        for dof in 0..6 {
+            b.velocity[dof] = d.f()?;
+        }
+        for s in 0..3 {
+            b.stress[s] = d.f()?;
+        }
+        b.fixed = d.flag()?;
+        blocks.push(b);
+    }
+    let n = d.usz()?;
+    let mut block_materials = Vec::with_capacity(n);
+    for _ in 0..n {
+        block_materials.push(BlockMaterial {
+            density: d.f()?,
+            young: d.f()?,
+            poisson: d.f()?,
+            body_force: [d.f()?, d.f()?],
+        });
+    }
+    let n = d.usz()?;
+    let mut joint_materials = Vec::with_capacity(n);
+    for _ in 0..n {
+        joint_materials.push(JointMaterial {
+            friction_angle_deg: d.f()?,
+            cohesion: d.f()?,
+            tensile_strength: d.f()?,
+        });
+    }
+    let n = d.usz()?;
+    let mut point_loads = Vec::with_capacity(n);
+    for _ in 0..n {
+        point_loads.push(PointLoad {
+            block: d.u()? as u32,
+            point: Vec2::new(d.f()?, d.f()?),
+            force: Vec2::new(d.f()?, d.f()?),
+        });
+    }
+    let sys = BlockSystem {
+        blocks,
+        block_materials,
+        joint_materials,
+        point_loads,
+    };
+    let params = DdaParams {
+        dt: d.f()?,
+        dt_max: d.f()?,
+        dt_min: d.f()?,
+        max_displacement: d.f()?,
+        penalty: d.f()?,
+        shear_ratio: d.f()?,
+        oc_max_iters: d.usz()?,
+        contact_range: d.f()?,
+        touch_tol: d.f()?,
+        pcg: dda_solver::PcgOptions {
+            tol: d.f()?,
+            max_iters: d.usz()?,
+        },
+        dynamics: d.f()?,
+        fixity_factor: d.f()?,
+    };
+    let n = d.usz()?;
+    let mut contacts = Vec::with_capacity(n);
+    for _ in 0..n {
+        contacts.push(Contact {
+            i: d.u()? as u32,
+            j: d.u()? as u32,
+            vertex: d.u()? as u32,
+            edge: d.u()? as u32,
+            vertex2: d.u()? as u32,
+            kind: match d.u()? {
+                0 => ContactKind::Ve,
+                1 => ContactKind::Vv1,
+                2 => ContactKind::Vv2,
+                _ => {
+                    return Err(CheckpointError::Malformed {
+                        what: "contact-kind tag",
+                    })
+                }
+            },
+            state: dec_contact_state(d)?,
+            prev_step_state: dec_contact_state(d)?,
+            prev_iter_state: dec_contact_state(d)?,
+            normal_disp: d.f()?,
+            shear_disp: d.f()?,
+            edge_ratio: d.f()?,
+            slide_dir: d.f()?,
+            flips: d.u()? as u32,
+        });
+    }
+    let n = d.usz()?;
+    let mut x_prev = Vec::with_capacity(n);
+    for _ in 0..n {
+        x_prev.push(d.f()?);
+    }
+    let times = ModuleTimes {
+        contact_detection: d.f()?,
+        diag_building: d.f()?,
+        nondiag_building: d.f()?,
+        solving: d.f()?,
+        interpenetration: d.f()?,
+        updating: d.f()?,
+    };
+    let health = dec_health(d)?;
+    Ok(SceneState {
+        sys,
+        params,
+        contacts,
+        x_prev,
+        times,
+        health,
+    })
+}
+
+/// A serializable snapshot of one scene, taken at a step boundary.
+///
+/// Holds the scene's complete resumable [`SceneState`]; re-admitting the
+/// decoded state (via [`SceneBatch::admit_state`]) continues the
+/// trajectory bit-identically to never having checkpointed. The one lossy
+/// field is the `&'static str` inside [`StepError::Internal`], which
+/// decodes to a fixed placeholder message.
+#[derive(Debug, Clone)]
+pub struct SceneCheckpoint {
+    /// The captured scene state.
+    pub state: SceneState,
+    /// Scheduler tick (or batch step index) at which the snapshot was
+    /// taken; diagnostic only.
+    pub taken_at_step: u64,
+}
+
+impl SceneCheckpoint {
+    /// Serializes the checkpoint to the whitespace-token text format.
+    pub fn encode(&self) -> String {
+        let mut e = Enc::new(SCENE_MAGIC);
+        e.u(self.taken_at_step);
+        enc_state(&mut e, &self.state);
+        e.finish()
+    }
+
+    /// Decodes a checkpoint produced by [`SceneCheckpoint::encode`].
+    pub fn decode(text: &str) -> Result<SceneCheckpoint, CheckpointError> {
+        let mut d = Dec::new(text, SCENE_MAGIC)?;
+        let taken_at_step = d.u()?;
+        let state = dec_state(&mut d)?;
+        d.finish()?;
+        Ok(SceneCheckpoint {
+            state,
+            taken_at_step,
+        })
+    }
+}
+
+/// One scene inside a [`FleetCheckpoint`]: its state plus the scheduling
+/// envelope needed to resume it (target step count, priority, whether it
+/// was waiting in the queue, its deadline, and whether its one repair
+/// requeue is already spent).
+#[derive(Debug, Clone)]
+pub struct FleetScene {
+    /// The captured scene state.
+    pub state: SceneState,
+    /// Committed steps after which the scene completes.
+    pub run_steps: u64,
+    /// Admission priority.
+    pub priority: Priority,
+    /// Whether the scene has already used its post-fault requeue.
+    pub requeued: bool,
+    /// Admission deadline (absolute scheduler tick), if any.
+    pub deadline: Option<u64>,
+    /// True when the scene was still waiting in the intake queue.
+    pub queued: bool,
+}
+
+/// A serializable snapshot of a [`BatchScheduler`]'s entire in-flight
+/// fleet — live slots and queued submissions — from which a killed
+/// process can rehydrate via [`BatchScheduler::restore`].
+#[derive(Debug, Clone)]
+pub struct FleetCheckpoint {
+    /// Scheduler tick at which the snapshot was taken; restore resumes
+    /// the clock from here.
+    pub taken_at_step: u64,
+    /// Every in-flight scene (running, degraded, or queued).
+    pub scenes: Vec<FleetScene>,
+}
+
+impl FleetCheckpoint {
+    /// Serializes the fleet checkpoint to the whitespace-token format.
+    pub fn encode(&self) -> String {
+        let mut e = Enc::new(FLEET_MAGIC);
+        e.u(self.taken_at_step);
+        e.u(self.scenes.len() as u64);
+        for fs in &self.scenes {
+            e.u(fs.run_steps);
+            e.u(fs.priority as u64);
+            e.u(fs.requeued as u64);
+            match fs.deadline {
+                None => e.u(0),
+                Some(dl) => {
+                    e.u(1);
+                    e.u(dl);
+                }
+            }
+            e.u(fs.queued as u64);
+            enc_state(&mut e, &fs.state);
+        }
+        e.finish()
+    }
+
+    /// Decodes a fleet checkpoint produced by [`FleetCheckpoint::encode`].
+    pub fn decode(text: &str) -> Result<FleetCheckpoint, CheckpointError> {
+        let mut d = Dec::new(text, FLEET_MAGIC)?;
+        let taken_at_step = d.u()?;
+        let n = d.usz()?;
+        let mut scenes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let run_steps = d.u()?;
+            let priority = match d.u()? {
+                0 => Priority::High,
+                1 => Priority::Normal,
+                2 => Priority::Low,
+                _ => {
+                    return Err(CheckpointError::Malformed {
+                        what: "priority tag",
+                    })
+                }
+            };
+            let requeued = d.flag()?;
+            let deadline = if d.flag()? { Some(d.u()?) } else { None };
+            let queued = d.flag()?;
+            let state = dec_state(&mut d)?;
+            scenes.push(FleetScene {
+                state,
+                run_steps,
+                priority,
+                requeued,
+                deadline,
+                queued,
+            });
+        }
+        d.finish()?;
+        Ok(FleetCheckpoint {
+            taken_at_step,
+            scenes,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Intake queue
+// ---------------------------------------------------------------------------
+
+/// Structured rejection from the ingestion layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestError {
+    /// The intake queue is at capacity; the caller must back off.
+    QueueFull {
+        /// The queue's configured bound.
+        capacity: usize,
+    },
+    /// The submission's deadline passed before it could be admitted.
+    DeadlineExpired {
+        /// The deadline that was missed (absolute scheduler tick).
+        deadline: u64,
+        /// The scheduler clock when the miss was detected.
+        now: u64,
+    },
+    /// The scene kept faulting: it was quarantined, repaired, requeued
+    /// once, and quarantined again — the scheduler refuses it for good.
+    RetryExhausted {
+        /// The scene's final fault, for diagnostics.
+        last_error: Option<StepError>,
+    },
+}
+
+impl core::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IngestError::QueueFull { capacity } => {
+                write!(f, "intake queue full ({capacity} pending submissions)")
+            }
+            IngestError::DeadlineExpired { deadline, now } => {
+                write!(
+                    f,
+                    "deadline {deadline} expired before admission (now {now})"
+                )
+            }
+            IngestError::RetryExhausted { last_error } => match last_error {
+                Some(e) => write!(f, "retry budget exhausted; last fault: {e}"),
+                None => write!(f, "retry budget exhausted"),
+            },
+        }
+    }
+}
+
+/// Admission priority class. Higher classes drain first; within a class
+/// the queue is FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Drains before everything else.
+    High = 0,
+    /// The default class.
+    Normal = 1,
+    /// Drains only when no higher class is waiting.
+    Low = 2,
+}
+
+impl Priority {
+    fn lane(self) -> usize {
+        self as usize
+    }
+}
+
+/// Opaque handle identifying one submission across its whole lifetime.
+pub type Ticket = u64;
+
+/// A scene handed to [`BatchScheduler::try_submit`].
+#[derive(Debug, Clone)]
+pub struct SceneSubmission {
+    /// The block system to simulate.
+    pub sys: BlockSystem,
+    /// Its analysis parameters.
+    pub params: DdaParams,
+    /// Admission priority class.
+    pub priority: Priority,
+    /// Absolute scheduler tick by which the scene must be *admitted*;
+    /// past it the submission is shed from the queue.
+    pub deadline: Option<u64>,
+    /// Committed steps after which the scene completes and its slot is
+    /// retired.
+    pub run_steps: u64,
+}
+
+impl SceneSubmission {
+    /// A normal-priority submission with no deadline.
+    pub fn new(sys: BlockSystem, params: DdaParams, run_steps: u64) -> SceneSubmission {
+        SceneSubmission {
+            sys,
+            params,
+            priority: Priority::Normal,
+            deadline: None,
+            run_steps,
+        }
+    }
+
+    /// Sets the priority class.
+    pub fn with_priority(mut self, priority: Priority) -> SceneSubmission {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the admission deadline (absolute scheduler tick).
+    pub fn with_deadline(mut self, deadline: u64) -> SceneSubmission {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A submission waiting in the [`IntakeQueue`].
+#[derive(Debug, Clone)]
+pub struct QueuedScene {
+    /// The submission's ticket.
+    pub ticket: Ticket,
+    /// Full resumable state (fresh for new submissions; carries fault
+    /// history for requeued ones).
+    pub state: SceneState,
+    /// Admission priority class.
+    pub priority: Priority,
+    /// Admission deadline (absolute scheduler tick), if any.
+    pub deadline: Option<u64>,
+    /// Committed steps after which the scene completes.
+    pub run_steps: u64,
+    /// Scheduler tick at which the scene entered the queue.
+    pub enqueued_at: u64,
+    /// Whether the scene has already used its post-fault requeue.
+    pub requeued: bool,
+}
+
+/// Bounded, priority-laned intake queue with explicit backpressure: a
+/// push beyond `capacity` is rejected, never buffered.
+#[derive(Debug)]
+pub struct IntakeQueue {
+    capacity: usize,
+    lanes: [VecDeque<QueuedScene>; 3],
+}
+
+impl IntakeQueue {
+    /// An empty queue bounded at `capacity` total pending submissions.
+    pub fn new(capacity: usize) -> IntakeQueue {
+        IntakeQueue {
+            capacity,
+            lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+        }
+    }
+
+    /// Total pending submissions across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(VecDeque::is_empty)
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when at least one more submission fits.
+    pub fn has_room(&self) -> bool {
+        self.len() < self.capacity
+    }
+
+    /// Enqueues a scene, or rejects it with [`IngestError::QueueFull`]
+    /// when the bound is reached.
+    pub fn try_push(&mut self, qs: QueuedScene) -> Result<(), IngestError> {
+        if !self.has_room() {
+            return Err(IngestError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        self.lanes[qs.priority.lane()].push_back(qs);
+        Ok(())
+    }
+
+    /// Unconditional push used by restore, which must never drop scenes
+    /// that were already accepted before the snapshot.
+    fn force_push(&mut self, qs: QueuedScene) {
+        self.lanes[qs.priority.lane()].push_back(qs);
+    }
+
+    /// Dequeues the next scene: highest priority class first, FIFO
+    /// within a class.
+    pub fn pop(&mut self) -> Option<QueuedScene> {
+        self.lanes.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Removes and returns every queued scene whose deadline is strictly
+    /// before `now` (deadline-aware load shedding).
+    pub fn shed_expired(&mut self, now: u64) -> Vec<QueuedScene> {
+        let mut shed = Vec::new();
+        for lane in &mut self.lanes {
+            let mut keep = VecDeque::with_capacity(lane.len());
+            while let Some(qs) = lane.pop_front() {
+                if matches!(qs.deadline, Some(d) if d < now) {
+                    shed.push(qs);
+                } else {
+                    keep.push_back(qs);
+                }
+            }
+            *lane = keep;
+        }
+        shed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+/// Knobs for [`BatchScheduler`].
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Bound on pending submissions; pushes beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Maximum concurrent scene slots in the batch.
+    pub max_slots: usize,
+    /// When retired slots exceed this fraction of all slots, the batch
+    /// is compacted at the next tick boundary.
+    pub rebalance_watermark: f64,
+    /// Take a checkpoint of every live scene each time this many ticks
+    /// elapse (0 disables periodic checkpointing).
+    pub checkpoint_interval: u64,
+    /// A scene quarantined before committing this many steps is treated
+    /// as an early fault: repaired (Δt reset) and requeued once before
+    /// permanent refusal.
+    pub retry_window: u64,
+    /// Health policy handed to the underlying [`SceneBatch`].
+    pub policy: HealthPolicy,
+}
+
+impl Default for IngestConfig {
+    fn default() -> IngestConfig {
+        IngestConfig {
+            queue_capacity: 32,
+            max_slots: 8,
+            rebalance_watermark: 0.5,
+            checkpoint_interval: 0,
+            retry_window: 3,
+            policy: HealthPolicy::default(),
+        }
+    }
+}
+
+/// Where a submission currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SceneStatus {
+    /// Waiting in the intake queue.
+    Queued,
+    /// Stepping in the batch.
+    Running {
+        /// The batch slot the scene occupies.
+        slot: usize,
+    },
+    /// Finished its requested steps; the final system is on its record.
+    Completed,
+    /// Shed from the queue because its admission deadline passed.
+    Shed {
+        /// The missed deadline.
+        deadline: u64,
+    },
+    /// Permanently refused after exhausting its retries.
+    Refused {
+        /// The structured refusal reason.
+        error: IngestError,
+    },
+}
+
+/// Everything the scheduler remembers about one submission.
+#[derive(Debug, Clone)]
+pub struct SceneRecord {
+    /// Admission priority class.
+    pub priority: Priority,
+    /// Scheduler tick at which the submission was accepted.
+    pub submitted_at: u64,
+    /// Scheduler tick at which the scene entered the batch (last
+    /// admission, for requeued scenes).
+    pub admitted_at: Option<u64>,
+    /// Current lifecycle position.
+    pub status: SceneStatus,
+    /// The scene's final block system, for completed and refused scenes
+    /// (refused scenes keep it so callers can repair and resubmit).
+    pub final_sys: Option<BlockSystem>,
+}
+
+/// Aggregate counters over a [`BatchScheduler`]'s lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct IngestStats {
+    /// Submissions accepted into the queue.
+    pub submitted: u64,
+    /// Submissions rejected with [`IngestError::QueueFull`].
+    pub rejected_full: u64,
+    /// Admissions into the batch (requeues admit again).
+    pub admitted: u64,
+    /// Scenes that finished their requested steps.
+    pub completed: u64,
+    /// Submissions shed for missing their deadline.
+    pub shed: u64,
+    /// Scenes permanently refused after exhausting retries.
+    pub refused: u64,
+    /// Early-faulting scenes repaired and requeued.
+    pub requeued: u64,
+    /// Batch compactions performed.
+    pub rebalances: u64,
+    /// Scene checkpoints taken.
+    pub checkpoints_taken: u64,
+    /// High-water mark of the intake queue.
+    pub max_queue_len: usize,
+    admission_latencies: Vec<u64>,
+}
+
+impl IngestStats {
+    /// Per-admission queue wait in ticks, in admission order.
+    pub fn admission_latencies(&self) -> &[u64] {
+        &self.admission_latencies
+    }
+
+    /// The `p`-th percentile (0–100, nearest-rank) of admission latency,
+    /// or `None` before the first admission.
+    pub fn admission_latency_percentile(&self, p: f64) -> Option<u64> {
+        if self.admission_latencies.is_empty() {
+            return None;
+        }
+        let mut v = self.admission_latencies.clone();
+        v.sort_unstable();
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        Some(v[idx.min(v.len() - 1)])
+    }
+}
+
+/// What one [`BatchScheduler::tick`] did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TickReport {
+    /// Scenes admitted into the batch this tick.
+    pub admitted: usize,
+    /// Queued scenes shed for missing their deadline.
+    pub shed: usize,
+    /// Scenes that completed this tick.
+    pub completed: usize,
+    /// Scenes permanently refused this tick.
+    pub refused: usize,
+    /// Scenes repaired and requeued this tick.
+    pub requeued: usize,
+    /// Whether the batch was compacted this tick.
+    pub rebalanced: bool,
+    /// Whether periodic checkpoints were taken this tick.
+    pub checkpointed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SlotInfo {
+    ticket: Ticket,
+    run_steps: u64,
+    priority: Priority,
+    requeued: bool,
+}
+
+/// Admission-controlled driver for one [`SceneBatch`].
+///
+/// Callers submit scenes through the bounded [`IntakeQueue`] and observe
+/// their lifecycle via [`Ticket`]s; [`BatchScheduler::tick`] advances the
+/// world one batch step, handling shedding, admission, completion,
+/// fault-repair requeues, occupancy rebalancing, and checkpoints. All of
+/// it is host-side work between steps: scenes already in flight see the
+/// exact same trajectory they would in a hand-driven [`SceneBatch`].
+pub struct BatchScheduler {
+    batch: SceneBatch,
+    queue: IntakeQueue,
+    cfg: IngestConfig,
+    next_ticket: Ticket,
+    now: u64,
+    occupants: Vec<Option<SlotInfo>>,
+    records: HashMap<Ticket, SceneRecord>,
+    checkpoints: HashMap<Ticket, SceneCheckpoint>,
+    stats: IngestStats,
+}
+
+impl BatchScheduler {
+    /// An idle scheduler around an empty batch on `dev`.
+    pub fn new(dev: Device, cfg: IngestConfig) -> BatchScheduler {
+        BatchScheduler {
+            batch: SceneBatch::empty(dev).with_policy(cfg.policy),
+            queue: IntakeQueue::new(cfg.queue_capacity),
+            cfg,
+            next_ticket: 0,
+            now: 0,
+            occupants: Vec::new(),
+            records: HashMap::new(),
+            checkpoints: HashMap::new(),
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// The scheduler clock: ticks elapsed since construction (or since
+    /// the snapshot, for a restored scheduler).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The configuration this scheduler runs under.
+    pub fn config(&self) -> &IngestConfig {
+        &self.cfg
+    }
+
+    /// The underlying batch (read-only; the scheduler owns its mutation).
+    pub fn batch(&self) -> &SceneBatch {
+        &self.batch
+    }
+
+    /// Pending submissions in the intake queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Scenes not yet in a terminal state: queued plus occupying a slot.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len() + self.occupants.iter().flatten().count()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// The record for `ticket`, if the ticket was ever issued.
+    pub fn status(&self, ticket: Ticket) -> Option<&SceneRecord> {
+        self.records.get(&ticket)
+    }
+
+    /// Every record ever issued, keyed by ticket.
+    pub fn records(&self) -> &HashMap<Ticket, SceneRecord> {
+        &self.records
+    }
+
+    /// The most recent periodic checkpoint of `ticket`'s scene, if one
+    /// was taken and the scene has not completed since.
+    pub fn checkpoint_of(&self, ticket: Ticket) -> Option<&SceneCheckpoint> {
+        self.checkpoints.get(&ticket)
+    }
+
+    /// Takes `ticket`'s final block system off its record (completed and
+    /// refused scenes), e.g. to repair a refused scene and resubmit it.
+    pub fn take_final_sys(&mut self, ticket: Ticket) -> Option<BlockSystem> {
+        self.records.get_mut(&ticket)?.final_sys.take()
+    }
+
+    /// Submits a scene. Backpressure is explicit: a full queue rejects
+    /// with [`IngestError::QueueFull`] and an already-expired deadline
+    /// with [`IngestError::DeadlineExpired`]; nothing is ever silently
+    /// buffered beyond the bound.
+    pub fn try_submit(&mut self, sub: SceneSubmission) -> Result<Ticket, IngestError> {
+        if let Some(deadline) = sub.deadline {
+            if deadline < self.now {
+                return Err(IngestError::DeadlineExpired {
+                    deadline,
+                    now: self.now,
+                });
+            }
+        }
+        if !self.queue.has_room() {
+            self.stats.rejected_full += 1;
+            return Err(IngestError::QueueFull {
+                capacity: self.queue.capacity(),
+            });
+        }
+        let ticket = self.next_ticket;
+        let n_dof = 6 * sub.sys.len();
+        let qs = QueuedScene {
+            ticket,
+            state: SceneState {
+                sys: sub.sys,
+                params: sub.params,
+                contacts: Vec::new(),
+                x_prev: vec![0.0; n_dof],
+                times: ModuleTimes::default(),
+                health: SceneHealth::new_running(),
+            },
+            priority: sub.priority,
+            deadline: sub.deadline,
+            run_steps: sub.run_steps,
+            enqueued_at: self.now,
+            requeued: false,
+        };
+        self.queue
+            .try_push(qs)
+            .expect("queue room was checked above");
+        self.next_ticket += 1;
+        self.stats.submitted += 1;
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+        self.records.insert(
+            ticket,
+            SceneRecord {
+                priority: sub.priority,
+                submitted_at: self.now,
+                admitted_at: None,
+                status: SceneStatus::Queued,
+                final_sys: None,
+            },
+        );
+        Ok(ticket)
+    }
+
+    /// Advances the world one batch step: sheds expired submissions,
+    /// drains the queue into free slots, steps the batch, books
+    /// completions and quarantines (requeueing early faults once with a
+    /// repaired Δt), takes periodic checkpoints, and compacts the batch
+    /// when dead slots pass the watermark.
+    pub fn tick(&mut self) -> TickReport {
+        self.now += 1;
+        let mut rep = TickReport::default();
+
+        // 1. Deadline-aware load shedding, before admission.
+        for qs in self.queue.shed_expired(self.now) {
+            rep.shed += 1;
+            self.stats.shed += 1;
+            if let Some(r) = self.records.get_mut(&qs.ticket) {
+                r.status = SceneStatus::Shed {
+                    deadline: qs.deadline.unwrap_or(0),
+                };
+            }
+        }
+
+        // 2. Drain the queue into retired slots / free capacity.
+        while self.has_capacity() && !self.queue.is_empty() {
+            let Some(qs) = self.queue.pop() else { break };
+            let slot = self.batch.admit_state(qs.state);
+            if slot >= self.occupants.len() {
+                self.occupants.resize(slot + 1, None);
+            }
+            self.occupants[slot] = Some(SlotInfo {
+                ticket: qs.ticket,
+                run_steps: qs.run_steps,
+                priority: qs.priority,
+                requeued: qs.requeued,
+            });
+            rep.admitted += 1;
+            self.stats.admitted += 1;
+            self.stats
+                .admission_latencies
+                .push(self.now - qs.enqueued_at);
+            if let Some(r) = self.records.get_mut(&qs.ticket) {
+                r.admitted_at = Some(self.now);
+                r.status = SceneStatus::Running { slot };
+            }
+        }
+
+        // 3. One lockstep batch step.
+        self.batch.step();
+
+        // 4. Book terminal transitions per occupied slot.
+        for slot in 0..self.batch.n_scenes() {
+            let Some(info) = self.occupants.get(slot).copied().flatten() else {
+                continue;
+            };
+            let health = self.batch.health(slot);
+            match health.state {
+                SlotState::Quarantined => {
+                    let Some(mut st) = self.batch.extract(slot) else {
+                        self.occupants[slot] = None;
+                        continue;
+                    };
+                    self.occupants[slot] = None;
+                    let last_error = st.health.last_error;
+                    let early = st.health.steps_committed < self.cfg.retry_window;
+                    if early && !info.requeued && self.queue.has_room() {
+                        // Early fault: repair Δt, clear the health record,
+                        // and give the scene one more try through the queue.
+                        st.params.dt = (0.1 * st.params.dt_max).max(st.params.dt_min);
+                        st.health = SceneHealth::new_running();
+                        self.queue.force_push(QueuedScene {
+                            ticket: info.ticket,
+                            state: st,
+                            priority: info.priority,
+                            deadline: None,
+                            run_steps: info.run_steps,
+                            enqueued_at: self.now,
+                            requeued: true,
+                        });
+                        rep.requeued += 1;
+                        self.stats.requeued += 1;
+                        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+                        if let Some(r) = self.records.get_mut(&info.ticket) {
+                            r.status = SceneStatus::Queued;
+                        }
+                    } else {
+                        rep.refused += 1;
+                        self.stats.refused += 1;
+                        if let Some(r) = self.records.get_mut(&info.ticket) {
+                            r.status = SceneStatus::Refused {
+                                error: IngestError::RetryExhausted { last_error },
+                            };
+                            r.final_sys = Some(st.sys);
+                        }
+                    }
+                }
+                _ if health.steps_committed >= info.run_steps => {
+                    let st = self.batch.extract(slot);
+                    self.occupants[slot] = None;
+                    rep.completed += 1;
+                    self.stats.completed += 1;
+                    self.checkpoints.remove(&info.ticket);
+                    if let Some(r) = self.records.get_mut(&info.ticket) {
+                        r.status = SceneStatus::Completed;
+                        r.final_sys = st.map(|s| s.sys);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // 5. Periodic per-scene checkpoints.
+        if self.cfg.checkpoint_interval > 0 && self.now.is_multiple_of(self.cfg.checkpoint_interval)
+        {
+            for slot in 0..self.batch.n_scenes() {
+                let Some(info) = self.occupants.get(slot).copied().flatten() else {
+                    continue;
+                };
+                if let Some(state) = self.batch.scene_state(slot) {
+                    self.checkpoints.insert(
+                        info.ticket,
+                        SceneCheckpoint {
+                            state,
+                            taken_at_step: self.now,
+                        },
+                    );
+                    self.stats.checkpoints_taken += 1;
+                }
+            }
+            rep.checkpointed = true;
+        }
+
+        // 6. Occupancy rebalancing: compact when dead slots pass the
+        // watermark, so merged batch regions stop paying for corpses.
+        let n = self.batch.n_scenes();
+        let retired = (0..n)
+            .filter(|&i| self.batch.health(i).state == SlotState::Retired)
+            .count();
+        if retired > 0 && (retired as f64) > self.cfg.rebalance_watermark * n as f64 {
+            let map = self.batch.compact();
+            let mut occupants = vec![None; self.batch.n_scenes()];
+            for (old, new) in map.iter().enumerate() {
+                if let Some(new) = new {
+                    occupants[*new] = self.occupants.get(old).copied().flatten();
+                    if let Some(info) = occupants[*new] {
+                        if let Some(r) = self.records.get_mut(&info.ticket) {
+                            if matches!(r.status, SceneStatus::Running { .. }) {
+                                r.status = SceneStatus::Running { slot: *new };
+                            }
+                        }
+                    }
+                }
+            }
+            self.occupants = occupants;
+            self.stats.rebalances += 1;
+            rep.rebalanced = true;
+        }
+
+        rep
+    }
+
+    /// Ticks until nothing is in flight or `max_ticks` elapse; returns
+    /// the ticks taken.
+    pub fn drain(&mut self, max_ticks: usize) -> usize {
+        for t in 0..max_ticks {
+            if self.in_flight() == 0 {
+                return t;
+            }
+            self.tick();
+        }
+        max_ticks
+    }
+
+    /// Snapshots the entire in-flight fleet — live slots *and* queued
+    /// submissions — into a serializable [`FleetCheckpoint`]. Terminal
+    /// records (completed/shed/refused) are not part of the snapshot.
+    pub fn checkpoint_fleet(&self) -> FleetCheckpoint {
+        let mut scenes = Vec::new();
+        for slot in 0..self.batch.n_scenes() {
+            let Some(info) = self.occupants.get(slot).copied().flatten() else {
+                continue;
+            };
+            let Some(state) = self.batch.scene_state(slot) else {
+                continue;
+            };
+            scenes.push(FleetScene {
+                state,
+                run_steps: info.run_steps,
+                priority: info.priority,
+                requeued: info.requeued,
+                deadline: None,
+                queued: false,
+            });
+        }
+        for lane in &self.queue.lanes {
+            for qs in lane {
+                scenes.push(FleetScene {
+                    state: qs.state.clone(),
+                    run_steps: qs.run_steps,
+                    priority: qs.priority,
+                    requeued: qs.requeued,
+                    deadline: qs.deadline,
+                    queued: true,
+                });
+            }
+        }
+        FleetCheckpoint {
+            taken_at_step: self.now,
+            scenes,
+        }
+    }
+
+    /// Rehydrates a scheduler from a [`FleetCheckpoint`] on a fresh
+    /// device: live scenes re-enter batch slots with their full saved
+    /// state (so their continued trajectories are bit-identical to the
+    /// uninterrupted run) and queued scenes re-enter the queue. Tickets
+    /// are reissued; the returned list maps snapshot order to the new
+    /// tickets.
+    pub fn restore(
+        dev: Device,
+        cfg: IngestConfig,
+        fleet: FleetCheckpoint,
+    ) -> (BatchScheduler, Vec<Ticket>) {
+        let mut s = BatchScheduler::new(dev, cfg);
+        s.now = fleet.taken_at_step;
+        let mut tickets = Vec::with_capacity(fleet.scenes.len());
+        for fs in fleet.scenes {
+            let ticket = s.next_ticket;
+            s.next_ticket += 1;
+            let mut record = SceneRecord {
+                priority: fs.priority,
+                submitted_at: s.now,
+                admitted_at: None,
+                status: SceneStatus::Queued,
+                final_sys: None,
+            };
+            if fs.queued {
+                // Restore must never drop accepted work, even if the new
+                // config's queue bound is tighter than the snapshot's.
+                s.queue.force_push(QueuedScene {
+                    ticket,
+                    state: fs.state,
+                    priority: fs.priority,
+                    deadline: fs.deadline,
+                    run_steps: fs.run_steps,
+                    enqueued_at: s.now,
+                    requeued: fs.requeued,
+                });
+            } else {
+                let slot = s.batch.admit_state(fs.state);
+                if slot >= s.occupants.len() {
+                    s.occupants.resize(slot + 1, None);
+                }
+                s.occupants[slot] = Some(SlotInfo {
+                    ticket,
+                    run_steps: fs.run_steps,
+                    priority: fs.priority,
+                    requeued: fs.requeued,
+                });
+                record.admitted_at = Some(s.now);
+                record.status = SceneStatus::Running { slot };
+            }
+            s.records.insert(ticket, record);
+            tickets.push(ticket);
+        }
+        s.stats.max_queue_len = s.queue.len();
+        (s, tickets)
+    }
+
+    fn has_capacity(&self) -> bool {
+        if self.batch.n_scenes() < self.cfg.max_slots {
+            return true;
+        }
+        (0..self.batch.n_scenes()).any(|i| self.batch.health(i).state == SlotState::Retired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::GpuPipeline;
+    use dda_simt::DeviceProfile;
+
+    fn k40() -> Device {
+        Device::new(DeviceProfile::tesla_k40())
+    }
+
+    /// A falling block over fixed ground: contacts form after a few
+    /// steps, so checkpoints exercise the contact/warm-start codec.
+    fn scene() -> (BlockSystem, DdaParams) {
+        let mut params = DdaParams::for_model(1.0, 5e9);
+        params.dt = 0.002;
+        params.dt_max = 0.002;
+        let sys = BlockSystem::new(
+            vec![
+                Block::new(Polygon::rect(-5.0, -1.0, 5.0, 0.0), 0).fixed(),
+                Block::new(Polygon::rect(-0.5, 0.005, 0.5, 1.005), 0),
+            ],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(35.0),
+        );
+        (sys, params)
+    }
+
+    /// A scene whose first RHS is NaN (velocity poisoned): faults every
+    /// step without any injection feature.
+    fn nan_scene() -> (BlockSystem, DdaParams) {
+        let (mut sys, params) = scene();
+        sys.blocks[1].velocity[0] = f64::NAN;
+        (sys, params)
+    }
+
+    fn queued(ticket: Ticket, priority: Priority) -> QueuedScene {
+        let (sys, params) = scene();
+        QueuedScene {
+            ticket,
+            state: SceneState {
+                x_prev: vec![0.0; 6 * sys.len()],
+                sys,
+                params,
+                contacts: Vec::new(),
+                times: ModuleTimes::default(),
+                health: SceneHealth::new_running(),
+            },
+            priority,
+            deadline: None,
+            run_steps: 1,
+            enqueued_at: 0,
+            requeued: false,
+        }
+    }
+
+    #[test]
+    fn queue_bounds_and_priority_order() {
+        let mut q = IntakeQueue::new(3);
+        q.try_push(queued(1, Priority::Normal)).unwrap();
+        q.try_push(queued(2, Priority::Low)).unwrap();
+        q.try_push(queued(3, Priority::High)).unwrap();
+        assert_eq!(
+            q.try_push(queued(4, Priority::High)),
+            Err(IngestError::QueueFull { capacity: 3 })
+        );
+        assert_eq!(q.len(), 3);
+        let order: Vec<Ticket> = std::iter::from_fn(|| q.pop()).map(|qs| qs.ticket).collect();
+        assert_eq!(order, vec![3, 1, 2], "High drains first, then FIFO");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_sheds_only_expired_deadlines() {
+        let mut q = IntakeQueue::new(8);
+        let mut a = queued(1, Priority::Normal);
+        a.deadline = Some(2);
+        let mut b = queued(2, Priority::Normal);
+        b.deadline = Some(10);
+        let c = queued(3, Priority::Normal);
+        q.try_push(a).unwrap();
+        q.try_push(b).unwrap();
+        q.try_push(c).unwrap();
+        let shed = q.shed_expired(3);
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].ticket, 1);
+        assert_eq!(q.len(), 2, "deadline 10 and no-deadline scenes survive");
+        assert!(q.shed_expired(10).is_empty(), "deadline == now is not late");
+    }
+
+    #[test]
+    fn scene_checkpoint_round_trips_bitwise() {
+        let mut batch = SceneBatch::new(k40(), vec![scene()]);
+        batch.run(3);
+        let st = batch.scene_state(0).expect("live scene");
+        assert!(
+            !st.contacts.is_empty(),
+            "scene must have contacts so the codec is exercised"
+        );
+        let ck = SceneCheckpoint {
+            state: st,
+            taken_at_step: 3,
+        };
+        let text = ck.encode();
+        let back = SceneCheckpoint::decode(&text).expect("decode");
+        // Re-encoding the decoded checkpoint reproduces the exact text:
+        // every f64 bit pattern, every counter, every contact survived.
+        assert_eq!(back.encode(), text);
+        assert_eq!(back.taken_at_step, 3);
+        // And the reconstructed blocks carry bitwise geometry/velocity.
+        for (a, b) in ck.state.sys.blocks.iter().zip(&back.state.sys.blocks) {
+            let (ca, cb) = (a.centroid(), b.centroid());
+            assert_eq!(ca.x.to_bits(), cb.x.to_bits());
+            assert_eq!(ca.y.to_bits(), cb.y.to_bits());
+            for dof in 0..6 {
+                assert_eq!(a.velocity[dof].to_bits(), b.velocity[dof].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn step_errors_survive_the_codec() {
+        let mut batch = SceneBatch::new(k40(), vec![scene()]);
+        batch.step();
+        let base = batch.scene_state(0).expect("live scene");
+        let errors = [
+            StepError::NonFiniteRhs { oc_iteration: 2 },
+            StepError::NonFiniteSolution { oc_iteration: 1 },
+            StepError::NonFiniteGaps { oc_iteration: 3 },
+            StepError::Diverged {
+                max_displacement: 1.5e9,
+            },
+            StepError::SolverBreakdown {
+                error: SolveError::IndefiniteOperator {
+                    pq: -2.5,
+                    iteration: 7,
+                },
+            },
+            StepError::SolverBreakdown {
+                error: SolveError::NonFinite { iteration: 4 },
+            },
+            StepError::SolverBreakdown {
+                error: SolveError::SingularPreconditioner { block: 9 },
+            },
+            StepError::PreconditionerFailed {
+                error: PrecondError::ZeroPivot {
+                    row: 3,
+                    pivot: 1e-20,
+                },
+            },
+            StepError::PreconditionerFailed {
+                error: PrecondError::MissingDiagonal { row: 5 },
+            },
+            StepError::PreconditionerFailed {
+                error: PrecondError::SingularBlock { block: 2 },
+            },
+            StepError::PreconditionerFailed {
+                error: PrecondError::ZeroDiagonal { row: 8 },
+            },
+            StepError::OcStalled { streak: 11 },
+        ];
+        for err in errors {
+            let mut st = base.clone();
+            st.health.last_error = Some(err);
+            st.health.state = SlotState::Quarantined;
+            st.health.quarantined_at_step = Some(42);
+            let ck = SceneCheckpoint {
+                state: st,
+                taken_at_step: 1,
+            };
+            let back = SceneCheckpoint::decode(&ck.encode()).expect("decode");
+            assert_eq!(back.state.health.last_error, Some(err));
+            assert_eq!(back.state.health.quarantined_at_step, Some(42));
+        }
+        // Internal is deliberately lossy: the variant survives, the
+        // &'static str message is replaced by a placeholder.
+        let mut st = base.clone();
+        st.health.last_error = Some(StepError::Internal { what: "original" });
+        let ck = SceneCheckpoint {
+            state: st,
+            taken_at_step: 1,
+        };
+        let back = SceneCheckpoint::decode(&ck.encode()).expect("decode");
+        assert!(matches!(
+            back.state.health.last_error,
+            Some(StepError::Internal { what }) if what == RESTORED_INTERNAL
+        ));
+    }
+
+    #[test]
+    fn checkpoint_decode_rejects_garbage() {
+        assert!(matches!(
+            SceneCheckpoint::decode(""),
+            Err(CheckpointError::Truncated)
+        ));
+        assert!(matches!(
+            SceneCheckpoint::decode("not-a-checkpoint 1 2 3"),
+            Err(CheckpointError::BadMagic { expected }) if expected == SCENE_MAGIC
+        ));
+        assert!(matches!(
+            SceneCheckpoint::decode("ddack1 0 1 2"),
+            Err(CheckpointError::Malformed { .. }) | Err(CheckpointError::Truncated)
+        ));
+        // A valid checkpoint with trailing garbage is rejected, not
+        // silently accepted.
+        let mut batch = SceneBatch::new(k40(), vec![scene()]);
+        batch.step();
+        let ck = SceneCheckpoint {
+            state: batch.scene_state(0).expect("live scene"),
+            taken_at_step: 1,
+        };
+        let mut text = ck.encode();
+        text.push_str(" deadbeef");
+        assert!(matches!(
+            SceneCheckpoint::decode(&text),
+            Err(CheckpointError::Malformed {
+                what: "trailing tokens"
+            })
+        ));
+    }
+
+    #[test]
+    fn scheduler_completes_scene_bitwise_equal_to_solo() {
+        let (sys, params) = scene();
+        let mut solo = GpuPipeline::new(sys.clone(), params.clone(), k40());
+        for _ in 0..3 {
+            solo.step();
+        }
+        let mut sched = BatchScheduler::new(k40(), IngestConfig::default());
+        let t = sched
+            .try_submit(SceneSubmission::new(sys, params, 3))
+            .expect("queue has room");
+        let ticks = sched.drain(50);
+        assert!(ticks < 50, "scene must complete");
+        let rec = sched.status(t).expect("ticket is known");
+        assert_eq!(rec.status, SceneStatus::Completed);
+        let final_sys = rec.final_sys.as_ref().expect("completed scenes keep sys");
+        for (a, b) in solo.sys.blocks.iter().zip(&final_sys.blocks) {
+            let (ca, cb) = (a.centroid(), b.centroid());
+            assert_eq!(ca.x.to_bits(), cb.x.to_bits());
+            assert_eq!(ca.y.to_bits(), cb.y.to_bits());
+            for dof in 0..6 {
+                assert_eq!(a.velocity[dof].to_bits(), b.velocity[dof].to_bits());
+            }
+        }
+        assert_eq!(sched.stats().completed, 1);
+        assert_eq!(sched.stats().admission_latency_percentile(50.0), Some(1));
+    }
+
+    #[test]
+    fn scheduler_backpressure_rejects_over_capacity() {
+        let cfg = IngestConfig {
+            queue_capacity: 2,
+            max_slots: 1,
+            ..IngestConfig::default()
+        };
+        let mut sched = BatchScheduler::new(k40(), cfg);
+        let (sys, params) = scene();
+        for _ in 0..2 {
+            sched
+                .try_submit(SceneSubmission::new(sys.clone(), params.clone(), 100))
+                .expect("under the bound");
+        }
+        let err = sched
+            .try_submit(SceneSubmission::new(sys, params, 100))
+            .expect_err("third submission exceeds the bound");
+        assert_eq!(err, IngestError::QueueFull { capacity: 2 });
+        assert_eq!(sched.stats().rejected_full, 1);
+        assert_eq!(sched.queue_len(), 2, "the bound held");
+    }
+
+    #[test]
+    fn scheduler_sheds_missed_deadlines() {
+        let cfg = IngestConfig {
+            max_slots: 1,
+            ..IngestConfig::default()
+        };
+        let mut sched = BatchScheduler::new(k40(), cfg);
+        let (sys, params) = scene();
+        // Occupies the only slot for a long time.
+        sched
+            .try_submit(SceneSubmission::new(sys.clone(), params.clone(), 100))
+            .unwrap();
+        let t = sched
+            .try_submit(SceneSubmission::new(sys, params, 1).with_deadline(3))
+            .unwrap();
+        for _ in 0..5 {
+            sched.tick();
+        }
+        assert_eq!(
+            sched.status(t).expect("known ticket").status,
+            SceneStatus::Shed { deadline: 3 }
+        );
+        assert_eq!(sched.stats().shed, 1);
+        // Submitting with an already-passed deadline is rejected outright.
+        let (sys, params) = scene();
+        let err = sched
+            .try_submit(SceneSubmission::new(sys, params, 1).with_deadline(1))
+            .expect_err("deadline already passed");
+        assert!(matches!(
+            err,
+            IngestError::DeadlineExpired { deadline: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn faulting_scene_is_requeued_once_then_refused() {
+        let mut sched = BatchScheduler::new(k40(), IngestConfig::default());
+        let (sys, params) = nan_scene();
+        let t = sched
+            .try_submit(SceneSubmission::new(sys, params, 10))
+            .unwrap();
+        for _ in 0..40 {
+            sched.tick();
+            if matches!(
+                sched.status(t).map(|r| r.status),
+                Some(SceneStatus::Refused { .. })
+            ) {
+                break;
+            }
+        }
+        assert_eq!(sched.stats().requeued, 1, "exactly one repair attempt");
+        assert_eq!(sched.stats().refused, 1);
+        let rec = sched.status(t).expect("known ticket");
+        match rec.status {
+            SceneStatus::Refused {
+                error: IngestError::RetryExhausted { last_error },
+            } => {
+                assert!(
+                    matches!(last_error, Some(StepError::NonFiniteRhs { .. })),
+                    "refusal keeps the structured fault: {last_error:?}"
+                );
+            }
+            other => panic!("expected Refused, got {other:?}"),
+        }
+        assert!(
+            rec.final_sys.is_some(),
+            "refused scenes keep their system for repair-and-resubmit"
+        );
+        assert_eq!(sched.in_flight(), 0);
+    }
+
+    #[test]
+    fn rebalance_compacts_dead_slots_and_preserves_survivors() {
+        let cfg = IngestConfig {
+            max_slots: 4,
+            rebalance_watermark: 0.4,
+            ..IngestConfig::default()
+        };
+        let mut sched = BatchScheduler::new(k40(), cfg);
+        let (sys, params) = scene();
+        let mut solo = GpuPipeline::new(sys.clone(), params.clone(), k40());
+        for _ in 0..6 {
+            solo.step();
+        }
+        // Three one-step scenes and one six-step survivor.
+        for _ in 0..3 {
+            sched
+                .try_submit(SceneSubmission::new(sys.clone(), params.clone(), 1))
+                .unwrap();
+        }
+        let long = sched
+            .try_submit(SceneSubmission::new(sys, params, 6))
+            .unwrap();
+        sched.tick();
+        assert_eq!(
+            sched.stats().completed,
+            3,
+            "short scenes finish in one tick"
+        );
+        assert_eq!(
+            sched.stats().rebalances,
+            1,
+            "3/4 dead slots trip the watermark"
+        );
+        assert_eq!(
+            sched.batch().n_scenes(),
+            1,
+            "batch compacted to the survivor"
+        );
+        assert_eq!(
+            sched.status(long).map(|r| r.status),
+            Some(SceneStatus::Running { slot: 0 }),
+            "the survivor's record follows it to its new slot"
+        );
+        sched.drain(20);
+        let rec = sched.status(long).expect("known ticket");
+        assert_eq!(rec.status, SceneStatus::Completed);
+        let final_sys = rec.final_sys.as_ref().expect("completed scene keeps sys");
+        for (a, b) in solo.sys.blocks.iter().zip(&final_sys.blocks) {
+            let (ca, cb) = (a.centroid(), b.centroid());
+            assert_eq!(ca.x.to_bits(), cb.x.to_bits(), "compaction changed physics");
+            assert_eq!(ca.y.to_bits(), cb.y.to_bits());
+            for dof in 0..6 {
+                assert_eq!(a.velocity[dof].to_bits(), b.velocity[dof].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_checkpoint_restore_resumes_bitwise() {
+        let cfg = IngestConfig {
+            max_slots: 2,
+            queue_capacity: 8,
+            ..IngestConfig::default()
+        };
+        let mut sched = BatchScheduler::new(k40(), cfg);
+        let (sys, params) = scene();
+        let a = sched
+            .try_submit(SceneSubmission::new(sys.clone(), params.clone(), 6))
+            .unwrap();
+        let b = sched
+            .try_submit(
+                SceneSubmission::new(sys.clone(), params.clone(), 6).with_priority(Priority::High),
+            )
+            .unwrap();
+        // A third scene that stays queued (slots are full), proving the
+        // queue survives the snapshot too.
+        sched
+            .try_submit(SceneSubmission::new(sys, params, 2))
+            .unwrap();
+        for _ in 0..3 {
+            sched.tick();
+        }
+        let fleet = sched.checkpoint_fleet();
+        assert_eq!(fleet.scenes.len(), 3, "2 live + 1 queued");
+        let decoded = FleetCheckpoint::decode(&fleet.encode()).expect("fleet codec");
+        assert_eq!(decoded.encode(), fleet.encode(), "fleet codec is exact");
+
+        // The "killed process": rehydrate on a fresh device and run both
+        // worlds to completion.
+        let (mut restored, tickets) = BatchScheduler::restore(k40(), cfg, decoded);
+        assert_eq!(restored.now(), sched.now());
+        assert_eq!(restored.in_flight(), 3);
+        sched.drain(50);
+        restored.drain(50);
+        for (orig_t, rest_t) in [a, b].iter().zip(&tickets) {
+            let orig = sched.status(*orig_t).expect("known ticket");
+            let rest = restored.status(*rest_t).expect("known ticket");
+            assert_eq!(orig.status, SceneStatus::Completed);
+            assert_eq!(rest.status, SceneStatus::Completed);
+            let (osys, rsys) = (
+                orig.final_sys.as_ref().expect("kept"),
+                rest.final_sys.as_ref().expect("kept"),
+            );
+            for (x, y) in osys.blocks.iter().zip(&rsys.blocks) {
+                let (cx, cy) = (x.centroid(), y.centroid());
+                assert_eq!(cx.x.to_bits(), cy.x.to_bits(), "restore changed physics");
+                assert_eq!(cx.y.to_bits(), cy.y.to_bits());
+                for dof in 0..6 {
+                    assert_eq!(x.velocity[dof].to_bits(), y.velocity[dof].to_bits());
+                }
+            }
+        }
+        assert_eq!(restored.stats().completed, 3);
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_taken_and_resumable() {
+        let cfg = IngestConfig {
+            checkpoint_interval: 2,
+            ..IngestConfig::default()
+        };
+        let mut sched = BatchScheduler::new(k40(), cfg);
+        let (sys, params) = scene();
+        let t = sched
+            .try_submit(SceneSubmission::new(sys, params, 8))
+            .unwrap();
+        for _ in 0..4 {
+            sched.tick();
+        }
+        let ck = sched.checkpoint_of(t).expect("interval 2 fired by tick 4");
+        assert_eq!(ck.taken_at_step, 4);
+        assert!(sched.stats().checkpoints_taken >= 2);
+        // The snapshot decodes and matches the codec exactly.
+        let text = ck.encode();
+        assert_eq!(
+            SceneCheckpoint::decode(&text).expect("decode").encode(),
+            text
+        );
+        // On completion the checkpoint is dropped.
+        sched.drain(20);
+        assert!(sched.checkpoint_of(t).is_none());
+    }
+}

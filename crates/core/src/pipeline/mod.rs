@@ -12,13 +12,19 @@ pub mod cpu;
 pub(crate) mod driver;
 pub mod gpu;
 pub mod health;
+pub mod ingest;
 pub(crate) mod solver_cache;
 
-pub use batch::SceneBatch;
+pub use batch::{SceneBatch, SceneState};
 pub use cpu::CpuPipeline;
 pub use driver::StepOutcome;
 pub use gpu::{GpuPipeline, PrecondKind};
 pub use health::{HealthPolicy, SceneHealth, SlotState, StepError};
+pub use ingest::{
+    BatchScheduler, CheckpointError, FleetCheckpoint, FleetScene, IngestConfig, IngestError,
+    IngestStats, IntakeQueue, Priority, QueuedScene, SceneCheckpoint, SceneRecord, SceneStatus,
+    SceneSubmission, TickReport, Ticket,
+};
 
 use serde::{Deserialize, Serialize};
 

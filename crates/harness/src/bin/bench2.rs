@@ -92,7 +92,8 @@ fn main() {
     // for bit — batching is a scheduling change, not a physics change.
     let mut bit_identical = true;
     for (i, solo) in solos.iter().enumerate() {
-        for (bs, bb) in solo.sys.blocks.iter().zip(&batch.sys(i).blocks) {
+        let bsys = batch.sys(i).expect("live scene");
+        for (bs, bb) in solo.sys.blocks.iter().zip(&bsys.blocks) {
             let (cs, cb) = (bs.centroid(), bb.centroid());
             if cs.x.to_bits() != cb.x.to_bits() || cs.y.to_bits() != cb.y.to_bits() {
                 bit_identical = false;

@@ -76,7 +76,11 @@ fn main() {
         if i == poison {
             continue;
         }
-        for (bb, bp) in baseline.sys(i).blocks.iter().zip(&poisoned.sys(i).blocks) {
+        let (bsys, psys) = (
+            baseline.sys(i).expect("live scene"),
+            poisoned.sys(i).expect("live scene"),
+        );
+        for (bb, bp) in bsys.blocks.iter().zip(&psys.blocks) {
             let (cb, cp) = (bb.centroid(), bp.centroid());
             if cb.x.to_bits() != cp.x.to_bits() || cb.y.to_bits() != cp.y.to_bits() {
                 survivors_bit_identical = false;

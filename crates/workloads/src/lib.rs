@@ -17,6 +17,8 @@
 //! * [`rockfall`] — case-2 generator (rock column on a steep slope);
 //! * [`fleet`] — N distinct rockfall scenes for the batched multi-scene
 //!   runtime's throughput studies;
+//! * [`traffic`] — open/closed-loop submission streams for the ingestion
+//!   layer's overload and soak studies;
 //! * [`render`] — SVG snapshots (the Figs 11–13 analogues).
 
 #![deny(missing_docs)]
@@ -27,8 +29,10 @@ pub mod fleet;
 pub mod render;
 pub mod rockfall;
 pub mod slope;
+pub mod traffic;
 
 pub use adversarial::{nan_contaminated_scene, stiff_contrast_scene};
 pub use fleet::{rockfall_fleet, FleetConfig};
 pub use rockfall::{rockfall_case, RockfallConfig};
 pub use slope::{slope_case, SlopeConfig};
+pub use traffic::{ClosedLoopTraffic, OpenLoopTraffic, TrafficConfig};

@@ -1,0 +1,244 @@
+//! Traffic generators for the ingestion layer: deterministic streams of
+//! [`SceneSubmission`]s that exercise a
+//! [`BatchScheduler`](dda_core::BatchScheduler) the way a production
+//! intake would — mixed priorities, deadlines, a configurable fraction of
+//! poisoned scenes, and either a fixed arrival rate (open loop, for
+//! overload studies) or a fixed concurrency target (closed loop, for
+//! sustained-throughput studies).
+//!
+//! Everything is seeded: the same seed yields the same submission stream,
+//! so soak results and benchmark reports are reproducible.
+
+use crate::adversarial::nan_contaminated_scene;
+use crate::rockfall::{rockfall_case, RockfallConfig};
+use dda_core::{Priority, SceneSubmission};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of the generated traffic: what each submitted scene looks like.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Falling rocks per scene (scene size).
+    pub rocks: usize,
+    /// Minimum requested steps per scene.
+    pub run_steps_min: u64,
+    /// Maximum requested steps per scene (inclusive).
+    pub run_steps_max: u64,
+    /// Per-mille of scenes carrying a NaN launch velocity (they fault on
+    /// their first step and walk the quarantine/requeue path).
+    pub nan_permille: usize,
+    /// Per-mille of scenes submitted at [`Priority::High`].
+    pub high_permille: usize,
+    /// Per-mille of scenes submitted at [`Priority::Low`].
+    pub low_permille: usize,
+    /// Per-mille of scenes carrying an admission deadline.
+    pub deadline_permille: usize,
+    /// Deadline slack in ticks for deadline-carrying scenes
+    /// (`deadline = now + slack`).
+    pub deadline_slack: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            rocks: 2,
+            run_steps_min: 2,
+            run_steps_max: 5,
+            nan_permille: 0,
+            high_permille: 100,
+            low_permille: 200,
+            deadline_permille: 0,
+            deadline_slack: 8,
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// Draws one submission. Healthy scenes perturb the base rockfall
+    /// case (±20% release speed, ±4% rock size) so the stream samples
+    /// distinct trajectories; poisoned scenes come from
+    /// [`nan_contaminated_scene`].
+    fn sample(&self, rng: &mut StdRng, now: u64) -> SceneSubmission {
+        let poisoned = rng.gen_range(0..1000) < self.nan_permille;
+        let (sys, params) = if poisoned {
+            nan_contaminated_scene(self.rocks, rng.gen_range(0..self.rocks))
+        } else {
+            let mut c = RockfallConfig::default().with_rocks(self.rocks);
+            let u = (rng.gen_range(0..401) as f64 - 200.0) / 1000.0;
+            c.initial_speed *= 1.0 + u;
+            c.rock_size *= 1.0 + 0.2 * u;
+            rockfall_case(&c)
+        };
+        let span = (self.run_steps_max - self.run_steps_min + 1) as usize;
+        let run_steps = self.run_steps_min + rng.gen_range(0..span) as u64;
+        let mut sub = SceneSubmission::new(sys, params, run_steps);
+        let roll = rng.gen_range(0..1000);
+        if roll < self.high_permille {
+            sub = sub.with_priority(Priority::High);
+        } else if roll < self.high_permille + self.low_permille {
+            sub = sub.with_priority(Priority::Low);
+        }
+        if rng.gen_range(0..1000) < self.deadline_permille {
+            sub = sub.with_deadline(now + self.deadline_slack);
+        }
+        sub
+    }
+}
+
+/// Open-loop generator: submits at a fixed average rate regardless of how
+/// the scheduler is coping — the tool for overload and shed-rate studies.
+/// Fractional rates accumulate credit, so e.g. 0.5 scenes/tick arrives as
+/// one scene every second tick.
+#[derive(Debug)]
+pub struct OpenLoopTraffic {
+    cfg: TrafficConfig,
+    rate_permille: usize,
+    credit: usize,
+    rng: StdRng,
+    emitted: u64,
+}
+
+impl OpenLoopTraffic {
+    /// A generator arriving at `rate` scenes per tick on average,
+    /// deterministic in `seed`.
+    pub fn new(rate: f64, cfg: TrafficConfig, seed: u64) -> OpenLoopTraffic {
+        assert!(rate >= 0.0 && rate.is_finite(), "rate must be finite");
+        OpenLoopTraffic {
+            cfg,
+            rate_permille: (rate * 1000.0).round() as usize,
+            credit: 0,
+            rng: StdRng::seed_from_u64(seed),
+            emitted: 0,
+        }
+    }
+
+    /// The submissions arriving this tick (`now` stamps deadlines).
+    pub fn arrivals(&mut self, now: u64) -> Vec<SceneSubmission> {
+        self.credit += self.rate_permille;
+        let n = self.credit / 1000;
+        self.credit %= 1000;
+        let subs: Vec<SceneSubmission> = (0..n)
+            .map(|_| self.cfg.sample(&mut self.rng, now))
+            .collect();
+        self.emitted += subs.len() as u64;
+        subs
+    }
+
+    /// Total submissions generated so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+/// Closed-loop generator: each tick it tops the scheduler back up to a
+/// target number of in-flight scenes — the tool for sustained-throughput
+/// measurements, where the intake matches the drain by construction.
+#[derive(Debug)]
+pub struct ClosedLoopTraffic {
+    cfg: TrafficConfig,
+    target: usize,
+    rng: StdRng,
+    emitted: u64,
+}
+
+impl ClosedLoopTraffic {
+    /// A generator holding `target` scenes in flight, deterministic in
+    /// `seed`.
+    pub fn new(target: usize, cfg: TrafficConfig, seed: u64) -> ClosedLoopTraffic {
+        ClosedLoopTraffic {
+            cfg,
+            target,
+            rng: StdRng::seed_from_u64(seed),
+            emitted: 0,
+        }
+    }
+
+    /// The submissions needed to restore the concurrency target given the
+    /// scheduler's current `in_flight` count.
+    pub fn arrivals(&mut self, now: u64, in_flight: usize) -> Vec<SceneSubmission> {
+        let n = self.target.saturating_sub(in_flight);
+        let subs: Vec<SceneSubmission> = (0..n)
+            .map(|_| self.cfg.sample(&mut self.rng, now))
+            .collect();
+        self.emitted += subs.len() as u64;
+        subs
+    }
+
+    /// Total submissions generated so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_rate_accounting() {
+        let mut t = OpenLoopTraffic::new(0.5, TrafficConfig::default(), 7);
+        let counts: Vec<usize> = (0..8).map(|now| t.arrivals(now).len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 4, "0.5/tick over 8 ticks");
+        assert_eq!(t.emitted(), 4);
+        let mut burst = OpenLoopTraffic::new(3.0, TrafficConfig::default(), 7);
+        assert_eq!(burst.arrivals(0).len(), 3);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_stream() {
+        let cfg = TrafficConfig {
+            nan_permille: 300,
+            deadline_permille: 500,
+            ..TrafficConfig::default()
+        };
+        let mut a = OpenLoopTraffic::new(2.0, cfg.clone(), 42);
+        let mut b = OpenLoopTraffic::new(2.0, cfg, 42);
+        for now in 0..6 {
+            let (sa, sb) = (a.arrivals(now), b.arrivals(now));
+            assert_eq!(sa.len(), sb.len());
+            for (x, y) in sa.iter().zip(&sb) {
+                assert_eq!(x.run_steps, y.run_steps);
+                assert_eq!(x.priority, y.priority);
+                assert_eq!(x.deadline, y.deadline);
+                for (bx, by) in x.sys.blocks.iter().zip(&y.sys.blocks) {
+                    for dof in 0..6 {
+                        assert_eq!(
+                            bx.velocity[dof].to_bits(),
+                            by.velocity[dof].to_bits(),
+                            "streams diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_tops_up_to_target() {
+        let mut t = ClosedLoopTraffic::new(6, TrafficConfig::default(), 1);
+        assert_eq!(t.arrivals(0, 0).len(), 6);
+        assert_eq!(t.arrivals(1, 4).len(), 2);
+        assert_eq!(t.arrivals(2, 6).len(), 0);
+        assert_eq!(t.arrivals(3, 9).len(), 0, "over target submits nothing");
+        assert_eq!(t.emitted(), 8);
+    }
+
+    #[test]
+    fn poison_fraction_is_respected() {
+        let cfg = TrafficConfig {
+            nan_permille: 1000,
+            ..TrafficConfig::default()
+        };
+        let mut t = OpenLoopTraffic::new(1.0, cfg, 3);
+        for now in 0..4 {
+            for sub in t.arrivals(now) {
+                let poisoned = sub
+                    .sys
+                    .blocks
+                    .iter()
+                    .any(|b| b.velocity.iter().any(|v| v.is_nan()));
+                assert!(poisoned, "nan_permille=1000 must poison every scene");
+            }
+        }
+    }
+}

@@ -13,9 +13,14 @@
 //!   *bit-identical* to stepping the same scene alone in a `GpuPipeline`.
 
 use dda_repro::core::pipeline::{CpuPipeline, GpuPipeline, SceneBatch};
+use dda_repro::core::SlotState;
 use dda_repro::simt::{Device, DeviceProfile};
-use dda_repro::workloads::{rockfall_case, rockfall_fleet, FleetConfig, RockfallConfig};
+use dda_repro::workloads::{
+    nan_contaminated_scene, rockfall_case, rockfall_fleet, FleetConfig, RockfallConfig,
+};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn k40() -> Device {
     Device::new(DeviceProfile::tesla_k40())
@@ -105,7 +110,8 @@ fn scene_batch_matches_solo_pipelines_bitwise() {
             assert_eq!(rs.dt.to_bits(), rb.dt.to_bits(), "scene {i} step {step}");
         }
         for (i, solo) in solos.iter().enumerate() {
-            for (j, (bs, bb)) in solo.sys.blocks.iter().zip(&batch.sys(i).blocks).enumerate() {
+            let bsys = batch.sys(i).expect("live scene");
+            for (j, (bs, bb)) in solo.sys.blocks.iter().zip(&bsys.blocks).enumerate() {
                 let (cs, cb) = (bs.centroid(), bb.centroid());
                 assert_eq!(
                     cs.x.to_bits(),
@@ -123,6 +129,94 @@ fn scene_batch_matches_solo_pipelines_bitwise() {
                         bb.velocity[dof].to_bits(),
                         "scene {i} block {j} dof {dof} at step {step}"
                     );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Lifecycle churn is invisible to bystanders: random interleavings of
+    /// admit / retire / poisoned-admission (which degrades into quarantine
+    /// on its own — no injection feature needed) across many steps keep
+    /// every continuing scene bit-identical to a solo pipeline started at
+    /// its admission step.
+    #[test]
+    fn random_lifecycle_interleavings_keep_scenes_bitwise(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool = rockfall_fleet(&FleetConfig::default().with_scenes(6).with_rocks(3));
+        let mut batch = SceneBatch::new(k40(), pool[0..2].to_vec());
+        // One solo mirror per slot holding a healthy scene; poisoned slots
+        // and freed slots carry no mirror.
+        let mut mirrors: Vec<Option<GpuPipeline>> = pool[0..2]
+            .iter()
+            .cloned()
+            .map(|(sys, params)| Some(GpuPipeline::new(sys, params, k40())))
+            .collect();
+        let mut next = 2;
+        let set_mirror = |mirrors: &mut Vec<Option<GpuPipeline>>, i: usize, m: Option<GpuPipeline>| {
+            if i == mirrors.len() {
+                mirrors.push(m);
+            } else {
+                mirrors[i] = m;
+            }
+        };
+        for step in 0..10 {
+            match rng.gen_range(0..5) {
+                0 if next < pool.len() => {
+                    let (sys, params) = pool[next].clone();
+                    next += 1;
+                    let i = batch.admit(sys.clone(), params.clone());
+                    set_mirror(&mut mirrors, i, Some(GpuPipeline::new(sys, params, k40())));
+                }
+                1 => {
+                    let live: Vec<usize> = (0..batch.n_scenes())
+                        .filter(|&i| batch.health(i).is_stepping())
+                        .collect();
+                    if !live.is_empty() {
+                        let i = live[rng.gen_range(0..live.len())];
+                        batch.retire(i);
+                        mirrors[i] = None;
+                    }
+                }
+                2 => {
+                    let (sys, params) = nan_contaminated_scene(3, 1);
+                    let i = batch.admit(sys, params);
+                    set_mirror(&mut mirrors, i, None);
+                }
+                _ => {}
+            }
+            batch.step();
+            for m in mirrors.iter_mut().flatten() {
+                m.step();
+            }
+            for (i, m) in mirrors.iter().enumerate() {
+                let Some(m) = m else { continue };
+                prop_assert_eq!(
+                    batch.health(i).state,
+                    SlotState::Running,
+                    "healthy scene {} degraded at step {} (seed {})",
+                    i,
+                    step,
+                    seed
+                );
+                let bsys = batch.sys(i).expect("running scene holds its system");
+                for (j, (bs, bb)) in m.sys.blocks.iter().zip(&bsys.blocks).enumerate() {
+                    let (cs, cb) = (bs.centroid(), bb.centroid());
+                    prop_assert_eq!(cs.x.to_bits(), cb.x.to_bits(), "scene {} block {}", i, j);
+                    prop_assert_eq!(cs.y.to_bits(), cb.y.to_bits(), "scene {} block {}", i, j);
+                    for dof in 0..6 {
+                        prop_assert_eq!(
+                            bs.velocity[dof].to_bits(),
+                            bb.velocity[dof].to_bits(),
+                            "scene {} block {} dof {}",
+                            i,
+                            j,
+                            dof
+                        );
+                    }
                 }
             }
         }

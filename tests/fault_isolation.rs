@@ -24,7 +24,7 @@ fn fleet(n: usize) -> Vec<(BlockSystem, DdaParams)> {
 /// Bitwise snapshot of every block's centroid and velocity in scene `i`.
 fn snapshot(batch: &SceneBatch, i: usize) -> Vec<u64> {
     let mut bits = Vec::new();
-    for b in &batch.sys(i).blocks {
+    for b in &batch.sys(i).expect("slot still holds its scene").blocks {
         let c = b.centroid();
         bits.push(c.x.to_bits());
         bits.push(c.y.to_bits());
@@ -136,10 +136,13 @@ fn transient_fault_recovers_without_quarantine() {
     let dev = k40();
     dev.arm_fault(1, Fault::NanRhs, 1);
     let mut batch = SceneBatch::new(dev, fleet(3));
-    let dt0 = batch.params(1).dt;
+    let dt0 = batch.params(1).expect("live scene").dt;
     batch.step();
     assert_eq!(batch.health(1).state, SlotState::Degraded);
-    assert!(batch.params(1).dt < dt0, "fault must back off Δt");
+    assert!(
+        batch.params(1).expect("live scene").dt < dt0,
+        "fault must back off Δt"
+    );
     batch.step();
     assert_eq!(batch.health(1).state, SlotState::Running);
     assert_eq!(batch.health(1).consecutive_failures, 0);
