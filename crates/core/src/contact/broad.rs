@@ -1,4 +1,4 @@
-//! Broad-phase contact detection.
+//! Broad-phase contact detection (the paper's all-pairs sweep).
 //!
 //! Serial version: the classical `O(n²/2)` upper-triangular loop over
 //! bounding boxes. GPU version (§III-B): "the workflow is modeled as a
@@ -12,7 +12,16 @@
 //! every unordered pair appears exactly once (for even `n`, the last
 //! column's second half is skipped), and within a 16×16 tile the 31
 //! distinct column boxes are the paper's `2m − 1` shared entries.
+//!
+//! Hit flags are written at the pair's *triangular index*
+//! `i·n − i(i+1)/2 + (j − i − 1)` rather than the reshaped `(r, c)`
+//! position, so the device compaction emits pairs already in the
+//! canonical `(i, j)` lexicographic order — no host-side sort fixup.
+//!
+//! These paths remain the reference oracle; the O(n + k) production
+//! broad phase lives in [`super::grid`].
 
+use super::grid::ContactWorkspace;
 use super::soa::GeomSoa;
 use crate::system::BlockSystem;
 use dda_simt::primitives::compact_indices;
@@ -22,45 +31,77 @@ use dda_simt::Device;
 /// Tile edge (m): a 256-thread block covers one 16×16 tile.
 const TILE: usize = 16;
 
+/// Serial reference: upper-triangular AABB sweep into the workspace's
+/// pair buffer (allocation-free at steady state). Pairs `(i, j)` with
+/// `i < j`, sorted.
+pub fn broad_phase_serial_ws(
+    sys: &BlockSystem,
+    range: f64,
+    counter: &mut CpuCounter,
+    ws: &mut ContactWorkspace,
+) {
+    let n = sys.len();
+    ws.boxes.clear();
+    ws.boxes.reserve(4 * n);
+    for b in &sys.blocks {
+        let bb = b.aabb().inflate(range);
+        ws.boxes
+            .extend_from_slice(&[bb.min.x, bb.min.y, bb.max.x, bb.max.y]);
+    }
+    ws.pairs.clear();
+    let boxes = &ws.boxes;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let overlap = boxes[4 * i] <= boxes[4 * j + 2]
+                && boxes[4 * j] <= boxes[4 * i + 2]
+                && boxes[4 * i + 1] <= boxes[4 * j + 3]
+                && boxes[4 * j + 1] <= boxes[4 * i + 3];
+            if overlap {
+                ws.pairs.push((i as u32, j as u32));
+            }
+        }
+    }
+    // Work model: box inflation is charged even below the pair threshold
+    // (n < 2 used to charge nothing at all), then 4 flops and 8
+    // coordinate reads per pair test.
+    let pairs = (n * n.saturating_sub(1) / 2) as u64;
+    counter.flop(4 * n as u64 + 4 * pairs);
+    counter.bytes(8 * 8 * n as u64 + 8 * 8 * pairs);
+}
+
 /// Serial reference: upper-triangular AABB sweep. Returns candidate pairs
-/// `(i, j)` with `i < j`, sorted.
+/// `(i, j)` with `i < j`, sorted. (Compatibility wrapper over
+/// [`broad_phase_serial_ws`]; hot paths hold a [`ContactWorkspace`] and
+/// call the workspace form directly.)
 pub fn broad_phase_serial(
     sys: &BlockSystem,
     range: f64,
     counter: &mut CpuCounter,
 ) -> Vec<(u32, u32)> {
-    let n = sys.len();
-    let boxes: Vec<_> = sys.blocks.iter().map(|b| b.aabb().inflate(range)).collect();
-    let mut out = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if boxes[i].overlaps(&boxes[j]) {
-                out.push((i as u32, j as u32));
-            }
-        }
-    }
-    let pairs = (n * n.saturating_sub(1) / 2) as u64;
-    counter.flop(4 * pairs);
-    counter.bytes(8 * 8 * pairs);
-    out
+    let mut ws = ContactWorkspace::new();
+    broad_phase_serial_ws(sys, range, counter, &mut ws);
+    std::mem::take(&mut ws.pairs)
 }
 
-/// GPU broad phase over the flattened geometry. Returns candidate pairs
-/// `(i, j)` with `i < j`, sorted.
-pub fn broad_phase_gpu(dev: &Device, soa: &GeomSoa, range: f64) -> Vec<(u32, u32)> {
+/// GPU broad phase over the flattened geometry, reusing the workspace's
+/// box/flag/pair buffers. Pairs `(i, j)` with `i < j`, in lexicographic
+/// order straight from the device compaction.
+pub fn broad_phase_gpu_ws(dev: &Device, soa: &GeomSoa, range: f64, ws: &mut ContactWorkspace) {
     let n = soa.n_blocks();
+    ws.pairs.clear();
     if n < 2 {
-        return Vec::new();
+        return;
     }
     let cols = n / 2;
     let even = n.is_multiple_of(2);
 
     // Inflated boxes (a small device kernel, as the real pipeline keeps the
     // boxes on the device).
-    let mut boxes = vec![0.0f64; 4 * n];
+    ws.boxes.clear();
+    ws.boxes.resize(4 * n, 0.0);
     {
         let b_in = dev.bind_ro(&soa.aabb);
-        let b_out = dev.bind(&mut boxes);
+        let b_out = dev.bind(&mut ws.boxes[..]);
         dev.launch("broad.inflate", n, |lane| {
             let b = lane.gid;
             let minx = lane.ld(&b_in, 4 * b);
@@ -75,13 +116,16 @@ pub fn broad_phase_gpu(dev: &Device, soa: &GeomSoa, range: f64) -> Vec<(u32, u32
         });
     }
 
-    // Tiled pair test over the reshaped n×(n/2) matrix.
-    let mut flags = vec![0u32; n * cols];
+    // Tiled pair test over the reshaped n×(n/2) matrix. Hits land at the
+    // pair's triangular index, so compaction order *is* pair order.
+    let tri = n * (n - 1) / 2;
+    ws.flags.clear();
+    ws.flags.resize(tri, 0);
     if cols > 0 {
         let tiles_r = n.div_ceil(TILE);
         let tiles_c = cols.div_ceil(TILE);
-        let b_boxes = dev.bind_ro(&boxes);
-        let b_flags = dev.bind(&mut flags);
+        let b_boxes = dev.bind_ro(&ws.boxes);
+        let b_flags = dev.bind(&mut ws.flags[..]);
         dev.launch_blocks("broad.pair_tiles", tiles_r * tiles_c, 256, |blk| {
             let tr = blk.block_id / tiles_c;
             let tc = blk.block_id % tiles_c;
@@ -126,7 +170,9 @@ pub fn broad_phase_gpu(dev: &Device, soa: &GeomSoa, range: f64) -> Vec<(u32, u32
                         rb[0] <= cb[2] && cb[0] <= rb[2] && rb[1] <= cb[3] && cb[1] <= rb[3];
                     mask.push(overlap);
                     if overlap {
-                        stores.push((gr * cols + gc, 1u32));
+                        let gj = (gr + gc + 1) % n;
+                        let (i, j) = (gr.min(gj), gr.max(gj));
+                        stores.push((i * n - i * (i + 1) / 2 + (j - i - 1), 1u32));
                     }
                 }
             }
@@ -136,18 +182,32 @@ pub fn broad_phase_gpu(dev: &Device, soa: &GeomSoa, range: f64) -> Vec<(u32, u32
     }
 
     // Compact the hit flags into a dense pair list (device scan + scatter).
-    let hits = compact_indices(dev, &flags);
-    let mut pairs: Vec<(u32, u32)> = hits
-        .into_iter()
-        .map(|p| {
-            let r = p as usize / cols;
-            let c = p as usize % cols;
-            let j = (r + c + 1) % n;
-            (r.min(j) as u32, r.max(j) as u32)
-        })
-        .collect();
-    pairs.sort_unstable();
-    pairs
+    // Triangular indices ascend exactly in (i, j) lexicographic order, so
+    // the O(n + k) row walk below decodes them without any sorting.
+    let hits = compact_indices(dev, &ws.flags);
+    ws.pairs.reserve(hits.len());
+    let mut row = 0usize;
+    let mut row_end = n - 1; // exclusive end of row 0's index range
+    let mut row_start = 0usize;
+    for h in hits {
+        let h = h as usize;
+        while h >= row_end {
+            row += 1;
+            row_start = row_end;
+            row_end += n - 1 - row;
+        }
+        ws.pairs
+            .push((row as u32, (row + 1 + h - row_start) as u32));
+    }
+}
+
+/// GPU broad phase over the flattened geometry. Returns candidate pairs
+/// `(i, j)` with `i < j`, sorted. (Compatibility wrapper over
+/// [`broad_phase_gpu_ws`].)
+pub fn broad_phase_gpu(dev: &Device, soa: &GeomSoa, range: f64) -> Vec<(u32, u32)> {
+    let mut ws = ContactWorkspace::new();
+    broad_phase_gpu_ws(dev, soa, range, &mut ws);
+    std::mem::take(&mut ws.pairs)
 }
 
 /// All-pairs coverage check of the reshape mapping (exposed for tests and
@@ -223,6 +283,19 @@ mod tests {
     }
 
     #[test]
+    fn tiny_systems_still_charge_box_work() {
+        // Regression: n < 2 used to charge zero flops/bytes despite
+        // inflating the boxes.
+        for n in [0usize, 1] {
+            let sys = grid_system(n.max(1), 1, 0.0);
+            let mut c = CpuCounter::new();
+            let _ = broad_phase_serial(&sys, 0.1, &mut c);
+            assert!(c.flops > 0, "n={n} must charge inflation flops");
+            assert!(c.bytes > 0, "n={n} must charge box traffic");
+        }
+    }
+
+    #[test]
     fn gpu_matches_serial() {
         for (nx, ny, range) in [
             (3usize, 3usize, 0.3f64),
@@ -238,6 +311,20 @@ mod tests {
             let gpu = broad_phase_gpu(&d, &soa, range);
             assert_eq!(serial, gpu, "{nx}x{ny} range {range}");
         }
+    }
+
+    #[test]
+    fn device_compaction_order_is_already_sorted() {
+        // The triangular flag layout must hand back lexicographically
+        // ordered pairs with no host-side sort.
+        let sys = grid_system(6, 5, 0.1);
+        let d = dev();
+        let soa = GeomSoa::build(&sys);
+        let pairs = broad_phase_gpu(&d, &soa, 0.3);
+        assert!(!pairs.is_empty());
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        assert_eq!(pairs, sorted, "compaction order must be pair order");
     }
 
     #[test]

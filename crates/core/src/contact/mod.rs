@@ -9,13 +9,19 @@
 //! divergence a monolithic kernel would pay (measured by experiment D1).
 
 pub mod broad;
+pub mod grid;
 pub mod init;
 pub mod narrow;
 pub mod soa;
 pub mod transfer;
 pub mod types;
 
-pub use broad::{broad_phase_gpu, broad_phase_serial};
+pub use broad::{broad_phase_gpu, broad_phase_gpu_ws, broad_phase_serial, broad_phase_serial_ws};
+pub use grid::{
+    cached_broad_phase_gpu, cached_broad_phase_serial, detect_broad_gpu, detect_broad_serial,
+    grid_broad_phase_gpu, grid_broad_phase_serial, BroadPhaseCache, BroadPhaseMode,
+    ContactWorkspace, GridSpec,
+};
 pub use init::{init_contacts_classified, init_contacts_monolithic};
 pub use narrow::{narrow_phase_gpu, narrow_phase_serial};
 pub use soa::GeomSoa;

@@ -5,6 +5,7 @@
 //! (loop 2's control parameter), the contact penalty stiffness, and the
 //! open–close iteration budget.
 
+use crate::contact::grid::BroadPhaseMode;
 use dda_solver::PcgOptions;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +48,16 @@ pub struct DdaParams {
     /// Penalty used to anchor fixed-block vertices, as a multiple of the
     /// contact penalty.
     pub fixity_factor: f64,
+    /// Broad-phase algorithm: the paper's all-pairs sweep (reference
+    /// oracle, the default), the O(n + k) uniform grid, or the grid with
+    /// the displacement-bounded pair cache. All three produce identical
+    /// pair sets — and therefore bitwise-identical trajectories.
+    pub broad_phase: BroadPhaseMode,
+    /// Per-block slack margin (length units) for the cached broad phase:
+    /// candidates are built at `contact_range + broad_slack` and stay
+    /// valid while accumulated per-step motion is within the slack.
+    /// Larger values re-bin less often but filter more candidates.
+    pub broad_slack: f64,
 }
 
 impl DdaParams {
@@ -76,7 +87,18 @@ impl DdaParams {
             },
             dynamics: 1.0,
             fixity_factor: 10.0,
+            broad_phase: BroadPhaseMode::default(),
+            // Accepted steps move at most 2·max_displacement, so four
+            // worst-case steps fit the slack budget — in practice far
+            // more, since settled scenes move much less per step.
+            broad_slack: 8.0 * max_displacement,
         }
+    }
+
+    /// Selects the broad-phase algorithm (builder style).
+    pub fn with_broad_phase(mut self, mode: BroadPhaseMode) -> DdaParams {
+        self.broad_phase = mode;
+        self
     }
 
     /// Static-analysis variant (velocities zeroed each step — the paper's

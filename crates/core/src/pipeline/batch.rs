@@ -55,7 +55,9 @@ use super::solver_cache::SolverCache;
 use super::{ModuleTimes, StepReport};
 use crate::assembly::{assemble_contacts_gpu, AssembledSystem};
 use crate::contact::init::init_contacts_classified;
-use crate::contact::{broad_phase_gpu, narrow_phase_gpu, transfer_contacts_gpu, Contact, GeomSoa};
+use crate::contact::{
+    detect_broad_gpu, narrow_phase_gpu, transfer_contacts_gpu, Contact, ContactWorkspace, GeomSoa,
+};
 use crate::interpenetration::{check_gpu, BranchScheme, GapArrays};
 use crate::openclose::{categorize_gpu, open_close_gpu};
 use crate::params::DdaParams;
@@ -77,6 +79,7 @@ struct BatchScene {
     contacts: Vec<Contact>,
     x_prev: Vec<f64>,
     cache: SolverCache,
+    ws: ContactWorkspace,
     gsoa: Option<GeomSoa>,
     bsoa: Option<BlockSoa>,
 }
@@ -91,6 +94,7 @@ impl BatchScene {
             contacts: Vec::new(),
             x_prev: vec![0.0; 6 * n],
             cache: SolverCache::default(),
+            ws: ContactWorkspace::new(),
             gsoa: None,
             bsoa: None,
         }
@@ -537,8 +541,16 @@ impl SceneBatch {
             self.dev.batch_segment(i);
             let touch = sc.params.touch_tol * sc.params.max_displacement;
             let gsoa = GeomSoa::build(&sc.sys);
-            let pairs = broad_phase_gpu(&self.dev, &gsoa, sc.params.contact_range);
-            let mut contacts = narrow_phase_gpu(&self.dev, &gsoa, &pairs, sc.params.contact_range);
+            detect_broad_gpu(
+                &self.dev,
+                &gsoa,
+                sc.params.broad_phase,
+                sc.params.contact_range,
+                sc.params.broad_slack,
+                &mut sc.ws,
+            );
+            let mut contacts =
+                narrow_phase_gpu(&self.dev, &gsoa, &sc.ws.pairs, sc.params.contact_range);
             transfer_contacts_gpu(&self.dev, &sc.contacts, &mut contacts);
             init_contacts_classified(&self.dev, &gsoa, &mut contacts, touch);
             sc.contacts = contacts;
@@ -994,6 +1006,11 @@ impl SceneBatch {
             reports[i].dt = sc.params.dt;
             out.recover_dt_if_clean(&mut sc.params);
             sc.x_prev = out.d;
+            // Committed geometry moved at most the accepted step's largest
+            // vertex displacement — the broad-phase cache's validity
+            // bound. Faulted scenes never reach this point, so their
+            // frozen geometry keeps the cache valid.
+            sc.ws.cache.note_motion(reports[i].max_displacement);
             // Committed step: clear the failure streak; a scene that got
             // here without needing the rescue solve is healthy again.
             slot.health.consecutive_failures = 0;

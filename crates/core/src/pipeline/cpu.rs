@@ -5,8 +5,8 @@ use super::health::StepError;
 use super::{ModuleTimes, StepReport};
 use crate::assembly::{assemble_contacts_serial, AssembledSystem};
 use crate::contact::{
-    broad_phase_serial, init::init_contacts_serial, narrow_phase_serial, transfer_contacts_serial,
-    Contact,
+    detect_broad_serial, init::init_contacts_serial, narrow_phase_serial, transfer_contacts_serial,
+    Contact, ContactWorkspace,
 };
 use crate::interpenetration::{check_serial, GapArrays};
 use crate::openclose::open_close_serial;
@@ -31,6 +31,7 @@ pub struct CpuPipeline {
     pub times: ModuleTimes,
     contacts: Vec<Contact>,
     x_prev: Vec<f64>,
+    ws: ContactWorkspace,
     model: TimingModel,
     profile: DeviceProfile,
 }
@@ -45,9 +46,17 @@ impl CpuPipeline {
             times: ModuleTimes::default(),
             contacts: Vec::new(),
             x_prev: vec![0.0; 6 * n],
+            ws: ContactWorkspace::new(),
             model: TimingModel::default(),
             profile: DeviceProfile::xeon_e5620_serial(),
         }
+    }
+
+    /// Broad-phase cache diagnostics: `(hits, rebuilds)` of the
+    /// displacement-bounded candidate cache (both zero unless
+    /// [`crate::contact::BroadPhaseMode::GridCached`] is selected).
+    pub fn broad_cache_stats(&self) -> (u64, u64) {
+        (self.ws.cache.hits, self.ws.cache.rebuilds)
     }
 
     /// Current contact set (after the last step).
@@ -94,9 +103,20 @@ impl CpuPipeline {
 
         // ---- Contact detection ---------------------------------------------
         let mut cd = CpuCounter::new();
-        let pairs = broad_phase_serial(&self.sys, self.params.contact_range, &mut cd);
-        let mut contacts =
-            narrow_phase_serial(&self.sys, &pairs, self.params.contact_range, &mut cd);
+        detect_broad_serial(
+            &self.sys,
+            self.params.broad_phase,
+            self.params.contact_range,
+            self.params.broad_slack,
+            &mut cd,
+            &mut self.ws,
+        );
+        let mut contacts = narrow_phase_serial(
+            &self.sys,
+            &self.ws.pairs,
+            self.params.contact_range,
+            &mut cd,
+        );
         transfer_contacts_serial(&self.contacts, &mut contacts, &mut cd);
         init_contacts_serial(&self.sys, &mut contacts, touch, &mut cd);
         self.contacts = contacts;
@@ -124,6 +144,9 @@ impl CpuPipeline {
         report.dt = self.params.dt;
         outcome.recover_dt_if_clean(&mut self.params);
         self.x_prev = outcome.d;
+        // Committed geometry moved at most the accepted step's maximum
+        // vertex displacement — the broad-phase cache's validity bound.
+        self.ws.cache.note_motion(report.max_displacement);
         Ok(report)
     }
 

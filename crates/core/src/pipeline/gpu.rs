@@ -14,7 +14,9 @@ use super::solver_cache::SolverCache;
 use super::{ModuleTimes, StepReport};
 use crate::assembly::{assemble_contacts_gpu, AssembledSystem};
 use crate::contact::init::init_contacts_classified;
-use crate::contact::{broad_phase_gpu, narrow_phase_gpu, transfer_contacts_gpu, Contact, GeomSoa};
+use crate::contact::{
+    detect_broad_gpu, narrow_phase_gpu, transfer_contacts_gpu, Contact, ContactWorkspace, GeomSoa,
+};
 use crate::interpenetration::{check_gpu, BranchScheme, GapArrays};
 use crate::openclose::{categorize_gpu, open_close_gpu};
 use crate::params::DdaParams;
@@ -80,6 +82,7 @@ pub struct GpuPipeline {
     dev: Device,
     contacts: Vec<Contact>,
     x_prev: Vec<f64>,
+    ws: ContactWorkspace,
     cache: SolverCache,
     legacy_solver: bool,
     // Per-step SoA mirrors, built once per step() and consumed by the
@@ -104,6 +107,7 @@ impl GpuPipeline {
             dev,
             contacts: Vec::new(),
             x_prev: vec![0.0; 6 * n],
+            ws: ContactWorkspace::new(),
             cache: SolverCache::default(),
             legacy_solver: false,
             gsoa: None,
@@ -349,6 +353,13 @@ impl GpuPipeline {
         (self.cache.refills, self.cache.rebuilds)
     }
 
+    /// Broad-phase cache diagnostics: `(hits, rebuilds)` of the
+    /// displacement-bounded candidate cache (both zero unless
+    /// [`crate::contact::BroadPhaseMode::GridCached`] is selected).
+    pub fn broad_cache_stats(&self) -> (u64, u64) {
+        (self.ws.cache.hits, self.ws.cache.rebuilds)
+    }
+
     /// Per-solve telemetry of the last step (name of the preconditioner).
     pub fn precond_name(&self) -> &'static str {
         match self.precond {
@@ -377,8 +388,16 @@ impl GpuPipeline {
         // ---- Contact detection (broad, narrow, transfer, init) --------------
         let t0 = self.mark();
         let gsoa = GeomSoa::build(&self.sys);
-        let pairs = broad_phase_gpu(&self.dev, &gsoa, self.params.contact_range);
-        let mut contacts = narrow_phase_gpu(&self.dev, &gsoa, &pairs, self.params.contact_range);
+        detect_broad_gpu(
+            &self.dev,
+            &gsoa,
+            self.params.broad_phase,
+            self.params.contact_range,
+            self.params.broad_slack,
+            &mut self.ws,
+        );
+        let mut contacts =
+            narrow_phase_gpu(&self.dev, &gsoa, &self.ws.pairs, self.params.contact_range);
         transfer_contacts_gpu(&self.dev, &self.contacts, &mut contacts);
         init_contacts_classified(&self.dev, &gsoa, &mut contacts, touch);
         self.contacts = contacts;
@@ -434,6 +453,9 @@ impl GpuPipeline {
         report.dt = self.params.dt;
         outcome.recover_dt_if_clean(&mut self.params);
         self.x_prev = outcome.d;
+        // Committed geometry moved at most the accepted step's maximum
+        // vertex displacement — the broad-phase cache's validity bound.
+        self.ws.cache.note_motion(report.max_displacement);
         Ok(report)
     }
 

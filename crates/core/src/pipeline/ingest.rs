@@ -32,7 +32,7 @@ use dda_simt::Device;
 use dda_solver::{PrecondError, SolveError};
 
 use crate::block::Block;
-use crate::contact::{Contact, ContactKind, ContactState};
+use crate::contact::{BroadPhaseMode, Contact, ContactKind, ContactState};
 use crate::material::{BlockMaterial, JointMaterial};
 use crate::params::DdaParams;
 use crate::system::{BlockSystem, PointLoad};
@@ -442,6 +442,12 @@ fn enc_state(e: &mut Enc, st: &SceneState) {
     e.u(p.pcg.max_iters as u64);
     e.f(p.dynamics);
     e.f(p.fixity_factor);
+    e.u(match p.broad_phase {
+        BroadPhaseMode::AllPairs => 0,
+        BroadPhaseMode::Grid => 1,
+        BroadPhaseMode::GridCached => 2,
+    });
+    e.f(p.broad_slack);
     e.u(st.contacts.len() as u64);
     for c in &st.contacts {
         e.u(c.i as u64);
@@ -553,6 +559,17 @@ fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
         },
         dynamics: d.f()?,
         fixity_factor: d.f()?,
+        broad_phase: match d.u()? {
+            0 => BroadPhaseMode::AllPairs,
+            1 => BroadPhaseMode::Grid,
+            2 => BroadPhaseMode::GridCached,
+            _ => {
+                return Err(CheckpointError::Malformed {
+                    what: "unknown broad-phase mode",
+                })
+            }
+        },
+        broad_slack: d.f()?,
     };
     let n = d.usz()?;
     let mut contacts = Vec::with_capacity(n);

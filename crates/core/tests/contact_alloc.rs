@@ -1,0 +1,138 @@
+//! Steady-state allocation audit for the serial contact-detection paths.
+//!
+//! Once a [`ContactWorkspace`] is warmed, every serial broad-phase
+//! variant — the all-pairs sweep, the cell-binned grid, and the cached
+//! grid's hit path — must allocate **nothing**: boxes, bin entries, and
+//! pair lists live in the workspace and are reused by capacity, and all
+//! sorting is in-place `sort_unstable`. This test arms a counting global
+//! allocator around the warmed calls and requires exactly zero heap
+//! allocations.
+//!
+//! Only the serial paths are audited: the device paths reuse their
+//! host-side workspace buffers too, but the simulator's primitives
+//! (radix sort, scan, compaction) allocate internally by design — their
+//! buffer-capacity steady state is asserted in `contact::grid`'s unit
+//! tests instead.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use dda_core::contact::{
+    broad_phase_serial_ws, detect_broad_serial, BroadPhaseMode, ContactWorkspace,
+};
+use dda_core::{Block, BlockMaterial, BlockSystem, JointMaterial};
+use dda_geom::Polygon;
+use dda_simt::serial::CpuCounter;
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn grid_system(nx: usize, ny: usize, gap: f64) -> BlockSystem {
+    let mut blocks = Vec::new();
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let x0 = ix as f64 * (1.0 + gap);
+            let y0 = iy as f64 * (1.0 + gap);
+            blocks.push(Block::new(Polygon::rect(x0, y0, x0 + 1.0, y0 + 1.0), 0));
+        }
+    }
+    BlockSystem::new(
+        blocks,
+        BlockMaterial::rock(),
+        JointMaterial::frictional(30.0),
+    )
+}
+
+#[test]
+fn warmed_serial_broad_phases_allocate_nothing() {
+    let sys = grid_system(12, 12, 0.02);
+    let (range, slack) = (0.05, 0.4);
+    let mut counter = CpuCounter::default();
+    let mut ws_all = ContactWorkspace::new();
+    let mut ws_grid = ContactWorkspace::new();
+    let mut ws_cached = ContactWorkspace::new();
+
+    // Warm: workspace capacities, and the cached mode's candidate build
+    // (so the measured call is the steady-state hit path).
+    for _ in 0..2 {
+        broad_phase_serial_ws(&sys, range, &mut counter, &mut ws_all);
+        detect_broad_serial(
+            &sys,
+            BroadPhaseMode::Grid,
+            range,
+            slack,
+            &mut counter,
+            &mut ws_grid,
+        );
+        detect_broad_serial(
+            &sys,
+            BroadPhaseMode::GridCached,
+            range,
+            slack,
+            &mut counter,
+            &mut ws_cached,
+        );
+    }
+    let expected = ws_all.pairs.clone();
+    assert!(!expected.is_empty(), "audit needs real pair work");
+
+    // Measure.
+    ARMED.store(true, Ordering::SeqCst);
+    broad_phase_serial_ws(&sys, range, &mut counter, &mut ws_all);
+    detect_broad_serial(
+        &sys,
+        BroadPhaseMode::Grid,
+        range,
+        slack,
+        &mut counter,
+        &mut ws_grid,
+    );
+    detect_broad_serial(
+        &sys,
+        BroadPhaseMode::GridCached,
+        range,
+        slack,
+        &mut counter,
+        &mut ws_cached,
+    );
+    ARMED.store(false, Ordering::SeqCst);
+
+    let n_allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n_allocs, 0,
+        "warmed serial broad phases performed {n_allocs} heap allocations"
+    );
+
+    // And they still agree on the answer.
+    assert_eq!(ws_grid.pairs, expected, "grid diverged from all-pairs");
+    assert_eq!(
+        ws_cached.pairs, expected,
+        "cached hit diverged from all-pairs"
+    );
+    assert!(ws_cached.cache.hits >= 2, "third call must be a cache hit");
+}

@@ -15,6 +15,8 @@
 //!   of parallel joint lines;
 //! * [`slope`] — case-1 generator (jointed slope cross-section);
 //! * [`rockfall`] — case-2 generator (rock column on a steep slope);
+//! * [`scatter`] — scattered sparse rock field (broad-phase stressor:
+//!   O(1) contacts per block, O(n²) all-pairs candidates);
 //! * [`fleet`] — N distinct rockfall scenes for the batched multi-scene
 //!   runtime's throughput studies;
 //! * [`traffic`] — open/closed-loop submission streams for the ingestion
@@ -28,11 +30,13 @@ pub mod cutter;
 pub mod fleet;
 pub mod render;
 pub mod rockfall;
+pub mod scatter;
 pub mod slope;
 pub mod traffic;
 
 pub use adversarial::{nan_contaminated_scene, stiff_contrast_scene};
 pub use fleet::{rockfall_fleet, FleetConfig};
 pub use rockfall::{rockfall_case, RockfallConfig};
+pub use scatter::{scatter_case, ScatterConfig};
 pub use slope::{slope_case, SlopeConfig};
 pub use traffic::{ClosedLoopTraffic, OpenLoopTraffic, TrafficConfig};

@@ -11,6 +11,7 @@
 
 use crate::adversarial::nan_contaminated_scene;
 use crate::rockfall::{rockfall_case, RockfallConfig};
+use crate::scatter::{scatter_case, ScatterConfig};
 use dda_core::{Priority, SceneSubmission};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,6 +28,11 @@ pub struct TrafficConfig {
     /// Per-mille of scenes carrying a NaN launch velocity (they fault on
     /// their first step and walk the quarantine/requeue path).
     pub nan_permille: usize,
+    /// Per-mille of healthy scenes drawn from the scattered sparse field
+    /// ([`scatter_case`]) instead of the rockfall case. Scatter scenes
+    /// ship with the grid + cache broad phase enabled, so a non-zero mix
+    /// soaks that path under scheduler churn.
+    pub scatter_permille: usize,
     /// Per-mille of scenes submitted at [`Priority::High`].
     pub high_permille: usize,
     /// Per-mille of scenes submitted at [`Priority::Low`].
@@ -45,6 +51,7 @@ impl Default for TrafficConfig {
             run_steps_min: 2,
             run_steps_max: 5,
             nan_permille: 0,
+            scatter_permille: 0,
             high_permille: 100,
             low_permille: 200,
             deadline_permille: 0,
@@ -62,6 +69,13 @@ impl TrafficConfig {
         let poisoned = rng.gen_range(0..1000) < self.nan_permille;
         let (sys, params) = if poisoned {
             nan_contaminated_scene(self.rocks, rng.gen_range(0..self.rocks))
+        } else if rng.gen_range(0..1000) < self.scatter_permille {
+            let c = ScatterConfig {
+                n_rocks: self.rocks,
+                seed: rng.gen(),
+                ..ScatterConfig::default()
+            };
+            scatter_case(&c)
         } else {
             let mut c = RockfallConfig::default().with_rocks(self.rocks);
             let u = (rng.gen_range(0..401) as f64 - 200.0) / 1000.0;
@@ -221,6 +235,25 @@ mod tests {
         assert_eq!(t.arrivals(2, 6).len(), 0);
         assert_eq!(t.arrivals(3, 9).len(), 0, "over target submits nothing");
         assert_eq!(t.emitted(), 8);
+    }
+
+    #[test]
+    fn scatter_mix_carries_grid_cached_params() {
+        use dda_core::contact::BroadPhaseMode;
+        let cfg = TrafficConfig {
+            scatter_permille: 1000,
+            ..TrafficConfig::default()
+        };
+        let mut t = OpenLoopTraffic::new(1.0, cfg, 9);
+        for now in 0..4 {
+            for sub in t.arrivals(now) {
+                assert_eq!(
+                    sub.params.broad_phase,
+                    BroadPhaseMode::GridCached,
+                    "scatter scenes must run the grid + cache broad phase"
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! ~1000 scenes are pushed through an 8-slot [`BatchScheduler`] in two
 //! halves:
 //!
-//! * **churn** — open-loop traffic with NaN-poisoned scenes, admission
-//!   deadlines, and periodic device-level fault injection against random
-//!   slots. The scheduler must never panic, never grow the queue past its
+//! * **churn** — open-loop traffic with NaN-poisoned scenes, a 25% mix
+//!   of scattered sparse fields running the grid + cache broad phase,
+//!   admission deadlines, and periodic device-level fault injection
+//!   against random slots. The scheduler must never panic, never grow the queue past its
 //!   bound, and leave every ticket in a structured terminal state. A fleet
 //!   checkpoint taken mid-churn must survive the text codec exactly.
 //! * **bitwise** — injection disarmed (poisoned traffic still flows);
@@ -65,6 +66,7 @@ fn thousand_scene_soak_with_fault_churn() {
         run_steps_min: 2,
         run_steps_max: 4,
         nan_permille: 60,
+        scatter_permille: 250,
         deadline_permille: 150,
         deadline_slack: 10,
         ..TrafficConfig::default()
