@@ -6,7 +6,7 @@
 //! open–close iteration budget.
 
 use crate::contact::grid::BroadPhaseMode;
-use dda_solver::PcgOptions;
+use dda_solver::{PcgOptions, PrecondKind, SolverPrecision};
 use serde::{Deserialize, Serialize};
 
 /// DDA analysis parameters.
@@ -41,6 +41,20 @@ pub struct DdaParams {
     pub touch_tol: f64,
     /// Linear solver controls (the paper caps PCG at 200 iterations).
     pub pcg: PcgOptions,
+    /// Preconditioner the solver starts on; the degradation ladder
+    /// descends from here (see [`DdaParams::solver_ladder`]). Per-scene:
+    /// a stiff scene can opt into AMG2 while its batch-mates stay on
+    /// Block-Jacobi.
+    pub precond: PrecondKind,
+    /// Solver storage precision: `Full` keeps every array fp64; `Mixed`
+    /// streams matrix values as fp32 inside an fp64 iterative-refinement
+    /// loop (same convergence criterion, roughly half the SpMV traffic).
+    ///
+    /// The knob stops at the solver: contact detection — including the
+    /// broad phase and its displacement-bounded cache — always runs on
+    /// the fp64 geometry, so candidate pair sets and cache slack
+    /// accounting are identical under either precision.
+    pub precision: SolverPrecision,
     /// Dynamics factor in `[0, 1]`: 1 carries full velocity between steps
     /// (dynamic analysis, case 2), 0 restarts each step from rest (static
     /// relaxation, case 1).
@@ -85,6 +99,8 @@ impl DdaParams {
                 tol: 1e-8,
                 max_iters: 300,
             },
+            precond: PrecondKind::default(),
+            precision: SolverPrecision::default(),
             dynamics: 1.0,
             fixity_factor: 10.0,
             broad_phase: BroadPhaseMode::default(),
@@ -99,6 +115,26 @@ impl DdaParams {
     pub fn with_broad_phase(mut self, mode: BroadPhaseMode) -> DdaParams {
         self.broad_phase = mode;
         self
+    }
+
+    /// Selects the starting preconditioner rung (builder style).
+    pub fn with_precond(mut self, p: PrecondKind) -> DdaParams {
+        self.precond = p;
+        self
+    }
+
+    /// Selects the solver storage precision (builder style).
+    pub fn with_precision(mut self, p: SolverPrecision) -> DdaParams {
+        self.precision = p;
+        self
+    }
+
+    /// The degradation ladder the solver walks, derived from the
+    /// configured starting rung: AMG2 → ILU0 → SSOR-AI → Block-Jacobi →
+    /// Jacobi, entered at [`DdaParams::precond`]. Plain CG has no rungs
+    /// to descend to.
+    pub fn solver_ladder(&self) -> &'static [PrecondKind] {
+        self.precond.ladder()
     }
 
     /// Static-analysis variant (velocities zeroed each step — the paper's
@@ -155,5 +191,29 @@ mod tests {
     fn static_mode() {
         let p = DdaParams::for_model(1.0, 1e9).static_analysis();
         assert_eq!(p.dynamics, 0.0);
+    }
+
+    #[test]
+    fn solver_ladder_derives_from_configured_rung() {
+        let p = DdaParams::for_model(1.0, 1e9);
+        assert_eq!(p.precond, PrecondKind::BlockJacobi, "default start rung");
+        assert_eq!(p.precision, SolverPrecision::Full, "default precision");
+        assert_eq!(
+            p.solver_ladder(),
+            &[PrecondKind::BlockJacobi, PrecondKind::Jacobi]
+        );
+        let p = p.with_precond(PrecondKind::Amg2);
+        assert_eq!(p.solver_ladder()[0], PrecondKind::Amg2);
+        assert_eq!(
+            *p.solver_ladder().last().expect("non-empty ladder"),
+            PrecondKind::Jacobi,
+            "every ladder bottoms out at scalar Jacobi"
+        );
+        let p = p.with_precond(PrecondKind::None);
+        assert_eq!(
+            p.solver_ladder(),
+            &[PrecondKind::None],
+            "plain CG: no rungs"
+        );
     }
 }

@@ -67,7 +67,10 @@ use crate::update::{max_displacement, update_system};
 use dda_simt::serial::CpuCounter;
 use dda_simt::{BatchSummary, Device, KernelStats};
 use dda_solver::precond::Jacobi;
-use dda_solver::{pcg_fused, pcg_fused_batch, PcgBatchEntry, SolveResult};
+use dda_solver::{
+    pcg_fused, pcg_fused_batch, pcg_fused_mixed, PcgBatchEntry, PrecondKind, SolveResult,
+    SolverPrecision,
+};
 use dda_sparse::Block6;
 
 /// One scene's slice of the batch: its own block system, parameters,
@@ -475,21 +478,29 @@ impl SceneBatch {
                 what: "rescued slot lost its scene",
             }),
             Some(sc) => (|| {
-                let (h, _, ws) = sc
+                // The rescue rung honors the scene's precision mode so a
+                // rescued batch scene stays bit-identical to the same
+                // scene descending to the Jacobi rung solo.
+                let f32_shadow = sc.params.precision == SolverPrecision::Mixed;
+                let (h, h32, _, ws) = sc
                     .cache
-                    .try_prepare(&self.dev, &asm.matrix, false)
+                    .try_prepare(&self.dev, &asm.matrix, false, f32_shadow)
                     .map_err(|error| StepError::PreconditionerFailed { error })?;
                 let j = Jacobi::try_new(&self.dev, h)
                     .map_err(|error| StepError::PreconditionerFailed { error })?;
-                Ok(pcg_fused(
-                    &self.dev,
-                    h,
-                    &asm.rhs,
-                    &sc.x_prev,
-                    &j,
-                    sc.params.pcg,
-                    ws,
-                ))
+                Ok(match h32 {
+                    Some(h32) => pcg_fused_mixed(
+                        &self.dev,
+                        h,
+                        h32,
+                        &asm.rhs,
+                        &sc.x_prev,
+                        &j,
+                        sc.params.pcg,
+                        ws,
+                    ),
+                    None => pcg_fused(&self.dev, h, &asm.rhs, &sc.x_prev, &j, sc.params.pcg, ws),
+                })
             })(),
         };
         let s = self.dev.batch_end();
@@ -730,21 +741,24 @@ impl SceneBatch {
                         params,
                         ..
                     } = sc;
-                    match cache.try_prepare(&self.dev, &asm.matrix, true) {
-                        Ok((h, Some(m), ws)) => {
+                    let f32_shadow = params.precision == SolverPrecision::Mixed;
+                    match cache.try_prepare(&self.dev, &asm.matrix, true, f32_shadow) {
+                        Ok((h, h32, Some(m), ws)) => {
                             entries.push(PcgBatchEntry {
                                 h,
+                                h32,
                                 b: &asm.rhs,
                                 x0: x_prev.as_slice(),
                                 m,
                                 opts: params.pcg,
+                                precision: params.precision,
                                 ws,
                             });
                             idxs.push(i);
                         }
                         // A missing factorization (contract breach) degrades
                         // to the solo rescue path instead of panicking.
-                        Ok((_, None, _)) | Err(_) => needs_rescue.push(i),
+                        Ok((_, _, None, _)) | Err(_) => needs_rescue.push(i),
                     }
                 }
                 let prep = self.dev.batch_end();
@@ -784,6 +798,7 @@ impl SceneBatch {
                             reports[i].pcg_iterations += res.iterations;
                             reports[i].last_solve_iterations = res.iterations;
                             reports[i].fallback_level = reports[i].fallback_level.max(1);
+                            reports[i].fallback_rung = PrecondKind::Jacobi;
                             last_conv[i] = res.converged;
                             d[i] = res.x;
                             rescued[i] = true;

@@ -25,47 +25,35 @@ use crate::system::BlockSystem;
 use crate::update::{max_displacement, update_system};
 use dda_simt::serial::CpuCounter;
 use dda_simt::{Device, KernelStats};
-use dda_solver::precond::{BlockJacobi, Identity, Ilu0, Jacobi, SsorAi};
-use dda_solver::{pcg, pcg_fused, HsbcsrMat, PrecondError, SolveResult};
-use dda_sparse::{Block6, Csr, Hsbcsr, SymBlockMatrix};
+use dda_solver::precond::{Amg2, BlockJacobi, Identity, Ilu0, Jacobi, Preconditioner, SsorAi};
+use dda_solver::{
+    pcg, pcg_fused, pcg_fused_mixed, HsbcsrMat, PcgOptions, PcgWorkspace, PrecondError,
+    SolveResult, SolverPrecision,
+};
+use dda_sparse::{Block6, Csr, Hsbcsr, Hsbcsr32, SymBlockMatrix};
 
-/// Preconditioner selection for the equation-solving module (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PrecondKind {
-    /// Plain CG.
-    None,
-    /// Block-Jacobi (the paper's recommendation together with SSOR).
-    BlockJacobi,
-    /// SSOR approximate inverse.
-    SsorAi,
-    /// ILU(0) with level-scheduled triangular solves.
-    Ilu0,
-    /// Scalar-diagonal Jacobi — the last rung of the degradation ladder.
-    Jacobi,
-}
+// The policy enum lives with the preconditioners; re-exported here because
+// the pipeline API has always been its home.
+pub use dda_solver::PrecondKind;
 
-/// The degradation ladder for `start`: on construction failure or solver
-/// breakdown the pipeline descends ILU0 → SSOR-AI → Block-Jacobi →
-/// Jacobi, each rung cheaper and harder to break than the one above
-/// (Jacobi only needs a nonzero scalar diagonal). Plain CG has no rungs to
-/// descend to — a breakdown there is the operator's fault, not the
-/// preconditioner's.
-pub(crate) fn fallback_ladder(start: PrecondKind) -> &'static [PrecondKind] {
-    match start {
-        PrecondKind::None => &[PrecondKind::None],
-        PrecondKind::Ilu0 => &[
-            PrecondKind::Ilu0,
-            PrecondKind::SsorAi,
-            PrecondKind::BlockJacobi,
-            PrecondKind::Jacobi,
-        ],
-        PrecondKind::SsorAi => &[
-            PrecondKind::SsorAi,
-            PrecondKind::BlockJacobi,
-            PrecondKind::Jacobi,
-        ],
-        PrecondKind::BlockJacobi => &[PrecondKind::BlockJacobi, PrecondKind::Jacobi],
-        PrecondKind::Jacobi => &[PrecondKind::Jacobi],
+/// One fused solve, dispatched on the scene's precision mode: a present
+/// fp32 shadow selects the mixed-precision refinement loop (fp32-storage /
+/// fp64-accumulate inner PCG inside an fp64 outer loop, with a
+/// deterministic pure-fp64 fallback), its absence the pure-fp64 solver.
+#[allow(clippy::too_many_arguments)]
+fn pcg_dispatch<P: Preconditioner + ?Sized>(
+    dev: &Device,
+    h: &Hsbcsr,
+    h32: Option<&Hsbcsr32>,
+    rhs: &[f64],
+    x0: &[f64],
+    m: &P,
+    opts: PcgOptions,
+    ws: &mut PcgWorkspace,
+) -> SolveResult {
+    match h32 {
+        Some(h32) => pcg_fused_mixed(dev, h, h32, rhs, x0, m, opts, ws),
+        None => pcg_fused(dev, h, rhs, x0, m, opts, ws),
     }
 }
 
@@ -77,8 +65,6 @@ pub struct GpuPipeline {
     pub params: DdaParams,
     /// Accumulated modeled device seconds per module.
     pub times: ModuleTimes,
-    /// Preconditioner used by the solver.
-    pub precond: PrecondKind,
     dev: Device,
     contacts: Vec<Contact>,
     x_prev: Vec<f64>,
@@ -103,7 +89,6 @@ impl GpuPipeline {
             sys,
             params,
             times: ModuleTimes::default(),
-            precond: PrecondKind::BlockJacobi,
             dev,
             contacts: Vec::new(),
             x_prev: vec![0.0; 6 * n],
@@ -117,9 +102,18 @@ impl GpuPipeline {
         }
     }
 
-    /// Selects the solver preconditioner.
+    /// Selects the solver preconditioner (the starting rung of the
+    /// degradation ladder; shorthand for setting
+    /// [`DdaParams::precond`](crate::params::DdaParams::precond)).
     pub fn with_precond(mut self, p: PrecondKind) -> GpuPipeline {
-        self.precond = p;
+        self.params.precond = p;
+        self
+    }
+
+    /// Selects the solver storage precision (shorthand for setting
+    /// [`DdaParams::precision`](crate::params::DdaParams::precision)).
+    pub fn with_precision(mut self, p: SolverPrecision) -> GpuPipeline {
+        self.params.precision = p;
         self
     }
 
@@ -183,69 +177,107 @@ impl GpuPipeline {
         rhs: &[f64],
         kind: PrecondKind,
     ) -> Result<SolveResult, PrecondError> {
+        let f32_shadow = self.params.precision == SolverPrecision::Mixed;
+        let opts = self.params.pcg;
         match kind {
             PrecondKind::None => {
-                let (h, _, ws) = self.cache.try_prepare(&self.dev, matrix, false)?;
-                Ok(pcg_fused(
+                let (h, h32, _, ws) = self
+                    .cache
+                    .try_prepare(&self.dev, matrix, false, f32_shadow)?;
+                Ok(pcg_dispatch(
                     &self.dev,
                     h,
+                    h32,
                     rhs,
                     &self.x_prev,
                     &Identity,
-                    self.params.pcg,
+                    opts,
                     ws,
                 ))
             }
             PrecondKind::BlockJacobi => {
-                let (h, bj, ws) = self.cache.try_prepare(&self.dev, matrix, true)?;
+                let (h, h32, bj, ws) = self
+                    .cache
+                    .try_prepare(&self.dev, matrix, true, f32_shadow)?;
                 let bj = bj.expect("try_prepare(want_bj) returns a factorization");
-                Ok(pcg_fused(
+                Ok(pcg_dispatch(
                     &self.dev,
                     h,
+                    h32,
                     rhs,
                     &self.x_prev,
                     bj,
-                    self.params.pcg,
+                    opts,
                     ws,
                 ))
             }
             PrecondKind::SsorAi => {
-                let (h, _, ws) = self.cache.try_prepare(&self.dev, matrix, false)?;
+                let (h, h32, _, ws) = self
+                    .cache
+                    .try_prepare(&self.dev, matrix, false, f32_shadow)?;
                 let ssor = SsorAi::try_new(&self.dev, h, 1.0)?;
-                Ok(pcg_fused(
+                Ok(pcg_dispatch(
                     &self.dev,
                     h,
+                    h32,
                     rhs,
                     &self.x_prev,
                     &ssor,
-                    self.params.pcg,
+                    opts,
                     ws,
                 ))
             }
             PrecondKind::Ilu0 => {
-                let (h, _, ws) = self.cache.try_prepare(&self.dev, matrix, false)?;
+                let (h, h32, _, ws) = self
+                    .cache
+                    .try_prepare(&self.dev, matrix, false, f32_shadow)?;
                 let csr = Csr::from_sym_full(matrix);
                 let ilu = Ilu0::try_new(&self.dev, &csr)?;
-                Ok(pcg_fused(
+                Ok(pcg_dispatch(
                     &self.dev,
                     h,
+                    h32,
                     rhs,
                     &self.x_prev,
                     &ilu,
-                    self.params.pcg,
+                    opts,
                     ws,
                 ))
             }
             PrecondKind::Jacobi => {
-                let (h, _, ws) = self.cache.try_prepare(&self.dev, matrix, false)?;
+                let (h, h32, _, ws) = self
+                    .cache
+                    .try_prepare(&self.dev, matrix, false, f32_shadow)?;
                 let j = Jacobi::try_new(&self.dev, h)?;
-                Ok(pcg_fused(
+                Ok(pcg_dispatch(
                     &self.dev,
                     h,
+                    h32,
                     rhs,
                     &self.x_prev,
                     &j,
-                    self.params.pcg,
+                    opts,
+                    ws,
+                ))
+            }
+            PrecondKind::Amg2 => {
+                // The AMG2 hierarchy borrows the cached format (like
+                // SSOR-AI); a singular Galerkin coarse operator surfaces as
+                // `PrecondError::SingularCoarse` and descends the ladder to
+                // ILU0. The smoother/coarse cycle always runs fp64 — only
+                // the Krylov SpMV streams the fp32 shadow under `Mixed`.
+                let (h, h32, _, ws) = self
+                    .cache
+                    .try_prepare(&self.dev, matrix, false, f32_shadow)?;
+                let amg = Amg2::try_new(&self.dev, h)?;
+                Ok(pcg_dispatch(
+                    &self.dev,
+                    h,
+                    h32,
+                    rhs,
+                    &self.x_prev,
+                    &amg,
+                    opts,
                     ws,
                 ))
             }
@@ -258,16 +290,17 @@ impl GpuPipeline {
     ///
     /// Graceful degradation: a rung whose preconditioner fails to
     /// construct, or whose solve breaks down (indefinite curvature,
-    /// non-finite iterate), hands the system to the next rung of
-    /// [`fallback_ladder`]. The rung actually used is recorded in
-    /// [`StepReport::fallback_level`]. Only when every rung fails to even
-    /// construct does the solve error out.
+    /// non-finite iterate), hands the system to the next rung of the
+    /// params-derived ladder ([`DdaParams::solver_ladder`]). The rung
+    /// actually used is recorded in [`StepReport::fallback_level`] (depth)
+    /// and [`StepReport::fallback_rung`] (name). Only when every rung
+    /// fails to even construct does the solve error out.
     fn solve_fused(
         &mut self,
         matrix: &SymBlockMatrix,
         rhs: &[f64],
     ) -> Result<SolveResult, StepError> {
-        let rungs = fallback_ladder(self.precond);
+        let rungs = self.params.solver_ladder();
         let mut last_construct_err = None;
         let mut last_result = None;
         for (level, &kind) in rungs.iter().enumerate() {
@@ -325,7 +358,7 @@ impl GpuPipeline {
             },
         );
         let a = HsbcsrMat { m: &h };
-        match self.precond {
+        match self.params.precond {
             PrecondKind::None => pcg(&self.dev, &a, rhs, &self.x_prev, &Identity, self.params.pcg),
             PrecondKind::BlockJacobi => {
                 let bj = BlockJacobi::new(&self.dev, &h);
@@ -344,6 +377,11 @@ impl GpuPipeline {
                 let j = Jacobi::new(&self.dev, &h);
                 pcg(&self.dev, &a, rhs, &self.x_prev, &j, self.params.pcg)
             }
+            PrecondKind::Amg2 => {
+                let amg = Amg2::try_new(&self.dev, &h)
+                    .expect("legacy baseline assumes a well-posed operator");
+                pcg(&self.dev, &a, rhs, &self.x_prev, &amg, self.params.pcg)
+            }
         }
     }
 
@@ -360,15 +398,10 @@ impl GpuPipeline {
         (self.ws.cache.hits, self.ws.cache.rebuilds)
     }
 
-    /// Per-solve telemetry of the last step (name of the preconditioner).
+    /// Per-solve telemetry of the last step (name of the configured
+    /// starting rung).
     pub fn precond_name(&self) -> &'static str {
-        match self.precond {
-            PrecondKind::None => "none",
-            PrecondKind::BlockJacobi => "BJ",
-            PrecondKind::SsorAi => "SSOR",
-            PrecondKind::Ilu0 => "ILU",
-            PrecondKind::Jacobi => "J",
-        }
+        self.params.precond.name()
     }
 
     /// Lifetime count of solves that had to leave the configured
@@ -414,6 +447,7 @@ impl GpuPipeline {
         self.step_fallback_level = 0;
         let outcome = drive_step(self, &mut report)?;
         report.fallback_level = self.step_fallback_level;
+        report.fallback_rung = self.params.solver_ladder()[self.step_fallback_level];
 
         // Third classification (C1…C5) for the report — part of the
         // checking/classification machinery's cost.
@@ -670,12 +704,52 @@ mod tests {
             PrecondKind::SsorAi,
             PrecondKind::Ilu0,
             PrecondKind::Jacobi,
+            PrecondKind::Amg2,
         ] {
             let (sys, params) = stack();
             let mut gpu = GpuPipeline::new(sys, params, k40()).with_precond(pk);
             let r = gpu.step();
             assert!(r.oc_converged, "{pk:?} failed to converge: {r:?}");
+            assert_eq!(r.fallback_rung, pk, "healthy step stays on {pk:?}");
         }
+    }
+
+    #[test]
+    fn mixed_precision_pipeline_tracks_full_trajectory() {
+        // The mixed solver converges to the same outer criterion, so the
+        // physical trajectory must agree with pure fp64 within solver
+        // tolerance — and the f32 SpMV kernels must actually run.
+        let (sys, params) = stack();
+        let mut full = GpuPipeline::new(sys.clone(), params.clone(), k40());
+        let mut mixed = GpuPipeline::new(sys, params, k40()).with_precision(SolverPrecision::Mixed);
+        for step in 0..3 {
+            let rf = full.step();
+            let rm = mixed.step();
+            assert_eq!(rf.n_contacts, rm.n_contacts, "step {step}");
+            assert_eq!(rf.oc_iterations, rm.oc_iterations, "step {step}");
+            for (bf, bm) in full.sys.blocks.iter().zip(&mixed.sys.blocks) {
+                assert!(
+                    bf.centroid().dist(bm.centroid()) < 1e-7,
+                    "step {step}: mixed trajectory drifted"
+                );
+            }
+        }
+        let trace = mixed.device().trace();
+        assert!(
+            trace
+                .records
+                .iter()
+                .any(|r| r.name == "spmv.hsbcsr.stage1.f32"),
+            "mixed pipeline must stream fp32 matrix values"
+        );
+        assert!(
+            full.device()
+                .trace()
+                .records
+                .iter()
+                .all(|r| !r.name.ends_with(".f32")),
+            "full-precision pipeline must never touch fp32 kernels"
+        );
     }
 
     /// A diagonally dominant SPD test matrix with a contact-like coupling.
@@ -713,7 +787,7 @@ mod tests {
         );
         assert_eq!(
             gpu.step_fallback_level,
-            fallback_ladder(PrecondKind::Ilu0).len() - 1,
+            PrecondKind::Ilu0.ladder().len() - 1,
             "ladder must be walked to the last rung"
         );
         assert_eq!(gpu.fallback_solves(), 1);

@@ -29,7 +29,7 @@ use std::collections::{HashMap, VecDeque};
 
 use dda_geom::{Polygon, Vec2};
 use dda_simt::Device;
-use dda_solver::{PrecondError, SolveError};
+use dda_solver::{PrecondError, PrecondKind, SolveError, SolverPrecision};
 
 use crate::block::Block;
 use crate::contact::{BroadPhaseMode, Contact, ContactKind, ContactState};
@@ -241,6 +241,10 @@ fn enc_step_error(e: &mut Enc, err: &StepError) {
                     e.u(3);
                     e.u(*row as u64);
                 }
+                PrecondError::SingularCoarse { row } => {
+                    e.u(4);
+                    e.u(*row as u64);
+                }
             }
         }
         StepError::OcStalled { streak } => {
@@ -293,6 +297,7 @@ fn dec_step_error(d: &mut Dec<'_>) -> Result<StepError, CheckpointError> {
                 1 => PrecondError::MissingDiagonal { row: d.usz()? },
                 2 => PrecondError::SingularBlock { block: d.usz()? },
                 3 => PrecondError::ZeroDiagonal { row: d.usz()? },
+                4 => PrecondError::SingularCoarse { row: d.usz()? },
                 _ => {
                     return Err(CheckpointError::Malformed {
                         what: "preconditioner-failure tag",
@@ -448,6 +453,18 @@ fn enc_state(e: &mut Enc, st: &SceneState) {
         BroadPhaseMode::GridCached => 2,
     });
     e.f(p.broad_slack);
+    e.u(match p.precond {
+        PrecondKind::None => 0,
+        PrecondKind::BlockJacobi => 1,
+        PrecondKind::SsorAi => 2,
+        PrecondKind::Ilu0 => 3,
+        PrecondKind::Jacobi => 4,
+        PrecondKind::Amg2 => 5,
+    });
+    e.u(match p.precision {
+        SolverPrecision::Full => 0,
+        SolverPrecision::Mixed => 1,
+    });
     e.u(st.contacts.len() as u64);
     for c in &st.contacts {
         e.u(c.i as u64);
@@ -570,6 +587,28 @@ fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
             }
         },
         broad_slack: d.f()?,
+        precond: match d.u()? {
+            0 => PrecondKind::None,
+            1 => PrecondKind::BlockJacobi,
+            2 => PrecondKind::SsorAi,
+            3 => PrecondKind::Ilu0,
+            4 => PrecondKind::Jacobi,
+            5 => PrecondKind::Amg2,
+            _ => {
+                return Err(CheckpointError::Malformed {
+                    what: "preconditioner-kind tag",
+                })
+            }
+        },
+        precision: match d.u()? {
+            0 => SolverPrecision::Full,
+            1 => SolverPrecision::Mixed,
+            _ => {
+                return Err(CheckpointError::Malformed {
+                    what: "solver-precision tag",
+                })
+            }
+        },
     };
     let n = d.usz()?;
     let mut contacts = Vec::with_capacity(n);

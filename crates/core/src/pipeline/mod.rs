@@ -114,8 +114,13 @@ pub struct StepReport {
     pub max_open_penetration: f64,
     /// Deepest preconditioner fallback rung any solve of this step needed
     /// (0 = the configured preconditioner; each +1 is one rung down the
-    /// ILU0 → SSOR-AI → Block-Jacobi → Jacobi ladder).
+    /// AMG2 → ILU0 → SSOR-AI → Block-Jacobi → Jacobi ladder).
     pub fallback_level: usize,
+    /// The ladder rung that depth lands on — the preconditioner the
+    /// deepest-degraded solve of this step actually used (its name via
+    /// [`PrecondKind::name`]). Defaults to Block-Jacobi, matching the
+    /// default configuration, for steps that never solve.
+    pub fallback_rung: PrecondKind,
 }
 
 #[cfg(test)]

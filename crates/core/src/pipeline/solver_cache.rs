@@ -4,7 +4,7 @@
 use dda_simt::{Device, KernelStats};
 use dda_solver::precond::BlockJacobi;
 use dda_solver::{PcgWorkspace, PrecondError};
-use dda_sparse::{Hsbcsr, SymBlockMatrix};
+use dda_sparse::{Hsbcsr, Hsbcsr32, SymBlockMatrix};
 
 /// Cached equation-solving state, reused across open–close iterations and
 /// time steps. The open–close loop usually toggles no contacts between
@@ -12,10 +12,13 @@ use dda_sparse::{Hsbcsr, SymBlockMatrix};
 /// padding) is stable: the cache then refills values in place instead of
 /// rebuilding, reuses the Block-Jacobi storage (refactoring values with the
 /// same single launch), and keeps the PCG/SpMV workspace warm so the whole
-/// solve path stops allocating.
+/// solve path stops allocating. Mixed-precision scenes additionally keep an
+/// fp32 value shadow, refreshed in the *same* refill sweep as the fp64
+/// values (zero extra passes over the matrix).
 #[derive(Default)]
 pub(crate) struct SolverCache {
     h: Option<Hsbcsr>,
+    h32: Option<Hsbcsr32>,
     bj: Option<BlockJacobi>,
     pub(crate) pcg_ws: PcgWorkspace,
     /// Diagnostics: how many solves reused the symbolic structure.
@@ -26,46 +29,81 @@ pub(crate) struct SolverCache {
 
 impl SolverCache {
     /// Refreshes the cached format (and, when `want_bj`, the Block-Jacobi
-    /// factorization) for `matrix`, charging the format-building traffic on
-    /// `dev`, and hands back disjoint borrows of everything a fused PCG
-    /// call needs.
+    /// factorization; when `want_f32`, the fp32 value shadow) for `matrix`,
+    /// charging the format-building traffic on `dev`, and hands back
+    /// disjoint borrows of everything a fused PCG call needs.
     ///
     /// Format building is charged as part of the solving module's time via
     /// an explicit record — the paper's pipeline equally pays it on device.
     /// When the sparsity pattern matches the cached format, only the value
     /// arrays are rewritten; the index derivation and its traffic are
-    /// skipped.
+    /// skipped. The shadow rides the same sweep, adding only its own
+    /// half-width store traffic.
     ///
     /// A singular diagonal sub-matrix (malformed scene input) surfaces as
     /// a structured [`PrecondError`] so the caller's fallback ladder can
     /// degrade instead of panicking inside the factorization kernel.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn try_prepare(
         &mut self,
         dev: &Device,
         matrix: &SymBlockMatrix,
         want_bj: bool,
-    ) -> Result<(&Hsbcsr, Option<&BlockJacobi>, &mut PcgWorkspace), PrecondError> {
+        want_f32: bool,
+    ) -> Result<
+        (
+            &Hsbcsr,
+            Option<&Hsbcsr32>,
+            Option<&BlockJacobi>,
+            &mut PcgWorkspace,
+        ),
+        PrecondError,
+    > {
         let SolverCache {
             h: h_slot,
+            h32: h32_slot,
             bj: bj_slot,
             pcg_ws,
             refills,
             rebuilds,
         } = self;
 
+        if want_f32 && h32_slot.is_none() {
+            *h32_slot = Some(Hsbcsr32::new());
+        }
         let refilled = match h_slot.as_mut() {
-            Some(h) => h.refill_values(matrix),
+            Some(h) => match h32_slot.as_mut().filter(|_| want_f32) {
+                // Steady state: one sweep writes both precisions.
+                Some(sh) => h.refill_values_with_shadow(matrix, sh),
+                None => h.refill_values(matrix),
+            },
             None => false,
         };
         if !refilled {
-            *h_slot = Some(Hsbcsr::from_sym(matrix));
+            let h = Hsbcsr::from_sym(matrix);
+            if let Some(sh) = h32_slot.as_mut().filter(|_| want_f32) {
+                sh.refill_from(&h);
+            }
+            *h_slot = Some(h);
             *rebuilds += 1;
         } else {
             *refills += 1;
         }
         let h = h_slot.as_ref().expect("cache holds a format after refill");
+        let h32 = if want_f32 {
+            let sh = h32_slot.as_ref().expect("want_f32 installed a shadow");
+            debug_assert!(sh.matches(h), "shadow refreshed alongside the format");
+            Some(sh)
+        } else {
+            None
+        };
         let bytes = h.data_bytes() as u64;
-        let charged = if refilled { bytes } else { 2 * bytes };
+        // Rebuilds pay the symbolic derivation (2×); the fp32 shadow adds
+        // its half-width stores on top of whichever path ran.
+        let mut charged = if refilled { bytes } else { 2 * bytes };
+        if want_f32 {
+            charged += bytes / 2;
+        }
         dev.record_external(
             "format.hsbcsr",
             KernelStats {
@@ -89,6 +127,6 @@ impl SolverCache {
         } else {
             None
         };
-        Ok((h, bj, pcg_ws))
+        Ok((h, h32, bj, pcg_ws))
     }
 }

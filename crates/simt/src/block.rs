@@ -42,7 +42,7 @@ impl Block {
         }
     }
 
-    fn account_addresses<I: Iterator<Item = u64>>(&mut self, addrs: I, tex: bool) {
+    fn account_addresses<I: Iterator<Item = u64>>(&mut self, addrs: I, elem_bytes: u64, tex: bool) {
         // Chunk the per-thread addresses into warps and count distinct
         // transaction segments per warp. The segment scratch is per-thread
         // and reused across every launch, so accounting never allocates.
@@ -68,7 +68,7 @@ impl Block {
                 }
                 segs.clear();
             };
-            for (addr, bytes) in addrs.map(|a| (a, 8u64)) {
+            for (addr, bytes) in addrs.map(|a| (a, elem_bytes)) {
                 let first = addr / granularity;
                 let last = (addr + bytes - 1) / granularity;
                 for s in first..=last {
@@ -106,7 +106,11 @@ impl Block {
         out: &mut Vec<T>,
     ) {
         self.stats.gmem_bytes += (count * buf.elem_bytes() as usize) as u64;
-        self.account_addresses((0..count).map(|t| buf.addr(start + t)), false);
+        self.account_addresses(
+            (0..count).map(|t| buf.addr(start + t)),
+            u64::from(buf.elem_bytes()),
+            false,
+        );
         out.clear();
         out.extend((0..count).map(|t| buf.get(start + t)));
     }
@@ -126,7 +130,11 @@ impl Block {
         out: &mut Vec<T>,
     ) {
         self.stats.gmem_bytes += (idxs.len() * buf.elem_bytes() as usize) as u64;
-        self.account_addresses(idxs.iter().map(|&i| buf.addr(i)), false);
+        self.account_addresses(
+            idxs.iter().map(|&i| buf.addr(i)),
+            u64::from(buf.elem_bytes()),
+            false,
+        );
         out.clear();
         out.extend(idxs.iter().map(|&i| buf.get(i)));
     }
@@ -146,7 +154,11 @@ impl Block {
         out: &mut Vec<T>,
     ) {
         self.stats.gmem_bytes += (idxs.len() * buf.elem_bytes() as usize) as u64;
-        self.account_addresses(idxs.iter().map(|&i| buf.addr(i)), true);
+        self.account_addresses(
+            idxs.iter().map(|&i| buf.addr(i)),
+            u64::from(buf.elem_bytes()),
+            true,
+        );
         out.clear();
         out.extend(idxs.iter().map(|&i| buf.get(i)));
     }
@@ -161,7 +173,11 @@ impl Block {
     /// Every thread `t < vals.len()` stores `vals[t]` to `buf[start + t]`.
     pub fn gst_range<T: Copy + Send>(&mut self, buf: &GBuf<T>, start: usize, vals: &[T]) {
         self.stats.gmem_bytes += (vals.len() * buf.elem_bytes() as usize) as u64;
-        self.account_addresses((0..vals.len()).map(|t| buf.addr(start + t)), false);
+        self.account_addresses(
+            (0..vals.len()).map(|t| buf.addr(start + t)),
+            u64::from(buf.elem_bytes()),
+            false,
+        );
         for (t, &v) in vals.iter().enumerate() {
             buf.set(start + t, v, self.epoch);
         }
@@ -170,7 +186,11 @@ impl Block {
     /// Thread `t` stores `pairs[t].1` to `buf[pairs[t].0]` (scatter).
     pub fn gst_scatter<T: Copy + Send>(&mut self, buf: &GBuf<T>, pairs: &[(usize, T)]) {
         self.stats.gmem_bytes += (pairs.len() * buf.elem_bytes() as usize) as u64;
-        self.account_addresses(pairs.iter().map(|&(i, _)| buf.addr(i)), false);
+        self.account_addresses(
+            pairs.iter().map(|&(i, _)| buf.addr(i)),
+            u64::from(buf.elem_bytes()),
+            false,
+        );
         for &(i, v) in pairs {
             buf.set(i, v, self.epoch);
         }

@@ -29,6 +29,12 @@ pub enum Fault {
     /// Pin the open–close loop: the contact state machine reports a
     /// change every iteration, so loop 3 never settles.
     OcPin,
+    /// Declare the AMG2 Galerkin coarse operator singular during
+    /// construction, forcing the fallback ladder to descend to ILU0. (A
+    /// genuinely singular coarse operator cannot arise from a valid SPD
+    /// system — PᵀAP inherits definiteness — so exercising that branch
+    /// needs injection.)
+    CoarseSingular,
 }
 
 /// One armed fault: target segment, kind, and remaining firings

@@ -318,6 +318,25 @@ mod tests {
     }
 
     #[test]
+    fn coalesced_f32_load_charges_half_the_bytes_of_f64() {
+        // The mixed-precision matrix streams rely on the byte accounting
+        // following `size_of::<T>()`: 32 lanes loading consecutive f32 =
+        // 128 bytes = 1 transaction, exactly half the f64 case above.
+        let data = vec![1.0f32; 64];
+        let buf = GBuf::new_ro(&data, 0);
+        let mut warp = fresh_warp();
+        for (i, rec) in warp.iter_mut().enumerate() {
+            run_lane(rec, i, |lane| {
+                let _ = lane.ld(&buf, lane.gid);
+            });
+        }
+        let mut stats = KernelStats::default();
+        aggregate_warp(&warp, &mut stats);
+        assert_eq!(stats.gmem_bytes, 128, "f32 must charge 4 bytes per lane");
+        assert_eq!(stats.gmem_transactions, 1);
+    }
+
+    #[test]
     fn strided_load_is_fully_uncoalesced() {
         // Stride-16 f64 access: every lane touches its own 128-byte segment.
         let data = vec![0.0f64; 16 * 32];

@@ -35,8 +35,10 @@ pub mod tri;
 pub mod vecops;
 
 pub use pcg::{
-    pcg, pcg_fused, pcg_fused_batch, PcgBatchEntry, PcgOptions, PcgWorkspace, SolveError,
-    SolveResult,
+    pcg, pcg_fused, pcg_fused_batch, pcg_fused_mixed, PcgBatchEntry, PcgOptions, PcgWorkspace,
+    SolveError, SolveResult, SolverPrecision,
 };
-pub use precond::{BlockJacobi, Identity, Ilu0, Jacobi, PrecondError, Preconditioner, SsorAi};
+pub use precond::{
+    Amg2, BlockJacobi, Identity, Ilu0, Jacobi, PrecondError, PrecondKind, Preconditioner, SsorAi,
+};
 pub use traits::{CsrScalarMat, CsrVectorMat, HsbcsrMat, MatVec};

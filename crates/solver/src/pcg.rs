@@ -24,13 +24,48 @@
 use crate::precond::Preconditioner;
 use crate::traits::MatVec;
 use crate::vecops::{
-    axpy, dot, dot_partials_into, fused_axpy2_norm, fused_precond_rz, fused_xpby_beta, norm_sq,
-    reduce_partials, xpby,
+    axpy, axpy_widen, demote, dot, dot_partials_into, dot_partials_into_f32, fused_axpy2_norm,
+    fused_axpy2_norm_f32, fused_precond_rz, fused_precond_rz_f32, fused_xpby_beta,
+    fused_xpby_beta_f32, norm_sq, promote, reduce_partials, xpby,
 };
 use dda_simt::{BatchSummary, Device};
-use dda_sparse::spmv::{spmv_hsbcsr_fused_pq, spmv_hsbcsr_into, SpmvWorkspace, Stage1Smem};
-use dda_sparse::Hsbcsr;
+use dda_sparse::spmv::{
+    spmv_hsbcsr_fused_pq, spmv_hsbcsr_fused_pq_f32v, spmv_hsbcsr_into, SpmvWorkspace, Stage1Smem,
+};
+use dda_sparse::{Hsbcsr, Hsbcsr32};
 use serde::{Deserialize, Serialize};
+
+/// Numeric mode for the fused solver's value streams.
+///
+/// [`Full`](SolverPrecision::Full) is the historical pure-fp64 path.
+/// [`Mixed`](SolverPrecision::Mixed) runs the inner PCG iterations with
+/// fp32 *storage* of the matrix values, every iterate vector (`x`, `r`,
+/// `z`, `p`, `q`), the SpMV staging arrays, and the Block-Jacobi inverses
+/// — halving the bytes of essentially all inner-loop global traffic —
+/// while every accumulation, every update scalar, every partial sum, and
+/// every index stays fp64, wrapped in an fp64 outer iterative-refinement
+/// loop that restores full-precision residuals. When refinement stalls or
+/// the inner solve breaks down, [`pcg_fused_mixed`] falls back
+/// deterministically to the pure-fp64 solve from the original warm start —
+/// bit-identical to what `Full` would have produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SolverPrecision {
+    /// Pure fp64 storage and arithmetic everywhere.
+    #[default]
+    Full,
+    /// fp32-storage/fp64-accumulate inner PCG under fp64 refinement.
+    Mixed,
+}
+
+impl SolverPrecision {
+    /// Short name used in reports and benchmark records.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverPrecision::Full => "fp64",
+            SolverPrecision::Mixed => "mixed",
+        }
+    }
+}
 
 /// PCG controls.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -257,6 +292,17 @@ pub struct PcgWorkspace {
     x: Vec<f64>,
     norm_partials: Vec<f64>,
     rz_partials: Vec<f64>,
+    // Outer-loop state of the mixed-precision refinement driver; kept
+    // apart from the inner-solve vectors above.
+    outer_x: Vec<f64>,
+    outer_r: Vec<f64>,
+    // fp32 iterate vectors of the mixed driver's inner correction solves
+    // ([`pcg_fused_core32`]); empty until the first Mixed solve.
+    x32: Vec<f32>,
+    r32: Vec<f32>,
+    z32: Vec<f32>,
+    p32: Vec<f32>,
+    q32: Vec<f32>,
 }
 
 impl PcgWorkspace {
@@ -288,6 +334,21 @@ impl PcgWorkspace {
 /// assert!(res.converged);
 /// ```
 pub fn pcg_fused<P: Preconditioner + ?Sized>(
+    dev: &Device,
+    h: &Hsbcsr,
+    b: &[f64],
+    x0: &[f64],
+    m: &P,
+    opts: PcgOptions,
+    ws: &mut PcgWorkspace,
+) -> SolveResult {
+    pcg_fused_core(dev, h, b, x0, m, opts, ws)
+}
+
+/// The fused fp64 iteration behind [`pcg_fused`] — bit-identical to the
+/// historical path (the mixed driver's fp32 inner solves live in their own
+/// sibling, [`pcg_fused_core32`], precisely so this one never changes).
+fn pcg_fused_core<P: Preconditioner + ?Sized>(
     dev: &Device,
     h: &Hsbcsr,
     b: &[f64],
@@ -416,12 +477,353 @@ pub fn pcg_fused<P: Preconditioner + ?Sized>(
     }
 }
 
+/// How an fp32 inner correction solve ended; the solution itself stays in
+/// `ws.x32` (fp32 — it folds into the fp64 outer iterate via
+/// [`axpy_widen`] without ever materialising an fp64 copy).
+struct InnerOutcome {
+    iterations: usize,
+    error: Option<SolveError>,
+}
+
+impl InnerOutcome {
+    fn broke_down(&self) -> bool {
+        self.error.is_some()
+    }
+}
+
+/// The fp32 inner iteration of [`pcg_fused_mixed`]: solves `A₃₂ δ = r`
+/// from zero with every iterate vector stored fp32, so SpMV values,
+/// staging arrays, vectors, *and* the Block-Jacobi inverses all stream at
+/// half the bytes. Every accumulation, update scalar, and partial-sum
+/// buffer stays fp64 (the fp32-storage/fp64-accumulate contract).
+///
+/// A deliberate line-for-line sibling of [`pcg_fused_core`] rather than a
+/// generic instantiation, so the fp64 path stays literally untouched and
+/// trivially bit-identical. Two structural differences: `x0` is always
+/// zero, so the setup SpMV of the general core (whose `A·0` is exactly
+/// zero) collapses to one demotion launch; and `b_norm_sq` arrives from
+/// the caller, whose outer residual norm *is* `‖b‖²` here — recomputing it
+/// would waste a launch.
+#[deny(clippy::float_cmp)]
+#[allow(clippy::too_many_arguments)]
+fn pcg_fused_core32<P: Preconditioner + ?Sized>(
+    dev: &Device,
+    h: &Hsbcsr,
+    h32: &Hsbcsr32,
+    b: &[f64],
+    b_norm_sq: f64,
+    m: &P,
+    opts: PcgOptions,
+    ws: &mut PcgWorkspace,
+) -> InnerOutcome {
+    let n = h.n * 6;
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+
+    ws.x32.clear();
+    ws.x32.resize(n, 0.0);
+    if !b_norm_sq.is_finite() {
+        return InnerOutcome {
+            iterations: 0,
+            error: Some(SolveError::NonFinite { iteration: 0 }),
+        };
+    }
+    let threshold_sq = if b_norm_sq > 0.0 {
+        opts.tol * opts.tol * b_norm_sq
+    } else {
+        opts.tol * opts.tol
+    };
+
+    // x = 0 ⇒ r = b, demoted once.
+    demote(dev, b, &mut ws.r32);
+    let mut r_norm_sq = b_norm_sq;
+    if r_norm_sq <= threshold_sq {
+        return InnerOutcome {
+            iterations: 0,
+            error: None,
+        };
+    }
+
+    let dinv32 = m.block_diag_inv_f32();
+    let fast_precond = dinv32.is_some() || m.is_identity();
+
+    // z₀ = M⁻¹ r and rz₀ = r·z (the fast path reuses the fused kernel so
+    // z and the r·z partials cost one launch, plus the final reduce).
+    ws.z32.clear();
+    ws.z32.resize(n, 0.0);
+    if fast_precond {
+        fused_precond_rz_f32(dev, dinv32, &ws.r32, &mut ws.z32, &[], &mut ws.rz_partials);
+    } else {
+        promote(dev, &ws.r32, &mut ws.q);
+        let z = m.apply(dev, &ws.q);
+        demote(dev, &z, &mut ws.z32);
+        dot_partials_into_f32(dev, &ws.r32, &ws.z32, &mut ws.rz_partials);
+    }
+    let mut rz = reduce_partials(dev, &ws.rz_partials);
+    ws.p32.clear();
+    ws.p32.extend_from_slice(&ws.z32);
+    ws.q32.clear();
+    ws.q32.resize(n, 0.0);
+
+    let mut iterations = 0;
+    let mut error = None;
+    while iterations < opts.max_iters {
+        iterations += 1;
+        // Launches 1–2: q = A₃₂ p, fully-fp32 streams, fused p·q partials.
+        spmv_hsbcsr_fused_pq_f32v(
+            dev,
+            h,
+            h32,
+            &ws.p32,
+            Stage1Smem::Proposed,
+            &mut ws.spmv,
+            &mut ws.q32,
+        );
+        // Launch 3: α, x/r updates, ‖r‖² partials — fp32 storage twin.
+        let pq = fused_axpy2_norm_f32(
+            dev,
+            &ws.spmv.pq_partials,
+            rz,
+            &ws.p32,
+            &ws.q32,
+            &mut ws.x32,
+            &mut ws.r32,
+            &mut ws.norm_partials,
+        );
+        if pq <= 0.0 || !pq.is_finite() {
+            error = Some(breakdown_reason(pq, iterations));
+            break;
+        }
+        if fast_precond {
+            // Launch 4: ‖r‖² reduce + z = D⁻¹r (fp32 inverses) + r·z.
+            r_norm_sq = fused_precond_rz_f32(
+                dev,
+                dinv32,
+                &ws.r32,
+                &mut ws.z32,
+                &ws.norm_partials,
+                &mut ws.rz_partials,
+            );
+            if r_norm_sq <= threshold_sq {
+                break;
+            }
+            // Launch 5: β, p ← z + β p.
+            rz = fused_xpby_beta_f32(dev, &ws.rz_partials, rz, &ws.z32, &mut ws.p32);
+        } else {
+            // Fallback: promote/demote bridge around the fp64 apply
+            // (SSOR/ILU0/AMG2 kernels stay fp64; those rungs pay the
+            // bridge traffic honestly).
+            r_norm_sq = reduce_partials(dev, &ws.norm_partials);
+            if r_norm_sq <= threshold_sq {
+                break;
+            }
+            promote(dev, &ws.r32, &mut ws.q);
+            let z = m.apply(dev, &ws.q);
+            demote(dev, &z, &mut ws.z32);
+            dot_partials_into_f32(dev, &ws.r32, &ws.z32, &mut ws.rz_partials);
+            rz = fused_xpby_beta_f32(dev, &ws.rz_partials, rz, &ws.z32, &mut ws.p32);
+        }
+    }
+
+    InnerOutcome { iterations, error }
+}
+
+/// Inner-loop relative tolerance for the fp32 correction solves: tighter
+/// buys nothing (fp32 matrix storage bounds the attainable inner accuracy),
+/// looser wastes outer passes.
+const MIXED_INNER_TOL: f64 = 1e-4;
+
+/// Each outer refinement pass must shrink the fp64 residual norm by at
+/// least this factor, or the fp32 corrections have hit their precision
+/// floor and the driver falls back to pure fp64.
+const MIXED_MIN_DROP: f64 = 0.5;
+
+/// Mixed-precision fused PCG: fp32-storage/fp64-accumulate inner solves
+/// under an fp64 iterative-refinement outer loop.
+///
+/// Each outer pass computes the full-precision residual `r = b − A₆₄x`,
+/// tests the *same* convergence criterion as [`pcg_fused`]
+/// (`‖r‖ ≤ tol·‖b‖`, so a converged mixed solve meets the pure-fp64
+/// tolerance by construction), then solves the correction system
+/// `A₃₂ δ = r` from zero with the fp32 value streams and adds `δ` back in
+/// fp64. Inner iterations draw on the shared `opts.max_iters` budget, so
+/// the iteration count in the result is comparable with the pure path.
+///
+/// **Deterministic fallback:** when an inner solve breaks down, the outer
+/// residual goes non-finite, or a pass fails to shrink `‖r‖` by
+/// [`MIXED_MIN_DROP`], the driver discards the refinement state and reruns
+/// [`pcg_fused`] in pure fp64 from the original `x0` — the result is then
+/// bit-identical to what [`SolverPrecision::Full`] would have produced,
+/// including its structured [`SolveError`]. Fault quarantine therefore
+/// behaves identically under both precisions.
+#[deny(clippy::float_cmp)]
+#[allow(clippy::too_many_arguments)]
+pub fn pcg_fused_mixed<P: Preconditioner + ?Sized>(
+    dev: &Device,
+    h: &Hsbcsr,
+    h32: &Hsbcsr32,
+    b: &[f64],
+    x0: &[f64],
+    m: &P,
+    opts: PcgOptions,
+    ws: &mut PcgWorkspace,
+) -> SolveResult {
+    let n = h.n * 6;
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    assert_eq!(x0.len(), n, "initial guess dimension mismatch");
+    assert!(h32.matches(h), "fp32 shadow out of sync with its Hsbcsr");
+
+    let b_norm_sq = norm_sq(dev, b);
+    if !b_norm_sq.is_finite() {
+        // Same early rejection as the pure path — bit-identical outcome.
+        return SolveResult {
+            x: x0.to_vec(),
+            iterations: 0,
+            converged: false,
+            residual: f64::NAN,
+            error: Some(SolveError::NonFinite { iteration: 0 }),
+        };
+    }
+    let threshold_sq = if b_norm_sq > 0.0 {
+        opts.tol * opts.tol * b_norm_sq
+    } else {
+        opts.tol * opts.tol
+    };
+
+    // The inner solves reuse the workspace wholesale, so the outer state
+    // is moved out for the duration of the refinement.
+    let mut outer_x = std::mem::take(&mut ws.outer_x);
+    let mut outer_r = std::mem::take(&mut ws.outer_r);
+    let refined = refine_mixed(
+        dev,
+        h,
+        h32,
+        b,
+        x0,
+        m,
+        opts,
+        threshold_sq,
+        ws,
+        &mut outer_x,
+        &mut outer_r,
+    );
+    ws.outer_x = outer_x;
+    ws.outer_r = outer_r;
+    match refined {
+        Some(res) => res,
+        // Deterministic fallback: rerun pure fp64 from the original warm
+        // start, bit-identical to `SolverPrecision::Full`.
+        None => pcg_fused(dev, h, b, x0, m, opts, ws),
+    }
+}
+
+/// The refinement loop of [`pcg_fused_mixed`]. `None` means "fall back to
+/// pure fp64": the inner solve broke down, the outer residual went
+/// non-finite, or a pass stalled.
+#[allow(clippy::too_many_arguments)]
+fn refine_mixed<P: Preconditioner + ?Sized>(
+    dev: &Device,
+    h: &Hsbcsr,
+    h32: &Hsbcsr32,
+    b: &[f64],
+    x0: &[f64],
+    m: &P,
+    opts: PcgOptions,
+    threshold_sq: f64,
+    ws: &mut PcgWorkspace,
+    outer_x: &mut Vec<f64>,
+    outer_r: &mut Vec<f64>,
+) -> Option<SolveResult> {
+    outer_x.clear();
+    outer_x.extend_from_slice(x0);
+
+    // Full-precision residual r = b − A₆₄ x (fp64 streams).
+    let mut r_norm_sq = outer_residual(dev, h, b, outer_x, ws, outer_r);
+    if r_norm_sq <= threshold_sq {
+        return Some(SolveResult {
+            x: outer_x.clone(),
+            iterations: 0,
+            converged: true,
+            residual: r_norm_sq.max(0.0).sqrt(),
+            error: None,
+        });
+    }
+
+    let mut iterations = 0;
+    while iterations < opts.max_iters {
+        // Correction solve A₃₂ δ = r from zero, on the remaining budget.
+        let inner_opts = PcgOptions {
+            tol: MIXED_INNER_TOL,
+            max_iters: opts.max_iters - iterations,
+        };
+        let inner = pcg_fused_core32(dev, h, h32, outer_r, r_norm_sq, m, inner_opts, ws);
+        iterations += inner.iterations.max(1);
+        if inner.broke_down() {
+            return None;
+        }
+        // x ← x + δ (the fp32 correction lives in ws.x32 after the core
+        // call; the fold-in widens on the fly).
+        axpy_widen(dev, &ws.x32, outer_x);
+        // Refresh the full-precision residual and retest convergence.
+        let new_norm_sq = outer_residual(dev, h, b, outer_x, ws, outer_r);
+        if !new_norm_sq.is_finite() {
+            return None;
+        }
+        if new_norm_sq <= threshold_sq {
+            return Some(SolveResult {
+                x: outer_x.clone(),
+                iterations,
+                converged: true,
+                residual: new_norm_sq.max(0.0).sqrt(),
+                error: None,
+            });
+        }
+        if new_norm_sq > MIXED_MIN_DROP * MIXED_MIN_DROP * r_norm_sq {
+            // Stalled: fp32 corrections no longer move the fp64 residual.
+            return None;
+        }
+        r_norm_sq = new_norm_sq;
+    }
+
+    // Budget exhausted without breakdown — a normal Δt-retry exit, the
+    // same contract as the pure-fp64 iteration cap.
+    Some(SolveResult {
+        x: outer_x.clone(),
+        iterations,
+        converged: false,
+        residual: r_norm_sq.max(0.0).sqrt(),
+        error: None,
+    })
+}
+
+/// `outer_r ← b − A₆₄·x`, returning `‖outer_r‖²` — the fp64 half of every
+/// refinement pass (two SpMV stages, one axpy, one norm).
+fn outer_residual(
+    dev: &Device,
+    h: &Hsbcsr,
+    b: &[f64],
+    x: &[f64],
+    ws: &mut PcgWorkspace,
+    outer_r: &mut Vec<f64>,
+) -> f64 {
+    let n = h.n * 6;
+    ws.q.clear();
+    ws.q.resize(n, 0.0);
+    spmv_hsbcsr_into(dev, h, x, Stage1Smem::Proposed, &mut ws.spmv, &mut ws.q);
+    outer_r.clear();
+    outer_r.extend_from_slice(b);
+    axpy(dev, -1.0, &ws.q, outer_r);
+    norm_sq(dev, outer_r)
+}
+
 /// One scene's system inside a batched PCG call: the same inputs
 /// [`pcg_fused`] takes, bundled so [`pcg_fused_batch`] can iterate over
 /// scenes while each keeps its own matrix, preconditioner and workspace.
 pub struct PcgBatchEntry<'a> {
     /// Scene operator in HSBCSR form.
     pub h: &'a Hsbcsr,
+    /// fp32 value shadow of `h`; required when `precision` is
+    /// [`SolverPrecision::Mixed`], ignored otherwise.
+    pub h32: Option<&'a Hsbcsr32>,
     /// Right-hand side.
     pub b: &'a [f64],
     /// Warm-start iterate.
@@ -430,14 +832,18 @@ pub struct PcgBatchEntry<'a> {
     pub m: &'a dyn Preconditioner,
     /// Per-scene tolerance and iteration cap.
     pub opts: PcgOptions,
+    /// Numeric mode for this scene's solve.
+    pub precision: SolverPrecision,
     /// The scene's persistent workspace.
     pub ws: &'a mut PcgWorkspace,
 }
 
 /// Batched fused PCG over N independent systems on one device.
 ///
-/// Each scene's solve runs the exact [`pcg_fused`] code path — results are
-/// bit-identical to solo solves — inside a device batch region that merges
+/// Each scene's solve runs the exact [`pcg_fused`] (or, for
+/// [`SolverPrecision::Mixed`] entries, [`pcg_fused_mixed`]) code path —
+/// results are bit-identical to solo solves under the same precision mode
+/// — inside a device batch region that merges
 /// iteration *k*'s five kernels across scenes into five batched launches
 /// (the masked lockstep a real multi-scene kernel would execute; see
 /// `dda_simt::batch`). A scene that converges early stops contributing to
@@ -454,7 +860,13 @@ pub fn pcg_fused_batch(
     let mut results = Vec::with_capacity(entries.len());
     for (i, e) in entries.iter_mut().enumerate() {
         dev.batch_segment(i);
-        results.push(pcg_fused(dev, e.h, e.b, e.x0, e.m, e.opts, e.ws));
+        results.push(match e.precision {
+            SolverPrecision::Full => pcg_fused(dev, e.h, e.b, e.x0, e.m, e.opts, e.ws),
+            SolverPrecision::Mixed => {
+                let h32 = e.h32.expect("Mixed batch entries carry an fp32 shadow");
+                pcg_fused_mixed(dev, e.h, h32, e.b, e.x0, e.m, e.opts, e.ws)
+            }
+        });
     }
     let summary = dev.batch_end();
     (results, summary)
@@ -901,10 +1313,12 @@ mod tests {
         {
             entries.push(PcgBatchEntry {
                 h,
+                h32: None,
                 b,
                 x0,
                 m: bj,
                 opts,
+                precision: SolverPrecision::Full,
                 ws,
             });
         }
@@ -940,10 +1354,12 @@ mod tests {
         let mut ws = PcgWorkspace::new();
         let mut entries = [PcgBatchEntry {
             h: &h,
+            h32: None,
             b: &b,
             x0: &x0,
             m: &bj,
             opts: PcgOptions::default(),
+            precision: SolverPrecision::Full,
             ws: &mut ws,
         }];
         let (results, summary) = pcg_fused_batch(&d, &mut entries);
@@ -953,6 +1369,203 @@ mod tests {
         assert_eq!(summary.launches_in, summary.launches_out);
         let total: f64 = summary.per_segment_seconds.iter().sum();
         assert!((total - summary.seconds).abs() <= 1e-12 * summary.seconds.max(1.0));
+    }
+
+    fn shadow_of(h: &Hsbcsr) -> Hsbcsr32 {
+        let mut s = Hsbcsr32::new();
+        s.refill_from(h);
+        s
+    }
+
+    #[test]
+    fn mixed_converges_within_tolerance_of_full() {
+        // The outer refinement tests the same ‖r‖ ≤ tol·‖b‖ criterion as
+        // the pure path, so a converged mixed solve satisfies the fp64
+        // tolerance on the *true* residual.
+        let (m, b) = problem(50, 61);
+        let h = Hsbcsr::from_sym(&m);
+        let h32 = shadow_of(&h);
+        let d = dev();
+        let bj = BlockJacobi::new(&d, &h);
+        let x0 = vec![0.0; m.dim()];
+        let opts = PcgOptions::default();
+        let mut ws = PcgWorkspace::new();
+
+        let full = pcg_fused(&d, &h, &b, &x0, &bj, opts, &mut ws);
+        let mixed = pcg_fused_mixed(&d, &h, &h32, &b, &x0, &bj, opts, &mut ws);
+        assert!(full.converged && mixed.converged);
+
+        // True fp64 residual of the mixed solution meets the tolerance.
+        let ax = m.mul_vec(&mixed.x);
+        let rnorm: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(a, bv)| (a - bv) * (a - bv))
+            .sum::<f64>()
+            .sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(
+            rnorm <= opts.tol * bn * 10.0,
+            "mixed residual {rnorm} vs tol {}",
+            opts.tol * bn
+        );
+
+        // And the two solutions agree to the outer tolerance.
+        let scale = full.x.iter().fold(1.0f64, |a, v| a.max(v.abs()));
+        for i in 0..m.dim() {
+            assert!(
+                (mixed.x[i] - full.x[i]).abs() <= opts.tol.sqrt() * scale,
+                "i={i}: mixed {} vs full {}",
+                mixed.x[i],
+                full.x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_inner_iterations_stream_f32_kernels() {
+        let (m, b) = problem(40, 62);
+        let h = Hsbcsr::from_sym(&m);
+        let h32 = shadow_of(&h);
+        let d = dev();
+        let bj = BlockJacobi::new(&d, &h);
+        let x0 = vec![0.0; m.dim()];
+        let mut ws = PcgWorkspace::new();
+        d.reset_trace();
+        let res = pcg_fused_mixed(&d, &h, &h32, &b, &x0, &bj, PcgOptions::default(), &mut ws);
+        assert!(res.converged);
+        let by = d.trace().by_kernel();
+        assert!(
+            by.contains_key("spmv.hsbcsr.stage1.f32"),
+            "inner iterations must stream the fp32 matrix values"
+        );
+        assert!(
+            by.contains_key("spmv.hsbcsr.stage1"),
+            "outer refinement must stream fp64 values"
+        );
+        // The fp32 iterations dominate: more inner SpMVs than outer ones.
+        let inner = by["spmv.hsbcsr.stage1.f32"].0.launches;
+        let outer = by["spmv.hsbcsr.stage1"].0.launches;
+        assert!(
+            inner > outer,
+            "inner {inner} vs outer {outer} SpMV launches"
+        );
+    }
+
+    #[test]
+    fn mixed_nan_rhs_rejected_identically_to_full() {
+        let (m, mut b) = problem(8, 63);
+        b[2] = f64::NAN;
+        let h = Hsbcsr::from_sym(&m);
+        let h32 = shadow_of(&h);
+        let d = dev();
+        let x0 = vec![0.0; m.dim()];
+        let mut ws = PcgWorkspace::new();
+        let mixed = pcg_fused_mixed(
+            &d,
+            &h,
+            &h32,
+            &b,
+            &x0,
+            &Identity,
+            PcgOptions::default(),
+            &mut ws,
+        );
+        let full = pcg_fused(&d, &h, &b, &x0, &Identity, PcgOptions::default(), &mut ws);
+        assert_eq!(mixed.error, Some(SolveError::NonFinite { iteration: 0 }));
+        assert_eq!(mixed.x, full.x);
+        assert_eq!(mixed.iterations, full.iterations);
+    }
+
+    #[test]
+    fn mixed_breakdown_falls_back_to_bitwise_full_result() {
+        // An indefinite operator breaks the fp32 inner solve; the driver
+        // must then produce the pure-fp64 result bit-for-bit, including
+        // the structured error — quarantine parity by construction.
+        let m = SymBlockMatrix::random_spd(12, 2.0, 64);
+        let mut indef = m.clone();
+        indef.diag[5] = indef.diag[5].scale(-25.0);
+        let h = Hsbcsr::from_sym(&indef);
+        let h32 = shadow_of(&h);
+        let d = dev();
+        let b: Vec<f64> = (0..indef.dim()).map(|i| (i as f64 * 0.4).sin()).collect();
+        let x0 = vec![0.0; indef.dim()];
+        let mut ws = PcgWorkspace::new();
+
+        let full = pcg_fused(&d, &h, &b, &x0, &Identity, PcgOptions::default(), &mut ws);
+        let mixed = pcg_fused_mixed(
+            &d,
+            &h,
+            &h32,
+            &b,
+            &x0,
+            &Identity,
+            PcgOptions::default(),
+            &mut ws,
+        );
+        assert!(full.broke_down() && mixed.broke_down());
+        assert_eq!(mixed.x, full.x, "fallback must be bit-identical to Full");
+        assert_eq!(mixed.error, full.error);
+        assert_eq!(mixed.iterations, full.iterations);
+        assert_eq!(mixed.residual, full.residual);
+    }
+
+    #[test]
+    fn mixed_batched_is_bit_identical_to_mixed_solo() {
+        let sizes = [(18usize, 71u64), (30, 72), (24, 73)];
+        let problems: Vec<(SymBlockMatrix, Vec<f64>)> =
+            sizes.iter().map(|&(n, s)| problem(n, s)).collect();
+        let hs: Vec<Hsbcsr> = problems.iter().map(|(m, _)| Hsbcsr::from_sym(m)).collect();
+        let shadows: Vec<Hsbcsr32> = hs.iter().map(shadow_of).collect();
+        let opts = PcgOptions::default();
+
+        let d_solo = dev();
+        let mut solo = Vec::new();
+        for ((m, b), (h, h32)) in problems.iter().zip(hs.iter().zip(&shadows)) {
+            let bj = BlockJacobi::new(&d_solo, h);
+            let mut ws = PcgWorkspace::new();
+            solo.push(pcg_fused_mixed(
+                &d_solo,
+                h,
+                h32,
+                b,
+                &vec![0.0; m.dim()],
+                &bj,
+                opts,
+                &mut ws,
+            ));
+        }
+
+        let d = dev();
+        let bjs: Vec<BlockJacobi> = hs.iter().map(|h| BlockJacobi::new(&d, h)).collect();
+        let x0s: Vec<Vec<f64>> = problems.iter().map(|(m, _)| vec![0.0; m.dim()]).collect();
+        let mut wss: Vec<PcgWorkspace> = (0..3).map(|_| PcgWorkspace::new()).collect();
+        let mut entries: Vec<PcgBatchEntry> = Vec::new();
+        for ((((h, h32), (_, b)), (bj, x0)), ws) in hs
+            .iter()
+            .zip(&shadows)
+            .zip(&problems)
+            .zip(bjs.iter().zip(&x0s))
+            .zip(&mut wss)
+        {
+            entries.push(PcgBatchEntry {
+                h,
+                h32: Some(h32),
+                b,
+                x0,
+                m: bj,
+                opts,
+                precision: SolverPrecision::Mixed,
+                ws,
+            });
+        }
+        let (batched, summary) = pcg_fused_batch(&d, &mut entries);
+        for (s, f) in solo.iter().zip(&batched) {
+            assert_eq!(s.x, f.x, "mixed batched iterate must be bit-identical");
+            assert_eq!(s.iterations, f.iterations);
+            assert_eq!(s.residual, f.residual);
+        }
+        assert!(summary.launches_out < summary.launches_in);
     }
 
     #[test]

@@ -1,0 +1,647 @@
+//! Two-level block-AMG preconditioner over the HSBCSR contact graph.
+//!
+//! The paper's preconditioner study stops at ILU0/SSOR-AI/Block-Jacobi;
+//! stiff contact systems (AGIPC, StiffGIPC) reward in-solve algebraic
+//! coarsening. This rung builds the cheapest useful hierarchy directly
+//! from the DDA structure:
+//!
+//! * **Aggregation** — greedy aggregation of 6×6 *blocks* over the
+//!   contact-graph sparsity (the `rc` upper listing): each unaggregated
+//!   block row seeds an aggregate and absorbs its unaggregated neighbours
+//!   up to a size cap. Piecewise-constant-per-aggregate prolongation `P`
+//!   (block identity into the owning aggregate) needs no extra storage
+//!   beyond the aggregate map.
+//! * **Smoother** — damped block-Jacobi `S = ω·D⁻¹`, reusing the
+//!   Block-Jacobi inverses scaled once at construction so every smoothing
+//!   application is a single fused block-diagonal launch. `ω = 4/(3λ̂)`
+//!   with `λ̂` a safeguarded power-iteration estimate of `λmax(D⁻¹A)`,
+//!   which keeps `ω·λmax < 2` — the symmetric V(1,1) cycle then defines an
+//!   SPD operator, as PCG requires.
+//! * **Coarse operator** — Galerkin `Aᶜ = PᵀAP`, assembled dense
+//!   (`6·n_agg` square) and Cholesky-factored at construction with a pivot
+//!   guard: a non-positive pivot reports
+//!   [`PrecondError::SingularCoarse`] and the fallback ladder descends to
+//!   ILU0. A valid SPD fine operator cannot trip the guard (`PᵀAP`
+//!   inherits definiteness), so that branch is exercised by
+//!   `Fault::CoarseSingular` injection.
+//!
+//! One application is the symmetric V(1,1) cycle
+//! `z₁ = S r`, `z₂ = z₁ + P Aᶜ⁻¹ Pᵀ (r − A z₁)`,
+//! `z = z₂ + S (r − A z₂)` — two fused smoother launches, two SpMVs, a
+//! restriction and a prolongation launch, and a host-side coarse
+//! back-substitution charged to the cost model as an external record.
+
+#![deny(clippy::float_cmp)]
+
+use super::block_jacobi::{block_diag_apply, BlockJacobi};
+use super::{PrecondError, Preconditioner};
+use crate::vecops::axpy;
+use dda_simt::{Device, KernelStats};
+use dda_sparse::spmv::{spmv_hsbcsr_into, SpmvWorkspace, Stage1Smem};
+use dda_sparse::Hsbcsr;
+use std::cell::RefCell;
+
+/// Aggregate size cap: a seed absorbs at most this many block rows
+/// (itself included). Contact-graph degrees are small, so 8 keeps the
+/// coarse space near `n/4`–`n/2` without starving the smoother.
+const AGG_CAP: usize = 8;
+
+/// Power-iteration count for the `λmax(D⁻¹A)` estimate.
+const POWER_ITERS: usize = 8;
+
+/// Headroom on the spectral estimate: power iteration converges from
+/// below, so the damping uses `1.1·λ̂` to keep `ω·λmax` safely under 2.
+const LAMBDA_SAFETY: f64 = 1.1;
+
+/// The two-level block-AMG preconditioner.
+pub struct Amg2<'m> {
+    h: &'m Hsbcsr,
+    n: usize,
+    n_agg: usize,
+    /// Aggregate id per fine block row.
+    agg_of: Vec<u32>,
+    /// Member lists per aggregate: `agg_members[agg_ptr[a]..agg_ptr[a+1]]`
+    /// are the fine block rows of aggregate `a`, ascending. The restriction
+    /// kernel gathers over these so no two lanes write one coarse slot.
+    agg_ptr: Vec<u32>,
+    agg_members: Vec<u32>,
+    /// ω-scaled Block-Jacobi inverses (flat 36 per block): the smoother.
+    sdinv: Vec<f64>,
+    /// Damping factor actually used (diagnostics).
+    omega: f64,
+    /// Dense lower Cholesky factor of the Galerkin coarse operator,
+    /// row-major `nc×nc` with `nc = 6·n_agg`.
+    chol: Vec<f64>,
+    scratch: RefCell<ApplyScratch>,
+}
+
+#[derive(Default)]
+struct ApplyScratch {
+    spmv: SpmvWorkspace,
+    /// SpMV output `A z`.
+    q: Vec<f64>,
+    /// Fine-level residual `r − A z`.
+    t: Vec<f64>,
+    /// Coarse right-hand side / solution (length `6·n_agg`).
+    e: Vec<f64>,
+}
+
+impl<'m> Amg2<'m> {
+    /// Builds the two-level hierarchy.
+    ///
+    /// # Panics
+    /// Panics when construction fails; use [`Amg2::try_new`] for untrusted
+    /// scene input (the pipeline's fallback ladder does).
+    pub fn new(dev: &Device, h: &'m Hsbcsr) -> Amg2<'m> {
+        Amg2::try_new(dev, h).unwrap_or_else(|e| panic!("AMG2 construction failed: {e}"))
+    }
+
+    /// Fallible construction: a singular diagonal sub-matrix (smoother) or
+    /// a non-SPD Galerkin coarse operator reports a structured
+    /// [`PrecondError`] for the ladder to act on.
+    pub fn try_new(dev: &Device, h: &'m Hsbcsr) -> Result<Amg2<'m>, PrecondError> {
+        let n = h.n;
+        let bj = BlockJacobi::try_new(dev, h)?;
+
+        // λmax(D⁻¹A) estimate → smoother damping ω = 4/(3·λ̂·safety).
+        let lambda = power_lambda_max(h, bj.dinv());
+        let omega = 4.0 / (3.0 * LAMBDA_SAFETY * lambda.max(1e-12));
+        let sdinv: Vec<f64> = bj.dinv().iter().map(|v| omega * v).collect();
+
+        // Greedy aggregation over the contact-graph adjacency.
+        let (agg_of, n_agg) = aggregate(h);
+        // Counting-sort member lists for the conflict-free restriction.
+        let mut agg_ptr = vec![0u32; n_agg + 1];
+        for &a in &agg_of {
+            agg_ptr[a as usize + 1] += 1;
+        }
+        for a in 0..n_agg {
+            agg_ptr[a + 1] += agg_ptr[a];
+        }
+        let mut fill = agg_ptr.clone();
+        let mut agg_members = vec![0u32; n];
+        for (i, &a) in agg_of.iter().enumerate() {
+            agg_members[fill[a as usize] as usize] = i as u32;
+            fill[a as usize] += 1;
+        }
+
+        // Injected fault: declare the coarse operator singular before
+        // factoring, exercising the AMG2 → ILU0 ladder descent on demand.
+        #[cfg(feature = "fault-inject")]
+        if dev.fault_fires(dda_simt::Fault::CoarseSingular) {
+            return Err(PrecondError::SingularCoarse { row: 0 });
+        }
+
+        // Galerkin Aᶜ = PᵀAP, dense, then in-place Cholesky with a pivot
+        // guard.
+        let nc = 6 * n_agg;
+        let mut chol = galerkin_dense(h, &agg_of, n_agg);
+        cholesky_in_place(&mut chol, nc)?;
+
+        // Host-side construction cost (aggregation + Galerkin + Cholesky),
+        // charged to the cost model like the ILU factorization is.
+        let nnz_blocks = (n + 2 * h.n_nd) as u64;
+        dev.record_external(
+            "precond.amg2.construct",
+            KernelStats {
+                launches: 1,
+                threads: nc as u64,
+                warps: (nc as u64).div_ceil(32).max(1),
+                flops: nnz_blocks * 36
+                    + (nc as u64).pow(3) / 3
+                    + 36 * n as u64 * POWER_ITERS as u64,
+                warp_flops: nnz_blocks * 36 + (nc as u64).pow(3) / 3,
+                gmem_bytes: nnz_blocks * 36 * 8 + (nc * nc * 8) as u64,
+                gmem_transactions: (nnz_blocks * 36 * 8 + (nc * nc * 8) as u64) / 128,
+                ..Default::default()
+            },
+        );
+
+        Ok(Amg2 {
+            h,
+            n,
+            n_agg,
+            agg_of,
+            agg_ptr,
+            agg_members,
+            sdinv,
+            omega,
+            chol,
+            scratch: RefCell::new(ApplyScratch::default()),
+        })
+    }
+
+    /// Number of aggregates (coarse block rows).
+    pub fn n_aggregates(&self) -> usize {
+        self.n_agg
+    }
+
+    /// The smoother damping factor chosen at construction.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// `t ← r − A z` via the device SpMV plus one subtraction launch.
+    fn residual_into(
+        &self,
+        dev: &Device,
+        z: &[f64],
+        r: &[f64],
+        spmv: &mut SpmvWorkspace,
+        q: &mut Vec<f64>,
+        t: &mut Vec<f64>,
+    ) {
+        let dim = self.n * 6;
+        q.clear();
+        q.resize(dim, 0.0);
+        spmv_hsbcsr_into(dev, self.h, z, Stage1Smem::Proposed, spmv, q);
+        t.clear();
+        t.resize(dim, 0.0);
+        let b_r = dev.bind_ro(r);
+        let b_q = dev.bind_ro(q.as_slice());
+        let b_t = dev.bind(t.as_mut_slice());
+        dev.launch("precond.amg2.residual", dim, |lane| {
+            let rv = lane.ld(&b_r, lane.gid);
+            let qv = lane.ld(&b_q, lane.gid);
+            lane.flop(1);
+            lane.st(&b_t, lane.gid, rv - qv);
+        });
+    }
+
+    /// `z ← z + P Aᶜ⁻¹ Pᵀ t`: restriction launch, host coarse
+    /// back-substitution (externally charged), prolongation launch.
+    fn coarse_correct(&self, dev: &Device, t: &[f64], e: &mut Vec<f64>, z: &mut [f64]) {
+        let nc = 6 * self.n_agg;
+        e.clear();
+        e.resize(nc, 0.0);
+        // Pᵀ t: one thread per *coarse* dof gathering its aggregate's
+        // members — every lane owns exactly one output slot, so the kernel
+        // is write-conflict-free and its sum order is deterministic
+        // (members ascend).
+        {
+            let b_t = dev.bind_ro(t);
+            let b_ptr = dev.bind_ro(&self.agg_ptr);
+            let b_mem = dev.bind_ro(&self.agg_members);
+            let b_e = dev.bind(e.as_mut_slice());
+            dev.launch("precond.amg2.restrict", nc, |lane| {
+                let a = lane.gid / 6;
+                let d = lane.gid % 6;
+                let lo = lane.ld(&b_ptr, a) as usize;
+                let hi = lane.ld(&b_ptr, a + 1) as usize;
+                let mut acc = 0.0;
+                for p in lo..hi {
+                    let i = lane.ld(&b_mem, p) as usize;
+                    let v = lane.ld_tex(&b_t, i * 6 + d);
+                    lane.flop(1);
+                    acc += v;
+                }
+                lane.st(&b_e, lane.gid, acc);
+            });
+        }
+        // Coarse solve L Lᵀ e = Pᵀt on the host, charged externally
+        // (nc² multiply-adds of forward + backward substitution).
+        chol_solve_in_place(&self.chol, nc, e);
+        dev.record_external(
+            "precond.amg2.coarse_solve",
+            KernelStats {
+                launches: 1,
+                threads: nc as u64,
+                warps: (nc as u64).div_ceil(32).max(1),
+                flops: 2 * (nc as u64).pow(2),
+                warp_flops: 2 * (nc as u64).pow(2),
+                gmem_bytes: (nc * nc * 8) as u64,
+                gmem_transactions: ((nc * nc * 8) as u64).div_ceil(128),
+                ..Default::default()
+            },
+        );
+        // z += P e.
+        {
+            let b_e = dev.bind_ro(e.as_slice());
+            let b_agg = dev.bind_ro(&self.agg_of);
+            let b_z = dev.bind(&mut *z);
+            let dim = self.n * 6;
+            dev.launch("precond.amg2.prolong", dim, |lane| {
+                let g = lane.gid;
+                let a = lane.ld(&b_agg, g / 6) as usize;
+                let ev = lane.ld_tex(&b_e, a * 6 + g % 6);
+                let zv = lane.ld(&b_z, g);
+                lane.flop(1);
+                lane.st(&b_z, g, zv + ev);
+            });
+        }
+    }
+}
+
+impl Preconditioner for Amg2<'_> {
+    fn name(&self) -> &'static str {
+        "AMG2"
+    }
+
+    fn apply(&self, dev: &Device, r: &[f64]) -> Vec<f64> {
+        assert_eq!(r.len(), self.n * 6);
+        let mut s = self.scratch.borrow_mut();
+        let ApplyScratch { spmv, q, t, e } = &mut *s;
+        // Pre-smooth: z₁ = ω D⁻¹ r (one fused block-diagonal launch).
+        let mut z = block_diag_apply(dev, "precond.amg2.smooth", &self.sdinv, r);
+        // Coarse correction: z₂ = z₁ + P Aᶜ⁻¹ Pᵀ (r − A z₁).
+        self.residual_into(dev, &z, r, spmv, q, t);
+        self.coarse_correct(dev, t, e, &mut z);
+        // Post-smooth: z = z₂ + ω D⁻¹ (r − A z₂) — symmetric cycle.
+        self.residual_into(dev, &z, r, spmv, q, t);
+        let dz = block_diag_apply(dev, "precond.amg2.smooth", &self.sdinv, t);
+        axpy(dev, 1.0, &dz, &mut z);
+        z
+    }
+}
+
+/// Greedy aggregation over the upper-listing adjacency: every unaggregated
+/// block row (in order) seeds an aggregate and absorbs its unaggregated
+/// neighbours up to [`AGG_CAP`]. Every row ends up aggregated (isolated
+/// rows form singletons), so the prolongation has full column rank.
+fn aggregate(h: &Hsbcsr) -> (Vec<u32>, usize) {
+    let n = h.n;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &rc in &h.rc {
+        let r = (rc >> 32) as usize;
+        let c = (rc & 0xffff_ffff) as usize;
+        adj[r].push(c as u32);
+        adj[c].push(r as u32);
+    }
+    let mut agg_of = vec![u32::MAX; n];
+    let mut n_agg = 0u32;
+    for i in 0..n {
+        if agg_of[i] != u32::MAX {
+            continue;
+        }
+        agg_of[i] = n_agg;
+        let mut size = 1;
+        for &j in &adj[i] {
+            if size >= AGG_CAP {
+                break;
+            }
+            if agg_of[j as usize] == u32::MAX {
+                agg_of[j as usize] = n_agg;
+                size += 1;
+            }
+        }
+        n_agg += 1;
+    }
+    (agg_of, n_agg as usize)
+}
+
+/// Reads 6×6 block `(r_, c_)` of the sliced array at `slot`.
+fn sliced_block(data: &[f64], pad: usize, slot: usize) -> [[f64; 6]; 6] {
+    let mut b = [[0.0f64; 6]; 6];
+    for r in 0..6 {
+        for c in 0..6 {
+            b[r][c] = data[Hsbcsr::sliced_index(pad, slot, r, c)];
+        }
+    }
+    b
+}
+
+/// Host serial `y = A v` over the HSBCSR arrays (diag + upper + mirrored
+/// lower) — construction-time only, used by the spectral estimate.
+fn mul_host(h: &Hsbcsr, v: &[f64], y: &mut [f64]) {
+    y.iter_mut().for_each(|t| *t = 0.0);
+    for i in 0..h.n {
+        let b = sliced_block(&h.d_data, h.pad_d, i);
+        for r in 0..6 {
+            let mut acc = 0.0;
+            for c in 0..6 {
+                acc += b[r][c] * v[i * 6 + c];
+            }
+            y[i * 6 + r] += acc;
+        }
+    }
+    for k in 0..h.n_nd {
+        let rc = h.rc[k];
+        let br = (rc >> 32) as usize;
+        let bc = (rc & 0xffff_ffff) as usize;
+        let b = sliced_block(&h.nd_data_up, h.pad_nd, k);
+        for r in 0..6 {
+            for c in 0..6 {
+                y[br * 6 + r] += b[r][c] * v[bc * 6 + c];
+                y[bc * 6 + c] += b[r][c] * v[br * 6 + r];
+            }
+        }
+    }
+}
+
+/// Safeguarded power-iteration estimate of `λmax(D⁻¹A)` (deterministic
+/// start vector, [`POWER_ITERS`] passes, host arithmetic).
+fn power_lambda_max(h: &Hsbcsr, dinv: &[f64]) -> f64 {
+    let dim = h.n * 6;
+    let mut v: Vec<f64> = (0..dim).map(|j| 1.0 + 0.1 * ((j % 7) as f64)).collect();
+    let mut av = vec![0.0f64; dim];
+    let mut w = vec![0.0f64; dim];
+    let mut lambda = 1.0f64;
+    for _ in 0..POWER_ITERS {
+        mul_host(h, &v, &mut av);
+        // w = D⁻¹ (A v)
+        for i in 0..h.n {
+            for r in 0..6 {
+                let mut acc = 0.0;
+                for c in 0..6 {
+                    acc += dinv[i * 36 + r * 6 + c] * av[i * 6 + c];
+                }
+                w[i * 6 + r] = acc;
+            }
+        }
+        let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if !norm.is_finite() || norm <= 0.0 {
+            // Degenerate operator: fall back to a conservative bound so
+            // construction proceeds and the solve (not the smoother)
+            // reports the real problem.
+            return 2.0;
+        }
+        lambda = norm / v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+        let inv = 1.0 / norm;
+        v.iter_mut().zip(&w).for_each(|(t, s)| *t = s * inv);
+    }
+    lambda.max(1.0)
+}
+
+/// Dense Galerkin coarse operator `Aᶜ = PᵀAP`, row-major `nc×nc`.
+fn galerkin_dense(h: &Hsbcsr, agg_of: &[u32], n_agg: usize) -> Vec<f64> {
+    let nc = 6 * n_agg;
+    let mut a = vec![0.0f64; nc * nc];
+    let mut add = |ar: usize, ac: usize, b: &[[f64; 6]; 6], transpose: bool| {
+        for r in 0..6 {
+            for c in 0..6 {
+                let v = if transpose { b[c][r] } else { b[r][c] };
+                a[(ar * 6 + r) * nc + ac * 6 + c] += v;
+            }
+        }
+    };
+    for i in 0..h.n {
+        let ai = agg_of[i] as usize;
+        let b = sliced_block(&h.d_data, h.pad_d, i);
+        add(ai, ai, &b, false);
+    }
+    for k in 0..h.n_nd {
+        let rc = h.rc[k];
+        let br = agg_of[(rc >> 32) as usize] as usize;
+        let bc = agg_of[(rc & 0xffff_ffff) as usize] as usize;
+        let b = sliced_block(&h.nd_data_up, h.pad_nd, k);
+        add(br, bc, &b, false);
+        add(bc, br, &b, true);
+    }
+    a
+}
+
+/// In-place lower Cholesky of a row-major `nc×nc` matrix with a pivot
+/// guard: reports the first non-positive or non-finite pivot.
+fn cholesky_in_place(a: &mut [f64], nc: usize) -> Result<(), PrecondError> {
+    let scale = a.iter().fold(
+        0.0f64,
+        |m, v| if v.is_finite() { m.max(v.abs()) } else { m },
+    );
+    let floor = scale.max(1.0) * 1e-14;
+    for j in 0..nc {
+        let mut d = a[j * nc + j];
+        for k in 0..j {
+            d -= a[j * nc + k] * a[j * nc + k];
+        }
+        if !d.is_finite() || d <= floor {
+            return Err(PrecondError::SingularCoarse { row: j });
+        }
+        let dj = d.sqrt();
+        a[j * nc + j] = dj;
+        let inv = 1.0 / dj;
+        for i in (j + 1)..nc {
+            let mut s = a[i * nc + j];
+            for k in 0..j {
+                s -= a[i * nc + k] * a[j * nc + k];
+            }
+            a[i * nc + j] = s * inv;
+        }
+    }
+    // Zero the strict upper triangle so the factor is self-describing.
+    for r in 0..nc {
+        for c in (r + 1)..nc {
+            a[r * nc + c] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Solves `L Lᵀ x = b` in place given the lower factor.
+fn chol_solve_in_place(l: &[f64], nc: usize, b: &mut [f64]) {
+    for i in 0..nc {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i * nc + k] * b[k];
+        }
+        b[i] = s / l[i * nc + i];
+    }
+    for i in (0..nc).rev() {
+        let mut s = b[i];
+        for k in (i + 1)..nc {
+            s -= l[k * nc + i] * b[k];
+        }
+        b[i] = s / l[i * nc + i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::{pcg_fused, PcgOptions, PcgWorkspace};
+    use crate::vecops::dot;
+    use dda_simt::DeviceProfile;
+    use dda_sparse::SymBlockMatrix;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40())
+    }
+
+    #[test]
+    fn aggregation_covers_every_block_row() {
+        let m = SymBlockMatrix::random_spd(60, 4.0, 5);
+        let h = Hsbcsr::from_sym(&m);
+        let (agg_of, n_agg) = aggregate(&h);
+        assert!(agg_of.iter().all(|&a| (a as usize) < n_agg));
+        assert!(n_agg < 60, "a connected contact graph must coarsen");
+        // Every aggregate is non-empty.
+        let mut seen = vec![false; n_agg];
+        for &a in &agg_of {
+            seen[a as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cholesky_roundtrip_solves() {
+        // Small SPD system: factor + solve reproduces a known solution.
+        let nc = 12;
+        let mut a = vec![0.0f64; nc * nc];
+        for i in 0..nc {
+            for j in 0..nc {
+                a[i * nc + j] = if i == j {
+                    8.0 + i as f64
+                } else {
+                    1.0 / (1.0 + (i as f64 - j as f64).abs())
+                };
+            }
+        }
+        let x_true: Vec<f64> = (0..nc).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut b = vec![0.0f64; nc];
+        for i in 0..nc {
+            for j in 0..nc {
+                b[i] += a[i * nc + j] * x_true[j];
+            }
+        }
+        cholesky_in_place(&mut a, nc).unwrap();
+        chol_solve_in_place(&a, nc, &mut b);
+        for i in 0..nc {
+            assert!((b[i] - x_true[i]).abs() < 1e-10, "i={i}");
+        }
+    }
+
+    #[test]
+    fn cholesky_guards_non_spd() {
+        let nc = 6;
+        let mut a = vec![0.0f64; nc * nc];
+        for i in 0..nc {
+            a[i * nc + i] = 1.0;
+        }
+        a[3 * nc + 3] = -2.0;
+        assert_eq!(
+            cholesky_in_place(&mut a, nc),
+            Err(PrecondError::SingularCoarse { row: 3 })
+        );
+    }
+
+    #[test]
+    fn apply_is_symmetric_and_positive() {
+        // PCG needs M⁻¹ SPD: check symmetry ⟨M⁻¹u, v⟩ = ⟨u, M⁻¹v⟩ and
+        // positivity ⟨M⁻¹u, u⟩ > 0 on sample vectors.
+        let m = SymBlockMatrix::random_spd(25, 3.0, 8);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let amg = Amg2::new(&d, &h);
+        let dim = m.dim();
+        let u: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.37).sin()).collect();
+        let v: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.53).cos()).collect();
+        let mu = amg.apply(&d, &u);
+        let mv = amg.apply(&d, &v);
+        let uv = dot(&d, &mu, &v);
+        let vu = dot(&d, &u, &mv);
+        let scale = uv.abs().max(vu.abs()).max(1.0);
+        assert!((uv - vu).abs() <= 1e-10 * scale, "asymmetry: {uv} vs {vu}");
+        let uu = dot(&d, &mu, &u);
+        assert!(uu > 0.0, "non-positive energy {uu}");
+    }
+
+    #[test]
+    fn amg2_beats_block_jacobi_iterations() {
+        // The point of the top rung: fewer PCG iterations than BJ on a
+        // sizeable contact system.
+        let m = SymBlockMatrix::random_spd(120, 4.0, 17);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        let b: Vec<f64> = (0..m.dim())
+            .map(|i| ((i * 13 + 5) % 23) as f64 - 11.0)
+            .collect();
+        let x0 = vec![0.0; m.dim()];
+        let opts = PcgOptions {
+            tol: 1e-10,
+            max_iters: 500,
+        };
+        let mut ws = PcgWorkspace::new();
+
+        let bj = BlockJacobi::new(&d, &h);
+        let r_bj = pcg_fused(&d, &h, &b, &x0, &bj, opts, &mut ws);
+        let amg = Amg2::new(&d, &h);
+        let r_amg = pcg_fused(&d, &h, &b, &x0, &amg, opts, &mut ws);
+
+        assert!(r_bj.converged && r_amg.converged);
+        assert!(
+            r_amg.iterations < r_bj.iterations,
+            "AMG2 {} vs BJ {} iterations",
+            r_amg.iterations,
+            r_bj.iterations
+        );
+    }
+
+    #[test]
+    fn construction_records_external_costs() {
+        let m = SymBlockMatrix::random_spd(30, 3.0, 21);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        d.reset_trace();
+        let amg = Amg2::new(&d, &h);
+        let by = d.trace().by_kernel();
+        assert!(by.contains_key("precond.amg2.construct"));
+        assert!(by.contains_key("precond.bj.construct"));
+        assert!(
+            amg.omega() > 0.0 && amg.omega() < 2.0,
+            "ω = {}",
+            amg.omega()
+        );
+        assert!(amg.n_aggregates() >= 1 && amg.n_aggregates() < 30);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn armed_coarse_singular_fault_fails_construction() {
+        use dda_simt::Fault;
+        let m = SymBlockMatrix::random_spd(15, 3.0, 33);
+        let h = Hsbcsr::from_sym(&m);
+        let d = dev();
+        // Faults only fire inside a batch region with a current segment.
+        d.arm_fault(0, Fault::CoarseSingular, 1);
+        d.batch_begin(1);
+        d.batch_segment(0);
+        let res = Amg2::try_new(&d, &h);
+        let _ = d.batch_end();
+        assert_eq!(res.err(), Some(PrecondError::SingularCoarse { row: 0 }));
+        // Budget consumed: the next construction succeeds.
+        d.batch_begin(1);
+        d.batch_segment(0);
+        let ok = Amg2::try_new(&d, &h);
+        let _ = d.batch_end();
+        assert!(ok.is_ok());
+    }
+}

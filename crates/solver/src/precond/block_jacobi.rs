@@ -16,6 +16,10 @@ pub struct BlockJacobi {
     n: usize,
     /// Flat row-major inverses, 36 values per block row.
     dinv: Vec<f64>,
+    /// fp32 shadow of `dinv`, written by the same construction launch, so
+    /// the mixed solver's inner loop streams the inverses at half the
+    /// bytes without a separate demotion pass.
+    dinv32: Vec<f32>,
 }
 
 impl BlockJacobi {
@@ -37,6 +41,7 @@ impl BlockJacobi {
         let mut bj = BlockJacobi {
             n: m.n,
             dinv: vec![0.0f64; 36 * m.n],
+            dinv32: vec![0.0f32; 36 * m.n],
         };
         bj.compute(dev, m)?;
         Ok(bj)
@@ -60,6 +65,8 @@ impl BlockJacobi {
             self.n = m.n;
             self.dinv.clear();
             self.dinv.resize(36 * m.n, 0.0);
+            self.dinv32.clear();
+            self.dinv32.resize(36 * m.n, 0.0);
         }
         self.compute(dev, m)
     }
@@ -72,6 +79,7 @@ impl BlockJacobi {
         {
             let b_d = dev.bind_ro(&m.d_data);
             let b_out = dev.bind(self.dinv.as_mut_slice());
+            let b_out32 = dev.bind(self.dinv32.as_mut_slice());
             let pad = m.pad_d;
             let flag = &singular;
             dev.launch("precond.bj.construct", m.n, |lane| {
@@ -96,6 +104,7 @@ impl BlockJacobi {
                 for r in 0..6 {
                     for c in 0..6 {
                         lane.st(&b_out, i * 36 + r * 6 + c, out.0[r][c]);
+                        lane.st(&b_out32, i * 36 + r * 6 + c, out.0[r][c] as f32);
                     }
                 }
             });
@@ -171,6 +180,10 @@ impl Preconditioner for BlockJacobi {
 
     fn block_diag_inv(&self) -> Option<&[f64]> {
         Some(&self.dinv)
+    }
+
+    fn block_diag_inv_f32(&self) -> Option<&[f32]> {
+        Some(&self.dinv32)
     }
 }
 

@@ -14,12 +14,14 @@
 //! loses the total time by an order of magnitude because the triangular
 //! solves and the factorization dominate.
 
+mod amg2;
 mod block_jacobi;
 mod identity;
 mod ilu0;
 mod jacobi;
 mod ssor_ai;
 
+pub use amg2::Amg2;
 pub use block_jacobi::BlockJacobi;
 pub use identity::Identity;
 pub use ilu0::Ilu0;
@@ -27,6 +29,74 @@ pub use jacobi::Jacobi;
 pub use ssor_ai::SsorAi;
 
 use dda_simt::Device;
+use serde::{Deserialize, Serialize};
+
+/// Preconditioner selection for the equation-solving module: the paper's
+/// Table I candidates plus the two-level block-AMG top rung. This is the
+/// *policy* enum the pipeline stores in its parameters and reports — the
+/// constructed preconditioners themselves implement [`Preconditioner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PrecondKind {
+    /// Plain CG.
+    None,
+    /// Block-Jacobi (the paper's recommendation together with SSOR).
+    #[default]
+    BlockJacobi,
+    /// SSOR approximate inverse.
+    SsorAi,
+    /// ILU(0) with level-scheduled triangular solves.
+    Ilu0,
+    /// Scalar-diagonal Jacobi — the last rung of the degradation ladder.
+    Jacobi,
+    /// Two-level block-AMG (greedy aggregation + Galerkin coarse solve).
+    Amg2,
+}
+
+impl PrecondKind {
+    /// Short rung name used in step reports and benchmark records.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrecondKind::None => "none",
+            PrecondKind::BlockJacobi => "BJ",
+            PrecondKind::SsorAi => "SSOR-AI",
+            PrecondKind::Ilu0 => "ILU0",
+            PrecondKind::Jacobi => "Jacobi",
+            PrecondKind::Amg2 => "AMG2",
+        }
+    }
+
+    /// The degradation ladder rooted at `self`: on construction failure or
+    /// solver breakdown the pipeline descends AMG2 → ILU0 → SSOR-AI →
+    /// Block-Jacobi → Jacobi, each rung cheaper and harder to break than
+    /// the one above (Jacobi only needs a nonzero scalar diagonal). Plain
+    /// CG has no rungs to descend to — a breakdown there is the operator's
+    /// fault, not the preconditioner's.
+    pub fn ladder(self) -> &'static [PrecondKind] {
+        match self {
+            PrecondKind::None => &[PrecondKind::None],
+            PrecondKind::Amg2 => &[
+                PrecondKind::Amg2,
+                PrecondKind::Ilu0,
+                PrecondKind::SsorAi,
+                PrecondKind::BlockJacobi,
+                PrecondKind::Jacobi,
+            ],
+            PrecondKind::Ilu0 => &[
+                PrecondKind::Ilu0,
+                PrecondKind::SsorAi,
+                PrecondKind::BlockJacobi,
+                PrecondKind::Jacobi,
+            ],
+            PrecondKind::SsorAi => &[
+                PrecondKind::SsorAi,
+                PrecondKind::BlockJacobi,
+                PrecondKind::Jacobi,
+            ],
+            PrecondKind::BlockJacobi => &[PrecondKind::BlockJacobi, PrecondKind::Jacobi],
+            PrecondKind::Jacobi => &[PrecondKind::Jacobi],
+        }
+    }
+}
 
 /// Structured construction failure: the matrix handed to a preconditioner
 /// cannot be factored. These feed the pipeline's degradation ladder
@@ -58,6 +128,15 @@ pub enum PrecondError {
         /// Scalar row of the offending entry.
         row: usize,
     },
+    /// The AMG2 Galerkin coarse operator could not be Cholesky-factored
+    /// (zero, negative, or non-finite pivot). A valid SPD fine operator
+    /// cannot produce this — `PᵀAP` inherits definiteness — so in practice
+    /// it marks corrupted input or an injected fault, and the ladder
+    /// descends to ILU0.
+    SingularCoarse {
+        /// Scalar row of the offending coarse pivot.
+        row: usize,
+    },
 }
 
 impl core::fmt::Display for PrecondError {
@@ -75,6 +154,9 @@ impl core::fmt::Display for PrecondError {
             PrecondError::ZeroDiagonal { row } => {
                 write!(f, "zero or non-finite diagonal at scalar row {row}")
             }
+            PrecondError::SingularCoarse { row } => {
+                write!(f, "singular AMG2 coarse operator at scalar row {row}")
+            }
         }
     }
 }
@@ -91,6 +173,13 @@ pub trait Preconditioner {
     /// inside its reduction kernel instead of a separate apply launch.
     /// `None` (the default) sends the fused solver down its fallback path.
     fn block_diag_inv(&self) -> Option<&[f64]> {
+        None
+    }
+    /// fp32 shadow of [`Preconditioner::block_diag_inv`], maintained by
+    /// block-diagonal preconditioners so the mixed solver's fp32 inner
+    /// loop streams the inverses at half the bytes. `None` (the default)
+    /// makes the inner loop bridge through the fp64 apply instead.
+    fn block_diag_inv_f32(&self) -> Option<&[f32]> {
         None
     }
     /// True when apply is the identity (`z = r`), which the fused PCG also

@@ -34,6 +34,14 @@ struct FusedScratch {
     out: Vec<f64>,
     ia: Vec<usize>,
     ib: Vec<usize>,
+    // fp32 tile twins for the `_f32` kernel variants of the mixed solver's
+    // inner loop; empty until that loop first runs.
+    va32: Vec<f32>,
+    vb32: Vec<f32>,
+    vc32: Vec<f32>,
+    vd32: Vec<f32>,
+    red32: Vec<f32>,
+    out32: Vec<f32>,
 }
 
 thread_local! {
@@ -149,7 +157,7 @@ pub fn reduce_partials(dev: &Device, partials: &[f64]) -> f64 {
 /// 256-chunk order — used by the fused kernels to hand the reduced scalar
 /// back to the orchestrating host without an extra launch (the device-side
 /// redundant reduce is charged inside the fused kernel itself).
-fn reduce_partials_host(partials: &[f64]) -> f64 {
+pub(crate) fn reduce_partials_host(partials: &[f64]) -> f64 {
     if partials.len() == 1 {
         return partials[0];
     }
@@ -399,6 +407,317 @@ pub fn fused_xpby_beta(
                 out.clear();
                 out.extend((0..count).map(|t| va[t] + beta * vb[t]));
                 blk.gst_range(&b_p, start, out);
+            });
+        });
+    }
+    reduce_partials_host(rz_partials)
+}
+
+// ---------------------------------------------------------------------------
+// fp32 vector kernels for the mixed solver's inner loop.
+//
+// Storage (and therefore global-memory bytes) is fp32; every product and
+// reduction accumulates in f64 and every partial-sum buffer stays f64, so
+// the update scalars (α, β, ‖r‖², r·z) carry full precision between
+// launches — the same fp32-storage/fp64-accumulate contract as the SpMV.
+// The kernels are deliberate line-for-line twins of their f64 originals
+// (same tile order, same breakdown guard, same redundant reductions) so the
+// only behavioural difference is the per-element rounding on store.
+// ---------------------------------------------------------------------------
+
+/// `y ← y + x` with `x` fp32 and `y` fp64 — the promotion step that folds
+/// an fp32 inner correction into the fp64 refinement iterate in one launch
+/// (12 bytes moved per element instead of promote-then-axpy's 24).
+pub fn axpy_widen(dev: &Device, x: &[f32], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let bx = dev.bind_ro(x);
+    let by = dev.bind(y);
+    dev.launch("vec.axpy.widen", n, |lane| {
+        let i = lane.gid;
+        let xv = lane.ld(&bx, i);
+        let yv = lane.ld(&by, i);
+        lane.flop(1);
+        lane.st(&by, i, yv + f64::from(xv));
+    });
+}
+
+/// `y ← fp32(x)`: one rounding per element, 12 bytes moved.
+pub fn demote(dev: &Device, x: &[f64], y: &mut Vec<f32>) {
+    let n = x.len();
+    y.clear();
+    y.resize(n, 0.0);
+    let bx = dev.bind_ro(x);
+    let by = dev.bind(y.as_mut_slice());
+    dev.launch("vec.demote", n, |lane| {
+        let v = lane.ld(&bx, lane.gid);
+        lane.st(&by, lane.gid, v as f32);
+    });
+}
+
+/// `y ← fp64(x)`: exact widening, 12 bytes moved. The bridge that lets
+/// non-block-diagonal preconditioners (SSOR/ILU0/AMG2) apply their fp64
+/// kernels inside the fp32 inner loop.
+pub fn promote(dev: &Device, x: &[f32], y: &mut Vec<f64>) {
+    let n = x.len();
+    y.clear();
+    y.resize(n, 0.0);
+    let bx = dev.bind_ro(x);
+    let by = dev.bind(y.as_mut_slice());
+    dev.launch("vec.promote", n, |lane| {
+        let v = lane.ld(&bx, lane.gid);
+        lane.st(&by, lane.gid, f64::from(v));
+    });
+}
+
+/// fp32-storage [`dot_partials_into`]: the tile partials stay fp64.
+pub fn dot_partials_into_f32(dev: &Device, x: &[f32], y: &[f32], partials: &mut Vec<f64>) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let n_blocks = n.div_ceil(TILE);
+    partials.clear();
+    partials.resize(n_blocks, 0.0);
+    if n == 0 {
+        return;
+    }
+    let bx = dev.bind_ro(x);
+    let by = dev.bind_ro(y);
+    let bp = dev.bind(partials.as_mut_slice());
+    dev.launch_blocks("vec.dot.partial.f32", n_blocks, 256, |blk| {
+        FUSED_SCRATCH.with(|cell| {
+            let mut s = cell.borrow_mut();
+            let FusedScratch { va32, vb32, .. } = &mut *s;
+            let start = blk.block_id * TILE;
+            let count = TILE.min(n - start);
+            blk.gld_range_into(&bx, start, count, va32);
+            blk.gld_range_into(&by, start, count, vb32);
+            blk.flop_masked(count, 2);
+            blk.shfl_reduce_cost(count, 32);
+            blk.sync();
+            let partial: f64 = va32
+                .iter()
+                .zip(vb32.iter())
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum();
+            blk.gst_one(&bp, blk.block_id, partial);
+        });
+    });
+}
+
+/// fp32-storage twin of [`fused_axpy2_norm`]: `p`, `q`, `x`, `r` stream at
+/// 4 bytes, the `p·q` and `‖r‖²` partials stay fp64, and the device-side
+/// breakdown guard is identical.
+#[deny(clippy::float_cmp)]
+#[allow(clippy::too_many_arguments)]
+pub fn fused_axpy2_norm_f32(
+    dev: &Device,
+    pq_partials: &[f64],
+    rz: f64,
+    p: &[f32],
+    q: &[f32],
+    x: &mut [f32],
+    r: &mut [f32],
+    norm_partials: &mut Vec<f64>,
+) -> f64 {
+    let n = p.len();
+    assert_eq!(q.len(), n);
+    assert_eq!(x.len(), n);
+    assert_eq!(r.len(), n);
+    let n_tiles = n.div_ceil(TILE).max(1);
+    norm_partials.clear();
+    norm_partials.resize(n_tiles, 0.0);
+    let n_pq = pq_partials.len();
+    let pqv: f64 = pq_partials.iter().sum();
+    {
+        let b_pq = dev.bind_ro(pq_partials);
+        let b_p = dev.bind_ro(p);
+        let b_q = dev.bind_ro(q);
+        let b_x = dev.bind(&mut *x);
+        let b_r = dev.bind(&mut *r);
+        let b_np = dev.bind(norm_partials.as_mut_slice());
+        dev.launch_blocks("pcg.fused.axpy2norm.f32", n_tiles, 256, |blk| {
+            FUSED_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                let FusedScratch {
+                    red,
+                    va32,
+                    vb32,
+                    vc32,
+                    vd32,
+                    out32,
+                    ..
+                } = &mut *scratch;
+                blk.gld_range_into(&b_pq, 0, n_pq, red);
+                blk.flop_masked(n_pq.min(256), 1);
+                let pq: f64 = red.iter().sum();
+                if pq <= 0.0 || !pq.is_finite() {
+                    return;
+                }
+                let alpha = rz / pq;
+                blk.flop_one(1);
+                let start = blk.block_id * TILE;
+                let count = TILE.min(n - start);
+                blk.gld_range_into(&b_p, start, count, va32);
+                blk.gld_range_into(&b_q, start, count, vb32);
+                blk.gld_range_into(&b_x, start, count, vc32);
+                blk.gld_range_into(&b_r, start, count, vd32);
+                blk.flop_masked(count, 4);
+                out32.clear();
+                out32.extend(
+                    (0..count).map(|t| (alpha * f64::from(va32[t]) + f64::from(vc32[t])) as f32),
+                );
+                blk.gst_range(&b_x, start, out32);
+                out32.clear();
+                out32.extend(
+                    (0..count).map(|t| (-alpha * f64::from(vb32[t]) + f64::from(vd32[t])) as f32),
+                );
+                blk.gst_range(&b_r, start, out32);
+                blk.flop_masked(count, 2);
+                blk.shfl_reduce_cost(count, 32);
+                let partial: f64 = out32
+                    .iter()
+                    .map(|&v| {
+                        let w = f64::from(v);
+                        w * w
+                    })
+                    .sum();
+                blk.gst_one(&b_np, blk.block_id, partial);
+            });
+        });
+    }
+    pqv
+}
+
+/// fp32-storage twin of [`fused_precond_rz`]: the block-diagonal inverses
+/// stream from the fp32 shadow `dinv` (halving the kernel's dominant
+/// traffic), `r`/`z` are fp32, and the `‖r‖²`/`r·z` partials stay fp64.
+#[deny(clippy::float_cmp)]
+pub fn fused_precond_rz_f32(
+    dev: &Device,
+    dinv: Option<&[f32]>,
+    r: &[f32],
+    z: &mut [f32],
+    norm_partials: &[f64],
+    rz_partials: &mut Vec<f64>,
+) -> f64 {
+    let n = r.len();
+    assert_eq!(z.len(), n);
+    let n_tiles = n.div_ceil(TILE).max(1);
+    rz_partials.clear();
+    rz_partials.resize(n_tiles, 0.0);
+    let np_len = norm_partials.len();
+    {
+        let b_np = dev.bind_ro(norm_partials);
+        let b_r = dev.bind_ro(r);
+        let b_z = dev.bind(&mut *z);
+        let b_rz = dev.bind(rz_partials.as_mut_slice());
+        let b_dinv = dinv.map(|d| dev.bind_ro(d));
+        dev.launch_blocks("pcg.fused.precond_rz.f32", n_tiles, 256, |blk| {
+            FUSED_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                let FusedScratch {
+                    red,
+                    ia,
+                    ib,
+                    va32,
+                    vd32,
+                    red32,
+                    out32,
+                    ..
+                } = &mut *scratch;
+                if blk.block_id == 0 {
+                    blk.gld_range_into(&b_np, 0, np_len, red);
+                    blk.flop_masked(np_len.min(256), 1);
+                    blk.shfl_reduce_cost(np_len.min(256), 32);
+                }
+                let start = blk.block_id * TILE;
+                let count = TILE.min(n - start);
+                blk.gld_range_into(&b_r, start, count, vd32);
+                out32.clear();
+                if let Some(b_dinv) = &b_dinv {
+                    // Same gather pattern as the f64 kernel; the products
+                    // widen before accumulating.
+                    ia.clear();
+                    ia.extend((start..start + count).flat_map(|g| {
+                        let (i, rr) = (g / 6, g % 6);
+                        (0..6).map(move |c| i * 36 + rr * 6 + c)
+                    }));
+                    blk.gld_gather_into(b_dinv, ia, va32);
+                    ib.clear();
+                    ib.extend(
+                        (start..start + count).flat_map(|g| (0..6).map(move |c| (g / 6) * 6 + c)),
+                    );
+                    blk.gld_gather_tex_into(&b_r, ib, red32);
+                    blk.flop_masked(count, 12);
+                    out32.extend((0..count).map(|t| {
+                        let mut acc = 0.0f64;
+                        for c in 0..6 {
+                            acc += f64::from(va32[t * 6 + c]) * f64::from(red32[t * 6 + c]);
+                        }
+                        acc as f32
+                    }));
+                } else {
+                    // Identity preconditioner: z = r.
+                    out32.extend_from_slice(vd32);
+                }
+                blk.gst_range(&b_z, start, out32);
+                blk.flop_masked(count, 2);
+                blk.shfl_reduce_cost(count, 32);
+                let partial: f64 = vd32
+                    .iter()
+                    .zip(out32.iter())
+                    .map(|(&rv, &zv)| f64::from(rv) * f64::from(zv))
+                    .sum();
+                blk.gst_one(&b_rz, blk.block_id, partial);
+            });
+        });
+    }
+    reduce_partials_host(norm_partials)
+}
+
+/// fp32-storage twin of [`fused_xpby_beta`]: `z`/`p` stream at 4 bytes,
+/// `β` is reduced and applied in fp64.
+#[deny(clippy::float_cmp)]
+pub fn fused_xpby_beta_f32(
+    dev: &Device,
+    rz_partials: &[f64],
+    rz_old: f64,
+    z: &[f32],
+    p: &mut [f32],
+) -> f64 {
+    let n = z.len();
+    assert_eq!(p.len(), n);
+    let n_tiles = n.div_ceil(TILE).max(1);
+    let n_rz = rz_partials.len();
+    {
+        let b_rz = dev.bind_ro(rz_partials);
+        let b_z = dev.bind_ro(z);
+        let b_p = dev.bind(&mut *p);
+        dev.launch_blocks("pcg.fused.xpby_beta.f32", n_tiles, 256, |blk| {
+            FUSED_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                let FusedScratch {
+                    red,
+                    va32,
+                    vb32,
+                    out32,
+                    ..
+                } = &mut *scratch;
+                blk.gld_range_into(&b_rz, 0, n_rz, red);
+                blk.flop_masked(n_rz.min(256), 1);
+                let rz_new = reduce_partials_host(red);
+                let beta = rz_new / rz_old;
+                blk.flop_one(1);
+                let start = blk.block_id * TILE;
+                let count = TILE.min(n - start);
+                blk.gld_range_into(&b_z, start, count, va32);
+                blk.gld_range_into(&b_p, start, count, vb32);
+                blk.flop_masked(count, 2);
+                out32.clear();
+                out32.extend(
+                    (0..count).map(|t| (f64::from(va32[t]) + beta * f64::from(vb32[t])) as f32),
+                );
+                blk.gst_range(&b_p, start, out32);
             });
         });
     }

@@ -37,5 +37,5 @@ pub use bcsr::BlockCsr;
 pub use block6::{Block6, Vec6, BLOCK_DOF};
 pub use csr::Csr;
 pub use ell::Ell;
-pub use hsbcsr::Hsbcsr;
+pub use hsbcsr::{Hsbcsr, Hsbcsr32};
 pub use sym::SymBlockMatrix;

@@ -17,9 +17,110 @@
 //! the texture cache via the `row-low-p` mapping (Fig 9). The diagonal
 //! product is fused here; its sliced layout again loads coalesced.
 
-use crate::hsbcsr::Hsbcsr;
+use crate::hsbcsr::{Hsbcsr, Hsbcsr32};
 use dda_simt::Device;
 use std::cell::RefCell;
+
+/// Element type of the matrix-value streams: `f64`, or the fp32 shadow of
+/// the mixed-precision solver. Only the *stored matrix values* change
+/// type — every product accumulates in `f64` (fp32-storage /
+/// fp64-accumulate), and the vector, intermediate, and index streams stay
+/// at their native widths. Each instantiation carries its own static
+/// kernel names so the trace and the cost model distinguish the
+/// half-byte-traffic variants.
+trait MatScalar: Copy + Send + 'static {
+    const STAGE1: &'static str;
+    const STAGE2: &'static str;
+    const STAGE2_PQ: &'static str;
+    fn widen(self) -> f64;
+    /// Selects this precision's diagonal-gather scratch buffer.
+    fn pick<'a>(d64: &'a mut Vec<f64>, d32: &'a mut Vec<f32>) -> &'a mut Vec<Self>;
+}
+
+impl MatScalar for f64 {
+    const STAGE1: &'static str = "spmv.hsbcsr.stage1";
+    const STAGE2: &'static str = "spmv.hsbcsr.stage2";
+    const STAGE2_PQ: &'static str = "spmv.hsbcsr.stage2_pq";
+    #[inline]
+    fn widen(self) -> f64 {
+        self
+    }
+    fn pick<'a>(d64: &'a mut Vec<f64>, _d32: &'a mut Vec<f32>) -> &'a mut Vec<f64> {
+        d64
+    }
+}
+
+impl MatScalar for f32 {
+    const STAGE1: &'static str = "spmv.hsbcsr.stage1.f32";
+    const STAGE2: &'static str = "spmv.hsbcsr.stage2.f32";
+    const STAGE2_PQ: &'static str = "spmv.hsbcsr.stage2_pq.f32";
+    #[inline]
+    fn widen(self) -> f64 {
+        f64::from(self)
+    }
+    fn pick<'a>(_d64: &'a mut Vec<f64>, d32: &'a mut Vec<f32>) -> &'a mut Vec<f32> {
+        d32
+    }
+}
+
+/// Element type of the *vector* streams (`x`, `y`, and the stage-1
+/// staging arrays). The fully-fp32 instantiation carries the mixed
+/// solver's inner iterations: storage (and therefore bytes moved) is
+/// fp32, every accumulation is still performed in `f64`, and each store
+/// rounds once to fp32 — the classic fp32-storage/fp64-accumulate
+/// contract. For `f64` every hook is a no-op and the kernels are
+/// bit-identical to the historical path.
+trait VecScalar: Copy + Send + Default + 'static {
+    fn widen(self) -> f64;
+    fn narrow(v: f64) -> Self;
+    /// Selects this precision's stage-1 staging buffers (and the shared
+    /// fp64 `p·q` partials) from the workspace.
+    fn staging(ws: &mut SpmvWorkspace) -> (&mut Vec<Self>, &mut Vec<Self>, &mut Vec<f64>);
+    /// Selects this precision's six-slice gather scratch.
+    fn pick6<'a>(s64: &'a mut [Vec<f64>; 6], s32: &'a mut [Vec<f32>; 6]) -> &'a mut [Vec<Self>; 6];
+    /// Selects this precision's flat scratch vector.
+    fn pick1<'a>(v64: &'a mut Vec<f64>, v32: &'a mut Vec<f32>) -> &'a mut Vec<Self>;
+}
+
+impl VecScalar for f64 {
+    #[inline]
+    fn widen(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn narrow(v: f64) -> f64 {
+        v
+    }
+    fn staging(ws: &mut SpmvWorkspace) -> (&mut Vec<f64>, &mut Vec<f64>, &mut Vec<f64>) {
+        (&mut ws.up_res, &mut ws.low_res, &mut ws.pq_partials)
+    }
+    fn pick6<'a>(s64: &'a mut [Vec<f64>; 6], _s32: &'a mut [Vec<f32>; 6]) -> &'a mut [Vec<f64>; 6] {
+        s64
+    }
+    fn pick1<'a>(v64: &'a mut Vec<f64>, _v32: &'a mut Vec<f32>) -> &'a mut Vec<f64> {
+        v64
+    }
+}
+
+impl VecScalar for f32 {
+    #[inline]
+    fn widen(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline]
+    fn narrow(v: f64) -> f32 {
+        v as f32
+    }
+    fn staging(ws: &mut SpmvWorkspace) -> (&mut Vec<f32>, &mut Vec<f32>, &mut Vec<f64>) {
+        (&mut ws.up_res32, &mut ws.low_res32, &mut ws.pq_partials)
+    }
+    fn pick6<'a>(_s64: &'a mut [Vec<f64>; 6], s32: &'a mut [Vec<f32>; 6]) -> &'a mut [Vec<f32>; 6] {
+        s32
+    }
+    fn pick1<'a>(_v64: &'a mut Vec<f64>, v32: &'a mut Vec<f32>) -> &'a mut Vec<f32> {
+        v32
+    }
+}
 
 /// Shared-memory access pattern for the stage-1 sub-matrix reduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +145,10 @@ const ROWS_PER_BLOCK: usize = 32;
 pub struct SpmvWorkspace {
     pub(crate) up_res: Vec<f64>,
     pub(crate) low_res: Vec<f64>,
+    /// fp32 staging twins used by the fully-fp32 vector path; empty until
+    /// the mixed solver's inner loop first runs.
+    pub(crate) up_res32: Vec<f32>,
+    pub(crate) low_res32: Vec<f32>,
     /// One partial sum of `x·y` per stage-2 row block, filled by
     /// [`spmv_hsbcsr_fused_pq`].
     pub pq_partials: Vec<f64>,
@@ -53,13 +158,6 @@ impl SpmvWorkspace {
     /// An empty workspace; buffers grow on first use and are reused after.
     pub fn new() -> SpmvWorkspace {
         SpmvWorkspace::default()
-    }
-
-    fn prepare(&mut self, h: &Hsbcsr) {
-        // Stage 1 overwrites every element, so only the lengths matter;
-        // `resize` reuses capacity once warmed.
-        self.up_res.resize(h.n_nd * 6, 0.0);
-        self.low_res.resize(h.n_nd * 6, 0.0);
     }
 }
 
@@ -71,14 +169,19 @@ struct Stage2Scratch {
     up_ends: Vec<u32>,
     low_ends: Vec<u32>,
     slices: [Vec<f64>; 6],
+    slices32: [Vec<f32>; 6],
     words: Vec<u32>,
     ps: Vec<u32>,
     gather: Vec<usize>,
     vals: [Vec<f64>; 6],
+    vals32: [Vec<f32>; 6],
     xs_cols: [Vec<f64>; 6],
+    xs_cols32: [Vec<f32>; 6],
     xidx: Vec<usize>,
     dvals: Vec<f64>,
+    dvals32: Vec<f32>,
     flat: Vec<f64>,
+    flat32: Vec<f32>,
 }
 
 thread_local! {
@@ -106,7 +209,60 @@ pub fn spmv_hsbcsr_into(
     ws: &mut SpmvWorkspace,
     y: &mut [f64],
 ) {
-    spmv_hsbcsr_stage12(dev, h, x, scheme, ws, y, false);
+    spmv_hsbcsr_stage12(dev, h, &h.d_data, &h.nd_data_up, x, scheme, ws, y, false);
+}
+
+/// Mixed-precision `y = A x`: the matrix values stream from the fp32
+/// shadow `vals` (half the bytes of the dominant traffic) while the
+/// structure comes from `h` and **every accumulation stays fp64**. The
+/// result differs from [`spmv_hsbcsr_into`] only by the fp32 rounding of
+/// the stored values (relative error ≲ 2⁻²⁴ per entry).
+pub fn spmv_hsbcsr_into_f32(
+    dev: &Device,
+    h: &Hsbcsr,
+    vals: &Hsbcsr32,
+    x: &[f64],
+    scheme: Stage1Smem,
+    ws: &mut SpmvWorkspace,
+    y: &mut [f64],
+) {
+    assert!(vals.matches(h), "fp32 shadow out of sync with the format");
+    spmv_hsbcsr_stage12(
+        dev,
+        h,
+        &vals.d_data,
+        &vals.nd_data_up,
+        x,
+        scheme,
+        ws,
+        y,
+        false,
+    );
+}
+
+/// Mixed-precision [`spmv_hsbcsr_fused_pq`]: fp32 value streams, fp64
+/// accumulation, per-row-block `x·y` partials in `ws.pq_partials`.
+pub fn spmv_hsbcsr_fused_pq_f32(
+    dev: &Device,
+    h: &Hsbcsr,
+    vals: &Hsbcsr32,
+    x: &[f64],
+    scheme: Stage1Smem,
+    ws: &mut SpmvWorkspace,
+    y: &mut [f64],
+) {
+    assert!(vals.matches(h), "fp32 shadow out of sync with the format");
+    spmv_hsbcsr_stage12(
+        dev,
+        h,
+        &vals.d_data,
+        &vals.nd_data_up,
+        x,
+        scheme,
+        ws,
+        y,
+        true,
+    );
 }
 
 /// Fused SpMV + dot: computes `y = A x` and, in the same stage-2 launch,
@@ -124,37 +280,96 @@ pub fn spmv_hsbcsr_fused_pq(
     ws: &mut SpmvWorkspace,
     y: &mut [f64],
 ) {
-    spmv_hsbcsr_stage12(dev, h, x, scheme, ws, y, true);
+    spmv_hsbcsr_stage12(dev, h, &h.d_data, &h.nd_data_up, x, scheme, ws, y, true);
 }
 
-fn spmv_hsbcsr_stage12(
+/// Fully-fp32 `y = A x` for the mixed solver's inner loop: matrix values
+/// *and* vectors (input, output, and the stage-1 staging arrays) stream at
+/// fp32, so every byte of the SpMV's global traffic is halved — not just
+/// the matrix share that [`spmv_hsbcsr_into_f32`] narrows. All products
+/// and reductions still accumulate in fp64; each store rounds once.
+#[deny(clippy::float_cmp)]
+pub fn spmv_hsbcsr_into_f32v(
     dev: &Device,
     h: &Hsbcsr,
-    x: &[f64],
+    vals: &Hsbcsr32,
+    x: &[f32],
     scheme: Stage1Smem,
     ws: &mut SpmvWorkspace,
-    y: &mut [f64],
+    y: &mut [f32],
+) {
+    assert!(vals.matches(h), "fp32 shadow out of sync with the format");
+    spmv_hsbcsr_stage12(
+        dev,
+        h,
+        &vals.d_data,
+        &vals.nd_data_up,
+        x,
+        scheme,
+        ws,
+        y,
+        false,
+    );
+}
+
+/// Fully-fp32 [`spmv_hsbcsr_fused_pq`]: fp32 value *and* vector streams,
+/// fp64 accumulation, fp64 per-row-block `x·y` partials in
+/// `ws.pq_partials` (the dot partials never narrow — `α = p·q` feeds the
+/// update scalars, which stay fp64 end to end).
+#[deny(clippy::float_cmp)]
+pub fn spmv_hsbcsr_fused_pq_f32v(
+    dev: &Device,
+    h: &Hsbcsr,
+    vals: &Hsbcsr32,
+    x: &[f32],
+    scheme: Stage1Smem,
+    ws: &mut SpmvWorkspace,
+    y: &mut [f32],
+) {
+    assert!(vals.matches(h), "fp32 shadow out of sync with the format");
+    spmv_hsbcsr_stage12(
+        dev,
+        h,
+        &vals.d_data,
+        &vals.nd_data_up,
+        x,
+        scheme,
+        ws,
+        y,
+        true,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spmv_hsbcsr_stage12<E: MatScalar, V: VecScalar>(
+    dev: &Device,
+    h: &Hsbcsr,
+    d_data: &[E],
+    nd_data: &[E],
+    x: &[V],
+    scheme: Stage1Smem,
+    ws: &mut SpmvWorkspace,
+    y: &mut [V],
     fuse_pq: bool,
 ) {
     assert_eq!(x.len(), h.n * 6);
     assert_eq!(y.len(), h.n * 6);
-    ws.prepare(h);
-    let SpmvWorkspace {
-        up_res,
-        low_res,
-        pq_partials,
-    } = ws;
+    let (up_res, low_res, pq_partials) = V::staging(ws);
+    // Stage 1 overwrites every element, so only the lengths matter;
+    // `resize` reuses capacity once warmed.
+    up_res.resize(h.n_nd * 6, V::default());
+    low_res.resize(h.n_nd * 6, V::default());
 
     // ---- Stage 1: per-sub-matrix products ---------------------------------
     if h.n_nd > 0 {
-        let b_nd = dev.bind_ro(&h.nd_data_up);
+        let b_nd = dev.bind_ro(nd_data);
         let b_rc = dev.bind_ro(&h.rc);
         let b_x = dev.bind_ro(x);
         let b_up = dev.bind(up_res.as_mut_slice());
         let b_low = dev.bind(low_res.as_mut_slice());
         let pad = h.pad_nd;
         let nnd = h.n_nd;
-        dev.launch("spmv.hsbcsr.stage1", h.n_nd, |lane| {
+        dev.launch(E::STAGE1, h.n_nd, |lane| {
             let k = lane.gid;
             let rc = lane.ld(&b_rc, k);
             let row = (rc >> 32) as usize;
@@ -166,14 +381,14 @@ fn spmv_hsbcsr_stage12(
             let mut xr = [0.0f64; 6];
             let mut xc = [0.0f64; 6];
             for r in 0..6 {
-                xr[r] = lane.ld_tex(&b_x, row * 6 + r);
-                xc[r] = lane.ld_tex(&b_x, col * 6 + r);
+                xr[r] = lane.ld_tex(&b_x, row * 6 + r).widen();
+                xc[r] = lane.ld_tex(&b_x, col * 6 + r).widen();
             }
             // Slice-by-slice traversal: for fixed (r, c), consecutive k are
             // consecutive addresses → coalesced.
             for r in 0..6 {
                 for c in 0..6 {
-                    let a = lane.ld(&b_nd, Hsbcsr::sliced_index(pad, k, r, c));
+                    let a = lane.ld(&b_nd, Hsbcsr::sliced_index(pad, k, r, c)).widen();
                     lane.flop(4);
                     up[r] += a * xc[c];
                     low[c] += a * xr[r];
@@ -194,8 +409,8 @@ fn spmv_hsbcsr_stage12(
             // the warp's stores are consecutive — the coalesced pattern the
             // paper achieves by staging in shared memory (Fig 8).
             for r in 0..6 {
-                lane.st(&b_up, r * nnd + k, up[r]);
-                lane.st(&b_low, r * nnd + k, low[r]);
+                lane.st(&b_up, r * nnd + k, V::narrow(up[r]));
+                lane.st(&b_low, r * nnd + k, V::narrow(low[r]));
             }
         });
     }
@@ -207,18 +422,14 @@ fn spmv_hsbcsr_stage12(
     } else {
         pq_partials.clear();
     }
-    let stage2_name: &'static str = if fuse_pq {
-        "spmv.hsbcsr.stage2_pq"
-    } else {
-        "spmv.hsbcsr.stage2"
-    };
+    let stage2_name: &'static str = if fuse_pq { E::STAGE2_PQ } else { E::STAGE2 };
     {
         let b_up = dev.bind_ro(up_res.as_slice());
         let b_low = dev.bind_ro(low_res.as_slice());
         let b_rui = dev.bind_ro(&h.row_up_i);
         let b_rli = dev.bind_ro(&h.row_low_i);
         let b_rlp = dev.bind_ro(&h.row_low_p);
-        let b_d = dev.bind_ro(&h.d_data);
+        let b_d = dev.bind_ro(d_data);
         let b_x = dev.bind_ro(x);
         let b_y = dev.bind(&mut *y);
         let b_pq = dev.bind(pq_partials.as_mut_slice());
@@ -232,15 +443,25 @@ fn spmv_hsbcsr_stage12(
                     up_ends,
                     low_ends,
                     slices,
+                    slices32,
                     words,
                     ps,
                     gather,
                     vals,
+                    vals32,
                     xs_cols,
+                    xs_cols32,
                     xidx,
                     dvals,
+                    dvals32,
                     flat,
+                    flat32,
                 } = &mut *scratch;
+                let dvals = E::pick(dvals, dvals32);
+                let slices = V::pick6(slices, slices32);
+                let vals = V::pick6(vals, vals32);
+                let xs_cols = V::pick6(xs_cols, xs_cols32);
+                let flat = V::pick1(flat, flat32);
 
                 let i0 = blk.block_id * ROWS_PER_BLOCK;
                 let rows = ROWS_PER_BLOCK.min(h.n - i0);
@@ -281,7 +502,7 @@ fn spmv_hsbcsr_stage12(
                         let hi = end as usize;
                         for k in lo..hi {
                             for r in 0..6 {
-                                acc[w][r] += slices[r][k - up_lo];
+                                acc[w][r] += slices[r][k - up_lo].widen();
                             }
                         }
                         lo = hi;
@@ -305,7 +526,7 @@ fn spmv_hsbcsr_stage12(
                         let hi = end as usize;
                         for l in lo..hi {
                             for r in 0..6 {
-                                acc[w][r] += vals[r][l - low_lo];
+                                acc[w][r] += vals[r][l - low_lo].widen();
                             }
                         }
                         lo = hi;
@@ -329,7 +550,7 @@ fn spmv_hsbcsr_stage12(
                         );
                         blk.flop_masked(rows, 2);
                         for w in 0..rows {
-                            acc[w][r] += dvals[w] * xs_cols[c][w];
+                            acc[w][r] += dvals[w].widen() * xs_cols[c][w].widen();
                         }
                     }
                 }
@@ -342,7 +563,7 @@ fn spmv_hsbcsr_stage12(
                     let mut partial = 0.0f64;
                     for w in 0..rows {
                         for r in 0..6 {
-                            partial += acc[w][r] * xs_cols[r][w];
+                            partial += acc[w][r] * xs_cols[r][w].widen();
                         }
                     }
                     blk.flop_masked(rows, 12);
@@ -352,7 +573,7 @@ fn spmv_hsbcsr_stage12(
 
                 // Coalesced result store.
                 flat.clear();
-                flat.extend(acc.iter().flat_map(|a| a.iter().copied()));
+                flat.extend(acc.iter().flat_map(|a| a.iter().map(|&v| V::narrow(v))));
                 blk.gst_range(&b_y, i0 * 6, flat);
             });
         });
@@ -506,6 +727,153 @@ mod tests {
         // The fused stage 2 replaces, not adds, a launch.
         let by = d.trace().by_kernel();
         assert!(by.contains_key("spmv.hsbcsr.stage2_pq"));
+    }
+
+    #[test]
+    fn f32_values_accumulate_in_f64_within_rounding() {
+        // Mixed SpMV must equal the fp64 kernel up to the fp32 rounding of
+        // the stored values only (accumulation is fp64 throughout).
+        for seed in [5u64, 9, 14] {
+            let m = SymBlockMatrix::random_spd(60, 4.0, seed);
+            let h = Hsbcsr::from_sym(&m);
+            let mut sh = Hsbcsr32::new();
+            sh.refill_from(&h);
+            let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.21).sin()).collect();
+            let d = dev();
+            let mut ws = SpmvWorkspace::new();
+            let mut y32 = vec![0.0f64; m.dim()];
+            spmv_hsbcsr_into_f32(&d, &h, &sh, &x, Stage1Smem::Proposed, &mut ws, &mut y32);
+            let y64 = spmv_hsbcsr(&d, &h, &x, Stage1Smem::Proposed);
+            let scale = y64.iter().fold(1.0f64, |a, v| a.max(v.abs()));
+            for i in 0..m.dim() {
+                assert!(
+                    (y32[i] - y64[i]).abs() <= 1e-6 * scale,
+                    "seed {seed} i={i}: f32 {} vs f64 {}",
+                    y32[i],
+                    y64[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_fused_pq_matches_own_dot_and_records_f32_kernels() {
+        let m = SymBlockMatrix::random_spd(70, 4.0, 8);
+        let h = Hsbcsr::from_sym(&m);
+        let mut sh = Hsbcsr32::new();
+        sh.refill_from(&h);
+        let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.29).cos()).collect();
+        let d = dev();
+        let mut ws = SpmvWorkspace::new();
+        let mut y = vec![0.0f64; m.dim()];
+        spmv_hsbcsr_fused_pq_f32(&d, &h, &sh, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+        let pq: f64 = ws.pq_partials.iter().sum();
+        let dot_ref: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((pq - dot_ref).abs() <= 1e-12 * dot_ref.abs().max(1.0));
+        let by = d.trace().by_kernel();
+        assert!(by.contains_key("spmv.hsbcsr.stage1.f32"));
+        assert!(by.contains_key("spmv.hsbcsr.stage2_pq.f32"));
+    }
+
+    #[test]
+    fn f32_matrix_streams_halve_their_bytes() {
+        // The cost-model contract of the tentpole: the matrix-value
+        // streams (the dominant SpMV traffic) are charged at half the
+        // bytes, while index/vector/intermediate traffic is unchanged.
+        let m = SymBlockMatrix::random_spd(400, 5.0, 13);
+        let h = Hsbcsr::from_sym(&m);
+        let mut sh = Hsbcsr32::new();
+        sh.refill_from(&h);
+        let x = vec![1.0; m.dim()];
+        let mut ws = SpmvWorkspace::new();
+        let mut y = vec![0.0f64; m.dim()];
+
+        let d64 = dev();
+        spmv_hsbcsr_into(&d64, &h, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+        let by64 = d64.trace().by_kernel();
+        let d32 = dev();
+        spmv_hsbcsr_into_f32(&d32, &h, &sh, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+        let by32 = d32.trace().by_kernel();
+
+        // Stage 1 streams 36 values per stored sub-matrix: the saving is
+        // exactly 4 bytes × 36 × n_nd.
+        let s1_64 = by64["spmv.hsbcsr.stage1"].0;
+        let s1_32 = by32["spmv.hsbcsr.stage1.f32"].0;
+        let saved = s1_64.gmem_bytes - s1_32.gmem_bytes;
+        assert_eq!(saved, 4 * 36 * h.n_nd as u64);
+        // And the halved value stream also halves its L1/L2 transactions.
+        assert!(
+            s1_32.gmem_transactions < s1_64.gmem_transactions,
+            "f32 stage 1 must need fewer transactions: {} vs {}",
+            s1_32.gmem_transactions,
+            s1_64.gmem_transactions
+        );
+        // Stage 2's diagonal stream saves 4 bytes × 36 × n.
+        let s2_64 = by64["spmv.hsbcsr.stage2"].0;
+        let s2_32 = by32["spmv.hsbcsr.stage2.f32"].0;
+        assert_eq!(s2_64.gmem_bytes - s2_32.gmem_bytes, 4 * 36 * h.n as u64);
+        // Modeled time: the memory-bound kernel gets faster.
+        assert!(d32.modeled_seconds() < d64.modeled_seconds());
+    }
+
+    #[test]
+    fn f32v_halves_every_vector_stream_and_stays_accurate() {
+        // The fully-fp32 inner-loop kernel: x, y, and the stage-1 staging
+        // arrays stream at 4 bytes on top of the halved matrix values, so
+        // *every* non-index byte of the SpMV halves — the property that
+        // lifts the mixed solver's per-iteration win past what matrix-only
+        // narrowing can deliver. Accuracy stays at fp32-rounding level
+        // because every accumulation is still fp64.
+        let m = SymBlockMatrix::random_spd(400, 5.0, 13);
+        let h = Hsbcsr::from_sym(&m);
+        let mut sh = Hsbcsr32::new();
+        sh.refill_from(&h);
+        let x64: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.23).sin()).collect();
+        let x32: Vec<f32> = x64.iter().map(|&v| v as f32).collect();
+        let mut ws = SpmvWorkspace::new();
+
+        let d64 = dev();
+        let mut y64 = vec![0.0f64; m.dim()];
+        spmv_hsbcsr_into(&d64, &h, &x64, Stage1Smem::Proposed, &mut ws, &mut y64);
+        let by64 = d64.trace().by_kernel();
+
+        let dv = dev();
+        let mut y32 = vec![0.0f32; m.dim()];
+        spmv_hsbcsr_into_f32v(&dv, &h, &sh, &x32, Stage1Smem::Proposed, &mut ws, &mut y32);
+        let byv = dv.trace().by_kernel();
+
+        // Accuracy: fp32 inputs + one fp32 rounding on the store.
+        let scale = y64.iter().fold(1.0f64, |a, v| a.max(v.abs()));
+        for i in 0..m.dim() {
+            assert!(
+                (f64::from(y32[i]) - y64[i]).abs() <= 1e-5 * scale,
+                "i={i}: f32v {} vs f64 {}",
+                y32[i],
+                y64[i]
+            );
+        }
+
+        // Stage 1 traffic: matrix values (36/nd), x gathers (12/nd) and
+        // up/low staging stores (12/nd) all halve — 60 scalars per stored
+        // sub-matrix move at 4 bytes instead of 8.
+        let s1_64 = by64["spmv.hsbcsr.stage1"].0;
+        let s1_v = byv["spmv.hsbcsr.stage1.f32"].0;
+        assert_eq!(
+            s1_64.gmem_bytes - s1_v.gmem_bytes,
+            4 * (36 + 12 + 12) * h.n_nd as u64,
+            "stage 1 must halve matrix, vector, and staging streams"
+        );
+        // Stage 2 halves everything except the index streams: up/low
+        // reductions (12 scalars per stored sub-matrix), the diagonal
+        // (36/row), the x gathers (6/row), and the y store (6/row).
+        let s2_64 = by64["spmv.hsbcsr.stage2"].0;
+        let s2_v = byv["spmv.hsbcsr.stage2.f32"].0;
+        assert_eq!(
+            s2_64.gmem_bytes - s2_v.gmem_bytes,
+            4 * (12 * h.n_nd as u64 + 48 * h.n as u64),
+            "stage 2 non-index traffic must exactly halve"
+        );
+        assert!(dv.modeled_seconds() < d64.modeled_seconds());
     }
 
     #[test]

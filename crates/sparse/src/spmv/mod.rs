@@ -22,5 +22,8 @@ pub mod multi;
 
 pub use bcsr_kernel::spmv_bcsr;
 pub use csr::{spmv_csr_scalar, spmv_csr_vector};
-pub use hsbcsr::{spmv_hsbcsr, spmv_hsbcsr_fused_pq, spmv_hsbcsr_into, SpmvWorkspace, Stage1Smem};
+pub use hsbcsr::{
+    spmv_hsbcsr, spmv_hsbcsr_fused_pq, spmv_hsbcsr_fused_pq_f32, spmv_hsbcsr_fused_pq_f32v,
+    spmv_hsbcsr_into, spmv_hsbcsr_into_f32, spmv_hsbcsr_into_f32v, SpmvWorkspace, Stage1Smem,
+};
 pub use multi::{MultiGpuSpmv, MultiSpmvReport};

@@ -16,8 +16,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use dda_simt::{Device, DeviceProfile};
-use dda_sparse::spmv::{spmv_hsbcsr_fused_pq, spmv_hsbcsr_into, SpmvWorkspace, Stage1Smem};
-use dda_sparse::{Hsbcsr, SymBlockMatrix};
+use dda_sparse::spmv::{
+    spmv_hsbcsr_fused_pq, spmv_hsbcsr_fused_pq_f32, spmv_hsbcsr_into, spmv_hsbcsr_into_f32,
+    SpmvWorkspace, Stage1Smem,
+};
+use dda_sparse::{Hsbcsr, Hsbcsr32, SymBlockMatrix};
 
 struct CountingAlloc;
 
@@ -81,5 +84,72 @@ fn warmed_spmv_steady_state_allocates_nothing() {
     let y_ref = m.mul_vec(&x);
     for i in 0..m.dim() {
         assert!((y[i] - y_ref[i]).abs() < 1e-9, "i={i}");
+    }
+}
+
+/// Uniformly scales every stored value so a refill pass has fresh data
+/// without changing the sparsity pattern (keeps SPD for positive factors).
+fn scale_values(m: &mut SymBlockMatrix, factor: f64) {
+    for b in &mut m.diag {
+        for row in &mut b.0 {
+            for v in row {
+                *v *= factor;
+            }
+        }
+    }
+    for (_, _, b) in &mut m.upper {
+        for row in &mut b.0 {
+            for v in row {
+                *v *= factor;
+            }
+        }
+    }
+}
+
+#[test]
+fn warmed_shadow_refill_and_f32_spmv_allocate_nothing() {
+    // The mixed-precision path must add zero extra heap traffic per step:
+    // the fp32 shadow is refilled in the *same* pass as the fp64 values
+    // (`refill_values_with_shadow`), and the f32 SpMV reuses the shared
+    // `SpmvWorkspace` plus the shadow's own capacity.
+    let dev = Device::new(DeviceProfile::tesla_k40());
+    let mut m = SymBlockMatrix::random_spd(150, 4.0, 91);
+    let mut h = Hsbcsr::from_sym(&m);
+    let mut shadow = Hsbcsr32::new();
+    let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.23).cos()).collect();
+    let mut ws = SpmvWorkspace::new();
+    let mut y = vec![0.0f64; m.dim()];
+
+    // Warm: shadow capacity, workspace buffers (incl. f32 diagonal
+    // scratch), thread-local kernel scratch, trace capacity. Perturb the
+    // values between warm passes so the refill path actually runs.
+    for pass in 0..2 {
+        scale_values(&mut m, 1.0 + 1e-3 * f64::from(pass));
+        assert!(h.refill_values_with_shadow(&m, &mut shadow));
+        spmv_hsbcsr_into_f32(&dev, &h, &shadow, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+        spmv_hsbcsr_fused_pq_f32(&dev, &h, &shadow, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+    }
+    dev.reset_trace();
+
+    // Measure a full steady-state step: refill (with shadow) + f32 SpMV.
+    scale_values(&mut m, 1.0 + 5e-4);
+    ARMED.store(true, Ordering::SeqCst);
+    let refilled = h.refill_values_with_shadow(&m, &mut shadow);
+    spmv_hsbcsr_into_f32(&dev, &h, &shadow, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+    spmv_hsbcsr_fused_pq_f32(&dev, &h, &shadow, &x, Stage1Smem::Proposed, &mut ws, &mut y);
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert!(refilled, "pattern unchanged, refill must succeed");
+    let n_allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n_allocs, 0,
+        "warmed shadow refill + f32 SpMV performed {n_allocs} heap allocations"
+    );
+
+    // Accuracy: f32 storage, f64 accumulation — rounding-level agreement.
+    let y_ref = m.mul_vec(&x);
+    let scale: f64 = y_ref.iter().fold(1.0, |a, v| a.max(v.abs()));
+    for i in 0..m.dim() {
+        assert!((y[i] - y_ref[i]).abs() < 1e-5 * scale, "i={i}");
     }
 }
