@@ -12,6 +12,7 @@ pub mod broad;
 pub mod grid;
 pub mod init;
 pub mod narrow;
+pub mod order;
 pub mod soa;
 pub mod transfer;
 pub mod types;
@@ -23,7 +24,10 @@ pub use grid::{
     ContactWorkspace, GridSpec,
 };
 pub use init::{init_contacts_classified, init_contacts_monolithic};
-pub use narrow::{narrow_phase_gpu, narrow_phase_serial};
+pub use narrow::{narrow_phase_gpu, narrow_phase_gpu_scheduled, narrow_phase_serial};
+pub use order::{ContactOrder, ContactOrderCache};
 pub use soa::GeomSoa;
-pub use transfer::{transfer_contacts_gpu, transfer_contacts_serial};
+pub use transfer::{
+    transfer_contacts_gpu, transfer_contacts_gpu_scheduled, transfer_contacts_serial,
+};
 pub use types::{Contact, ContactKind, ContactState};

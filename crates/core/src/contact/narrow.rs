@@ -30,6 +30,27 @@ const ANGLE_TOL: f64 = 0.05;
 /// Angular tolerance for the VV1 parallel-edge test (radians).
 const PARALLEL_TOL: f64 = 0.02;
 
+/// Per-candidate judgment outcomes of one `(i → j)` orientation, used by
+/// the GPU path to record the *actual* branch fronts.
+///
+/// One entry of `dist` per vertex of block `i` (distance judgment:
+/// in range or abandoned). For each in-range vertex, one entry of `ve`
+/// (distance judgment's VE-vs-VV classification) and one entry of
+/// `accept` (angle judgment: did the candidate survive to a contact?).
+/// Rejected candidates are recorded too — an always-`true` record here
+/// would blind the divergence model to the very branches the
+/// data-classification framework exists to remove.
+#[derive(Debug, Default, Clone)]
+pub struct JudgmentOutcomes {
+    /// Distance judgment per vertex of `i`: `dist < d0`.
+    pub dist: Vec<bool>,
+    /// Per in-range candidate: classified VE (projection inside the edge).
+    pub ve: Vec<bool>,
+    /// Per in-range candidate: accepted by the angle judgment (produced a
+    /// contact) or abandoned.
+    pub accept: Vec<bool>,
+}
+
 /// Contacts of one orientation `(i → j)` of a candidate pair.
 ///
 /// `vi`/`vj` are the CCW vertex rings of the two blocks. Returns VE
@@ -37,7 +58,21 @@ const PARALLEL_TOL: f64 = 0.02;
 /// resolved as described in the module docs. Pure function shared by the
 /// serial and GPU paths.
 pub fn pair_contacts(i: u32, j: u32, vi: &[Vec2], vj: &[Vec2], d0: f64) -> Vec<Contact> {
+    pair_contacts_judged(i, j, vi, vj, d0).0
+}
+
+/// [`pair_contacts`] plus the per-candidate judgment outcomes. The contact
+/// list is identical to `pair_contacts`; the outcomes only feed the
+/// divergence accounting of the GPU path.
+pub fn pair_contacts_judged(
+    i: u32,
+    j: u32,
+    vi: &[Vec2],
+    vj: &[Vec2],
+    d0: f64,
+) -> (Vec<Contact>, JudgmentOutcomes) {
     let mut out = Vec::new();
+    let mut jo = JudgmentOutcomes::default();
     let nj = vj.len();
     for (v_idx, &p) in vi.iter().enumerate() {
         // Distance judgment: closest feature of block j.
@@ -51,6 +86,7 @@ pub fn pair_contacts(i: u32, j: u32, vi: &[Vec2], vj: &[Vec2], d0: f64) -> Vec<C
             }
         }
         let (dist, e, t) = best;
+        jo.dist.push(dist < d0);
         if dist >= d0 {
             continue; // abandoned by the distance judgment
         }
@@ -59,9 +95,13 @@ pub fn pair_contacts(i: u32, j: u32, vi: &[Vec2], vj: &[Vec2], d0: f64) -> Vec<C
         let band = (0.5 * d0 / len).min(0.4);
 
         let wedge_i = wedge_of(vi, v_idx);
-        if t > band && t < 1.0 - band {
+        let is_ve = t > band && t < 1.0 - band;
+        jo.ve.push(is_ve);
+        if is_ve {
             // --- VE ---
-            if ve_admissible(&wedge_i, seg.outward_normal(), ANGLE_TOL) {
+            let admissible = ve_admissible(&wedge_i, seg.outward_normal(), ANGLE_TOL);
+            jo.accept.push(admissible);
+            if admissible {
                 let mut c = Contact::new(i, j, v_idx as u32, e as u32, u32::MAX, ContactKind::Ve);
                 c.edge_ratio = t;
                 out.push(c);
@@ -73,7 +113,8 @@ pub fn pair_contacts(i: u32, j: u32, vi: &[Vec2], vj: &[Vec2], d0: f64) -> Vec<C
         let v2 = if t <= band { e } else { (e + 1) % nj };
         let wedge_j = wedge_of(vj, v2);
         if !vv_admissible(&wedge_i, &wedge_j, ANGLE_TOL) {
-            continue; // abandoned by the angle judgment
+            jo.accept.push(false); // abandoned by the angle judgment
+            continue;
         }
 
         // Parallel test: the facing edges adjacent to the two vertices.
@@ -92,7 +133,9 @@ pub fn pair_contacts(i: u32, j: u32, vi: &[Vec2], vj: &[Vec2], d0: f64) -> Vec<C
         if let Some(pe) = parallel_edge {
             // --- VV1: vertex presses the parallel facing edge ---
             let pseg = Segment::new(vj[pe], vj[(pe + 1) % nj]);
-            if ve_admissible(&wedge_i, pseg.outward_normal(), ANGLE_TOL) {
+            let admissible = ve_admissible(&wedge_i, pseg.outward_normal(), ANGLE_TOL);
+            jo.accept.push(admissible);
+            if admissible {
                 let mut c =
                     Contact::new(i, j, v_idx as u32, pe as u32, v2 as u32, ContactKind::Vv1);
                 c.edge_ratio = pseg.closest_param(p);
@@ -113,13 +156,14 @@ pub fn pair_contacts(i: u32, j: u32, vi: &[Vec2], vj: &[Vec2], d0: f64) -> Vec<C
                 chosen = Some((cand, dist, cseg.closest_param(p)));
             }
         }
+        jo.accept.push(chosen.is_some());
         if let Some((ce, _, ct)) = chosen {
             let mut c = Contact::new(i, j, v_idx as u32, ce as u32, v2 as u32, ContactKind::Vv2);
             c.edge_ratio = ct;
             out.push(c);
         }
     }
-    out
+    (out, jo)
 }
 
 fn wedge_of(ring: &[Vec2], v: usize) -> Wedge {
@@ -203,22 +247,43 @@ pub fn narrow_phase_gpu(
     pairs: &[(u32, u32)],
     d0: f64,
 ) -> Vec<Contact> {
+    narrow_phase_gpu_scheduled(dev, soa, pairs, d0, None)
+}
+
+/// [`narrow_phase_gpu`] with an optional scheduling permutation over the
+/// `2 × pairs` orientation threads: thread `t` processes orientation
+/// `sched[t]` but keeps writing that orientation's count/emit slots, so
+/// the output array — and therefore the returned contact list — is
+/// bitwise identical to the unscheduled path. Only the warp *composition*
+/// changes, which is what a class-sorted schedule exploits to keep
+/// judgment branches warp-uniform. A schedule of the wrong length is
+/// ignored (permutations are correctness-neutral, so stale ones are
+/// simply not applied).
+pub fn narrow_phase_gpu_scheduled(
+    dev: &Device,
+    soa: &GeomSoa,
+    pairs: &[(u32, u32)],
+    d0: f64,
+    sched: Option<&[u32]>,
+) -> Vec<Contact> {
     if pairs.is_empty() {
         return Vec::new();
     }
     let n_threads = pairs.len() * 2;
+    let sched = sched.filter(|s| s.len() == n_threads);
     let pair_flat: Vec<u32> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
 
     // Shared geometry loader: pulls one orientation's vertex rings through
     // the device buffers and runs the pure pair routine.
     let run_pair = |lane: &mut dda_simt::Lane,
+                    item: usize,
                     b_pairs: &dda_simt::GBuf<u32>,
                     b_vx: &dda_simt::GBuf<f64>,
                     b_vy: &dda_simt::GBuf<f64>,
                     b_vp: &dda_simt::GBuf<u32>|
      -> Vec<Contact> {
-        let pair_idx = lane.gid / 2;
-        let flip = lane.gid % 2 == 1;
+        let pair_idx = item / 2;
+        let flip = item % 2 == 1;
         let a = lane.ld(b_pairs, 2 * pair_idx) as usize;
         let b = lane.ld(b_pairs, 2 * pair_idx + 1) as usize;
         let (i, j) = if flip { (b, a) } else { (a, b) };
@@ -232,22 +297,27 @@ pub fn narrow_phase_gpu(
         let vi = load_ring(lane, i);
         let vj = load_ring(lane, j);
         lane.flop(30 * (vi.len() * vj.len()) as u32);
-        let found = pair_contacts(i as u32, j as u32, &vi, &vj, d0);
-        // Judgment-site branches: distance (site 0) per vertex, VE-vs-VV
-        // classification (site 1) and angle acceptance (site 2) per
-        // survivor — the divergence the data-classification framework
-        // targets.
-        for _ in 0..vi.len() {
-            lane.branch(0, true);
+        let (found, jo) = pair_contacts_judged(i as u32, j as u32, &vi, &vj, d0);
+        // Judgment-site branches with their *actual* outcomes: distance
+        // (site 0) per vertex, VE-vs-VV classification (site 1) and angle
+        // acceptance (site 2) per in-range candidate — rejected candidates
+        // included, so the model sees the real branch front rather than an
+        // always-taken record that can never register divergence.
+        for &d in &jo.dist {
+            lane.branch(0, d);
         }
-        for c in &found {
-            lane.branch(1, c.kind == ContactKind::Ve);
-            lane.branch(2, true);
+        for &v in &jo.ve {
+            lane.branch(1, v);
+        }
+        for &acc in &jo.accept {
+            lane.branch(2, acc);
         }
         found
     };
 
-    // Kernel 1: count survivors per thread.
+    // Kernel 1: count survivors per thread. Scheduled threads scatter
+    // their counts back to the discovery-order slot of the orientation
+    // they processed (slots stay unique: the schedule is a permutation).
     let mut counts = vec![0u32; n_threads];
     {
         let b_pairs = dev.bind_ro(&pair_flat);
@@ -255,16 +325,22 @@ pub fn narrow_phase_gpu(
         let b_vy = dev.bind_ro(&soa.vy);
         let b_vp = dev.bind_ro(&soa.vptr);
         let b_counts = dev.bind(&mut counts);
+        let b_sched = sched.map(|s| dev.bind_ro(s));
         dev.launch("narrow.count", n_threads, |lane| {
-            let found = run_pair(lane, &b_pairs, &b_vx, &b_vy, &b_vp);
-            lane.st(&b_counts, lane.gid, found.len() as u32);
+            let item = match &b_sched {
+                Some(b) => lane.ld(b, lane.gid) as usize,
+                None => lane.gid,
+            };
+            let found = run_pair(lane, item, &b_pairs, &b_vx, &b_vy, &b_vp);
+            lane.st(&b_counts, item, found.len() as u32);
         });
     }
 
     // Scan for output offsets.
     let (offsets, total) = dda_simt::primitives::scan_exclusive_u32(dev, &counts);
 
-    // Kernel 2: emit into the successive array.
+    // Kernel 2: emit into the successive array at the discovery-order
+    // offsets, so emission order is schedule-independent.
     let mut out: Vec<Contact> =
         vec![Contact::new(0, 0, 0, 0, u32::MAX, ContactKind::Ve); total as usize];
     if total > 0 {
@@ -274,9 +350,14 @@ pub fn narrow_phase_gpu(
         let b_vp = dev.bind_ro(&soa.vptr);
         let b_off = dev.bind_ro(&offsets);
         let b_out = dev.bind(&mut out);
+        let b_sched = sched.map(|s| dev.bind_ro(s));
         dev.launch("narrow.emit", n_threads, |lane| {
-            let found = run_pair(lane, &b_pairs, &b_vx, &b_vy, &b_vp);
-            let base = lane.ld(&b_off, lane.gid) as usize;
+            let item = match &b_sched {
+                Some(b) => lane.ld(b, lane.gid) as usize,
+                None => lane.gid,
+            };
+            let found = run_pair(lane, item, &b_pairs, &b_vx, &b_vy, &b_vp);
+            let base = lane.ld(&b_off, item) as usize;
             for (k, c) in found.into_iter().enumerate() {
                 lane.st(&b_out, base + k, c);
             }

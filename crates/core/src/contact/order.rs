@@ -1,0 +1,327 @@
+//! Divergence-aware contact scheduling: the persistent contact-class
+//! ordering cache.
+//!
+//! The paper's C1–C5 classification exists to keep warps class-uniform
+//! through the non-diagonal building path, but a contact stream walked in
+//! pair-discovery order still mixes classes inside warps at the
+//! narrow-phase judgment sites, the transfer hit/miss branch, and the
+//! assembly closed/abandoned branch. Following the DEM reordering idea
+//! (Nakahara & Washizawa, PAPERS.md), [`ContactOrderCache`] keeps a
+//! *scheduling permutation* of the contact stream sorted by
+//! `(category, kind)` class across steps, the same persistence trick as
+//! [`super::grid::BroadPhaseCache`]: re-sorting costs a device radix sort,
+//! so the permutation is reused until the accumulated class-switch count
+//! (open–close state flips plus cross-step class drift) spends a budget.
+//!
+//! Correctness never depends on the permutation: scheduled kernels make
+//! thread `t` *process* item `sched[t]` while every store still lands in
+//! the item's own discovery-order slot, so pair lists, assembled systems,
+//! and trajectories are bitwise identical to the unscheduled path — a
+//! stale permutation only costs divergence, never physics. That is why a
+//! loose budget is safe, and why shape mismatches simply fall back to
+//! discovery order instead of erroring.
+
+use super::types::Contact;
+use dda_simt::primitives::sort::argsort_u64;
+use dda_simt::Device;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Contact-stream scheduling order for the GPU kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ContactOrder {
+    /// Pair-discovery order (the reference; scheduling machinery is off).
+    #[default]
+    Discovery,
+    /// Class-sorted scheduling through the ordering cache: warps stay
+    /// `(category, kind)`-uniform, outputs stay bitwise identical.
+    ClassSorted,
+}
+
+/// Scheduling class of a contact: the third-classification category
+/// (0 = abandoned) in the high bits, the geometric kind in the low bits —
+/// exactly the pair the per-class building pipelines branch on.
+pub(crate) fn class_key(c: &Contact) -> u8 {
+    (c.category().unwrap_or(0) << 2) | c.kind as u8
+}
+
+/// Persistent class-sorted scheduling permutations for the contact stream
+/// (narrow phase, transfer, assembly). Lives in the per-pipeline
+/// [`super::grid::ContactWorkspace`] beside the broad-phase cache; like
+/// every derived cache it is *not* checkpointed — a restored scene
+/// rebuilds it deterministically, and since permutations are
+/// correctness-neutral the rebuild cannot perturb the trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct ContactOrderCache {
+    /// Thread `t` of a contact-stream kernel processes contact `sched[t]`.
+    sched: Vec<u32>,
+    /// Discovery-order class keys captured at the last re-sort, compared
+    /// against each step's keys to meter class drift.
+    classes: Vec<u8>,
+    /// Thread `t` of a narrow-phase kernel processes pair-orientation
+    /// `pair_sched[t]` (orientation `2·pair + flip`).
+    pair_sched: Vec<u32>,
+    /// Class switches accumulated since the last re-sort.
+    pending: u64,
+    /// Re-sorts performed (device radix sorts paid).
+    pub resorts: u64,
+    /// Steps that reused the standing permutation.
+    pub reuses: u64,
+    /// Total class switches observed (drift + open–close flips).
+    pub switches: u64,
+}
+
+impl ContactOrderCache {
+    /// Fresh, empty cache.
+    pub fn new() -> ContactOrderCache {
+        ContactOrderCache::default()
+    }
+
+    /// Switch budget for a population of `n` contacts: a re-sort is worth
+    /// one radix pass over the stream, so it amortizes once roughly an
+    /// eighth of the population has changed class (plus a small floor so
+    /// tiny scenes don't re-sort on every marginal contact).
+    pub fn budget(n: usize) -> u64 {
+        8 + n as u64 / 8
+    }
+
+    /// Revalidates the contact permutation against this step's stream,
+    /// re-sorting on the device when the switch budget is spent (or the
+    /// population changed shape, which invalidates the permutation
+    /// outright). Returns `true` when a re-sort happened. Call once per
+    /// step after contact initialization, before the solve loop.
+    pub fn refresh(&mut self, dev: &Device, contacts: &[Contact]) -> bool {
+        let n = contacts.len();
+        if n == self.classes.len() {
+            let drift = contacts
+                .iter()
+                .zip(&self.classes)
+                .filter(|(c, &k)| class_key(c) != k)
+                .count() as u64;
+            self.switches += drift;
+            self.pending += drift;
+            if self.pending <= Self::budget(n) {
+                self.reuses += 1;
+                return false;
+            }
+        }
+        // Stable class sort on the device: the radix argsort key carries
+        // the discovery index in its low bits, so equal classes keep
+        // discovery order and the permutation is reproducible bit for bit.
+        self.classes.clear();
+        self.classes.extend(contacts.iter().map(class_key));
+        let keys: Vec<u64> = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(idx, &k)| ((k as u64) << 32) | idx as u64)
+            .collect();
+        let (_, perm) = argsort_u64(dev, &keys);
+        self.sched = perm;
+        self.pending = 0;
+        self.resorts += 1;
+        true
+    }
+
+    /// Charges the open–close iteration's state flips of the finished step
+    /// against the switch budget (each flip is a class switch the standing
+    /// permutation did not see).
+    pub fn note_flips(&mut self, flips: u64) {
+        self.switches += flips;
+        self.pending += flips;
+    }
+
+    /// Rebuilds the narrow-phase orientation permutation from the
+    /// previous step's contacts. Orientations are classed by the best
+    /// (lowest-keyed) surviving contact they produced last step;
+    /// orientations with no survivors group together at the tail — the
+    /// uniform "nothing to emit" front. Host-side bookkeeping, rebuilt
+    /// only on the same events that re-sort the contact stream (`force`)
+    /// or when the candidate-pair population changed shape.
+    pub fn refresh_pairs(&mut self, pairs: &[(u32, u32)], previous: &[Contact], force: bool) {
+        let n_threads = pairs.len() * 2;
+        if !force && self.pair_sched.len() == n_threads {
+            return;
+        }
+        let mut by_orient: HashMap<(u32, u32), u8> = HashMap::with_capacity(previous.len());
+        for c in previous {
+            let k = class_key(c);
+            by_orient
+                .entry((c.i, c.j))
+                .and_modify(|v| *v = (*v).min(k))
+                .or_insert(k);
+        }
+        let orient_key = |t: u32| -> u8 {
+            let (a, b) = pairs[t as usize / 2];
+            let o = if t % 2 == 1 { (b, a) } else { (a, b) };
+            by_orient.get(&o).copied().unwrap_or(u8::MAX)
+        };
+        self.pair_sched.clear();
+        self.pair_sched.extend(0..n_threads as u32);
+        self.pair_sched.sort_by_key(|&t| (orient_key(t), t));
+    }
+
+    /// The contact-stream schedule, if it matches a population of `n`
+    /// contacts (a permutation of the wrong length is never applied).
+    pub fn contact_schedule(&self, n: usize) -> Option<&[u32]> {
+        (self.sched.len() == n && n > 0).then_some(self.sched.as_slice())
+    }
+
+    /// The narrow-phase orientation schedule for `n_pairs` candidate
+    /// pairs, if it matches.
+    pub fn pair_schedule(&self, n_pairs: usize) -> Option<&[u32]> {
+        let n_threads = n_pairs * 2;
+        (self.pair_sched.len() == n_threads && n_threads > 0).then_some(self.pair_sched.as_slice())
+    }
+
+    /// Drops the permutations (checkpoint restore, slot reuse): the next
+    /// refresh re-sorts from scratch.
+    pub fn invalidate(&mut self) {
+        self.sched.clear();
+        self.classes.clear();
+        self.pair_sched.clear();
+        self.pending = 0;
+    }
+
+    /// `(resorts, reuses, switches)` counters, for benches and tests.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.resorts, self.reuses, self.switches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::types::{ContactKind, ContactState};
+    use dda_simt::DeviceProfile;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40())
+    }
+
+    fn contact(i: u32, kind: ContactKind, state: ContactState) -> Contact {
+        let mut c = Contact::new(i, i + 1, 0, 0, u32::MAX, kind);
+        c.state = state;
+        c.prev_step_state = state;
+        c.prev_iter_state = state;
+        c
+    }
+
+    fn mixed_population(n: usize) -> Vec<Contact> {
+        (0..n)
+            .map(|k| {
+                let kind = match k % 3 {
+                    0 => ContactKind::Ve,
+                    1 => ContactKind::Vv1,
+                    _ => ContactKind::Vv2,
+                };
+                let state = if k % 2 == 0 {
+                    ContactState::Lock
+                } else {
+                    ContactState::Open
+                };
+                contact(k as u32, kind, state)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_refresh_sorts_by_class_stably() {
+        let d = dev();
+        let mut cache = ContactOrderCache::new();
+        let contacts = mixed_population(100);
+        assert!(cache.refresh(&d, &contacts), "first refresh must sort");
+        let sched = cache.contact_schedule(100).expect("schedule");
+        // Permutation property.
+        let mut seen = [false; 100];
+        for &s in sched {
+            assert!(!seen[s as usize]);
+            seen[s as usize] = true;
+        }
+        // Class-sorted, discovery-stable within a class.
+        for w in sched.windows(2) {
+            let (a, b) = (
+                class_key(&contacts[w[0] as usize]),
+                class_key(&contacts[w[1] as usize]),
+            );
+            assert!(a <= b, "classes out of order");
+            if a == b {
+                assert!(w[0] < w[1], "equal classes must keep discovery order");
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_until_budget_spent() {
+        let d = dev();
+        let mut cache = ContactOrderCache::new();
+        let mut contacts = mixed_population(64);
+        cache.refresh(&d, &contacts);
+        assert!(!cache.refresh(&d, &contacts), "unchanged stream reuses");
+        assert_eq!(cache.stats().1, 1);
+        // Drift below the budget (8 + 64/8 = 16): still reused.
+        for c in contacts.iter_mut().take(10) {
+            c.state = ContactState::Slide;
+            c.prev_step_state = ContactState::Open;
+        }
+        assert!(!cache.refresh(&d, &contacts), "10 switches <= budget 16");
+        // Flips push the pending count over the budget: next refresh sorts.
+        cache.note_flips(20);
+        assert!(cache.refresh(&d, &contacts), "budget spent -> re-sort");
+        assert_eq!(cache.stats().0, 2);
+        // After the re-sort the ledger is clean again.
+        assert!(!cache.refresh(&d, &contacts));
+    }
+
+    #[test]
+    fn shape_change_forces_resort() {
+        let d = dev();
+        let mut cache = ContactOrderCache::new();
+        cache.refresh(&d, &mixed_population(32));
+        assert!(
+            cache.refresh(&d, &mixed_population(33)),
+            "length change invalidates the permutation"
+        );
+        assert!(cache.contact_schedule(32).is_none());
+        assert!(cache.contact_schedule(33).is_some());
+    }
+
+    #[test]
+    fn pair_schedule_groups_known_orientations() {
+        let mut cache = ContactOrderCache::new();
+        let previous = vec![
+            contact(2, ContactKind::Ve, ContactState::Lock), // orientation (2,3)
+            contact(0, ContactKind::Vv2, ContactState::Lock), // orientation (0,1)
+        ];
+        let pairs = vec![(0u32, 1u32), (2, 3), (4, 5)];
+        cache.refresh_pairs(&pairs, &previous, true);
+        let sched = cache.pair_schedule(3).expect("schedule");
+        // Orientations with survivors lead; the never-matched tail (both
+        // orientations of (4,5), and the flipped orientations) follows.
+        let lead = sched[0];
+        let (a, b) = pairs[lead as usize / 2];
+        let o = if lead % 2 == 1 { (b, a) } else { (a, b) };
+        assert!(
+            o == (2, 3) || o == (0, 1),
+            "a surviving orientation must be scheduled first, got {o:?}"
+        );
+        // Unknown-length requests are refused.
+        assert!(cache.pair_schedule(2).is_none());
+        // Without force and with matching shape, the permutation stands.
+        let before = sched.to_vec();
+        cache.refresh_pairs(&pairs, &[], false);
+        assert_eq!(cache.pair_schedule(3).unwrap(), &before[..]);
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let d = dev();
+        let mut cache = ContactOrderCache::new();
+        let contacts = mixed_population(16);
+        cache.refresh(&d, &contacts);
+        cache.refresh_pairs(&[(0, 1)], &contacts, true);
+        cache.invalidate();
+        assert!(cache.contact_schedule(16).is_none());
+        assert!(cache.pair_schedule(1).is_none());
+    }
+}

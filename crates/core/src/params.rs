@@ -6,6 +6,7 @@
 //! open–close iteration budget.
 
 use crate::contact::grid::BroadPhaseMode;
+use crate::contact::order::ContactOrder;
 use dda_solver::{PcgOptions, PrecondKind, SolverPrecision};
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +73,13 @@ pub struct DdaParams {
     /// valid while accumulated per-step motion is within the slack.
     /// Larger values re-bin less often but filter more candidates.
     pub broad_slack: f64,
+    /// Contact-stream scheduling order for the GPU kernels: `Discovery`
+    /// walks contacts in pair-discovery order; `ClassSorted` schedules
+    /// them through the persistent class ordering cache so warps stay
+    /// `(category, kind)`-uniform at the judgment sites. Scheduling is a
+    /// permutation of *processing* order only — outputs are bitwise
+    /// identical either way (and the serial pipeline ignores the knob).
+    pub contact_order: ContactOrder,
 }
 
 impl DdaParams {
@@ -108,12 +116,19 @@ impl DdaParams {
             // worst-case steps fit the slack budget — in practice far
             // more, since settled scenes move much less per step.
             broad_slack: 8.0 * max_displacement,
+            contact_order: ContactOrder::default(),
         }
     }
 
     /// Selects the broad-phase algorithm (builder style).
     pub fn with_broad_phase(mut self, mode: BroadPhaseMode) -> DdaParams {
         self.broad_phase = mode;
+        self
+    }
+
+    /// Selects the contact-stream scheduling order (builder style).
+    pub fn with_contact_order(mut self, o: ContactOrder) -> DdaParams {
+        self.contact_order = o;
         self
     }
 

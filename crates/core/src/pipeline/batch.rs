@@ -53,10 +53,11 @@ use super::driver::{StepOutcome, MAX_RETRIES};
 use super::health::{all_finite, HealthPolicy, SceneHealth, SlotState, StepError};
 use super::solver_cache::SolverCache;
 use super::{ModuleTimes, StepReport};
-use crate::assembly::{assemble_contacts_gpu, AssembledSystem};
+use crate::assembly::{assemble_contacts_gpu_scheduled, AssembledSystem};
 use crate::contact::init::init_contacts_classified;
 use crate::contact::{
-    detect_broad_gpu, narrow_phase_gpu, transfer_contacts_gpu, Contact, ContactWorkspace, GeomSoa,
+    detect_broad_gpu, narrow_phase_gpu_scheduled, transfer_contacts_gpu_scheduled, Contact,
+    ContactOrder, ContactWorkspace, GeomSoa,
 };
 use crate::interpenetration::{check_gpu, BranchScheme, GapArrays};
 use crate::openclose::{categorize_gpu, open_close_gpu};
@@ -414,6 +415,20 @@ impl SceneBatch {
         self.scene(i).map(|sc| &sc.times)
     }
 
+    /// Scene `i`'s broad-phase cache diagnostics `(hits, rebuilds)`
+    /// (both zero unless the scene runs
+    /// [`crate::contact::BroadPhaseMode::GridCached`]).
+    pub fn broad_cache_stats(&self, i: usize) -> Option<(u64, u64)> {
+        self.scene(i)
+            .map(|sc| (sc.ws.cache.hits, sc.ws.cache.rebuilds))
+    }
+
+    /// Scene `i`'s ordering-cache diagnostics `(resorts, reuses,
+    /// switches)` (all zero under [`ContactOrder::Discovery`]).
+    pub fn contact_order_stats(&self, i: usize) -> Option<(u64, u64, u64)> {
+        self.scene(i).map(|sc| sc.ws.order.stats())
+    }
+
     /// Sum of all scenes' module times.
     pub fn total_times(&self) -> ModuleTimes {
         let mut t = ModuleTimes::default();
@@ -560,11 +575,39 @@ impl SceneBatch {
                 sc.params.broad_slack,
                 &mut sc.ws,
             );
-            let mut contacts =
-                narrow_phase_gpu(&self.dev, &gsoa, &sc.ws.pairs, sc.params.contact_range);
-            transfer_contacts_gpu(&self.dev, &sc.contacts, &mut contacts);
+            let class_sorted = sc.params.contact_order == ContactOrder::ClassSorted;
+            let mut contacts = narrow_phase_gpu_scheduled(
+                &self.dev,
+                &gsoa,
+                &sc.ws.pairs,
+                sc.params.contact_range,
+                if class_sorted {
+                    sc.ws.order.pair_schedule(sc.ws.pairs.len())
+                } else {
+                    None
+                },
+            );
+            transfer_contacts_gpu_scheduled(
+                &self.dev,
+                &sc.contacts,
+                &mut contacts,
+                if class_sorted {
+                    sc.ws.order.contact_schedule(sc.contacts.len())
+                } else {
+                    None
+                },
+            );
             init_contacts_classified(&self.dev, &gsoa, &mut contacts, touch);
             sc.contacts = contacts;
+            if class_sorted {
+                // Same revalidation as the solo pipeline: the device
+                // re-sort (when the budget is spent) is charged inside
+                // this scene's batch segment.
+                let resorted = sc.ws.order.refresh(&self.dev, &sc.contacts);
+                sc.ws
+                    .order
+                    .refresh_pairs(&sc.ws.pairs, &sc.contacts, resorted);
+            }
             reports[i].n_contacts = sc.contacts.len();
             for c in sc.contacts.iter_mut() {
                 c.flips = 0;
@@ -654,8 +697,13 @@ impl SceneBatch {
                         continue;
                     };
                     self.dev.batch_segment(i);
+                    let sched = if sc.params.contact_order == ContactOrder::ClassSorted {
+                        sc.ws.order.contact_schedule(sc.contacts.len())
+                    } else {
+                        None
+                    };
                     #[allow(unused_mut)]
-                    let mut asm = assemble_contacts_gpu(
+                    let mut asm = assemble_contacts_gpu_scheduled(
                         &self.dev,
                         &sc.sys,
                         gsoa,
@@ -663,6 +711,7 @@ impl SceneBatch {
                         &sc.params,
                         dg.clone(),
                         rhs0.clone(),
+                        sched,
                     );
                     #[cfg(feature = "fault-inject")]
                     {
@@ -1026,6 +1075,14 @@ impl SceneBatch {
             // bound. Faulted scenes never reach this point, so their
             // frozen geometry keeps the cache valid.
             sc.ws.cache.note_motion(reports[i].max_displacement);
+            // Open–close flips of the committed step charge the ordering
+            // cache's switch budget (no-op counters under Discovery, where
+            // the cache never holds a permutation).
+            if sc.params.contact_order == ContactOrder::ClassSorted {
+                sc.ws
+                    .order
+                    .note_flips(sc.contacts.iter().map(|c| c.flips as u64).sum());
+            }
             // Committed step: clear the failure streak; a scene that got
             // here without needing the rescue solve is healthy again.
             slot.health.consecutive_failures = 0;

@@ -120,6 +120,11 @@ impl CpuPipeline {
         transfer_contacts_serial(&self.contacts, &mut contacts, &mut cd);
         init_contacts_serial(&self.sys, &mut contacts, touch, &mut cd);
         self.contacts = contacts;
+        // `params.contact_order` is accepted but inert here: the serial
+        // path has no warps, so a scheduling permutation could only change
+        // processing order — which by construction never changes outputs.
+        // Keeping it a no-op preserves CPU↔GPU trajectory identity under
+        // either knob setting without maintaining a second code path.
         self.times.contact_detection += self.charge(cd);
         report.n_contacts = self.contacts.len();
         for c in self.contacts.iter_mut() {

@@ -12,10 +12,11 @@ use super::driver::{drive_step, StepBackend};
 use super::health::StepError;
 use super::solver_cache::SolverCache;
 use super::{ModuleTimes, StepReport};
-use crate::assembly::{assemble_contacts_gpu, AssembledSystem};
+use crate::assembly::{assemble_contacts_gpu_scheduled, AssembledSystem};
 use crate::contact::init::init_contacts_classified;
 use crate::contact::{
-    detect_broad_gpu, narrow_phase_gpu, transfer_contacts_gpu, Contact, ContactWorkspace, GeomSoa,
+    detect_broad_gpu, narrow_phase_gpu_scheduled, transfer_contacts_gpu_scheduled, Contact,
+    ContactOrder, ContactWorkspace, GeomSoa,
 };
 use crate::interpenetration::{check_gpu, BranchScheme, GapArrays};
 use crate::openclose::{categorize_gpu, open_close_gpu};
@@ -398,6 +399,13 @@ impl GpuPipeline {
         (self.ws.cache.hits, self.ws.cache.rebuilds)
     }
 
+    /// Ordering-cache diagnostics: `(resorts, reuses, switches)` of the
+    /// class-sorted contact scheduler (all zero under
+    /// [`ContactOrder::Discovery`]).
+    pub fn contact_order_stats(&self) -> (u64, u64, u64) {
+        self.ws.order.stats()
+    }
+
     /// Per-solve telemetry of the last step (name of the configured
     /// starting rung).
     pub fn precond_name(&self) -> &'static str {
@@ -429,11 +437,39 @@ impl GpuPipeline {
             self.params.broad_slack,
             &mut self.ws,
         );
-        let mut contacts =
-            narrow_phase_gpu(&self.dev, &gsoa, &self.ws.pairs, self.params.contact_range);
-        transfer_contacts_gpu(&self.dev, &self.contacts, &mut contacts);
+        let class_sorted = self.params.contact_order == ContactOrder::ClassSorted;
+        let mut contacts = narrow_phase_gpu_scheduled(
+            &self.dev,
+            &gsoa,
+            &self.ws.pairs,
+            self.params.contact_range,
+            if class_sorted {
+                self.ws.order.pair_schedule(self.ws.pairs.len())
+            } else {
+                None
+            },
+        );
+        transfer_contacts_gpu_scheduled(
+            &self.dev,
+            &self.contacts,
+            &mut contacts,
+            if class_sorted {
+                self.ws.order.contact_schedule(self.contacts.len())
+            } else {
+                None
+            },
+        );
         init_contacts_classified(&self.dev, &gsoa, &mut contacts, touch);
         self.contacts = contacts;
+        if class_sorted {
+            // Revalidate (or device-re-sort) the scheduling permutation
+            // against the freshly classified stream; the radix-sort cost
+            // lands in this module's time like the rest of detection.
+            let resorted = self.ws.order.refresh(&self.dev, &self.contacts);
+            self.ws
+                .order
+                .refresh_pairs(&self.ws.pairs, &self.contacts, resorted);
+        }
         self.times.contact_detection += self.mark() - t0;
         report.n_contacts = self.contacts.len();
         for c in self.contacts.iter_mut() {
@@ -448,6 +484,13 @@ impl GpuPipeline {
         let outcome = drive_step(self, &mut report)?;
         report.fallback_level = self.step_fallback_level;
         report.fallback_rung = self.params.solver_ladder()[self.step_fallback_level];
+        // Open–close flips this step are class switches the standing
+        // scheduling permutation has not seen; charge them to its budget.
+        if class_sorted {
+            self.ws
+                .order
+                .note_flips(self.contacts.iter().map(|c| c.flips as u64).sum());
+        }
 
         // Third classification (C1…C5) for the report — part of the
         // checking/classification machinery's cost.
@@ -530,7 +573,12 @@ impl StepBackend for GpuPipeline {
     fn assemble(&mut self, diag: &[Block6], rhs0: &[f64]) -> AssembledSystem {
         let t = self.mark();
         let gsoa = self.gsoa.as_ref().expect("step() builds the geometry SoA");
-        let asm = assemble_contacts_gpu(
+        let sched = if self.params.contact_order == ContactOrder::ClassSorted {
+            self.ws.order.contact_schedule(self.contacts.len())
+        } else {
+            None
+        };
+        let asm = assemble_contacts_gpu_scheduled(
             &self.dev,
             &self.sys,
             gsoa,
@@ -538,6 +586,7 @@ impl StepBackend for GpuPipeline {
             &self.params,
             diag.to_vec(),
             rhs0.to_vec(),
+            sched,
         );
         self.times.nondiag_building += self.mark() - t;
         asm

@@ -32,7 +32,7 @@ use dda_simt::Device;
 use dda_solver::{PrecondError, PrecondKind, SolveError, SolverPrecision};
 
 use crate::block::Block;
-use crate::contact::{BroadPhaseMode, Contact, ContactKind, ContactState};
+use crate::contact::{BroadPhaseMode, Contact, ContactKind, ContactOrder, ContactState};
 use crate::material::{BlockMaterial, JointMaterial};
 use crate::params::DdaParams;
 use crate::system::{BlockSystem, PointLoad};
@@ -465,6 +465,10 @@ fn enc_state(e: &mut Enc, st: &SceneState) {
         SolverPrecision::Full => 0,
         SolverPrecision::Mixed => 1,
     });
+    e.u(match p.contact_order {
+        ContactOrder::Discovery => 0,
+        ContactOrder::ClassSorted => 1,
+    });
     e.u(st.contacts.len() as u64);
     for c in &st.contacts {
         e.u(c.i as u64);
@@ -606,6 +610,15 @@ fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
             _ => {
                 return Err(CheckpointError::Malformed {
                     what: "solver-precision tag",
+                })
+            }
+        },
+        contact_order: match d.u()? {
+            0 => ContactOrder::Discovery,
+            1 => ContactOrder::ClassSorted,
+            _ => {
+                return Err(CheckpointError::Malformed {
+                    what: "contact-order tag",
                 })
             }
         },

@@ -211,6 +211,19 @@ impl Block {
 
     /// The first `active` threads (contiguous mask) perform `n` flops each;
     /// the rest idle — lockstep work still covers their warps.
+    ///
+    /// # Contiguity contract
+    ///
+    /// `active` is a *front length* — threads `0..active` work, threads
+    /// `active..block_size` idle — not a popcount of a scattered mask. The
+    /// lockstep charge assumes the idle threads occupy only the trailing
+    /// warps; a scattered mask spread over every warp keeps *all* warps
+    /// busy and would be under-charged here. Callers holding a per-thread
+    /// mask must account it warp-exactly instead (see
+    /// [`Block::branch_mask`] for the branch analogue). Audit note: every
+    /// in-tree caller (solver vecops, SpMV stages, scan and radix-sort
+    /// tiles) passes a `min(tile, n - start)`-style tail count — a true
+    /// front.
     pub fn flop_masked(&mut self, active: usize, n: u64) {
         let active = active.min(self.block_size);
         self.stats.flops += n * active as u64;
@@ -227,6 +240,17 @@ impl Block {
     /// Records a branch at `site` taken by the first `active` threads of a
     /// contiguous mask: every fully-agreeing warp is a uniform group, the
     /// boundary warp (if mixed) diverges.
+    ///
+    /// # Contiguity contract
+    ///
+    /// `active` is a *front length*, exactly as for [`Block::flop_masked`]:
+    /// threads `0..active` take the branch, the rest fall through. Under
+    /// that shape at most one warp — the boundary warp — can be mixed,
+    /// which is all this method ever charges. Feeding it the popcount of a
+    /// scattered mask silently under-counts divergence no matter how
+    /// fragmented the mask is; callers holding a mask must use
+    /// [`Block::branch_mask`] (exact per-warp accounting) or
+    /// [`Block::branch_front_of`], which checks the shape per call.
     pub fn branch_front(&mut self, _site: u32, active: usize) {
         let active = active.min(self.block_size);
         let warps = self.warps();
@@ -236,7 +260,32 @@ impl Block {
         }
     }
 
+    /// Records a branch at `site` from an explicit mask the caller expects
+    /// to be a contiguous front (the class-sorted scheduling invariant).
+    /// The shape is checked per call: a true front takes the cheap
+    /// [`Block::branch_front`] accounting, a scattered mask is routed to
+    /// the exact [`Block::branch_mask`] path instead of being silently
+    /// under-counted — and trips a debug assertion, because a scattered
+    /// mask here means the caller's sorting invariant is broken.
+    pub fn branch_front_of(&mut self, site: u32, mask: &[bool]) {
+        if let Some(len) = front_len(mask) {
+            self.branch_front(site, len);
+        } else {
+            if cfg!(debug_assertions) && !cfg!(test) {
+                panic!(
+                    "branch_front_of: scattered mask violates the contiguity contract; \
+                     use branch_mask at this call site"
+                );
+            }
+            self.branch_mask(site, mask);
+        }
+    }
+
     /// Records a branch at `site` with an explicit per-thread mask.
+    /// Warp-exact: any warp seeing both outcomes is charged divergent,
+    /// however the mask is shaped. This is the correct entry point for
+    /// scattered masks (see the contiguity contract on
+    /// [`Block::branch_front`]).
     pub fn branch_mask(&mut self, _site: u32, mask: &[bool]) {
         for chunk in mask.chunks(WARP_SIZE) {
             self.stats.branch_groups += 1;
@@ -297,6 +346,13 @@ impl Block {
     fn warps(&self) -> usize {
         self.block_size.div_ceil(WARP_SIZE)
     }
+}
+
+/// Front-shape check: `Some(len)` when `mask` is `len` trues followed only
+/// by falses (a contiguous front), `None` for any scattered mask.
+fn front_len(mask: &[bool]) -> Option<usize> {
+    let len = mask.iter().position(|&b| !b).unwrap_or(mask.len());
+    mask[len..].iter().all(|&b| !b).then_some(len)
 }
 
 #[cfg(test)]
@@ -360,6 +416,38 @@ mod tests {
         assert_eq!(b.stats.divergent_branch_groups, 1);
         b.branch_front(0, 256); // everyone takes it: uniform
         assert_eq!(b.stats.divergent_branch_groups, 1);
+    }
+
+    #[test]
+    fn front_len_detects_shape() {
+        assert_eq!(front_len(&[true, true, false, false]), Some(2));
+        assert_eq!(front_len(&[false, false]), Some(0));
+        assert_eq!(front_len(&[true, true]), Some(2));
+        assert_eq!(front_len(&[]), Some(0));
+        assert_eq!(front_len(&[true, false, true]), None, "scattered");
+    }
+
+    #[test]
+    fn branch_front_of_honors_shape() {
+        // A true front takes the boundary-warp shortcut.
+        let mut b = block();
+        let mut mask = vec![false; 256];
+        for m in mask.iter_mut().take(40) {
+            *m = true;
+        }
+        b.branch_front_of(0, &mask);
+        assert_eq!(b.stats.branch_groups, 8);
+        assert_eq!(b.stats.divergent_branch_groups, 1);
+        // A scattered mask must NOT be under-counted: it falls through to
+        // the exact per-warp accounting (both warps of the pattern mixed).
+        let mut b2 = block();
+        let scattered: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        b2.branch_front_of(0, &scattered);
+        assert_eq!(b2.stats.branch_groups, 2);
+        assert_eq!(
+            b2.stats.divergent_branch_groups, 2,
+            "scattered mask through the front API must charge every mixed warp"
+        );
     }
 
     #[test]

@@ -39,8 +39,10 @@ pub struct ScatterConfig {
     pub drop_speed: f64,
     /// Per-mille of occupied sites holding a two-rock stack (two
     /// half-size rocks separated by a sub-contact-range gap) instead of
-    /// one rock. Stacks guarantee O(n) in-range pairs from step 0 while
-    /// the field stays spatially sparse.
+    /// one rock. Stacks guarantee O(n) narrow-phase contacts from step 0
+    /// while the field stays spatially sparse; the halves get independent
+    /// velocity draws so stacked pairs close, open and slide instead of
+    /// falling in formation.
     pub stack_permille: usize,
     /// Stream seed: same seed, same field, bit for bit.
     pub seed: u64,
@@ -111,7 +113,12 @@ pub fn scatter_case(cfg: &ScatterConfig) -> (BlockSystem, DdaParams) {
     // (A stacked site's two half-size rocks plus gap span no more than a
     // full-size rock, so the same bound covers them.)
     let jitter = 0.5 * (pitch - 1.2 * s) * 0.95;
-    let gap = 0.03 * s; // < 2 × contact_range (= 0.05 s): an in-range pair
+    // Strictly inside the narrow-phase range d0 = contact_range
+    // (= 0.025 s), not merely inside the broad phase's 2 × contact_range
+    // box inflation: a stacked pair is a *contact* from step 0, not just a
+    // candidate. (The gap used to be 0.03 s — a broad-phase pair whose
+    // halves, falling in formation, never actually came into range.)
+    let gap = 0.015 * s;
     let mk_rock = |cx: f64, cy: f64, half: f64, vx: f64, vy: f64| {
         let mut rock = Block::new(
             Polygon::new(vec![
@@ -139,10 +146,14 @@ pub fn scatter_case(cfg: &ScatterConfig) -> (BlockSystem, DdaParams) {
         let stacked = rng.gen_range(0..1000) < cfg.stack_permille;
         if stacked && blocks.len() + 1 < n + 1 {
             // Two half-size rocks sharing the site, the gap between them
-            // well inside contact range: one guaranteed broad-phase pair.
+            // inside narrow range: one guaranteed contact. The upper half
+            // gets its own velocity draw so the pair has relative motion —
+            // some stacks close and load, some separate, some shear.
             let h = 0.25 * size;
+            let vx2 = cfg.drop_speed * 0.2 * (2.0 * rng.gen::<f64>() - 1.0);
+            let vy2 = -cfg.drop_speed * (0.6 + 0.8 * rng.gen::<f64>());
             blocks.push(mk_rock(cx, cy - h - 0.5 * gap, h, vx, vy));
-            blocks.push(mk_rock(cx, cy + h + 0.5 * gap, h, vx, vy));
+            blocks.push(mk_rock(cx, cy + h + 0.5 * gap, h, vx2, vy2));
         } else {
             blocks.push(mk_rock(cx, cy, 0.5 * size, vx, vy));
         }
