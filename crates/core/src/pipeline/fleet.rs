@@ -1,0 +1,920 @@
+//! Multi-device fleet routing with crash-durable failover.
+//!
+//! One [`BatchScheduler`] drives one device. This module adds the layer
+//! the paper's cluster deployments imply but never specify: a
+//! [`FleetRouter`] that shards scenes across *several* devices with
+//! heterogeneous profiles (Tesla K20s next to K40s next to a serial CPU
+//! fallback), journals every accepted scene to the write-ahead log in
+//! [`super::wal`], and survives the death of any device — or of the whole
+//! process — without losing accepted work or perturbing a single bit of
+//! any trajectory.
+//!
+//! ## Placement
+//!
+//! Submissions carry an opaque *locality key* ([`FleetSubmission`]).
+//! Scenes sharing a key are routed to the device that last hosted that
+//! key (kinematic families tend to share contact topology, so co-locating
+//! them keeps batch divergence low — the same argument the class-sorted
+//! contact ordering makes within a batch). New keys, and keys whose
+//! preferred device is saturated or dead, fall back to the device
+//! maximizing `dp_gflops / (1 + in_flight)` — a greedy heterogeneous
+//! load-balance that keeps a K40 roughly 20% busier than a K20 and only
+//! spills onto the serial fallback when the GPUs are loaded. Placement is
+//! deterministic: ties break toward the lower device id.
+//!
+//! ## Durability discipline
+//!
+//! * **Submit**: the scene's initial state is appended to the WAL and
+//!   fsynced *before* the submission is acknowledged. An acked scene is
+//!   durable, full stop.
+//! * **Step boundary**: every `wal_snap_interval` ticks the router
+//!   journals every in-flight scene's full resumable state as one group
+//!   commit (one fsync for the whole burst, not one per scene).
+//! * **Terminal**: completions/refusals/sheds append a terminal record
+//!   with the final state's fingerprint, so a recovered process knows
+//!   both *that* a scene finished and *what* it produced.
+//!
+//! ## Failure model
+//!
+//! Devices die in two shapes (arm with
+//! `Device::arm_device_death`, behind the `fault-inject` feature):
+//! *crash* (fail-stop — the device reports itself dead, detected at the
+//! next step boundary) and *hang* (fail-silent — launches stop returning;
+//! a watchdog declares death after `watchdog_ticks` stale ticks). Either
+//! way recovery is the same: replay the WAL, re-place the dead device's
+//! scenes on survivors (locality-aware, never dropping accepted work),
+//! and continue. Because kernels execute host-exact and trajectories are
+//! batch-composition-independent, a migrated scene's continued evolution
+//! is **bit-identical** to the run where its device never died — the
+//! property the recovery tests assert fingerprint-for-fingerprint.
+
+use std::collections::BTreeMap;
+
+use dda_simt::Device;
+
+use crate::system::BlockSystem;
+
+use super::ingest::{
+    BatchScheduler, FleetCheckpoint, FleetScene, IngestConfig, IngestError, SceneStatus,
+    SceneSubmission, Ticket,
+};
+use super::wal::{WalConfig, WalError, WalOutcome, WalRecordKind, WalReplay, WalStats, WalWriter};
+
+/// Fleet-wide scene identifier, stable across devices, migrations, and
+/// process restarts (unlike per-scheduler [`Ticket`]s, which are reissued
+/// on every adoption).
+pub type SceneId = u64;
+
+/// Knobs for the [`FleetRouter`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-device scheduler configuration (cloned for every device).
+    pub ingest: IngestConfig,
+    /// Ticks a device may go without completing a step before the
+    /// watchdog declares it dead (fail-silent hang detection).
+    pub watchdog_ticks: u64,
+    /// Journal every in-flight scene each time this many ticks elapse
+    /// (0 disables periodic snapshots; recovery then replays from the
+    /// submit records).
+    pub wal_snap_interval: u64,
+    /// Write-ahead log placement and cost model.
+    pub wal: WalConfig,
+    /// Delete segments wholly superseded by a snapshot burst. Disable to
+    /// keep the full history (the crash-injection tests do, so every
+    /// prefix of the log remains a valid recovery point).
+    pub prune: bool,
+}
+
+impl RouterConfig {
+    /// Defaults around a WAL rooted at `dir`: scheduler defaults,
+    /// watchdog of 3 ticks, snapshots every 4 ticks, pruning on.
+    pub fn new(wal_dir: impl Into<std::path::PathBuf>) -> RouterConfig {
+        RouterConfig {
+            ingest: IngestConfig::default(),
+            watchdog_ticks: 3,
+            wal_snap_interval: 4,
+            wal: WalConfig::new(wal_dir),
+            prune: true,
+        }
+    }
+}
+
+/// A submission addressed to the fleet rather than to one device.
+#[derive(Debug, Clone)]
+pub struct FleetSubmission {
+    /// The scene itself (system, parameters, priority, deadline, steps).
+    pub submission: SceneSubmission,
+    /// Opaque locality key: scenes sharing a key prefer the same device.
+    pub locality: u64,
+}
+
+/// Structured failure from the fleet layer.
+#[derive(Debug)]
+pub enum FleetError {
+    /// Every live device rejected the submission (queues full) — the
+    /// payload is the last rejection.
+    Ingest(IngestError),
+    /// The write-ahead log failed; the submission was *not* acked.
+    Wal(WalError),
+    /// No device in the fleet is alive.
+    NoSurvivors,
+}
+
+impl From<WalError> for FleetError {
+    fn from(e: WalError) -> FleetError {
+        FleetError::Wal(e)
+    }
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::Ingest(e) => write!(f, "fleet ingest rejection: {e:?}"),
+            FleetError::Wal(e) => write!(f, "fleet wal failure: {e}"),
+            FleetError::NoSurvivors => write!(f, "no surviving devices in the fleet"),
+        }
+    }
+}
+
+/// A finished scene's durable outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetOutcome {
+    /// How the scene ended.
+    pub outcome: WalOutcome,
+    /// FNV-1a fingerprint of the final block system
+    /// ([`system_fingerprint`]); 0 for scenes shed before ever running.
+    pub fingerprint: u64,
+}
+
+/// What one [`FleetRouter::tick`] did, summed across devices.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetTickReport {
+    /// Scenes admitted into batches this tick.
+    pub admitted: usize,
+    /// Scenes completed this tick.
+    pub completed: usize,
+    /// Scenes permanently refused this tick.
+    pub refused: usize,
+    /// Queued scenes shed for missed deadlines this tick.
+    pub shed: usize,
+    /// Devices declared dead this tick.
+    pub devices_lost: usize,
+    /// Scenes migrated off dead devices this tick.
+    pub migrated: usize,
+    /// Whether a periodic snapshot burst was journaled this tick.
+    pub snapped: bool,
+}
+
+/// Lifetime counters for a [`FleetRouter`].
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Router ticks executed.
+    pub ticks: u64,
+    /// Submissions acked (durable in the WAL).
+    pub submitted: u64,
+    /// Scenes that completed their requested steps.
+    pub completed: u64,
+    /// Scenes permanently refused.
+    pub refused: u64,
+    /// Scenes shed for missed deadlines.
+    pub shed: u64,
+    /// Device deaths detected and recovered from.
+    pub recoveries: u64,
+    /// Scenes migrated off dead devices.
+    pub migrated: u64,
+    /// Ticks from a device's last completed step to its death being
+    /// declared, one entry per recovery (crash = 1, hang ≈ watchdog).
+    pub detection_latencies: Vec<u64>,
+}
+
+/// One device plus its scheduler and liveness bookkeeping.
+struct Worker {
+    sched: BatchScheduler,
+    /// False once declared dead; the slot stays (ids are indices) but
+    /// placement and ticking skip it forever after.
+    alive: bool,
+    /// Last router tick at which the device completed a step.
+    heartbeat: u64,
+    /// Fleet ids of the scenes this worker currently owns, by ticket.
+    scenes: BTreeMap<Ticket, SceneId>,
+}
+
+/// Routes scenes across a fleet of devices, journaling to a WAL so that
+/// any device death — or whole-process death — recovers without losing
+/// accepted work and without perturbing any trajectory. See the module
+/// docs for the placement and durability disciplines.
+pub struct FleetRouter {
+    cfg: RouterConfig,
+    workers: Vec<Worker>,
+    wal: WalWriter,
+    now: u64,
+    next_scene: SceneId,
+    /// Live scene locations: fleet id → device index.
+    placements: BTreeMap<SceneId, u32>,
+    /// Locality keys → device that last hosted the key.
+    locality: BTreeMap<u64, u32>,
+    /// Locality key of each live scene (for re-placement on migration).
+    scene_locality: BTreeMap<SceneId, u64>,
+    /// Durable outcomes, with the WAL segment their terminal record was
+    /// last journaled in (pruning re-journals outcomes that would fall
+    /// below the barrier).
+    outcomes: BTreeMap<SceneId, (FleetOutcome, u64)>,
+    /// Scenes whose device died with no survivor to adopt them. They
+    /// remain durable in the WAL; a later [`FleetRouter::recover`] with
+    /// fresh devices picks them up.
+    stranded: Vec<SceneId>,
+    stats: FleetStats,
+}
+
+impl FleetRouter {
+    /// A fresh fleet over `devices` with a fresh WAL. Refuses to open a
+    /// directory that already holds segments — that log belongs to a
+    /// previous fleet and must go through [`FleetRouter::recover`].
+    pub fn new(devices: Vec<Device>, cfg: RouterConfig) -> Result<FleetRouter, FleetError> {
+        let wal = WalWriter::create(cfg.wal.clone())?;
+        Ok(FleetRouter {
+            workers: devices
+                .into_iter()
+                .map(|d| Worker {
+                    sched: BatchScheduler::new(d, cfg.ingest),
+                    alive: true,
+                    heartbeat: 0,
+                    scenes: BTreeMap::new(),
+                })
+                .collect(),
+            cfg,
+            wal,
+            now: 0,
+            next_scene: 0,
+            placements: BTreeMap::new(),
+            locality: BTreeMap::new(),
+            scene_locality: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
+            stranded: Vec::new(),
+            stats: FleetStats::default(),
+        })
+    }
+
+    /// Rebuilds a fleet from the WAL left by a dead process: replays the
+    /// log, re-places every live scene on the new devices (preferring
+    /// each scene's recorded device index when it exists), restores the
+    /// terminal outcomes, and re-journals everything into a fresh segment
+    /// so the recovered log is self-contained. Continued trajectories are
+    /// bit-identical to the run the process death interrupted.
+    pub fn recover(devices: Vec<Device>, cfg: RouterConfig) -> Result<FleetRouter, FleetError> {
+        let replay = WalReplay::load(&cfg.wal.dir)?;
+        let wal = WalWriter::resume(cfg.wal.clone(), &replay)?;
+        let mut router = FleetRouter {
+            workers: devices
+                .into_iter()
+                .map(|d| Worker {
+                    sched: BatchScheduler::new(d, cfg.ingest),
+                    alive: true,
+                    heartbeat: replay.last_tick,
+                    scenes: BTreeMap::new(),
+                })
+                .collect(),
+            cfg,
+            wal,
+            now: replay.last_tick,
+            next_scene: 0,
+            placements: BTreeMap::new(),
+            locality: BTreeMap::new(),
+            scene_locality: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
+            stranded: Vec::new(),
+            stats: FleetStats::default(),
+        };
+        let mut max_id = None::<SceneId>;
+        for (&id, ro) in &replay.terminal {
+            max_id = Some(max_id.map_or(id, |m| m.max(id)));
+            let outcome = FleetOutcome {
+                outcome: ro.outcome,
+                fingerprint: ro.fingerprint,
+            };
+            // Re-journal into the fresh segment so pruning the old ones
+            // can never lose a finished scene's result.
+            let seg = router.wal.segment_index();
+            router
+                .wal
+                .append(WalRecordKind::Terminal, id, 0, outcome.encode().as_bytes())?;
+            router.outcomes.insert(id, (outcome, seg));
+        }
+        for (&id, rs) in &replay.live {
+            max_id = Some(max_id.map_or(id, |m| m.max(id)));
+            let preferred = (rs.device as usize) < router.workers.len();
+            let target = if preferred {
+                rs.device as usize
+            } else {
+                match router.place(None) {
+                    Some(t) => t,
+                    None => {
+                        router.stranded.push(id);
+                        continue;
+                    }
+                }
+            };
+            router.adopt_scene(target, id, rs.scene.clone(), rs.taken_at)?;
+        }
+        router.wal.sync()?;
+        if router.cfg.prune {
+            let barrier = router.wal.segment_index();
+            router.wal.prune_before(barrier)?;
+        }
+        router.next_scene = max_id.map_or(0, |m| m + 1);
+        Ok(router)
+    }
+
+    /// Submits a scene to the fleet. The scene is journaled and fsynced
+    /// *before* this returns: an `Ok(id)` is a durability promise. The
+    /// preferred device comes from the locality map; a saturated or dead
+    /// preference falls back through the remaining devices in score
+    /// order, and only when every live device rejects does the fleet
+    /// reject.
+    pub fn submit(&mut self, fs: FleetSubmission) -> Result<SceneId, FleetError> {
+        let FleetSubmission {
+            submission,
+            locality,
+        } = fs;
+        let mut order = self.placement_order(Some(locality));
+        if order.is_empty() {
+            return Err(FleetError::NoSurvivors);
+        }
+        // The WAL payload snapshots the state exactly as try_submit will
+        // construct it, so replaying a Submit record is indistinguishable
+        // from resubmitting.
+        let mut last_err = None;
+        let mut placed = None;
+        for dev in order.drain(..) {
+            match self.workers[dev].sched.try_submit(submission.clone()) {
+                Ok(ticket) => {
+                    placed = Some((dev, ticket));
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let Some((dev, ticket)) = placed else {
+            return Err(FleetError::Ingest(
+                last_err.expect("at least one device was tried"),
+            ));
+        };
+        let id = self.next_scene;
+        self.next_scene += 1;
+        let snapshot = self.workers[dev]
+            .sched
+            .snapshot_inflight()
+            .into_iter()
+            .find(|(t, _)| *t == ticket)
+            .map(|(_, s)| s)
+            .expect("freshly submitted scene is in flight");
+        let payload = FleetCheckpoint {
+            taken_at_step: self.now,
+            scenes: vec![snapshot],
+        }
+        .encode();
+        self.wal
+            .append(WalRecordKind::Submit, id, dev as u32, payload.as_bytes())?;
+        self.wal.sync()?;
+        self.workers[dev].scenes.insert(ticket, id);
+        self.placements.insert(id, dev as u32);
+        self.locality.insert(locality, dev as u32);
+        self.scene_locality.insert(id, locality);
+        self.stats.submitted += 1;
+        Ok(id)
+    }
+
+    /// Advances the fleet one step: polls device liveness, recovers any
+    /// dead device (replaying its scenes from the WAL onto survivors),
+    /// ticks every responsive device, journals terminal outcomes, and
+    /// takes the periodic snapshot burst under one group commit.
+    pub fn tick(&mut self) -> Result<FleetTickReport, FleetError> {
+        self.now += 1;
+        self.stats.ticks += 1;
+        let mut rep = FleetTickReport::default();
+
+        // 1. Step-boundary liveness polls, then fail-stop detection: a
+        // crashed device says so when asked (its driver calls error out).
+        for w in self.workers.iter().filter(|w| w.alive) {
+            w.sched.batch().device().poll_step_boundary();
+        }
+        for i in 0..self.workers.len() {
+            if self.workers[i].alive && !self.workers[i].sched.batch().device().is_alive() {
+                let latency = self.now - self.workers[i].heartbeat;
+                rep.devices_lost += 1;
+                rep.migrated += self.recover_worker(i, latency)?;
+            }
+        }
+
+        // 2. Step every responsive device. An unresponsive (hung) device
+        // is modeled by skipping its tick: in reality the launch would
+        // never return, so no progress happens and its heartbeat stalls.
+        for w in self.workers.iter_mut().filter(|w| w.alive) {
+            if w.sched.batch().device().is_responsive() {
+                let r = w.sched.tick();
+                w.heartbeat = self.now;
+                rep.admitted += r.admitted;
+            }
+        }
+
+        // 3. Watchdog: declare a device dead once it has gone
+        // `watchdog_ticks` without completing a step.
+        for i in 0..self.workers.len() {
+            if self.workers[i].alive {
+                let stale = self.now - self.workers[i].heartbeat;
+                if stale >= self.cfg.watchdog_ticks {
+                    rep.devices_lost += 1;
+                    rep.migrated += self.recover_worker(i, stale)?;
+                }
+            }
+        }
+
+        // 4. Journal terminal transitions.
+        for i in 0..self.workers.len() {
+            if !self.workers[i].alive {
+                continue;
+            }
+            let tickets: Vec<Ticket> = self.workers[i].scenes.keys().copied().collect();
+            for ticket in tickets {
+                let Some(status) = self.workers[i].sched.status(ticket).map(|r| r.status) else {
+                    continue;
+                };
+                let outcome = match status {
+                    SceneStatus::Completed => WalOutcome::Completed,
+                    SceneStatus::Refused { .. } => WalOutcome::Refused,
+                    SceneStatus::Shed { .. } => WalOutcome::Shed,
+                    SceneStatus::Queued | SceneStatus::Running { .. } => continue,
+                };
+                let fingerprint = self.workers[i]
+                    .sched
+                    .take_final_sys(ticket)
+                    .map_or(0, |sys| system_fingerprint(&sys));
+                let id = self.workers[i]
+                    .scenes
+                    .remove(&ticket)
+                    .expect("iterated key");
+                self.placements.remove(&id);
+                self.scene_locality.remove(&id);
+                let seg = self.wal.segment_index();
+                let out = FleetOutcome {
+                    outcome,
+                    fingerprint,
+                };
+                self.wal.append(
+                    WalRecordKind::Terminal,
+                    id,
+                    i as u32,
+                    out.encode().as_bytes(),
+                )?;
+                self.outcomes.insert(id, (out, seg));
+                match outcome {
+                    WalOutcome::Completed => {
+                        rep.completed += 1;
+                        self.stats.completed += 1;
+                    }
+                    WalOutcome::Refused => {
+                        rep.refused += 1;
+                        self.stats.refused += 1;
+                    }
+                    WalOutcome::Shed => {
+                        rep.shed += 1;
+                        self.stats.shed += 1;
+                    }
+                }
+            }
+        }
+
+        // 5. Periodic snapshot burst: every in-flight scene, one group
+        // commit. Pruning first re-journals any terminal outcome whose
+        // record would fall below the barrier.
+        let snap_due =
+            self.cfg.wal_snap_interval > 0 && self.now.is_multiple_of(self.cfg.wal_snap_interval);
+        // Segment holding the first record of this burst: pruning keeps
+        // it and everything after (a mid-burst rotation moves later burst
+        // records forward, never backward).
+        let mut burst_barrier = None;
+        if snap_due {
+            let barrier = self.wal.segment_index();
+            burst_barrier = Some(barrier);
+            for i in 0..self.workers.len() {
+                if !self.workers[i].alive {
+                    continue;
+                }
+                for (ticket, fs) in self.workers[i].sched.snapshot_inflight() {
+                    let Some(&id) = self.workers[i].scenes.get(&ticket) else {
+                        continue;
+                    };
+                    let payload = FleetCheckpoint {
+                        taken_at_step: self.now,
+                        scenes: vec![fs],
+                    }
+                    .encode();
+                    self.wal
+                        .append(WalRecordKind::Snap, id, i as u32, payload.as_bytes())?;
+                }
+            }
+            if self.cfg.prune {
+                let ids: Vec<SceneId> = self.outcomes.keys().copied().collect();
+                for id in ids {
+                    let (out, seg) = self.outcomes[&id];
+                    if seg < barrier {
+                        let new_seg = self.wal.segment_index();
+                        self.wal
+                            .append(WalRecordKind::Terminal, id, 0, out.encode().as_bytes())?;
+                        self.outcomes.insert(id, (out, new_seg));
+                    }
+                }
+            }
+            rep.snapped = true;
+        }
+
+        // 6. One barrier covers the whole tick's records (group commit);
+        // only then is the boundary committed and pruning safe.
+        self.wal.sync()?;
+        // Stranded scenes live only in old segments, so their presence
+        // vetoes pruning outright.
+        if let (Some(barrier), true) = (burst_barrier, self.cfg.prune && self.stranded.is_empty()) {
+            // Every live scene was just re-journaled at or above the
+            // burst barrier, and every outcome sits at or above the
+            // lowest journaled-outcome segment; strictly older segments
+            // hold nothing the fleet still needs.
+            let keep_from = self
+                .outcomes
+                .values()
+                .map(|(_, seg)| *seg)
+                .min()
+                .unwrap_or(barrier)
+                .min(barrier);
+            self.wal.prune_before(keep_from)?;
+        }
+        Ok(rep)
+    }
+
+    /// Ticks until nothing is in flight or `max_ticks` elapse; returns
+    /// the ticks taken.
+    pub fn drain(&mut self, max_ticks: usize) -> Result<usize, FleetError> {
+        for t in 0..max_ticks {
+            if self.in_flight() == 0 {
+                return Ok(t);
+            }
+            self.tick()?;
+        }
+        Ok(max_ticks)
+    }
+
+    /// Replays a dead worker's scenes from the WAL onto survivors.
+    /// Returns how many scenes migrated.
+    fn recover_worker(&mut self, dead: usize, latency: u64) -> Result<usize, FleetError> {
+        self.workers[dead].alive = false;
+        self.stats.recoveries += 1;
+        self.stats.detection_latencies.push(latency);
+        // Only durable state exists for recovery: the device's memory is
+        // gone, and with it the scheduler's working set. Sync staged
+        // records (they describe *other* devices' boundaries) and replay.
+        self.wal.sync()?;
+        let replay = WalReplay::load(self.wal.dir())?;
+        let ids: Vec<SceneId> = self.workers[dead].scenes.values().copied().collect();
+        self.workers[dead].scenes.clear();
+        let mut migrated = 0;
+        for id in ids {
+            let Some(rs) = replay.live.get(&id) else {
+                // Terminal'd between snapshots — its outcome is already
+                // durable; nothing to migrate.
+                continue;
+            };
+            let locality = self.scene_locality.get(&id).copied();
+            let Some(target) = self.place(locality) else {
+                self.placements.remove(&id);
+                self.stranded.push(id);
+                continue;
+            };
+            self.adopt_scene(target, id, rs.scene.clone(), rs.taken_at)?;
+            if let Some(key) = locality {
+                self.locality.insert(key, target as u32);
+            }
+            migrated += 1;
+            self.stats.migrated += 1;
+        }
+        self.wal.sync()?;
+        Ok(migrated)
+    }
+
+    /// Places one replayed scene on `target`, journaling its new home.
+    fn adopt_scene(
+        &mut self,
+        target: usize,
+        id: SceneId,
+        scene: FleetScene,
+        taken_at: u64,
+    ) -> Result<(), FleetError> {
+        let payload = FleetCheckpoint {
+            taken_at_step: taken_at,
+            scenes: vec![scene.clone()],
+        }
+        .encode();
+        self.wal
+            .append(WalRecordKind::Snap, id, target as u32, payload.as_bytes())?;
+        let ticket = self.workers[target].sched.adopt(scene);
+        self.workers[target].scenes.insert(ticket, id);
+        self.placements.insert(id, target as u32);
+        Ok(())
+    }
+
+    /// Best live device for a (possibly keyed) placement, or `None` when
+    /// the fleet has no survivors.
+    fn place(&self, locality: Option<u64>) -> Option<usize> {
+        self.placement_order(locality).first().copied()
+    }
+
+    /// Live devices in placement-preference order: the locality-preferred
+    /// device first (when alive and its queue has room), then the rest by
+    /// descending `dp_gflops / (1 + in_flight)`, ties toward lower ids.
+    fn placement_order(&self, locality: Option<u64>) -> Vec<usize> {
+        let preferred = locality
+            .and_then(|k| self.locality.get(&k))
+            .map(|&d| d as usize)
+            .filter(|&d| {
+                self.workers[d].alive
+                    && self.workers[d].sched.queue_len() < self.cfg.ingest.queue_capacity
+            });
+        let mut scored: Vec<(f64, usize)> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.alive)
+            .map(|(i, w)| {
+                let gflops = w.sched.batch().device().profile().dp_gflops;
+                (gflops / (1.0 + w.sched.in_flight() as f64), i)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut order: Vec<usize> = Vec::with_capacity(scored.len());
+        if let Some(p) = preferred {
+            order.push(p);
+        }
+        order.extend(
+            scored
+                .into_iter()
+                .map(|(_, i)| i)
+                .filter(|&i| Some(i) != preferred),
+        );
+        order
+    }
+
+    // -- Observability ----------------------------------------------------
+
+    /// The router clock: ticks since construction (or since the replayed
+    /// snapshot, for a recovered router).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of devices the fleet was built with (dead ones included;
+    /// device ids are stable indices).
+    pub fn n_devices(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Live devices remaining.
+    pub fn n_alive(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    /// Device `i` (for arming faults and reading traces).
+    pub fn device(&self, i: usize) -> &Device {
+        self.workers[i].sched.batch().device()
+    }
+
+    /// Device `i`'s scheduler (read-only).
+    pub fn scheduler(&self, i: usize) -> &BatchScheduler {
+        &self.workers[i].sched
+    }
+
+    /// Scenes not yet in a terminal state, across the whole fleet
+    /// (stranded scenes count: they are still owed a result).
+    pub fn in_flight(&self) -> usize {
+        self.placements.len() + self.stranded.len()
+    }
+
+    /// Where each live scene currently runs: fleet id → device index.
+    pub fn placements(&self) -> &BTreeMap<SceneId, u32> {
+        &self.placements
+    }
+
+    /// Durable outcomes of finished scenes.
+    pub fn outcomes(&self) -> BTreeMap<SceneId, FleetOutcome> {
+        self.outcomes
+            .iter()
+            .map(|(&id, &(out, _))| (id, out))
+            .collect()
+    }
+
+    /// Scenes stranded by a total-fleet loss, still durable in the WAL.
+    pub fn stranded(&self) -> &[SceneId] {
+        &self.stranded
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &FleetStats {
+        &self.stats
+    }
+
+    /// WAL accounting (records, bytes, syncs, modeled seconds).
+    pub fn wal_stats(&self) -> &WalStats {
+        self.wal.stats()
+    }
+
+    /// Fleet modeled execution time: the *maximum* modeled seconds across
+    /// devices — devices run concurrently, so the slowest one sets the
+    /// fleet's wall-clock analogue.
+    pub fn fleet_modeled_seconds(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.sched.batch().device().modeled_seconds())
+            .fold(0.0, f64::max)
+    }
+
+    /// Aggregate modeled compute: the *sum* of modeled seconds across
+    /// devices — the total step work the fleet performed, and the natural
+    /// denominator for overheads that tax the whole fleet's output (the
+    /// WAL budget is stated against this, not against the parallel
+    /// wall-clock analogue).
+    pub fn fleet_aggregate_seconds(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.sched.batch().device().modeled_seconds())
+            .sum()
+    }
+}
+
+impl FleetOutcome {
+    fn encode(&self) -> String {
+        self.outcome.encode(self.fingerprint)
+    }
+}
+
+/// FNV-1a fingerprint of a block system's kinematic state (centroid and
+/// velocity bit patterns) — the same construction the batch compaction
+/// assertion uses, exposed so recovery tests can compare final states
+/// across runs without serializing whole systems.
+pub fn system_fingerprint(sys: &BlockSystem) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat = |h: &mut u64, bits: u64| {
+        *h ^= bits;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for b in &sys.blocks {
+        let c = b.centroid();
+        eat(&mut h, c.x.to_bits());
+        eat(&mut h, c.y.to_bits());
+        for dof in 0..6 {
+            eat(&mut h, b.velocity[dof].to_bits());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::material::{BlockMaterial, JointMaterial};
+    use crate::params::DdaParams;
+    use dda_geom::Polygon;
+    use dda_simt::DeviceProfile;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dda-fleet-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn scene(offset: f64) -> (BlockSystem, DdaParams) {
+        let mut params = DdaParams::for_model(1.0, 5e9);
+        params.dt = 0.002;
+        params.dt_max = 0.002;
+        let sys = BlockSystem::new(
+            vec![
+                Block::new(Polygon::rect(-5.0, -1.0, 5.0, 0.0), 0).fixed(),
+                Block::new(Polygon::rect(-0.5 + offset, 0.005, 0.5 + offset, 1.005), 0),
+            ],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(35.0),
+        );
+        (sys, params)
+    }
+
+    fn submission(offset: f64, run_steps: u64, locality: u64) -> FleetSubmission {
+        let (sys, params) = scene(offset);
+        FleetSubmission {
+            submission: SceneSubmission::new(sys, params, run_steps),
+            locality,
+        }
+    }
+
+    fn fleet(n: usize, tag: &str) -> (FleetRouter, PathBuf) {
+        let dir = temp_dir(tag);
+        let devices = (0..n)
+            .map(|_| Device::new(DeviceProfile::tesla_k40()))
+            .collect();
+        let router = FleetRouter::new(devices, RouterConfig::new(&dir)).unwrap();
+        (router, dir)
+    }
+
+    #[test]
+    fn fleet_runs_scenes_to_completion() {
+        let (mut r, dir) = fleet(2, "complete");
+        let a = r.submit(submission(0.0, 3, 1)).unwrap();
+        let b = r.submit(submission(0.3, 3, 2)).unwrap();
+        let ticks = r.drain(64).unwrap();
+        assert!(ticks < 64, "fleet must drain");
+        let outs = r.outcomes();
+        assert_eq!(outs[&a].outcome, WalOutcome::Completed);
+        assert_eq!(outs[&b].outcome, WalOutcome::Completed);
+        assert_ne!(outs[&a].fingerprint, 0);
+        assert_eq!(r.in_flight(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_placement_prefers_fast_idle_devices() {
+        let dir = temp_dir("placement");
+        let devices = vec![
+            Device::new(DeviceProfile::xeon_e5620_serial()),
+            Device::new(DeviceProfile::tesla_k40()),
+            Device::new(DeviceProfile::tesla_k20()),
+        ];
+        let mut r = FleetRouter::new(devices, RouterConfig::new(&dir)).unwrap();
+        let id = r.submit(submission(0.0, 2, 7)).unwrap();
+        assert_eq!(
+            r.placements()[&id],
+            1,
+            "idle K40 outranks K20 and the serial fallback"
+        );
+        // Same locality key sticks to the same device.
+        let id2 = r.submit(submission(0.2, 2, 7)).unwrap();
+        assert_eq!(r.placements()[&id2], 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn process_recovery_resumes_bit_identical() {
+        let dir = temp_dir("proc-recover");
+        // Baseline: run two scenes to completion undisturbed.
+        let mk = || {
+            vec![
+                Device::new(DeviceProfile::tesla_k40()),
+                Device::new(DeviceProfile::tesla_k20()),
+            ]
+        };
+        let base_dir = temp_dir("proc-recover-base");
+        let mut base = FleetRouter::new(mk(), RouterConfig::new(&base_dir)).unwrap();
+        let a = base.submit(submission(0.0, 6, 1)).unwrap();
+        let b = base.submit(submission(0.4, 6, 2)).unwrap();
+        base.drain(64).unwrap();
+        let base_outs = base.outcomes();
+
+        // Interrupted: same submissions, killed (dropped) after 3 ticks,
+        // recovered from the WAL in a "new process", drained.
+        let mut cfg = RouterConfig::new(&dir);
+        cfg.prune = false;
+        let mut r = FleetRouter::new(mk(), cfg.clone()).unwrap();
+        let a2 = r.submit(submission(0.0, 6, 1)).unwrap();
+        let b2 = r.submit(submission(0.4, 6, 2)).unwrap();
+        assert_eq!((a, b), (a2, b2), "scene ids are deterministic");
+        for _ in 0..3 {
+            r.tick().unwrap();
+        }
+        drop(r);
+        let mut rec = FleetRouter::recover(mk(), cfg).unwrap();
+        rec.drain(64).unwrap();
+        let rec_outs = rec.outcomes();
+        assert_eq!(
+            base_outs[&a].fingerprint, rec_outs[&a].fingerprint,
+            "recovered trajectory must be bit-identical"
+        );
+        assert_eq!(base_outs[&b].fingerprint, rec_outs[&b].fingerprint);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&base_dir).unwrap();
+    }
+
+    #[test]
+    fn total_fleet_loss_strands_rather_than_drops() {
+        let (mut r, dir) = fleet(1, "strand");
+        let _ = r.submit(submission(0.0, 50, 1)).unwrap();
+        // Declare the only device dead via the watchdog path by faking a
+        // stalled heartbeat: without fault injection we can't kill the
+        // device, so drive the watchdog directly.
+        r.workers[0].alive = false;
+        r.stranded.push(0);
+        r.placements.remove(&0);
+        assert_eq!(r.in_flight(), 1, "stranded scenes still count");
+        assert!(r.place(None).is_none());
+        match r.submit(submission(0.1, 1, 2)) {
+            Err(FleetError::NoSurvivors) => {}
+            other => panic!("expected NoSurvivors, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

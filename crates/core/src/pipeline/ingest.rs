@@ -121,6 +121,18 @@ impl Enc {
     }
 }
 
+/// Bounded pre-reservation for a decoded element count. A corrupt or
+/// hostile count (e.g. `u64::MAX`) must never translate directly into an
+/// allocation — `Vec::with_capacity` aborts the process on overflow, which
+/// would turn a malformed checkpoint into a crash instead of a decode
+/// error. Reserving at most this much up front keeps memory proportional
+/// to the *actual* input: each decoded element consumes at least one
+/// token, so growth beyond the cap is bounded by the text length, and a
+/// lying count runs out of tokens and fails with `Truncated`.
+fn cap_alloc(n: usize) -> usize {
+    n.min(4096)
+}
+
 /// Token reader matching [`Enc`].
 struct Dec<'a> {
     toks: std::str::SplitWhitespace<'a>,
@@ -502,7 +514,7 @@ fn enc_state(e: &mut Enc, st: &SceneState) {
 
 fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
     let n_blocks = d.usz()?;
-    let mut blocks = Vec::with_capacity(n_blocks);
+    let mut blocks = Vec::with_capacity(cap_alloc(n_blocks));
     for _ in 0..n_blocks {
         let nv = d.usz()?;
         if nv < 3 {
@@ -510,7 +522,7 @@ fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
                 what: "polygon with fewer than 3 vertices",
             });
         }
-        let mut vs = Vec::with_capacity(nv);
+        let mut vs = Vec::with_capacity(cap_alloc(nv));
         for _ in 0..nv {
             let x = d.f()?;
             let y = d.f()?;
@@ -531,7 +543,7 @@ fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
         blocks.push(b);
     }
     let n = d.usz()?;
-    let mut block_materials = Vec::with_capacity(n);
+    let mut block_materials = Vec::with_capacity(cap_alloc(n));
     for _ in 0..n {
         block_materials.push(BlockMaterial {
             density: d.f()?,
@@ -541,7 +553,7 @@ fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
         });
     }
     let n = d.usz()?;
-    let mut joint_materials = Vec::with_capacity(n);
+    let mut joint_materials = Vec::with_capacity(cap_alloc(n));
     for _ in 0..n {
         joint_materials.push(JointMaterial {
             friction_angle_deg: d.f()?,
@@ -550,7 +562,7 @@ fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
         });
     }
     let n = d.usz()?;
-    let mut point_loads = Vec::with_capacity(n);
+    let mut point_loads = Vec::with_capacity(cap_alloc(n));
     for _ in 0..n {
         point_loads.push(PointLoad {
             block: d.u()? as u32,
@@ -624,7 +636,7 @@ fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
         },
     };
     let n = d.usz()?;
-    let mut contacts = Vec::with_capacity(n);
+    let mut contacts = Vec::with_capacity(cap_alloc(n));
     for _ in 0..n {
         contacts.push(Contact {
             i: d.u()? as u32,
@@ -653,7 +665,7 @@ fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
         });
     }
     let n = d.usz()?;
-    let mut x_prev = Vec::with_capacity(n);
+    let mut x_prev = Vec::with_capacity(cap_alloc(n));
     for _ in 0..n {
         x_prev.push(d.f()?);
     }
@@ -774,7 +786,7 @@ impl FleetCheckpoint {
         let mut d = Dec::new(text, FLEET_MAGIC)?;
         let taken_at_step = d.u()?;
         let n = d.usz()?;
-        let mut scenes = Vec::with_capacity(n);
+        let mut scenes = Vec::with_capacity(cap_alloc(n));
         for _ in 0..n {
             let run_steps = d.u()?;
             let priority = match d.u()? {
@@ -1578,6 +1590,89 @@ impl BatchScheduler {
         }
         s.stats.max_queue_len = s.queue.len();
         (s, tickets)
+    }
+
+    /// Per-ticket snapshots of everything in flight: live slots first (in
+    /// slot order), then queued submissions (in lane order). Each entry is
+    /// the same full resumable envelope [`checkpoint_fleet`] would emit,
+    /// but keyed by ticket so a caller journaling scenes individually (the
+    /// fleet WAL) can attribute every record.
+    ///
+    /// [`checkpoint_fleet`]: BatchScheduler::checkpoint_fleet
+    pub fn snapshot_inflight(&self) -> Vec<(Ticket, FleetScene)> {
+        let mut out = Vec::new();
+        for slot in 0..self.batch.n_scenes() {
+            let Some(info) = self.occupants.get(slot).copied().flatten() else {
+                continue;
+            };
+            let Some(state) = self.batch.scene_state(slot) else {
+                continue;
+            };
+            out.push((
+                info.ticket,
+                FleetScene {
+                    state,
+                    run_steps: info.run_steps,
+                    priority: info.priority,
+                    requeued: info.requeued,
+                    deadline: None,
+                    queued: false,
+                },
+            ));
+        }
+        for lane in &self.queue.lanes {
+            for qs in lane {
+                out.push((
+                    qs.ticket,
+                    FleetScene {
+                        state: qs.state.clone(),
+                        run_steps: qs.run_steps,
+                        priority: qs.priority,
+                        requeued: qs.requeued,
+                        deadline: qs.deadline,
+                        queued: true,
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    /// Adopts one migrated scene from another scheduler's snapshot. The
+    /// scene enters this scheduler's intake queue with a fresh ticket,
+    /// bypassing the queue bound — a failover must never drop work the
+    /// fleet already accepted, so backpressure applies only at original
+    /// submission. Admission then proceeds through the normal drain path,
+    /// and because trajectories are batch-composition-independent, the
+    /// scene's continued evolution on this device is bit-identical to the
+    /// run it was rescued from.
+    pub fn adopt(&mut self, fs: FleetScene) -> Ticket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.records.insert(
+            ticket,
+            SceneRecord {
+                priority: fs.priority,
+                submitted_at: self.now,
+                admitted_at: None,
+                status: SceneStatus::Queued,
+                final_sys: None,
+            },
+        );
+        self.queue.force_push(QueuedScene {
+            ticket,
+            state: fs.state,
+            priority: fs.priority,
+            // Deadlines do not survive migration: the clock that issued
+            // them died with the source device.
+            deadline: None,
+            run_steps: fs.run_steps,
+            enqueued_at: self.now,
+            requeued: fs.requeued,
+        });
+        self.stats.submitted += 1;
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+        ticket
     }
 
     fn has_capacity(&self) -> bool {

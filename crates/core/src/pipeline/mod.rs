@@ -10,20 +10,29 @@
 pub mod batch;
 pub mod cpu;
 pub(crate) mod driver;
+pub mod fleet;
 pub mod gpu;
 pub mod health;
 pub mod ingest;
 pub(crate) mod solver_cache;
+pub mod wal;
 
 pub use batch::{SceneBatch, SceneState};
 pub use cpu::CpuPipeline;
 pub use driver::StepOutcome;
+pub use fleet::{
+    system_fingerprint, FleetError, FleetOutcome, FleetRouter, FleetStats, FleetSubmission,
+    FleetTickReport, RouterConfig, SceneId,
+};
 pub use gpu::{GpuPipeline, PrecondKind};
 pub use health::{HealthPolicy, SceneHealth, SlotState, StepError};
 pub use ingest::{
     BatchScheduler, CheckpointError, FleetCheckpoint, FleetScene, IngestConfig, IngestError,
     IngestStats, IntakeQueue, Priority, QueuedScene, SceneCheckpoint, SceneRecord, SceneStatus,
     SceneSubmission, TickReport, Ticket,
+};
+pub use wal::{
+    RecordSpan, WalConfig, WalError, WalOutcome, WalRecordKind, WalReplay, WalStats, WalWriter,
 };
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,366 @@
+//! BENCH_8 generator: crash-durable fleet routing — throughput scaling,
+//! WAL overhead, and device-death failover.
+//!
+//! Three studies over the [`FleetRouter`]:
+//!
+//! 1. **Scaling** — the same seeded churn stream (open-loop arrivals with
+//!    bursts and locality keys) is driven into fleets of 1, 2 and 4
+//!    modeled K40s plus one heterogeneous mix (K40 + K20 + serial Xeon
+//!    fallback). Throughput is scenes completed per *modeled* second,
+//!    where fleet modeled time is the maximum across devices — devices
+//!    run concurrently, so the slowest sets the pace.
+//! 2. **WAL overhead** — every run journals under the crash-consistent
+//!    fsync discipline (submit-before-ack, group-committed snapshot
+//!    bursts, pruning on). The WAL's modeled cost (fsync barriers at
+//!    25 µs + bytes at 2 GB/s) is reported as a fraction of *aggregate*
+//!    modeled step time (summed across devices — the total compute the
+//!    journal protects) and **asserted ≤ 5%** — durability must ride
+//!    along, not tax the pipeline.
+//! 3. **Failover** — on a three-device fleet running a fixed schedule,
+//!    one device is killed fail-stop (crash) and, separately, fail-silent
+//!    (hang). The bench reports detection latency in steps (crash: 1;
+//!    hang: the watchdog budget), scenes migrated, and the recovery cost
+//!    in extra drain ticks — and asserts every outcome fingerprint equals
+//!    the fault-free run's (bit-identical failover).
+//!
+//! Writes `BENCH_8.json` into the current directory and prints it.
+//!
+//! Usage: `bench8 [--rocks N] [--steps N] [--seed N]`
+//! (`--steps` is the churn window in router ticks.)
+
+use std::collections::BTreeMap;
+
+use dda_core::pipeline::{
+    FleetError, FleetOutcome, FleetRouter, RouterConfig, SceneId, WalOutcome,
+};
+use dda_harness::Args;
+use dda_simt::{DeathMode, Device, DeviceProfile};
+use dda_workloads::{FleetChurnConfig, FleetChurnTraffic, TrafficConfig};
+
+/// Budget the WAL's modeled cost must stay under, as a percentage of
+/// fleet modeled execution time.
+const WAL_OVERHEAD_BUDGET_PCT: f64 = 5.0;
+
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("dda-bench8-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn churn_config(rocks: usize) -> FleetChurnConfig {
+    FleetChurnConfig {
+        traffic: TrafficConfig {
+            rocks,
+            run_steps_min: 4,
+            run_steps_max: 8,
+            ..TrafficConfig::default()
+        },
+        localities: 6,
+        rate: 2.0,
+        burst_every: 8,
+        burst_size: 3,
+    }
+}
+
+struct ScalingRow {
+    label: String,
+    devices: usize,
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    ticks: u64,
+    fleet_modeled_s: f64,
+    aggregate_modeled_s: f64,
+    scenes_per_modeled_s: f64,
+    wal_records: u64,
+    wal_bytes: u64,
+    wal_syncs: u64,
+    wal_modeled_s: f64,
+    overhead_pct: f64,
+}
+
+/// Drives the seeded churn stream into `devices` for `window` ticks plus
+/// a drain, under the full durability discipline (pruning on).
+fn scaling_run(
+    label: &str,
+    devices: Vec<Device>,
+    rocks: usize,
+    window: u64,
+    seed: u64,
+) -> ScalingRow {
+    let n_devices = devices.len();
+    let dir = wal_dir(&format!("scale-{}", label.replace(' ', "-")));
+    let mut r = FleetRouter::new(devices, RouterConfig::new(&dir)).expect("fresh fleet");
+    let mut traffic = FleetChurnTraffic::new(churn_config(rocks), seed);
+    let mut rejected = 0u64;
+    for now in 0..window {
+        for sub in traffic.arrivals(now) {
+            match r.submit(sub) {
+                Ok(_) => {}
+                Err(FleetError::Ingest(_)) => rejected += 1,
+                Err(e) => panic!("unexpected fleet error: {e}"),
+            }
+        }
+        r.tick().expect("tick");
+    }
+    let drained = r.drain(512).expect("drain");
+    assert!(drained < 512, "churn window must drain");
+    let fleet_s = r.fleet_modeled_seconds();
+    let agg_s = r.fleet_aggregate_seconds();
+    let wal = *r.wal_stats();
+    let overhead_pct = if agg_s > 0.0 {
+        100.0 * wal.modeled_seconds / agg_s
+    } else {
+        0.0
+    };
+    assert!(
+        overhead_pct <= WAL_OVERHEAD_BUDGET_PCT,
+        "{label}: WAL overhead {overhead_pct:.2}% blows the \
+         {WAL_OVERHEAD_BUDGET_PCT}% budget"
+    );
+    let stats = r.stats().clone();
+    let _ = std::fs::remove_dir_all(&dir);
+    ScalingRow {
+        label: label.to_string(),
+        devices: n_devices,
+        submitted: stats.submitted,
+        rejected,
+        completed: stats.completed,
+        ticks: stats.ticks,
+        fleet_modeled_s: fleet_s,
+        aggregate_modeled_s: agg_s,
+        scenes_per_modeled_s: if fleet_s > 0.0 {
+            stats.completed as f64 / fleet_s
+        } else {
+            0.0
+        },
+        wal_records: wal.records,
+        wal_bytes: wal.bytes,
+        wal_syncs: wal.syncs,
+        wal_modeled_s: wal.modeled_seconds,
+        overhead_pct,
+    }
+}
+
+fn hetero_devices() -> Vec<Device> {
+    vec![
+        Device::new(DeviceProfile::tesla_k40()),
+        Device::new(DeviceProfile::tesla_k40()),
+        Device::new(DeviceProfile::tesla_k20()),
+    ]
+}
+
+/// Fixed failover schedule: enough scenes to spread across three
+/// devices, long enough to straddle snapshot bursts.
+fn failover_run(
+    dir: &std::path::Path,
+    rocks: usize,
+    arm: Option<(usize, DeathMode, usize)>,
+) -> (FleetRouter, usize) {
+    let mut cfg = RouterConfig::new(dir);
+    cfg.wal_snap_interval = 2;
+    cfg.watchdog_ticks = 3;
+    let mut r = FleetRouter::new(hetero_devices(), cfg).expect("fresh fleet");
+    // A deterministic six-scene burst up front: rate 6/tick, bursts off,
+    // fixed seed — the same arrivals whether or not a death is armed.
+    let mut traffic = FleetChurnTraffic::new(
+        FleetChurnConfig {
+            rate: 6.0,
+            burst_every: 0,
+            ..churn_config(rocks)
+        },
+        97,
+    );
+    let subs = traffic.arrivals(0);
+    assert_eq!(subs.len(), 6);
+    for sub in subs {
+        r.submit(sub).expect("submission accepted");
+    }
+    if let Some((dev, mode, polls)) = arm {
+        r.device(dev).arm_device_death(mode, polls);
+    }
+    let ticks = r.drain(256).expect("drain");
+    assert!(ticks < 256, "failover fleet must drain");
+    (r, ticks)
+}
+
+struct FailoverReport {
+    detection_steps: u64,
+    migrated: u64,
+    recovery_extra_ticks: i64,
+    completed: u64,
+}
+
+fn failover_study(
+    mode: DeathMode,
+    rocks: usize,
+    baseline: &(BTreeMap<SceneId, FleetOutcome>, usize),
+) -> FailoverReport {
+    let tag = match mode {
+        DeathMode::Crash => "crash",
+        DeathMode::Hang => "hang",
+    };
+    let dir = wal_dir(&format!("failover-{tag}"));
+    let (r, ticks) = failover_run(&dir, rocks, Some((0, mode, 2)));
+    assert_eq!(r.stats().recoveries, 1, "{tag}: one device death");
+    let outs = r.outcomes();
+    assert_eq!(
+        outs.len(),
+        baseline.0.len(),
+        "{tag}: no scene may be lost to the death"
+    );
+    for (id, out) in &outs {
+        assert_eq!(
+            out.fingerprint, baseline.0[id].fingerprint,
+            "{tag}: scene {id} must be bit-identical to the fault-free run"
+        );
+    }
+    let report = FailoverReport {
+        detection_steps: r.stats().detection_latencies[0],
+        migrated: r.stats().migrated,
+        recovery_extra_ticks: ticks as i64 - baseline.1 as i64,
+        completed: r.stats().completed,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+fn main() {
+    let a = Args::parse(0, 2, 32);
+    let window = a.steps as u64;
+    eprintln!(
+        "bench8: fleet scaling + WAL overhead + failover, rocks={} window={window} seed={}",
+        a.rocks, a.seed
+    );
+
+    // -- Study 1+2: scaling with WAL overhead -----------------------------
+    let k40s = |n: usize| -> Vec<Device> {
+        (0..n)
+            .map(|_| Device::new(DeviceProfile::tesla_k40()))
+            .collect()
+    };
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4] {
+        let label = format!("{n}x K40");
+        eprintln!("  scaling: {label}");
+        rows.push(scaling_run(&label, k40s(n), a.rocks, window, a.seed));
+    }
+    eprintln!("  scaling: K40+K20+serial (hetero)");
+    let hetero = vec![
+        Device::new(DeviceProfile::tesla_k40()),
+        Device::new(DeviceProfile::tesla_k20()),
+        Device::new(DeviceProfile::xeon_e5620_serial()),
+    ];
+    rows.push(scaling_run(
+        "K40+K20+serial",
+        hetero,
+        a.rocks,
+        window,
+        a.seed,
+    ));
+
+    let base_rate = rows[0].scenes_per_modeled_s;
+    for row in &rows {
+        eprintln!(
+            "    {}: {} completed over {} ticks, {:.3} modeled s, \
+             {:.1} scenes/modeled-s ({:.2}x), wal {:.3}% ({} records, {} syncs)",
+            row.label,
+            row.completed,
+            row.ticks,
+            row.fleet_modeled_s,
+            row.scenes_per_modeled_s,
+            row.scenes_per_modeled_s / base_rate.max(1e-12),
+            row.overhead_pct,
+            row.wal_records,
+            row.wal_syncs,
+        );
+    }
+
+    // -- Study 3: failover -------------------------------------------------
+    let base_dir = wal_dir("failover-base");
+    let (base_router, base_ticks) = failover_run(&base_dir, a.rocks, None);
+    let baseline = (base_router.outcomes(), base_ticks);
+    assert!(
+        baseline
+            .0
+            .values()
+            .all(|o| o.outcome == WalOutcome::Completed),
+        "fault-free failover schedule must complete everything"
+    );
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let crash = failover_study(DeathMode::Crash, a.rocks, &baseline);
+    let hang = failover_study(DeathMode::Hang, a.rocks, &baseline);
+    assert_eq!(crash.detection_steps, 1, "fail-stop detection is one step");
+    assert_eq!(
+        hang.detection_steps, 3,
+        "fail-silent detection is the watchdog budget"
+    );
+    eprintln!(
+        "  failover: crash detected in {} step(s), {} migrated, +{} ticks; \
+         hang detected in {} steps, {} migrated, +{} ticks; all bit-identical",
+        crash.detection_steps,
+        crash.migrated,
+        crash.recovery_extra_ticks,
+        hang.detection_steps,
+        hang.migrated,
+        hang.recovery_extra_ticks,
+    );
+
+    // -- Report ------------------------------------------------------------
+    let scaling_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"label\": \"{}\", \"devices\": {}, \"submitted\": {}, \
+                 \"rejected\": {}, \"completed\": {}, \"ticks\": {}, \
+                 \"fleet_modeled_s\": {:.6e}, \"aggregate_modeled_s\": {:.6e}, \
+                 \"scenes_per_modeled_s\": {:.3}, \
+                 \"speedup_vs_one\": {:.3},\n      \
+                 \"wal\": {{ \"records\": {}, \"bytes\": {}, \"syncs\": {}, \
+                 \"modeled_s\": {:.6e}, \"overhead_pct\": {:.4} }} }}",
+                r.label,
+                r.devices,
+                r.submitted,
+                r.rejected,
+                r.completed,
+                r.ticks,
+                r.fleet_modeled_s,
+                r.aggregate_modeled_s,
+                r.scenes_per_modeled_s,
+                r.scenes_per_modeled_s / base_rate.max(1e-12),
+                r.wal_records,
+                r.wal_bytes,
+                r.wal_syncs,
+                r.wal_modeled_s,
+                r.overhead_pct,
+            )
+        })
+        .collect();
+    let failover_json = |tag: &str, f: &FailoverReport, watchdog: u64| {
+        format!(
+            "    \"{tag}\": {{ \"detection_steps\": {}, \"watchdog_ticks\": {watchdog}, \
+             \"migrated\": {}, \"recovery_extra_ticks\": {}, \"completed\": {}, \
+             \"bitwise_identical\": true }}",
+            f.detection_steps, f.migrated, f.recovery_extra_ticks, f.completed,
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_failover_wal\",\n  \
+         \"config\": {{ \"rocks\": {}, \"window_ticks\": {window}, \"seed\": {}, \
+         \"wal_snap_interval\": 4, \"fsync_model_us\": 25, \"write_model_gbs\": 2 }},\n  \
+         \"units\": \"throughput in scenes per modeled second (fleet time = max over \
+         devices); WAL overhead = modeled WAL seconds / aggregate modeled step \
+         seconds (summed over devices)\",\n  \
+         \"wal_overhead_budget_pct\": {WAL_OVERHEAD_BUDGET_PCT},\n  \
+         \"scaling\": [\n{}\n  ],\n  \
+         \"failover\": {{\n{},\n{}\n  }}\n}}\n",
+        a.rocks,
+        a.seed,
+        scaling_json.join(",\n"),
+        failover_json("crash", &crash, 3),
+        failover_json("hang", &hang, 3),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
+    eprintln!("wrote BENCH_8.json");
+}

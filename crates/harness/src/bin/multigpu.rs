@@ -1,54 +1,221 @@
-//! Extension exhibit (§VI future work): HSBCSR SpMV scaling across
-//! multiple simulated GPUs.
+//! Multi-device exhibit (§VI future work): fleet step throughput across
+//! simulated GPUs, under the crash-durable [`FleetRouter`].
 //!
-//! Usage: `multigpu [--blocks N] [--seed N]`
+//! The original form of this exhibit scaled a single HSBCSR SpMV across
+//! devices (that shape survives in `bench6`'s multi-GPU rows). This one
+//! scales the *pipeline*: a seeded churn stream of whole scenes is routed
+//! across fleets of 1/2/4/8 modeled K40s with locality-aware placement,
+//! every placement journaled to a write-ahead log, and throughput is
+//! scenes per modeled second. Scene-level routing has no all-reduce, so
+//! it dodges the communication wall the SpMV split hits — the trade the
+//! paper's future-work section weighs.
+//!
+//! With `--features fault-inject` the exhibit also kills a device
+//! mid-run (fail-stop and fail-silent) and reports detection latency,
+//! migration counts, and the bit-identicality of failover.
+//!
+//! Usage: `multigpu [--rocks N] [--steps N] [--seed N]`
 
-use dda_harness::experiments::case1_matrix;
+use dda_core::pipeline::{FleetError, FleetRouter, RouterConfig};
 use dda_harness::table::{fmt_time, Table};
 use dda_harness::Args;
-use dda_simt::DeviceProfile;
-use dda_sparse::spmv::MultiGpuSpmv;
+use dda_simt::{Device, DeviceProfile};
+use dda_workloads::{FleetChurnConfig, FleetChurnTraffic, TrafficConfig};
 
-fn main() {
-    let a = Args::parse(4361, 0, 0);
-    println!(
-        "Multi-GPU HSBCSR SpMV scaling (paper §VI future work), case-1 matrix, {} target blocks\n",
-        a.blocks
-    );
-    let m = case1_matrix(a.blocks, 2, a.seed);
-    println!(
-        "matrix: {} block rows, {} upper sub-matrices\n",
-        m.n_blocks(),
-        m.n_upper()
-    );
-    let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.13).sin()).collect();
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("dda-multigpu-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
 
-    let mut t = Table::new(vec![
-        "GPUs",
-        "Kernel (slowest device)",
-        "All-reduce",
-        "Total",
-        "Speed-up vs 1 GPU",
-    ]);
-    let mut base = 0.0;
-    for p in [1usize, 2, 4, 8] {
-        let multi = MultiGpuSpmv::new(DeviceProfile::tesla_k40(), p, &m);
-        let (_, r) = multi.mul(&x);
-        let kmax = r.per_device.iter().copied().fold(0.0, f64::max);
-        if p == 1 {
-            base = r.total_s;
+fn churn_config(rocks: usize) -> FleetChurnConfig {
+    FleetChurnConfig {
+        traffic: TrafficConfig {
+            rocks,
+            run_steps_min: 4,
+            run_steps_max: 8,
+            ..TrafficConfig::default()
+        },
+        localities: 6,
+        rate: 2.0,
+        burst_every: 8,
+        burst_size: 3,
+    }
+}
+
+struct FleetRun {
+    completed: u64,
+    rejected: u64,
+    ticks: u64,
+    fleet_s: f64,
+    rate: f64,
+    wal_overhead_pct: f64,
+}
+
+fn run_fleet(n_devices: usize, rocks: usize, window: u64, seed: u64) -> FleetRun {
+    let devices: Vec<Device> = (0..n_devices)
+        .map(|_| Device::new(DeviceProfile::tesla_k40()))
+        .collect();
+    let dir = wal_dir(&format!("scale-{n_devices}"));
+    let mut r = FleetRouter::new(devices, RouterConfig::new(&dir)).expect("fresh fleet");
+    let mut traffic = FleetChurnTraffic::new(churn_config(rocks), seed);
+    let mut rejected = 0u64;
+    for now in 0..window {
+        for sub in traffic.arrivals(now) {
+            match r.submit(sub) {
+                Ok(_) => {}
+                Err(FleetError::Ingest(_)) => rejected += 1,
+                Err(e) => panic!("unexpected fleet error: {e}"),
+            }
         }
+        r.tick().expect("tick");
+    }
+    let drained = r.drain(512).expect("drain");
+    assert!(drained < 512, "fleet must drain");
+    let fleet_s = r.fleet_modeled_seconds();
+    let agg_s = r.fleet_aggregate_seconds();
+    let run = FleetRun {
+        completed: r.stats().completed,
+        rejected,
+        ticks: r.stats().ticks,
+        fleet_s,
+        rate: if fleet_s > 0.0 {
+            r.stats().completed as f64 / fleet_s
+        } else {
+            0.0
+        },
+        wal_overhead_pct: if agg_s > 0.0 {
+            100.0 * r.wal_stats().modeled_seconds / agg_s
+        } else {
+            0.0
+        },
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
+#[cfg(feature = "fault-inject")]
+fn failover_exhibit(rocks: usize) {
+    use dda_simt::DeathMode;
+    use std::collections::BTreeMap;
+
+    let run = |tag: &str, arm: Option<(usize, DeathMode, usize)>| {
+        let dir = wal_dir(&format!("failover-{tag}"));
+        let mut cfg = RouterConfig::new(&dir);
+        cfg.wal_snap_interval = 2;
+        cfg.watchdog_ticks = 3;
+        let devices = vec![
+            Device::new(DeviceProfile::tesla_k40()),
+            Device::new(DeviceProfile::tesla_k40()),
+            Device::new(DeviceProfile::tesla_k20()),
+        ];
+        let mut r = FleetRouter::new(devices, cfg).expect("fresh fleet");
+        let mut traffic = FleetChurnTraffic::new(
+            FleetChurnConfig {
+                rate: 6.0,
+                burst_every: 0,
+                ..churn_config(rocks)
+            },
+            97,
+        );
+        for sub in traffic.arrivals(0) {
+            r.submit(sub).expect("submission accepted");
+        }
+        if let Some((dev, mode, polls)) = arm {
+            r.device(dev).arm_device_death(mode, polls);
+        }
+        let ticks = r.drain(256).expect("drain");
+        let outs = r.outcomes();
+        let fingerprints: BTreeMap<u64, u64> =
+            outs.iter().map(|(id, o)| (*id, o.fingerprint)).collect();
+        let (detect, migrated) = (
+            r.stats().detection_latencies.first().copied(),
+            r.stats().migrated,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        (fingerprints, ticks, detect, migrated)
+    };
+
+    let (base, base_ticks, _, _) = run("base", None);
+    println!("\nFailover (3-device fleet, device 0 killed after 2 step boundaries):\n");
+    let mut t = Table::new(vec![
+        "Death mode",
+        "Detected after",
+        "Scenes migrated",
+        "Extra drain ticks",
+        "Outcomes",
+    ]);
+    for (label, mode) in [
+        ("fail-stop (crash)", DeathMode::Crash),
+        ("fail-silent (hang)", DeathMode::Hang),
+    ] {
+        let (fps, ticks, detect, migrated) = run(label, Some((0, mode, 2)));
+        let identical = fps == base;
+        assert!(identical, "{label}: failover must be bit-identical");
         t.row(vec![
-            p.to_string(),
-            fmt_time(kmax),
-            fmt_time(r.transfer_s),
-            fmt_time(r.total_s),
-            format!("{:.2}×", base / r.total_s),
+            label.to_string(),
+            format!("{} step(s)", detect.expect("a death was detected")),
+            migrated.to_string(),
+            format!("+{}", ticks as i64 - base_ticks as i64),
+            format!("{} scenes, bit-identical", fps.len()),
         ]);
     }
     t.print();
     println!(
-        "\nShape: kernel time divides with devices while the PCIe all-reduce\n\
-         does not — the communication wall the paper's future work would face."
+        "\nDead devices are detected at step boundaries (fail-silent ones by the\n\
+         watchdog), their scenes replayed from the WAL onto survivors, and the\n\
+         recovered trajectories match the undisturbed run bit for bit."
     );
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn failover_exhibit(_rocks: usize) {
+    println!(
+        "\n(build with --features fault-inject to add the device-death\n\
+         failover exhibit: detection latency + bit-identical recovery)"
+    );
+}
+
+fn main() {
+    let a = Args::parse(0, 2, 32);
+    let window = a.steps as u64;
+    println!(
+        "Multi-device fleet scaling (paper §VI future work), churn stream of\n\
+         {}-rock scenes over {} ticks, WAL-journaled placement\n",
+        a.rocks, window
+    );
+    let mut t = Table::new(vec![
+        "GPUs",
+        "Completed",
+        "Rejected",
+        "Ticks",
+        "Fleet time (modeled)",
+        "Scenes/s (modeled)",
+        "Speed-up vs 1",
+        "WAL overhead",
+    ]);
+    let mut base_rate = 0.0;
+    for p in [1usize, 2, 4, 8] {
+        let r = run_fleet(p, a.rocks, window, a.seed);
+        if p == 1 {
+            base_rate = r.rate;
+        }
+        t.row(vec![
+            p.to_string(),
+            r.completed.to_string(),
+            r.rejected.to_string(),
+            r.ticks.to_string(),
+            fmt_time(r.fleet_s),
+            format!("{:.0}", r.rate),
+            format!("{:.2}×", r.rate / base_rate.max(1e-12)),
+            format!("{:.2}%", r.wal_overhead_pct),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape: scene-level routing scales until the arrival rate, not the\n\
+         fleet, is the bottleneck — no all-reduce on the critical path, unlike\n\
+         the SpMV split (bench6). Durability rides along within its budget."
+    );
+    failover_exhibit(a.rocks);
 }

@@ -42,6 +42,8 @@ pub struct Device {
     epoch: AtomicU32,
     #[cfg(feature = "fault-inject")]
     faults: Mutex<Vec<crate::inject::ArmedFault>>,
+    #[cfg(feature = "fault-inject")]
+    death: Mutex<crate::inject::DeathState>,
 }
 
 impl Device {
@@ -58,6 +60,8 @@ impl Device {
             epoch: AtomicU32::new(0),
             #[cfg(feature = "fault-inject")]
             faults: Mutex::new(Vec::new()),
+            #[cfg(feature = "fault-inject")]
+            death: Mutex::new(crate::inject::DeathState::default()),
         }
     }
 
@@ -307,11 +311,31 @@ impl Device {
     /// are consumed in program order at the instrumented call sites.
     #[cfg(feature = "fault-inject")]
     pub fn arm_fault(&self, segment: usize, fault: crate::inject::Fault, times: usize) {
+        if fault == crate::inject::Fault::DeviceDeath {
+            // Device-wide, not per-segment: `times` is the number of
+            // step-boundary polls survived before a fail-stop crash.
+            let _ = segment;
+            self.arm_device_death(crate::inject::DeathMode::Crash, times);
+            return;
+        }
         self.faults.lock().unwrap().push(crate::inject::ArmedFault {
             segment,
             fault,
             remaining: times,
         });
+    }
+
+    /// Arms a device death: after `after_polls` further calls to
+    /// [`Device::poll_step_boundary`] the device dies in `mode`
+    /// ([`DeathMode::Crash`] fail-stop or [`DeathMode::Hang`]
+    /// fail-silent). Re-arming replaces a previously armed (but not yet
+    /// fired) death.
+    ///
+    /// [`DeathMode::Crash`]: crate::inject::DeathMode::Crash
+    /// [`DeathMode::Hang`]: crate::inject::DeathMode::Hang
+    #[cfg(feature = "fault-inject")]
+    pub fn arm_device_death(&self, mode: crate::inject::DeathMode, after_polls: usize) {
+        self.death.lock().unwrap().armed = Some((mode, after_polls));
     }
 
     /// Polls whether `fault` is armed for the *current batch segment*,
@@ -363,6 +387,64 @@ impl Device {
                 }
                 None => false,
             });
+    }
+
+    /// Step-boundary liveness poll. A fleet router calls this once per
+    /// step boundary before dispatching work; each call consumes one tick
+    /// of an armed [`Fault::DeviceDeath`] countdown, and the death fires
+    /// (permanently) when the countdown reaches zero. Without the
+    /// `fault-inject` feature — or with nothing armed — this is a no-op,
+    /// so liveness polling never perturbs a healthy run.
+    ///
+    /// [`Fault::DeviceDeath`]: crate::inject::Fault::DeviceDeath
+    pub fn poll_step_boundary(&self) {
+        #[cfg(feature = "fault-inject")]
+        {
+            let mut d = self.death.lock().unwrap();
+            if let Some((mode, remaining)) = d.armed {
+                if remaining == 0 {
+                    d.armed = None;
+                    d.dead = Some(mode);
+                } else {
+                    d.armed = Some((mode, remaining - 1));
+                }
+            }
+        }
+    }
+
+    /// Whether the device admits to being functional. `false` only after
+    /// a fail-stop [`DeathMode::Crash`] fired: a crashed device's driver
+    /// calls return errors, so callers learn of the death at the next
+    /// step boundary. A hung device still *claims* to be alive — see
+    /// [`Device::is_responsive`]. Always `true` without the
+    /// `fault-inject` feature.
+    ///
+    /// [`DeathMode::Crash`]: crate::inject::DeathMode::Crash
+    pub fn is_alive(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            !matches!(
+                self.death.lock().unwrap().dead,
+                Some(crate::inject::DeathMode::Crash)
+            )
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        true
+    }
+
+    /// Whether work dispatched to the device would complete. `false` once
+    /// *any* death fired — crash or hang. A router models a launch on an
+    /// unresponsive device as a timed-out step that makes no progress;
+    /// distinguishing a hang from slow progress is the router's watchdog
+    /// budget, not a device-side query a real driver could answer.
+    /// Always `true` without the `fault-inject` feature.
+    pub fn is_responsive(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.death.lock().unwrap().dead.is_none()
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        true
     }
 
     /// Snapshot of the launch trace.
@@ -752,6 +834,35 @@ mod tests {
             y
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn liveness_defaults_to_alive() {
+        let dev = k40();
+        dev.poll_step_boundary();
+        assert!(dev.is_alive());
+        assert!(dev.is_responsive());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn armed_crash_fires_after_countdown() {
+        use crate::inject::{DeathMode, Fault};
+        let dev = k40();
+        dev.arm_fault(0, Fault::DeviceDeath, 2);
+        dev.poll_step_boundary(); // 2 -> 1
+        dev.poll_step_boundary(); // 1 -> 0
+        assert!(dev.is_alive(), "countdown not yet exhausted");
+        dev.poll_step_boundary(); // fires
+        assert!(!dev.is_alive());
+        assert!(!dev.is_responsive());
+
+        // Hang mode: claims alive, stops responding.
+        let dev = k40();
+        dev.arm_device_death(DeathMode::Hang, 0);
+        dev.poll_step_boundary();
+        assert!(dev.is_alive());
+        assert!(!dev.is_responsive());
     }
 
     #[test]

@@ -35,6 +35,49 @@ pub enum Fault {
     /// system — PᵀAP inherits definiteness — so exercising that branch
     /// needs injection.)
     CoarseSingular,
+    /// Kill the whole device. Unlike the per-segment faults above this one
+    /// is device-wide: arming it via [`Device::arm_fault`] ignores the
+    /// segment argument and interprets the firing budget as the number of
+    /// step-boundary polls ([`Device::poll_step_boundary`]) the device
+    /// survives before dying in [`DeathMode::Crash`]. It never fires
+    /// through [`Device::fault_fires`]; liveness is observed through
+    /// [`Device::is_alive`] / [`Device::is_responsive`] instead.
+    ///
+    /// [`Device::arm_fault`]: crate::Device::arm_fault
+    /// [`Device::poll_step_boundary`]: crate::Device::poll_step_boundary
+    /// [`Device::fault_fires`]: crate::Device::fault_fires
+    /// [`Device::is_alive`]: crate::Device::is_alive
+    /// [`Device::is_responsive`]: crate::Device::is_responsive
+    DeviceDeath,
+}
+
+/// How an armed [`Fault::DeviceDeath`] manifests once its countdown
+/// expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeathMode {
+    /// Fail-stop: the device reports itself dead immediately
+    /// ([`is_alive`] flips to `false`), modeling a fallen-off-the-bus GPU
+    /// whose driver calls return errors. A router polling liveness at
+    /// step boundaries detects this within one step.
+    ///
+    /// [`is_alive`]: crate::Device::is_alive
+    Crash,
+    /// Fail-silent: the device still claims to be alive but stops making
+    /// progress ([`is_responsive`] turns `false`, launches would never
+    /// return), modeling a hung kernel or a wedged driver. Detection
+    /// requires a watchdog timeout on the caller's side.
+    ///
+    /// [`is_responsive`]: crate::Device::is_responsive
+    Hang,
+}
+
+/// Liveness state of a device under an (optional) armed death.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DeathState {
+    /// Armed but not yet fired: mode plus remaining step-boundary polls.
+    pub(crate) armed: Option<(DeathMode, usize)>,
+    /// The death that fired, if any.
+    pub(crate) dead: Option<DeathMode>,
 }
 
 /// One armed fault: target segment, kind, and remaining firings

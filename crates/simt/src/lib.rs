@@ -81,7 +81,7 @@ pub use block::Block;
 pub use buffer::GBuf;
 pub use device::Device;
 #[cfg(feature = "fault-inject")]
-pub use inject::Fault;
+pub use inject::{DeathMode, Fault};
 pub use lane::Lane;
 pub use profile::DeviceProfile;
 pub use stats::{DeviceTrace, KernelStats};

@@ -39,4 +39,6 @@ pub use fleet::{rockfall_fleet, FleetConfig};
 pub use rockfall::{rockfall_case, RockfallConfig};
 pub use scatter::{scatter_case, ScatterConfig};
 pub use slope::{slope_case, SlopeConfig};
-pub use traffic::{ClosedLoopTraffic, OpenLoopTraffic, TrafficConfig};
+pub use traffic::{
+    ClosedLoopTraffic, FleetChurnConfig, FleetChurnTraffic, OpenLoopTraffic, TrafficConfig,
+};

@@ -12,6 +12,7 @@
 use crate::adversarial::nan_contaminated_scene;
 use crate::rockfall::{rockfall_case, RockfallConfig};
 use crate::scatter::{scatter_case, ScatterConfig};
+use dda_core::pipeline::fleet::FleetSubmission;
 use dda_core::{Priority, SceneSubmission};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -184,6 +185,107 @@ impl ClosedLoopTraffic {
     }
 }
 
+/// Shape of fleet-addressed churn traffic: open-loop arrivals plus
+/// periodic bursts, every submission tagged with a locality key drawn
+/// from a skewed population (a few hot kinematic families, a long tail
+/// of cold ones) so the router's locality-aware placement has structure
+/// to exploit.
+#[derive(Debug, Clone)]
+pub struct FleetChurnConfig {
+    /// Per-scene shape (size, steps, priorities, poison mix).
+    pub traffic: TrafficConfig,
+    /// Number of distinct locality keys in the population.
+    pub localities: u64,
+    /// Baseline arrival rate in scenes per tick (open loop).
+    pub rate: f64,
+    /// Every this many ticks, a burst arrives on top of the baseline
+    /// (0 disables bursts).
+    pub burst_every: u64,
+    /// Scenes per burst.
+    pub burst_size: usize,
+}
+
+impl Default for FleetChurnConfig {
+    fn default() -> Self {
+        FleetChurnConfig {
+            traffic: TrafficConfig::default(),
+            localities: 8,
+            rate: 1.0,
+            burst_every: 16,
+            burst_size: 4,
+        }
+    }
+}
+
+/// Fleet-addressed churn generator: deterministic in its seed, it emits
+/// [`FleetSubmission`]s for a [`FleetRouter`](dda_core::pipeline::fleet::FleetRouter)
+/// the way [`OpenLoopTraffic`] feeds a single scheduler — but with
+/// locality keys and arrival bursts, the access pattern multi-device
+/// placement actually has to cope with.
+#[derive(Debug)]
+pub struct FleetChurnTraffic {
+    cfg: FleetChurnConfig,
+    rate_permille: usize,
+    credit: usize,
+    rng: StdRng,
+    emitted: u64,
+}
+
+impl FleetChurnTraffic {
+    /// A generator over `cfg`, deterministic in `seed`.
+    pub fn new(cfg: FleetChurnConfig, seed: u64) -> FleetChurnTraffic {
+        assert!(
+            cfg.rate >= 0.0 && cfg.rate.is_finite(),
+            "rate must be finite"
+        );
+        assert!(cfg.localities > 0, "need at least one locality key");
+        let rate_permille = (cfg.rate * 1000.0).round() as usize;
+        FleetChurnTraffic {
+            cfg,
+            rate_permille,
+            credit: 0,
+            rng: StdRng::seed_from_u64(seed),
+            emitted: 0,
+        }
+    }
+
+    /// Locality keys are the min of two uniform draws: key 0 is the
+    /// hottest family and heat falls off linearly — enough skew that
+    /// sticky placement matters, without a Zipf table.
+    fn locality(&mut self) -> u64 {
+        let a = self.rng.gen_range(0..self.cfg.localities as usize);
+        let b = self.rng.gen_range(0..self.cfg.localities as usize);
+        a.min(b) as u64
+    }
+
+    /// The fleet submissions arriving this tick: the open-loop baseline
+    /// plus, on burst ticks, the burst.
+    pub fn arrivals(&mut self, now: u64) -> Vec<FleetSubmission> {
+        self.credit += self.rate_permille;
+        let mut n = self.credit / 1000;
+        self.credit %= 1000;
+        if self.cfg.burst_every > 0 && now > 0 && now.is_multiple_of(self.cfg.burst_every) {
+            n += self.cfg.burst_size;
+        }
+        let subs: Vec<FleetSubmission> = (0..n)
+            .map(|_| {
+                let locality = self.locality();
+                FleetSubmission {
+                    submission: self.cfg.traffic.sample(&mut self.rng, now),
+                    locality,
+                }
+            })
+            .collect();
+        self.emitted += subs.len() as u64;
+        subs
+    }
+
+    /// Total submissions generated so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +327,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fleet_churn_is_deterministic_and_bursty() {
+        let cfg = FleetChurnConfig {
+            rate: 0.5,
+            burst_every: 4,
+            burst_size: 3,
+            localities: 4,
+            ..FleetChurnConfig::default()
+        };
+        let mut a = FleetChurnTraffic::new(cfg.clone(), 11);
+        let mut b = FleetChurnTraffic::new(cfg, 11);
+        let mut burst_seen = false;
+        for now in 0..12 {
+            let (sa, sb) = (a.arrivals(now), b.arrivals(now));
+            assert_eq!(sa.len(), sb.len());
+            if now % 4 == 0 && now > 0 {
+                assert!(sa.len() >= 3, "burst ticks carry the burst");
+                burst_seen = true;
+            }
+            for (x, y) in sa.iter().zip(&sb) {
+                assert_eq!(x.locality, y.locality, "locality stream diverged");
+                assert!(x.locality < 4);
+                assert_eq!(x.submission.run_steps, y.submission.run_steps);
+            }
+        }
+        assert!(burst_seen);
+        assert_eq!(a.emitted(), b.emitted());
     }
 
     #[test]
