@@ -1,4 +1,5 @@
-//! Multi-device fleet routing with crash-durable failover.
+//! Multi-device fleet routing with crash-durable failover and live
+//! migration.
 //!
 //! One [`BatchScheduler`] drives one device. This module adds the layer
 //! the paper's cluster deployments imply but never specify: a
@@ -9,18 +10,56 @@
 //! process — without losing accepted work or perturbing a single bit of
 //! any trajectory.
 //!
-//! ## Placement
+//! ## Placement and rebalancing
 //!
 //! Submissions carry an opaque *locality key* ([`FleetSubmission`]).
 //! Scenes sharing a key are routed to the device that last hosted that
 //! key (kinematic families tend to share contact topology, so co-locating
 //! them keeps batch divergence low — the same argument the class-sorted
-//! contact ordering makes within a batch). New keys, and keys whose
-//! preferred device is saturated or dead, fall back to the device
-//! maximizing `dp_gflops / (1 + in_flight)` — a greedy heterogeneous
-//! load-balance that keeps a K40 roughly 20% busier than a K20 and only
-//! spills onto the serial fallback when the GPUs are loaded. Placement is
-//! deterministic: ties break toward the lower device id.
+//! contact ordering makes within a batch). Beyond the locality
+//! preference, placement is *load-feedback driven*: the router keeps a
+//! per-device EWMA of modeled seconds per in-flight scene (seeded from
+//! the profile's `1 / dp_gflops`, so an unmeasured fleet ranks exactly
+//! like the old static `dp_gflops / (1 + in_flight)` argmax) and prefers
+//! the device minimizing projected load `(in_flight + 1) ×
+//! sec_per_scene`. Placement is deterministic: ties break toward the
+//! lower device id.
+//!
+//! The same load model drives a **rebalancer** inside [`FleetRouter::tick`]:
+//! when the most-loaded device exceeds the least-loaded by more than a
+//! hysteresis band (and holds at least a minimum backlog), one scene per
+//! tick (budgeted) migrates live from the hot device to the cool one,
+//! with a per-scene cooldown preventing ping-pong. See
+//! [`RebalanceConfig`].
+//!
+//! ## Live migration protocol
+//!
+//! A migration is a two-phase, WAL-journaled handoff:
+//!
+//! 1. **Intent** — a `MigrateIntent(scene, src → dst, epoch+1)` record is
+//!    appended and *fsynced* before any state moves. The scene's
+//!    ownership epoch is bumped the instant the intent is durable.
+//! 2. **Capture** — the source extracts the scene's full resumable
+//!    envelope and stops stepping it (the slot retires).
+//! 3. **Adopt + commit** — the destination adopts the envelope and a
+//!    `MigrateCommit` record carrying the bitwise snapshot is journaled
+//!    (riding the tick's group commit).
+//!
+//! Crash anywhere in between recovers **exactly one live copy**: replay
+//! resolves an intent-without-commit by *rolling the scene forward* onto
+//! the destination at its last durable pre-capture state (valid because
+//! trajectories are device- and batch-composition-independent), while any
+//! later record for the scene at `epoch ≥ intent.epoch` — a commit, an
+//! owner's snapshot, a terminal — supersedes the intent. The protocol
+//! never forks a scene and never loses one.
+//!
+//! **Zombie fencing**: every WAL record carries the scene's ownership
+//! epoch, and the router refuses to journal a terminal outcome unless the
+//! reporting worker holds the scene at the *current* epoch and placement.
+//! A fail-silent device that wakes up after the watchdog declared it dead
+//! (and its scenes migrated) may keep stepping — real hardware does — but
+//! its stale results are fenced at the journaling boundary and never
+//! reach the log.
 //!
 //! ## Durability discipline
 //!
@@ -33,6 +72,12 @@
 //! * **Terminal**: completions/refusals/sheds append a terminal record
 //!   with the final state's fingerprint, so a recovered process knows
 //!   both *that* a scene finished and *what* it produced.
+//! * **Degraded mode**: a WAL I/O failure (arm one with
+//!   `Fault::WalIo` via [`FleetRouter::arm_wal_fault`]) surfaces once as
+//!   a structured [`FleetError::Wal`] and then parks the router
+//!   read-only: submissions are refused with [`FleetError::Degraded`],
+//!   ticks become no-ops, and nothing panics or unwinds mid-flight. Acked
+//!   scenes stay durable in the log for a later [`FleetRouter::recover`].
 //!
 //! ## Failure model
 //!
@@ -40,10 +85,11 @@
 //! `Device::arm_device_death`, behind the `fault-inject` feature):
 //! *crash* (fail-stop — the device reports itself dead, detected at the
 //! next step boundary) and *hang* (fail-silent — launches stop returning;
-//! a watchdog declares death after `watchdog_ticks` stale ticks). Either
-//! way recovery is the same: replay the WAL, re-place the dead device's
-//! scenes on survivors (locality-aware, never dropping accepted work),
-//! and continue. Because kernels execute host-exact and trajectories are
+//! a watchdog declares death after `watchdog_ticks` stale ticks; the
+//! device may later *revive* as a zombie). Either way recovery is the
+//! same: replay the WAL, re-place the dead device's scenes on survivors
+//! at a bumped epoch (locality-aware, never dropping accepted work), and
+//! continue. Because kernels execute host-exact and trajectories are
 //! batch-composition-independent, a migrated scene's continued evolution
 //! is **bit-identical** to the run where its device never died — the
 //! property the recovery tests assert fingerprint-for-fingerprint.
@@ -58,12 +104,49 @@ use super::ingest::{
     BatchScheduler, FleetCheckpoint, FleetScene, IngestConfig, IngestError, SceneStatus,
     SceneSubmission, Ticket,
 };
+#[cfg(feature = "fault-inject")]
+use super::wal::WalIoOp;
 use super::wal::{WalConfig, WalError, WalOutcome, WalRecordKind, WalReplay, WalStats, WalWriter};
 
 /// Fleet-wide scene identifier, stable across devices, migrations, and
 /// process restarts (unlike per-scheduler [`Ticket`]s, which are reissued
 /// on every adoption).
 pub type SceneId = u64;
+
+/// Knobs for the load-feedback rebalancer (see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct RebalanceConfig {
+    /// Master switch. Off, the router only places at submit time and on
+    /// device death — the pre-migration behavior.
+    pub enabled: bool,
+    /// EWMA smoothing factor for the per-device modeled-seconds-per-scene
+    /// estimate (weight of the newest measurement).
+    pub ewma_alpha: f64,
+    /// Relative load gap required before a migration triggers: move only
+    /// when the destination's *projected* load (after receiving the
+    /// scene) stays below `(1 - hysteresis) ×` the source's current load.
+    pub hysteresis: f64,
+    /// Maximum live migrations per tick (the migration-rate budget).
+    pub max_per_tick: usize,
+    /// Ticks a freshly migrated scene is ineligible to migrate again.
+    pub cooldown_ticks: u64,
+    /// Minimum scenes in flight on a device before it may shed one (never
+    /// strip a device of its only work).
+    pub min_src_backlog: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> RebalanceConfig {
+        RebalanceConfig {
+            enabled: true,
+            ewma_alpha: 0.5,
+            hysteresis: 0.5,
+            max_per_tick: 1,
+            cooldown_ticks: 8,
+            min_src_backlog: 2,
+        }
+    }
+}
 
 /// Knobs for the [`FleetRouter`].
 #[derive(Debug, Clone)]
@@ -83,11 +166,14 @@ pub struct RouterConfig {
     /// keep the full history (the crash-injection tests do, so every
     /// prefix of the log remains a valid recovery point).
     pub prune: bool,
+    /// Load-feedback rebalancer knobs.
+    pub rebalance: RebalanceConfig,
 }
 
 impl RouterConfig {
     /// Defaults around a WAL rooted at `dir`: scheduler defaults,
-    /// watchdog of 3 ticks, snapshots every 4 ticks, pruning on.
+    /// watchdog of 3 ticks, snapshots every 4 ticks, pruning on,
+    /// rebalancer on with conservative thresholds.
     pub fn new(wal_dir: impl Into<std::path::PathBuf>) -> RouterConfig {
         RouterConfig {
             ingest: IngestConfig::default(),
@@ -95,6 +181,7 @@ impl RouterConfig {
             wal_snap_interval: 4,
             wal: WalConfig::new(wal_dir),
             prune: true,
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -118,6 +205,10 @@ pub enum FleetError {
     Wal(WalError),
     /// No device in the fleet is alive.
     NoSurvivors,
+    /// The router is parked read-only after a WAL failure; the payload
+    /// describes the failure that parked it. New submissions are refused;
+    /// already-acked scenes remain durable in the log.
+    Degraded(String),
 }
 
 impl From<WalError> for FleetError {
@@ -132,6 +223,9 @@ impl core::fmt::Display for FleetError {
             FleetError::Ingest(e) => write!(f, "fleet ingest rejection: {e:?}"),
             FleetError::Wal(e) => write!(f, "fleet wal failure: {e}"),
             FleetError::NoSurvivors => write!(f, "no surviving devices in the fleet"),
+            FleetError::Degraded(reason) => {
+                write!(f, "fleet router is degraded (read-only): {reason}")
+            }
         }
     }
 }
@@ -161,8 +255,12 @@ pub struct FleetTickReport {
     pub devices_lost: usize,
     /// Scenes migrated off dead devices this tick.
     pub migrated: usize,
+    /// Live load-rebalancing migrations committed this tick.
+    pub rebalanced: usize,
     /// Whether a periodic snapshot burst was journaled this tick.
     pub snapped: bool,
+    /// True when the router is parked read-only and the tick was a no-op.
+    pub degraded: bool,
 }
 
 /// Lifetime counters for a [`FleetRouter`].
@@ -182,27 +280,76 @@ pub struct FleetStats {
     pub recoveries: u64,
     /// Scenes migrated off dead devices.
     pub migrated: u64,
+    /// Live load-rebalancing migrations committed.
+    pub rebalanced: u64,
+    /// Stale terminal outcomes refused at the epoch fence (a zombie
+    /// device trying to commit a scene that moved on without it).
+    pub fenced: u64,
+    /// Modeled seconds the WAL spent on migration records (intents +
+    /// commits) — the protocol's overhead, reported by bench9 as a
+    /// fraction of aggregate step time.
+    pub migration_wal_seconds: f64,
     /// Ticks from a device's last completed step to its death being
     /// declared, one entry per recovery (crash = 1, hang ≈ watchdog).
     pub detection_latencies: Vec<u64>,
+}
+
+/// Which boundary of an in-flight migration a crash is armed at.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// Immediately after the `MigrateIntent` record is fsynced, before
+    /// the source captures anything.
+    AfterIntent,
+    /// After the source extracted the scene (it stopped stepping), before
+    /// the destination adopts.
+    AfterCapture,
+    /// After the destination adopted, just before the `MigrateCommit`
+    /// record is appended.
+    BeforeCommit,
+}
+
+/// Which side of an in-flight migration the armed crash kills.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationVictim {
+    /// The device the scene is leaving.
+    Source,
+    /// The device the scene is moving to.
+    Destination,
+}
+
+/// Ownership entry: which fleet scene a scheduler ticket maps to, and the
+/// ownership epoch under which this worker holds it. The epoch is the
+/// fence: a terminal outcome journals only if the holder's epoch still
+/// matches the router's authoritative epoch for the scene.
+#[derive(Debug, Clone, Copy)]
+struct Owned {
+    id: SceneId,
+    epoch: u64,
 }
 
 /// One device plus its scheduler and liveness bookkeeping.
 struct Worker {
     sched: BatchScheduler,
     /// False once declared dead; the slot stays (ids are indices) but
-    /// placement and ticking skip it forever after.
+    /// placement skips it forever after. A declared-dead device whose
+    /// hardware later revives (a zombie) may still *step*, but the epoch
+    /// fence keeps its stale results out of the log.
     alive: bool,
     /// Last router tick at which the device completed a step.
     heartbeat: u64,
-    /// Fleet ids of the scenes this worker currently owns, by ticket.
-    scenes: BTreeMap<Ticket, SceneId>,
+    /// Fleet scenes this worker believes it owns, by ticket. For a
+    /// hang-declared device this map deliberately survives the death
+    /// declaration — that is exactly the state a zombie acts on, and what
+    /// the fence must reject.
+    scenes: BTreeMap<Ticket, Owned>,
 }
 
 /// Routes scenes across a fleet of devices, journaling to a WAL so that
 /// any device death — or whole-process death — recovers without losing
 /// accepted work and without perturbing any trajectory. See the module
-/// docs for the placement and durability disciplines.
+/// docs for the placement, migration, and durability disciplines.
 pub struct FleetRouter {
     cfg: RouterConfig,
     workers: Vec<Worker>,
@@ -211,6 +358,9 @@ pub struct FleetRouter {
     next_scene: SceneId,
     /// Live scene locations: fleet id → device index.
     placements: BTreeMap<SceneId, u32>,
+    /// Authoritative ownership epoch per live scene. Bumped the moment a
+    /// migration intent is durable and on every death-recovery adoption.
+    epochs: BTreeMap<SceneId, u64>,
     /// Locality keys → device that last hosted the key.
     locality: BTreeMap<u64, u32>,
     /// Locality key of each live scene (for re-placement on migration).
@@ -223,68 +373,84 @@ pub struct FleetRouter {
     /// remain durable in the WAL; a later [`FleetRouter::recover`] with
     /// fresh devices picks them up.
     stranded: Vec<SceneId>,
+    /// Per-device EWMA of modeled seconds per in-flight scene per tick,
+    /// seeded `1 / dp_gflops` so an unmeasured fleet ranks like the old
+    /// static argmax.
+    sec_per_scene: Vec<f64>,
+    /// Last observed modeled-seconds reading per device (EWMA deltas).
+    dev_seconds: Vec<f64>,
+    /// Tick before which a scene may not migrate again.
+    cooldown: BTreeMap<SceneId, u64>,
+    /// `Some(reason)` once a WAL failure parked the router read-only.
+    degraded: Option<String>,
+    #[cfg(feature = "fault-inject")]
+    armed_migration: Option<(MigrationPhase, MigrationVictim)>,
     stats: FleetStats,
 }
 
 impl FleetRouter {
+    fn build(devices: Vec<Device>, cfg: RouterConfig, wal: WalWriter, now: u64) -> FleetRouter {
+        let workers: Vec<Worker> = devices
+            .into_iter()
+            .map(|d| Worker {
+                sched: BatchScheduler::new(d, cfg.ingest),
+                alive: true,
+                heartbeat: now,
+                scenes: BTreeMap::new(),
+            })
+            .collect();
+        let sec_per_scene = workers
+            .iter()
+            .map(|w| 1.0 / w.sched.batch().device().profile().dp_gflops)
+            .collect();
+        let dev_seconds = workers
+            .iter()
+            .map(|w| w.sched.batch().device().modeled_seconds())
+            .collect();
+        FleetRouter {
+            workers,
+            cfg,
+            wal,
+            now,
+            next_scene: 0,
+            placements: BTreeMap::new(),
+            epochs: BTreeMap::new(),
+            locality: BTreeMap::new(),
+            scene_locality: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
+            stranded: Vec::new(),
+            sec_per_scene,
+            dev_seconds,
+            cooldown: BTreeMap::new(),
+            degraded: None,
+            #[cfg(feature = "fault-inject")]
+            armed_migration: None,
+            stats: FleetStats::default(),
+        }
+    }
+
     /// A fresh fleet over `devices` with a fresh WAL. Refuses to open a
     /// directory that already holds segments — that log belongs to a
     /// previous fleet and must go through [`FleetRouter::recover`].
     pub fn new(devices: Vec<Device>, cfg: RouterConfig) -> Result<FleetRouter, FleetError> {
         let wal = WalWriter::create(cfg.wal.clone())?;
-        Ok(FleetRouter {
-            workers: devices
-                .into_iter()
-                .map(|d| Worker {
-                    sched: BatchScheduler::new(d, cfg.ingest),
-                    alive: true,
-                    heartbeat: 0,
-                    scenes: BTreeMap::new(),
-                })
-                .collect(),
-            cfg,
-            wal,
-            now: 0,
-            next_scene: 0,
-            placements: BTreeMap::new(),
-            locality: BTreeMap::new(),
-            scene_locality: BTreeMap::new(),
-            outcomes: BTreeMap::new(),
-            stranded: Vec::new(),
-            stats: FleetStats::default(),
-        })
+        Ok(FleetRouter::build(devices, cfg, wal, 0))
     }
 
     /// Rebuilds a fleet from the WAL left by a dead process: replays the
     /// log, re-places every live scene on the new devices (preferring
-    /// each scene's recorded device index when it exists), restores the
-    /// terminal outcomes, and re-journals everything into a fresh segment
-    /// so the recovered log is self-contained. Continued trajectories are
+    /// each scene's recorded device index when it exists — which, for a
+    /// migration interrupted mid-handoff, is the *destination* the replay
+    /// rolled the scene forward to), restores the terminal outcomes, and
+    /// re-journals everything into a fresh segment so the recovered log
+    /// is self-contained. Recovery is idempotent: running it twice in a
+    /// row reconstructs the identical fleet. Continued trajectories are
     /// bit-identical to the run the process death interrupted.
     pub fn recover(devices: Vec<Device>, cfg: RouterConfig) -> Result<FleetRouter, FleetError> {
         let replay = WalReplay::load(&cfg.wal.dir)?;
         let wal = WalWriter::resume(cfg.wal.clone(), &replay)?;
-        let mut router = FleetRouter {
-            workers: devices
-                .into_iter()
-                .map(|d| Worker {
-                    sched: BatchScheduler::new(d, cfg.ingest),
-                    alive: true,
-                    heartbeat: replay.last_tick,
-                    scenes: BTreeMap::new(),
-                })
-                .collect(),
-            cfg,
-            wal,
-            now: replay.last_tick,
-            next_scene: 0,
-            placements: BTreeMap::new(),
-            locality: BTreeMap::new(),
-            scene_locality: BTreeMap::new(),
-            outcomes: BTreeMap::new(),
-            stranded: Vec::new(),
-            stats: FleetStats::default(),
-        };
+        let last_tick = replay.last_tick;
+        let mut router = FleetRouter::build(devices, cfg, wal, last_tick);
         let mut max_id = None::<SceneId>;
         for (&id, ro) in &replay.terminal {
             max_id = Some(max_id.map_or(id, |m| m.max(id)));
@@ -295,9 +461,13 @@ impl FleetRouter {
             // Re-journal into the fresh segment so pruning the old ones
             // can never lose a finished scene's result.
             let seg = router.wal.segment_index();
-            router
-                .wal
-                .append(WalRecordKind::Terminal, id, 0, outcome.encode().as_bytes())?;
+            router.wal.append(
+                WalRecordKind::Terminal,
+                id,
+                0,
+                ro.epoch,
+                outcome.encode().as_bytes(),
+            )?;
             router.outcomes.insert(id, (outcome, seg));
         }
         for (&id, rs) in &replay.live {
@@ -314,7 +484,7 @@ impl FleetRouter {
                     }
                 }
             };
-            router.adopt_scene(target, id, rs.scene.clone(), rs.taken_at)?;
+            router.adopt_scene(target, id, rs.scene.clone(), rs.taken_at, rs.epoch)?;
         }
         router.wal.sync()?;
         if router.cfg.prune {
@@ -330,8 +500,11 @@ impl FleetRouter {
     /// preferred device comes from the locality map; a saturated or dead
     /// preference falls back through the remaining devices in score
     /// order, and only when every live device rejects does the fleet
-    /// reject.
+    /// reject. A degraded (parked) router refuses outright.
     pub fn submit(&mut self, fs: FleetSubmission) -> Result<SceneId, FleetError> {
+        if let Some(reason) = &self.degraded {
+            return Err(FleetError::Degraded(reason.clone()));
+        }
         let FleetSubmission {
             submission,
             locality,
@@ -373,11 +546,22 @@ impl FleetRouter {
             scenes: vec![snapshot],
         }
         .encode();
-        self.wal
-            .append(WalRecordKind::Submit, id, dev as u32, payload.as_bytes())?;
-        self.wal.sync()?;
-        self.workers[dev].scenes.insert(ticket, id);
+        let journaled = self
+            .wal
+            .append(WalRecordKind::Submit, id, dev as u32, 0, payload.as_bytes())
+            .and_then(|_| self.wal.sync());
+        if let Err(e) = journaled {
+            // The ack never happened: pull the scene back out of the
+            // scheduler so no un-journaled work runs, then park.
+            let _ = self.workers[dev].sched.extract_scene(ticket);
+            self.degraded = Some(format!("wal failure during submit: {e}"));
+            return Err(FleetError::Wal(e));
+        }
+        self.workers[dev]
+            .scenes
+            .insert(ticket, Owned { id, epoch: 0 });
         self.placements.insert(id, dev as u32);
+        self.epochs.insert(id, 0);
         self.locality.insert(locality, dev as u32);
         self.scene_locality.insert(id, locality);
         self.stats.submitted += 1;
@@ -386,9 +570,32 @@ impl FleetRouter {
 
     /// Advances the fleet one step: polls device liveness, recovers any
     /// dead device (replaying its scenes from the WAL onto survivors),
-    /// ticks every responsive device, journals terminal outcomes, and
-    /// takes the periodic snapshot burst under one group commit.
+    /// ticks every responsive device, journals terminal outcomes through
+    /// the epoch fence, runs the load-feedback rebalancer, and takes the
+    /// periodic snapshot burst under one group commit.
+    ///
+    /// A WAL failure mid-tick does not unwind the router: the error
+    /// surfaces once as [`FleetError::Wal`] and the router parks itself
+    /// read-only; subsequent ticks are no-ops reporting
+    /// [`FleetTickReport::degraded`].
     pub fn tick(&mut self) -> Result<FleetTickReport, FleetError> {
+        if self.degraded.is_some() {
+            return Ok(FleetTickReport {
+                degraded: true,
+                ..FleetTickReport::default()
+            });
+        }
+        match self.tick_inner() {
+            Ok(rep) => Ok(rep),
+            Err(FleetError::Wal(e)) => {
+                self.degraded = Some(format!("wal failure during tick: {e}"));
+                Err(FleetError::Wal(e))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn tick_inner(&mut self) -> Result<FleetTickReport, FleetError> {
         self.now += 1;
         self.stats.ticks += 1;
         let mut rep = FleetTickReport::default();
@@ -409,11 +616,30 @@ impl FleetRouter {
         // 2. Step every responsive device. An unresponsive (hung) device
         // is modeled by skipping its tick: in reality the launch would
         // never return, so no progress happens and its heartbeat stalls.
-        for w in self.workers.iter_mut().filter(|w| w.alive) {
-            if w.sched.batch().device().is_responsive() {
-                let r = w.sched.tick();
-                w.heartbeat = self.now;
+        // A *revived* zombie — declared dead by the watchdog, woken later
+        // — still steps: the hardware genuinely runs; it is the epoch
+        // fence in phase 4, not this loop, that keeps its stale results
+        // out of the log.
+        for i in 0..self.workers.len() {
+            if !self.workers[i].sched.batch().device().is_responsive() {
+                continue;
+            }
+            let alive = self.workers[i].alive;
+            let in_flight_before = self.workers[i].sched.in_flight();
+            let r = self.workers[i].sched.tick();
+            self.workers[i].heartbeat = self.now;
+            if alive {
                 rep.admitted += r.admitted;
+                // Load feedback: modeled seconds this device spent per
+                // in-flight scene, exponentially smoothed.
+                let secs = self.workers[i].sched.batch().device().modeled_seconds();
+                let delta = secs - self.dev_seconds[i];
+                self.dev_seconds[i] = secs;
+                if in_flight_before > 0 && delta > 0.0 {
+                    let raw = delta / in_flight_before as f64;
+                    let a = self.cfg.rebalance.ewma_alpha;
+                    self.sec_per_scene[i] = a * raw + (1.0 - a) * self.sec_per_scene[i];
+                }
             }
         }
 
@@ -429,11 +655,11 @@ impl FleetRouter {
             }
         }
 
-        // 4. Journal terminal transitions.
+        // 4. Journal terminal transitions — through the epoch fence. Only
+        // the current owner at the current epoch and placement may commit
+        // an outcome; a zombie's stale ticket fails the fence and its
+        // result is dropped, never journaled.
         for i in 0..self.workers.len() {
-            if !self.workers[i].alive {
-                continue;
-            }
             let tickets: Vec<Ticket> = self.workers[i].scenes.keys().copied().collect();
             for ticket in tickets {
                 let Some(status) = self.workers[i].sched.status(ticket).map(|r| r.status) else {
@@ -445,16 +671,29 @@ impl FleetRouter {
                     SceneStatus::Shed { .. } => WalOutcome::Shed,
                     SceneStatus::Queued | SceneStatus::Running { .. } => continue,
                 };
+                let owned = self.workers[i]
+                    .scenes
+                    .remove(&ticket)
+                    .expect("iterated key");
+                let fence_ok = self.workers[i].alive
+                    && self.epochs.get(&owned.id) == Some(&owned.epoch)
+                    && self.placements.get(&owned.id) == Some(&(i as u32));
+                if !fence_ok {
+                    // A stale owner (watchdog-declared-dead device that
+                    // woke back up) finished a scene that migrated away
+                    // under a newer epoch: refuse the outcome.
+                    self.stats.fenced += 1;
+                    continue;
+                }
+                let id = owned.id;
                 let fingerprint = self.workers[i]
                     .sched
                     .take_final_sys(ticket)
                     .map_or(0, |sys| system_fingerprint(&sys));
-                let id = self.workers[i]
-                    .scenes
-                    .remove(&ticket)
-                    .expect("iterated key");
                 self.placements.remove(&id);
+                self.epochs.remove(&id);
                 self.scene_locality.remove(&id);
+                self.cooldown.remove(&id);
                 let seg = self.wal.segment_index();
                 let out = FleetOutcome {
                     outcome,
@@ -464,6 +703,7 @@ impl FleetRouter {
                     WalRecordKind::Terminal,
                     id,
                     i as u32,
+                    owned.epoch,
                     out.encode().as_bytes(),
                 )?;
                 self.outcomes.insert(id, (out, seg));
@@ -484,7 +724,26 @@ impl FleetRouter {
             }
         }
 
-        // 5. Periodic snapshot burst: every in-flight scene, one group
+        // 5. Load-feedback rebalancing: migrate up to the per-tick budget
+        // of scenes from the most- to the least-loaded device, when the
+        // gap clears the hysteresis band.
+        if self.cfg.rebalance.enabled {
+            while rep.rebalanced < self.cfg.rebalance.max_per_tick {
+                let Some((src, dst, ticket, id)) = self.pick_migration() else {
+                    break;
+                };
+                if self.migrate_scene(id, ticket, src, dst)? {
+                    rep.rebalanced += 1;
+                    self.stats.rebalanced += 1;
+                } else {
+                    // The handoff aborted (a device died mid-protocol);
+                    // let the death path settle before trying again.
+                    break;
+                }
+            }
+        }
+
+        // 6. Periodic snapshot burst: every in-flight scene, one group
         // commit. Pruning first re-journals any terminal outcome whose
         // record would fall below the barrier.
         let snap_due =
@@ -501,7 +760,7 @@ impl FleetRouter {
                     continue;
                 }
                 for (ticket, fs) in self.workers[i].sched.snapshot_inflight() {
-                    let Some(&id) = self.workers[i].scenes.get(&ticket) else {
+                    let Some(&owned) = self.workers[i].scenes.get(&ticket) else {
                         continue;
                     };
                     let payload = FleetCheckpoint {
@@ -509,8 +768,13 @@ impl FleetRouter {
                         scenes: vec![fs],
                     }
                     .encode();
-                    self.wal
-                        .append(WalRecordKind::Snap, id, i as u32, payload.as_bytes())?;
+                    self.wal.append(
+                        WalRecordKind::Snap,
+                        owned.id,
+                        i as u32,
+                        owned.epoch,
+                        payload.as_bytes(),
+                    )?;
                 }
             }
             if self.cfg.prune {
@@ -519,8 +783,13 @@ impl FleetRouter {
                     let (out, seg) = self.outcomes[&id];
                     if seg < barrier {
                         let new_seg = self.wal.segment_index();
-                        self.wal
-                            .append(WalRecordKind::Terminal, id, 0, out.encode().as_bytes())?;
+                        self.wal.append(
+                            WalRecordKind::Terminal,
+                            id,
+                            0,
+                            0,
+                            out.encode().as_bytes(),
+                        )?;
                         self.outcomes.insert(id, (out, new_seg));
                     }
                 }
@@ -528,7 +797,7 @@ impl FleetRouter {
             rep.snapped = true;
         }
 
-        // 6. One barrier covers the whole tick's records (group commit);
+        // 7. One barrier covers the whole tick's records (group commit);
         // only then is the boundary committed and pruning safe.
         self.wal.sync()?;
         // Stranded scenes live only in old segments, so their presence
@@ -550,16 +819,244 @@ impl FleetRouter {
         Ok(rep)
     }
 
-    /// Ticks until nothing is in flight or `max_ticks` elapse; returns
-    /// the ticks taken.
+    /// Ticks until nothing is in flight, the router parks degraded, or
+    /// `max_ticks` elapse; returns the ticks taken.
     pub fn drain(&mut self, max_ticks: usize) -> Result<usize, FleetError> {
         for t in 0..max_ticks {
-            if self.in_flight() == 0 {
+            if self.in_flight() == 0 || self.degraded.is_some() {
                 return Ok(t);
             }
             self.tick()?;
         }
         Ok(max_ticks)
+    }
+
+    /// Picks the next rebalancing migration, if the load gap warrants
+    /// one: most-loaded usable device → least-projected-load device,
+    /// moving the newest cooldown-eligible scene. Deterministic; ties
+    /// break toward lower device ids.
+    fn pick_migration(&self) -> Option<(usize, usize, Ticket, SceneId)> {
+        let rb = &self.cfg.rebalance;
+        let usable: Vec<usize> = (0..self.workers.len())
+            .filter(|&i| self.device_ok(i))
+            .collect();
+        if usable.len() < 2 {
+            return None;
+        }
+        let load = |i: usize| self.workers[i].sched.in_flight() as f64 * self.sec_per_scene[i];
+        let proj =
+            |i: usize| (self.workers[i].sched.in_flight() as f64 + 1.0) * self.sec_per_scene[i];
+        let mut src = usable[0];
+        for &i in &usable[1..] {
+            if load(i) > load(src) {
+                src = i;
+            }
+        }
+        if self.workers[src].sched.in_flight() < rb.min_src_backlog {
+            return None;
+        }
+        let mut dst = *usable.iter().find(|&&i| i != src)?;
+        for &i in &usable {
+            if i != src && proj(i) < proj(dst) {
+                dst = i;
+            }
+        }
+        let src_load = load(src);
+        if src_load - proj(dst) <= rb.hysteresis * src_load {
+            return None;
+        }
+        // Newest eligible scene: most recently accepted work is likeliest
+        // still queued, so the handoff forfeits the least progress.
+        let (ticket, owned) = self.workers[src]
+            .scenes
+            .iter()
+            .rev()
+            .find(|(_, o)| {
+                self.cooldown
+                    .get(&o.id)
+                    .is_none_or(|&until| self.now >= until)
+            })
+            .map(|(&t, &o)| (t, o))?;
+        Some((src, dst, ticket, owned.id))
+    }
+
+    /// The two-phase live handoff of scene `id` from `src` to `dst`. See
+    /// the module docs for the protocol; every early return leaves the
+    /// log in a state whose replay yields exactly one live copy. Returns
+    /// `Ok(true)` when the commit record was journaled.
+    fn migrate_scene(
+        &mut self,
+        id: SceneId,
+        ticket: Ticket,
+        src: usize,
+        dst: usize,
+    ) -> Result<bool, FleetError> {
+        let wal_before = self.wal.stats().modeled_seconds;
+        let new_epoch = self.epochs.get(&id).copied().unwrap_or(0) + 1;
+        // Phase 1: the intent is durable before any state moves, and the
+        // authoritative epoch bumps the moment it is — from here on the
+        // old owner's epoch is stale and the fence refuses it.
+        self.wal.append(
+            WalRecordKind::MigrateIntent,
+            id,
+            dst as u32,
+            new_epoch,
+            src.to_string().as_bytes(),
+        )?;
+        self.wal.sync()?;
+        self.epochs.insert(id, new_epoch);
+        #[cfg(feature = "fault-inject")]
+        self.fire_migration_crash(MigrationPhase::AfterIntent, src, dst);
+        if !self.device_ok(src) {
+            // Source died with the scene still aboard: nothing was
+            // captured, the normal death path will replay the WAL (which
+            // rolls the intent forward) and re-place everything.
+            self.stats.migration_wal_seconds += self.wal.stats().modeled_seconds - wal_before;
+            return Ok(false);
+        }
+        if !self.device_ok(dst) {
+            // Destination died before the capture: roll back by
+            // re-asserting the source's ownership at the reserved epoch,
+            // superseding the pending intent on any future replay.
+            self.reassert_source(id, src, ticket, new_epoch)?;
+            self.stats.migration_wal_seconds += self.wal.stats().modeled_seconds - wal_before;
+            return Ok(false);
+        }
+        // Phase 2: capture — the source stops stepping the scene here
+        // (its slot retires; the scheduler forgets the ticket).
+        let Some(fsc) = self.workers[src].sched.extract_scene(ticket) else {
+            // The ticket is gone from the scheduler (should not happen
+            // for a live scene); restore the owner's epoch and bail.
+            if let Some(o) = self.workers[src].scenes.get_mut(&ticket) {
+                o.epoch = new_epoch;
+            }
+            self.stats.migration_wal_seconds += self.wal.stats().modeled_seconds - wal_before;
+            return Ok(false);
+        };
+        self.workers[src].scenes.remove(&ticket);
+        #[cfg(feature = "fault-inject")]
+        self.fire_migration_crash(MigrationPhase::AfterCapture, src, dst);
+        // The destination may have died while the capture was in flight;
+        // fall back to the best survivor (possibly the source itself).
+        let target = if self.device_ok(dst) {
+            dst
+        } else {
+            match self.place(self.scene_locality.get(&id).copied()) {
+                Some(t) => t,
+                None => {
+                    // No survivors at all: the scene strands, durable in
+                    // the WAL (pre-capture state + pending intent).
+                    self.placements.remove(&id);
+                    self.stranded.push(id);
+                    self.stats.migration_wal_seconds +=
+                        self.wal.stats().modeled_seconds - wal_before;
+                    return Ok(false);
+                }
+            }
+        };
+        // Phase 3: adopt, then journal the commit naming the actual
+        // adopter. The commit rides the tick's group commit — if the
+        // process dies before that fsync, replay rolls the intent forward
+        // instead, landing the scene on a destination all the same.
+        let payload = FleetCheckpoint {
+            taken_at_step: self.now,
+            scenes: vec![fsc.clone()],
+        }
+        .encode();
+        let new_ticket = self.workers[target].sched.adopt(fsc);
+        self.workers[target].scenes.insert(
+            new_ticket,
+            Owned {
+                id,
+                epoch: new_epoch,
+            },
+        );
+        self.placements.insert(id, target as u32);
+        if let Some(&key) = self.scene_locality.get(&id) {
+            self.locality.insert(key, target as u32);
+        }
+        #[cfg(feature = "fault-inject")]
+        self.fire_migration_crash(MigrationPhase::BeforeCommit, src, dst);
+        if !self.device_ok(target) {
+            // The adopter crashed between adoption and the commit record
+            // — exactly what a real mid-handoff crash leaves behind: a
+            // pending intent, no commit. The death path replays the WAL
+            // (rolling the intent forward) and re-places the scene.
+            self.stats.migration_wal_seconds += self.wal.stats().modeled_seconds - wal_before;
+            return Ok(false);
+        }
+        self.wal.append(
+            WalRecordKind::MigrateCommit,
+            id,
+            target as u32,
+            new_epoch,
+            payload.as_bytes(),
+        )?;
+        self.cooldown
+            .insert(id, self.now + self.cfg.rebalance.cooldown_ticks);
+        self.stats.migration_wal_seconds += self.wal.stats().modeled_seconds - wal_before;
+        Ok(true)
+    }
+
+    /// Re-asserts `src`'s ownership of `id` at `epoch` after an aborted
+    /// migration: journals a snapshot at the reserved epoch (superseding
+    /// the pending intent on replay) and stamps the holder's entry, so
+    /// the fence keeps accepting the source's outcomes.
+    fn reassert_source(
+        &mut self,
+        id: SceneId,
+        src: usize,
+        ticket: Ticket,
+        epoch: u64,
+    ) -> Result<(), FleetError> {
+        if let Some((_, fs)) = self.workers[src]
+            .sched
+            .snapshot_inflight()
+            .into_iter()
+            .find(|(t, _)| *t == ticket)
+        {
+            let payload = FleetCheckpoint {
+                taken_at_step: self.now,
+                scenes: vec![fs],
+            }
+            .encode();
+            self.wal.append(
+                WalRecordKind::Snap,
+                id,
+                src as u32,
+                epoch,
+                payload.as_bytes(),
+            )?;
+        }
+        if let Some(o) = self.workers[src].scenes.get_mut(&ticket) {
+            o.epoch = epoch;
+        }
+        Ok(())
+    }
+
+    /// Whether device `i` is a usable migration endpoint: never declared
+    /// dead and currently functional.
+    fn device_ok(&self, i: usize) -> bool {
+        self.workers[i].alive && {
+            let d = self.workers[i].sched.batch().device();
+            d.is_alive() && d.is_responsive()
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn fire_migration_crash(&mut self, phase: MigrationPhase, src: usize, dst: usize) {
+        if let Some((p, v)) = self.armed_migration {
+            if p == phase {
+                self.armed_migration = None;
+                let victim = match v {
+                    MigrationVictim::Source => src,
+                    MigrationVictim::Destination => dst,
+                };
+                let d = self.workers[victim].sched.batch().device();
+                d.arm_device_death(dda_simt::DeathMode::Crash, 0);
+                d.poll_step_boundary();
+            }
+        }
     }
 
     /// Replays a dead worker's scenes from the WAL onto survivors.
@@ -573,8 +1070,19 @@ impl FleetRouter {
         // records (they describe *other* devices' boundaries) and replay.
         self.wal.sync()?;
         let replay = WalReplay::load(self.wal.dir())?;
-        let ids: Vec<SceneId> = self.workers[dead].scenes.values().copied().collect();
-        self.workers[dead].scenes.clear();
+        let ids: Vec<SceneId> = self.workers[dead].scenes.values().map(|o| o.id).collect();
+        // A fail-stop crash wipes the device: clear its ownership map. A
+        // fail-silent hang does NOT — the hardware may still be running,
+        // and if it ever wakes (a zombie) it will act on exactly this
+        // stale map; keeping it is what makes the epoch fence testable
+        // and honest.
+        let hung = {
+            let d = self.workers[dead].sched.batch().device();
+            d.is_alive() && !d.is_responsive()
+        };
+        if !hung {
+            self.workers[dead].scenes.clear();
+        }
         let mut migrated = 0;
         for id in ids {
             let Some(rs) = replay.live.get(&id) else {
@@ -588,7 +1096,11 @@ impl FleetRouter {
                 self.stranded.push(id);
                 continue;
             };
-            self.adopt_scene(target, id, rs.scene.clone(), rs.taken_at)?;
+            // Adoption is an ownership change: bump past both the
+            // router's authoritative epoch and anything the log carries,
+            // fencing the dead device if it ever wakes.
+            let next_epoch = self.epochs.get(&id).copied().unwrap_or(0).max(rs.epoch) + 1;
+            self.adopt_scene(target, id, rs.scene.clone(), rs.taken_at, next_epoch)?;
             if let Some(key) = locality {
                 self.locality.insert(key, target as u32);
             }
@@ -599,24 +1111,34 @@ impl FleetRouter {
         Ok(migrated)
     }
 
-    /// Places one replayed scene on `target`, journaling its new home.
+    /// Places one replayed scene on `target` at `epoch`, journaling its
+    /// new home.
     fn adopt_scene(
         &mut self,
         target: usize,
         id: SceneId,
         scene: FleetScene,
         taken_at: u64,
+        epoch: u64,
     ) -> Result<(), FleetError> {
         let payload = FleetCheckpoint {
             taken_at_step: taken_at,
             scenes: vec![scene.clone()],
         }
         .encode();
-        self.wal
-            .append(WalRecordKind::Snap, id, target as u32, payload.as_bytes())?;
+        self.wal.append(
+            WalRecordKind::Snap,
+            id,
+            target as u32,
+            epoch,
+            payload.as_bytes(),
+        )?;
         let ticket = self.workers[target].sched.adopt(scene);
-        self.workers[target].scenes.insert(ticket, id);
+        self.workers[target]
+            .scenes
+            .insert(ticket, Owned { id, epoch });
         self.placements.insert(id, target as u32);
+        self.epochs.insert(id, epoch);
         Ok(())
     }
 
@@ -628,7 +1150,10 @@ impl FleetRouter {
 
     /// Live devices in placement-preference order: the locality-preferred
     /// device first (when alive and its queue has room), then the rest by
-    /// descending `dp_gflops / (1 + in_flight)`, ties toward lower ids.
+    /// ascending projected load `(in_flight + 1) × sec_per_scene`, ties
+    /// toward lower ids. With the EWMA at its seed (`1 / dp_gflops`) this
+    /// ranks identically to the old static `dp_gflops / (1 + in_flight)`
+    /// argmax; once measurements arrive, observed throughput takes over.
     fn placement_order(&self, locality: Option<u64>) -> Vec<usize> {
         let preferred = locality
             .and_then(|k| self.locality.get(&k))
@@ -643,11 +1168,13 @@ impl FleetRouter {
             .enumerate()
             .filter(|(_, w)| w.alive)
             .map(|(i, w)| {
-                let gflops = w.sched.batch().device().profile().dp_gflops;
-                (gflops / (1.0 + w.sched.in_flight() as f64), i)
+                (
+                    (w.sched.in_flight() as f64 + 1.0) * self.sec_per_scene[i],
+                    i,
+                )
             })
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
         let mut order: Vec<usize> = Vec::with_capacity(scored.len());
         if let Some(p) = preferred {
             order.push(p);
@@ -701,6 +1228,12 @@ impl FleetRouter {
         &self.placements
     }
 
+    /// The current ownership epoch of a live scene (terminal scenes drop
+    /// out of the map).
+    pub fn scene_epoch(&self, id: SceneId) -> Option<u64> {
+        self.epochs.get(&id).copied()
+    }
+
     /// Durable outcomes of finished scenes.
     pub fn outcomes(&self) -> BTreeMap<SceneId, FleetOutcome> {
         self.outcomes
@@ -714,6 +1247,11 @@ impl FleetRouter {
         &self.stranded
     }
 
+    /// `Some(reason)` when a WAL failure has parked the router read-only.
+    pub fn is_degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
     /// Lifetime counters.
     pub fn stats(&self) -> &FleetStats {
         &self.stats
@@ -722,6 +1260,22 @@ impl FleetRouter {
     /// WAL accounting (records, bytes, syncs, modeled seconds).
     pub fn wal_stats(&self) -> &WalStats {
         self.wal.stats()
+    }
+
+    /// Arms a one-shot WAL I/O fault (`Fault::WalIo`): the chosen
+    /// operation fails after `after` successful occurrences, which must
+    /// park the router degraded rather than panic.
+    #[cfg(feature = "fault-inject")]
+    pub fn arm_wal_fault(&mut self, op: WalIoOp, after: u64) {
+        self.wal.arm_io_fault(op, after);
+    }
+
+    /// Arms a one-shot crash (`Fault::MigrationCrash`) of the chosen
+    /// migration victim at the chosen phase boundary of the *next* live
+    /// migration the rebalancer attempts.
+    #[cfg(feature = "fault-inject")]
+    pub fn arm_migration_crash(&mut self, phase: MigrationPhase, victim: MigrationVictim) {
+        self.armed_migration = Some((phase, victim));
     }
 
     /// Fleet modeled execution time: the *maximum* modeled seconds across
@@ -916,5 +1470,64 @@ mod tests {
             other => panic!("expected NoSurvivors, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rebalancer_defaults_are_conservative() {
+        let rb = RebalanceConfig::default();
+        assert!(rb.enabled);
+        assert!(rb.hysteresis > 0.0 && rb.hysteresis < 1.0);
+        assert!(rb.max_per_tick >= 1);
+        assert!(rb.min_src_backlog >= 2, "never strip a device's only scene");
+    }
+
+    #[test]
+    fn skewed_load_triggers_live_migration_with_identical_outcomes() {
+        // Pile every scene onto one device via a shared locality key with
+        // an aggressive rebalancer: some must migrate live, and every
+        // outcome must match a rebalancer-off run bit for bit.
+        let mk_cfg = |dir: &PathBuf, on: bool| {
+            let mut cfg = RouterConfig::new(dir);
+            cfg.rebalance.enabled = on;
+            cfg.rebalance.hysteresis = 0.1;
+            cfg.rebalance.max_per_tick = 2;
+            cfg.rebalance.cooldown_ticks = 2;
+            cfg
+        };
+        let mk = || {
+            vec![
+                Device::new(DeviceProfile::tesla_k40()),
+                Device::new(DeviceProfile::tesla_k40()),
+            ]
+        };
+        let run = |dir: &PathBuf, on: bool| {
+            let mut r = FleetRouter::new(mk(), mk_cfg(dir, on)).unwrap();
+            for k in 0..6 {
+                r.submit(submission(0.1 * k as f64, 6, 0)).unwrap();
+            }
+            let ticks = r.drain(128).unwrap();
+            assert!(ticks < 128, "fleet must drain");
+            r
+        };
+        let dir_off = temp_dir("skew-off");
+        let dir_on = temp_dir("skew-on");
+        let base = run(&dir_off, false);
+        let live = run(&dir_on, true);
+        assert!(
+            live.stats().rebalanced >= 1,
+            "skewed locality must trigger at least one live migration, got {:?}",
+            live.stats()
+        );
+        let base_outs = base.outcomes();
+        let live_outs = live.outcomes();
+        assert_eq!(base_outs.len(), live_outs.len());
+        for (id, out) in &live_outs {
+            assert_eq!(
+                out.fingerprint, base_outs[id].fingerprint,
+                "scene {id}: live migration must not perturb the trajectory"
+            );
+        }
+        std::fs::remove_dir_all(&dir_off).unwrap();
+        std::fs::remove_dir_all(&dir_on).unwrap();
     }
 }

@@ -1675,6 +1675,55 @@ impl BatchScheduler {
         ticket
     }
 
+    /// Removes one in-flight scene from this scheduler and returns its
+    /// full resumable envelope — the source half of a live migration. A
+    /// running scene is extracted from its batch slot (the slot retires
+    /// and becomes reusable, exactly as on completion) and its record and
+    /// any checkpoint are dropped: after extraction this scheduler has no
+    /// memory of the scene, so a fenced zombie source cannot later
+    /// resurrect it. A queued scene is lifted out of its intake lane with
+    /// its deadline intact. Returns `None` for unknown or already-terminal
+    /// tickets.
+    pub fn extract_scene(&mut self, ticket: Ticket) -> Option<FleetScene> {
+        // Running in a batch slot?
+        for slot in 0..self.batch.n_scenes() {
+            let Some(info) = self.occupants.get(slot).copied().flatten() else {
+                continue;
+            };
+            if info.ticket != ticket {
+                continue;
+            }
+            let state = self.batch.extract(slot)?;
+            self.occupants[slot] = None;
+            self.records.remove(&ticket);
+            self.checkpoints.remove(&ticket);
+            return Some(FleetScene {
+                state,
+                run_steps: info.run_steps,
+                priority: info.priority,
+                requeued: info.requeued,
+                deadline: None,
+                queued: false,
+            });
+        }
+        // Still waiting in an intake lane?
+        for lane in &mut self.queue.lanes {
+            if let Some(pos) = lane.iter().position(|qs| qs.ticket == ticket) {
+                let qs = lane.remove(pos).expect("position just found");
+                self.records.remove(&ticket);
+                return Some(FleetScene {
+                    state: qs.state,
+                    run_steps: qs.run_steps,
+                    priority: qs.priority,
+                    requeued: qs.requeued,
+                    deadline: qs.deadline,
+                    queued: true,
+                });
+            }
+        }
+        None
+    }
+
     fn has_capacity(&self) -> bool {
         if self.batch.n_scenes() < self.cfg.max_slots {
             return true;

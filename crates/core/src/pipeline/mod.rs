@@ -22,8 +22,10 @@ pub use cpu::CpuPipeline;
 pub use driver::StepOutcome;
 pub use fleet::{
     system_fingerprint, FleetError, FleetOutcome, FleetRouter, FleetStats, FleetSubmission,
-    FleetTickReport, RouterConfig, SceneId,
+    FleetTickReport, RebalanceConfig, RouterConfig, SceneId,
 };
+#[cfg(feature = "fault-inject")]
+pub use fleet::{MigrationPhase, MigrationVictim};
 pub use gpu::{GpuPipeline, PrecondKind};
 pub use health::{HealthPolicy, SceneHealth, SlotState, StepError};
 pub use ingest::{
@@ -31,8 +33,11 @@ pub use ingest::{
     IngestStats, IntakeQueue, Priority, QueuedScene, SceneCheckpoint, SceneRecord, SceneStatus,
     SceneSubmission, TickReport, Ticket,
 };
+#[cfg(feature = "fault-inject")]
+pub use wal::WalIoOp;
 pub use wal::{
-    RecordSpan, WalConfig, WalError, WalOutcome, WalRecordKind, WalReplay, WalStats, WalWriter,
+    PendingMigration, RecordSpan, WalConfig, WalError, WalOutcome, WalRecordKind, WalReplay,
+    WalStats, WalWriter,
 };
 
 use serde::{Deserialize, Serialize};

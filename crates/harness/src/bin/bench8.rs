@@ -59,6 +59,7 @@ fn churn_config(rocks: usize) -> FleetChurnConfig {
         rate: 2.0,
         burst_every: 8,
         burst_size: 3,
+        hot_key_permille: 0,
     }
 }
 

@@ -1,0 +1,231 @@
+//! BENCH_9 generator: load-feedback rebalancing — live-migration gain on
+//! a skewed heterogeneous fleet, and the migration protocol's WAL cost.
+//!
+//! One seeded churn stream with a deliberately *hot* locality key
+//! (most submissions share one kinematic family, so sticky locality
+//! placement piles them onto a single device) is driven twice into the
+//! same heterogeneous fleet (one K40, two K20s):
+//!
+//! 1. **Static** — the rebalancer off: placement happens at submit time
+//!    and on device death only, the pre-migration behavior. The hot
+//!    device becomes the fleet's critical path while the others idle.
+//! 2. **Rebalanced** — the load-feedback rebalancer on: per-device
+//!    modeled-seconds-per-scene EWMAs drive live, WAL-journaled
+//!    two-phase scene migrations off the hot device, subject to a
+//!    hysteresis band, a per-tick budget, and per-scene cooldowns.
+//!
+//! Reported: scenes completed per modeled second for both runs (fleet
+//! time = max across devices, since they run concurrently), the gain
+//! ratio, live migrations committed, and the migration records' modeled
+//! WAL cost as a percentage of *aggregate* modeled step time — asserted
+//! under 1%: exactly-once handoff must be cheap enough to use under
+//! load. Outcome fingerprints are asserted identical between the two
+//! runs — migration must never perturb a trajectory.
+//!
+//! Writes `BENCH_9.json` into the current directory and prints it.
+//!
+//! Usage: `bench9 [--rocks N] [--steps N] [--seed N]`
+//! (`--steps` is the churn window in router ticks.)
+
+use dda_core::pipeline::{FleetError, FleetOutcome, FleetRouter, RouterConfig, SceneId};
+use dda_harness::Args;
+use dda_simt::{Device, DeviceProfile};
+use dda_workloads::{FleetChurnConfig, FleetChurnTraffic, TrafficConfig};
+use std::collections::BTreeMap;
+
+/// Budget for the migration records' modeled WAL cost, as a percentage
+/// of aggregate modeled step time.
+const MIGRATION_OVERHEAD_BUDGET_PCT: f64 = 1.0;
+
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("dda-bench9-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// The skewed stream: 80% of submissions land on locality key 0, so
+/// sticky placement concentrates them on one device.
+fn churn_config(rocks: usize) -> FleetChurnConfig {
+    FleetChurnConfig {
+        traffic: TrafficConfig {
+            rocks,
+            run_steps_min: 4,
+            run_steps_max: 8,
+            ..TrafficConfig::default()
+        },
+        localities: 6,
+        rate: 2.0,
+        burst_every: 8,
+        burst_size: 3,
+        hot_key_permille: 800,
+    }
+}
+
+/// One K40 pulling against two slower K20s: the hot key parks on one
+/// device and the imbalance is worth correcting.
+fn hetero_devices() -> Vec<Device> {
+    vec![
+        Device::new(DeviceProfile::tesla_k40()),
+        Device::new(DeviceProfile::tesla_k20()),
+        Device::new(DeviceProfile::tesla_k20()),
+    ]
+}
+
+struct RunRow {
+    label: String,
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    ticks: u64,
+    fleet_modeled_s: f64,
+    aggregate_modeled_s: f64,
+    scenes_per_modeled_s: f64,
+    rebalanced: u64,
+    migration_wal_s: f64,
+    migration_overhead_pct: f64,
+    outcomes: BTreeMap<SceneId, FleetOutcome>,
+}
+
+fn run(label: &str, rebalance: bool, rocks: usize, window: u64, seed: u64) -> RunRow {
+    let dir = wal_dir(&format!("run-{}", label.replace(' ', "-")));
+    let mut cfg = RouterConfig::new(&dir);
+    cfg.rebalance.enabled = rebalance;
+    let mut r = FleetRouter::new(hetero_devices(), cfg).expect("fresh fleet");
+    let mut traffic = FleetChurnTraffic::new(churn_config(rocks), seed);
+    let mut rejected = 0u64;
+    for now in 0..window {
+        for sub in traffic.arrivals(now) {
+            match r.submit(sub) {
+                Ok(_) => {}
+                Err(FleetError::Ingest(_)) => rejected += 1,
+                Err(e) => panic!("unexpected fleet error: {e}"),
+            }
+        }
+        r.tick().expect("tick");
+    }
+    let drained = r.drain(1024).expect("drain");
+    assert!(drained < 1024, "{label}: churn window must drain");
+    let fleet_s = r.fleet_modeled_seconds();
+    let agg_s = r.fleet_aggregate_seconds();
+    let stats = r.stats().clone();
+    let migration_overhead_pct = if agg_s > 0.0 {
+        100.0 * stats.migration_wal_seconds / agg_s
+    } else {
+        0.0
+    };
+    let outcomes = r.outcomes();
+    let _ = std::fs::remove_dir_all(&dir);
+    RunRow {
+        label: label.to_string(),
+        submitted: stats.submitted,
+        rejected,
+        completed: stats.completed,
+        ticks: stats.ticks,
+        fleet_modeled_s: fleet_s,
+        aggregate_modeled_s: agg_s,
+        scenes_per_modeled_s: if fleet_s > 0.0 {
+            stats.completed as f64 / fleet_s
+        } else {
+            0.0
+        },
+        rebalanced: stats.rebalanced,
+        migration_wal_s: stats.migration_wal_seconds,
+        migration_overhead_pct,
+        outcomes,
+    }
+}
+
+fn main() {
+    let a = Args::parse(0, 2, 48);
+    let window = a.steps as u64;
+    eprintln!(
+        "bench9: load-feedback rebalancing on a skewed hetero fleet, \
+         rocks={} window={window} seed={}",
+        a.rocks, a.seed
+    );
+
+    eprintln!("  static placement (rebalancer off)");
+    let stat = run("static", false, a.rocks, window, a.seed);
+    eprintln!("  load-feedback rebalancing (rebalancer on)");
+    let live = run("rebalanced", true, a.rocks, window, a.seed);
+
+    assert!(
+        live.rebalanced >= 1,
+        "the skewed stream must trigger live migrations"
+    );
+    assert_eq!(
+        stat.outcomes.len(),
+        live.outcomes.len(),
+        "both runs must finish the same scene set"
+    );
+    for (id, out) in &live.outcomes {
+        assert_eq!(
+            out.fingerprint, stat.outcomes[id].fingerprint,
+            "scene {id}: live migration must not perturb the trajectory"
+        );
+    }
+    assert!(
+        live.migration_overhead_pct <= MIGRATION_OVERHEAD_BUDGET_PCT,
+        "migration WAL cost {:.3}% blows the {MIGRATION_OVERHEAD_BUDGET_PCT}% budget",
+        live.migration_overhead_pct
+    );
+
+    let gain = live.scenes_per_modeled_s / stat.scenes_per_modeled_s.max(1e-12);
+    for row in [&stat, &live] {
+        eprintln!(
+            "    {}: {} completed over {} ticks, {:.3} modeled s, \
+             {:.1} scenes/modeled-s, {} live migrations \
+             (wal {:.3e} s = {:.4}% of aggregate)",
+            row.label,
+            row.completed,
+            row.ticks,
+            row.fleet_modeled_s,
+            row.scenes_per_modeled_s,
+            row.rebalanced,
+            row.migration_wal_s,
+            row.migration_overhead_pct,
+        );
+    }
+    eprintln!("  rebalancer gain: {gain:.3}x (bit-identical outcomes)");
+
+    let row_json = |r: &RunRow| {
+        format!(
+            "    {{ \"label\": \"{}\", \"submitted\": {}, \"rejected\": {}, \
+             \"completed\": {}, \"ticks\": {}, \"fleet_modeled_s\": {:.6e}, \
+             \"aggregate_modeled_s\": {:.6e}, \"scenes_per_modeled_s\": {:.3},\n      \
+             \"migrations\": {{ \"committed\": {}, \"wal_modeled_s\": {:.6e}, \
+             \"overhead_pct\": {:.4} }} }}",
+            r.label,
+            r.submitted,
+            r.rejected,
+            r.completed,
+            r.ticks,
+            r.fleet_modeled_s,
+            r.aggregate_modeled_s,
+            r.scenes_per_modeled_s,
+            r.rebalanced,
+            r.migration_wal_s,
+            r.migration_overhead_pct,
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_live_migration\",\n  \
+         \"config\": {{ \"rocks\": {}, \"window_ticks\": {window}, \"seed\": {}, \
+         \"devices\": \"K40 + 2x K20\", \"hot_key_permille\": 800, \
+         \"hysteresis\": 0.5, \"max_migrations_per_tick\": 1, \"cooldown_ticks\": 8 }},\n  \
+         \"units\": \"throughput in scenes per modeled second (fleet time = max over \
+         devices); migration overhead = modeled WAL seconds spent on intent/commit \
+         records / aggregate modeled step seconds\",\n  \
+         \"migration_overhead_budget_pct\": {MIGRATION_OVERHEAD_BUDGET_PCT},\n  \
+         \"runs\": [\n{},\n{}\n  ],\n  \
+         \"rebalancer_gain\": {gain:.4},\n  \
+         \"bitwise_identical_outcomes\": true\n}}\n",
+        a.rocks,
+        a.seed,
+        row_json(&stat),
+        row_json(&live),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
+    eprintln!("wrote BENCH_9.json");
+}

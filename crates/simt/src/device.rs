@@ -447,6 +447,27 @@ impl Device {
         true
     }
 
+    /// Wake a hung device back up: the "zombie" scenario, where a kernel
+    /// that wedged long enough for the caller's watchdog to declare the
+    /// device dead eventually returns and the device resumes stepping as
+    /// if nothing happened. Clears only a fired [`DeathMode::Hang`] —
+    /// returns `true` if it did — because a fail-stop crash is permanent
+    /// (the device fell off the bus; there is nothing to wake). The fleet
+    /// tests use this to prove epoch fencing: a revived zombie may step,
+    /// but its stale outcomes must never be journaled.
+    ///
+    /// [`DeathMode::Hang`]: crate::inject::DeathMode::Hang
+    #[cfg(feature = "fault-inject")]
+    pub fn revive(&self) -> bool {
+        let mut d = self.death.lock().unwrap();
+        if d.dead == Some(crate::inject::DeathMode::Hang) {
+            d.dead = None;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Snapshot of the launch trace.
     pub fn trace(&self) -> DeviceTrace {
         self.trace.lock().unwrap().clone()

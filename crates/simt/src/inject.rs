@@ -49,6 +49,28 @@ pub enum Fault {
     /// [`Device::is_alive`]: crate::Device::is_alive
     /// [`Device::is_responsive`]: crate::Device::is_responsive
     DeviceDeath,
+    /// Fail a write-ahead-log I/O operation (append or fsync). This fault
+    /// lives in the durability layer, not on a device: it is armed through
+    /// `WalWriter::arm_io_fault` (or the fleet router's `arm_wal_fault`
+    /// pass-through) with an operation kind and a survival countdown, and
+    /// it never fires through [`Device::fault_fires`]. The router's
+    /// contract under this fault is a structured `FleetError` plus a
+    /// parked, refuse-new-submissions degraded mode — never a panic or a
+    /// mid-tick unwind. This variant exists so the taxonomy of injectable
+    /// failures is enumerated in one place.
+    ///
+    /// [`Device::fault_fires`]: crate::Device::fault_fires
+    WalIo,
+    /// Crash the process at a chosen phase boundary of an in-flight live
+    /// migration (after the intent is journaled, after the source capture,
+    /// or just before the commit record). Armed through the fleet router's
+    /// `arm_migration_crash`, which names the phase and the victim
+    /// (source or destination device); like [`Fault::WalIo`] it never
+    /// fires through [`Device::fault_fires`]. Recovery from the surviving
+    /// log must yield exactly one live copy of the migrating scene.
+    ///
+    /// [`Device::fault_fires`]: crate::Device::fault_fires
+    MigrationCrash,
 }
 
 /// How an armed [`Fault::DeviceDeath`] manifests once its countdown

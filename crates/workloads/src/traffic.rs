@@ -203,6 +203,12 @@ pub struct FleetChurnConfig {
     pub burst_every: u64,
     /// Scenes per burst.
     pub burst_size: usize,
+    /// Per-mille of submissions whose locality key is forced to key 0 on
+    /// top of the baseline min-of-two-draws skew. 0 keeps the historical
+    /// stream byte-for-byte (no extra RNG draws); crank it up to pile a
+    /// hot kinematic family onto one device and give the router's
+    /// load-feedback rebalancer something to undo.
+    pub hot_key_permille: usize,
 }
 
 impl Default for FleetChurnConfig {
@@ -213,6 +219,7 @@ impl Default for FleetChurnConfig {
             rate: 1.0,
             burst_every: 16,
             burst_size: 4,
+            hot_key_permille: 0,
         }
     }
 }
@@ -251,8 +258,15 @@ impl FleetChurnTraffic {
 
     /// Locality keys are the min of two uniform draws: key 0 is the
     /// hottest family and heat falls off linearly — enough skew that
-    /// sticky placement matters, without a Zipf table.
+    /// sticky placement matters, without a Zipf table. On top of that,
+    /// `hot_key_permille` of submissions collapse onto key 0 outright
+    /// (the draw happens only when the knob is non-zero, so the default
+    /// stream is unchanged).
     fn locality(&mut self) -> u64 {
+        if self.cfg.hot_key_permille > 0 && self.rng.gen_range(0..1000) < self.cfg.hot_key_permille
+        {
+            return 0;
+        }
         let a = self.rng.gen_range(0..self.cfg.localities as usize);
         let b = self.rng.gen_range(0..self.cfg.localities as usize);
         a.min(b) as u64
@@ -356,6 +370,32 @@ mod tests {
         }
         assert!(burst_seen);
         assert_eq!(a.emitted(), b.emitted());
+    }
+
+    #[test]
+    fn hot_key_skew_piles_onto_key_zero() {
+        let cfg = FleetChurnConfig {
+            rate: 4.0,
+            burst_every: 0,
+            localities: 8,
+            hot_key_permille: 900,
+            ..FleetChurnConfig::default()
+        };
+        let mut t = FleetChurnTraffic::new(cfg, 5);
+        let (mut hot, mut total) = (0usize, 0usize);
+        for now in 0..16 {
+            for sub in t.arrivals(now) {
+                total += 1;
+                if sub.locality == 0 {
+                    hot += 1;
+                }
+            }
+        }
+        assert!(total >= 32);
+        assert!(
+            hot * 10 >= total * 8,
+            "900 permille skew must land most scenes on key 0 ({hot}/{total})"
+        );
     }
 
     #[test]
