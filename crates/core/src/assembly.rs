@@ -42,13 +42,21 @@ pub struct AssembledSystem {
 
 /// Per-contact joint parameters flattened for the kernels.
 fn joint_params(sys: &BlockSystem, contacts: &[Contact]) -> Vec<f64> {
-    contacts
-        .iter()
-        .flat_map(|c| {
-            let jm = sys.joint_of(c.i as usize, c.j as usize);
-            [jm.tan_phi(), jm.cohesion]
-        })
-        .collect()
+    let mut out = Vec::new();
+    fill_joint_params(sys, contacts, &mut out);
+    out
+}
+
+/// In-place refill of the flattened joint parameters (two entries per
+/// contact: `tan φ`, cohesion). Reuses the vector's capacity so a warmed
+/// per-step workspace refills without heap traffic.
+pub(crate) fn fill_joint_params(sys: &BlockSystem, contacts: &[Contact], out: &mut Vec<f64>) {
+    out.clear();
+    for c in contacts {
+        let jm = sys.joint_of(c.i as usize, c.j as usize);
+        out.push(jm.tan_phi());
+        out.push(jm.cohesion);
+    }
 }
 
 /// Serial assembly: diagonal terms plus contact springs accumulated into a
@@ -186,102 +194,27 @@ pub fn assemble_contacts_gpu_scheduled(
     let mut d_keys = vec![u64::MAX; nc * 3];
     let mut f_vals = vec![0.0f64; nc * 2 * 6];
     let mut f_keys = vec![u64::MAX; nc * 2];
-    {
-        let b_c = dev.bind_ro(contacts);
-        let b_vx = dev.bind_ro(&gsoa.vx);
-        let b_vy = dev.bind_ro(&gsoa.vy);
-        let b_vp = dev.bind_ro(&gsoa.vptr);
-        let b_cx = dev.bind_ro(&gsoa.cx);
-        let b_cy = dev.bind_ro(&gsoa.cy);
-        let b_jp = dev.bind_ro(&jparams);
-        let b_dv = dev.bind(&mut d_vals);
-        let b_dk = dev.bind(&mut d_keys);
-        let b_fv = dev.bind(&mut f_vals);
-        let b_fk = dev.bind(&mut f_keys);
-        let b_sched = sched.map(|s| dev.bind_ro(s));
-        let penalty = params.penalty;
-        let shear_ratio = params.shear_ratio;
-        dev.launch("nondiag.compute", nc, |lane| {
-            let t_idx = match &b_sched {
-                Some(b) => lane.ld(b, lane.gid) as usize,
-                None => lane.gid,
-            };
-            let c = lane.ld(&b_c, t_idx);
-            // Open/unchanged contacts are abandoned by the classification;
-            // their slots keep the MAX key and sort to the tail.
-            if !lane.branch(0, c.state.closed()) {
-                return;
-            }
-            let i0 = lane.ld_tex(&b_vp, c.i as usize) as usize;
-            let j0 = lane.ld_tex(&b_vp, c.j as usize) as usize;
-            let nj = lane.ld_tex(&b_vp, c.j as usize + 1) as usize - j0;
-            let p1 = Vec2::new(
-                lane.ld_tex(&b_vx, i0 + c.vertex as usize),
-                lane.ld_tex(&b_vy, i0 + c.vertex as usize),
-            );
-            let e = c.edge as usize;
-            let p2 = Vec2::new(lane.ld_tex(&b_vx, j0 + e), lane.ld_tex(&b_vy, j0 + e));
-            let e1 = (e + 1) % nj;
-            let p3 = Vec2::new(lane.ld_tex(&b_vx, j0 + e1), lane.ld_tex(&b_vy, j0 + e1));
-            let ci = Vec2::new(
-                lane.ld_tex(&b_cx, c.i as usize),
-                lane.ld_tex(&b_cy, c.i as usize),
-            );
-            let cj = Vec2::new(
-                lane.ld_tex(&b_cx, c.j as usize),
-                lane.ld_tex(&b_cy, c.j as usize),
-            );
-            let tan_phi = lane.ld(&b_jp, 2 * t_idx);
-            let cohesion = lane.ld(&b_jp, 2 * t_idx + 1);
-            lane.flop(600);
-            let Some(t) = contact_spring_terms(
-                &c,
-                ci,
-                cj,
-                p1,
-                p2,
-                p3,
-                penalty,
-                shear_ratio,
-                tan_phi,
-                cohesion,
-            ) else {
-                return;
-            };
-
-            let store_block = |lane: &mut dda_simt::Lane, slot: usize, key: u64, b: &Block6| {
-                lane.st(&b_dk, slot, key);
-                for r in 0..6 {
-                    for cc in 0..6 {
-                        lane.st(&b_dv, slot * 36 + r * 6 + cc, b.0[r][cc]);
-                    }
-                }
-            };
-            let (i, j) = (c.i as u64, c.j as u64);
-            store_block(lane, 3 * t_idx, i * n + i, &t.kii);
-            store_block(lane, 3 * t_idx + 1, j * n + j, &t.kjj);
-            let (r, col, off) = if i < j {
-                (i, j, t.kij)
-            } else {
-                (j, i, t.kji())
-            };
-            store_block(lane, 3 * t_idx + 2, r * n + col, &off);
-
-            lane.st(&b_fk, 2 * t_idx, i);
-            lane.st(&b_fk, 2 * t_idx + 1, j);
-            for k in 0..6 {
-                lane.st(&b_fv, 2 * t_idx * 6 + k, t.fi[k]);
-                lane.st(&b_fv, (2 * t_idx + 1) * 6 + k, t.fj[k]);
-            }
-        });
-    }
+    compute_contact_stream(
+        dev,
+        n,
+        gsoa,
+        contacts,
+        &jparams,
+        params.penalty,
+        params.shear_ratio,
+        &mut d_vals,
+        &mut d_keys,
+        &mut f_vals,
+        &mut f_keys,
+        StreamPass::Full { sched },
+    );
 
     // --- Steps 2–5: sort, boundaries, segmented reduction --------------------
-    let (diag_add, upper) = reduce_keyed_blocks(dev, &d_keys, &d_vals, n);
+    let (diag_add, upper, _) = reduce_keyed_blocks(dev, &d_keys, &d_vals, n, None);
     for (b, blk) in &diag_add {
         diag[*b as usize] += *blk;
     }
-    let f_add = reduce_keyed_vec6(dev, &f_keys, &f_vals);
+    let (f_add, _) = reduce_keyed_vec6(dev, &f_keys, &f_vals, None);
     for (b, f) in &f_add {
         for k in 0..6 {
             rhs[6 * *b as usize + k] += f[k];
@@ -294,29 +227,233 @@ pub fn assemble_contacts_gpu_scheduled(
     }
 }
 
+/// Which contacts a contribution-stream launch recomputes.
+pub(crate) enum StreamPass<'a> {
+    /// Every contact: thread `t` computes contact `sched[t]` (or `t`) —
+    /// the paper's Fig 4 step 1, kernel `nondiag.compute`.
+    Full { sched: Option<&'a [u32]> },
+    /// Only the listed contacts (a compacted delta set): each thread first
+    /// resets its contact's keyed slots to the abandoned sentinel, then
+    /// recomputes them — kernel `nondiag.delta`. Slots of unlisted
+    /// contacts keep their previous bits, so splicing a delta pass over a
+    /// previously full stream reproduces the full recompute bit-for-bit.
+    Delta { changed: &'a [u32] },
+}
+
+/// Launch one contribution-stream pass over the keyed arrays. The per-lane
+/// body is shared between the full and delta kernels so the two can never
+/// drift: a spliced stream is bitwise the stream a full recompute would
+/// have produced.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_contact_stream(
+    dev: &Device,
+    n: u64,
+    gsoa: &GeomSoa,
+    contacts: &[Contact],
+    jparams: &[f64],
+    penalty: f64,
+    shear_ratio: f64,
+    d_vals: &mut [f64],
+    d_keys: &mut [u64],
+    f_vals: &mut [f64],
+    f_keys: &mut [u64],
+    pass: StreamPass<'_>,
+) {
+    let (name, threads) = match &pass {
+        StreamPass::Full { .. } => ("nondiag.compute", contacts.len()),
+        StreamPass::Delta { changed } => ("nondiag.delta", changed.len()),
+    };
+    if threads == 0 {
+        return;
+    }
+    let b_c = dev.bind_ro(contacts);
+    let b_vx = dev.bind_ro(&gsoa.vx);
+    let b_vy = dev.bind_ro(&gsoa.vy);
+    let b_vp = dev.bind_ro(&gsoa.vptr);
+    let b_cx = dev.bind_ro(&gsoa.cx);
+    let b_cy = dev.bind_ro(&gsoa.cy);
+    let b_jp = dev.bind_ro(jparams);
+    let b_dv = dev.bind(d_vals);
+    let b_dk = dev.bind(d_keys);
+    let b_fv = dev.bind(f_vals);
+    let b_fk = dev.bind(f_keys);
+    let (b_sched, b_changed) = match &pass {
+        StreamPass::Full { sched } => (sched.map(|s| dev.bind_ro(s)), None),
+        StreamPass::Delta { changed } => (None, Some(dev.bind_ro(changed))),
+    };
+    dev.launch(name, threads, |lane| {
+        let t_idx = match (&b_changed, &b_sched) {
+            (Some(b), _) => lane.ld(b, lane.gid) as usize,
+            (None, Some(b)) => lane.ld(b, lane.gid) as usize,
+            (None, None) => lane.gid,
+        };
+        // Delta pass: the slots may hold a stale closed contribution, so
+        // an abandoned contact must rewrite its keys to the sentinel — the
+        // same end state the pre-initialized full pass leaves. (One store
+        // per slot per launch: the sentinel is written only on the abandon
+        // paths, never as a pre-clear the recompute would overwrite.)
+        let abandon = |lane: &mut dda_simt::Lane| {
+            if b_changed.is_some() {
+                lane.st(&b_dk, 3 * t_idx, u64::MAX);
+                lane.st(&b_dk, 3 * t_idx + 1, u64::MAX);
+                lane.st(&b_dk, 3 * t_idx + 2, u64::MAX);
+                lane.st(&b_fk, 2 * t_idx, u64::MAX);
+                lane.st(&b_fk, 2 * t_idx + 1, u64::MAX);
+            }
+        };
+        let c = lane.ld(&b_c, t_idx);
+        // Open/unchanged contacts are abandoned by the classification;
+        // their slots keep (or regain) the MAX key and sort to the tail.
+        if !lane.branch(0, c.state.closed()) {
+            abandon(lane);
+            return;
+        }
+        let i0 = lane.ld_tex(&b_vp, c.i as usize) as usize;
+        let j0 = lane.ld_tex(&b_vp, c.j as usize) as usize;
+        let nj = lane.ld_tex(&b_vp, c.j as usize + 1) as usize - j0;
+        let p1 = Vec2::new(
+            lane.ld_tex(&b_vx, i0 + c.vertex as usize),
+            lane.ld_tex(&b_vy, i0 + c.vertex as usize),
+        );
+        let e = c.edge as usize;
+        let p2 = Vec2::new(lane.ld_tex(&b_vx, j0 + e), lane.ld_tex(&b_vy, j0 + e));
+        let e1 = (e + 1) % nj;
+        let p3 = Vec2::new(lane.ld_tex(&b_vx, j0 + e1), lane.ld_tex(&b_vy, j0 + e1));
+        let ci = Vec2::new(
+            lane.ld_tex(&b_cx, c.i as usize),
+            lane.ld_tex(&b_cy, c.i as usize),
+        );
+        let cj = Vec2::new(
+            lane.ld_tex(&b_cx, c.j as usize),
+            lane.ld_tex(&b_cy, c.j as usize),
+        );
+        let tan_phi = lane.ld(&b_jp, 2 * t_idx);
+        let cohesion = lane.ld(&b_jp, 2 * t_idx + 1);
+        lane.flop(600);
+        let Some(t) = contact_spring_terms(
+            &c,
+            ci,
+            cj,
+            p1,
+            p2,
+            p3,
+            penalty,
+            shear_ratio,
+            tan_phi,
+            cohesion,
+        ) else {
+            abandon(lane);
+            return;
+        };
+
+        let store_block = |lane: &mut dda_simt::Lane, slot: usize, key: u64, b: &Block6| {
+            lane.st(&b_dk, slot, key);
+            for r in 0..6 {
+                for cc in 0..6 {
+                    lane.st(&b_dv, slot * 36 + r * 6 + cc, b.0[r][cc]);
+                }
+            }
+        };
+        let (i, j) = (c.i as u64, c.j as u64);
+        store_block(lane, 3 * t_idx, i * n + i, &t.kii);
+        store_block(lane, 3 * t_idx + 1, j * n + j, &t.kjj);
+        let (r, col, off) = if i < j {
+            (i, j, t.kij)
+        } else {
+            (j, i, t.kji())
+        };
+        store_block(lane, 3 * t_idx + 2, r * n + col, &off);
+
+        lane.st(&b_fk, 2 * t_idx, i);
+        lane.st(&b_fk, 2 * t_idx + 1, j);
+        for k in 0..6 {
+            lane.st(&b_fv, 2 * t_idx * 6 + k, t.fi[k]);
+            lane.st(&b_fv, (2 * t_idx + 1) * 6 + k, t.fj[k]);
+        }
+    });
+}
+
+/// A memoized keyed-reduction plan: the radix argsort and segment
+/// boundaries of one keyed array (Fig 4 steps 2–4), valid for exactly the
+/// unsorted key stream it was built from. Validity is checked by host-side
+/// comparison against the snapshot — strictly stronger than tracking
+/// pair-list/permutation epochs, and it makes plan reuse self-invalidating
+/// on broad-phase rebinds (the keys change) without any wiring. The sort
+/// is deterministic, so reusing a valid plan is bitwise identical to
+/// re-sorting.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ReducePlan {
+    /// Unsorted keys the plan was built from (full length, incl. MAX).
+    src_keys: Vec<u64>,
+    /// Sorted keys, truncated to the valid (non-MAX) prefix.
+    sorted_keys: Vec<u64>,
+    /// Argsort permutation over the valid prefix.
+    perm: Vec<u32>,
+    /// Segment starts over the valid prefix (`len = n_seg + 1`).
+    starts: Vec<u32>,
+}
+
+impl ReducePlan {
+    /// True when the plan matches `keys` and can be reused as-is.
+    fn matches(&self, keys: &[u64]) -> bool {
+        !self.src_keys.is_empty() && self.src_keys.as_slice() == keys
+    }
+
+    /// Rebuild the plan for `keys` (argsort + segment boundaries on
+    /// device), reusing buffer capacity. Returns whether it was a reuse.
+    fn prepare(&mut self, dev: &Device, keys: &[u64]) -> bool {
+        if self.matches(keys) {
+            return true;
+        }
+        let (sorted_keys, perm) = argsort_u64(dev, keys);
+        let valid = sorted_keys.partition_point(|&k| k != u64::MAX);
+        self.src_keys.clear();
+        self.src_keys.extend_from_slice(keys);
+        self.sorted_keys.clear();
+        self.sorted_keys.extend_from_slice(&sorted_keys[..valid]);
+        self.perm.clear();
+        self.perm.extend_from_slice(&perm[..valid]);
+        self.starts.clear();
+        if valid > 0 {
+            let (_, starts) = segment_starts(dev, &self.sorted_keys);
+            self.starts.extend_from_slice(&starts);
+        }
+        false
+    }
+}
+
 /// Sort + segment + reduce for 36-f64 payloads. Returns the diagonal
-/// additions and the sorted upper entries. Keys of `u64::MAX` (abandoned
+/// additions, the sorted upper entries, and whether a cached plan was
+/// reused (always `false` without a plan). Keys of `u64::MAX` (abandoned
 /// slots) are dropped.
 #[allow(clippy::type_complexity)]
-fn reduce_keyed_blocks(
+pub(crate) fn reduce_keyed_blocks(
     dev: &Device,
     keys: &[u64],
     vals: &[f64],
     n: u64,
-) -> (Vec<(u32, Block6)>, Vec<(u32, u32, Block6)>) {
-    let (sorted_keys, perm) = argsort_u64(dev, keys);
-    let valid = sorted_keys.partition_point(|&k| k != u64::MAX);
-    let sorted_keys = &sorted_keys[..valid];
-    let perm = &perm[..valid];
+    plan: Option<&mut ReducePlan>,
+) -> (Vec<(u32, Block6)>, Vec<(u32, u32, Block6)>, bool) {
+    let mut scratch = ReducePlan::default();
+    let (plan, reused) = match plan {
+        Some(p) => {
+            let hit = p.prepare(dev, keys);
+            (&*p, hit)
+        }
+        None => {
+            scratch.prepare(dev, keys);
+            (&scratch, false)
+        }
+    };
+    let (sorted_keys, perm, starts) = (&plan.sorted_keys, &plan.perm, &plan.starts);
     if sorted_keys.is_empty() {
-        return (Vec::new(), Vec::new());
+        return (Vec::new(), Vec::new(), reused);
     }
-    let (_, starts) = segment_starts(dev, sorted_keys);
     let n_seg = starts.len() - 1;
 
     let mut out = vec![0.0f64; n_seg * 36];
     {
-        let b_starts = dev.bind_ro(&starts);
+        let b_starts = dev.bind_ro(starts);
         let b_perm = dev.bind_ro(perm);
         let b_vals = dev.bind_ro(vals);
         let b_out = dev.bind(&mut out);
@@ -356,23 +493,36 @@ fn reduce_keyed_blocks(
             upper.push((r, c, b));
         }
     }
-    (diag_add, upper)
+    (diag_add, upper, reused)
 }
 
-/// Sort + segment + reduce for 6-f64 payloads (forces).
-fn reduce_keyed_vec6(dev: &Device, keys: &[u64], vals: &[f64]) -> Vec<(u32, [f64; 6])> {
-    let (sorted_keys, perm) = argsort_u64(dev, keys);
-    let valid = sorted_keys.partition_point(|&k| k != u64::MAX);
-    let sorted_keys = &sorted_keys[..valid];
-    let perm = &perm[..valid];
+/// Sort + segment + reduce for 6-f64 payloads (forces). Returns the
+/// per-block force additions and whether a cached plan was reused.
+pub(crate) fn reduce_keyed_vec6(
+    dev: &Device,
+    keys: &[u64],
+    vals: &[f64],
+    plan: Option<&mut ReducePlan>,
+) -> (Vec<(u32, [f64; 6])>, bool) {
+    let mut scratch = ReducePlan::default();
+    let (plan, reused) = match plan {
+        Some(p) => {
+            let hit = p.prepare(dev, keys);
+            (&*p, hit)
+        }
+        None => {
+            scratch.prepare(dev, keys);
+            (&scratch, false)
+        }
+    };
+    let (sorted_keys, perm, starts) = (&plan.sorted_keys, &plan.perm, &plan.starts);
     if sorted_keys.is_empty() {
-        return Vec::new();
+        return (Vec::new(), reused);
     }
-    let (_, starts) = segment_starts(dev, sorted_keys);
     let n_seg = starts.len() - 1;
     let mut out = vec![0.0f64; n_seg * 6];
     {
-        let b_starts = dev.bind_ro(&starts);
+        let b_starts = dev.bind_ro(starts);
         let b_perm = dev.bind_ro(perm);
         let b_vals = dev.bind_ro(vals);
         let b_out = dev.bind(&mut out);
@@ -393,14 +543,15 @@ fn reduce_keyed_vec6(dev: &Device, keys: &[u64], vals: &[f64]) -> Vec<(u32, [f64
             }
         });
     }
-    (0..n_seg)
+    let forces = (0..n_seg)
         .map(|s| {
             let b = sorted_keys[starts[s] as usize] as u32;
             let mut f = [0.0f64; 6];
             f.copy_from_slice(&out[s * 6..s * 6 + 6]);
             (b, f)
         })
-        .collect()
+        .collect();
+    (forces, reused)
 }
 
 #[cfg(test)]

@@ -1,0 +1,495 @@
+//! Incremental re-assembly across the open–close iteration loop.
+//!
+//! Loop 3 re-assembles and re-solves until no contact changes state, but
+//! between iterations only the contacts whose open/closed/sliding state
+//! (or sliding bookkeeping) actually changed produce different
+//! contributions — the rest of the Fig 4 contribution stream is
+//! bit-for-bit the work of the previous iteration. [`AssemblyCache`]
+//! memoizes that stream and the keyed-reduction plan:
+//!
+//! * **Stream splice.** The keyed arrays (`D` and the force stream) are
+//!   retained across iterations. On iteration `k > 1` only the delta set
+//!   — contacts flagged by `open_close_gpu_masked` as having changed
+//!   `state`, `edge_ratio`, or `slide_dir` — is recomputed by the
+//!   `nondiag.delta` kernel, which shares its per-lane body with the full
+//!   `nondiag.compute` kernel. Unflagged slots keep their previous bits,
+//!   so the spliced stream equals a full recompute bit-for-bit, and the
+//!   deterministic keyed reduction downstream yields a bitwise-identical
+//!   system.
+//! * **Plan reuse.** The radix argsort and segment boundaries depend only
+//!   on the keys. The plan snapshot is compared against the fresh keys
+//!   (host-side memcmp); on a match the sort and boundary launches are
+//!   skipped entirely. Lock↔slide churn never changes keys, so settled
+//!   scenes reuse one plan across iterations *and* across steps; any
+//!   broad-phase rebind or open/close transition changes the keys and
+//!   self-invalidates the plan.
+//!
+//! The cache is a pure accelerator: `AssemblyReuse::Recompute` bypasses it
+//! and stays the reference oracle, and the parity suite asserts the two
+//! modes agree bitwise per step under random churn and injected faults.
+
+use crate::assembly::{
+    compute_contact_stream, fill_joint_params, reduce_keyed_blocks, reduce_keyed_vec6,
+    AssembledSystem, ReducePlan, StreamPass,
+};
+use crate::contact::types::Contact;
+use crate::contact::GeomSoa;
+use crate::params::DdaParams;
+use crate::system::BlockSystem;
+use dda_simt::primitives::compact_indices;
+use dda_simt::Device;
+use dda_sparse::{Block6, SymBlockMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Lifetime counters of the incremental-assembly machinery; the per-step
+/// deltas ride on `StepReport` so benches read reuse rates directly
+/// instead of inferring them from kernel-name greps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssemblyStats {
+    /// Full-stream recomputes (first iteration of a step, or after an
+    /// invalidation).
+    pub full_builds: u64,
+    /// Per-contact contributions recomputed (full passes + delta sets).
+    pub recomputed: u64,
+    /// Per-contact contributions spliced from the cached stream.
+    pub spliced: u64,
+    /// Keyed-reduction plans rebuilt (argsort + segment boundaries ran).
+    pub plan_rebuilds: u64,
+    /// Keyed-reduction plans reused (sort and boundary launches skipped).
+    pub plan_hits: u64,
+}
+
+impl AssemblyStats {
+    /// Counter increments since an earlier snapshot.
+    pub fn delta_since(&self, earlier: &AssemblyStats) -> AssemblyStats {
+        AssemblyStats {
+            full_builds: self.full_builds - earlier.full_builds,
+            recomputed: self.recomputed - earlier.recomputed,
+            spliced: self.spliced - earlier.spliced,
+            plan_rebuilds: self.plan_rebuilds - earlier.plan_rebuilds,
+            plan_hits: self.plan_hits - earlier.plan_hits,
+        }
+    }
+
+    /// Fraction of contributions spliced rather than recomputed.
+    pub fn splice_rate(&self) -> f64 {
+        let total = self.recomputed + self.spliced;
+        if total == 0 {
+            0.0
+        } else {
+            self.spliced as f64 / total as f64
+        }
+    }
+}
+
+/// Memoized per-contact contribution stream + keyed-reduction plans,
+/// living beside [`crate::pipeline::GpuPipeline`]'s solver cache. See the
+/// module docs for the reuse/invalidation rules.
+#[derive(Debug, Default)]
+pub struct AssemblyCache {
+    d_vals: Vec<f64>,
+    d_keys: Vec<u64>,
+    f_vals: Vec<f64>,
+    f_keys: Vec<u64>,
+    jparams: Vec<f64>,
+    dirty: Vec<u32>,
+    pending_all: bool,
+    nc: usize,
+    plan_blocks: ReducePlan,
+    plan_forces: ReducePlan,
+    stats: AssemblyStats,
+}
+
+impl AssemblyCache {
+    /// Empty cache; the first `begin_step` sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-step rebind: size the stream buffers for the step's contact
+    /// population, refill the flattened joint parameters, clear pending
+    /// deltas, and force a full recompute on the next assemble (detection
+    /// rebuilt the contact list, so every cached slot is stale). All
+    /// buffers reuse capacity — a warmed cache rebinds without heap
+    /// traffic.
+    pub fn begin_step(&mut self, sys: &BlockSystem, contacts: &[Contact]) {
+        let nc = contacts.len();
+        self.nc = nc;
+        self.d_vals.clear();
+        self.d_vals.resize(nc * 3 * 36, 0.0);
+        self.d_keys.clear();
+        self.d_keys.resize(nc * 3, u64::MAX);
+        self.f_vals.clear();
+        self.f_vals.resize(nc * 2 * 6, 0.0);
+        self.f_keys.clear();
+        self.f_keys.resize(nc * 2, u64::MAX);
+        self.dirty.clear();
+        self.dirty.resize(nc, 0);
+        fill_joint_params(sys, contacts, &mut self.jparams);
+        self.pending_all = true;
+    }
+
+    /// Force the next assemble to recompute every contribution (the
+    /// reduction plans self-invalidate via key comparison and are kept).
+    pub fn invalidate(&mut self) {
+        self.pending_all = true;
+    }
+
+    /// The per-contact contribution-delta mask for
+    /// [`crate::openclose::open_close_gpu_masked`] to OR-accumulate into.
+    pub fn dirty_mask(&mut self) -> &mut [u32] {
+        &mut self.dirty
+    }
+
+    /// Lifetime reuse counters.
+    pub fn stats(&self) -> AssemblyStats {
+        self.stats
+    }
+
+    /// Incremental equivalent of
+    /// [`crate::assembly::assemble_contacts_gpu_scheduled`]: recompute the
+    /// pending delta set (or everything, after `begin_step`/`invalidate`),
+    /// splice into the cached stream, and run the keyed reduction under
+    /// the cached plans. Bitwise identical to the full recompute by
+    /// construction.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        &mut self,
+        dev: &Device,
+        sys: &BlockSystem,
+        gsoa: &GeomSoa,
+        contacts: &[Contact],
+        params: &DdaParams,
+        mut diag: Vec<Block6>,
+        mut rhs: Vec<f64>,
+        sched: Option<&[u32]>,
+    ) -> AssembledSystem {
+        let nc = contacts.len();
+        assert_eq!(
+            nc, self.nc,
+            "AssemblyCache::begin_step must precede assemble"
+        );
+        if nc == 0 {
+            return AssembledSystem {
+                matrix: SymBlockMatrix::new(diag, Vec::new()),
+                rhs,
+            };
+        }
+        let n = sys.len() as u64;
+        if self.pending_all {
+            self.d_keys.fill(u64::MAX);
+            self.f_keys.fill(u64::MAX);
+            compute_contact_stream(
+                dev,
+                n,
+                gsoa,
+                contacts,
+                &self.jparams,
+                params.penalty,
+                params.shear_ratio,
+                &mut self.d_vals,
+                &mut self.d_keys,
+                &mut self.f_vals,
+                &mut self.f_keys,
+                StreamPass::Full {
+                    sched: sched.filter(|s| s.len() == nc),
+                },
+            );
+            self.pending_all = false;
+            self.stats.full_builds += 1;
+            self.stats.recomputed += nc as u64;
+        } else {
+            let changed = compact_indices(dev, &self.dirty);
+            if !changed.is_empty() {
+                compute_contact_stream(
+                    dev,
+                    n,
+                    gsoa,
+                    contacts,
+                    &self.jparams,
+                    params.penalty,
+                    params.shear_ratio,
+                    &mut self.d_vals,
+                    &mut self.d_keys,
+                    &mut self.f_vals,
+                    &mut self.f_keys,
+                    StreamPass::Delta { changed: &changed },
+                );
+            }
+            self.stats.recomputed += changed.len() as u64;
+            self.stats.spliced += (nc - changed.len()) as u64;
+        }
+        // The stream now reflects the current contact states; the deltas
+        // are consumed.
+        self.dirty.fill(0);
+
+        let (diag_add, upper, hit_b) = reduce_keyed_blocks(
+            dev,
+            &self.d_keys,
+            &self.d_vals,
+            n,
+            Some(&mut self.plan_blocks),
+        );
+        for (b, blk) in &diag_add {
+            diag[*b as usize] += *blk;
+        }
+        let (f_add, hit_f) =
+            reduce_keyed_vec6(dev, &self.f_keys, &self.f_vals, Some(&mut self.plan_forces));
+        for (b, f) in &f_add {
+            for k in 0..6 {
+                rhs[6 * *b as usize + k] += f[k];
+            }
+        }
+        for hit in [hit_b, hit_f] {
+            if hit {
+                self.stats.plan_hits += 1;
+            } else {
+                self.stats.plan_rebuilds += 1;
+            }
+        }
+
+        AssembledSystem {
+            matrix: SymBlockMatrix::new(diag, upper),
+            rhs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::contact::narrow::narrow_phase_serial;
+    use crate::contact::types::ContactState;
+    use crate::material::{BlockMaterial, JointMaterial};
+    use crate::stiffness::perblock::{build_diag_gpu, BlockSoa};
+    use dda_geom::Polygon;
+    use dda_simt::serial::CpuCounter;
+    use dda_simt::DeviceProfile;
+
+    fn stack() -> (BlockSystem, Vec<Contact>, DdaParams) {
+        let sys = BlockSystem::new(
+            vec![
+                Block::new(Polygon::rect(-5.0, -1.0, 5.0, 0.0), 0).fixed(),
+                Block::new(Polygon::rect(0.0, 0.0, 1.0, 1.0), 0),
+                Block::new(Polygon::rect(1.0, 0.0, 2.0, 1.0), 0),
+            ],
+            BlockMaterial::rock(),
+            JointMaterial::frictional(30.0),
+        );
+        let params = DdaParams::for_model(1.0, 5e9);
+        let mut cnt = CpuCounter::new();
+        let mut contacts = narrow_phase_serial(
+            &sys,
+            &[(0, 1), (0, 2), (1, 2)],
+            params.contact_range,
+            &mut cnt,
+        );
+        crate::contact::init::init_contacts_serial(
+            &sys,
+            &mut contacts,
+            params.touch_tol * params.max_displacement,
+            &mut cnt,
+        );
+        (sys, contacts, params)
+    }
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_k40()).with_conflict_checking(true)
+    }
+
+    fn bits(asm: &AssembledSystem) -> Vec<u64> {
+        let mut v = Vec::new();
+        for b in &asm.matrix.diag {
+            for r in 0..6 {
+                for c in 0..6 {
+                    v.push(b.0[r][c].to_bits());
+                }
+            }
+        }
+        for (r, c, b) in &asm.matrix.upper {
+            v.push(*r as u64);
+            v.push(*c as u64);
+            for rr in 0..6 {
+                for cc in 0..6 {
+                    v.push(b.0[rr][cc].to_bits());
+                }
+            }
+        }
+        v.extend(asm.rhs.iter().map(|x| x.to_bits()));
+        v
+    }
+
+    /// Churn states between iterations, flagging exactly the changed
+    /// contacts, and check the spliced stream reduces to the same bits as
+    /// a from-scratch recompute of the mutated contact list.
+    #[test]
+    fn spliced_stream_matches_full_recompute_bitwise() {
+        let (sys, mut contacts, params) = stack();
+        let d = dev();
+        let gsoa = GeomSoa::build(&sys);
+        let bsoa = BlockSoa::build(&sys);
+        let (dg, rhs0) = build_diag_gpu(&d, &sys, &bsoa, &params);
+
+        let mut cache = AssemblyCache::new();
+        cache.begin_step(&sys, &contacts);
+        let first = cache.assemble(
+            &d,
+            &sys,
+            &gsoa,
+            &contacts,
+            &params,
+            dg.clone(),
+            rhs0.clone(),
+            None,
+        );
+        let oracle = crate::assembly::assemble_contacts_gpu(
+            &d,
+            &sys,
+            &gsoa,
+            &contacts,
+            &params,
+            dg.clone(),
+            rhs0.clone(),
+        );
+        assert_eq!(bits(&first), bits(&oracle), "full build must match");
+
+        // Iteration 2: flip one contact open, slide another, flag both.
+        let churn: Vec<(usize, ContactState, f64)> =
+            vec![(0, ContactState::Open, 0.0), (1, ContactState::Slide, 0.37)];
+        for &(k, s, ratio) in &churn {
+            if k < contacts.len() {
+                contacts[k].state = s;
+                if s == ContactState::Slide {
+                    contacts[k].edge_ratio = ratio;
+                    contacts[k].slide_dir = 1.0;
+                }
+                cache.dirty_mask()[k] = 1;
+            }
+        }
+        let spliced = cache.assemble(
+            &d,
+            &sys,
+            &gsoa,
+            &contacts,
+            &params,
+            dg.clone(),
+            rhs0.clone(),
+            None,
+        );
+        let oracle2 = crate::assembly::assemble_contacts_gpu(
+            &d,
+            &sys,
+            &gsoa,
+            &contacts,
+            &params,
+            dg.clone(),
+            rhs0.clone(),
+        );
+        assert_eq!(bits(&spliced), bits(&oracle2), "spliced must match");
+        let st = cache.stats();
+        assert_eq!(st.full_builds, 1);
+        assert!(st.spliced > 0, "second iteration must splice");
+
+        // Iteration 3: nothing changed — pure splice, and the keys are
+        // unchanged so both plans must hit.
+        let before = cache.stats();
+        let again = cache.assemble(
+            &d,
+            &sys,
+            &gsoa,
+            &contacts,
+            &params,
+            dg.clone(),
+            rhs0.clone(),
+            None,
+        );
+        assert_eq!(bits(&again), bits(&oracle2));
+        let delta = cache.stats().delta_since(&before);
+        assert_eq!(delta.recomputed, 0);
+        assert_eq!(delta.plan_hits, 2, "unchanged keys must reuse both plans");
+    }
+
+    #[test]
+    fn lock_slide_flip_reuses_plan() {
+        let (sys, mut contacts, params) = stack();
+        let d = dev();
+        let gsoa = GeomSoa::build(&sys);
+        let bsoa = BlockSoa::build(&sys);
+        let (dg, rhs0) = build_diag_gpu(&d, &sys, &bsoa, &params);
+        let locked = contacts.iter().position(|c| c.state == ContactState::Lock);
+        let Some(k) = locked else { return };
+
+        let mut cache = AssemblyCache::new();
+        cache.begin_step(&sys, &contacts);
+        let _ = cache.assemble(
+            &d,
+            &sys,
+            &gsoa,
+            &contacts,
+            &params,
+            dg.clone(),
+            rhs0.clone(),
+            None,
+        );
+        // Lock → slide keeps the contact closed: same keys, new values.
+        contacts[k].state = ContactState::Slide;
+        contacts[k].slide_dir = 1.0;
+        cache.dirty_mask()[k] = 1;
+        let before = cache.stats();
+        let spliced = cache.assemble(
+            &d,
+            &sys,
+            &gsoa,
+            &contacts,
+            &params,
+            dg.clone(),
+            rhs0.clone(),
+            None,
+        );
+        let oracle = crate::assembly::assemble_contacts_gpu(
+            &d,
+            &sys,
+            &gsoa,
+            &contacts,
+            &params,
+            dg.clone(),
+            rhs0.clone(),
+        );
+        assert_eq!(bits(&spliced), bits(&oracle));
+        let delta = cache.stats().delta_since(&before);
+        assert_eq!(delta.recomputed, 1);
+        assert_eq!(
+            delta.plan_hits, 2,
+            "a closed-state flip keeps the keys, so the plans must hit"
+        );
+    }
+
+    #[test]
+    fn delta_kernel_traced_and_cheaper() {
+        let (sys, contacts, params) = stack();
+        let d = dev();
+        let gsoa = GeomSoa::build(&sys);
+        let bsoa = BlockSoa::build(&sys);
+        let (dg, rhs0) = build_diag_gpu(&d, &sys, &bsoa, &params);
+        let mut cache = AssemblyCache::new();
+        cache.begin_step(&sys, &contacts);
+        let _ = cache.assemble(
+            &d,
+            &sys,
+            &gsoa,
+            &contacts,
+            &params,
+            dg.clone(),
+            rhs0.clone(),
+            None,
+        );
+        cache.dirty_mask()[0] = 1;
+        let _ = cache.assemble(&d, &sys, &gsoa, &contacts, &params, dg, rhs0, None);
+        let by = d.trace().by_kernel();
+        let (full, _) = by["nondiag.compute"];
+        let (delta, _) = by["nondiag.delta"];
+        assert_eq!(full.threads, contacts.len() as u64);
+        assert_eq!(delta.threads, 1, "delta pass touches only flagged contacts");
+    }
+}

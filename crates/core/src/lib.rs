@@ -41,6 +41,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod assembly;
+pub mod assembly_cache;
 pub mod block;
 pub mod contact;
 pub mod interpenetration;
@@ -52,9 +53,10 @@ pub mod stiffness;
 pub mod system;
 pub mod update;
 
+pub use assembly_cache::{AssemblyCache, AssemblyStats};
 pub use block::Block;
 pub use material::{BlockMaterial, JointMaterial};
-pub use params::DdaParams;
+pub use params::{AssemblyReuse, DdaParams, SolverWarmStart};
 pub use pipeline::{
     BatchScheduler, HealthPolicy, IngestConfig, IngestError, Priority, SceneCheckpoint,
     SceneHealth, SceneStatus, SceneSubmission, SlotState, StepError, Ticket,

@@ -10,6 +10,45 @@ use crate::contact::order::ContactOrder;
 use dda_solver::{PcgOptions, PrecondKind, SolverPrecision};
 use serde::{Deserialize, Serialize};
 
+/// Assembly strategy across the open–close iteration loop.
+///
+/// `Recompute` re-runs the full Fig 4 contribution stream every iteration
+/// and stays the reference oracle. `Incremental` memoizes the stream in an
+/// [`crate::assembly_cache::AssemblyCache`]: on iterations after the first
+/// only the contacts whose state/slip bookkeeping changed are recomputed
+/// and spliced in, and the keyed-reduction plan (radix sort + segment
+/// boundaries) is reused while the keys are unchanged. The two modes are
+/// bitwise identical by construction (the serial pipeline ignores the
+/// knob, like [`ContactOrder`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssemblyReuse {
+    /// Full contribution recompute every open–close iteration (oracle).
+    #[default]
+    Recompute,
+    /// Delta recompute + stream splice + reduction-plan reuse.
+    Incremental,
+}
+
+/// Initial iterate policy for the per-iteration PCG solves.
+///
+/// `PrevStep` starts every solve from the previous *step's* accepted
+/// solution (the historical behavior). `PrevIterate` warm-starts each
+/// open–close re-solve from the previous iterate of the same step, which
+/// is much closer once the contact states stop churning; convergence is
+/// still driven to the same tolerance, so the answer is
+/// tolerance-equivalent, not bitwise-identical. Fallback-ladder descents
+/// always cold-start from the previous step's solution (deterministic
+/// rescue behavior), and the warm iterate is discarded whenever a solve
+/// degrades.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverWarmStart {
+    /// Every solve starts from the previous step's accepted solution.
+    #[default]
+    PrevStep,
+    /// Re-solves within a step start from the previous healthy iterate.
+    PrevIterate,
+}
+
 /// DDA analysis parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DdaParams {
@@ -80,6 +119,14 @@ pub struct DdaParams {
     /// permutation of *processing* order only — outputs are bitwise
     /// identical either way (and the serial pipeline ignores the knob).
     pub contact_order: ContactOrder,
+    /// Assembly strategy across open–close iterations (see
+    /// [`AssemblyReuse`]); bitwise-inert, like `contact_order`.
+    pub assembly_reuse: AssemblyReuse,
+    /// Initial-iterate policy for the per-iteration solves (see
+    /// [`SolverWarmStart`]); `PrevIterate` trades bitwise reproducibility
+    /// of intermediate iterates for fewer PCG iterations at the same
+    /// converged tolerance.
+    pub warm_start: SolverWarmStart,
 }
 
 impl DdaParams {
@@ -117,6 +164,8 @@ impl DdaParams {
             // more, since settled scenes move much less per step.
             broad_slack: 8.0 * max_displacement,
             contact_order: ContactOrder::default(),
+            assembly_reuse: AssemblyReuse::default(),
+            warm_start: SolverWarmStart::default(),
         }
     }
 
@@ -129,6 +178,18 @@ impl DdaParams {
     /// Selects the contact-stream scheduling order (builder style).
     pub fn with_contact_order(mut self, o: ContactOrder) -> DdaParams {
         self.contact_order = o;
+        self
+    }
+
+    /// Selects the assembly-reuse strategy (builder style).
+    pub fn with_assembly_reuse(mut self, r: AssemblyReuse) -> DdaParams {
+        self.assembly_reuse = r;
+        self
+    }
+
+    /// Selects the solver warm-start policy (builder style).
+    pub fn with_warm_start(mut self, w: SolverWarmStart) -> DdaParams {
+        self.warm_start = w;
         self
     }
 

@@ -54,14 +54,15 @@ use super::health::{all_finite, HealthPolicy, SceneHealth, SlotState, StepError}
 use super::solver_cache::SolverCache;
 use super::{ModuleTimes, StepReport};
 use crate::assembly::{assemble_contacts_gpu_scheduled, AssembledSystem};
+use crate::assembly_cache::{AssemblyCache, AssemblyStats};
 use crate::contact::init::init_contacts_classified;
 use crate::contact::{
     detect_broad_gpu, narrow_phase_gpu_scheduled, transfer_contacts_gpu_scheduled, Contact,
     ContactOrder, ContactWorkspace, GeomSoa,
 };
 use crate::interpenetration::{check_gpu, BranchScheme, GapArrays};
-use crate::openclose::{categorize_gpu, open_close_gpu};
-use crate::params::DdaParams;
+use crate::openclose::{categorize_gpu, open_close_gpu, open_close_gpu_masked};
+use crate::params::{AssemblyReuse, DdaParams, SolverWarmStart};
 use crate::stiffness::perblock::{build_diag_gpu, BlockSoa};
 use crate::system::BlockSystem;
 use crate::update::{max_displacement, update_system};
@@ -83,6 +84,11 @@ struct BatchScene {
     contacts: Vec<Contact>,
     x_prev: Vec<f64>,
     cache: SolverCache,
+    acache: AssemblyCache,
+    // Staged PCG starting iterate (warm iterate or `x_prev`), a scratch
+    // buffer so the batched-entry borrow never conflicts with the solver
+    // cache's `try_prepare`.
+    x0: Vec<f64>,
     ws: ContactWorkspace,
     gsoa: Option<GeomSoa>,
     bsoa: Option<BlockSoa>,
@@ -98,6 +104,8 @@ impl BatchScene {
             contacts: Vec::new(),
             x_prev: vec![0.0; 6 * n],
             cache: SolverCache::default(),
+            acache: AssemblyCache::new(),
+            x0: Vec::new(),
             ws: ContactWorkspace::new(),
             gsoa: None,
             bsoa: None,
@@ -493,6 +501,10 @@ impl SceneBatch {
                 what: "rescued slot lost its scene",
             }),
             Some(sc) => (|| {
+                // Ladder descent: cold-start from the previous step's
+                // solution and drop the warm iterate, which the degraded
+                // solve is about to invalidate (gpu.rs mirror).
+                sc.cache.clear_warm();
                 // The rescue rung honors the scene's precision mode so a
                 // rescued batch scene stays bit-identical to the same
                 // scene descending to the Jacobi rung solo.
@@ -538,6 +550,23 @@ impl SceneBatch {
         self.launches_in = 0;
         self.launches_out = 0;
         self.step_index += 1;
+        // Per-scene snapshots for the step report's phase/assembly deltas.
+        let times_at_start: Vec<ModuleTimes> = self
+            .slots
+            .iter()
+            .map(|s| s.scene.as_ref().map(|sc| sc.times).unwrap_or_default())
+            .collect();
+        let asm_at_start: Vec<AssemblyStats> = self
+            .slots
+            .iter()
+            .map(|s| {
+                s.scene
+                    .as_ref()
+                    .map(|sc| sc.acache.stats())
+                    .unwrap_or_default()
+            })
+            .collect();
+        let mut warm_starts = vec![0usize; n];
 
         let mut stepping: Vec<bool> = self
             .slots
@@ -614,6 +643,12 @@ impl SceneBatch {
             }
             sc.gsoa = Some(gsoa);
             sc.bsoa = Some(BlockSoa::build(&sc.sys));
+            if sc.params.assembly_reuse == AssemblyReuse::Incremental {
+                // Detection rebuilt the contact list: rebind the assembly
+                // cache (full recompute on the first iteration, joint
+                // params refilled, pending deltas cleared).
+                sc.acache.begin_step(&sc.sys, &sc.contacts);
+            }
         }
         let s = self.dev.batch_end();
         self.charge(s, |t| &mut t.contact_detection);
@@ -646,6 +681,9 @@ impl SceneBatch {
                     continue;
                 };
                 self.dev.batch_segment(i);
+                // Attempt start (loop 2): the warm iterate belongs to the
+                // previous attempt's open–close loop, not this one.
+                sc.cache.clear_warm();
                 diag[i] = Some(build_diag_gpu(&self.dev, &sc.sys, bsoa, &sc.params));
             }
             let s = self.dev.batch_end();
@@ -703,16 +741,28 @@ impl SceneBatch {
                         None
                     };
                     #[allow(unused_mut)]
-                    let mut asm = assemble_contacts_gpu_scheduled(
-                        &self.dev,
-                        &sc.sys,
-                        gsoa,
-                        &sc.contacts,
-                        &sc.params,
-                        dg.clone(),
-                        rhs0.clone(),
-                        sched,
-                    );
+                    let mut asm = match sc.params.assembly_reuse {
+                        AssemblyReuse::Recompute => assemble_contacts_gpu_scheduled(
+                            &self.dev,
+                            &sc.sys,
+                            gsoa,
+                            &sc.contacts,
+                            &sc.params,
+                            dg.clone(),
+                            rhs0.clone(),
+                            sched,
+                        ),
+                        AssemblyReuse::Incremental => sc.acache.assemble(
+                            &self.dev,
+                            &sc.sys,
+                            gsoa,
+                            &sc.contacts,
+                            &sc.params,
+                            dg.clone(),
+                            rhs0.clone(),
+                            sched,
+                        ),
+                    };
                     #[cfg(feature = "fault-inject")]
                     {
                         use dda_simt::Fault;
@@ -762,6 +812,7 @@ impl SceneBatch {
                 let mut entries = Vec::new();
                 let mut idxs = Vec::new();
                 let mut needs_rescue = Vec::new();
+                let mut warm_used = vec![false; n];
                 self.dev.batch_begin(n);
                 for (i, (slot, asm)) in self.slots.iter_mut().zip(asms.iter()).enumerate() {
                     if !in_oc[i] {
@@ -787,9 +838,23 @@ impl SceneBatch {
                     let BatchScene {
                         cache,
                         x_prev,
+                        x0,
                         params,
                         ..
                     } = sc;
+                    // Stage the starting iterate: the batched Block-Jacobi
+                    // solve is the configured rung, so the warm iterate
+                    // applies here; the rescue path always cold-starts
+                    // from the previous step's solution (gpu.rs mirror).
+                    let want_warm = params.warm_start == SolverWarmStart::PrevIterate;
+                    x0.clear();
+                    match cache.warm_iterate().filter(|_| want_warm) {
+                        Some(w) => {
+                            x0.extend_from_slice(w);
+                            warm_used[i] = true;
+                        }
+                        None => x0.extend_from_slice(x_prev),
+                    }
                     let f32_shadow = params.precision == SolverPrecision::Mixed;
                     match cache.try_prepare(&self.dev, &asm.matrix, true, f32_shadow) {
                         Ok((h, h32, Some(m), ws)) => {
@@ -797,7 +862,7 @@ impl SceneBatch {
                                 h,
                                 h32,
                                 b: &asm.rhs,
-                                x0: x_prev.as_slice(),
+                                x0: x0.as_slice(),
                                 m,
                                 opts: params.pcg,
                                 precision: params.precision,
@@ -828,6 +893,16 @@ impl SceneBatch {
                     reports[i].pcg_iterations += res.iterations;
                     reports[i].last_solve_iterations = res.iterations;
                     last_conv[i] = res.converged;
+                    if warm_used[i] {
+                        warm_starts[i] += 1;
+                    }
+                    // A healthy configured-rung solve seeds the next
+                    // re-solve of this open–close loop.
+                    if let Some(sc) = self.slots[i].scene.as_mut() {
+                        if sc.params.warm_start == SolverWarmStart::PrevIterate {
+                            sc.cache.set_warm(&res.x);
+                        }
+                    }
                     d[i] = res.x;
                 }
                 // Degraded re-solve: scalar Jacobi in the scene's own batch
@@ -910,8 +985,19 @@ impl SceneBatch {
                         BranchScheme::Restructured,
                     );
                     #[allow(unused_mut)]
-                    let mut changes =
-                        open_close_gpu(&self.dev, &mut sc.contacts, &gaps[i], open_tol, freeze);
+                    let mut changes = match sc.params.assembly_reuse {
+                        AssemblyReuse::Recompute => {
+                            open_close_gpu(&self.dev, &mut sc.contacts, &gaps[i], open_tol, freeze)
+                        }
+                        AssemblyReuse::Incremental => open_close_gpu_masked(
+                            &self.dev,
+                            &mut sc.contacts,
+                            &gaps[i],
+                            open_tol,
+                            freeze,
+                            Some(sc.acache.dirty_mask()),
+                        ),
+                    };
                     #[cfg(feature = "fault-inject")]
                     if self.dev.fault_fires(dda_simt::Fault::OcPin) {
                         changes = changes.max(1);
@@ -1098,6 +1184,17 @@ impl SceneBatch {
         for i in 0..n {
             if let Some(err) = fault[i] {
                 self.record_fault(i, err);
+            }
+        }
+
+        // Per-scene phase/assembly deltas (faulted scenes report what they
+        // actually spent — the modeled time is real even when the step is
+        // not committed).
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(sc) = slot.scene.as_ref() {
+                reports[i].phase_times = sc.times.delta_since(&times_at_start[i]);
+                reports[i].assembly = sc.acache.stats().delta_since(&asm_at_start[i]);
+                reports[i].warm_starts = warm_starts[i];
             }
         }
 

@@ -125,6 +125,11 @@ impl CpuPipeline {
         // processing order — which by construction never changes outputs.
         // Keeping it a no-op preserves CPU↔GPU trajectory identity under
         // either knob setting without maintaining a second code path.
+        // `params.assembly_reuse` and `params.warm_start` are inert the
+        // same way: the serial pipeline is the reference oracle the
+        // incremental/warm paths are validated against, so it always
+        // recomputes in full and always starts PCG from the previous
+        // step's solution.
         self.times.contact_detection += self.charge(cd);
         report.n_contacts = self.contacts.len();
         for c in self.contacts.iter_mut() {

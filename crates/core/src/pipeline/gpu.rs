@@ -13,14 +13,15 @@ use super::health::StepError;
 use super::solver_cache::SolverCache;
 use super::{ModuleTimes, StepReport};
 use crate::assembly::{assemble_contacts_gpu_scheduled, AssembledSystem};
+use crate::assembly_cache::AssemblyCache;
 use crate::contact::init::init_contacts_classified;
 use crate::contact::{
     detect_broad_gpu, narrow_phase_gpu_scheduled, transfer_contacts_gpu_scheduled, Contact,
     ContactOrder, ContactWorkspace, GeomSoa,
 };
 use crate::interpenetration::{check_gpu, BranchScheme, GapArrays};
-use crate::openclose::{categorize_gpu, open_close_gpu};
-use crate::params::DdaParams;
+use crate::openclose::{categorize_gpu, open_close_gpu, open_close_gpu_masked};
+use crate::params::{AssemblyReuse, DdaParams, SolverWarmStart};
 use crate::stiffness::perblock::{build_diag_gpu, BlockSoa};
 use crate::system::BlockSystem;
 use crate::update::{max_displacement, update_system};
@@ -71,6 +72,7 @@ pub struct GpuPipeline {
     x_prev: Vec<f64>,
     ws: ContactWorkspace,
     cache: SolverCache,
+    acache: AssemblyCache,
     legacy_solver: bool,
     // Per-step SoA mirrors, built once per step() and consumed by the
     // backend phases the shared driver calls.
@@ -80,6 +82,13 @@ pub struct GpuPipeline {
     step_fallback_level: usize,
     // Lifetime count of solves that left the configured rung.
     fallback_solves: usize,
+    // Staged PCG starting iterate for the next solve attempt
+    // (capacity-reused; either the previous step's solution or, under
+    // `SolverWarmStart::PrevIterate`, the previous healthy iterate of the
+    // current open–close loop).
+    x0: Vec<f64>,
+    // Solves this step that warm-started from a previous iterate.
+    step_warm_starts: usize,
 }
 
 impl GpuPipeline {
@@ -95,11 +104,14 @@ impl GpuPipeline {
             x_prev: vec![0.0; 6 * n],
             ws: ContactWorkspace::new(),
             cache: SolverCache::default(),
+            acache: AssemblyCache::new(),
             legacy_solver: false,
             gsoa: None,
             bsoa: None,
             step_fallback_level: 0,
             fallback_solves: 0,
+            x0: Vec::new(),
+            step_warm_starts: 0,
         }
     }
 
@@ -169,9 +181,10 @@ impl GpuPipeline {
         self.dev.modeled_seconds()
     }
 
-    /// One solve attempt on a specific ladder rung. `Err` is a
-    /// preconditioner construction failure (zero pivot, singular block) —
-    /// the caller descends the ladder on it.
+    /// One solve attempt on a specific ladder rung, starting from the
+    /// staged iterate `self.x0`. `Err` is a preconditioner construction
+    /// failure (zero pivot, singular block) — the caller descends the
+    /// ladder on it.
     fn solve_attempt(
         &mut self,
         matrix: &SymBlockMatrix,
@@ -186,14 +199,7 @@ impl GpuPipeline {
                     .cache
                     .try_prepare(&self.dev, matrix, false, f32_shadow)?;
                 Ok(pcg_dispatch(
-                    &self.dev,
-                    h,
-                    h32,
-                    rhs,
-                    &self.x_prev,
-                    &Identity,
-                    opts,
-                    ws,
+                    &self.dev, h, h32, rhs, &self.x0, &Identity, opts, ws,
                 ))
             }
             PrecondKind::BlockJacobi => {
@@ -201,16 +207,7 @@ impl GpuPipeline {
                     .cache
                     .try_prepare(&self.dev, matrix, true, f32_shadow)?;
                 let bj = bj.expect("try_prepare(want_bj) returns a factorization");
-                Ok(pcg_dispatch(
-                    &self.dev,
-                    h,
-                    h32,
-                    rhs,
-                    &self.x_prev,
-                    bj,
-                    opts,
-                    ws,
-                ))
+                Ok(pcg_dispatch(&self.dev, h, h32, rhs, &self.x0, bj, opts, ws))
             }
             PrecondKind::SsorAi => {
                 let (h, h32, _, ws) = self
@@ -218,14 +215,7 @@ impl GpuPipeline {
                     .try_prepare(&self.dev, matrix, false, f32_shadow)?;
                 let ssor = SsorAi::try_new(&self.dev, h, 1.0)?;
                 Ok(pcg_dispatch(
-                    &self.dev,
-                    h,
-                    h32,
-                    rhs,
-                    &self.x_prev,
-                    &ssor,
-                    opts,
-                    ws,
+                    &self.dev, h, h32, rhs, &self.x0, &ssor, opts, ws,
                 ))
             }
             PrecondKind::Ilu0 => {
@@ -235,14 +225,7 @@ impl GpuPipeline {
                 let csr = Csr::from_sym_full(matrix);
                 let ilu = Ilu0::try_new(&self.dev, &csr)?;
                 Ok(pcg_dispatch(
-                    &self.dev,
-                    h,
-                    h32,
-                    rhs,
-                    &self.x_prev,
-                    &ilu,
-                    opts,
-                    ws,
+                    &self.dev, h, h32, rhs, &self.x0, &ilu, opts, ws,
                 ))
             }
             PrecondKind::Jacobi => {
@@ -250,16 +233,7 @@ impl GpuPipeline {
                     .cache
                     .try_prepare(&self.dev, matrix, false, f32_shadow)?;
                 let j = Jacobi::try_new(&self.dev, h)?;
-                Ok(pcg_dispatch(
-                    &self.dev,
-                    h,
-                    h32,
-                    rhs,
-                    &self.x_prev,
-                    &j,
-                    opts,
-                    ws,
-                ))
+                Ok(pcg_dispatch(&self.dev, h, h32, rhs, &self.x0, &j, opts, ws))
             }
             PrecondKind::Amg2 => {
                 // The AMG2 hierarchy borrows the cached format (like
@@ -272,14 +246,7 @@ impl GpuPipeline {
                     .try_prepare(&self.dev, matrix, false, f32_shadow)?;
                 let amg = Amg2::try_new(&self.dev, h)?;
                 Ok(pcg_dispatch(
-                    &self.dev,
-                    h,
-                    h32,
-                    rhs,
-                    &self.x_prev,
-                    &amg,
-                    opts,
-                    ws,
+                    &self.dev, h, h32, rhs, &self.x0, &amg, opts, ws,
                 ))
             }
         }
@@ -302,9 +269,26 @@ impl GpuPipeline {
         rhs: &[f64],
     ) -> Result<SolveResult, StepError> {
         let rungs = self.params.solver_ladder();
+        let want_warm = self.params.warm_start == SolverWarmStart::PrevIterate;
         let mut last_construct_err = None;
         let mut last_result = None;
         for (level, &kind) in rungs.iter().enumerate() {
+            // Stage the starting iterate: the warm iterate only on the
+            // configured rung — a ladder descent is a rescue and always
+            // cold-starts deterministically from the previous step's
+            // solution (and discards the warm iterate, which the degraded
+            // solve may be about to invalidate).
+            let warm_this = level == 0 && want_warm && self.cache.warm_iterate().is_some();
+            self.x0.clear();
+            if warm_this {
+                let w = self.cache.warm_iterate().expect("checked above");
+                self.x0.extend_from_slice(w);
+            } else {
+                self.x0.extend_from_slice(&self.x_prev);
+                if level > 0 {
+                    self.cache.clear_warm();
+                }
+            }
             match self.solve_attempt(matrix, rhs, kind) {
                 Err(e) => {
                     last_construct_err = Some(e);
@@ -314,6 +298,16 @@ impl GpuPipeline {
                     let healthy = !res.broke_down() && res.x.iter().all(|v| v.is_finite());
                     if healthy || level + 1 == rungs.len() {
                         self.note_fallback(level);
+                        if warm_this {
+                            self.step_warm_starts += 1;
+                        }
+                        if healthy && level == 0 && want_warm {
+                            // The next re-solve of this open–close loop
+                            // starts here.
+                            self.cache.set_warm(&res.x);
+                        } else {
+                            self.cache.clear_warm();
+                        }
                         return Ok(res);
                     }
                     last_result = Some((level, res));
@@ -322,6 +316,7 @@ impl GpuPipeline {
         }
         // The deepest rungs failed to construct. Fall back to the best
         // iterate an earlier rung produced, or report the ladder exhausted.
+        self.cache.clear_warm();
         match last_result {
             Some((level, res)) => {
                 self.note_fallback(level);
@@ -399,6 +394,12 @@ impl GpuPipeline {
         (self.ws.cache.hits, self.ws.cache.rebuilds)
     }
 
+    /// Assembly-cache diagnostics: lifetime reuse counters (all zero
+    /// under [`AssemblyReuse::Recompute`]).
+    pub fn assembly_cache_stats(&self) -> crate::assembly_cache::AssemblyStats {
+        self.acache.stats()
+    }
+
     /// Ordering-cache diagnostics: `(resorts, reuses, switches)` of the
     /// class-sorted contact scheduler (all zero under
     /// [`ContactOrder::Discovery`]).
@@ -424,6 +425,9 @@ impl GpuPipeline {
     /// retry with a smaller Δt or quarantine the scene.
     pub fn try_step(&mut self) -> Result<StepReport, StepError> {
         let mut report = StepReport::default();
+        let times_at_start = self.times;
+        let asm_at_start = self.acache.stats();
+        self.step_warm_starts = 0;
         let touch = self.params.touch_tol * self.params.max_displacement;
 
         // ---- Contact detection (broad, narrow, transfer, init) --------------
@@ -478,6 +482,12 @@ impl GpuPipeline {
 
         self.gsoa = Some(gsoa);
         self.bsoa = Some(BlockSoa::build(&self.sys));
+        if self.params.assembly_reuse == AssemblyReuse::Incremental {
+            // Detection rebuilt the contact list: rebind the assembly
+            // cache (full recompute on the first iteration, joint params
+            // refilled, pending deltas cleared).
+            self.acache.begin_step(&self.sys, &self.contacts);
+        }
 
         // ---- Loops 2–3 (shared driver) ---------------------------------------
         self.step_fallback_level = 0;
@@ -533,6 +543,9 @@ impl GpuPipeline {
         // Committed geometry moved at most the accepted step's maximum
         // vertex displacement — the broad-phase cache's validity bound.
         self.ws.cache.note_motion(report.max_displacement);
+        report.phase_times = self.times.delta_since(&times_at_start);
+        report.assembly = self.acache.stats().delta_since(&asm_at_start);
+        report.warm_starts = self.step_warm_starts;
         Ok(report)
     }
 
@@ -563,6 +576,11 @@ impl StepBackend for GpuPipeline {
     }
 
     fn build_diag(&mut self) -> (Vec<Block6>, Vec<f64>) {
+        // Attempt start (loop 2): the warm iterate belongs to the previous
+        // attempt's open–close loop — a retried step re-solves a different
+        // system (smaller Δt), so its first solve starts from the previous
+        // step's solution like the reference path.
+        self.cache.clear_warm();
         let t = self.mark();
         let bsoa = self.bsoa.as_ref().expect("step() builds the block SoA");
         let out = build_diag_gpu(&self.dev, &self.sys, bsoa, &self.params);
@@ -578,16 +596,28 @@ impl StepBackend for GpuPipeline {
         } else {
             None
         };
-        let asm = assemble_contacts_gpu_scheduled(
-            &self.dev,
-            &self.sys,
-            gsoa,
-            &self.contacts,
-            &self.params,
-            diag.to_vec(),
-            rhs0.to_vec(),
-            sched,
-        );
+        let asm = match self.params.assembly_reuse {
+            AssemblyReuse::Recompute => assemble_contacts_gpu_scheduled(
+                &self.dev,
+                &self.sys,
+                gsoa,
+                &self.contacts,
+                &self.params,
+                diag.to_vec(),
+                rhs0.to_vec(),
+                sched,
+            ),
+            AssemblyReuse::Incremental => self.acache.assemble(
+                &self.dev,
+                &self.sys,
+                gsoa,
+                &self.contacts,
+                &self.params,
+                diag.to_vec(),
+                rhs0.to_vec(),
+                sched,
+            ),
+        };
         self.times.nondiag_building += self.mark() - t;
         asm
     }
@@ -622,7 +652,19 @@ impl StepBackend for GpuPipeline {
 
     fn open_close(&mut self, gaps: &GapArrays, open_tol: f64, freeze: bool) -> usize {
         let t = self.mark();
-        let changes = open_close_gpu(&self.dev, &mut self.contacts, gaps, open_tol, freeze);
+        let changes = match self.params.assembly_reuse {
+            AssemblyReuse::Recompute => {
+                open_close_gpu(&self.dev, &mut self.contacts, gaps, open_tol, freeze)
+            }
+            AssemblyReuse::Incremental => open_close_gpu_masked(
+                &self.dev,
+                &mut self.contacts,
+                gaps,
+                open_tol,
+                freeze,
+                Some(self.acache.dirty_mask()),
+            ),
+        };
         self.times.interpenetration += self.mark() - t;
         changes
     }

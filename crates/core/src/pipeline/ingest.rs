@@ -34,7 +34,7 @@ use dda_solver::{PrecondError, PrecondKind, SolveError, SolverPrecision};
 use crate::block::Block;
 use crate::contact::{BroadPhaseMode, Contact, ContactKind, ContactOrder, ContactState};
 use crate::material::{BlockMaterial, JointMaterial};
-use crate::params::DdaParams;
+use crate::params::{AssemblyReuse, DdaParams, SolverWarmStart};
 use crate::system::{BlockSystem, PointLoad};
 
 use super::batch::{SceneBatch, SceneState};
@@ -481,6 +481,14 @@ fn enc_state(e: &mut Enc, st: &SceneState) {
         ContactOrder::Discovery => 0,
         ContactOrder::ClassSorted => 1,
     });
+    e.u(match p.assembly_reuse {
+        AssemblyReuse::Recompute => 0,
+        AssemblyReuse::Incremental => 1,
+    });
+    e.u(match p.warm_start {
+        SolverWarmStart::PrevStep => 0,
+        SolverWarmStart::PrevIterate => 1,
+    });
     e.u(st.contacts.len() as u64);
     for c in &st.contacts {
         e.u(c.i as u64);
@@ -631,6 +639,24 @@ fn dec_state(d: &mut Dec<'_>) -> Result<SceneState, CheckpointError> {
             _ => {
                 return Err(CheckpointError::Malformed {
                     what: "contact-order tag",
+                })
+            }
+        },
+        assembly_reuse: match d.u()? {
+            0 => AssemblyReuse::Recompute,
+            1 => AssemblyReuse::Incremental,
+            _ => {
+                return Err(CheckpointError::Malformed {
+                    what: "assembly-reuse tag",
+                })
+            }
+        },
+        warm_start: match d.u()? {
+            0 => SolverWarmStart::PrevStep,
+            1 => SolverWarmStart::PrevIterate,
+            _ => {
+                return Err(CheckpointError::Malformed {
+                    what: "warm-start tag",
                 })
             }
         },

@@ -85,6 +85,19 @@ impl ModuleTimes {
         }
     }
 
+    /// Modeled seconds accumulated since an earlier snapshot — the
+    /// per-step phase breakdown `StepReport` carries.
+    pub fn delta_since(&self, earlier: &ModuleTimes) -> ModuleTimes {
+        ModuleTimes {
+            contact_detection: self.contact_detection - earlier.contact_detection,
+            diag_building: self.diag_building - earlier.diag_building,
+            nondiag_building: self.nondiag_building - earlier.nondiag_building,
+            solving: self.solving - earlier.solving,
+            interpenetration: self.interpenetration - earlier.interpenetration,
+            updating: self.updating - earlier.updating,
+        }
+    }
+
     /// Named rows in table order.
     pub fn rows(&self) -> [(&'static str, f64); 6] {
         [
@@ -135,6 +148,18 @@ pub struct StepReport {
     /// [`PrecondKind::name`]). Defaults to Block-Jacobi, matching the
     /// default configuration, for steps that never solve.
     pub fallback_rung: PrecondKind,
+    /// Modeled seconds this step added to each pipeline module — the
+    /// per-phase breakdown (broad/narrow under `contact_detection`,
+    /// assembly under `diag_building`/`nondiag_building`, solve, check,
+    /// update), so benches read phase costs directly instead of diffing
+    /// kernel traces.
+    pub phase_times: ModuleTimes,
+    /// Assembly-reuse counters this step added (all zero under
+    /// `AssemblyReuse::Recompute`).
+    pub assembly: crate::assembly_cache::AssemblyStats,
+    /// Solves of this step that warm-started from a previous open–close
+    /// iterate (only under `SolverWarmStart::PrevIterate`).
+    pub warm_starts: usize,
 }
 
 #[cfg(test)]

@@ -25,9 +25,33 @@ pub(crate) struct SolverCache {
     pub(crate) refills: usize,
     /// Diagnostics: how many solves rebuilt the format from scratch.
     pub(crate) rebuilds: usize,
+    /// The previous healthy iterate of the current step's open–close loop
+    /// (capacity-reused; `warm_valid` gates it). Used as the PCG starting
+    /// point under `SolverWarmStart::PrevIterate`, reset at every attempt
+    /// start and on fallback-ladder descent.
+    warm: Vec<f64>,
+    warm_valid: bool,
 }
 
 impl SolverCache {
+    /// The warm iterate, if one is armed.
+    pub(crate) fn warm_iterate(&self) -> Option<&[f64]> {
+        self.warm_valid.then_some(self.warm.as_slice())
+    }
+
+    /// Record `x` as the warm starting point for the next re-solve
+    /// (in-place copy; no steady-state allocation once warmed).
+    pub(crate) fn set_warm(&mut self, x: &[f64]) {
+        self.warm.clear();
+        self.warm.extend_from_slice(x);
+        self.warm_valid = true;
+    }
+
+    /// Drop the warm iterate (attempt start, ladder descent, rescue).
+    pub(crate) fn clear_warm(&mut self) {
+        self.warm_valid = false;
+    }
+
     /// Refreshes the cached format (and, when `want_bj`, the Block-Jacobi
     /// factorization; when `want_f32`, the fp32 value shadow) for `matrix`,
     /// charging the format-building traffic on `dev`, and hands back
@@ -66,6 +90,7 @@ impl SolverCache {
             pcg_ws,
             refills,
             rebuilds,
+            ..
         } = self;
 
         if want_f32 && h32_slot.is_none() {

@@ -13,13 +13,21 @@
 //! (radix sort, scan, compaction) allocate internally by design — their
 //! buffer-capacity steady state is asserted in `contact::grid`'s unit
 //! tests instead.
+//!
+//! The assembly cache's host bookkeeping gets the same treatment: once
+//! warmed, the per-step rebind (buffer sizing + flattened joint-parameter
+//! refill) and the per-iteration dirty-mask cycle of a multi-open–close
+//! step must be allocation-free.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use dda_core::contact::{
-    broad_phase_serial_ws, detect_broad_serial, BroadPhaseMode, ContactWorkspace,
+    broad_phase_serial_ws, detect_broad_serial, narrow_phase_serial, BroadPhaseMode,
+    ContactWorkspace,
 };
+use dda_core::AssemblyCache;
 use dda_core::{Block, BlockMaterial, BlockSystem, JointMaterial};
 use dda_geom::Polygon;
 use dda_simt::serial::CpuCounter;
@@ -51,6 +59,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Serializes the armed sections: the counter is global, so two audits
+/// running on parallel test threads would see each other's allocations.
+static GATE: Mutex<()> = Mutex::new(());
 
 fn grid_system(nx: usize, ny: usize, gap: f64) -> BlockSystem {
     let mut blocks = Vec::new();
@@ -102,6 +114,8 @@ fn warmed_serial_broad_phases_allocate_nothing() {
     assert!(!expected.is_empty(), "audit needs real pair work");
 
     // Measure.
+    let _gate = GATE.lock().unwrap();
+    ALLOCS.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
     broad_phase_serial_ws(&sys, range, &mut counter, &mut ws_all);
     detect_broad_serial(
@@ -135,4 +149,45 @@ fn warmed_serial_broad_phases_allocate_nothing() {
         "cached hit diverged from all-pairs"
     );
     assert!(ws_cached.cache.hits >= 2, "third call must be a cache hit");
+}
+
+#[test]
+fn warmed_assembly_cache_bookkeeping_allocates_nothing() {
+    let sys = grid_system(8, 8, 0.02);
+    let mut counter = CpuCounter::default();
+    let mut ws = ContactWorkspace::new();
+    broad_phase_serial_ws(&sys, 0.05, &mut counter, &mut ws);
+    let contacts = narrow_phase_serial(&sys, &ws.pairs, 0.05, &mut counter);
+    assert!(!contacts.is_empty(), "audit needs real contacts");
+
+    // Warm: the first begin_step grows every stream buffer and the joint
+    // parameter table; the second proves the sizes are stable.
+    let mut acache = AssemblyCache::new();
+    acache.begin_step(&sys, &contacts);
+    acache.begin_step(&sys, &contacts);
+
+    // Measure one step's worth of host bookkeeping: the per-step rebind,
+    // then several open–close iterations' dirty-mask accumulate/consume
+    // cycles (the device-side recompute/splice launches sit between these
+    // in the pipeline and are audited for capacity reuse separately).
+    let _gate = GATE.lock().unwrap();
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    acache.begin_step(&sys, &contacts);
+    for it in 0..4 {
+        let mask = acache.dirty_mask();
+        for (k, m) in mask.iter_mut().enumerate() {
+            *m = u32::from(k % (it + 2) == 0);
+        }
+        mask.fill(0);
+        let _ = acache.stats();
+    }
+    acache.invalidate();
+    ARMED.store(false, Ordering::SeqCst);
+
+    let n_allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n_allocs, 0,
+        "warmed assembly-cache bookkeeping performed {n_allocs} heap allocations"
+    );
 }

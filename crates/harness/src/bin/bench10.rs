@@ -1,0 +1,307 @@
+//! BENCH_10 generator: incremental re-assembly and warm-started re-solves
+//! across the open–close iteration loop.
+//!
+//! The open–close loop re-runs the whole Fig 4 assembly every iteration,
+//! yet between consecutive iterations only the state-flipped contacts
+//! contribute differently. A dense stacked scatter field (every occupied
+//! site a two-rock stack, rocks dropped onto a floor) keeps the loop
+//! re-iterating — the workload must average ≥ 3 open–close iterations per
+//! step for the re-assembly to matter — and is driven three ways on the
+//! same modeled K40:
+//!
+//! 1. **recompute** — `AssemblyReuse::Recompute` + `PrevStep`: the
+//!    always-recompute oracle.
+//! 2. **incremental** — `AssemblyReuse::Incremental` + `PrevStep`: delta
+//!    recompute + stream splice + memoized reduction plans. Asserted
+//!    *bitwise identical* to the oracle step by step.
+//! 3. **incremental+warm** — both knobs: re-solves additionally start
+//!    from the previous iterate (same tolerance; tolerance-equivalent,
+//!    not bitwise).
+//!
+//! Reported per run: modeled seconds per pipeline phase, the nondiag
+//! (assembly) and solve speed-ups over the oracle, splice share on
+//! non-first iterations, reduction-plan hit rate, PCG iterations, warm
+//! starts, and host wall seconds. Wall time is the *simulator's* host
+//! cost for the whole run — the phases interleave inside one host loop,
+//! so per-phase wall time is not separately measurable and is
+//! deliberately not reported; the per-phase numbers are modeled seconds
+//! only, and the wall/modeled ratio quantifies how far the simulation
+//! host is from the modeled device.
+//!
+//! At the default scale the acceptance gates are asserted in-binary:
+//! ≥ 3 open–close iterations per step, bitwise parity, ≥ 1.5× modeled
+//! assembly speed-up, > 90% splice share, and warm starts saving PCG
+//! iterations.
+//!
+//! Writes `BENCH_10.json` into the current directory and prints it.
+//!
+//! Usage: `bench10 [--rocks N] [--steps N]`
+
+use dda_core::pipeline::{GpuPipeline, ModuleTimes};
+use dda_core::{AssemblyReuse, DdaParams, SolverWarmStart};
+use dda_harness::Args;
+use dda_simt::{Device, DeviceProfile};
+use dda_workloads::{scatter_case, ScatterConfig};
+use std::time::Instant;
+
+const DEFAULT_ROCKS: usize = 48;
+const DEFAULT_STEPS: usize = 40;
+
+/// Minimum average open–close iterations per step for the workload to
+/// count as re-solve-heavy (the regime the tentpole targets).
+const MIN_AVG_OC_ITERS: f64 = 3.0;
+/// Modeled nondiag-building speed-up the incremental path must clear.
+const MIN_ASSEMBLY_SPEEDUP: f64 = 1.5;
+/// Splice share on non-first open–close iterations in steady state.
+const MIN_SPLICE_SHARE: f64 = 0.90;
+
+fn k40() -> Device {
+    Device::new(DeviceProfile::tesla_k40())
+}
+
+/// Dense stacked drop: every occupied site is a two-rock stack with
+/// independent velocity draws, so stacked pairs close, open, and slide
+/// from step 0 and the open–close loop keeps re-iterating.
+fn workload(rocks: usize) -> (dda_core::BlockSystem, DdaParams) {
+    scatter_case(&ScatterConfig {
+        stack_permille: 1000,
+        ..ScatterConfig::default().with_rocks(rocks)
+    })
+}
+
+/// Every trajectory-bearing bit of the evolving system, for the bitwise
+/// parity gate.
+fn sys_bits(sys: &dda_core::BlockSystem) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for b in &sys.blocks {
+        let c = b.centroid();
+        bits.push(c.x.to_bits());
+        bits.push(c.y.to_bits());
+        for dof in 0..6 {
+            bits.push(b.velocity[dof].to_bits());
+        }
+    }
+    bits
+}
+
+struct RunRow {
+    label: &'static str,
+    times: ModuleTimes,
+    wall_s: f64,
+    steps: usize,
+    oc_iters: usize,
+    pcg_iters: usize,
+    warm_starts: usize,
+    /// Contributions recomputed on non-first open–close iterations.
+    delta_recomputed: u64,
+    /// Contributions spliced from the cache instead of recomputed.
+    spliced: u64,
+    plan_hits: u64,
+    plan_rebuilds: u64,
+    fingerprint: Vec<u64>,
+}
+
+fn run(
+    label: &'static str,
+    rocks: usize,
+    steps: usize,
+    reuse: AssemblyReuse,
+    warm: SolverWarmStart,
+) -> RunRow {
+    let (sys, params) = workload(rocks);
+    let params = params.with_assembly_reuse(reuse).with_warm_start(warm);
+    let mut pipe = GpuPipeline::new(sys, params, k40());
+    let mut row = RunRow {
+        label,
+        times: ModuleTimes::default(),
+        wall_s: 0.0,
+        steps,
+        oc_iters: 0,
+        pcg_iters: 0,
+        warm_starts: 0,
+        delta_recomputed: 0,
+        spliced: 0,
+        plan_hits: 0,
+        plan_rebuilds: 0,
+        fingerprint: Vec::new(),
+    };
+    let t = Instant::now();
+    for _ in 0..steps {
+        let r = pipe.step();
+        row.oc_iters += r.oc_iterations;
+        row.pcg_iters += r.pcg_iterations;
+        row.warm_starts += r.warm_starts;
+        // The step's first assemble per attempt rebuilds everything
+        // (`full_builds` × that step's contact count); the remainder of
+        // `recomputed` is genuine delta work on re-iterations.
+        let full = r.assembly.full_builds * r.n_contacts as u64;
+        row.delta_recomputed += r.assembly.recomputed.saturating_sub(full);
+        row.spliced += r.assembly.spliced;
+        row.plan_hits += r.assembly.plan_hits;
+        row.plan_rebuilds += r.assembly.plan_rebuilds;
+    }
+    row.wall_s = t.elapsed().as_secs_f64();
+    row.times = pipe.times;
+    row.fingerprint = sys_bits(&pipe.sys);
+    row
+}
+
+fn main() {
+    let a = Args::parse(0, DEFAULT_ROCKS, DEFAULT_STEPS);
+    let default_scale = a.rocks == DEFAULT_ROCKS && a.steps == DEFAULT_STEPS;
+    eprintln!(
+        "bench10: incremental re-assembly + warm-started re-solves, \
+         rocks={} steps={} (stacked scatter drop)",
+        a.rocks, a.steps
+    );
+
+    eprintln!("  recompute oracle");
+    let oracle = run(
+        "recompute",
+        a.rocks,
+        a.steps,
+        AssemblyReuse::Recompute,
+        SolverWarmStart::PrevStep,
+    );
+    eprintln!("  incremental re-assembly");
+    let incr = run(
+        "incremental",
+        a.rocks,
+        a.steps,
+        AssemblyReuse::Incremental,
+        SolverWarmStart::PrevStep,
+    );
+    eprintln!("  incremental + warm-started re-solves");
+    let warm = run(
+        "incremental+warm",
+        a.rocks,
+        a.steps,
+        AssemblyReuse::Incremental,
+        SolverWarmStart::PrevIterate,
+    );
+
+    // ---- Gates ----------------------------------------------------------
+    let avg_oc = oracle.oc_iters as f64 / oracle.steps as f64;
+    assert_eq!(
+        oracle.fingerprint, incr.fingerprint,
+        "incremental re-assembly must be bitwise identical to the oracle"
+    );
+    assert_eq!(
+        oracle.pcg_iters, incr.pcg_iters,
+        "same warm-start policy must solve identically"
+    );
+    let splice_share = incr.spliced as f64 / (incr.spliced + incr.delta_recomputed).max(1) as f64;
+    let asm_speedup = oracle.times.nondiag_building / incr.times.nondiag_building.max(1e-30);
+    let warm_asm_speedup = oracle.times.nondiag_building / warm.times.nondiag_building.max(1e-30);
+    let solve_speedup = oracle.times.solving / warm.times.solving.max(1e-30);
+    let combined_speedup = (oracle.times.nondiag_building + oracle.times.solving)
+        / (warm.times.nondiag_building + warm.times.solving).max(1e-30);
+    if default_scale {
+        assert!(
+            avg_oc >= MIN_AVG_OC_ITERS,
+            "workload too tame: {avg_oc:.2} open–close iterations per step \
+             (need >= {MIN_AVG_OC_ITERS})"
+        );
+        assert!(
+            asm_speedup >= MIN_ASSEMBLY_SPEEDUP,
+            "modeled assembly speed-up {asm_speedup:.3}x below the \
+             {MIN_ASSEMBLY_SPEEDUP}x gate"
+        );
+        assert!(
+            splice_share > MIN_SPLICE_SHARE,
+            "splice share {splice_share:.3} below the {MIN_SPLICE_SHARE} gate"
+        );
+        assert!(
+            warm.warm_starts > 0 && warm.pcg_iters < oracle.pcg_iters,
+            "warm starts must save PCG iterations \
+             (oracle {}, warm {} over {} warm starts)",
+            oracle.pcg_iters,
+            warm.pcg_iters,
+            warm.warm_starts
+        );
+    }
+
+    for r in [&oracle, &incr, &warm] {
+        eprintln!(
+            "    {}: nondiag {:.3e} s, solve {:.3e} s, total {:.3e} modeled s, \
+             {} pcg iters, {} warm starts, wall {:.2} s ({:.0}x modeled)",
+            r.label,
+            r.times.nondiag_building,
+            r.times.solving,
+            r.times.total(),
+            r.pcg_iters,
+            r.warm_starts,
+            r.wall_s,
+            r.wall_s / r.times.total().max(1e-30),
+        );
+    }
+    eprintln!(
+        "  avg oc iters {avg_oc:.2}; assembly {asm_speedup:.2}x \
+         (warm {warm_asm_speedup:.2}x), solve {solve_speedup:.2}x, \
+         assembly+solve {combined_speedup:.2}x; splice share {splice_share:.3}; \
+         plan hits {}/{}",
+        incr.plan_hits,
+        incr.plan_hits + incr.plan_rebuilds,
+    );
+
+    let phase_json = |t: &ModuleTimes| {
+        format!(
+            "{{ \"contact_detection\": {:.6e}, \"diag_building\": {:.6e}, \
+             \"nondiag_building\": {:.6e}, \"solving\": {:.6e}, \
+             \"interpenetration\": {:.6e}, \"updating\": {:.6e}, \
+             \"total\": {:.6e} }}",
+            t.contact_detection,
+            t.diag_building,
+            t.nondiag_building,
+            t.solving,
+            t.interpenetration,
+            t.updating,
+            t.total(),
+        )
+    };
+    let row_json = |r: &RunRow| {
+        format!(
+            "    {{ \"label\": \"{}\", \"modeled_phase_s\": {},\n      \
+             \"wall_s\": {:.6e}, \"wall_over_modeled\": {:.1}, \
+             \"oc_iterations\": {}, \"pcg_iterations\": {}, \
+             \"warm_starts\": {}, \"spliced\": {}, \"delta_recomputed\": {}, \
+             \"plan_hits\": {}, \"plan_rebuilds\": {} }}",
+            r.label,
+            phase_json(&r.times),
+            r.wall_s,
+            r.wall_s / r.times.total().max(1e-30),
+            r.oc_iters,
+            r.pcg_iters,
+            r.warm_starts,
+            r.spliced,
+            r.delta_recomputed,
+            r.plan_hits,
+            r.plan_rebuilds,
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"incremental_reassembly_warm_resolve\",\n  \
+         \"device\": \"tesla_k40_model\",\n  \
+         \"config\": {{ \"rocks\": {}, \"steps\": {}, \"stack_permille\": 1000 }},\n  \
+         \"units\": \"per-phase numbers are modeled device seconds; wall_s is the \
+         simulator's host time for the whole run (phases interleave in one host \
+         loop, so per-phase wall time is not separately measurable and is not \
+         reported)\",\n  \
+         \"avg_oc_iterations_per_step\": {avg_oc:.3},\n  \
+         \"runs\": [\n{},\n{},\n{}\n  ],\n  \
+         \"assembly_speedup\": {asm_speedup:.4},\n  \
+         \"assembly_speedup_warm\": {warm_asm_speedup:.4},\n  \
+         \"solve_speedup_warm\": {solve_speedup:.4},\n  \
+         \"assembly_plus_solve_speedup\": {combined_speedup:.4},\n  \
+         \"splice_share_reiterations\": {splice_share:.4},\n  \
+         \"bitwise_identical_to_oracle\": true\n}}\n",
+        a.rocks,
+        a.steps,
+        row_json(&oracle),
+        row_json(&incr),
+        row_json(&warm),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_10.json", &json).expect("write BENCH_10.json");
+    eprintln!("wrote BENCH_10.json");
+}

@@ -182,6 +182,22 @@ impl DeviceTrace {
         map
     }
 
+    /// Launches and modeled seconds of every kernel whose name starts with
+    /// `prefix` — phase-level roll-ups for benches that group kernels by a
+    /// naming convention (e.g. `"nondiag."` covers both the full and the
+    /// delta contribution kernels).
+    pub fn seconds_by_prefix(&self, prefix: &str) -> (u64, f64) {
+        let mut launches = 0;
+        let mut seconds = 0.0;
+        for r in &self.records {
+            if r.name.starts_with(prefix) {
+                launches += r.stats.launches;
+                seconds += r.seconds;
+            }
+        }
+        (launches, seconds)
+    }
+
     /// Number of launches recorded.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -349,5 +365,9 @@ mod tests {
         assert_eq!(by.len(), 2);
         assert_eq!(by["a"].0.flops, 11);
         assert!((by["a"].1 - 1.75).abs() < 1e-12);
+        let (launches, secs) = t.seconds_by_prefix("a");
+        assert_eq!(launches, 2);
+        assert!((secs - 1.75).abs() < 1e-12);
+        assert_eq!(t.seconds_by_prefix("zzz"), (0, 0.0));
     }
 }
